@@ -1,0 +1,51 @@
+// Ablation — §VI-E restore manner.
+//
+// "By default the result of the finished vertices on the remote places will
+// be abandoned during recovery. But the user can tell DPX10 to restore them
+// if the computation is more time consuming than data transfer." Sweeps
+// both restore modes against two per-vertex compute weights (cheap
+// recurrence vs expensive compute) and reports the crossover the paper
+// predicts: discard-remote wins when recomputing is cheap, restore-remote
+// wins when compute dominates transfer.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/options.h"
+#include "dp/runners.h"
+
+int main(int argc, char** argv) {
+  using namespace dpx10;
+  Options cli(argc, argv);
+
+  const std::int64_t vertices =
+      static_cast<std::int64_t>(cli.get_scaled("vertices", 500'000));
+  const std::int32_t nodes = static_cast<std::int32_t>(cli.get_int("nodes", 8));
+  const double at = cli.get_double("at", 0.5);
+
+  std::printf("Ablation: restore manner, SWLAG, one fault at %.0f%% "
+              "(%lld vertices, %d nodes, simulated cluster)\n",
+              at * 100.0, static_cast<long long>(vertices), nodes);
+  std::printf("  %-18s %-16s | %9s | %12s | %10s | %10s\n", "compute/vertex", "restore",
+              "time (s)", "recovery (s)", "restored", "discarded");
+
+  const double compute_levels_ns[] = {7000.0, 120000.0};
+  const RestoreMode modes[] = {RestoreMode::DiscardRemote, RestoreMode::RestoreRemote};
+
+  for (double compute_ns : compute_levels_ns) {
+    for (RestoreMode mode : modes) {
+      RuntimeOptions opts = bench::sim_options_for_nodes(nodes, cli);
+      opts.cost.compute_ns = compute_ns;
+      opts.restore = mode;
+      opts.faults.push_back(FaultPlan{opts.nplaces - 1, at});
+      RunReport r = dp::run_dp_app("swlag", dp::EngineKind::Sim, vertices, opts);
+      const RecoveryRecord& rec = r.recoveries.at(0);
+      char level[32];
+      std::snprintf(level, sizeof level, "%.0f us", compute_ns / 1000.0);
+      std::printf("  %-18s %-16s | %9.3f | %12.4f | %10llu | %10llu\n", level,
+                  std::string(restore_mode_name(mode)).c_str(), r.elapsed_seconds,
+                  r.recovery_seconds, static_cast<unsigned long long>(rec.restored),
+                  static_cast<unsigned long long>(rec.discarded));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared helpers for the figure benches: option-driven sweeps, paper-style
+// table output, and the canonical experiment configuration (the paper runs
+// NPLACES = 2 × nodes and NTHREADS = 6, §VIII).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "core/runtime_options.h"
+
+namespace dpx10::bench {
+
+/// Paper topology: two places per node, six worker threads per place.
+inline constexpr std::int32_t kPlacesPerNode = 2;
+inline constexpr std::int32_t kThreadsPerPlace = 6;
+
+inline RuntimeOptions sim_options_for_nodes(std::int32_t nodes, const Options& cli) {
+  RuntimeOptions opts;
+  opts.nplaces = nodes * kPlacesPerNode;
+  opts.nthreads = static_cast<std::int32_t>(cli.get_int("nthreads", kThreadsPerPlace));
+  opts.cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 1024));
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  return opts;
+}
+
+/// Prints "name: v1 v2 v3 ..." rows with a fixed label column.
+inline void print_series(const std::string& label, const std::vector<double>& values,
+                         const char* unit) {
+  std::printf("  %-22s", label.c_str());
+  for (double v : values) std::printf(" %9.3f", v);
+  std::printf("  [%s]\n", unit);
+}
+
+inline void print_header(const std::string& label, const std::vector<std::int64_t>& axis) {
+  std::printf("  %-22s", label.c_str());
+  for (std::int64_t v : axis) std::printf(" %9lld", static_cast<long long>(v));
+  std::printf("\n");
+}
+
+}  // namespace dpx10::bench

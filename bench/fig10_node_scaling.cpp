@@ -1,0 +1,48 @@
+// Figure 10 — execution time of the four DP applications (SWLAG, MTP, LPS,
+// 0/1KP) at a fixed vertex count while the node count grows from 2 to 12.
+//
+// Paper setup: 300M vertices, nodes ∈ {2,4,6,8,10,12}, NPLACES = 2×nodes,
+// NTHREADS = 6, on Tianhe-1A. Here the cluster is the simulated one (see
+// DESIGN.md §2); the default size is scaled down to 1M vertices
+// (override with --vertices=...). The paper's headline shapes to look for:
+// time falls steeply then flattens; SWLAG/MTP/LPS reach a speedup of ~4 at
+// a 6-fold node increase while 0/1KP only reaches ~3 (its data-dependent
+// far-column dependencies defeat the FIFO cache and cost extra traffic).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/options.h"
+#include "common/strings.h"
+#include "dp/runners.h"
+
+int main(int argc, char** argv) {
+  using namespace dpx10;
+  Options cli(argc, argv);
+
+  const std::int64_t vertices =
+      static_cast<std::int64_t>(cli.get_scaled("vertices", 1'000'000));
+  const std::vector<std::int64_t> nodes = cli.get_int_list("nodes", {2, 4, 6, 8, 10, 12});
+  const std::vector<std::string> apps = {"swlag", "mtp", "lps", "knapsack"};
+
+  std::printf("Figure 10: execution time vs. nodes (%s vertices, places = 2 x nodes, "
+              "%d threads/place, simulated cluster)\n",
+              with_commas(static_cast<std::uint64_t>(vertices)).c_str(),
+              bench::kThreadsPerPlace);
+  std::vector<std::int64_t> axis(nodes.begin(), nodes.end());
+  bench::print_header("app \\ nodes", axis);
+
+  for (const std::string& app : apps) {
+    std::vector<double> times;
+    times.reserve(nodes.size());
+    for (std::int64_t n : nodes) {
+      RuntimeOptions opts = bench::sim_options_for_nodes(static_cast<std::int32_t>(n), cli);
+      RunReport report = dp::run_dp_app(app, dp::EngineKind::Sim, vertices, opts);
+      times.push_back(report.elapsed_seconds);
+    }
+    bench::print_series(app, times, "sim seconds");
+    const double speedup = times.front() / times.back();
+    std::printf("  %-22s speedup %.2fx from %lldx node increase\n", "",
+                speedup, static_cast<long long>(nodes.back() / nodes.front()));
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 11 — execution time of the four DP applications on a fixed
+// 10-node cluster (20 places × 6 threads) while the vertex count grows.
+//
+// Paper setup: 100M → 1B vertices. Scaled default here: 200k → 2M
+// (override with --scale or --sizes). The headline shape: near-linear
+// growth with size for all four applications, with 0/1KP sitting above the
+// others ("0/1KP takes a little longer since it needs more time to resolve
+// the dependencies").
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/options.h"
+#include "common/strings.h"
+#include "dp/runners.h"
+
+int main(int argc, char** argv) {
+  using namespace dpx10;
+  Options cli(argc, argv);
+
+  const std::int64_t nodes = cli.get_int("nodes", 10);
+  std::vector<std::int64_t> sizes = cli.get_int_list(
+      "sizes", {200'000, 400'000, 600'000, 800'000, 1'000'000, 1'400'000, 2'000'000});
+  const std::vector<std::string> apps = {"swlag", "mtp", "lps", "knapsack"};
+
+  std::printf("Figure 11: execution time vs. graph size on %lld nodes "
+              "(%lld places x %d threads, simulated cluster)\n",
+              static_cast<long long>(nodes),
+              static_cast<long long>(nodes * bench::kPlacesPerNode),
+              bench::kThreadsPerPlace);
+  bench::print_header("app \\ vertices", sizes);
+
+  for (const std::string& app : apps) {
+    std::vector<double> times;
+    for (std::int64_t v : sizes) {
+      RuntimeOptions opts = bench::sim_options_for_nodes(static_cast<std::int32_t>(nodes), cli);
+      RunReport report = dp::run_dp_app(app, dp::EngineKind::Sim, v, opts);
+      times.push_back(report.elapsed_seconds);
+    }
+    bench::print_series(app, times, "sim seconds");
+    // Linearity check the paper claims. Small sizes carry fixed overheads
+    // (pipeline fill, fetch latency), so compare *marginal* per-vertex cost
+    // between the middle and the top of the sweep: 1.0 = perfectly linear.
+    const std::size_t n = times.size();
+    const double marginal_top = (times[n - 1] - times[n - 2]) /
+                                static_cast<double>(sizes[n - 1] - sizes[n - 2]);
+    const double marginal_mid = (times[n / 2] - times[n / 2 - 1]) /
+                                static_cast<double>(sizes[n / 2] - sizes[n / 2 - 1]);
+    std::printf("  %-22s marginal per-vertex cost, top/middle of sweep = %.2f\n", "",
+                marginal_top / marginal_mid);
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks of the framework's hot-path primitives
+// (google-benchmark): event queue throughput, FIFO cache operations, DAG
+// pattern edge enumeration, domain (de)linearization, and distribution
+// lookups. These quantify the per-vertex constant the engines pay and back
+// the CostModel's framework_ns figure.
+#include <benchmark/benchmark.h>
+
+#include "apgas/dist.h"
+#include "apgas/domain.h"
+#include "common/rng.h"
+#include "core/cache.h"
+#include "core/patterns/registry.h"
+#include "sim/event_queue.h"
+#include "sim/slot_pool.h"
+
+namespace {
+
+using namespace dpx10;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  Xoshiro256 rng(7);
+  const std::int64_t depth = state.range(0);
+  for (std::int64_t i = 0; i < depth; ++i) q.push(rng.uniform01(), 0, i, 0);
+  for (auto _ : state) {
+    q.push(rng.uniform01(), 0, 1, 2);
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_CachePutGet(benchmark::State& state) {
+  FifoVertexCache<std::int64_t> cache(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(11);
+  std::int64_t hits = 0;
+  for (auto _ : state) {
+    VertexId id{static_cast<std::int32_t>(rng.below(4096)),
+                static_cast<std::int32_t>(rng.below(4096))};
+    std::int64_t out;
+    if (cache.get(id, out)) {
+      ++hits;
+    } else {
+      cache.put(id, id.key() & 0xffff);
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachePutGet)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_PatternDependencies(benchmark::State& state) {
+  const auto& names = patterns::builtin_pattern_names();
+  const std::string& name = names[static_cast<std::size_t>(state.range(0))];
+  auto dag = patterns::make_pattern(name, 512, 512);
+  std::vector<VertexId> out;
+  out.reserve(1024);
+  Xoshiro256 rng(13);
+  for (auto _ : state) {
+    VertexId v = dag->domain().delinearize(
+        static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(dag->domain().size()))));
+    out.clear();
+    dag->dependencies(v, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(name);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatternDependencies)->DenseRange(0, 6);  // full-prefix (7) is O(n), bench apart
+
+void BM_PatternDependenciesFullPrefix(benchmark::State& state) {
+  auto dag = patterns::make_pattern("full-prefix", 512, 512);
+  std::vector<VertexId> out;
+  out.reserve(2048);
+  Xoshiro256 rng(13);
+  for (auto _ : state) {
+    VertexId v = dag->domain().delinearize(
+        static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(dag->domain().size()))));
+    out.clear();
+    dag->dependencies(v, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatternDependenciesFullPrefix);
+
+void BM_DomainRoundTrip(benchmark::State& state) {
+  DagDomain domain = state.range(0) == 0   ? DagDomain::rect(2048, 2048)
+                     : state.range(0) == 1 ? DagDomain::upper_triangular(2048)
+                                           : DagDomain::banded(2048, 2048, 64);
+  Xoshiro256 rng(17);
+  for (auto _ : state) {
+    std::int64_t idx =
+        static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(domain.size())));
+    VertexId id = domain.delinearize(idx);
+    benchmark::DoNotOptimize(domain.linearize(id));
+  }
+  state.SetLabel(std::string(domain.kind_name()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DomainRoundTrip)->DenseRange(0, 2);
+
+void BM_DistSlotOf(benchmark::State& state) {
+  DagDomain domain = DagDomain::rect(4096, 4096);
+  auto dist = make_dist(static_cast<DistKind>(state.range(0)), 24, domain);
+  Xoshiro256 rng(19);
+  for (auto _ : state) {
+    VertexId id{static_cast<std::int32_t>(rng.below(4096)),
+                static_cast<std::int32_t>(rng.below(4096))};
+    benchmark::DoNotOptimize(dist->slot_of(id));
+  }
+  state.SetLabel(std::string(dist_kind_name(static_cast<DistKind>(state.range(0)))));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistSlotOf)->DenseRange(0, 3);
+
+void BM_SlotPoolReserve(benchmark::State& state) {
+  sim::SlotPool pool(6);
+  double t = 0.0;
+  for (auto _ : state) {
+    double start = pool.earliest_start(t);
+    pool.reserve(start, start + 1e-6);
+    t = start;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlotPoolReserve);
+
+}  // namespace

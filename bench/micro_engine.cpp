@@ -1,0 +1,50 @@
+// Micro-benchmarks of whole-engine throughput (google-benchmark): vertices
+// per second through the simulated and threaded engines on a fixed small
+// workload. These are the end-to-end constants behind the figure benches'
+// host runtime.
+#include <benchmark/benchmark.h>
+
+#include "core/dpx10.h"
+#include "dp/inputs.h"
+#include "dp/lcs.h"
+#include "dp/runners.h"
+
+namespace {
+
+using namespace dpx10;
+
+void BM_SimEngineLcs(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  std::string a = dp::random_sequence(static_cast<std::size_t>(side - 1), 1);
+  std::string b = dp::random_sequence(static_cast<std::size_t>(side - 1), 2);
+  auto dag = patterns::make_pattern("left-top-diag", side, side);
+  RuntimeOptions opts;
+  opts.nplaces = 8;
+  opts.nthreads = 6;
+  for (auto _ : state) {
+    dp::LcsApp app(a, b);
+    SimEngine<std::int32_t> engine(opts);
+    benchmark::DoNotOptimize(engine.run(*dag, app).elapsed_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_SimEngineLcs)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_ThreadedEngineLcs(benchmark::State& state) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  std::string a = dp::random_sequence(static_cast<std::size_t>(side - 1), 1);
+  std::string b = dp::random_sequence(static_cast<std::size_t>(side - 1), 2);
+  auto dag = patterns::make_pattern("left-top-diag", side, side);
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  for (auto _ : state) {
+    dp::LcsApp app(a, b);
+    ThreadedEngine<std::int32_t> engine(opts);
+    benchmark::DoNotOptimize(engine.run(*dag, app).elapsed_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_ThreadedEngineLcs)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Banded Smith-Waterman — custom pattern + custom domain in one example.
+//
+// When two sequences are known to be similar, restricting the alignment to
+// a diagonal band of width 2k+1 turns an O(n^2) DP into O(nk). The
+// BandedWavefrontDag declares exactly the in-band cells; the framework
+// stores, schedules, and distributes only those. This example aligns two
+// sequences that differ by a handful of mutations and shows that a narrow
+// band already recovers the full-matrix score at a fraction of the work.
+//
+//   ./build/examples/banded_alignment --length=2000 --band=32
+#include <iostream>
+
+#include "common/options.h"
+#include "common/rng.h"
+#include "core/dpx10.h"
+#include "core/report_io.h"
+#include "dp/banded.h"
+#include "dp/inputs.h"
+#include "dp/smith_waterman.h"
+
+namespace {
+
+/// Mutates ~rate of the characters, preserving overall similarity.
+std::string mutate(const std::string& base, double rate, std::uint64_t seed) {
+  dpx10::Xoshiro256 rng(seed);
+  std::string out = base;
+  const std::string_view alphabet = "ACGT";
+  for (char& c : out) {
+    if (rng.uniform01() < rate) {
+      c = alphabet[static_cast<std::size_t>(rng.below(alphabet.size()))];
+    }
+  }
+  return out;
+}
+
+class BestBandedApp final : public dpx10::dp::BandedSwApp {
+ public:
+  using BandedSwApp::BandedSwApp;
+  std::int32_t best = 0;
+
+  void app_finished(const dpx10::DagView<std::int32_t>& dag) override {
+    for (std::int32_t i = 0; i < dag.domain().height(); ++i) {
+      for (std::int32_t j = dag.domain().row_begin(i); j < dag.domain().row_end(i); ++j) {
+        best = std::max(best, dag.at(i, j));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpx10;
+  Options cli(argc, argv);
+
+  const auto length = static_cast<std::size_t>(cli.get_int("length", 2000));
+  const auto band = static_cast<std::int32_t>(cli.get_int("band", 32));
+  const std::string a = dp::random_sequence(length, 55);
+  const std::string b = mutate(a, 0.05, 56);  // 5% point mutations
+
+  const auto n = static_cast<std::int32_t>(length) + 1;
+  dp::BandedWavefrontDag dag(n, n, band);
+
+  BestBandedApp app(a, b);
+  RuntimeOptions opts;
+  opts.nplaces = static_cast<std::int32_t>(cli.get_int("nplaces", 4));
+  opts.nthreads = static_cast<std::int32_t>(cli.get_int("nthreads", 2));
+  ThreadedEngine<std::int32_t> engine(opts);
+  RunReport report = engine.run(dag, app);
+
+  auto full = dp::serial_smith_waterman(a, b);
+  const std::int32_t full_score = dp::matrix_max(full);
+  const double full_cells = static_cast<double>(n) * n;
+
+  std::cout << "banded score (band " << band << "): " << app.best << "\n";
+  std::cout << "full-matrix score:       " << full_score << "\n";
+  std::cout << "band recovers the score: " << (app.best == full_score ? "yes" : "no - widen the band")
+            << "\n";
+  std::cout << "cells computed:          " << report.computed << " ("
+            << static_cast<int>(100.0 * static_cast<double>(report.computed) / full_cells)
+            << "% of the full matrix)\n\n";
+  print_report(std::cout, report);
+  return 0;
+}

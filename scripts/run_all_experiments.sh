@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Regenerates every paper figure and ablation into two log files.
+#
+#   scripts/run_all_experiments.sh [build-dir]
+#
+# Pass DPX10_VERTICES / DPX10_NODES etc. via the environment to rescale
+# (each bench also accepts --vertices/--nodes flags when run directly).
+set -eu
+
+BUILD="${1:-build}"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "error: '$BUILD' is not a configured build directory" >&2
+  echo "run: cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+{
+  for b in "$BUILD"/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $b"
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "wrote test_output.txt and bench_output.txt"

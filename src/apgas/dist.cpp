@@ -1,0 +1,128 @@
+#include "apgas/dist.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace dpx10 {
+
+std::string_view dist_kind_name(DistKind kind) {
+  switch (kind) {
+    case DistKind::BlockRow: return "block-row";
+    case DistKind::BlockCol: return "block-col";
+    case DistKind::BlockCyclicRow: return "block-cyclic-row";
+    case DistKind::Block2D: return "block-2d";
+  }
+  return "?";
+}
+
+Dist::Dist(std::int32_t nslots) : nslots_(nslots) {
+  require(nslots > 0, "Dist: need at least one slot");
+}
+
+std::int32_t block_index(std::int64_t coord, std::int64_t extent, std::int32_t nblocks) {
+  // Standard balanced block partition: block b owns coordinates
+  // [b*extent/nblocks, (b+1)*extent/nblocks). The inverse below is exact
+  // for all extents because (coord*nblocks + nblocks - 1) / extent can
+  // overshoot by at most the rounding we then clamp away.
+  std::int64_t b = (coord * nblocks) / extent;
+  if (b >= nblocks) b = nblocks - 1;
+  // Fix rare off-by-one from integer division: ensure coord is inside b.
+  while (b > 0 && (b * extent) / nblocks > coord) --b;
+  while (((b + 1) * extent) / nblocks <= coord && b + 1 < nblocks) ++b;
+  return static_cast<std::int32_t>(b);
+}
+
+namespace {
+
+class BlockRowDist final : public Dist {
+ public:
+  BlockRowDist(std::int32_t nslots, const DagDomain& domain)
+      : Dist(nslots), height_(domain.height()) {}
+
+  std::int32_t slot_of(VertexId id) const override {
+    return block_index(id.i, height_, nslots_);
+  }
+
+  DistKind kind() const override { return DistKind::BlockRow; }
+
+ private:
+  std::int64_t height_;
+};
+
+class BlockColDist final : public Dist {
+ public:
+  BlockColDist(std::int32_t nslots, const DagDomain& domain)
+      : Dist(nslots), width_(domain.width()) {}
+
+  std::int32_t slot_of(VertexId id) const override {
+    return block_index(id.j, width_, nslots_);
+  }
+
+  DistKind kind() const override { return DistKind::BlockCol; }
+
+ private:
+  std::int64_t width_;
+};
+
+class BlockCyclicRowDist final : public Dist {
+ public:
+  BlockCyclicRowDist(std::int32_t nslots, const DagDomain& domain) : Dist(nslots) {
+    // Pick a block height that deals each slot several blocks while keeping
+    // blocks tall enough that wavefronts stay mostly local.
+    std::int64_t target_blocks = static_cast<std::int64_t>(nslots) * 8;
+    block_ = domain.height() / target_blocks;
+    if (block_ < 1) block_ = 1;
+  }
+
+  std::int32_t slot_of(VertexId id) const override {
+    return static_cast<std::int32_t>((id.i / block_) % nslots_);
+  }
+
+  DistKind kind() const override { return DistKind::BlockCyclicRow; }
+
+ private:
+  std::int64_t block_;
+};
+
+class Block2DDist final : public Dist {
+ public:
+  Block2DDist(std::int32_t nslots, const DagDomain& domain)
+      : Dist(nslots), height_(domain.height()), width_(domain.width()) {
+    // Most-square factorization pr × pc == nslots with pr <= pc.
+    pr_ = 1;
+    for (std::int32_t f = 1; static_cast<std::int64_t>(f) * f <= nslots; ++f) {
+      if (nslots % f == 0) pr_ = f;
+    }
+    pc_ = nslots / pr_;
+  }
+
+  std::int32_t slot_of(VertexId id) const override {
+    std::int32_t br = block_index(id.i, height_, pr_);
+    std::int32_t bc = block_index(id.j, width_, pc_);
+    return br * pc_ + bc;
+  }
+
+  DistKind kind() const override { return DistKind::Block2D; }
+
+ private:
+  std::int64_t height_;
+  std::int64_t width_;
+  std::int32_t pr_ = 1;
+  std::int32_t pc_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<Dist> make_dist(DistKind kind, std::int32_t nslots, const DagDomain& domain) {
+  switch (kind) {
+    case DistKind::BlockRow: return std::make_unique<BlockRowDist>(nslots, domain);
+    case DistKind::BlockCol: return std::make_unique<BlockColDist>(nslots, domain);
+    case DistKind::BlockCyclicRow:
+      return std::make_unique<BlockCyclicRowDist>(nslots, domain);
+    case DistKind::Block2D: return std::make_unique<Block2DDist>(nslots, domain);
+  }
+  throw ConfigError("make_dist: unknown DistKind");
+}
+
+}  // namespace dpx10

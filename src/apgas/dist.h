@@ -1,0 +1,57 @@
+// Dist — the X10 `Dist` structure: how cells map to places.
+//
+// A Dist maps every cell of a domain to a *slot* in [0, nslots). The engine
+// composes it with a PlaceGroup to get a concrete place id, which is what
+// lets the same distribution kind be re-instantiated over the survivors
+// after a failure (the paper's recovery builds "a new distributed array
+// among the remaining places").
+//
+// Four distributions are provided, mirroring the flexibility §VI-B/§VI-E
+// describe: contiguous row blocks (the recovery example in Fig. 6),
+// contiguous column blocks (the paper's stated default), block-cyclic rows,
+// and a 2D block grid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "apgas/domain.h"
+#include "common/vertex_id.h"
+
+namespace dpx10 {
+
+enum class DistKind : std::uint8_t {
+  BlockRow = 0,    ///< contiguous bands of rows
+  BlockCol,        ///< contiguous bands of columns
+  BlockCyclicRow,  ///< fixed-height row blocks dealt round-robin
+  Block2D,         ///< pr × pc grid of tiles
+};
+
+std::string_view dist_kind_name(DistKind kind);
+
+class Dist {
+ public:
+  virtual ~Dist() = default;
+
+  /// Slot owning `id`. `id` must be inside the domain the Dist was built
+  /// for. Must be pure and O(1): engines call it per dependency access.
+  virtual std::int32_t slot_of(VertexId id) const = 0;
+
+  virtual DistKind kind() const = 0;
+
+  std::int32_t nslots() const { return nslots_; }
+
+ protected:
+  explicit Dist(std::int32_t nslots);
+
+  std::int32_t nslots_;
+};
+
+/// Builds a distribution of `kind` over `nslots` slots for `domain`.
+std::unique_ptr<Dist> make_dist(DistKind kind, std::int32_t nslots, const DagDomain& domain);
+
+/// Rows [i*P/h, (i+1)*P/h) style contiguous banding (exposed for tests).
+std::int32_t block_index(std::int64_t coord, std::int64_t extent, std::int32_t nblocks);
+
+}  // namespace dpx10

@@ -1,0 +1,104 @@
+// DistArray<T> — the distributed vertex store.
+//
+// The X10 original keeps all vertices in a DistArray partitioned across
+// places; here the partition is logical. Cell state lives in one flat array
+// indexed by the domain's dense linearization, and ownership is a pure
+// function (Dist × PlaceGroup). Every remote access still flows through the
+// traffic-accounted net layer, so communication behaviour is preserved; the
+// flat layout is purely a host-memory representation. A place "dying" means
+// its slots are wiped — see ResilientStore-style rebuild in the engines.
+//
+// Per-cell state matches §VI-B: a value of the user's type, an indegree
+// counter of unfinished predecessors, and a finished flag.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apgas/dist.h"
+#include "apgas/domain.h"
+#include "apgas/place.h"
+#include "common/error.h"
+
+namespace dpx10 {
+
+enum class CellState : std::uint8_t {
+  Unfinished = 0,
+  Finished = 1,
+  /// Marked finished before execution by DPX10App::initial_value() — the
+  /// "Initialization of DAG" refinement of §VI-E. Never scheduled, never
+  /// counted in indegrees, always recoverable by re-applying the app's
+  /// initializer.
+  Prefinished = 2,
+};
+
+/// One cell's runtime state. Atomics make the threaded engine's
+/// store-result/decrement-indegree protocol race-free; the simulator uses
+/// them with relaxed ordering from a single thread.
+template <typename T>
+struct Cell {
+  T value{};
+  std::atomic<std::int32_t> indegree{0};
+  std::atomic<std::uint8_t> state{static_cast<std::uint8_t>(CellState::Unfinished)};
+
+  CellState load_state(std::memory_order order = std::memory_order_acquire) const {
+    return static_cast<CellState>(state.load(order));
+  }
+
+  bool is_done(std::memory_order order = std::memory_order_acquire) const {
+    return load_state(order) != CellState::Unfinished;
+  }
+
+  void store_state(CellState s, std::memory_order order = std::memory_order_release) {
+    state.store(static_cast<std::uint8_t>(s), order);
+  }
+};
+
+template <typename T>
+class DistArray {
+ public:
+  DistArray(DagDomain domain, DistKind kind, PlaceGroup group)
+      : domain_(domain),
+        kind_(kind),
+        group_(std::move(group)),
+        dist_(make_dist(kind, group_.size(), domain_)),
+        cells_(static_cast<std::size_t>(domain_.size())) {}
+
+  DistArray(const DistArray&) = delete;
+  DistArray& operator=(const DistArray&) = delete;
+
+  const DagDomain& domain() const { return domain_; }
+  DistKind dist_kind() const { return kind_; }
+  const PlaceGroup& group() const { return group_; }
+  const Dist& dist() const { return *dist_; }
+  std::int64_t size() const { return domain_.size(); }
+
+  Cell<T>& cell(std::int64_t index) {
+    check_internal(index >= 0 && index < size(), "DistArray::cell: index out of range");
+    return cells_[static_cast<std::size_t>(index)];
+  }
+  const Cell<T>& cell(std::int64_t index) const {
+    check_internal(index >= 0 && index < size(), "DistArray::cell: index out of range");
+    return cells_[static_cast<std::size_t>(index)];
+  }
+
+  Cell<T>& cell(VertexId id) { return cell(domain_.linearize(id)); }
+  const Cell<T>& cell(VertexId id) const { return cell(domain_.linearize(id)); }
+
+  /// Distribution slot (position within the group) owning `id`.
+  std::int32_t owner_slot(VertexId id) const { return dist_->slot_of(id); }
+
+  /// Concrete place id owning `id`.
+  std::int32_t owner_place(VertexId id) const { return group_[dist_->slot_of(id)]; }
+
+ private:
+  DagDomain domain_;
+  DistKind kind_;
+  PlaceGroup group_;
+  std::unique_ptr<Dist> dist_;
+  std::vector<Cell<T>> cells_;
+};
+
+}  // namespace dpx10

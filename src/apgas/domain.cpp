@@ -1,0 +1,110 @@
+#include "apgas/domain.h"
+
+#include "common/error.h"
+
+namespace dpx10 {
+
+DagDomain::DagDomain(Kind kind, std::int32_t height, std::int32_t width, std::int32_t band)
+    : kind_(kind), height_(height), width_(width), band_(band) {
+  require(height > 0 && width > 0, "DagDomain: height and width must be positive");
+  if (kind == Kind::UpperTriangular) {
+    require(height == width, "DagDomain: upper-triangular domains must be square");
+  }
+  if (kind == Kind::Banded) {
+    require(band >= 0, "DagDomain: band must be non-negative");
+  }
+  size_ = row_prefix(height_);
+  check_internal(size_ > 0, "DagDomain: empty domain");
+}
+
+DagDomain DagDomain::rect(std::int32_t height, std::int32_t width) {
+  return DagDomain(Kind::Rect, height, width, 0);
+}
+
+DagDomain DagDomain::upper_triangular(std::int32_t n) {
+  return DagDomain(Kind::UpperTriangular, n, n, 0);
+}
+
+DagDomain DagDomain::banded(std::int32_t height, std::int32_t width, std::int32_t band) {
+  // A band narrower than |height - width| would leave some rows empty;
+  // widen it so every row has at least one cell (keeps linearization total).
+  std::int64_t min_band = 0;
+  if (height > width) min_band = static_cast<std::int64_t>(height) - width;
+  require(band >= min_band,
+          "DagDomain::banded: band too narrow, some rows would be empty");
+  return DagDomain(Kind::Banded, height, width, band);
+}
+
+std::int64_t DagDomain::row_prefix(std::int32_t i) const {
+  const std::int64_t n = i;
+  switch (kind_) {
+    case Kind::Rect:
+      return n * width_;
+    case Kind::UpperTriangular: {
+      // Row r has (width - r) cells; prefix = sum_{r<i} (width - r).
+      return n * width_ - n * (n - 1) / 2;
+    }
+    case Kind::Banded: {
+      // Row r spans [max(0, r-band), min(width, r+band+1)), so
+      //   prefix(i) = sum min(w, r+b+1) - sum max(0, r-b)  over r in [0, i).
+      // Both sums have closed forms (clamped arithmetic series); this must
+      // be O(1) because linearize() sits on the engines' hot path.
+      const std::int64_t b = band_;
+      const std::int64_t w = width_;
+      // First sum: r + b + 1 while r < w - b, then clamped at w.
+      std::int64_t c1 = w - b;
+      if (c1 < 0) c1 = 0;
+      if (c1 > n) c1 = n;
+      std::int64_t sum_end = c1 * (b + 1) + c1 * (c1 - 1) / 2 + (n - c1) * w;
+      // Second sum: rows r > b contribute r - b.
+      std::int64_t c2 = n - (b + 1);
+      if (c2 < 0) c2 = 0;
+      std::int64_t sum_begin = c2 * (c2 + 1) / 2;
+      return sum_end - sum_begin;
+    }
+  }
+  return 0;
+}
+
+std::int32_t DagDomain::row_of_index(std::int64_t index) const {
+  // Binary search for the last row whose prefix is <= index.
+  std::int32_t lo = 0, hi = height_ - 1;
+  while (lo < hi) {
+    std::int32_t mid = lo + (hi - lo + 1) / 2;
+    if (row_prefix(mid) <= index) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+VertexId DagDomain::delinearize(std::int64_t index) const {
+  check_internal(index >= 0 && index < size_, "DagDomain::delinearize: index out of range");
+  std::int32_t i;
+  switch (kind_) {
+    case Kind::Rect:
+      i = static_cast<std::int32_t>(index / width_);
+      break;
+    case Kind::UpperTriangular:
+    case Kind::Banded:
+      i = row_of_index(index);
+      break;
+    default:
+      i = 0;
+  }
+  std::int64_t offset = index - row_prefix(i);
+  return VertexId{i, static_cast<std::int32_t>(row_begin(i) + offset)};
+}
+
+std::string_view DagDomain::kind_name() const {
+  switch (kind_) {
+    case Kind::Rect: return "rect";
+    case Kind::UpperTriangular: return "upper-triangular";
+    case Kind::Banded: return "banded";
+  }
+  return "?";
+}
+
+}  // namespace dpx10

@@ -1,0 +1,109 @@
+// DagDomain — the set of valid cells of a DP matrix.
+//
+// Most 2D/0D DP problems fill a full rectangle, but several classic ones do
+// not: interval DPs (LPS, matrix chain) only populate the upper triangle,
+// and banded alignment restricts |i-j|. The domain gives every valid cell a
+// dense linear index so vertex state can live in a flat array with no holes,
+// and so distributions can reason about contiguous blocks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/vertex_id.h"
+
+namespace dpx10 {
+
+class DagDomain {
+ public:
+  enum class Kind { Rect, UpperTriangular, Banded };
+
+  /// Full height × width rectangle.
+  static DagDomain rect(std::int32_t height, std::int32_t width);
+
+  /// Cells with i <= j of an n × n matrix (interval DPs).
+  static DagDomain upper_triangular(std::int32_t n);
+
+  /// Cells of a height × width rectangle with |i - j| <= band.
+  static DagDomain banded(std::int32_t height, std::int32_t width, std::int32_t band);
+
+  Kind kind() const { return kind_; }
+  std::int32_t height() const { return height_; }
+  std::int32_t width() const { return width_; }
+  std::int32_t band() const { return band_; }
+
+  /// Number of valid cells.
+  std::int64_t size() const { return size_; }
+
+  bool contains(VertexId id) const {
+    if (id.i < 0 || id.i >= height_ || id.j < 0 || id.j >= width_) return false;
+    switch (kind_) {
+      case Kind::Rect: return true;
+      case Kind::UpperTriangular: return id.i <= id.j;
+      case Kind::Banded: {
+        std::int64_t d = static_cast<std::int64_t>(id.i) - id.j;
+        return d <= band_ && -d <= band_;
+      }
+    }
+    return false;
+  }
+
+  /// First valid column of row i (row must be non-empty — every row of the
+  /// supported kinds is non-empty by construction).
+  std::int32_t row_begin(std::int32_t i) const {
+    switch (kind_) {
+      case Kind::Rect: return 0;
+      case Kind::UpperTriangular: return i;
+      case Kind::Banded: return i - band_ > 0 ? i - band_ : 0;
+    }
+    return 0;
+  }
+
+  /// One past the last valid column of row i.
+  std::int32_t row_end(std::int32_t i) const {
+    switch (kind_) {
+      case Kind::Rect: return width_;
+      case Kind::UpperTriangular: return width_;
+      case Kind::Banded: {
+        std::int32_t end = i + band_ + 1;
+        return end < width_ ? end : width_;
+      }
+    }
+    return width_;
+  }
+
+  /// Number of valid cells in rows [0, i).
+  std::int64_t row_prefix(std::int32_t i) const;
+
+  /// Dense index of a valid cell; cells are ordered row-major within the
+  /// domain. Requires contains(id).
+  std::int64_t linearize(VertexId id) const {
+    return row_prefix(id.i) + (id.j - row_begin(id.i));
+  }
+
+  /// Inverse of linearize(). Requires 0 <= index < size().
+  VertexId delinearize(std::int64_t index) const;
+
+  std::string_view kind_name() const;
+
+  friend bool operator==(const DagDomain& a, const DagDomain& b) {
+    return a.kind_ == b.kind_ && a.height_ == b.height_ && a.width_ == b.width_ &&
+           a.band_ == b.band_;
+  }
+
+ private:
+  DagDomain(Kind kind, std::int32_t height, std::int32_t width, std::int32_t band);
+
+  /// Row index whose prefix contains `index` (binary search on row_prefix).
+  std::int32_t row_of_index(std::int64_t index) const;
+
+  Kind kind_ = Kind::Rect;
+  std::int32_t height_ = 0;
+  std::int32_t width_ = 0;
+  std::int32_t band_ = 0;
+  std::int64_t size_ = 0;
+};
+
+}  // namespace dpx10

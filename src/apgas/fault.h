@@ -1,0 +1,44 @@
+// Fault model — the C++ analogue of Resilient X10's DeadPlaceException.
+//
+// The paper injects one node failure "manually in the middle of the
+// execution" (§VIII-C). A FaultPlan expresses the same thing portably
+// across both engines: kill place `place` once `at_fraction` of the
+// computable vertices have finished. Resilient X10 cannot survive the death
+// of place 0; we reproduce that limitation faithfully — killing place 0
+// raises an unrecoverable DeadPlaceException to the caller.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace dpx10 {
+
+/// Raised when a place dies and the computation cannot recover (today:
+/// only when place 0 dies, matching the Resilient X10 limitation the paper
+/// calls out in §VI-D).
+class DeadPlaceException : public Error {
+ public:
+  explicit DeadPlaceException(std::int32_t place)
+      : Error("place " + std::to_string(place) + " died"), place_(place) {}
+
+  std::int32_t place() const { return place_; }
+
+ private:
+  std::int32_t place_;
+};
+
+/// Kill `place` when at least `at_fraction` of computable vertices are done.
+struct FaultPlan {
+  std::int32_t place = -1;
+  double at_fraction = 0.5;
+
+  void validate(std::int32_t nplaces) const {
+    require(place >= 0 && place < nplaces, "FaultPlan: place out of range");
+    require(at_fraction >= 0.0 && at_fraction < 1.0,
+            "FaultPlan: at_fraction must be in [0, 1)");
+  }
+};
+
+}  // namespace dpx10

@@ -1,0 +1,107 @@
+// Places — the APGAS unit of locality.
+//
+// An X10 place is a partition of the global address space plus the worker
+// threads operating on it; the paper launches two places per node. Here a
+// place is a logical id; PlaceManager tracks which places are alive (places
+// die when a fault is injected) and PlaceGroup is an ordered set of live
+// place ids that a distribution maps onto.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dpx10 {
+
+/// An ordered set of place ids. Distributions map cells onto *slots*
+/// [0, size()); the group translates a slot to a concrete place id. After a
+/// failure the group shrinks but surviving ids keep their identity, exactly
+/// like Resilient X10's surviving places.
+class PlaceGroup {
+ public:
+  PlaceGroup() = default;
+  explicit PlaceGroup(std::vector<std::int32_t> places) : places_(std::move(places)) {
+    require(!places_.empty(), "PlaceGroup: must contain at least one place");
+  }
+
+  /// The dense group {0, 1, ..., n-1}.
+  static PlaceGroup dense(std::int32_t n) {
+    require(n > 0, "PlaceGroup::dense: need at least one place");
+    std::vector<std::int32_t> ids(static_cast<std::size_t>(n));
+    for (std::int32_t p = 0; p < n; ++p) ids[static_cast<std::size_t>(p)] = p;
+    return PlaceGroup(std::move(ids));
+  }
+
+  std::int32_t size() const { return static_cast<std::int32_t>(places_.size()); }
+
+  std::int32_t operator[](std::int32_t slot) const {
+    check_internal(slot >= 0 && slot < size(), "PlaceGroup: slot out of range");
+    return places_[static_cast<std::size_t>(slot)];
+  }
+
+  bool contains(std::int32_t place) const {
+    for (std::int32_t p : places_) {
+      if (p == place) return true;
+    }
+    return false;
+  }
+
+  /// Group with `place` removed. Requires the place to be a member and the
+  /// result to be non-empty.
+  PlaceGroup without(std::int32_t place) const {
+    std::vector<std::int32_t> rest;
+    rest.reserve(places_.size());
+    for (std::int32_t p : places_) {
+      if (p != place) rest.push_back(p);
+    }
+    require(rest.size() + 1 == places_.size(), "PlaceGroup::without: place not in group");
+    return PlaceGroup(std::move(rest));
+  }
+
+  const std::vector<std::int32_t>& ids() const { return places_; }
+
+ private:
+  std::vector<std::int32_t> places_;
+};
+
+/// Tracks liveness of the world's places.
+class PlaceManager {
+ public:
+  explicit PlaceManager(std::int32_t nplaces)
+      : alive_(static_cast<std::size_t>(nplaces), true), alive_count_(nplaces) {
+    require(nplaces > 0, "PlaceManager: need at least one place");
+  }
+
+  std::int32_t nplaces() const { return static_cast<std::int32_t>(alive_.size()); }
+  std::int32_t alive_count() const { return alive_count_; }
+
+  bool is_alive(std::int32_t place) const {
+    check_internal(place >= 0 && place < nplaces(), "PlaceManager: place out of range");
+    return alive_[static_cast<std::size_t>(place)];
+  }
+
+  /// Marks a place dead. Killing an already-dead place is an internal error;
+  /// killing the last place is a configuration error.
+  void kill(std::int32_t place) {
+    check_internal(is_alive(place), "PlaceManager::kill: place already dead");
+    require(alive_count_ > 1, "PlaceManager::kill: cannot kill the last place");
+    alive_[static_cast<std::size_t>(place)] = false;
+    --alive_count_;
+  }
+
+  PlaceGroup alive_group() const {
+    std::vector<std::int32_t> ids;
+    ids.reserve(static_cast<std::size_t>(alive_count_));
+    for (std::int32_t p = 0; p < nplaces(); ++p) {
+      if (alive_[static_cast<std::size_t>(p)]) ids.push_back(p);
+    }
+    return PlaceGroup(std::move(ids));
+  }
+
+ private:
+  std::vector<bool> alive_;
+  std::int32_t alive_count_;
+};
+
+}  // namespace dpx10

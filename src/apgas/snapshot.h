@@ -1,0 +1,74 @@
+// SnapshotVault<T> — the periodic-snapshot mechanism of Resilient X10's
+// ResilientDistArray (§VI-D's comparison baseline).
+//
+// The paper rejects periodic snapshots because "a large volume of
+// intermediate results may be produced in the progress of computing"; we
+// implement the mechanism anyway so the claim is measurable
+// (bench/ablate_recovery_policy). A snapshot captures every cell's
+// state+value at a consistent point; like ResilientDistArray's redundant
+// copies, the vault survives place deaths, so restore() works regardless of
+// which place died — at the price of rolling the whole computation back to
+// the snapshot instant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apgas/dist_array.h"
+#include "common/error.h"
+
+namespace dpx10 {
+
+template <typename T>
+class SnapshotVault {
+ public:
+  SnapshotVault() = default;
+
+  bool has_snapshot() const { return !states_.empty(); }
+
+  /// Number of Finished (not pre-finished) cells in the stored snapshot.
+  std::uint64_t finished_in_snapshot() const { return finished_; }
+
+  /// Captures the array. Caller must guarantee quiescence (both engines
+  /// pause all places, exactly like Resilient X10's global snapshot).
+  void capture(const DistArray<T>& array) {
+    const std::size_t n = static_cast<std::size_t>(array.size());
+    values_.resize(n);
+    states_.resize(n);
+    finished_ = 0;
+    for (std::int64_t idx = 0; idx < array.size(); ++idx) {
+      const Cell<T>& cell = array.cell(idx);
+      const CellState state = cell.load_state(std::memory_order_relaxed);
+      states_[static_cast<std::size_t>(idx)] = static_cast<std::uint8_t>(state);
+      if (state != CellState::Unfinished) {
+        values_[static_cast<std::size_t>(idx)] = cell.value;
+      }
+      if (state == CellState::Finished) ++finished_;
+    }
+  }
+
+  /// Rolls `array` (usually a fresh one over the survivors) back to the
+  /// snapshot: done cells get their snapshot values, everything newer is
+  /// dropped. Indegrees are NOT touched — the caller re-initializes them,
+  /// same as after a rebuild.
+  void restore(DistArray<T>& array) const {
+    check_internal(has_snapshot(), "SnapshotVault::restore: no snapshot taken");
+    check_internal(static_cast<std::int64_t>(states_.size()) == array.size(),
+                   "SnapshotVault::restore: size mismatch");
+    for (std::int64_t idx = 0; idx < array.size(); ++idx) {
+      Cell<T>& cell = array.cell(idx);
+      const auto state = static_cast<CellState>(states_[static_cast<std::size_t>(idx)]);
+      if (state != CellState::Unfinished) {
+        cell.value = values_[static_cast<std::size_t>(idx)];
+      }
+      cell.store_state(state, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::vector<T> values_;
+  std::vector<std::uint8_t> states_;
+  std::uint64_t finished_ = 0;
+};
+
+}  // namespace dpx10

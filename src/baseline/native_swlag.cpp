@@ -1,0 +1,172 @@
+#include "baseline/native_swlag.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "dp/swlag.h"
+
+namespace dpx10::baseline {
+
+using dp::SwlagCell;
+
+void spin_for_ns(double ns) {
+  if (ns <= 0.0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(static_cast<long>(ns));
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+namespace {
+
+/// Per-place ready deque with its own lock, exactly like the framework's,
+/// so queue mechanics are not part of the measured difference.
+struct NativePlace {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::int64_t> ready;
+};
+
+struct NativeState {
+  const std::string& a;
+  const std::string& b;
+  std::int32_t rows;
+  std::int32_t cols;
+  std::int32_t nplaces;
+  double work_ns = 0.0;
+  std::vector<SwlagCell> cells;
+  std::vector<std::atomic<std::int8_t>> indegree;
+  std::vector<NativePlace> places;
+  std::atomic<std::int64_t> finished{0};
+  std::int64_t total;
+  std::atomic<bool> done{false};
+
+  NativeState(const std::string& a_, const std::string& b_, std::int32_t nplaces_)
+      : a(a_),
+        b(b_),
+        rows(static_cast<std::int32_t>(a_.size()) + 1),
+        cols(static_cast<std::int32_t>(b_.size()) + 1),
+        nplaces(nplaces_),
+        cells(static_cast<std::size_t>(rows) * cols),
+        indegree(static_cast<std::size_t>(rows) * cols),
+        places(static_cast<std::size_t>(nplaces_)),
+        total(static_cast<std::int64_t>(rows) * cols) {}
+
+  std::int64_t index(std::int32_t i, std::int32_t j) const {
+    return static_cast<std::int64_t>(i) * cols + j;
+  }
+
+  // Same balanced row-block ownership as the framework's BlockRow dist.
+  std::int32_t owner(std::int32_t i) const {
+    std::int64_t p = (static_cast<std::int64_t>(i) * nplaces) / rows;
+    return p >= nplaces ? nplaces - 1 : static_cast<std::int32_t>(p);
+  }
+
+  void push_ready(std::int32_t place, std::int64_t idx) {
+    NativePlace& pl = places[static_cast<std::size_t>(place)];
+    {
+      std::lock_guard<std::mutex> lk(pl.mu);
+      pl.ready.push_back(idx);
+    }
+    pl.cv.notify_one();
+  }
+
+  void execute(std::int64_t idx) {
+    const std::int32_t i = static_cast<std::int32_t>(idx / cols);
+    const std::int32_t j = static_cast<std::int32_t>(idx % cols);
+    static const SwlagCell kBoundary{};
+    const SwlagCell& diag = (i > 0 && j > 0) ? cells[static_cast<std::size_t>(idx - cols - 1)]
+                                             : kBoundary;
+    const SwlagCell& top = i > 0 ? cells[static_cast<std::size_t>(idx - cols)] : kBoundary;
+    const SwlagCell& left = j > 0 ? cells[static_cast<std::size_t>(idx - 1)] : kBoundary;
+    cells[static_cast<std::size_t>(idx)] = dp::swlag_step(i, j, diag, top, left, a, b);
+    spin_for_ns(work_ns);
+
+    // Release successors: (i+1,j), (i,j+1), (i+1,j+1).
+    release(i + 1, j);
+    release(i, j + 1);
+    release(i + 1, j + 1);
+
+    if (finished.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      done.store(true, std::memory_order_release);
+      for (NativePlace& pl : places) pl.cv.notify_all();
+    }
+  }
+
+  void release(std::int32_t i, std::int32_t j) {
+    if (i >= rows || j >= cols) return;
+    const std::int64_t idx = index(i, j);
+    if (indegree[static_cast<std::size_t>(idx)].fetch_sub(1, std::memory_order_acq_rel) -
+            1 ==
+        0) {
+      push_ready(owner(i), idx);
+    }
+  }
+
+  void worker(std::int32_t place) {
+    NativePlace& pl = places[static_cast<std::size_t>(place)];
+    while (!done.load(std::memory_order_acquire)) {
+      std::int64_t idx = -1;
+      {
+        std::unique_lock<std::mutex> lk(pl.mu);
+        if (pl.ready.empty()) {
+          pl.cv.wait_for(lk, std::chrono::milliseconds(1));
+          continue;
+        }
+        idx = pl.ready.front();
+        pl.ready.pop_front();
+      }
+      execute(idx);
+    }
+  }
+};
+
+}  // namespace
+
+NativeRunResult native_swlag_threaded(const std::string& a, const std::string& b,
+                                      std::int32_t nplaces, std::int32_t nthreads,
+                                      double work_ns) {
+  require(nplaces > 0 && nthreads > 0, "native_swlag_threaded: bad topology");
+  NativeState st(a, b, nplaces);
+  st.work_ns = work_ns;
+
+  // Indegree = number of in-matrix predecessors among {top, left, diag}.
+  for (std::int32_t i = 0; i < st.rows; ++i) {
+    for (std::int32_t j = 0; j < st.cols; ++j) {
+      std::int8_t d = 0;
+      if (i > 0) ++d;
+      if (j > 0) ++d;
+      if (i > 0 && j > 0) ++d;
+      st.indegree[static_cast<std::size_t>(st.index(i, j))].store(
+          d, std::memory_order_relaxed);
+    }
+  }
+  st.push_ready(st.owner(0), st.index(0, 0));
+
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nplaces) * nthreads);
+  for (std::int32_t p = 0; p < nplaces; ++p) {
+    for (std::int32_t t = 0; t < nthreads; ++t) {
+      threads.emplace_back([&st, p] { st.worker(p); });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  NativeRunResult result;
+  result.elapsed_seconds = watch.seconds();
+  result.computed = static_cast<std::uint64_t>(st.total);
+  for (const SwlagCell& c : st.cells) {
+    if (c.h > result.best_score) result.best_score = c.h;
+  }
+  return result;
+}
+
+}  // namespace dpx10::baseline

@@ -1,0 +1,54 @@
+// Error taxonomy for the dpx10 framework.
+//
+// All exceptions thrown by the library derive from dpx10::Error so callers
+// can catch framework failures with a single handler while still
+// distinguishing configuration mistakes from runtime faults.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpx10 {
+
+/// Root of the dpx10 exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller supplied an invalid configuration (bad sizes, zero places,
+/// a distribution that does not cover the domain, ...). These indicate
+/// programming errors and are thrown before any execution begins.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated. Seeing this is a bug in dpx10.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Throw-if helpers keep precondition checks one-liners at call sites.
+/// The message must be built only on failure — these sit on hot paths, so
+/// the common form takes a string literal (no allocation when the check
+/// passes) and composed-message call sites pay for their std::string only
+/// when they actually compose one.
+inline void require(bool cond, const char* what) {
+  if (!cond) [[unlikely]] throw ConfigError(what);
+}
+
+inline void require(bool cond, const std::string& what) {
+  if (!cond) [[unlikely]] throw ConfigError(what);
+}
+
+inline void check_internal(bool cond, const char* what) {
+  if (!cond) [[unlikely]] throw InternalError(what);
+}
+
+inline void check_internal(bool cond, const std::string& what) {
+  if (!cond) [[unlikely]] throw InternalError(what);
+}
+
+}  // namespace dpx10

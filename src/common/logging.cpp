@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dpx10 {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("DPX10_LOG");
+    LogLevel initial = env ? parse_log_level(env) : LogLevel::Warn;
+    return static_cast<int>(initial);
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(level), std::memory_order_relaxed); }
+
+LogLevel parse_log_level(const std::string& text) {
+  if (text == "trace") return LogLevel::Trace;
+  if (text == "debug") return LogLevel::Debug;
+  if (text == "info") return LogLevel::Info;
+  if (text == "warn") return LogLevel::Warn;
+  if (text == "error") return LogLevel::Error;
+  if (text == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[dpx10 %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace dpx10

@@ -1,0 +1,61 @@
+// Minimal leveled logger.
+//
+// The framework is quiet by default (Warn level); benches and examples can
+// raise verbosity via set_log_level() or the DPX10_LOG environment variable
+// (one of: trace, debug, info, warn, error, off). Logging is safe to call
+// from any thread; each message is written with a single write so lines
+// never interleave.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dpx10 {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; returns Warn on junk.
+LogLevel parse_log_level(const std::string& text);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+}  // namespace dpx10
+
+#define DPX10_LOG(level)                           \
+  if (!::dpx10::log_enabled(::dpx10::LogLevel::level)) { \
+  } else                                           \
+    ::dpx10::detail::LogLine(::dpx10::LogLevel::level)
+
+#define DPX10_TRACE DPX10_LOG(Trace)
+#define DPX10_DEBUG DPX10_LOG(Debug)
+#define DPX10_INFO DPX10_LOG(Info)
+#define DPX10_WARN DPX10_LOG(Warn)
+#define DPX10_ERROR DPX10_LOG(Error)

@@ -1,0 +1,99 @@
+#include "common/options.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace dpx10 {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    require(!arg.empty(), "Options: bare '--' is not a valid flag");
+    std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // boolean flag form: --verbose
+    }
+  }
+}
+
+std::pair<bool, std::string> Options::lookup(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it != values_.end()) return {true, it->second};
+  std::string env_key = "DPX10_";
+  for (char c : key) {
+    env_key.push_back(c == '-' ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  if (const char* env = std::getenv(env_key.c_str())) return {true, env};
+  return {false, {}};
+}
+
+bool Options::has(const std::string& key) const { return lookup(key).first; }
+
+std::string Options::get(const std::string& key, const std::string& fallback) const {
+  auto [found, value] = lookup(key);
+  return found ? value : fallback;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) const {
+  auto [found, value] = lookup(key);
+  if (!found) return fallback;
+  try {
+    return std::stoll(value);
+  } catch (const std::exception&) {
+    throw ConfigError("option --" + key + ": expected integer, got '" + value + "'");
+  }
+}
+
+std::uint64_t Options::get_scaled(const std::string& key, std::uint64_t fallback) const {
+  auto [found, value] = lookup(key);
+  if (!found) return fallback;
+  return parse_scaled_u64(value);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  auto [found, value] = lookup(key);
+  if (!found) return fallback;
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    throw ConfigError("option --" + key + ": expected number, got '" + value + "'");
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  auto [found, value] = lookup(key);
+  if (!found) return fallback;
+  if (value == "true" || value == "1" || value == "yes" || value == "on") return true;
+  if (value == "false" || value == "0" || value == "no" || value == "off") return false;
+  throw ConfigError("option --" + key + ": expected boolean, got '" + value + "'");
+}
+
+std::vector<std::int64_t> Options::get_int_list(const std::string& key,
+                                                std::vector<std::int64_t> fallback) const {
+  auto [found, value] = lookup(key);
+  if (!found) return fallback;
+  std::vector<std::int64_t> out;
+  for (const std::string& part : split(value, ',')) {
+    std::string p = trim(part);
+    if (p.empty()) continue;
+    try {
+      out.push_back(std::stoll(p));
+    } catch (const std::exception&) {
+      throw ConfigError("option --" + key + ": expected integer list, got '" + value + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace dpx10

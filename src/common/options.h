@@ -1,0 +1,48 @@
+// Tiny CLI/environment option parser used by benches and examples.
+//
+// Values resolve in priority order: command line (--key=value or
+// --key value) > environment (DPX10_KEY, upper-cased, '-'→'_') > default.
+// This mirrors how the paper's experiments were driven by X10_NPLACES /
+// X10_NTHREADS environment variables while letting bench sweeps override
+// per invocation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dpx10 {
+
+class Options {
+ public:
+  Options() = default;
+  /// Parses argv; unrecognized positional arguments are kept in
+  /// positional(). Throws ConfigError on malformed flags.
+  Options(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  /// Accepts k/m/g suffixes: --vertices=300m.
+  std::uint64_t get_scaled(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --nodes=2,4,6,8,10,12.
+  std::vector<std::int64_t> get_int_list(const std::string& key,
+                                         std::vector<std::int64_t> fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  /// Returns the raw string for key from CLI then environment, or empty
+  /// optional-like pair (found, value).
+  std::pair<bool, std::string> lookup(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dpx10

@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything random in dpx10 (random scheduling, workload generators, fault
+// points in sweeps) flows through these generators so that a run is fully
+// reproducible from a single seed. We use SplitMix64 for seeding/stateless
+// hashing and xoshiro256** for streams — both are tiny, fast, and have
+// well-studied statistical quality, which matters more here than
+// cryptographic strength.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dpx10 {
+
+/// One SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+/// Stateless — ideal for hashing coordinates into reproducible "random"
+/// workload data (e.g. Manhattan-Tourists edge weights).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mixes two 64-bit values; used to derive independent per-place streams
+/// from a run seed.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // Seed the full 256-bit state through SplitMix64 per the authors'
+    // recommendation; guarantees a nonzero state for any seed.
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    while (true) {
+      std::uint64_t x = (*this)();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= std::uint64_t(-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dpx10

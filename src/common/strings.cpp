@@ -1,0 +1,100 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace dpx10 {
+
+std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(delim, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string human_bytes(double bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return strformat("%.2f %s", bytes, units[unit]);
+}
+
+std::string human_seconds(double seconds) {
+  if (seconds >= 1.0) return strformat("%.3f s", seconds);
+  if (seconds >= 1e-3) return strformat("%.3f ms", seconds * 1e3);
+  if (seconds >= 1e-6) return strformat("%.3f us", seconds * 1e6);
+  return strformat("%.1f ns", seconds * 1e9);
+}
+
+std::uint64_t parse_scaled_u64(const std::string& text) {
+  std::string t = trim(text);
+  require(!t.empty(), "parse_scaled_u64: empty string");
+  std::uint64_t scale = 1;
+  char last = static_cast<char>(std::tolower(static_cast<unsigned char>(t.back())));
+  if (last == 'k') scale = 1000ULL;
+  if (last == 'm') scale = 1000000ULL;
+  if (last == 'g') scale = 1000000000ULL;
+  if (scale != 1) t.pop_back();
+  require(!t.empty(), "parse_scaled_u64: missing digits in '" + text + "'");
+  std::uint64_t value = 0;
+  for (char c : t) {
+    require(c >= '0' && c <= '9', "parse_scaled_u64: bad digit in '" + text + "'");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value * scale;
+}
+
+}  // namespace dpx10

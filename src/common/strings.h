@@ -1,0 +1,32 @@
+// Small string/formatting helpers shared by benches, examples and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpx10 {
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a delimiter; empty fields are preserved ("a,,b" -> {a,"",b}).
+std::vector<std::string> split(const std::string& text, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& text);
+
+/// "1234567" -> "1,234,567" for readable bench tables.
+std::string with_commas(std::uint64_t value);
+
+/// Human-readable byte count: "3.2 MiB".
+std::string human_bytes(double bytes);
+
+/// Human-readable seconds: "1.24 s", "830 ms", "12.1 us".
+std::string human_seconds(double seconds);
+
+/// Parses a non-negative integer with optional k/m/g (×1000) suffix,
+/// e.g. "300m" -> 300000000. Throws ConfigError on junk.
+std::uint64_t parse_scaled_u64(const std::string& text);
+
+}  // namespace dpx10

@@ -1,0 +1,44 @@
+// VertexId — the 2D coordinate of a DP-matrix cell.
+//
+// The paper identifies every vertex by its (i, j) pair; the pair is the
+// unique identifier passed to compute() and returned by the pattern's
+// dependency methods. It lives in common/ because every layer (domains,
+// distributions, patterns, engines) speaks in these coordinates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace dpx10 {
+
+struct VertexId {
+  std::int32_t i = 0;
+  std::int32_t j = 0;
+
+  friend bool operator==(const VertexId&, const VertexId&) = default;
+
+  /// Row-major ordering; handy for sorting dependency lists in tests.
+  friend bool operator<(const VertexId& x, const VertexId& y) {
+    if (x.i != y.i) return x.i < y.i;
+    return x.j < y.j;
+  }
+
+  /// Packs the pair into one 64-bit key (for hash maps and caches).
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(j));
+  }
+};
+
+}  // namespace dpx10
+
+template <>
+struct std::hash<dpx10::VertexId> {
+  std::size_t operator()(const dpx10::VertexId& id) const noexcept {
+    // splitmix-style finalizer over the packed key
+    std::uint64_t x = id.key();
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

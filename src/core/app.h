@@ -1,0 +1,60 @@
+// DPX10App<T> — the user-facing application interface (paper Fig. 2).
+//
+// Writing a DPX10 application is exactly the paper's three steps:
+//   1. choose a built-in DAG pattern or subclass Dag,
+//   2. subclass DPX10App<T> and implement compute() / app_finished(),
+//   3. launch through an engine (ThreadedEngine or SimEngine).
+//
+// T is the value type associated with every vertex; limiting framework-
+// managed state to one value per vertex is what keeps distribution and
+// fault tolerance simple (§V).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "core/dag_view.h"
+#include "core/vertex.h"
+
+namespace dpx10 {
+
+template <typename T>
+class DPX10App {
+ public:
+  virtual ~DPX10App() = default;
+
+  /// The DP recurrence for cell (i, j). `deps` holds every dependency
+  /// vertex declared by the DAG pattern, already computed; order is
+  /// unspecified (match on i()/j() as the paper's examples do). Must be
+  /// thread-safe: the threaded engine invokes it concurrently from many
+  /// places.
+  virtual T compute(std::int32_t i, std::int32_t j, std::span<const Vertex<T>> deps) = 0;
+
+  /// Invoked once, after every vertex has finished — process the final
+  /// result here (traceback, reductions, ...).
+  virtual void app_finished(const DagView<T>& dag) { (void)dag; }
+
+  /// Relative cost of computing vertex `id`, in units of one "typical"
+  /// vertex. The SimEngine multiplies its per-vertex compute cost by this;
+  /// coarse-grained apps (e.g. tiled execution, where one vertex covers a
+  /// whole block of cells) override it so virtual time stays comparable
+  /// across granularities.
+  virtual double compute_cost_units(VertexId id) const {
+    (void)id;
+    return 1.0;
+  }
+
+  /// "Initialization of DAG" refinement (§VI-E): return a value to mark a
+  /// cell finished before execution starts (it is never scheduled and never
+  /// appears as an unfinished dependency). Default: no cell is pre-set.
+  virtual std::optional<T> initial_value(VertexId id) const {
+    (void)id;
+    return std::nullopt;
+  }
+
+  virtual std::string_view name() const { return "app"; }
+};
+
+}  // namespace dpx10

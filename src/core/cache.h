@@ -1,0 +1,178 @@
+// FifoVertexCache<T> — the per-place remote-vertex cache (§VI-C).
+//
+// "The worker maintains a cache list that caches recently transmitted
+// vertices. For efficiency, the cache list is implemented using a static
+// array and its size can be specified by the user. We adopt a simple FIFO
+// replacement mechanism." We keep exactly that: a fixed ring of entries
+// plus an index for O(1) lookup. Capacity 0 disables caching (as the
+// paper's overhead experiment does).
+//
+// Thread safety is the caller's concern: the threaded engine guards each
+// place's cache with that place's cache mutex; the simulator is
+// single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/vertex_id.h"
+
+namespace dpx10 {
+
+template <typename T>
+class FifoVertexCache {
+ public:
+  explicit FifoVertexCache(std::size_t capacity) : capacity_(capacity) {
+    entries_.reserve(capacity_);
+    index_.reserve(capacity_ * 2);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Looks up `id`; on hit copies the cached value into `out`.
+  bool get(VertexId id, T& out) const {
+    auto it = index_.find(id.key());
+    if (it == index_.end()) return false;
+    out = entries_[it->second].value;
+    return true;
+  }
+
+  /// Inserts (id, value), evicting the oldest entry when full. Re-inserting
+  /// a present key refreshes its value but not its age (pure FIFO).
+  void put(VertexId id, const T& value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(id.key());
+    if (it != index_.end()) {
+      entries_[it->second].value = value;
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      index_.emplace(id.key(), entries_.size());
+      entries_.push_back(Entry{id.key(), value});
+      return;
+    }
+    // Evict the slot the FIFO cursor points at.
+    Entry& victim = entries_[cursor_];
+    index_.erase(victim.key);
+    victim.key = id.key();
+    victim.value = value;
+    index_.emplace(id.key(), cursor_);
+    cursor_ = (cursor_ + 1) % capacity_;
+  }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+    cursor_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    T value;
+  };
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::size_t cursor_ = 0;
+};
+
+/// LRU alternative to the paper's FIFO list. The paper argues FIFO is
+/// enough "considering that the DP algorithm normally has a regular DAG
+/// pattern and each vertex may only be needed in a short period";
+/// bench/ablate_cache puts that argument to the test by running both
+/// policies on regular (SWLAG) and irregular (0/1KP) access patterns.
+template <typename T>
+class LruVertexCache {
+ public:
+  explicit LruVertexCache(std::size_t capacity) : capacity_(capacity) {
+    index_.reserve(capacity_ * 2);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return order_.size(); }
+
+  /// Lookup; a hit refreshes the entry's recency.
+  bool get(VertexId id, T& out) {
+    auto it = index_.find(id.key());
+    if (it == index_.end()) return false;
+    order_.splice(order_.begin(), order_, it->second);  // move to front
+    out = it->second->value;
+    return true;
+  }
+
+  void put(VertexId id, const T& value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(id.key());
+    if (it != index_.end()) {
+      it->second->value = value;
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() == capacity_) {
+      index_.erase(order_.back().key);
+      order_.pop_back();
+    }
+    order_.push_front(Entry{id.key(), value});
+    index_.emplace(id.key(), order_.begin());
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    T value;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator> index_;
+};
+
+/// Runtime-selectable cache used by the engines.
+enum class CachePolicy : std::uint8_t { Fifo = 0, Lru };
+
+inline std::string_view cache_policy_name(CachePolicy p) {
+  return p == CachePolicy::Fifo ? "fifo" : "lru";
+}
+
+template <typename T>
+class VertexCache {
+ public:
+  VertexCache(CachePolicy policy, std::size_t capacity)
+      : policy_(policy), fifo_(policy == CachePolicy::Fifo ? capacity : 0),
+        lru_(policy == CachePolicy::Lru ? capacity : 0) {}
+
+  bool get(VertexId id, T& out) {
+    return policy_ == CachePolicy::Fifo ? fifo_.get(id, out) : lru_.get(id, out);
+  }
+
+  void put(VertexId id, const T& value) {
+    if (policy_ == CachePolicy::Fifo) {
+      fifo_.put(id, value);
+    } else {
+      lru_.put(id, value);
+    }
+  }
+
+  void clear() {
+    fifo_.clear();
+    lru_.clear();
+  }
+
+ private:
+  CachePolicy policy_;
+  FifoVertexCache<T> fifo_;
+  LruVertexCache<T> lru_;
+};
+
+}  // namespace dpx10

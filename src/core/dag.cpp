@@ -1,0 +1,14 @@
+#include "core/dag.h"
+
+#include "common/error.h"
+
+namespace dpx10 {
+
+Dag::Dag(std::int32_t height, std::int32_t width, DagDomain domain)
+    : height_(height), width_(width), domain_(domain) {
+  require(height > 0 && width > 0, "Dag: height and width must be positive");
+  require(domain.height() == height && domain.width() == width,
+          "Dag: domain extent does not match DAG size");
+}
+
+}  // namespace dpx10

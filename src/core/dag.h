@@ -1,0 +1,65 @@
+// Dag — the paper's central abstraction (§IV, §V-A).
+//
+// A Dag describes a family of DP problems that share one dependency
+// structure and differ only in size. Subclasses implement the two methods
+// the paper requires of a custom pattern:
+//
+//   dependencies(v)      — vertices that must finish before v can run
+//   anti_dependencies(v) — vertices whose indegree drops when v finishes
+//
+// Unlike the X10 original, Dag is not templated on the vertex value type:
+// the structure of the graph is independent of what the cells store, which
+// lets one pattern instance serve any application and keeps the pattern
+// library out of template code.
+//
+// Contract for both methods: every returned id must lie inside domain()
+// (use emit_if) and the two must be duals of each other
+// (u ∈ deps(v) ⇔ v ∈ antideps(u)); tests/patterns_property_test.cpp
+// enforces this for every shipped pattern.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "apgas/domain.h"
+#include "common/vertex_id.h"
+
+namespace dpx10 {
+
+class Dag {
+ public:
+  Dag(std::int32_t height, std::int32_t width, DagDomain domain);
+  virtual ~Dag() = default;
+
+  Dag(const Dag&) = delete;
+  Dag& operator=(const Dag&) = delete;
+
+  /// Appends the predecessors of `v` to `out` (does not clear `out`).
+  virtual void dependencies(VertexId v, std::vector<VertexId>& out) const = 0;
+
+  /// Appends the successors of `v` to `out` (does not clear `out`).
+  virtual void anti_dependencies(VertexId v, std::vector<VertexId>& out) const = 0;
+
+  virtual std::string_view name() const = 0;
+
+  std::int32_t height() const { return height_; }
+  std::int32_t width() const { return width_; }
+  const DagDomain& domain() const { return domain_; }
+
+ protected:
+  /// Appends {i, j} to `out` iff it is a valid cell of the domain — the
+  /// standard way for patterns to express edges without boundary case
+  /// analysis.
+  void emit_if(std::int32_t i, std::int32_t j, std::vector<VertexId>& out) const {
+    VertexId id{i, j};
+    if (domain_.contains(id)) out.push_back(id);
+  }
+
+ private:
+  std::int32_t height_;
+  std::int32_t width_;
+  DagDomain domain_;
+};
+
+}  // namespace dpx10

@@ -1,0 +1,121 @@
+#include "core/dag_validate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace dpx10 {
+
+namespace {
+
+std::string cell_name(VertexId v) {
+  return strformat("(%d,%d)", v.i, v.j);
+}
+
+}  // namespace
+
+DagValidation validate_dag(const Dag& dag, std::size_t max_problems) {
+  const DagDomain& domain = dag.domain();
+  DagValidation result;
+  auto report = [&](std::string problem) {
+    result.ok = false;
+    if (result.problems.size() < max_problems) {
+      result.problems.push_back(std::move(problem));
+    }
+  };
+
+  // Pass 1: local well-formedness + collect both edge sets.
+  std::set<std::pair<std::int64_t, std::int64_t>> forward;   // dep -> cell
+  std::set<std::pair<std::int64_t, std::int64_t>> backward;  // cell -> antidep
+  std::vector<std::int32_t> indegree(static_cast<std::size_t>(domain.size()), 0);
+  std::vector<VertexId> out;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    VertexId v = domain.delinearize(idx);
+    for (bool anti : {false, true}) {
+      out.clear();
+      if (anti) {
+        dag.anti_dependencies(v, out);
+      } else {
+        dag.dependencies(v, out);
+      }
+      std::set<std::int64_t> seen;
+      for (VertexId u : out) {
+        if (!domain.contains(u)) {
+          report(cell_name(v) + (anti ? " anti-dependency " : " dependency ") +
+                 cell_name(u) + " is outside the domain");
+          continue;
+        }
+        if (u == v) {
+          report(cell_name(v) + " has a self-edge");
+          continue;
+        }
+        const std::int64_t uidx = domain.linearize(u);
+        if (!seen.insert(uidx).second) {
+          report(cell_name(v) + " lists " + cell_name(u) +
+                 (anti ? " twice in anti_dependencies" : " twice in dependencies"));
+          continue;
+        }
+        if (anti) {
+          backward.insert({idx, uidx});
+        } else {
+          forward.insert({uidx, idx});
+          ++indegree[static_cast<std::size_t>(idx)];
+        }
+      }
+    }
+  }
+  result.edges = static_cast<std::int64_t>(forward.size());
+
+  // Pass 2: duality.
+  for (const auto& [u, v] : forward) {
+    if (!backward.count({u, v})) {
+      report(cell_name(domain.delinearize(v)) + " depends on " +
+             cell_name(domain.delinearize(u)) +
+             " but is missing from its anti_dependencies");
+    }
+  }
+  for (const auto& [u, v] : backward) {
+    if (!forward.count({u, v})) {
+      report(cell_name(domain.delinearize(u)) + " lists anti-dependency " +
+             cell_name(domain.delinearize(v)) +
+             " which does not declare it as a dependency");
+    }
+  }
+
+  // Pass 3: Kahn — acyclicity and completeness.
+  std::vector<std::int64_t> frontier;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    if (indegree[static_cast<std::size_t>(idx)] == 0) frontier.push_back(idx);
+  }
+  result.seeds = static_cast<std::int64_t>(frontier.size());
+  if (frontier.empty()) {
+    report("no zero-indegree seeds: the computation can never start");
+    return result;
+  }
+  std::int64_t consumed = 0;
+  std::vector<std::int32_t> remaining = indegree;
+  while (!frontier.empty()) {
+    std::int64_t idx = frontier.back();
+    frontier.pop_back();
+    ++consumed;
+    out.clear();
+    dag.anti_dependencies(domain.delinearize(idx), out);
+    for (VertexId u : out) {
+      if (!domain.contains(u)) continue;  // already reported above
+      const std::int64_t uidx = domain.linearize(u);
+      if (forward.count({idx, uidx}) &&
+          --remaining[static_cast<std::size_t>(uidx)] == 0) {
+        frontier.push_back(uidx);
+      }
+    }
+  }
+  if (consumed != domain.size()) {
+    report(strformat("only %lld of %lld cells are reachable (cycle or missing edges)",
+                     static_cast<long long>(consumed),
+                     static_cast<long long>(domain.size())));
+  }
+  return result;
+}
+
+}  // namespace dpx10

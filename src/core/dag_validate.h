@@ -1,0 +1,34 @@
+// validate_dag — structural checker for custom DAG patterns.
+//
+// The engine's correctness rests on two contracts a custom pattern must
+// honor (core/dag.h): dependencies/anti_dependencies are exact duals, and
+// the graph is acyclic with every cell reachable from the zero-indegree
+// seeds. Pattern authors run this once in a test (it is O(V + E) time and
+// O(V + E) memory — not for billion-vertex production DAGs) and get a
+// precise diagnostic instead of an engine hang.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dag.h"
+
+namespace dpx10 {
+
+struct DagValidation {
+  bool ok = true;
+  /// Human-readable findings; empty when ok.
+  std::vector<std::string> problems;
+  std::int64_t edges = 0;
+  std::int64_t seeds = 0;  ///< zero-indegree cells
+};
+
+/// Checks, for every cell of `dag.domain()`:
+///  * emitted ids lie inside the domain,
+///  * no self-edges and no duplicate edges,
+///  * duality: u in deps(v) <=> v in antideps(u),
+///  * Kahn's algorithm consumes the whole domain (acyclic & complete).
+/// Stops collecting after `max_problems` findings.
+DagValidation validate_dag(const Dag& dag, std::size_t max_problems = 16);
+
+}  // namespace dpx10

@@ -1,0 +1,50 @@
+// DagView<T> — read-only access to the finished computation.
+//
+// Passed to DPX10App::app_finished() (paper Fig. 2: "the argument dag can
+// be used to access the result of each vertex") and used by result
+// processing such as traceback. Only finished cells may be read.
+#pragma once
+
+#include "apgas/dist_array.h"
+#include "common/error.h"
+
+namespace dpx10 {
+
+template <typename T>
+class DagView {
+ public:
+  explicit DagView(const DistArray<T>& array) : array_(&array) {}
+
+  const DagDomain& domain() const { return array_->domain(); }
+
+  bool contains(std::int32_t i, std::int32_t j) const {
+    return domain().contains(VertexId{i, j});
+  }
+
+  bool finished(std::int32_t i, std::int32_t j) const {
+    return array_->cell(VertexId{i, j}).is_done();
+  }
+
+  /// Result of cell (i, j). Requires the cell to be in the domain and
+  /// finished (always true in app_finished()).
+  const T& at(std::int32_t i, std::int32_t j) const {
+    const Cell<T>& cell = array_->cell(VertexId{i, j});
+    check_internal(cell.is_done(), "DagView::at: reading an unfinished vertex");
+    return cell.value;
+  }
+
+  /// at(i, j) when the cell exists and is finished, `fallback` otherwise —
+  /// convenient for boundary-free traceback loops.
+  T value_or(std::int32_t i, std::int32_t j, T fallback) const {
+    VertexId id{i, j};
+    if (!domain().contains(id)) return fallback;
+    const Cell<T>& cell = array_->cell(id);
+    if (!cell.is_done()) return fallback;
+    return cell.value;
+  }
+
+ private:
+  const DistArray<T>* array_;
+};
+
+}  // namespace dpx10

@@ -1,0 +1,26 @@
+// Umbrella header: everything a DPX10 application needs.
+//
+//   #include "core/dpx10.h"
+//
+//   class MyApp : public dpx10::DPX10App<int> { ... };
+//   auto dag = dpx10::patterns::make_pattern("left-top-diag", n, m);
+//   dpx10::ThreadedEngine<int> engine(options);
+//   dpx10::RunReport report = engine.run(*dag, app);
+#pragma once
+
+#include "apgas/dist.h"
+#include "apgas/dist_array.h"
+#include "apgas/domain.h"
+#include "apgas/fault.h"
+#include "apgas/place.h"
+#include "common/vertex_id.h"
+#include "core/app.h"
+#include "core/cache.h"
+#include "core/dag.h"
+#include "core/dag_view.h"
+#include "core/metrics.h"
+#include "core/patterns/registry.h"
+#include "core/runtime_options.h"
+#include "core/sim_engine.h"
+#include "core/threaded_engine.h"
+#include "core/vertex.h"

@@ -1,0 +1,176 @@
+// Engine-shared logic: DAG initialization and post-failure rebuild.
+//
+// Both engines (threaded and simulated) perform the same two structural
+// phases — §VI-A step 1 (distribute and initialize all vertices, compute
+// indegrees, find the zero-indegree seeds) and §VI-D recovery (rebuild the
+// distributed array over the survivors, restore what the restore mode
+// allows, re-initialize the rest). Keeping them here guarantees the two
+// engines cannot drift apart semantically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apgas/dist_array.h"
+#include "core/app.h"
+#include "core/dag.h"
+#include "core/metrics.h"
+#include "core/runtime_options.h"
+#include "core/value_traits.h"
+#include "net/traffic.h"
+
+namespace dpx10::detail {
+
+struct InitSummary {
+  std::uint64_t prefinished = 0;  ///< cells set by initial_value()
+  std::uint64_t to_compute = 0;   ///< cells the engines must schedule
+};
+
+/// Applies DPX10App::initial_value() and computes every cell's indegree
+/// (number of dependencies that are not pre-finished). Single-threaded; the
+/// paper initializes in parallel across places, but this is a one-time
+/// O(edges) pass whose cost both engines exclude from measured time, as the
+/// paper excludes graph-generation time (§VIII).
+template <typename T>
+InitSummary initialize_cells(DistArray<T>& array, const Dag& dag, const DPX10App<T>& app) {
+  const DagDomain& domain = array.domain();
+  InitSummary summary;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    VertexId id = domain.delinearize(idx);
+    Cell<T>& cell = array.cell(idx);
+    if (auto init = app.initial_value(id)) {
+      cell.value = *init;
+      cell.store_state(CellState::Prefinished, std::memory_order_relaxed);
+      ++summary.prefinished;
+    }
+  }
+  std::vector<VertexId> deps;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    Cell<T>& cell = array.cell(idx);
+    if (cell.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
+    deps.clear();
+    dag.dependencies(domain.delinearize(idx), deps);
+    std::int32_t indegree = 0;
+    for (VertexId d : deps) {
+      if (array.cell(d).load_state(std::memory_order_relaxed) != CellState::Prefinished) {
+        ++indegree;
+      }
+    }
+    cell.indegree.store(indegree, std::memory_order_relaxed);
+    ++summary.to_compute;
+  }
+  return summary;
+}
+
+/// Invokes `push(owner_place, index)` for every schedulable seed vertex
+/// (unfinished, indegree zero). Used both at startup and after recovery.
+template <typename T, typename Push>
+void seed_ready(const DistArray<T>& array, Push&& push) {
+  for (std::int64_t idx = 0; idx < array.size(); ++idx) {
+    const Cell<T>& cell = array.cell(idx);
+    if (cell.load_state(std::memory_order_relaxed) != CellState::Unfinished) continue;
+    if (cell.indegree.load(std::memory_order_relaxed) != 0) continue;
+    push(array.owner_place(array.domain().delinearize(idx)), idx);
+  }
+}
+
+/// Re-derives every unfinished cell's indegree from the current finished
+/// set — the final step of both recovery policies (rebuild and
+/// snapshot-rollback re-initialize "all unfinished vertices in the new
+/// array ... reset the indegree", §VI-D).
+template <typename T>
+void recompute_indegrees(DistArray<T>& array, const Dag& dag) {
+  const DagDomain& domain = array.domain();
+  std::vector<VertexId> deps;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    Cell<T>& cell = array.cell(idx);
+    if (cell.load_state(std::memory_order_relaxed) != CellState::Unfinished) continue;
+    deps.clear();
+    dag.dependencies(domain.delinearize(idx), deps);
+    std::int32_t indegree = 0;
+    for (VertexId d : deps) {
+      if (array.cell(d).load_state(std::memory_order_relaxed) == CellState::Unfinished) {
+        ++indegree;
+      }
+    }
+    cell.indegree.store(indegree, std::memory_order_relaxed);
+  }
+}
+
+/// Rebuilds `fresh` (already constructed over the survivor group) from
+/// `old_array` after `dead_place` died, per §VI-D:
+///   * pre-finished cells are re-derived from the app's initializer — they
+///     are pure functions of the input, never data to recover;
+///   * finished cells whose data lived on the dead place are lost;
+///   * finished cells that stay with their old owner are restored in place;
+///   * finished cells whose owner changed are restored over the network
+///     only under RestoreMode::RestoreRemote (the §VI-E "restore manner"),
+///     otherwise discarded for recomputation — the paper's default, chosen
+///     because recomputing is usually cheaper than copying;
+///   * every unfinished cell gets its indegree recomputed from the new
+///     finished set.
+/// Returns the recovery census; timing fields are filled by the caller.
+template <typename T>
+RecoveryRecord rebuild_after_death(const DistArray<T>& old_array, std::int32_t dead_place,
+                                   RestoreMode mode, const Dag& dag,
+                                   const DPX10App<T>& app, DistArray<T>& fresh,
+                                   net::TrafficBook& book) {
+  const DagDomain& domain = old_array.domain();
+  RecoveryRecord record;
+  record.dead_place = dead_place;
+
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    VertexId id = domain.delinearize(idx);
+    const Cell<T>& old_cell = old_array.cell(idx);
+    Cell<T>& new_cell = fresh.cell(idx);
+    switch (old_cell.load_state(std::memory_order_relaxed)) {
+      case CellState::Prefinished: {
+        auto init = app.initial_value(id);
+        check_internal(init.has_value(),
+                       "rebuild_after_death: initial_value() is not stable");
+        new_cell.value = *init;
+        new_cell.store_state(CellState::Prefinished, std::memory_order_relaxed);
+        break;
+      }
+      case CellState::Finished: {
+        const std::int32_t old_owner = old_array.owner_place(id);
+        if (old_owner == dead_place) {
+          ++record.lost;  // wiped with the place; stays Unfinished
+          break;
+        }
+        const std::int32_t new_owner = fresh.owner_place(id);
+        if (new_owner != old_owner) {
+          if (mode == RestoreMode::DiscardRemote) {
+            ++record.discarded;  // cheaper to recompute than to copy
+            break;
+          }
+          book.record(old_owner, new_owner, net::MessageKind::RecoveryTransfer,
+                      value_wire_bytes(old_cell.value));
+          ++record.restored_remote;
+        }
+        new_cell.value = old_cell.value;
+        new_cell.store_state(CellState::Finished, std::memory_order_relaxed);
+        ++record.restored;
+        break;
+      }
+      case CellState::Unfinished:
+        break;
+    }
+  }
+
+  recompute_indegrees(fresh, dag);
+  return record;
+}
+
+/// Number of Finished (not pre-finished) cells — the engines' finished
+/// counter is reset to this after recovery.
+template <typename T>
+std::uint64_t count_finished(const DistArray<T>& array) {
+  std::uint64_t n = 0;
+  for (std::int64_t idx = 0; idx < array.size(); ++idx) {
+    if (array.cell(idx).load_state(std::memory_order_relaxed) == CellState::Finished) ++n;
+  }
+  return n;
+}
+
+}  // namespace dpx10::detail

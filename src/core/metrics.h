@@ -1,0 +1,111 @@
+// Run metrics: per-place counters, recovery records and the RunReport both
+// engines return.
+//
+// Counters are the quantities the paper reasons about: computed vertices,
+// local vs remote dependency reads, cache effectiveness, control messages,
+// and for the simulator, per-place busy time (utilization). Tests assert
+// conservation laws over these (see DESIGN.md §6).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/traffic.h"
+
+namespace dpx10 {
+
+struct PlaceStats {
+  std::uint64_t computed = 0;           ///< compute() invocations on this place
+  std::uint64_t executed_nonlocal = 0;  ///< of which the vertex's owner was elsewhere
+  std::uint64_t local_dep_reads = 0;
+  std::uint64_t remote_fetches = 0;  ///< cache misses that went to the network
+  std::uint64_t cache_hits = 0;
+  std::uint64_t control_msgs_out = 0;  ///< remote indegree decrements sent
+  std::uint64_t steals = 0;            ///< vertices stolen by this place
+  double busy_seconds = 0.0;           ///< SimEngine: slot-occupied time
+
+  PlaceStats& operator+=(const PlaceStats& o) {
+    computed += o.computed;
+    executed_nonlocal += o.executed_nonlocal;
+    local_dep_reads += o.local_dep_reads;
+    remote_fetches += o.remote_fetches;
+    cache_hits += o.cache_hits;
+    control_msgs_out += o.control_msgs_out;
+    steals += o.steals;
+    busy_seconds += o.busy_seconds;
+    return *this;
+  }
+};
+
+/// Same counters as atomics, for the threaded engine's concurrent updates.
+struct AtomicPlaceStats {
+  std::atomic<std::uint64_t> computed{0};
+  std::atomic<std::uint64_t> executed_nonlocal{0};
+  std::atomic<std::uint64_t> local_dep_reads{0};
+  std::atomic<std::uint64_t> remote_fetches{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> control_msgs_out{0};
+  std::atomic<std::uint64_t> steals{0};
+
+  PlaceStats snapshot() const {
+    PlaceStats s;
+    s.computed = computed.load(std::memory_order_relaxed);
+    s.executed_nonlocal = executed_nonlocal.load(std::memory_order_relaxed);
+    s.local_dep_reads = local_dep_reads.load(std::memory_order_relaxed);
+    s.remote_fetches = remote_fetches.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.control_msgs_out = control_msgs_out.load(std::memory_order_relaxed);
+    s.steals = steals.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+/// One vertex execution in the simulator (RuntimeOptions::record_trace):
+/// the slot was occupied on `place` for [start, end). Executions discarded
+/// by a fault appear too — they occupied real (virtual) slot time.
+struct TraceEvent {
+  std::int64_t index = 0;   ///< domain linear index of the vertex
+  std::int32_t place = -1;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct RecoveryRecord {
+  std::int32_t dead_place = -1;
+  double started_at = 0.0;         ///< seconds into the run (virtual or wall)
+  double recovery_seconds = 0.0;   ///< duration of the recovery phase
+  std::uint64_t lost = 0;          ///< finished vertices wiped with the place
+  std::uint64_t restored = 0;        ///< finished vertices whose value survived
+  std::uint64_t restored_remote = 0; ///< of which crossed the network
+                                     ///< (RestoreMode::RestoreRemote only)
+  std::uint64_t discarded = 0;       ///< finished-on-survivor values dropped
+                                     ///< by the discard-remote restore mode
+};
+
+struct RunReport {
+  std::string app_name;
+  std::string dag_name;
+  std::uint64_t vertices = 0;        ///< |domain|
+  std::uint64_t prefinished = 0;     ///< cells set by initial_value()
+  std::uint64_t computed = 0;        ///< total compute() calls (> vertices
+                                     ///< - prefinished when faults recompute)
+  double elapsed_seconds = 0.0;      ///< wall (threaded) or virtual (sim)
+  double recovery_seconds = 0.0;     ///< total time spent in recovery
+  std::uint64_t snapshots_taken = 0; ///< PeriodicSnapshot policy only
+  double snapshot_seconds = 0.0;     ///< total time paused for snapshots
+  std::vector<PlaceStats> places;
+  std::vector<RecoveryRecord> recoveries;
+  net::TrafficSnapshot traffic;      ///< whole-run totals
+  std::uint64_t sim_events = 0;      ///< SimEngine: events processed
+  std::vector<TraceEvent> trace;     ///< SimEngine, record_trace only
+
+  PlaceStats totals() const {
+    PlaceStats t;
+    for (const PlaceStats& p : places) t += p;
+    return t;
+  }
+};
+
+}  // namespace dpx10

@@ -1,0 +1,27 @@
+// Pattern (f): each cell depends only on its top-left diagonal neighbour.
+//
+// Diagonals are independent chains; used by recurrences that advance both
+// indices together (e.g. match-only alignment scoring).
+#pragma once
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+class DiagOnlyDag final : public Dag {
+ public:
+  DiagOnlyDag(std::int32_t height, std::int32_t width)
+      : Dag(height, width, DagDomain::rect(height, width)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i - 1, v.j - 1, out);
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i + 1, v.j + 1, out);
+  }
+
+  std::string_view name() const override { return "diag"; }
+};
+
+}  // namespace dpx10::patterns

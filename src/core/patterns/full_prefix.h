@@ -1,0 +1,34 @@
+// Pattern (h): 2D/1D dependencies — a cell depends on its whole row and
+// column prefix.
+//
+// D[i,j] <- D[i,k] for all k < j and D[k,j] for all k < i. This is the
+// Galil-Park 2D/1D class (§III, Algorithm 3.2-like shapes: matrix chain,
+// optimal BST). The paper notes DPX10 *can* express this class though
+// performance is "less than satisfactory" — the O(n) fan-in per vertex is
+// inherent; we ship the pattern and demonstrate it in an example so the
+// expressibility claim is reproduced.
+#pragma once
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+class FullPrefixDag final : public Dag {
+ public:
+  FullPrefixDag(std::int32_t height, std::int32_t width)
+      : Dag(height, width, DagDomain::rect(height, width)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    for (std::int32_t k = 0; k < v.j; ++k) emit_if(v.i, k, out);
+    for (std::int32_t k = 0; k < v.i; ++k) emit_if(k, v.j, out);
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    for (std::int32_t k = v.j + 1; k < width(); ++k) emit_if(v.i, k, out);
+    for (std::int32_t k = v.i + 1; k < height(); ++k) emit_if(k, v.j, out);
+  }
+
+  std::string_view name() const override { return "full-prefix"; }
+};
+
+}  // namespace dpx10::patterns

@@ -1,0 +1,32 @@
+// Pattern (d): interval DP on the upper triangle.
+//
+// D[i,j] (i <= j) depends on D[i+1,j], D[i,j-1] and D[i+1,j-1]; cells fill
+// from the main diagonal outward to the top-right corner. This is the shape
+// of the Longest Palindromic Subsequence recurrence the paper evaluates,
+// and of interval DPs generally.
+#pragma once
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+class IntervalDag final : public Dag {
+ public:
+  explicit IntervalDag(std::int32_t n) : Dag(n, n, DagDomain::upper_triangular(n)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i + 1, v.j, out);
+    emit_if(v.i, v.j - 1, out);
+    emit_if(v.i + 1, v.j - 1, out);
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i - 1, v.j, out);
+    emit_if(v.i, v.j + 1, out);
+    emit_if(v.i - 1, v.j + 1, out);
+  }
+
+  std::string_view name() const override { return "interval"; }
+};
+
+}  // namespace dpx10::patterns

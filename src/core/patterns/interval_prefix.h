@@ -1,0 +1,34 @@
+// Extension pattern: 2D/1D interval-prefix dependencies.
+//
+// Cell (i, j), i <= j, depends on its whole row prefix (i, k), k < j, and
+// column suffix (k, j), k > i — the Galil-Park 2D/1D class of §III
+// (Algorithm 3.2): matrix-chain multiplication, optimal BSTs, and (with an
+// extra inner-diagonal edge) Nussinov folding. Not one of the paper's
+// eight built-ins; shipped as the library form of the expressibility claim
+// ("DPX10 can also express the type of 2D/iD (i >= 1)", §III) — the O(n)
+// fan-in per vertex is what makes its performance "less than satisfactory".
+#pragma once
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+class IntervalPrefixDag final : public Dag {
+ public:
+  explicit IntervalPrefixDag(std::int32_t n)
+      : Dag(n, n, DagDomain::upper_triangular(n)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    for (std::int32_t k = v.i; k < v.j; ++k) out.push_back({v.i, k});
+    for (std::int32_t k = v.i + 1; k <= v.j; ++k) out.push_back({k, v.j});
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    for (std::int32_t k = v.j + 1; k < width(); ++k) out.push_back({v.i, k});
+    for (std::int32_t k = 0; k < v.i; ++k) out.push_back({k, v.j});
+  }
+
+  std::string_view name() const override { return "interval-prefix"; }
+};
+
+}  // namespace dpx10::patterns

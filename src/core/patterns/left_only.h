@@ -1,0 +1,27 @@
+// Pattern (c): each cell depends only on its left neighbour.
+//
+// Rows are independent scan chains — embarrassingly parallel across rows.
+// Useful for per-row recurrences (prefix scores, independent 1D DPs).
+#pragma once
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+class LeftOnlyDag final : public Dag {
+ public:
+  LeftOnlyDag(std::int32_t height, std::int32_t width)
+      : Dag(height, width, DagDomain::rect(height, width)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i, v.j - 1, out);
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i, v.j + 1, out);
+  }
+
+  std::string_view name() const override { return "left"; }
+};
+
+}  // namespace dpx10::patterns

@@ -1,0 +1,29 @@
+// Pattern (a): each cell depends on its left and top neighbours.
+//
+// The dependency shape of the Manhattan Tourists Problem and of many
+// grid-path DPs: D[i,j] <- D[i-1,j], D[i,j-1].
+#pragma once
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+class LeftTopDag final : public Dag {
+ public:
+  LeftTopDag(std::int32_t height, std::int32_t width)
+      : Dag(height, width, DagDomain::rect(height, width)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i - 1, v.j, out);
+    emit_if(v.i, v.j - 1, out);
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i + 1, v.j, out);
+    emit_if(v.i, v.j + 1, out);
+  }
+
+  std::string_view name() const override { return "left-top"; }
+};
+
+}  // namespace dpx10::patterns

@@ -1,0 +1,31 @@
+// Pattern (b): left, top, and top-left diagonal dependencies.
+//
+// The classic sequence-alignment wavefront: LCS, Smith-Waterman and SWLAG
+// all use D[i,j] <- D[i-1,j], D[i,j-1], D[i-1,j-1] (paper Figs. 1 and 5b).
+#pragma once
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+class LeftTopDiagDag final : public Dag {
+ public:
+  LeftTopDiagDag(std::int32_t height, std::int32_t width)
+      : Dag(height, width, DagDomain::rect(height, width)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i - 1, v.j - 1, out);
+    emit_if(v.i - 1, v.j, out);
+    emit_if(v.i, v.j - 1, out);
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i + 1, v.j + 1, out);
+    emit_if(v.i + 1, v.j, out);
+    emit_if(v.i, v.j + 1, out);
+  }
+
+  std::string_view name() const override { return "left-top-diag"; }
+};
+
+}  // namespace dpx10::patterns

@@ -1,0 +1,31 @@
+// Pattern (g): each cell depends on the three cells above it.
+//
+// D[i,j] <- D[i-1,j-1], D[i-1,j], D[i-1,j+1]: the triangle-path / trellis
+// shape (Viterbi-style recurrences, minimum triangle path sums).
+#pragma once
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+class PyramidDag final : public Dag {
+ public:
+  PyramidDag(std::int32_t height, std::int32_t width)
+      : Dag(height, width, DagDomain::rect(height, width)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i - 1, v.j - 1, out);
+    emit_if(v.i - 1, v.j, out);
+    emit_if(v.i - 1, v.j + 1, out);
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i + 1, v.j - 1, out);
+    emit_if(v.i + 1, v.j, out);
+    emit_if(v.i + 1, v.j + 1, out);
+  }
+
+  std::string_view name() const override { return "pyramid"; }
+};
+
+}  // namespace dpx10::patterns

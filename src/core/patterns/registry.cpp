@@ -1,0 +1,49 @@
+#include "core/patterns/registry.h"
+
+#include "common/error.h"
+#include "core/patterns/diag_only.h"
+#include "core/patterns/full_prefix.h"
+#include "core/patterns/interval.h"
+#include "core/patterns/interval_prefix.h"
+#include "core/patterns/left_only.h"
+#include "core/patterns/left_top.h"
+#include "core/patterns/left_top_diag.h"
+#include "core/patterns/pyramid.h"
+#include "core/patterns/top_only.h"
+
+namespace dpx10::patterns {
+
+const std::vector<std::string>& builtin_pattern_names() {
+  static const std::vector<std::string> names = {
+      "left-top", "left-top-diag", "left",    "interval",
+      "top",      "diag",          "pyramid", "full-prefix",
+  };
+  return names;
+}
+
+const std::vector<std::string>& extended_pattern_names() {
+  static const std::vector<std::string> names = {"interval-prefix"};
+  return names;
+}
+
+std::unique_ptr<Dag> make_pattern(const std::string& name, std::int32_t height,
+                                  std::int32_t width) {
+  if (name == "left-top") return std::make_unique<LeftTopDag>(height, width);
+  if (name == "left-top-diag") return std::make_unique<LeftTopDiagDag>(height, width);
+  if (name == "left") return std::make_unique<LeftOnlyDag>(height, width);
+  if (name == "interval") {
+    require(height == width, "make_pattern: interval pattern must be square");
+    return std::make_unique<IntervalDag>(height);
+  }
+  if (name == "top") return std::make_unique<TopOnlyDag>(height, width);
+  if (name == "diag") return std::make_unique<DiagOnlyDag>(height, width);
+  if (name == "pyramid") return std::make_unique<PyramidDag>(height, width);
+  if (name == "full-prefix") return std::make_unique<FullPrefixDag>(height, width);
+  if (name == "interval-prefix") {
+    require(height == width, "make_pattern: interval-prefix pattern must be square");
+    return std::make_unique<IntervalPrefixDag>(height);
+  }
+  throw ConfigError("make_pattern: unknown pattern '" + name + "'");
+}
+
+}  // namespace dpx10::patterns

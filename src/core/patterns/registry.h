@@ -1,0 +1,31 @@
+// Pattern registry — the DAG pattern library's front door (§VI-B).
+//
+// Benches, examples and tests construct built-in patterns by name so sweeps
+// can iterate "every shipped pattern" without hard-coding the list.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+/// Names of all built-in patterns, in the order of paper Fig. 5 as mapped
+/// in DESIGN.md: left-top, left-top-diag, left, interval, top, diag,
+/// pyramid, full-prefix.
+const std::vector<std::string>& builtin_pattern_names();
+
+/// Names of extension patterns beyond the paper's eight (constructible via
+/// make_pattern but not part of the Fig. 5 library): today "interval-prefix"
+/// (the 2D/1D class of paper Sec. III).
+const std::vector<std::string>& extended_pattern_names();
+
+/// Instantiates a built-in or extension pattern. Square-only patterns
+/// ("interval", "interval-prefix") require height == width. Throws
+/// ConfigError for unknown names.
+std::unique_ptr<Dag> make_pattern(const std::string& name, std::int32_t height,
+                                  std::int32_t width);
+
+}  // namespace dpx10::patterns

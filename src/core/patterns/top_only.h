@@ -1,0 +1,27 @@
+// Pattern (e): each cell depends only on the cell above it.
+//
+// Columns are independent scan chains; the transpose of the left-only
+// pattern.
+#pragma once
+
+#include "core/dag.h"
+
+namespace dpx10::patterns {
+
+class TopOnlyDag final : public Dag {
+ public:
+  TopOnlyDag(std::int32_t height, std::int32_t width)
+      : Dag(height, width, DagDomain::rect(height, width)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i - 1, v.j, out);
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    emit_if(v.i + 1, v.j, out);
+  }
+
+  std::string_view name() const override { return "top"; }
+};
+
+}  // namespace dpx10::patterns

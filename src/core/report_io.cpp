@@ -1,0 +1,72 @@
+#include "core/report_io.h"
+
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace dpx10 {
+
+void print_report(std::ostream& os, const RunReport& report) {
+  const PlaceStats totals = report.totals();
+  os << report.app_name << " on '" << report.dag_name << "' ("
+     << with_commas(report.vertices) << " vertices";
+  if (report.prefinished > 0) os << ", " << with_commas(report.prefinished) << " pre-set";
+  os << ")\n";
+  os << "  time:          " << human_seconds(report.elapsed_seconds) << "\n";
+  os << "  computed:      " << with_commas(report.computed) << " vertices\n";
+  os << "  remote deps:   " << with_commas(totals.remote_fetches) << " fetched, "
+     << with_commas(totals.cache_hits) << " cache hits";
+  const std::uint64_t lookups = totals.remote_fetches + totals.cache_hits;
+  if (lookups > 0) {
+    os << strformat(" (%.1f%% hit rate)",
+                    100.0 * static_cast<double>(totals.cache_hits) /
+                        static_cast<double>(lookups));
+  }
+  os << "\n";
+  os << "  traffic:       " << with_commas(report.traffic.total_messages_out())
+     << " messages, " << human_bytes(static_cast<double>(report.traffic.bytes_out)) << "\n";
+  if (totals.steals > 0) {
+    os << "  steals:        " << with_commas(totals.steals) << "\n";
+  }
+  for (const RecoveryRecord& r : report.recoveries) {
+    os << "  recovery:      place " << r.dead_place << " died at "
+       << human_seconds(r.started_at) << "; recovered in "
+       << human_seconds(r.recovery_seconds) << " (lost " << with_commas(r.lost)
+       << ", restored " << with_commas(r.restored) << ", discarded "
+       << with_commas(r.discarded) << ")\n";
+  }
+}
+
+void print_csv_header(std::ostream& os) {
+  os << "label,app,dag,vertices,computed,elapsed_s,recovery_s,snapshot_s,"
+        "snapshots,remote_fetches,cache_hits,control_msgs,executed_nonlocal,"
+        "steals,messages,bytes_out\n";
+}
+
+void print_csv_row(std::ostream& os, const std::string& label, const RunReport& report) {
+  const PlaceStats t = report.totals();
+  os << label << ',' << report.app_name << ',' << report.dag_name << ','
+     << report.vertices << ',' << report.computed << ','
+     << strformat("%.9g", report.elapsed_seconds) << ','
+     << strformat("%.9g", report.recovery_seconds) << ','
+     << strformat("%.9g", report.snapshot_seconds) << ',' << report.snapshots_taken << ','
+     << t.remote_fetches << ',' << t.cache_hits << ',' << t.control_msgs_out << ','
+     << t.executed_nonlocal << ',' << t.steals << ','
+     << report.traffic.total_messages_out() << ',' << report.traffic.bytes_out << '\n';
+}
+
+void print_place_table(std::ostream& os, const RunReport& report) {
+  os << "  place |  computed | non-local |   fetches | cache hit |    steals | busy\n";
+  for (std::size_t p = 0; p < report.places.size(); ++p) {
+    const PlaceStats& s = report.places[p];
+    os << strformat("  %5zu | %9llu | %9llu | %9llu | %9llu | %9llu | %s\n", p,
+                    static_cast<unsigned long long>(s.computed),
+                    static_cast<unsigned long long>(s.executed_nonlocal),
+                    static_cast<unsigned long long>(s.remote_fetches),
+                    static_cast<unsigned long long>(s.cache_hits),
+                    static_cast<unsigned long long>(s.steals),
+                    human_seconds(s.busy_seconds).c_str());
+  }
+}
+
+}  // namespace dpx10

@@ -1,0 +1,24 @@
+// Pretty-printing of RunReports for examples and benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/metrics.h"
+
+namespace dpx10 {
+
+/// One-paragraph summary: app, dag, time, computed vertices, traffic,
+/// cache hit rate, recoveries.
+void print_report(std::ostream& os, const RunReport& report);
+
+/// Per-place breakdown table (computed / remote fetches / cache hits /
+/// steals / busy time).
+void print_place_table(std::ostream& os, const RunReport& report);
+
+/// Machine-readable export: one header row + one data row per report.
+/// `label` identifies the sweep point (e.g. "fig10,swlag,nodes=4").
+void print_csv_header(std::ostream& os);
+void print_csv_row(std::ostream& os, const std::string& label, const RunReport& report);
+
+}  // namespace dpx10

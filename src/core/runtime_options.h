@@ -1,0 +1,164 @@
+// RuntimeOptions — everything configurable about a DPX10 run.
+//
+// Mirrors the paper's launch knobs: X10_NPLACES/X10_NTHREADS (places and
+// worker threads per place), the Dist structure, the scheduling strategy,
+// the cache size, the restore manner, and fault injection. The cost/link
+// models parameterize the SimEngine's virtual cluster; the ThreadedEngine
+// ignores them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "apgas/dist.h"
+#include "core/cache.h"
+#include "apgas/fault.h"
+#include "common/error.h"
+#include "net/link_model.h"
+
+namespace dpx10 {
+
+/// §VI-C/§VI-E scheduling strategies, plus the work-stealing strategy the
+/// paper lists as future work ("more scheduling methods will be developed").
+enum class Scheduling : std::uint8_t {
+  Local = 0,         ///< run each vertex on its owner place (default)
+  Random,            ///< run on a uniformly random alive place
+  MinCommunication,  ///< run where the dependency transfer cost is minimal
+  WorkStealing,      ///< local + idle places steal ready vertices
+};
+
+std::string_view scheduling_name(Scheduling s);
+
+/// How the engines survive a place death.
+enum class RecoveryPolicy : std::uint8_t {
+  /// The paper's contribution (§VI-D): rebuild the distributed array over
+  /// the survivors, keep their finished results, recompute only what died
+  /// (or moved, under RestoreMode::DiscardRemote).
+  Rebuild = 0,
+  /// Resilient X10's ResilientDistArray baseline: periodic global
+  /// snapshots; a failure rolls the whole computation back to the last one.
+  PeriodicSnapshot,
+};
+
+std::string_view recovery_policy_name(RecoveryPolicy p);
+
+/// §VI-E "Restore manner": what happens to finished vertices whose data
+/// would have to cross the network during recovery.
+enum class RestoreMode : std::uint8_t {
+  DiscardRemote = 0,  ///< recompute them (paper default)
+  RestoreRemote,      ///< copy them to the new owner
+};
+
+std::string_view restore_mode_name(RestoreMode m);
+
+/// Order in which a place's worker pulls vertices from its ready list.
+/// FIFO (the default — the paper's worker "repeatedly pulls the vertices
+/// from the list") advances a broad breadth-first frontier; LIFO mimics a
+/// Cilk-style newest-first activity stack, descending depth-first with a
+/// narrow frontier. The tradeoff is measured by bench/ablate_scheduling.
+enum class ReadyOrder : std::uint8_t {
+  Fifo = 0,
+  Lifo,
+};
+
+std::string_view ready_order_name(ReadyOrder r);
+
+/// Virtual-time cost model for the SimEngine. Values are per-operation
+/// nanoseconds; defaults approximate the paper's per-vertex costs (tiny
+/// arithmetic recurrences dominated by runtime bookkeeping — see
+/// EXPERIMENTS.md for the calibration notes).
+struct CostModel {
+  // Calibration (see EXPERIMENTS.md): the paper's Fig. 10/11 throughputs
+  // imply roughly 8 us of work per vertex-core — X10 spawns one activity
+  // per vertex, so activity spawn/dispatch dominates the arithmetic of the
+  // recurrences. We split it ~90/10 between "user activity" and DPX10
+  // bookkeeping, matching the measured 1.02-1.12x DPX10/X10 overhead of
+  // Fig. 12.
+  double compute_ns = 7000.0;       ///< per-vertex activity (spawn + compute)
+  double framework_ns = 700.0;      ///< DPX10 bookkeeping per vertex
+  double local_dep_ns = 60.0;       ///< reading one local/cached dependency
+  // Recovery constants are calibrated against Fig. 13a: 13-65 s to rebuild
+  // 100-500 M vertices over 7 survivors implies ~1 us of rebuild work per
+  // finished cell (allocation, rehash, indegree re-initialization).
+  double recovery_scan_ns = 300.0;   ///< per-cell scan while rebuilding
+  double restore_copy_ns = 1200.0;   ///< per-cell local restore copy
+  /// Per-cell cost of writing one periodic snapshot (copy + redundant
+  /// placement), parallel across places. Matches restore_copy_ns: a
+  /// snapshot writes what a restore reads.
+  double snapshot_copy_ns = 1200.0;
+};
+
+struct RuntimeOptions {
+  std::int32_t nplaces = 4;
+  std::int32_t nthreads = 2;
+  DistKind dist = DistKind::BlockRow;
+  Scheduling scheduling = Scheduling::Local;
+  ReadyOrder ready_order = ReadyOrder::Fifo;
+  std::size_t cache_capacity = 1024;
+  CachePolicy cache_policy = CachePolicy::Fifo;  ///< paper default: FIFO (per §VI-C)
+  /// SimEngine: record one TraceEvent per vertex dispatch (tests/tools).
+  bool record_trace = false;
+  RestoreMode restore = RestoreMode::DiscardRemote;
+  RecoveryPolicy recovery = RecoveryPolicy::Rebuild;
+  /// PeriodicSnapshot only: take a snapshot each time this fraction of the
+  /// computable vertices finishes (0.1 = ten snapshots over a full run).
+  double snapshot_interval = 0.1;
+  std::vector<FaultPlan> faults;  ///< applied in order of at_fraction
+  std::uint64_t seed = 42;
+
+  net::LinkModel link;  ///< SimEngine interconnect
+  CostModel cost;       ///< SimEngine per-operation costs
+
+  void validate() const {
+    require(nplaces > 0, "RuntimeOptions: nplaces must be positive");
+    require(nthreads > 0, "RuntimeOptions: nthreads must be positive");
+    require(static_cast<std::int64_t>(faults.size()) < nplaces,
+            "RuntimeOptions: cannot kill every place");
+    require(snapshot_interval > 0.0 && snapshot_interval <= 1.0,
+            "RuntimeOptions: snapshot_interval must be in (0, 1]");
+    for (std::size_t a = 0; a < faults.size(); ++a) {
+      faults[a].validate(nplaces);
+      for (std::size_t b = a + 1; b < faults.size(); ++b) {
+        require(faults[a].place != faults[b].place,
+                "RuntimeOptions: a place can only die once");
+      }
+    }
+  }
+};
+
+inline std::string_view scheduling_name(Scheduling s) {
+  switch (s) {
+    case Scheduling::Local: return "local";
+    case Scheduling::Random: return "random";
+    case Scheduling::MinCommunication: return "min-comm";
+    case Scheduling::WorkStealing: return "work-stealing";
+  }
+  return "?";
+}
+
+inline std::string_view restore_mode_name(RestoreMode m) {
+  switch (m) {
+    case RestoreMode::DiscardRemote: return "discard-remote";
+    case RestoreMode::RestoreRemote: return "restore-remote";
+  }
+  return "?";
+}
+
+inline std::string_view recovery_policy_name(RecoveryPolicy p) {
+  switch (p) {
+    case RecoveryPolicy::Rebuild: return "rebuild";
+    case RecoveryPolicy::PeriodicSnapshot: return "periodic-snapshot";
+  }
+  return "?";
+}
+
+inline std::string_view ready_order_name(ReadyOrder r) {
+  switch (r) {
+    case ReadyOrder::Fifo: return "fifo";
+    case ReadyOrder::Lifo: return "lifo";
+  }
+  return "?";
+}
+
+}  // namespace dpx10

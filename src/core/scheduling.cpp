@@ -1,0 +1,52 @@
+#include "core/scheduling.h"
+
+#include <algorithm>
+
+namespace dpx10 {
+
+std::int32_t choose_target_slot(Scheduling strategy, VertexId v, const Dag& dag,
+                                const Dist& dist, std::size_t value_bytes,
+                                Xoshiro256& rng, std::vector<VertexId>& scratch) {
+  const std::int32_t owner = dist.slot_of(v);
+  switch (strategy) {
+    case Scheduling::Local:
+    case Scheduling::WorkStealing:
+      return owner;
+    case Scheduling::Random:
+      return static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(dist.nslots())));
+    case Scheduling::MinCommunication:
+      break;
+  }
+
+  scratch.clear();
+  dag.dependencies(v, scratch);
+  if (scratch.empty()) return owner;
+
+  // Cost of running at slot p: one value transfer per dependency owned
+  // elsewhere, plus one writeback if p is not the owner. Candidates: the
+  // owner and each dependency's owner.
+  auto cost_at = [&](std::int32_t p) {
+    std::size_t cost = (p == owner) ? 0 : value_bytes;
+    for (VertexId d : scratch) {
+      if (dist.slot_of(d) != p) cost += value_bytes;
+    }
+    return cost;
+  };
+
+  std::int32_t best = owner;
+  std::size_t best_cost = cost_at(owner);
+  for (VertexId d : scratch) {
+    std::int32_t p = dist.slot_of(d);
+    if (p == best) continue;
+    std::size_t c = cost_at(p);
+    // Strictly better only: ties keep the owner / earlier candidate, which
+    // preserves locality and keeps the choice deterministic.
+    if (c < best_cost) {
+      best = p;
+      best_cost = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace dpx10

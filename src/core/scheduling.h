@@ -1,0 +1,40 @@
+// Scheduling strategies (§VI-C): deciding which place executes a
+// newly-ready vertex.
+//
+// The decision is structural (it needs owners and the dependency list, not
+// vertex values), so it is shared verbatim by both engines — the threaded
+// engine calls it from many workers with per-thread RNGs, the simulator
+// from its single deterministic stream.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apgas/dist.h"
+#include "common/rng.h"
+#include "common/vertex_id.h"
+#include "core/dag.h"
+#include "core/runtime_options.h"
+
+namespace dpx10 {
+
+/// Picks the distribution slot that should execute `v` once it becomes
+/// ready.
+///
+///  - Local / WorkStealing: the owner slot (stealing redistributes later,
+///    at pop time, not at push time).
+///  - Random: a uniform slot from `rng`.
+///  - MinCommunication: the slot minimizing bytes moved — each dependency
+///    owned elsewhere costs one value transfer, and executing away from the
+///    owner costs one result writeback (§VI-C notes the strategy "calculates
+///    the total cost of communication for executing them in each place and
+///    chooses the minimum"). Only the owner slot and the dependencies'
+///    owner slots can be optimal, so those are the candidates. Ties prefer
+///    the owner (no writeback, better locality).
+///
+/// `scratch` avoids per-call allocation on the hot path.
+std::int32_t choose_target_slot(Scheduling strategy, VertexId v, const Dag& dag,
+                                const Dist& dist, std::size_t value_bytes,
+                                Xoshiro256& rng, std::vector<VertexId>& scratch);
+
+}  // namespace dpx10

@@ -1,0 +1,497 @@
+// SimEngine<T> — deterministic discrete-event execution of a DPX10 program
+// on a virtual cluster.
+//
+// This engine substitutes for the paper's Tianhe-1A testbed (see DESIGN.md
+// §2): it executes the *real* user compute() on every vertex, so results
+// are bit-identical to the threaded engine and the serial references, but
+// time is modeled, not measured. Each place has `nthreads` execution slots;
+// a vertex occupies a slot from dispatch to completion, blocking on remote
+// dependency fetches exactly like a DPX10 worker does ("the worker first
+// retrieves the dependent vertices ... then passes them to compute()",
+// §VI-C). Remote fetches pay latency + bandwidth and queue on the owner's
+// NIC, which is what bends the Fig. 10 speedup curves once communication
+// dominates.
+//
+// Everything is driven off one (time, seq)-ordered event queue, so a run is
+// a pure function of (dag, app, options): identical seeds give identical
+// traces, times and traffic counts — property-tested in
+// tests/sim_engine_test.cpp.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "apgas/dist_array.h"
+#include "apgas/fault.h"
+#include "apgas/place.h"
+#include "apgas/snapshot.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/app.h"
+#include "core/cache.h"
+#include "core/dag.h"
+#include "core/engine_common.h"
+#include "core/metrics.h"
+#include "core/runtime_options.h"
+#include "core/scheduling.h"
+#include "core/value_traits.h"
+#include "net/message.h"
+#include "net/traffic.h"
+#include "sim/event_queue.h"
+#include "sim/slot_pool.h"
+
+namespace dpx10 {
+
+template <typename T>
+class SimEngine {
+ public:
+  explicit SimEngine(RuntimeOptions opts) : opts_(std::move(opts)) { opts_.validate(); }
+
+  RunReport run(const Dag& dag, DPX10App<T>& app) {
+    State state(opts_, dag, app);
+    return state.run();
+  }
+
+ private:
+  enum EventKind : std::uint32_t { kReady = 0, kDispatch = 1, kDone = 2 };
+
+  struct PlaceSim {
+    std::deque<std::int64_t> ready;
+    sim::SlotPool slots;
+    double nic_free = 0.0;
+    VertexCache<T> cache;
+    PlaceStats stats;
+    // Dispatch arming: exactly one live dispatch event per place. Re-arming
+    // at an earlier time bumps armed_seq so the superseded event is dropped
+    // as stale when popped — without this, saturated places accumulate
+    // dispatch events quadratically.
+    bool dispatch_pending = false;
+    double dispatch_time = 0.0;
+    std::uint64_t armed_seq = 0;
+
+    PlaceSim(std::int32_t nthreads, CachePolicy policy, std::size_t cache_capacity)
+        : slots(nthreads), cache(policy, cache_capacity) {}
+  };
+
+  class State {
+   public:
+    State(const RuntimeOptions& opts, const Dag& dag, DPX10App<T>& app)
+        : opts_(opts),
+          dag_(dag),
+          app_(app),
+          pm_(opts.nplaces),
+          book_(opts.nplaces),
+          rng_(mix64(opts.seed, 0x5157ULL)),
+          array_(std::make_unique<DistArray<T>>(dag.domain(), opts.dist,
+                                                PlaceGroup::dense(opts.nplaces))) {
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        places_.emplace_back(opts_.nthreads, opts_.cache_policy, opts_.cache_capacity);
+      }
+      faults_ = opts_.faults;
+      std::sort(faults_.begin(), faults_.end(),
+                [](const FaultPlan& a, const FaultPlan& b) {
+                  return a.at_fraction < b.at_fraction;
+                });
+    }
+
+    RunReport run() {
+      detail::InitSummary init = detail::initialize_cells(*array_, dag_, app_);
+      target_ = static_cast<std::int64_t>(init.to_compute);
+      require(target_ > 0, "SimEngine: nothing to compute (all cells pre-finished)");
+      for (const FaultPlan& f : faults_) {
+        fault_thresholds_.push_back(static_cast<std::int64_t>(
+            f.at_fraction * static_cast<double>(target_)) + 1);
+      }
+      if (opts_.recovery == RecoveryPolicy::PeriodicSnapshot) {
+        snapshot_step_ = static_cast<std::int64_t>(
+            opts_.snapshot_interval * static_cast<double>(target_));
+        if (snapshot_step_ < 1) snapshot_step_ = 1;
+        next_snapshot_at_ = snapshot_step_;
+      }
+      detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
+        queue_.push(0.0, kReady, place, idx);
+      });
+
+      while (!done_) {
+        check_internal(!queue_.empty(),
+                       "SimEngine: event queue drained before completion — "
+                       "the DAG is cyclic or a vertex was lost");
+        sim::Event ev = queue_.pop();
+        now_ = ev.time;
+        switch (ev.kind) {
+          case kReady: on_ready(static_cast<std::int32_t>(ev.a), ev.b); break;
+          case kDispatch:
+            on_dispatch(static_cast<std::int32_t>(ev.a), static_cast<std::uint64_t>(ev.b));
+            break;
+          case kDone: on_done(static_cast<std::int32_t>(ev.a), ev.b); break;
+          default: check_internal(false, "SimEngine: unknown event kind");
+        }
+      }
+
+      RunReport report;
+      report.app_name = std::string(app_.name());
+      report.dag_name = std::string(dag_.name());
+      report.vertices = static_cast<std::uint64_t>(dag_.domain().size());
+      report.prefinished = init.prefinished;
+      report.computed = computed_total_;
+      report.elapsed_seconds = elapsed_;
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        PlaceStats s = places_[static_cast<std::size_t>(p)].stats;
+        s.busy_seconds = places_[static_cast<std::size_t>(p)].slots.busy_seconds();
+        report.places.push_back(s);
+      }
+      report.recoveries = recoveries_;
+      for (const RecoveryRecord& r : recoveries_) {
+        report.recovery_seconds += r.recovery_seconds;
+      }
+      report.snapshots_taken = snapshots_taken_;
+      report.snapshot_seconds = snapshot_seconds_;
+      report.traffic = book_.total();
+      report.sim_events = queue_.pushed();
+      report.trace = std::move(trace_);
+
+      app_.app_finished(DagView<T>(*array_));
+      return report;
+    }
+
+   private:
+    PlaceSim& place(std::int32_t p) { return places_[static_cast<std::size_t>(p)]; }
+
+    void schedule_dispatch(std::int32_t p, double t) {
+      PlaceSim& pl = place(p);
+      if (pl.dispatch_pending && pl.dispatch_time <= t) return;
+      pl.dispatch_pending = true;
+      pl.dispatch_time = t;
+      pl.armed_seq = ++arm_counter_;
+      queue_.push(t, kDispatch, p, static_cast<std::int64_t>(pl.armed_seq));
+    }
+
+    void on_ready(std::int32_t p, std::int64_t idx) {
+      if (!pm_.is_alive(p)) return;  // message to a place that died in flight
+      place(p).ready.push_back(idx);
+      schedule_dispatch(p, now_);
+    }
+
+    void on_dispatch(std::int32_t p, std::uint64_t seq) {
+      PlaceSim& pl = place(p);
+      if (!pl.dispatch_pending || seq != pl.armed_seq) return;  // stale event
+      pl.dispatch_pending = false;
+      if (!pm_.is_alive(p)) return;
+      while (!pl.ready.empty() && pl.slots.available(now_)) {
+        std::int64_t idx;
+        if (opts_.ready_order == ReadyOrder::Lifo) {
+          idx = pl.ready.back();
+          pl.ready.pop_back();
+        } else {
+          idx = pl.ready.front();
+          pl.ready.pop_front();
+        }
+        start_vertex(p, idx);
+      }
+      if (!pl.ready.empty()) {
+        schedule_dispatch(p, pl.slots.earliest_start(now_));
+      } else if (opts_.scheduling == Scheduling::WorkStealing && pl.slots.available(now_)) {
+        try_steal(p);
+      }
+    }
+
+    /// Work-stealing in virtual time: an idle place raids the deepest
+    /// backlog, paying one control-message hop for the transfer. One vertex
+    /// per attempt — the next dispatch can steal again.
+    void try_steal(std::int32_t thief) {
+      std::int32_t victim = -1;
+      std::size_t deepest = 1;  // leave lone vertices local
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        if (p == thief || !pm_.is_alive(p)) continue;
+        if (place(p).ready.size() > deepest) {
+          deepest = place(p).ready.size();
+          victim = p;
+        }
+      }
+      if (victim < 0) return;
+      PlaceSim& vp = place(victim);
+      std::int64_t idx;
+      if (opts_.ready_order == ReadyOrder::Lifo) {
+        idx = vp.ready.front();  // steal the oldest end
+        vp.ready.pop_front();
+      } else {
+        idx = vp.ready.back();
+        vp.ready.pop_back();
+      }
+      book_.record(victim, thief, net::MessageKind::ReadyTransfer,
+                   net::kControlPayloadBytes);
+      ++place(thief).stats.steals;
+      queue_.push(now_ + opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes)),
+                  kReady, thief, idx);
+    }
+
+    /// Reserves a slot, models the dependency-gather + compute time, and —
+    /// because values never change once finished — executes the real
+    /// compute() eagerly. The cell is only *published* (state, indegree
+    /// decrements) at the kDone event.
+    void start_vertex(std::int32_t p, std::int64_t idx) {
+      PlaceSim& pl = place(p);
+      DistArray<T>& array = *array_;
+      const VertexId id = array.domain().delinearize(idx);
+
+      deps_scratch_.clear();
+      dag_.dependencies(id, deps_scratch_);
+      dep_values_.clear();
+
+      double gather_cost = 0.0;      // sequential local/cached reads
+      double data_ready = now_;      // parallel remote fetches finish here
+      for (VertexId d : deps_scratch_) {
+        const std::int32_t owner = array.owner_place(d);
+        T value;
+        if (owner == p) {
+          value = array.cell(d).value;
+          gather_cost += opts_.cost.local_dep_ns * 1e-9;
+          ++pl.stats.local_dep_reads;
+        } else if (pl.cache.get(d, value)) {
+          gather_cost += opts_.cost.local_dep_ns * 1e-9;
+          ++pl.stats.cache_hits;
+        } else {
+          value = array.cell(d).value;
+          book_.record(p, owner, net::MessageKind::FetchRequest, net::kControlPayloadBytes);
+          const std::size_t reply_bytes = value_wire_bytes(value);
+          book_.record(owner, p, net::MessageKind::FetchReply, reply_bytes);
+          ++pl.stats.remote_fetches;
+          // Request flies to the owner, waits for its NIC, reply flies back.
+          const double request_arrives =
+              now_ + opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+          PlaceSim& owner_pl = place(owner);
+          const double nic_start = std::max(request_arrives, owner_pl.nic_free);
+          const double nic_end = nic_start + opts_.link.nic_time(net::wire_bytes(reply_bytes));
+          owner_pl.nic_free = nic_end;
+          const double reply_arrives =
+              nic_end + opts_.link.transfer_time(net::wire_bytes(reply_bytes));
+          data_ready = std::max(data_ready, reply_arrives);
+          pl.cache.put(d, value);
+        }
+        dep_values_.push_back(Vertex<T>{d, value});
+      }
+
+      T result = app_.compute(id.i, id.j, std::span<const Vertex<T>>(dep_values_));
+      array.cell(idx).value = result;
+
+      const double compute_s =
+          (opts_.cost.compute_ns * app_.compute_cost_units(id) + opts_.cost.framework_ns) *
+              1e-9 +
+          gather_cost;
+      const double end = std::max(now_, data_ready) + compute_s;
+      pl.slots.reserve(now_, end);
+      if (opts_.record_trace) trace_.push_back(TraceEvent{idx, p, now_, end});
+      queue_.push(end, kDone, p, idx);
+    }
+
+    void on_done(std::int32_t p, std::int64_t idx) {
+      if (!pm_.is_alive(p)) return;  // defensive: queue is cleared on death
+      PlaceSim& pl = place(p);
+      DistArray<T>& array = *array_;
+      const VertexId id = array.domain().delinearize(idx);
+
+      Cell<T>& cell = array.cell(idx);
+      cell.store_state(CellState::Finished, std::memory_order_relaxed);
+      ++pl.stats.computed;
+      ++computed_total_;
+      const std::int32_t owner = array.owner_place(id);
+      if (owner != p) {
+        book_.record(p, owner, net::MessageKind::ResultWriteback, value_wire_bytes(cell.value));
+        ++pl.stats.executed_nonlocal;
+      }
+
+      anti_scratch_.clear();
+      dag_.anti_dependencies(id, anti_scratch_);
+      for (VertexId a : anti_scratch_) {
+        Cell<T>& ac = array.cell(a);
+        if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
+        const std::int32_t a_owner = array.owner_place(a);
+        double delay = 0.0;
+        if (a_owner != p) {
+          book_.record(p, a_owner, net::MessageKind::IndegreeControl,
+                       net::kControlPayloadBytes);
+          ++pl.stats.control_msgs_out;
+          // The decrement is processed by the destination place's comm
+          // thread: wire time plus serialized per-message handling.
+          const double arrives =
+              now_ + opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+          PlaceSim& dest = place(a_owner);
+          const double handled = std::max(arrives, dest.nic_free) +
+                                 opts_.link.nic_time(net::wire_bytes(net::kControlPayloadBytes));
+          dest.nic_free = handled;
+          delay = handled - now_;
+        }
+        if (ac.indegree.fetch_sub(1, std::memory_order_relaxed) - 1 == 0) {
+          std::int32_t slot = choose_target_slot(opts_.scheduling, a, dag_, array.dist(),
+                                                 sizeof(T), rng_, sched_scratch_);
+          std::int32_t target = array.group()[slot];
+          if (target != a_owner) {
+            book_.record(a_owner, target, net::MessageKind::ReadyTransfer,
+                         net::kControlPayloadBytes);
+            delay += opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+          }
+          queue_.push(now_ + delay, kReady, target, array.domain().linearize(a));
+        }
+      }
+
+      ++finished_;
+      elapsed_ = now_;
+
+      if (snapshot_step_ > 0 && finished_ >= next_snapshot_at_ && finished_ < target_) {
+        take_snapshot();
+        next_snapshot_at_ += snapshot_step_;
+      }
+
+      if (next_fault_ < faults_.size() && finished_ >= fault_thresholds_[next_fault_]) {
+        const FaultPlan fault = faults_[next_fault_];
+        ++next_fault_;
+        perform_recovery(fault.place);
+        return;
+      }
+
+      if (finished_ >= target_) {
+        done_ = true;
+        return;
+      }
+      schedule_dispatch(p, now_);
+    }
+
+    /// Periodic snapshot (RecoveryPolicy::PeriodicSnapshot): capture a
+    /// consistent global state and pause every place for the modeled copy
+    /// time. In-flight vertices keep running to completion — they are
+    /// simply newer than the snapshot.
+    void take_snapshot() {
+      vault_.capture(*array_);
+      const double duration =
+          static_cast<double>(dag_.domain().size()) * opts_.cost.snapshot_copy_ns * 1e-9 /
+              static_cast<double>(pm_.alive_count()) +
+          opts_.link.latency_s;
+      const double resume_at = now_ + duration;
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        place(p).slots.delay_all_until(resume_at);
+        place(p).nic_free = std::max(place(p).nic_free, resume_at);
+      }
+      ++snapshots_taken_;
+      snapshot_seconds_ += duration;
+    }
+
+    /// §VI-D recovery in virtual time. The rebuild runs "in parallel on all
+    /// alive places": every survivor scans its share of the new array and
+    /// copies the locally-restorable results, so the modeled duration is the
+    /// per-cell work divided by the survivor count, plus the wire time of
+    /// any cross-place restores.
+    void perform_recovery(std::int32_t dead_place) {
+      if (dead_place == 0) throw DeadPlaceException(0);
+      const double started_at = now_;
+      const std::int64_t finished_before = finished_;
+
+      pm_.kill(dead_place);
+      PlaceGroup survivors = pm_.alive_group();
+      const double nsurv = static_cast<double>(survivors.size());
+      const double scan_s =
+          static_cast<double>(dag_.domain().size()) * opts_.cost.recovery_scan_ns * 1e-9;
+
+      auto fresh = std::make_unique<DistArray<T>>(dag_.domain(), opts_.dist, survivors);
+      RecoveryRecord record;
+      double recovery_s;
+      if (opts_.recovery == RecoveryPolicy::Rebuild) {
+        record = detail::rebuild_after_death(*array_, dead_place, opts_.restore, dag_, app_,
+                                             *fresh, book_);
+        const double copy_s =
+            static_cast<double>(record.restored) * opts_.cost.restore_copy_ns * 1e-9;
+        const double wire_s = static_cast<double>(record.restored_remote) *
+                              static_cast<double>(net::wire_bytes(sizeof(T))) /
+                              opts_.link.bandwidth_bytes_s;
+        recovery_s = (scan_s + copy_s + wire_s) / nsurv + opts_.link.latency_s;
+      } else {
+        // Periodic-snapshot rollback: every survivor reloads its share of
+        // the last snapshot; everything newer than the snapshot recomputes.
+        record.dead_place = dead_place;
+        if (vault_.has_snapshot()) {
+          vault_.restore(*fresh);
+          detail::recompute_indegrees(*fresh, dag_);
+          record.restored = vault_.finished_in_snapshot();
+        } else {
+          // No snapshot yet: restart from scratch.
+          detail::initialize_cells(*fresh, dag_, app_);
+        }
+        record.lost = static_cast<std::uint64_t>(finished_before) - record.restored;
+        const double copy_s =
+            static_cast<double>(record.restored) * opts_.cost.restore_copy_ns * 1e-9;
+        recovery_s = (scan_s + copy_s) / nsurv + opts_.link.latency_s;
+      }
+      array_ = std::move(fresh);
+      const double resume_at = now_ + recovery_s;
+
+      record.started_at = started_at;
+      record.recovery_seconds = recovery_s;
+      recoveries_.push_back(record);
+      DPX10_INFO << "sim: place " << dead_place << " died at t=" << started_at
+                 << "s; recovery took " << recovery_s << "s (restored " << record.restored
+                 << ", lost " << record.lost << ", discarded " << record.discarded << ")";
+
+      // Discard all in-flight work and restart the survivors at resume_at.
+      queue_.clear();
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        PlaceSim& pl = place(p);
+        pl.ready.clear();
+        pl.cache.clear();
+        pl.slots.reset_all(resume_at);
+        pl.nic_free = resume_at;
+        pl.dispatch_pending = false;
+      }
+      detail::seed_ready(*array_, [&](std::int32_t owner, std::int64_t idx) {
+        queue_.push(resume_at, kReady, owner, idx);
+      });
+      finished_ = static_cast<std::int64_t>(detail::count_finished(*array_));
+      elapsed_ = resume_at;
+      if (finished_ >= target_) done_ = true;
+    }
+
+    // ---- state ----
+
+    const RuntimeOptions& opts_;
+    const Dag& dag_;
+    DPX10App<T>& app_;
+
+    PlaceManager pm_;
+    net::TrafficBook book_;
+    Xoshiro256 rng_;
+    std::unique_ptr<DistArray<T>> array_;
+    std::vector<PlaceSim> places_;
+    sim::EventQueue queue_;
+
+    std::vector<FaultPlan> faults_;
+    std::vector<std::int64_t> fault_thresholds_;
+    std::size_t next_fault_ = 0;
+
+    SnapshotVault<T> vault_;
+    std::int64_t snapshot_step_ = 0;   // 0 = policy disabled
+    std::int64_t next_snapshot_at_ = 0;
+    std::uint64_t snapshots_taken_ = 0;
+    double snapshot_seconds_ = 0.0;
+
+    std::uint64_t arm_counter_ = 0;
+    double now_ = 0.0;
+    double elapsed_ = 0.0;
+    std::int64_t target_ = 0;
+    std::int64_t finished_ = 0;
+    std::uint64_t computed_total_ = 0;
+    bool done_ = false;
+
+    std::vector<RecoveryRecord> recoveries_;
+    std::vector<TraceEvent> trace_;
+
+    std::vector<VertexId> deps_scratch_;
+    std::vector<VertexId> anti_scratch_;
+    std::vector<VertexId> sched_scratch_;
+    std::vector<Vertex<T>> dep_values_;
+  };
+
+  RuntimeOptions opts_;
+};
+
+}  // namespace dpx10

@@ -1,0 +1,559 @@
+// ThreadedEngine<T> — real-thread execution of a DPX10 program.
+//
+// This is the faithful executable analogue of §VI-A/§VI-C: every place gets
+// `nthreads` worker threads and a ready list; workers pop schedulable
+// vertices, gather dependency values (remote reads go through the
+// traffic-accounted net layer and the per-place FIFO cache), run the user's
+// compute(), publish the result, and decrement anti-dependency indegrees,
+// scheduling vertices whose indegree reaches zero. A FaultPlan kills a
+// place mid-run; the engine then performs the paper's recovery (§VI-D)
+// while all workers are parked at a pause gate, and resumes on the
+// survivors.
+//
+// Memory-ordering protocol (the correctness core):
+//   writer: cell.value = r;  cell.state.store(Finished, release);
+//           antidep.indegree.fetch_sub(1, acq_rel)
+//   The final decrement of a vertex's indegree synchronizes with every
+//   earlier decrement through the RMW release sequence, so all dependency
+//   values happen-before the push that makes the vertex runnable; the
+//   ready-deque mutex carries that edge to the consuming worker. Readers
+//   therefore never need to spin on state.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "apgas/dist_array.h"
+#include "apgas/fault.h"
+#include "apgas/place.h"
+#include "apgas/snapshot.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/app.h"
+#include "core/cache.h"
+#include "core/dag.h"
+#include "core/engine_common.h"
+#include "core/metrics.h"
+#include "core/runtime_options.h"
+#include "core/scheduling.h"
+#include "core/value_traits.h"
+#include "net/traffic.h"
+
+namespace dpx10 {
+
+template <typename T>
+class ThreadedEngine {
+ public:
+  explicit ThreadedEngine(RuntimeOptions opts) : opts_(std::move(opts)) {
+    opts_.validate();
+  }
+
+  /// Runs the application to completion and returns the run report.
+  /// Throws DeadPlaceException if a fault kills place 0 (the Resilient X10
+  /// limitation reproduced in §VI-D).
+  RunReport run(const Dag& dag, DPX10App<T>& app) {
+    State state(opts_, dag, app);
+    return state.run();
+  }
+
+ private:
+  struct PlaceRt {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::int64_t> ready;
+    std::mutex cache_mu;
+    VertexCache<T> cache;
+    AtomicPlaceStats stats;
+
+    PlaceRt(CachePolicy policy, std::size_t cache_capacity)
+        : cache(policy, cache_capacity) {}
+  };
+
+  class State {
+   public:
+    State(const RuntimeOptions& opts, const Dag& dag, DPX10App<T>& app)
+        : opts_(opts),
+          dag_(dag),
+          app_(app),
+          pm_(opts.nplaces),
+          book_(opts.nplaces),
+          array_(std::make_unique<DistArray<T>>(dag.domain(), opts.dist,
+                                                PlaceGroup::dense(opts.nplaces))) {
+      places_.reserve(static_cast<std::size_t>(opts_.nplaces));
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        places_.push_back(std::make_unique<PlaceRt>(opts_.cache_policy, opts_.cache_capacity));
+      }
+      faults_ = opts_.faults;
+      std::sort(faults_.begin(), faults_.end(),
+                [](const FaultPlan& a, const FaultPlan& b) {
+                  return a.at_fraction < b.at_fraction;
+                });
+    }
+
+    RunReport run() {
+      detail::InitSummary init = detail::initialize_cells(*array_, dag_, app_);
+      target_ = static_cast<std::int64_t>(init.to_compute);
+      require(target_ > 0, "ThreadedEngine: nothing to compute (all cells pre-finished)");
+      detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
+        places_[static_cast<std::size_t>(place)]->ready.push_back(idx);
+      });
+      for (std::size_t f = 0; f < faults_.size(); ++f) {
+        fault_thresholds_.push_back(static_cast<std::int64_t>(
+            faults_[f].at_fraction * static_cast<double>(target_)) + 1);
+      }
+      if (opts_.recovery == RecoveryPolicy::PeriodicSnapshot) {
+        snapshot_step_ = static_cast<std::int64_t>(
+            opts_.snapshot_interval * static_cast<double>(target_));
+        if (snapshot_step_ < 1) snapshot_step_ = 1;
+        next_snapshot_at_.store(snapshot_step_, std::memory_order_relaxed);
+      }
+
+      const std::int32_t nworkers = opts_.nplaces * opts_.nthreads;
+      active_workers_.store(nworkers, std::memory_order_relaxed);
+      stopwatch_.reset();
+
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<std::size_t>(nworkers));
+      for (std::int32_t w = 0; w < nworkers; ++w) {
+        workers.emplace_back([this, w] { worker_main(w); });
+      }
+      for (std::thread& t : workers) t.join();
+
+      if (failure_) std::rethrow_exception(failure_);
+
+      RunReport report;
+      report.app_name = std::string(app_.name());
+      report.dag_name = std::string(dag_.name());
+      report.vertices = static_cast<std::uint64_t>(dag_.domain().size());
+      report.prefinished = init.prefinished;
+      report.computed = computed_total_.load(std::memory_order_relaxed);
+      report.elapsed_seconds = stopwatch_.seconds();
+      for (const auto& p : places_) report.places.push_back(p->stats.snapshot());
+      report.recoveries = recoveries_;
+      for (const RecoveryRecord& r : recoveries_) {
+        report.recovery_seconds += r.recovery_seconds;
+      }
+      report.snapshots_taken = snapshots_taken_;
+      report.snapshot_seconds = snapshot_seconds_;
+      report.traffic = book_.total();
+
+      app_.app_finished(DagView<T>(*array_));
+      return report;
+    }
+
+   private:
+    // ---- worker loop -----------------------------------------------------
+
+    void worker_main(std::int32_t worker) {
+      const std::int32_t my_place = worker / opts_.nthreads;
+      Xoshiro256 rng(mix64(opts_.seed, static_cast<std::uint64_t>(worker) + 1));
+      std::vector<VertexId> deps_scratch;
+      std::vector<VertexId> anti_scratch;
+      std::vector<VertexId> sched_scratch;
+      std::vector<Vertex<T>> dep_values;
+
+      while (true) {
+        if (done_.load(std::memory_order_acquire)) break;
+        if (pause_requests_.load(std::memory_order_acquire) > 0) {
+          park();
+          continue;
+        }
+        if (!pm_alive(my_place)) break;  // our place died during recovery
+
+        std::int64_t idx = -1;
+        {
+          PlaceRt& pr = *places_[static_cast<std::size_t>(my_place)];
+          std::unique_lock<std::mutex> lk(pr.mu);
+          if (!pr.ready.empty()) {
+            if (opts_.ready_order == ReadyOrder::Lifo) {
+              idx = pr.ready.back();
+              pr.ready.pop_back();
+            } else {
+              idx = pr.ready.front();
+              pr.ready.pop_front();
+            }
+          }
+        }
+        if (idx < 0 && opts_.scheduling == Scheduling::WorkStealing) {
+          idx = try_steal(my_place, rng);
+        }
+        if (idx < 0) {
+          PlaceRt& pr = *places_[static_cast<std::size_t>(my_place)];
+          std::unique_lock<std::mutex> lk(pr.mu);
+          if (pr.ready.empty()) {
+            pr.cv.wait_for(lk, std::chrono::milliseconds(1));
+          }
+          continue;
+        }
+        execute(idx, my_place, rng, deps_scratch, anti_scratch, sched_scratch, dep_values);
+      }
+
+      std::lock_guard<std::mutex> lk(pause_mu_);
+      active_workers_.fetch_sub(1, std::memory_order_acq_rel);
+      pause_cv_.notify_all();
+    }
+
+    bool pm_alive(std::int32_t place) {
+      std::lock_guard<std::mutex> lk(pm_mu_);
+      return pm_.is_alive(place);
+    }
+
+    std::int64_t try_steal(std::int32_t thief, Xoshiro256& rng) {
+      const std::int32_t n = opts_.nplaces;
+      // One random probe plus a linear sweep: cheap when everyone is busy,
+      // thorough when work is scarce.
+      std::int32_t start = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+      for (std::int32_t step = 0; step < n; ++step) {
+        std::int32_t victim = (start + step) % n;
+        if (victim == thief || !pm_alive(victim)) continue;
+        PlaceRt& vp = *places_[static_cast<std::size_t>(victim)];
+        std::unique_lock<std::mutex> lk(vp.mu);
+        if (vp.ready.size() < 2) continue;  // leave lone vertices local
+        // Steal from the end the owner is not working: classic
+        // steal-the-oldest under LIFO execution, and vice versa.
+        std::int64_t idx;
+        if (opts_.ready_order == ReadyOrder::Lifo) {
+          idx = vp.ready.front();
+          vp.ready.pop_front();
+        } else {
+          idx = vp.ready.back();
+          vp.ready.pop_back();
+        }
+        lk.unlock();
+        book_.record(victim, thief, net::MessageKind::ReadyTransfer,
+                     net::kControlPayloadBytes);
+        places_[static_cast<std::size_t>(thief)]->stats.steals.fetch_add(
+            1, std::memory_order_relaxed);
+        return idx;
+      }
+      return -1;
+    }
+
+    void push_ready(std::int32_t place, std::int64_t idx) {
+      PlaceRt& pr = *places_[static_cast<std::size_t>(place)];
+      {
+        std::lock_guard<std::mutex> lk(pr.mu);
+        pr.ready.push_back(idx);
+      }
+      pr.cv.notify_one();
+    }
+
+    // ---- vertex execution ------------------------------------------------
+
+    void execute(std::int64_t idx, std::int32_t place, Xoshiro256& rng,
+                 std::vector<VertexId>& deps_scratch, std::vector<VertexId>& anti_scratch,
+                 std::vector<VertexId>& sched_scratch, std::vector<Vertex<T>>& dep_values) {
+      DistArray<T>& array = *array_;
+      const DagDomain& domain = array.domain();
+      const VertexId id = domain.delinearize(idx);
+      PlaceRt& pr = *places_[static_cast<std::size_t>(place)];
+
+      deps_scratch.clear();
+      dag_.dependencies(id, deps_scratch);
+      dep_values.clear();
+      std::uint64_t local_reads = 0, hits = 0, fetches = 0;
+      for (VertexId d : deps_scratch) {
+        const Cell<T>& dep_cell = array.cell(d);
+        const std::int32_t owner = array.owner_place(d);
+        T value;
+        if (owner == place) {
+          value = dep_cell.value;
+          ++local_reads;
+        } else if (opts_.cache_capacity == 0) {
+          value = dep_cell.value;
+          book_.record(place, owner, net::MessageKind::FetchRequest,
+                       net::kControlPayloadBytes);
+          book_.record(owner, place, net::MessageKind::FetchReply, value_wire_bytes(value));
+          ++fetches;
+        } else {
+          std::lock_guard<std::mutex> lk(pr.cache_mu);
+          if (pr.cache.get(d, value)) {
+            ++hits;
+          } else {
+            value = dep_cell.value;
+            book_.record(place, owner, net::MessageKind::FetchRequest,
+                         net::kControlPayloadBytes);
+            book_.record(owner, place, net::MessageKind::FetchReply,
+                         value_wire_bytes(value));
+            pr.cache.put(d, value);
+            ++fetches;
+          }
+        }
+        dep_values.push_back(Vertex<T>{d, value});
+      }
+      pr.stats.local_dep_reads.fetch_add(local_reads, std::memory_order_relaxed);
+      pr.stats.cache_hits.fetch_add(hits, std::memory_order_relaxed);
+      pr.stats.remote_fetches.fetch_add(fetches, std::memory_order_relaxed);
+
+      T result = app_.compute(id.i, id.j, std::span<const Vertex<T>>(dep_values));
+
+      Cell<T>& cell = array.cell(idx);
+      cell.value = result;
+      const std::int32_t owner = array.owner_place(id);
+      if (owner != place) {
+        book_.record(place, owner, net::MessageKind::ResultWriteback, value_wire_bytes(result));
+        pr.stats.executed_nonlocal.fetch_add(1, std::memory_order_relaxed);
+      }
+      cell.store_state(CellState::Finished, std::memory_order_release);
+      pr.stats.computed.fetch_add(1, std::memory_order_relaxed);
+      computed_total_.fetch_add(1, std::memory_order_relaxed);
+
+      anti_scratch.clear();
+      dag_.anti_dependencies(id, anti_scratch);
+      for (VertexId a : anti_scratch) {
+        Cell<T>& ac = array.cell(a);
+        if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
+        const std::int32_t a_owner = array.owner_place(a);
+        if (a_owner != place) {
+          book_.record(place, a_owner, net::MessageKind::IndegreeControl,
+                       net::kControlPayloadBytes);
+          pr.stats.control_msgs_out.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (ac.indegree.fetch_sub(1, std::memory_order_acq_rel) - 1 == 0) {
+          std::int32_t slot = choose_target_slot(opts_.scheduling, a, dag_, array.dist(),
+                                                 sizeof(T), rng, sched_scratch);
+          std::int32_t target = array.group()[slot];
+          if (target != a_owner) {
+            book_.record(a_owner, target, net::MessageKind::ReadyTransfer,
+                         net::kControlPayloadBytes);
+          }
+          push_ready(target, domain.linearize(a));
+        }
+      }
+
+      finish_one();
+    }
+
+    void finish_one() {
+      const std::int64_t fc = finished_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+      // Fault injection: the worker that crosses an armed threshold becomes
+      // the recovery coordinator.
+      std::size_t f = next_fault_.load(std::memory_order_relaxed);
+      if (f < faults_.size() && fc >= fault_thresholds_[f]) {
+        if (next_fault_.compare_exchange_strong(f, f + 1, std::memory_order_acq_rel)) {
+          coordinate_recovery(faults_[f].place);
+          return;
+        }
+      }
+
+      // Periodic snapshots: the worker that crosses the next snapshot
+      // threshold coordinates the global capture.
+      if (snapshot_step_ > 0) {
+        std::int64_t at = next_snapshot_at_.load(std::memory_order_relaxed);
+        if (fc >= at && fc < target_ &&
+            next_snapshot_at_.compare_exchange_strong(at, at + snapshot_step_,
+                                                      std::memory_order_acq_rel)) {
+          coordinate_snapshot();
+          return;
+        }
+      }
+
+      if (fc >= target_) {
+        // finished_ can only reach target_ when every cell is Finished —
+        // recovery resets it below target_ whenever work was lost.
+        announce_done();
+      }
+    }
+
+    void announce_done() {
+      done_.store(true, std::memory_order_release);
+      for (auto& p : places_) p->cv.notify_all();
+      pause_cv_.notify_all();
+    }
+
+    // ---- pause gate and recovery ------------------------------------------
+
+    void park() {
+      std::unique_lock<std::mutex> lk(pause_mu_);
+      ++parked_;
+      pause_cv_.notify_all();
+      pause_cv_.wait(lk, [this] {
+        return pause_requests_.load(std::memory_order_acquire) == 0 ||
+               done_.load(std::memory_order_acquire);
+      });
+      --parked_;
+    }
+
+    // A coordinator is a worker that crossed a fault threshold. Should two
+    // thresholds be crossed near-simultaneously, both workers coordinate:
+    // neither parks (hence the gate below waits for all workers *except*
+    // the coordinators), pause_requests_ stays positive until the last one
+    // finishes, and recovery_mu_ serializes the actual rebuilds.
+    void coordinate_recovery(std::int32_t dead_place) {
+      const double started_at = stopwatch_.seconds();
+
+      coordinating_.fetch_add(1, std::memory_order_acq_rel);
+      pause_requests_.fetch_add(1, std::memory_order_acq_rel);
+      for (auto& p : places_) p->cv.notify_all();
+      {
+        std::unique_lock<std::mutex> lk(pause_mu_);
+        pause_cv_.wait(lk, [this] {
+          return parked_ >= active_workers_.load(std::memory_order_acquire) -
+                                coordinating_.load(std::memory_order_acquire) ||
+                 done_.load(std::memory_order_acquire);
+        });
+      }
+
+      {
+        std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
+        Stopwatch recovery_watch;
+        DPX10_INFO << "place " << dead_place << " died after "
+                   << finished_.load(std::memory_order_relaxed) << " vertices; recovering";
+
+        if (dead_place == 0) {
+          // Resilient X10 aborts when place 0 dies; reproduce the limitation.
+          failure_ = std::make_exception_ptr(DeadPlaceException(0));
+          announce_done();
+        } else if (!done_.load(std::memory_order_acquire)) {
+          perform_recovery(dead_place, started_at, recovery_watch);
+        }
+      }
+
+      pause_requests_.fetch_sub(1, std::memory_order_acq_rel);
+      coordinating_.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lk(pause_mu_);
+        pause_cv_.notify_all();
+      }
+      for (auto& p : places_) p->cv.notify_all();
+    }
+
+    /// Pauses the world and captures a snapshot (coordinator context: the
+    /// same pause gate as recovery).
+    void coordinate_snapshot() {
+      coordinating_.fetch_add(1, std::memory_order_acq_rel);
+      pause_requests_.fetch_add(1, std::memory_order_acq_rel);
+      for (auto& p : places_) p->cv.notify_all();
+      {
+        std::unique_lock<std::mutex> lk(pause_mu_);
+        pause_cv_.wait(lk, [this] {
+          return parked_ >= active_workers_.load(std::memory_order_acquire) -
+                                coordinating_.load(std::memory_order_acquire) ||
+                 done_.load(std::memory_order_acquire);
+        });
+      }
+      {
+        std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
+        if (!done_.load(std::memory_order_acquire)) {
+          Stopwatch watch;
+          vault_.capture(*array_);
+          ++snapshots_taken_;
+          snapshot_seconds_ += watch.seconds();
+        }
+      }
+      pause_requests_.fetch_sub(1, std::memory_order_acq_rel);
+      coordinating_.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lk(pause_mu_);
+        pause_cv_.notify_all();
+      }
+      for (auto& p : places_) p->cv.notify_all();
+    }
+
+    void perform_recovery(std::int32_t dead_place, double started_at,
+                          const Stopwatch& recovery_watch) {
+      const std::int64_t finished_before = finished_.load(std::memory_order_acquire);
+      {
+        std::lock_guard<std::mutex> lk(pm_mu_);
+        pm_.kill(dead_place);
+      }
+      PlaceGroup survivors = [&] {
+        std::lock_guard<std::mutex> lk(pm_mu_);
+        return pm_.alive_group();
+      }();
+
+      auto fresh = std::make_unique<DistArray<T>>(dag_.domain(), opts_.dist, survivors);
+      RecoveryRecord record;
+      if (opts_.recovery == RecoveryPolicy::Rebuild) {
+        record = detail::rebuild_after_death(*array_, dead_place, opts_.restore, dag_, app_,
+                                             *fresh, book_);
+      } else {
+        // Periodic-snapshot rollback (§VI-D's rejected baseline).
+        record.dead_place = dead_place;
+        if (vault_.has_snapshot()) {
+          vault_.restore(*fresh);
+          detail::recompute_indegrees(*fresh, dag_);
+          record.restored = vault_.finished_in_snapshot();
+        } else {
+          detail::initialize_cells(*fresh, dag_, app_);
+        }
+        record.lost = static_cast<std::uint64_t>(finished_before) - record.restored;
+      }
+      array_ = std::move(fresh);
+
+      for (auto& p : places_) {
+        std::lock_guard<std::mutex> lk(p->mu);
+        p->ready.clear();
+        std::lock_guard<std::mutex> clk(p->cache_mu);
+        p->cache.clear();
+      }
+      detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
+        places_[static_cast<std::size_t>(place)]->ready.push_back(idx);
+      });
+      const std::int64_t now_finished =
+          static_cast<std::int64_t>(detail::count_finished(*array_));
+      finished_.store(now_finished, std::memory_order_release);
+
+      record.started_at = started_at;
+      record.recovery_seconds = recovery_watch.seconds();
+      recoveries_.push_back(record);
+
+      // Degenerate but possible: the dead place owned no computed work and
+      // the run was already complete — nobody will call finish_one again.
+      if (now_finished >= target_) announce_done();
+    }
+
+    // ---- state -------------------------------------------------------------
+
+    const RuntimeOptions& opts_;
+    const Dag& dag_;
+    DPX10App<T>& app_;
+
+    std::mutex pm_mu_;
+    PlaceManager pm_;
+    net::TrafficBook book_;
+    std::unique_ptr<DistArray<T>> array_;
+    std::vector<std::unique_ptr<PlaceRt>> places_;
+
+    std::vector<FaultPlan> faults_;
+    std::vector<std::int64_t> fault_thresholds_;
+    std::atomic<std::size_t> next_fault_{0};
+
+    SnapshotVault<T> vault_;  // mutated only under the pause gate
+    std::int64_t snapshot_step_ = 0;
+    std::atomic<std::int64_t> next_snapshot_at_{0};
+    std::uint64_t snapshots_taken_ = 0;    // coordinator-only (recovery_mu_)
+    double snapshot_seconds_ = 0.0;        // coordinator-only (recovery_mu_)
+
+    std::int64_t target_ = 0;
+    std::atomic<std::int64_t> finished_{0};
+    std::atomic<std::uint64_t> computed_total_{0};
+    std::atomic<bool> done_{false};
+
+    std::mutex pause_mu_;
+    std::condition_variable pause_cv_;
+    std::atomic<std::int32_t> pause_requests_{0};
+    std::atomic<std::int32_t> coordinating_{0};
+    std::mutex recovery_mu_;
+    int parked_ = 0;
+    std::atomic<std::int32_t> active_workers_{0};
+
+    std::vector<RecoveryRecord> recoveries_;
+    std::exception_ptr failure_;
+    Stopwatch stopwatch_;
+  };
+
+  RuntimeOptions opts_;
+};
+
+}  // namespace dpx10

@@ -1,0 +1,167 @@
+// Tiled wavefront execution — the paper's future-work "sophisticated
+// scheduling and cache techniques" (§X), realized as macro-vertices.
+//
+// Per-vertex scheduling pays the framework's constant on every cell; for
+// fine recurrences that constant dominates (the paper's Fig. 12 measures
+// it). Tiling groups the matrix into B × B blocks: each DAG vertex computes
+// a whole tile with tight loops and exchanges only the tile's boundary
+// (its bottom row and right column), so scheduling cost and communication
+// volume drop by ~B× while the wavefront structure — and therefore the
+// framework's scheduling, distribution, and fault tolerance — is unchanged.
+// bench/ablate_tiling sweeps B and exposes the classic granularity
+// tradeoff: too-small tiles pay overhead, too-large tiles starve the
+// wavefront of parallelism.
+//
+// Works for the left-top-diag kernel family (LCS/SW/SWLAG/MTP — any
+// recurrence expressible as a dp/kernels.h cell kernel).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "core/app.h"
+#include "core/patterns/left_top_diag.h"
+#include "core/value_traits.h"
+
+namespace dpx10 {
+
+/// The boundary a tile exposes to its right/bottom/diagonal consumers:
+/// its last row and last column (the shared corner appears in both).
+template <typename C>
+struct TileEdge {
+  std::vector<C> bottom;  ///< values of the tile's last row, left to right
+  std::vector<C> right;   ///< values of the tile's last column, top to bottom
+
+  friend bool operator==(const TileEdge&, const TileEdge&) = default;
+};
+
+template <typename C>
+struct ValueTraits<TileEdge<C>> {
+  static std::size_t wire_bytes(const TileEdge<C>& edge) {
+    return (edge.bottom.size() + edge.right.size()) * sizeof(C);
+  }
+};
+
+/// Integer geometry of a tiled matrix.
+class TileGeometry {
+ public:
+  TileGeometry(std::int32_t rows, std::int32_t cols, std::int32_t tile)
+      : rows_(rows), cols_(cols), tile_(tile) {
+    require(rows > 0 && cols > 0, "TileGeometry: matrix extents must be positive");
+    require(tile > 0, "TileGeometry: tile size must be positive");
+  }
+
+  std::int32_t rows() const { return rows_; }
+  std::int32_t cols() const { return cols_; }
+  std::int32_t tile() const { return tile_; }
+
+  std::int32_t tiles_i() const { return (rows_ + tile_ - 1) / tile_; }
+  std::int32_t tiles_j() const { return (cols_ + tile_ - 1) / tile_; }
+
+  std::int32_t row_begin(std::int32_t bi) const { return bi * tile_; }
+  std::int32_t row_end(std::int32_t bi) const {
+    std::int32_t end = (bi + 1) * tile_;
+    return end < rows_ ? end : rows_;
+  }
+  std::int32_t col_begin(std::int32_t bj) const { return bj * tile_; }
+  std::int32_t col_end(std::int32_t bj) const {
+    std::int32_t end = (bj + 1) * tile_;
+    return end < cols_ ? end : cols_;
+  }
+
+ private:
+  std::int32_t rows_;
+  std::int32_t cols_;
+  std::int32_t tile_;
+};
+
+/// DPX10 application computing `Kernel`'s recurrence tile-by-tile over the
+/// built-in left-top-diag pattern instantiated at tile granularity
+/// (patterns::LeftTopDiagDag(tiles_i, tiles_j)).
+template <typename Kernel>
+class TiledWavefrontApp : public DPX10App<TileEdge<typename Kernel::Value>> {
+ public:
+  using C = typename Kernel::Value;
+  using Edge = TileEdge<C>;
+
+  TiledWavefrontApp(Kernel kernel, TileGeometry geometry)
+      : kernel_(std::move(kernel)), geo_(geometry) {}
+
+  /// The matching DAG for this app.
+  std::unique_ptr<Dag> make_dag() const {
+    return std::make_unique<patterns::LeftTopDiagDag>(geo_.tiles_i(), geo_.tiles_j());
+  }
+
+  const TileGeometry& geometry() const { return geo_; }
+
+  Edge compute(std::int32_t bi, std::int32_t bj,
+               std::span<const Vertex<Edge>> deps) override {
+    const Edge* left = nullptr;
+    const Edge* top = nullptr;
+    const Edge* diag = nullptr;
+    for (const Vertex<Edge>& v : deps) {
+      if (v.i() == bi && v.j() == bj - 1) left = &v.result();
+      if (v.i() == bi - 1 && v.j() == bj) top = &v.result();
+      if (v.i() == bi - 1 && v.j() == bj - 1) diag = &v.result();
+    }
+
+    const std::int32_t r0 = geo_.row_begin(bi), r1 = geo_.row_end(bi);
+    const std::int32_t c0 = geo_.col_begin(bj), c1 = geo_.col_end(bj);
+    const std::int32_t h = r1 - r0, w = c1 - c0;
+
+    // Scratch holds one halo row/column plus the tile: (h+1) x (w+1),
+    // local to this call so the threaded engine can run tiles concurrently.
+    std::vector<C> scratch(static_cast<std::size_t>(h + 1) * (w + 1));
+    auto at = [&](std::int32_t li, std::int32_t lj) -> C& {
+      return scratch[static_cast<std::size_t>(li + 1) * (w + 1) + (lj + 1)];
+    };
+
+    // Halo row (global row r0-1): diag corner + top tile's bottom row. The
+    // diag tile exists exactly when both bi > 0 and bj > 0; otherwise the
+    // corner is a virtual boundary cell.
+    at(-1, -1) = diag ? diag->bottom.back() : kernel_.boundary(r0 - 1, c0 - 1);
+    for (std::int32_t lj = 0; lj < w; ++lj) {
+      at(-1, lj) = top ? top->bottom[static_cast<std::size_t>(lj)]
+                       : kernel_.boundary(r0 - 1, c0 + lj);
+    }
+    // Halo column (global column c0-1): left tile's right column.
+    for (std::int32_t li = 0; li < h; ++li) {
+      at(li, -1) = left ? left->right[static_cast<std::size_t>(li)]
+                        : kernel_.boundary(r0 + li, c0 - 1);
+    }
+
+    for (std::int32_t li = 0; li < h; ++li) {
+      for (std::int32_t lj = 0; lj < w; ++lj) {
+        at(li, lj) = kernel_.cell(r0 + li, c0 + lj, at(li - 1, lj - 1), at(li - 1, lj),
+                                  at(li, lj - 1));
+      }
+    }
+
+    Edge out;
+    out.bottom.resize(static_cast<std::size_t>(w));
+    out.right.resize(static_cast<std::size_t>(h));
+    for (std::int32_t lj = 0; lj < w; ++lj) {
+      out.bottom[static_cast<std::size_t>(lj)] = at(h - 1, lj);
+    }
+    for (std::int32_t li = 0; li < h; ++li) {
+      out.right[static_cast<std::size_t>(li)] = at(li, c1 - c0 - 1);
+    }
+    return out;
+  }
+
+  /// One tile costs as many compute units as it has cells, keeping virtual
+  /// time comparable with per-vertex execution.
+  double compute_cost_units(VertexId id) const override {
+    return static_cast<double>(geo_.row_end(id.i) - geo_.row_begin(id.i)) *
+           static_cast<double>(geo_.col_end(id.j) - geo_.col_begin(id.j));
+  }
+
+  std::string_view name() const override { return "tiled-wavefront"; }
+
+ private:
+  Kernel kernel_;
+  TileGeometry geo_;
+};
+
+}  // namespace dpx10

@@ -1,0 +1,23 @@
+// ValueTraits<T> — how the engines measure a vertex value on the wire.
+//
+// Scalar cell values (int, SwlagCell, ...) are sizeof(T); composite values
+// such as tile boundaries own heap storage, so they specialize this trait
+// to report their true payload size for traffic accounting and the
+// simulator's transfer-time model.
+#pragma once
+
+#include <cstddef>
+
+namespace dpx10 {
+
+template <typename T>
+struct ValueTraits {
+  static std::size_t wire_bytes(const T&) { return sizeof(T); }
+};
+
+template <typename T>
+std::size_t value_wire_bytes(const T& value) {
+  return ValueTraits<T>::wire_bytes(value);
+}
+
+}  // namespace dpx10

@@ -1,0 +1,28 @@
+// Vertex<T> — the dependency view handed to compute() (paper Fig. 2).
+//
+// The X10 API passes a Rail[Vertex[T]] of *finished* dependency vertices;
+// user code matches on (i, j) and reads getResult(). We keep the exact
+// shape: an id plus the computed value, passed by span. The engines own the
+// authoritative cell state (apgas/dist_array.h); Vertex is a value snapshot,
+// so compute() can never race with the store.
+#pragma once
+
+#include <cstdint>
+
+#include "common/vertex_id.h"
+
+namespace dpx10 {
+
+template <typename T>
+struct Vertex {
+  VertexId id;
+  T value{};
+
+  std::int32_t i() const { return id.i; }
+  std::int32_t j() const { return id.j; }
+
+  /// X10-API name preserved: the vertex's computed result.
+  const T& result() const { return value; }
+};
+
+}  // namespace dpx10

@@ -1,0 +1,46 @@
+#include "dp/banded.h"
+
+#include <algorithm>
+
+namespace dpx10::dp {
+
+std::int32_t BandedSwApp::compute(std::int32_t i, std::int32_t j,
+                                  std::span<const Vertex<std::int32_t>> deps) {
+  if (i == 0 || j == 0) return 0;
+  std::int32_t diag = 0, top = 0, left = 0;  // out-of-band contributions are 0
+  for (const Vertex<std::int32_t>& v : deps) {
+    if (v.i() == i - 1 && v.j() == j - 1) diag = v.result();
+    if (v.i() == i - 1 && v.j() == j) top = v.result();
+    if (v.i() == i && v.j() == j - 1) left = v.result();
+  }
+  const bool match =
+      a_[static_cast<std::size_t>(i - 1)] == b_[static_cast<std::size_t>(j - 1)];
+  const std::int32_t sub = diag + (match ? kSwMatchScore : kSwMismatchScore);
+  return std::max({0, sub, top + kSwGapPenalty, left + kSwGapPenalty});
+}
+
+Matrix<std::int32_t> serial_banded_sw(const std::string& a, const std::string& b,
+                                      std::int32_t band) {
+  const std::int32_t m = static_cast<std::int32_t>(a.size());
+  const std::int32_t n = static_cast<std::int32_t>(b.size());
+  Matrix<std::int32_t> h(m + 1, n + 1, 0);
+  auto in_band = [band](std::int32_t i, std::int32_t j) {
+    const std::int32_t d = i - j;
+    return d <= band && -d <= band;
+  };
+  for (std::int32_t i = 1; i <= m; ++i) {
+    for (std::int32_t j = 1; j <= n; ++j) {
+      if (!in_band(i, j)) continue;
+      const std::int32_t diag = in_band(i - 1, j - 1) ? h.at(i - 1, j - 1) : 0;
+      const std::int32_t top = in_band(i - 1, j) ? h.at(i - 1, j) : 0;
+      const std::int32_t left = in_band(i, j - 1) ? h.at(i, j - 1) : 0;
+      const bool match =
+          a[static_cast<std::size_t>(i - 1)] == b[static_cast<std::size_t>(j - 1)];
+      const std::int32_t sub = diag + (match ? kSwMatchScore : kSwMismatchScore);
+      h.at(i, j) = std::max({0, sub, top + kSwGapPenalty, left + kSwGapPenalty});
+    }
+  }
+  return h;
+}
+
+}  // namespace dpx10::dp

@@ -1,0 +1,39 @@
+#include "dp/edit_distance.h"
+
+#include <algorithm>
+
+namespace dpx10::dp {
+
+std::int32_t EditDistanceApp::compute(std::int32_t i, std::int32_t j,
+                                      std::span<const Vertex<std::int32_t>> deps) {
+  if (i == 0) return j;
+  if (j == 0) return i;
+  std::int32_t diag = 0, top = 0, left = 0;
+  for (const Vertex<std::int32_t>& v : deps) {
+    if (v.i() == i - 1 && v.j() == j - 1) diag = v.result();
+    if (v.i() == i - 1 && v.j() == j) top = v.result();
+    if (v.i() == i && v.j() == j - 1) left = v.result();
+  }
+  const std::int32_t substitute =
+      diag + (a_[static_cast<std::size_t>(i - 1)] != b_[static_cast<std::size_t>(j - 1)]);
+  return std::min({top + 1, left + 1, substitute});
+}
+
+Matrix<std::int32_t> serial_edit_distance(const std::string& a, const std::string& b) {
+  const std::int32_t m = static_cast<std::int32_t>(a.size());
+  const std::int32_t n = static_cast<std::int32_t>(b.size());
+  Matrix<std::int32_t> d(m + 1, n + 1, 0);
+  for (std::int32_t i = 0; i <= m; ++i) d.at(i, 0) = i;
+  for (std::int32_t j = 0; j <= n; ++j) d.at(0, j) = j;
+  for (std::int32_t i = 1; i <= m; ++i) {
+    for (std::int32_t j = 1; j <= n; ++j) {
+      const std::int32_t substitute =
+          d.at(i - 1, j - 1) +
+          (a[static_cast<std::size_t>(i - 1)] != b[static_cast<std::size_t>(j - 1)]);
+      d.at(i, j) = std::min({d.at(i - 1, j) + 1, d.at(i, j - 1) + 1, substitute});
+    }
+  }
+  return d;
+}
+
+}  // namespace dpx10::dp

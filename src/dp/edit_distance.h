@@ -1,0 +1,52 @@
+// Levenshtein edit distance — a min-recurrence with non-zero boundaries:
+//
+//   D[i,0] = i,  D[0,j] = j
+//   D[i,j] = min(D[i-1,j] + 1, D[i,j-1] + 1, D[i-1,j-1] + (a_i != b_j))
+//
+// DAG pattern: left-top-diag. Unlike the alignment apps, the boundary rows
+// carry non-trivial values, exercising result-dependent boundaries inside
+// compute(); the test suite also runs it with initial_value() pre-finishing
+// the boundaries (§VI-E "Initialization of DAG").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/app.h"
+#include "dp/matrix.h"
+
+namespace dpx10::dp {
+
+class EditDistanceApp : public DPX10App<std::int32_t> {
+ public:
+  EditDistanceApp(std::string a, std::string b) : a_(std::move(a)), b_(std::move(b)) {}
+
+  std::int32_t compute(std::int32_t i, std::int32_t j,
+                       std::span<const Vertex<std::int32_t>> deps) override;
+
+  std::string_view name() const override { return "edit-distance"; }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+
+ private:
+  std::string a_;
+  std::string b_;
+};
+
+/// Variant that pre-finishes row 0 and column 0 through initial_value(), so
+/// the engines never schedule the boundary cells.
+class EditDistancePrefinishedApp : public EditDistanceApp {
+ public:
+  using EditDistanceApp::EditDistanceApp;
+
+  std::optional<std::int32_t> initial_value(VertexId id) const override {
+    if (id.i == 0) return id.j;
+    if (id.j == 0) return id.i;
+    return std::nullopt;
+  }
+};
+
+Matrix<std::int32_t> serial_edit_distance(const std::string& a, const std::string& b);
+
+}  // namespace dpx10::dp

@@ -1,0 +1,37 @@
+#include "dp/inputs.h"
+
+#include "common/error.h"
+
+namespace dpx10::dp {
+
+std::string random_sequence(std::size_t length, std::uint64_t seed,
+                            std::string_view alphabet) {
+  require(!alphabet.empty(), "random_sequence: empty alphabet");
+  require(length > 0, "random_sequence: length must be positive");
+  Xoshiro256 rng(mix64(seed, 0x5e90e1ceULL));
+  std::string out(length, '\0');
+  for (char& c : out) {
+    c = alphabet[static_cast<std::size_t>(rng.below(alphabet.size()))];
+  }
+  return out;
+}
+
+KnapsackInstance random_knapsack(std::int32_t items, std::int32_t capacity,
+                                 std::int32_t max_weight, std::uint64_t seed) {
+  require(items > 0, "random_knapsack: need at least one item");
+  require(capacity > 0, "random_knapsack: capacity must be positive");
+  require(max_weight >= 1, "random_knapsack: max_weight must be >= 1");
+  Xoshiro256 rng(mix64(seed, 0x6a95acULL));
+  KnapsackInstance inst;
+  inst.capacity = capacity;
+  inst.weights.reserve(static_cast<std::size_t>(items));
+  inst.values.reserve(static_cast<std::size_t>(items));
+  for (std::int32_t k = 0; k < items; ++k) {
+    inst.weights.push_back(1 + static_cast<std::int32_t>(
+                                   rng.below(static_cast<std::uint64_t>(max_weight))));
+    inst.values.push_back(1 + static_cast<std::int64_t>(rng.below(1000)));
+  }
+  return inst;
+}
+
+}  // namespace dpx10::dp

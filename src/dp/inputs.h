@@ -1,0 +1,49 @@
+// Deterministic workload generators for the DP applications.
+//
+// The paper generates its test graphs before measuring ("the time for ...
+// generating test graphs ... was not included"); we do the same, and make
+// every generator a pure function of a seed so experiments are reproducible
+// and engine-vs-serial comparisons see identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dpx10::dp {
+
+/// Uniform random string over `alphabet` (default: DNA).
+std::string random_sequence(std::size_t length, std::uint64_t seed,
+                            std::string_view alphabet = "ACGT");
+
+/// Edge weight of the Manhattan Tourists grid, derived statelessly from the
+/// endpoint coordinates — a billion-vertex grid needs no stored weights.
+/// Range [0, 100).
+inline std::int64_t mtp_weight(std::int32_t i1, std::int32_t j1, std::int32_t i2,
+                               std::int32_t j2, std::uint64_t seed) {
+  std::uint64_t a = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i1)) << 32) |
+                    static_cast<std::uint32_t>(j1);
+  std::uint64_t b = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i2)) << 32) |
+                    static_cast<std::uint32_t>(j2);
+  return static_cast<std::int64_t>(splitmix64(mix64(seed, mix64(a, b))) % 100);
+}
+
+/// A 0/1 knapsack instance. weights[k]/values[k] describe item k+1 in the
+/// paper's 1-based item numbering.
+struct KnapsackInstance {
+  std::vector<std::int32_t> weights;
+  std::vector<std::int64_t> values;
+  std::int32_t capacity = 0;
+
+  std::int32_t items() const { return static_cast<std::int32_t>(weights.size()); }
+};
+
+/// Random instance: `items` items with weights in [1, max_weight] and
+/// values in [1, 1000].
+KnapsackInstance random_knapsack(std::int32_t items, std::int32_t capacity,
+                                 std::int32_t max_weight, std::uint64_t seed);
+
+}  // namespace dpx10::dp

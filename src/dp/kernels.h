@@ -1,0 +1,109 @@
+// Cell kernels — the wavefront recurrences factored as pure step functions.
+//
+// A kernel computes one cell from its diagonal/top/left neighbours. The
+// per-vertex apps (dp/lcs.h etc.) and the tiled executor (core/tiling.h)
+// share these, so tiled and per-vertex runs are bit-identical by
+// construction. A kernel must also provide the boundary value for virtual
+// cells outside the matrix (row/column 0 of the classic string DPs).
+//
+// Kernel concept:
+//   using Value = ...;
+//   Value boundary(i, j) const;                 // value of a virtual cell
+//   Value cell(i, j, diag, top, left) const;    // i >= 1 && j >= 1
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "dp/inputs.h"
+#include "dp/lcs.h"
+#include "dp/smith_waterman.h"
+#include "dp/swlag.h"
+
+namespace dpx10::dp {
+
+class LcsKernel {
+ public:
+  using Value = std::int32_t;
+
+  LcsKernel(const std::string& a, const std::string& b) : a_(&a), b_(&b) {}
+
+  Value boundary(std::int32_t, std::int32_t) const { return 0; }
+
+  Value cell(std::int32_t i, std::int32_t j, Value diag, Value top, Value left) const {
+    if (i == 0 || j == 0) return 0;
+    if ((*a_)[static_cast<std::size_t>(i - 1)] == (*b_)[static_cast<std::size_t>(j - 1)]) {
+      return diag + 1;
+    }
+    return std::max(top, left);
+  }
+
+ private:
+  const std::string* a_;
+  const std::string* b_;
+};
+
+class SwKernel {
+ public:
+  using Value = std::int32_t;
+
+  SwKernel(const std::string& a, const std::string& b) : a_(&a), b_(&b) {}
+
+  Value boundary(std::int32_t, std::int32_t) const { return 0; }
+
+  Value cell(std::int32_t i, std::int32_t j, Value diag, Value top, Value left) const {
+    if (i == 0 || j == 0) return 0;
+    const bool match =
+        (*a_)[static_cast<std::size_t>(i - 1)] == (*b_)[static_cast<std::size_t>(j - 1)];
+    const Value sub = diag + (match ? kSwMatchScore : kSwMismatchScore);
+    return std::max({0, sub, top + kSwGapPenalty, left + kSwGapPenalty});
+  }
+
+ private:
+  const std::string* a_;
+  const std::string* b_;
+};
+
+class SwlagKernel {
+ public:
+  using Value = SwlagCell;
+
+  SwlagKernel(const std::string& a, const std::string& b) : a_(&a), b_(&b) {}
+
+  Value boundary(std::int32_t, std::int32_t) const { return SwlagCell{}; }
+
+  Value cell(std::int32_t i, std::int32_t j, const Value& diag, const Value& top,
+             const Value& left) const {
+    if (i == 0 || j == 0) return SwlagCell{};
+    return swlag_step(i, j, diag, top, left, *a_, *b_);
+  }
+
+ private:
+  const std::string* a_;
+  const std::string* b_;
+};
+
+/// Manhattan-Tourists as a kernel (left-top pattern: the diagonal input is
+/// ignored). Cell (0,0) is the boundary-derived origin.
+class MtpKernel {
+ public:
+  using Value = std::int64_t;
+
+  explicit MtpKernel(std::uint64_t seed) : seed_(seed) {}
+
+  Value boundary(std::int32_t, std::int32_t) const { return INT64_MIN / 4; }
+
+  Value cell(std::int32_t i, std::int32_t j, const Value&, Value top, Value left) const {
+    if (i == 0 && j == 0) return 0;
+    Value best = INT64_MIN;
+    if (i > 0) best = std::max(best, top + mtp_weight(i - 1, j, i, j, seed_));
+    if (j > 0) best = std::max(best, left + mtp_weight(i, j - 1, i, j, seed_));
+    return best;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace dpx10::dp

@@ -1,0 +1,73 @@
+#include "dp/knapsack.h"
+
+#include <algorithm>
+
+namespace dpx10::dp {
+
+KnapsackDag::KnapsackDag(std::shared_ptr<const KnapsackInstance> instance)
+    : Dag(instance->items() + 1, instance->capacity + 1,
+          DagDomain::rect(instance->items() + 1, instance->capacity + 1)),
+      instance_(std::move(instance)) {}
+
+void KnapsackDag::dependencies(VertexId v, std::vector<VertexId>& out) const {
+  // Row 0 (no items) and column 0 (no capacity) are zero boundaries the
+  // compute() method fills without inputs — the paper's Fig. 9 returns an
+  // empty Rail for them.
+  if (v.i == 0 || v.j == 0) return;
+  out.push_back(VertexId{v.i - 1, v.j});
+  const std::int32_t w = weight(v.i);
+  if (w <= v.j) out.push_back(VertexId{v.i - 1, v.j - w});
+}
+
+void KnapsackDag::anti_dependencies(VertexId v, std::vector<VertexId>& out) const {
+  if (v.i >= height() - 1) return;  // last item row feeds nothing
+  // (i+1, j) depends on us through its "skip item i+1" edge — but only if
+  // it has dependencies at all (j > 0).
+  if (v.j > 0) out.push_back(VertexId{v.i + 1, v.j});
+  // (i+1, j + w_{i+1}) depends on us through its "take item i+1" edge.
+  const std::int32_t w = weight(v.i + 1);
+  const std::int64_t j_take = static_cast<std::int64_t>(v.j) + w;
+  if (j_take <= width() - 1) {
+    out.push_back(VertexId{v.i + 1, static_cast<std::int32_t>(j_take)});
+  }
+}
+
+std::int64_t KnapsackApp::compute(std::int32_t i, std::int32_t j,
+                                  std::span<const Vertex<std::int64_t>> deps) {
+  if (i == 0 || j == 0) return 0;
+  const std::int32_t w = instance_->weights[static_cast<std::size_t>(i - 1)];
+  std::int64_t skip = 0, take_base = 0;
+  bool can_take = false;
+  for (const Vertex<std::int64_t>& v : deps) {
+    if (v.i() == i - 1 && v.j() == j) skip = v.result();
+    if (w <= j && v.i() == i - 1 && v.j() == j - w) {
+      take_base = v.result();
+      can_take = true;
+    }
+  }
+  // w == j makes the two dependency ids coincide ((i-1, j) == (i-1, j-w) is
+  // impossible since w >= 1, but (i-1, 0) exists); can_take only when the
+  // take edge was actually present.
+  if (!can_take) return skip;
+  return std::max(skip, take_base + instance_->values[static_cast<std::size_t>(i - 1)]);
+}
+
+Matrix<std::int64_t> serial_knapsack(const KnapsackInstance& instance) {
+  const std::int32_t n = instance.items();
+  const std::int32_t cap = instance.capacity;
+  Matrix<std::int64_t> m(n + 1, cap + 1, 0);
+  for (std::int32_t i = 1; i <= n; ++i) {
+    const std::int32_t w = instance.weights[static_cast<std::size_t>(i - 1)];
+    const std::int64_t v = instance.values[static_cast<std::size_t>(i - 1)];
+    for (std::int32_t j = 1; j <= cap; ++j) {
+      if (w > j) {
+        m.at(i, j) = m.at(i - 1, j);
+      } else {
+        m.at(i, j) = std::max(m.at(i - 1, j), m.at(i - 1, j - w) + v);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace dpx10::dp

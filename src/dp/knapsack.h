@@ -1,0 +1,60 @@
+// 0/1 Knapsack — the paper's custom-DAG-pattern tutorial (§VII-B, Figs. 8-9)
+// and one of its four evaluated applications:
+//
+//   m(i,j) = m(i-1,j)                                   if w_i > j
+//          = max(m(i-1,j), m(i-1, j-w_i) + v_i)         otherwise
+//
+// Unlike the eight built-in patterns, the edges here are data-dependent
+// (they jump by item weights), so KnapsackDag subclasses Dag directly —
+// exactly the paper's "write a custom pattern" path. The matrix is
+// (items+1) × (capacity+1); row 0 and column 0 are zero boundaries with no
+// dependencies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/app.h"
+#include "core/dag.h"
+#include "dp/inputs.h"
+#include "dp/matrix.h"
+
+namespace dpx10::dp {
+
+class KnapsackDag final : public Dag {
+ public:
+  /// Holds a shared reference to the instance: the DAG's edge structure is
+  /// a function of the item weights.
+  explicit KnapsackDag(std::shared_ptr<const KnapsackInstance> instance);
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override;
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override;
+
+  std::string_view name() const override { return "knapsack"; }
+
+ private:
+  std::int32_t weight(std::int32_t item_row) const {
+    return instance_->weights[static_cast<std::size_t>(item_row - 1)];
+  }
+
+  std::shared_ptr<const KnapsackInstance> instance_;
+};
+
+class KnapsackApp : public DPX10App<std::int64_t> {
+ public:
+  explicit KnapsackApp(std::shared_ptr<const KnapsackInstance> instance)
+      : instance_(std::move(instance)) {}
+
+  std::int64_t compute(std::int32_t i, std::int32_t j,
+                       std::span<const Vertex<std::int64_t>> deps) override;
+
+  std::string_view name() const override { return "knapsack-01"; }
+
+ private:
+  std::shared_ptr<const KnapsackInstance> instance_;
+};
+
+/// Serial reference: the full (items+1) × (capacity+1) value table.
+Matrix<std::int64_t> serial_knapsack(const KnapsackInstance& instance);
+
+}  // namespace dpx10::dp

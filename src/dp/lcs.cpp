@@ -1,0 +1,57 @@
+#include "dp/lcs.h"
+
+#include <algorithm>
+
+namespace dpx10::dp {
+
+std::int32_t LcsApp::compute(std::int32_t i, std::int32_t j,
+                             std::span<const Vertex<std::int32_t>> deps) {
+  if (i == 0 || j == 0) return 0;
+  std::int32_t diag = 0, top = 0, left = 0;
+  for (const Vertex<std::int32_t>& v : deps) {
+    if (v.i() == i - 1 && v.j() == j - 1) diag = v.result();
+    if (v.i() == i - 1 && v.j() == j) top = v.result();
+    if (v.i() == i && v.j() == j - 1) left = v.result();
+  }
+  if (a_[static_cast<std::size_t>(i - 1)] == b_[static_cast<std::size_t>(j - 1)]) {
+    return diag + 1;
+  }
+  return std::max(top, left);
+}
+
+std::string LcsApp::traceback(const DagView<std::int32_t>& dag) const {
+  std::string out;
+  std::int32_t i = static_cast<std::int32_t>(a_.size());
+  std::int32_t j = static_cast<std::int32_t>(b_.size());
+  while (i > 0 && j > 0) {
+    if (a_[static_cast<std::size_t>(i - 1)] == b_[static_cast<std::size_t>(j - 1)]) {
+      out.push_back(a_[static_cast<std::size_t>(i - 1)]);
+      --i;
+      --j;
+    } else if (dag.at(i - 1, j) >= dag.at(i, j - 1)) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Matrix<std::int32_t> serial_lcs(const std::string& a, const std::string& b) {
+  const std::int32_t m = static_cast<std::int32_t>(a.size());
+  const std::int32_t n = static_cast<std::int32_t>(b.size());
+  Matrix<std::int32_t> f(m + 1, n + 1, 0);
+  for (std::int32_t i = 1; i <= m; ++i) {
+    for (std::int32_t j = 1; j <= n; ++j) {
+      if (a[static_cast<std::size_t>(i - 1)] == b[static_cast<std::size_t>(j - 1)]) {
+        f.at(i, j) = f.at(i - 1, j - 1) + 1;
+      } else {
+        f.at(i, j) = std::max(f.at(i - 1, j), f.at(i, j - 1));
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace dpx10::dp

@@ -1,0 +1,43 @@
+// Longest Common Subsequence — the paper's running example (§IV, Fig. 1).
+//
+//   F[i,j] = F[i-1,j-1] + 1                 if x_i == y_j
+//          = max(F[i-1,j], F[i,j-1])        otherwise
+//
+// DAG pattern: left-top-diag (Fig. 5b) over an (m+1) × (n+1) matrix whose
+// row/column 0 are zero boundaries computed in place (no dependencies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/app.h"
+#include "dp/matrix.h"
+
+namespace dpx10::dp {
+
+class LcsApp : public DPX10App<std::int32_t> {
+ public:
+  /// The DAG for (a, b) must be "left-top-diag" of size
+  /// (a.size()+1) × (b.size()+1).
+  LcsApp(std::string a, std::string b) : a_(std::move(a)), b_(std::move(b)) {}
+
+  std::int32_t compute(std::int32_t i, std::int32_t j,
+                       std::span<const Vertex<std::int32_t>> deps) override;
+
+  std::string_view name() const override { return "lcs"; }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+
+  /// Reconstructs one LCS from the finished matrix by traceback.
+  std::string traceback(const DagView<std::int32_t>& dag) const;
+
+ private:
+  std::string a_;
+  std::string b_;
+};
+
+/// Serial reference: the full (m+1) × (n+1) score matrix.
+Matrix<std::int32_t> serial_lcs(const std::string& a, const std::string& b);
+
+}  // namespace dpx10::dp

@@ -1,0 +1,40 @@
+#include "dp/lps.h"
+
+#include <algorithm>
+
+namespace dpx10::dp {
+
+std::int32_t LpsApp::compute(std::int32_t i, std::int32_t j,
+                             std::span<const Vertex<std::int32_t>> deps) {
+  if (i == j) return 1;
+  std::int32_t inner = 0, down = 0, left = 0;
+  for (const Vertex<std::int32_t>& v : deps) {
+    if (v.i() == i + 1 && v.j() == j - 1) inner = v.result();
+    if (v.i() == i + 1 && v.j() == j) down = v.result();
+    if (v.i() == i && v.j() == j - 1) left = v.result();
+  }
+  if (x_[static_cast<std::size_t>(i)] == x_[static_cast<std::size_t>(j)]) {
+    if (j == i + 1) return 2;
+    return inner + 2;
+  }
+  return std::max(down, left);
+}
+
+Matrix<std::int32_t> serial_lps(const std::string& x) {
+  const std::int32_t n = static_cast<std::int32_t>(x.size());
+  Matrix<std::int32_t> d(n, n, 0);
+  for (std::int32_t i = 0; i < n; ++i) d.at(i, i) = 1;
+  for (std::int32_t len = 2; len <= n; ++len) {
+    for (std::int32_t i = 0; i + len - 1 < n; ++i) {
+      const std::int32_t j = i + len - 1;
+      if (x[static_cast<std::size_t>(i)] == x[static_cast<std::size_t>(j)]) {
+        d.at(i, j) = (len == 2) ? 2 : d.at(i + 1, j - 1) + 2;
+      } else {
+        d.at(i, j) = std::max(d.at(i + 1, j), d.at(i, j - 1));
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace dpx10::dp

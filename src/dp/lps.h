@@ -1,0 +1,38 @@
+// Longest Palindromic Subsequence — interval DP on the upper triangle,
+// one of the paper's four evaluated applications (§VIII):
+//
+//   D(i,i)   = 1
+//   D(i,j)   = 2                      if x_i == x_j and j == i+1
+//            = D(i+1,j-1) + 2         if x_i == x_j
+//            = max(D(i+1,j), D(i,j-1)) otherwise
+//
+// DAG pattern: interval (Fig. 5d) over an n × n upper-triangular domain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/app.h"
+#include "dp/matrix.h"
+
+namespace dpx10::dp {
+
+class LpsApp : public DPX10App<std::int32_t> {
+ public:
+  explicit LpsApp(std::string x) : x_(std::move(x)) {}
+
+  std::int32_t compute(std::int32_t i, std::int32_t j,
+                       std::span<const Vertex<std::int32_t>> deps) override;
+
+  std::string_view name() const override { return "lps"; }
+
+  const std::string& x() const { return x_; }
+
+ private:
+  std::string x_;
+};
+
+/// Serial reference; only cells with i <= j are meaningful.
+Matrix<std::int32_t> serial_lps(const std::string& x);
+
+}  // namespace dpx10::dp

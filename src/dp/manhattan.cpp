@@ -1,0 +1,32 @@
+#include "dp/manhattan.h"
+
+#include <algorithm>
+
+namespace dpx10::dp {
+
+std::int64_t ManhattanApp::compute(std::int32_t i, std::int32_t j,
+                                   std::span<const Vertex<std::int64_t>> deps) {
+  if (i == 0 && j == 0) return 0;
+  std::int64_t best = INT64_MIN;
+  for (const Vertex<std::int64_t>& v : deps) {
+    best = std::max(best, v.result() + mtp_weight(v.i(), v.j(), i, j, seed_));
+  }
+  return best;
+}
+
+Matrix<std::int64_t> serial_manhattan(std::int32_t rows, std::int32_t cols,
+                                      std::uint64_t seed) {
+  Matrix<std::int64_t> d(rows, cols, 0);
+  for (std::int32_t i = 0; i < rows; ++i) {
+    for (std::int32_t j = 0; j < cols; ++j) {
+      if (i == 0 && j == 0) continue;
+      std::int64_t best = INT64_MIN;
+      if (i > 0) best = std::max(best, d.at(i - 1, j) + mtp_weight(i - 1, j, i, j, seed));
+      if (j > 0) best = std::max(best, d.at(i, j - 1) + mtp_weight(i, j - 1, i, j, seed));
+      d.at(i, j) = best;
+    }
+  }
+  return d;
+}
+
+}  // namespace dpx10::dp

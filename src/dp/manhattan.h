@@ -1,0 +1,38 @@
+// Manhattan Tourists Problem — one of the paper's four evaluated
+// applications (§VIII):
+//
+//   D[i,j] = max(D[i-1,j] + w(i-1,j, i,j),  D[i,j-1] + w(i,j-1, i,j))
+//
+// Edge weights come from the stateless mtp_weight() generator, so the grid
+// never needs to be materialized. DAG pattern: left-top (Fig. 5a).
+#pragma once
+
+#include <cstdint>
+
+#include "core/app.h"
+#include "dp/inputs.h"
+#include "dp/matrix.h"
+
+namespace dpx10::dp {
+
+class ManhattanApp : public DPX10App<std::int64_t> {
+ public:
+  /// `seed` selects the weight field; the DAG must be "left-top" of
+  /// exactly (rows × cols).
+  explicit ManhattanApp(std::uint64_t seed) : seed_(seed) {}
+
+  std::int64_t compute(std::int32_t i, std::int32_t j,
+                       std::span<const Vertex<std::int64_t>> deps) override;
+
+  std::string_view name() const override { return "manhattan-tourists"; }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+Matrix<std::int64_t> serial_manhattan(std::int32_t rows, std::int32_t cols,
+                                      std::uint64_t seed);
+
+}  // namespace dpx10::dp

@@ -1,0 +1,38 @@
+// Matrix<T> — a dense row-major 2D array used by the serial reference
+// implementations and by tests comparing engine output against them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dpx10::dp {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix(std::int32_t rows, std::int32_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+    require(rows > 0 && cols > 0, "Matrix: dimensions must be positive");
+  }
+
+  std::int32_t rows() const { return rows_; }
+  std::int32_t cols() const { return cols_; }
+
+  T& at(std::int32_t r, std::int32_t c) {
+    check_internal(r >= 0 && r < rows_ && c >= 0 && c < cols_, "Matrix::at out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& at(std::int32_t r, std::int32_t c) const {
+    check_internal(r >= 0 && r < rows_ && c >= 0 && c < cols_, "Matrix::at out of range");
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+ private:
+  std::int32_t rows_;
+  std::int32_t cols_;
+  std::vector<T> data_;
+};
+
+}  // namespace dpx10::dp

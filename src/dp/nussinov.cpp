@@ -1,0 +1,54 @@
+#include "dp/nussinov.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dpx10::dp {
+
+std::int32_t nussinov_pair(char a, char b) {
+  auto is = [&](char x, char y) { return (a == x && b == y) || (a == y && b == x); };
+  if (is('A', 'U') || is('G', 'C') || is('G', 'U')) return 1;
+  return 0;
+}
+
+std::int32_t NussinovApp::compute(std::int32_t i, std::int32_t j,
+                                  std::span<const Vertex<std::int32_t>> deps) {
+  if (j - i <= kNussinovMinLoop) return 0;
+  // Index the O(n) dependencies by coordinate. Local buffers keep compute()
+  // thread-safe under the threaded engine.
+  std::vector<std::int32_t> row(static_cast<std::size_t>(j - i), 0);       // N(i, k)
+  std::vector<std::int32_t> col(static_cast<std::size_t>(j - i), 0);       // N(k+1, j)
+  std::int32_t inner = 0;                                                  // N(i+1, j-1)
+  for (const Vertex<std::int32_t>& v : deps) {
+    if (v.i() == i + 1 && v.j() == j - 1) inner = v.result();
+    if (v.i() == i && v.j() < j) row[static_cast<std::size_t>(v.j() - i)] = v.result();
+    if (v.j() == j && v.i() > i) col[static_cast<std::size_t>(v.i() - i - 1)] = v.result();
+  }
+  std::int32_t best =
+      inner + nussinov_pair(x_[static_cast<std::size_t>(i)], x_[static_cast<std::size_t>(j)]);
+  for (std::int32_t k = i; k < j; ++k) {
+    best = std::max(best, row[static_cast<std::size_t>(k - i)] +
+                              col[static_cast<std::size_t>(k - i)]);
+  }
+  return best;
+}
+
+Matrix<std::int32_t> serial_nussinov(const std::string& x) {
+  const std::int32_t n = static_cast<std::int32_t>(x.size());
+  Matrix<std::int32_t> m(n, n, 0);
+  for (std::int32_t len = kNussinovMinLoop + 2; len <= n; ++len) {
+    for (std::int32_t i = 0; i + len - 1 < n; ++i) {
+      const std::int32_t j = i + len - 1;
+      std::int32_t best =
+          m.at(i + 1, j - 1) +
+          nussinov_pair(x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(j)]);
+      for (std::int32_t k = i; k < j; ++k) {
+        best = std::max(best, m.at(i, k) + m.at(k + 1, j));
+      }
+      m.at(i, j) = best;
+    }
+  }
+  return m;
+}
+
+}  // namespace dpx10::dp

@@ -1,0 +1,67 @@
+// Nussinov RNA secondary-structure prediction — a full 2D/1D application
+// on the library side of the §III expressibility claim:
+//
+//   N(i,j) = 0                                          if j - i <= loop
+//   N(i,j) = max( N(i+1,j-1) + pair(x_i, x_j),
+//                 max_{i <= k < j} N(i,k) + N(k+1,j) )
+//
+// pair() scores canonical base pairs (AU, GC, GU) and `loop` enforces the
+// minimum hairpin size. The dependency structure is interval-prefix plus
+// the inner diagonal, so NussinovDag is a custom pattern (the paper's
+// custom-pattern path) with O(n) fan-in — the "performance is less than
+// satisfactory" regime, exercised for real by tests and the runner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/app.h"
+#include "core/dag.h"
+#include "dp/matrix.h"
+
+namespace dpx10::dp {
+
+inline constexpr std::int32_t kNussinovMinLoop = 3;
+
+/// 1 when (a, b) is a canonical RNA pair (AU, GC, GU in either order).
+std::int32_t nussinov_pair(char a, char b);
+
+class NussinovDag final : public Dag {
+ public:
+  explicit NussinovDag(std::int32_t n) : Dag(n, n, DagDomain::upper_triangular(n)) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    for (std::int32_t k = v.i; k < v.j; ++k) out.push_back({v.i, k});
+    for (std::int32_t k = v.i + 1; k <= v.j; ++k) out.push_back({k, v.j});
+    emit_if(v.i + 1, v.j - 1, out);  // the pairing term's inner diagonal
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    for (std::int32_t k = v.j + 1; k < width(); ++k) out.push_back({v.i, k});
+    for (std::int32_t k = 0; k < v.i; ++k) out.push_back({k, v.j});
+    emit_if(v.i - 1, v.j + 1, out);
+  }
+
+  std::string_view name() const override { return "nussinov"; }
+};
+
+class NussinovApp : public DPX10App<std::int32_t> {
+ public:
+  /// `x` is an RNA sequence over ACGU; the DAG must be NussinovDag(x.size()).
+  explicit NussinovApp(std::string x) : x_(std::move(x)) {}
+
+  std::int32_t compute(std::int32_t i, std::int32_t j,
+                       std::span<const Vertex<std::int32_t>> deps) override;
+
+  std::string_view name() const override { return "nussinov"; }
+
+  const std::string& x() const { return x_; }
+
+ private:
+  std::string x_;
+};
+
+/// Serial O(n^3) reference; only cells with i <= j are meaningful.
+Matrix<std::int32_t> serial_nussinov(const std::string& x);
+
+}  // namespace dpx10::dp

@@ -1,0 +1,129 @@
+#include "dp/runners.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "core/dpx10.h"
+#include "dp/inputs.h"
+#include "dp/knapsack.h"
+#include "dp/lcs.h"
+#include "dp/lps.h"
+#include "dp/manhattan.h"
+#include "dp/nussinov.h"
+#include "dp/smith_waterman.h"
+#include "dp/swlag.h"
+
+namespace dpx10::dp {
+
+namespace {
+
+std::int32_t square_side(std::int64_t target) {
+  auto side = static_cast<std::int32_t>(std::llround(std::sqrt(static_cast<double>(target))));
+  return side < 2 ? 2 : side;
+}
+
+template <typename T>
+RunReport run_engine(EngineKind engine, const RuntimeOptions& options, const Dag& dag,
+                     DPX10App<T>& app) {
+  if (engine == EngineKind::Threaded) {
+    ThreadedEngine<T> e(options);
+    return e.run(dag, app);
+  }
+  SimEngine<T> e(options);
+  return e.run(dag, app);
+}
+
+}  // namespace
+
+const std::vector<std::string>& runnable_apps() {
+  static const std::vector<std::string> apps = {"swlag", "mtp",      "lps", "knapsack",
+                                                "lcs",   "sw",       "nussinov"};
+  return apps;
+}
+
+ProblemShape shape_for(const std::string& app, std::int64_t target_vertices) {
+  require(target_vertices >= 4, "shape_for: target_vertices too small");
+  ProblemShape shape;
+  if (app == "lps" || app == "nussinov") {
+    // Upper triangle: n(n+1)/2 cells.
+    auto n = static_cast<std::int32_t>(
+        std::llround((std::sqrt(8.0 * static_cast<double>(target_vertices) + 1.0) - 1.0) / 2.0));
+    if (n < 2) n = 2;
+    shape.height = shape.width = n;
+    shape.vertices = static_cast<std::int64_t>(n) * (n + 1) / 2;
+  } else if (app == "knapsack") {
+    // Keep the item axis shorter than the capacity axis, as real instances
+    // are; 1:4 keeps rows long without collapsing the place pipeline.
+    auto items = static_cast<std::int32_t>(
+        std::llround(std::sqrt(static_cast<double>(target_vertices) / 4.0)));
+    if (items < 2) items = 2;
+    auto capacity = static_cast<std::int32_t>(target_vertices / (items + 1)) - 1;
+    if (capacity < 2) capacity = 2;
+    shape.height = items + 1;
+    shape.width = capacity + 1;
+    shape.vertices = static_cast<std::int64_t>(shape.height) * shape.width;
+  } else {
+    const std::int32_t side = square_side(target_vertices);
+    shape.height = shape.width = side;
+    shape.vertices = static_cast<std::int64_t>(side) * side;
+  }
+  return shape;
+}
+
+RunReport run_dp_app(const std::string& app, EngineKind engine,
+                     std::int64_t target_vertices, const RuntimeOptions& options,
+                     std::uint64_t input_seed) {
+  const ProblemShape shape = shape_for(app, target_vertices);
+
+  if (app == "swlag") {
+    std::string a = random_sequence(static_cast<std::size_t>(shape.height - 1), input_seed);
+    std::string b = random_sequence(static_cast<std::size_t>(shape.width - 1), input_seed + 1);
+    SwlagApp application(std::move(a), std::move(b));
+    auto dag = patterns::make_pattern("left-top-diag", shape.height, shape.width);
+    return run_engine(engine, options, *dag, application);
+  }
+  if (app == "sw") {
+    std::string a = random_sequence(static_cast<std::size_t>(shape.height - 1), input_seed);
+    std::string b = random_sequence(static_cast<std::size_t>(shape.width - 1), input_seed + 1);
+    SmithWatermanApp application(std::move(a), std::move(b));
+    auto dag = patterns::make_pattern("left-top-diag", shape.height, shape.width);
+    return run_engine(engine, options, *dag, application);
+  }
+  if (app == "lcs") {
+    std::string a = random_sequence(static_cast<std::size_t>(shape.height - 1), input_seed);
+    std::string b = random_sequence(static_cast<std::size_t>(shape.width - 1), input_seed + 1);
+    LcsApp application(std::move(a), std::move(b));
+    auto dag = patterns::make_pattern("left-top-diag", shape.height, shape.width);
+    return run_engine(engine, options, *dag, application);
+  }
+  if (app == "mtp") {
+    ManhattanApp application(input_seed);
+    auto dag = patterns::make_pattern("left-top", shape.height, shape.width);
+    return run_engine(engine, options, *dag, application);
+  }
+  if (app == "lps") {
+    std::string x = random_sequence(static_cast<std::size_t>(shape.height), input_seed);
+    LpsApp application(std::move(x));
+    auto dag = patterns::make_pattern("interval", shape.height, shape.width);
+    return run_engine(engine, options, *dag, application);
+  }
+  if (app == "nussinov") {
+    std::string x = random_sequence(static_cast<std::size_t>(shape.height), input_seed, "ACGU");
+    NussinovApp application(std::move(x));
+    NussinovDag dag(shape.height);
+    return run_engine(engine, options, dag, application);
+  }
+  if (app == "knapsack") {
+    const std::int32_t capacity = shape.width - 1;
+    const std::int32_t max_weight = capacity < 50 ? capacity : 50;
+    auto instance = std::make_shared<const KnapsackInstance>(
+        random_knapsack(shape.height - 1, capacity, max_weight, input_seed));
+    KnapsackApp application(instance);
+    KnapsackDag dag(instance);
+    return run_engine(engine, options, dag, application);
+  }
+  throw ConfigError("run_dp_app: unknown application '" + app + "'");
+}
+
+}  // namespace dpx10::dp

@@ -1,0 +1,41 @@
+// Uniform launcher for the DP applications.
+//
+// The benches sweep {application} × {engine} × {size} × {places}; this
+// module hides the per-application wiring (input generation, DAG pattern
+// choice, value type) behind one string-keyed entry point, sizing each
+// problem so its DAG has approximately `target_vertices` cells — the axis
+// the paper's Figs. 10-13 vary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/runtime_options.h"
+
+namespace dpx10::dp {
+
+enum class EngineKind { Threaded, Sim };
+
+/// Application keys accepted by run_dp_app: the paper's four evaluated
+/// applications ("swlag", "mtp", "lps", "knapsack") plus the two demo
+/// applications ("lcs", "sw").
+const std::vector<std::string>& runnable_apps();
+
+/// Chosen matrix shape for an application at a target vertex count.
+struct ProblemShape {
+  std::int32_t height = 0;
+  std::int32_t width = 0;
+  std::int64_t vertices = 0;  ///< actual |domain| after rounding
+};
+
+ProblemShape shape_for(const std::string& app, std::int64_t target_vertices);
+
+/// Generates inputs (seeded by `input_seed`), builds the app and its DAG
+/// pattern, runs it on the chosen engine and returns the report.
+RunReport run_dp_app(const std::string& app, EngineKind engine,
+                     std::int64_t target_vertices, const RuntimeOptions& options,
+                     std::uint64_t input_seed = 1234);
+
+}  // namespace dpx10::dp

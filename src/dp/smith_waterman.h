@@ -1,0 +1,45 @@
+// Smith-Waterman local alignment with linear gap penalty — the paper's
+// first demo application (§VII-A, Fig. 7).
+//
+//   H[i,0] = H[0,j] = 0
+//   H[i,j] = max(0, H[i-1,j-1] + s(a_i, b_j), H[i-1,j] + p, H[i,j-1] + p)
+//   s = +2 match / -1 mismatch, p = -1
+//
+// DAG pattern: left-top-diag (Fig. 5b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/app.h"
+#include "dp/matrix.h"
+
+namespace dpx10::dp {
+
+inline constexpr std::int32_t kSwMatchScore = 2;
+inline constexpr std::int32_t kSwMismatchScore = -1;
+inline constexpr std::int32_t kSwGapPenalty = -1;
+
+class SmithWatermanApp : public DPX10App<std::int32_t> {
+ public:
+  SmithWatermanApp(std::string a, std::string b) : a_(std::move(a)), b_(std::move(b)) {}
+
+  std::int32_t compute(std::int32_t i, std::int32_t j,
+                       std::span<const Vertex<std::int32_t>> deps) override;
+
+  std::string_view name() const override { return "smith-waterman"; }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+
+ private:
+  std::string a_;
+  std::string b_;
+};
+
+Matrix<std::int32_t> serial_smith_waterman(const std::string& a, const std::string& b);
+
+/// Maximum cell of a score matrix — the local-alignment score.
+std::int32_t matrix_max(const Matrix<std::int32_t>& m);
+
+}  // namespace dpx10::dp

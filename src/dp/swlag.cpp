@@ -1,0 +1,54 @@
+#include "dp/swlag.h"
+
+#include <algorithm>
+
+namespace dpx10::dp {
+
+SwlagCell swlag_step(std::int32_t i, std::int32_t j, const SwlagCell& diag,
+                     const SwlagCell& top, const SwlagCell& left, const std::string& a,
+                     const std::string& b) {
+  if (i == 0 || j == 0) return SwlagCell{};  // h=0, e=f=-inf boundaries
+  SwlagCell out;
+  out.e = std::max(left.e + kSwlagGapExtend, left.h + kSwlagGapOpen);
+  out.f = std::max(top.f + kSwlagGapExtend, top.h + kSwlagGapOpen);
+  const bool match =
+      a[static_cast<std::size_t>(i - 1)] == b[static_cast<std::size_t>(j - 1)];
+  const std::int32_t sub = diag.h + (match ? kSwlagMatch : kSwlagMismatch);
+  out.h = std::max({0, sub, out.e, out.f});
+  return out;
+}
+
+SwlagCell SwlagApp::compute(std::int32_t i, std::int32_t j,
+                            std::span<const Vertex<SwlagCell>> deps) {
+  if (i == 0 || j == 0) return SwlagCell{};
+  SwlagCell diag, top, left;
+  for (const Vertex<SwlagCell>& v : deps) {
+    if (v.i() == i - 1 && v.j() == j - 1) diag = v.result();
+    if (v.i() == i - 1 && v.j() == j) top = v.result();
+    if (v.i() == i && v.j() == j - 1) left = v.result();
+  }
+  return swlag_step(i, j, diag, top, left, a_, b_);
+}
+
+Matrix<SwlagCell> serial_swlag(const std::string& a, const std::string& b) {
+  const std::int32_t m = static_cast<std::int32_t>(a.size());
+  const std::int32_t n = static_cast<std::int32_t>(b.size());
+  Matrix<SwlagCell> mat(m + 1, n + 1, SwlagCell{});
+  for (std::int32_t i = 1; i <= m; ++i) {
+    for (std::int32_t j = 1; j <= n; ++j) {
+      mat.at(i, j) = swlag_step(i, j, mat.at(i - 1, j - 1), mat.at(i - 1, j),
+                                   mat.at(i, j - 1), a, b);
+    }
+  }
+  return mat;
+}
+
+std::int32_t swlag_best_score(const Matrix<SwlagCell>& m) {
+  std::int32_t best = 0;
+  for (std::int32_t i = 0; i < m.rows(); ++i) {
+    for (std::int32_t j = 0; j < m.cols(); ++j) best = std::max(best, m.at(i, j).h);
+  }
+  return best;
+}
+
+}  // namespace dpx10::dp

@@ -1,0 +1,68 @@
+// SWLAG — Smith-Waterman with Linear And affine Gap penalty, the workhorse
+// of the paper's evaluation (all of Figs. 10-13 use it).
+//
+// Affine gaps use Gotoh's three-matrix recurrence; DPX10 stores the (H, E,
+// F) triple as the single per-vertex value, exercising the framework with a
+// non-scalar value type:
+//
+//   E[i,j] = max(E[i,j-1] + g_ext, H[i,j-1] + g_open)     (gap in a)
+//   F[i,j] = max(F[i-1,j] + g_ext, H[i-1,j] + g_open)     (gap in b)
+//   H[i,j] = max(0, H[i-1,j-1] + s(a_i,b_j), E[i,j], F[i,j])
+//
+// DAG pattern: left-top-diag (Fig. 5b), identical to plain SW.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/app.h"
+#include "dp/matrix.h"
+
+namespace dpx10::dp {
+
+inline constexpr std::int32_t kSwlagMatch = 2;
+inline constexpr std::int32_t kSwlagMismatch = -1;
+inline constexpr std::int32_t kSwlagGapOpen = -3;
+inline constexpr std::int32_t kSwlagGapExtend = -1;
+/// "Minus infinity" for E/F boundaries; large enough to never win a max,
+/// small enough in magnitude to never overflow when extended.
+inline constexpr std::int32_t kSwlagNegInf = -(1 << 29);
+
+struct SwlagCell {
+  std::int32_t h = 0;
+  std::int32_t e = kSwlagNegInf;
+  std::int32_t f = kSwlagNegInf;
+
+  friend bool operator==(const SwlagCell&, const SwlagCell&) = default;
+};
+
+class SwlagApp : public DPX10App<SwlagCell> {
+ public:
+  SwlagApp(std::string a, std::string b) : a_(std::move(a)), b_(std::move(b)) {}
+
+  SwlagCell compute(std::int32_t i, std::int32_t j,
+                    std::span<const Vertex<SwlagCell>> deps) override;
+
+  std::string_view name() const override { return "swlag"; }
+
+  const std::string& a() const { return a_; }
+  const std::string& b() const { return b_; }
+
+ private:
+  std::string a_;
+  std::string b_;
+};
+
+/// One cell of the Gotoh recurrence, shared by the app, the serial
+/// reference, and the hand-coded native baseline so all three compute
+/// byte-identical values.
+SwlagCell swlag_step(std::int32_t i, std::int32_t j, const SwlagCell& diag,
+                     const SwlagCell& top, const SwlagCell& left, const std::string& a,
+                     const std::string& b);
+
+Matrix<SwlagCell> serial_swlag(const std::string& a, const std::string& b);
+
+/// Maximum H over the matrix — the alignment score.
+std::int32_t swlag_best_score(const Matrix<SwlagCell>& m);
+
+}  // namespace dpx10::dp

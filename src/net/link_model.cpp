@@ -1,0 +1,23 @@
+#include "net/link_model.h"
+
+#include <limits>
+
+#include "net/message.h"
+
+namespace dpx10::net {
+
+double LinkModel::fetch_round_trip(std::size_t reply_wire_bytes) const {
+  return transfer_time(wire_bytes(kControlPayloadBytes)) + transfer_time(reply_wire_bytes);
+}
+
+LinkModel zero_cost_link() {
+  LinkModel link;
+  link.latency_s = 0.0;
+  // Infinite rates make byte costs exactly 0.0 (x / inf == 0).
+  link.bandwidth_bytes_s = std::numeric_limits<double>::infinity();
+  link.nic_bytes_s = std::numeric_limits<double>::infinity();
+  link.nic_per_msg_s = 0.0;
+  return link;
+}
+
+}  // namespace dpx10::net

@@ -1,0 +1,44 @@
+// Message taxonomy of the simulated interconnect.
+//
+// The real DPX10 exchanges three kinds of traffic between places:
+//   * vertex fetches    — a worker pulls a dependency value from its owner
+//   * indegree control    — "vertex (i,j) finished" notifications that
+//                          decrement a remote anti-dependency's indegree
+//   * recovery transfers — finished results copied while rebuilding the
+//                          distributed array after a place death
+// We keep the same taxonomy so traffic statistics and the cost model can
+// distinguish them exactly as the paper's discussion does (§VI-C, §VI-D).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dpx10::net {
+
+enum class MessageKind : std::uint8_t {
+  FetchRequest = 0,   ///< ask owner for a dependency value
+  FetchReply,         ///< owner returns the value
+  IndegreeControl,    ///< remote anti-dependency decrement
+  ReadyTransfer,      ///< a ready vertex handed to a non-owner place
+  ResultWriteback,    ///< result of a non-locally-executed vertex sent home
+  RecoveryTransfer,   ///< finished value copied during recovery
+  KindCount,
+};
+
+inline constexpr std::size_t kMessageKindCount =
+    static_cast<std::size_t>(MessageKind::KindCount);
+
+/// Fixed per-message envelope size (headers, routing, serialization tag).
+/// Matches the order of magnitude of the X10 socket runtime's message
+/// framing; exact value only shifts constants, not shapes.
+inline constexpr std::size_t kEnvelopeBytes = 32;
+
+/// A small control payload: a VertexId (two int32) plus a counter delta.
+inline constexpr std::size_t kControlPayloadBytes = 12;
+
+/// Wire size of a message carrying `payload` bytes of application data.
+inline constexpr std::size_t wire_bytes(std::size_t payload) {
+  return kEnvelopeBytes + payload;
+}
+
+}  // namespace dpx10::net

@@ -1,0 +1,69 @@
+#include "net/traffic.h"
+
+#include "common/error.h"
+
+namespace dpx10::net {
+
+TrafficBook::TrafficBook(std::int32_t nplaces)
+    : nplaces_(nplaces), counters_(static_cast<std::size_t>(nplaces)) {
+  require(nplaces > 0, "TrafficBook: nplaces must be positive");
+}
+
+void TrafficBook::record(std::int32_t src, std::int32_t dst, MessageKind kind,
+                         std::size_t payload) {
+  check_internal(src >= 0 && src < nplaces_ && dst >= 0 && dst < nplaces_,
+                 "TrafficBook::record: place out of range");
+  if (src == dst) {
+    local_messages_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t k = static_cast<std::size_t>(kind);
+  const std::uint64_t wire = wire_bytes(payload);
+  auto& s = counters_[static_cast<std::size_t>(src)];
+  auto& d = counters_[static_cast<std::size_t>(dst)];
+  s.messages_out[k].fetch_add(1, std::memory_order_relaxed);
+  s.bytes_out.fetch_add(wire, std::memory_order_relaxed);
+  d.messages_in[k].fetch_add(1, std::memory_order_relaxed);
+  d.bytes_in.fetch_add(wire, std::memory_order_relaxed);
+}
+
+TrafficSnapshot TrafficBook::snapshot(std::int32_t place) const {
+  check_internal(place >= 0 && place < nplaces_, "TrafficBook::snapshot: place out of range");
+  const auto& c = counters_[static_cast<std::size_t>(place)];
+  TrafficSnapshot snap;
+  for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+    snap.messages_out[k] = c.messages_out[k].load(std::memory_order_relaxed);
+    snap.messages_in[k] = c.messages_in[k].load(std::memory_order_relaxed);
+  }
+  snap.bytes_out = c.bytes_out.load(std::memory_order_relaxed);
+  snap.bytes_in = c.bytes_in.load(std::memory_order_relaxed);
+  return snap;
+}
+
+TrafficSnapshot TrafficBook::total() const {
+  TrafficSnapshot sum;
+  for (std::int32_t p = 0; p < nplaces_; ++p) {
+    TrafficSnapshot snap = snapshot(p);
+    for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+      sum.messages_out[k] += snap.messages_out[k];
+      sum.messages_in[k] += snap.messages_in[k];
+    }
+    sum.bytes_out += snap.bytes_out;
+    sum.bytes_in += snap.bytes_in;
+  }
+  return sum;
+}
+
+void TrafficBook::reset() {
+  for (auto& c : counters_) {
+    for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+      c.messages_out[k].store(0, std::memory_order_relaxed);
+      c.messages_in[k].store(0, std::memory_order_relaxed);
+    }
+    c.bytes_out.store(0, std::memory_order_relaxed);
+    c.bytes_in.store(0, std::memory_order_relaxed);
+  }
+  local_messages_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dpx10::net

@@ -1,0 +1,71 @@
+// Per-place traffic accounting.
+//
+// Both engines route every inter-place interaction through a TrafficBook so
+// tests can assert conservation (bytes out of p to q == bytes into q from p)
+// and benches can report communication volume alongside time. Counters are
+// atomics because the threaded engine updates them from many workers; the
+// simulator uses them single-threaded with relaxed ordering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+
+namespace dpx10::net {
+
+/// Aggregated view of one place's traffic (snapshot, plain integers).
+struct TrafficSnapshot {
+  std::uint64_t messages_out[kMessageKindCount] = {};
+  std::uint64_t messages_in[kMessageKindCount] = {};
+  std::uint64_t bytes_out = 0;
+  std::uint64_t bytes_in = 0;
+
+  std::uint64_t total_messages_out() const {
+    std::uint64_t n = 0;
+    for (auto v : messages_out) n += v;
+    return n;
+  }
+  std::uint64_t total_messages_in() const {
+    std::uint64_t n = 0;
+    for (auto v : messages_in) n += v;
+    return n;
+  }
+};
+
+class TrafficBook {
+ public:
+  explicit TrafficBook(std::int32_t nplaces);
+
+  TrafficBook(const TrafficBook&) = delete;
+  TrafficBook& operator=(const TrafficBook&) = delete;
+
+  std::int32_t nplaces() const { return nplaces_; }
+
+  /// Records one message from `src` to `dst` carrying `payload` application
+  /// bytes (the envelope is added here). src == dst is legal and counted
+  /// separately as local, so callers don't need to special-case.
+  void record(std::int32_t src, std::int32_t dst, MessageKind kind, std::size_t payload);
+
+  TrafficSnapshot snapshot(std::int32_t place) const;
+  TrafficSnapshot total() const;
+
+  std::uint64_t local_messages() const { return local_messages_.load(std::memory_order_relaxed); }
+
+  void reset();
+
+ private:
+  struct PlaceCounters {
+    std::atomic<std::uint64_t> messages_out[kMessageKindCount] = {};
+    std::atomic<std::uint64_t> messages_in[kMessageKindCount] = {};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+  };
+
+  std::int32_t nplaces_;
+  std::vector<PlaceCounters> counters_;
+  std::atomic<std::uint64_t> local_messages_{0};
+};
+
+}  // namespace dpx10::net

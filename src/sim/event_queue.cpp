@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include "common/error.h"
+
+namespace dpx10::sim {
+
+std::uint64_t EventQueue::push(SimTime time, std::uint32_t kind, std::int64_t a,
+                               std::int64_t b) {
+  check_internal(time >= 0.0 && time == time, "EventQueue::push: bad time");
+  Event ev;
+  ev.time = time;
+  ev.seq = next_seq_++;
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  heap_.push(ev);
+  return ev.seq;
+}
+
+SimTime EventQueue::next_time() const {
+  check_internal(!heap_.empty(), "EventQueue::next_time on empty queue");
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  check_internal(!heap_.empty(), "EventQueue::pop on empty queue");
+  Event ev = heap_.top();
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+}
+
+}  // namespace dpx10::sim

@@ -1,0 +1,44 @@
+#include "sim/slot_pool.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dpx10::sim {
+
+SlotPool::SlotPool(std::int32_t nthreads, double now) {
+  require(nthreads > 0, "SlotPool: nthreads must be positive");
+  free_at_.assign(static_cast<std::size_t>(nthreads), now);
+}
+
+std::size_t SlotPool::min_index() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < free_at_.size(); ++i) {
+    if (free_at_[i] < free_at_[best]) best = i;
+  }
+  return best;
+}
+
+double SlotPool::earliest_start(double now) const {
+  return std::max(now, free_at_[min_index()]);
+}
+
+std::int32_t SlotPool::reserve(double start, double end) {
+  std::size_t slot = min_index();
+  check_internal(free_at_[slot] <= start, "SlotPool::reserve: slot not free at start");
+  check_internal(end >= start, "SlotPool::reserve: negative duration");
+  free_at_[slot] = end;
+  busy_seconds_ += end - start;
+  ++reservations_;
+  return static_cast<std::int32_t>(slot);
+}
+
+void SlotPool::reset_all(double time) {
+  std::fill(free_at_.begin(), free_at_.end(), time);
+}
+
+void SlotPool::delay_all_until(double time) {
+  for (double& t : free_at_) t = std::max(t, time);
+}
+
+}  // namespace dpx10::sim

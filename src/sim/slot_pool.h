@@ -1,0 +1,51 @@
+// Execution-slot bookkeeping for one simulated place.
+//
+// A place has `nthreads` execution slots (the paper runs X10_NTHREADS = 6
+// worker threads per place). A slot is either free from some time onward or
+// busy until a known completion time. The pool answers "when could the next
+// vertex start?" and records reservations. It also tracks busy-time so a
+// run report can give per-place utilization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dpx10::sim {
+
+class SlotPool {
+ public:
+  SlotPool(std::int32_t nthreads, double now = 0.0);
+
+  std::int32_t nthreads() const { return static_cast<std::int32_t>(free_at_.size()); }
+
+  /// Earliest time at or after `now` at which some slot is available.
+  double earliest_start(double now) const;
+
+  /// True when at least one slot is free at time `now`.
+  bool available(double now) const { return earliest_start(now) <= now; }
+
+  /// Reserves the earliest-available slot for [start, end). `start` must be
+  /// >= earliest_start(start). Returns the slot index.
+  std::int32_t reserve(double start, double end);
+
+  /// Releases every reservation and makes all slots free from `time` —
+  /// used when a fault pauses the cluster and in-flight work is discarded.
+  void reset_all(double time);
+
+  /// Keeps reservations but forbids new work before `time` — used when a
+  /// global pause (snapshot) must not discard in-flight work. Not counted
+  /// as busy time.
+  void delay_all_until(double time);
+
+  double busy_seconds() const { return busy_seconds_; }
+  std::uint64_t reservations() const { return reservations_; }
+
+ private:
+  std::size_t min_index() const;
+
+  std::vector<double> free_at_;
+  double busy_seconds_ = 0.0;
+  std::uint64_t reservations_ = 0;
+};
+
+}  // namespace dpx10::sim

@@ -1,0 +1,126 @@
+// FifoVertexCache: the §VI-C cache list semantics.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cache.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(Cache, MissThenHit) {
+  FifoVertexCache<int> cache(4);
+  int out = 0;
+  EXPECT_FALSE(cache.get({1, 2}, out));
+  cache.put({1, 2}, 42);
+  ASSERT_TRUE(cache.get({1, 2}, out));
+  EXPECT_EQ(out, 42);
+}
+
+TEST(Cache, CapacityZeroNeverStores) {
+  FifoVertexCache<int> cache(0);
+  cache.put({1, 1}, 7);
+  int out = 0;
+  EXPECT_FALSE(cache.get({1, 1}, out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Cache, FifoEvictionOrder) {
+  FifoVertexCache<int> cache(3);
+  cache.put({0, 0}, 0);
+  cache.put({0, 1}, 1);
+  cache.put({0, 2}, 2);
+  cache.put({0, 3}, 3);  // evicts (0,0), the oldest
+  int out = 0;
+  EXPECT_FALSE(cache.get({0, 0}, out));
+  EXPECT_TRUE(cache.get({0, 1}, out));
+  EXPECT_TRUE(cache.get({0, 2}, out));
+  EXPECT_TRUE(cache.get({0, 3}, out));
+  cache.put({0, 4}, 4);  // evicts (0,1)
+  EXPECT_FALSE(cache.get({0, 1}, out));
+  EXPECT_TRUE(cache.get({0, 4}, out));
+}
+
+TEST(Cache, ReinsertRefreshesValueButNotAge) {
+  FifoVertexCache<int> cache(2);
+  cache.put({0, 0}, 10);
+  cache.put({0, 1}, 11);
+  cache.put({0, 0}, 99);  // refresh value; (0,0) is still the oldest
+  int out = 0;
+  ASSERT_TRUE(cache.get({0, 0}, out));
+  EXPECT_EQ(out, 99);
+  cache.put({0, 2}, 12);  // pure FIFO: evicts (0,0) despite the refresh
+  EXPECT_FALSE(cache.get({0, 0}, out));
+  EXPECT_TRUE(cache.get({0, 1}, out));
+  EXPECT_TRUE(cache.get({0, 2}, out));
+}
+
+TEST(Cache, ClearEmpties) {
+  FifoVertexCache<int> cache(4);
+  cache.put({1, 1}, 1);
+  cache.put({2, 2}, 2);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  int out;
+  EXPECT_FALSE(cache.get({1, 1}, out));
+  cache.put({3, 3}, 3);  // usable after clear
+  EXPECT_TRUE(cache.get({3, 3}, out));
+}
+
+TEST(Cache, CapacityOne) {
+  FifoVertexCache<int> cache(1);
+  cache.put({0, 0}, 1);
+  cache.put({0, 1}, 2);
+  int out = 0;
+  EXPECT_FALSE(cache.get({0, 0}, out));
+  ASSERT_TRUE(cache.get({0, 1}, out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(Cache, NegativeCoordinatesDistinct) {
+  // key() packs i and j as unsigned; distinct ids must never collide.
+  FifoVertexCache<int> cache(8);
+  cache.put({-1, 0}, 1);
+  cache.put({0, -1}, 2);
+  cache.put({-1, -1}, 3);
+  int out = 0;
+  ASSERT_TRUE(cache.get({-1, 0}, out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(cache.get({0, -1}, out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(cache.get({-1, -1}, out));
+  EXPECT_EQ(out, 3);
+}
+
+class CacheCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheCapacitySweep, SizeNeverExceedsCapacityAndRecentSurvive) {
+  const std::size_t cap = GetParam();
+  FifoVertexCache<std::uint64_t> cache(cap);
+  Xoshiro256 rng(2024);
+  std::vector<VertexId> inserted;
+  for (int n = 0; n < 1000; ++n) {
+    VertexId id{static_cast<std::int32_t>(rng.below(64)),
+                static_cast<std::int32_t>(rng.below(64))};
+    std::uint64_t probe;
+    if (!cache.get(id, probe)) {
+      cache.put(id, id.key());
+    }
+    ASSERT_LE(cache.size(), cap);
+  }
+  // Hits always return the value that was stored for that key.
+  for (std::int32_t i = 0; i < 64; ++i) {
+    for (std::int32_t j = 0; j < 64; ++j) {
+      std::uint64_t out;
+      if (cache.get({i, j}, out)) {
+        ASSERT_EQ(out, (VertexId{i, j}.key()));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacitySweep,
+                         ::testing::Values(1, 2, 7, 64, 1024));
+
+}  // namespace
+}  // namespace dpx10

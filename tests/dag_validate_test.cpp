@@ -1,0 +1,160 @@
+// validate_dag: the custom-pattern author's checker — accepts every shipped
+// pattern and pinpoints each class of contract violation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/dag_validate.h"
+#include "core/patterns/registry.h"
+#include "dp/inputs.h"
+#include "dp/knapsack.h"
+#include "dp/nussinov.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(ValidateDag, AcceptsEveryShippedPattern) {
+  for (const std::string& name : patterns::builtin_pattern_names()) {
+    auto dag = patterns::make_pattern(name, 9, 9);
+    DagValidation v = validate_dag(*dag);
+    EXPECT_TRUE(v.ok) << name << ": " << (v.problems.empty() ? "" : v.problems[0]);
+    EXPECT_GT(v.seeds, 0) << name;
+  }
+  for (const std::string& name : patterns::extended_pattern_names()) {
+    auto dag = patterns::make_pattern(name, 9, 9);
+    EXPECT_TRUE(validate_dag(*dag).ok) << name;
+  }
+  auto instance = std::make_shared<const dp::KnapsackInstance>(
+      dp::random_knapsack(7, 23, 6, 1));
+  EXPECT_TRUE(validate_dag(dp::KnapsackDag(instance)).ok);
+  EXPECT_TRUE(validate_dag(dp::NussinovDag(12)).ok);
+}
+
+// A configurable broken pattern to exercise each diagnostic.
+class BrokenDag final : public Dag {
+ public:
+  enum class Defect {
+    OutOfDomain,
+    SelfEdge,
+    Duplicate,
+    MissingAntiDep,
+    PhantomAntiDep,
+    Cycle,
+  };
+
+  BrokenDag(Defect defect) : Dag(4, 4, DagDomain::rect(4, 4)), defect_(defect) {}
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    switch (defect_) {
+      case Defect::OutOfDomain:
+        if (v.i == 2 && v.j == 2) out.push_back({9, 9});
+        break;
+      case Defect::SelfEdge:
+        if (v.i == 1 && v.j == 1) out.push_back(v);
+        break;
+      case Defect::Duplicate:
+        if (v.i == 1 && v.j == 1) {
+          out.push_back({0, 1});
+          out.push_back({0, 1});
+        }
+        break;
+      case Defect::MissingAntiDep:
+        emit_if(v.i - 1, v.j, out);  // top chain...
+        break;
+      case Defect::PhantomAntiDep:
+        break;
+      case Defect::Cycle:
+        // (1,1) <-> (1,2): a two-cycle.
+        if (v.i == 1 && v.j == 1) out.push_back({1, 2});
+        if (v.i == 1 && v.j == 2) out.push_back({1, 1});
+        break;
+    }
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    switch (defect_) {
+      case Defect::MissingAntiDep:
+        // ...whose anti side "forgets" one successor.
+        if (!(v.i == 2 && v.j == 0)) emit_if(v.i + 1, v.j, out);
+        break;
+      case Defect::PhantomAntiDep:
+        if (v.i == 0 && v.j == 0) out.push_back({3, 3});  // never declared as dep
+        break;
+      case Defect::Cycle:
+        if (v.i == 1 && v.j == 2) out.push_back({1, 1});
+        if (v.i == 1 && v.j == 1) out.push_back({1, 2});
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::string_view name() const override { return "broken"; }
+
+ private:
+  Defect defect_;
+};
+
+void expect_problem(BrokenDag::Defect defect, const char* needle) {
+  BrokenDag dag(defect);
+  DagValidation v = validate_dag(dag);
+  ASSERT_FALSE(v.ok);
+  bool found = false;
+  for (const std::string& p : v.problems) {
+    if (p.find(needle) != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "no problem mentioning '" << needle << "'; got: "
+                     << (v.problems.empty() ? "<none>" : v.problems[0]);
+}
+
+TEST(ValidateDag, DetectsOutOfDomainEdge) {
+  expect_problem(BrokenDag::Defect::OutOfDomain, "outside the domain");
+}
+
+TEST(ValidateDag, DetectsSelfEdge) {
+  expect_problem(BrokenDag::Defect::SelfEdge, "self-edge");
+}
+
+TEST(ValidateDag, DetectsDuplicateEdge) {
+  expect_problem(BrokenDag::Defect::Duplicate, "twice in dependencies");
+}
+
+TEST(ValidateDag, DetectsMissingAntiDependency) {
+  expect_problem(BrokenDag::Defect::MissingAntiDep, "missing from its anti_dependencies");
+}
+
+TEST(ValidateDag, DetectsPhantomAntiDependency) {
+  expect_problem(BrokenDag::Defect::PhantomAntiDep, "does not declare it as a dependency");
+}
+
+TEST(ValidateDag, DetectsCycle) {
+  expect_problem(BrokenDag::Defect::Cycle, "cells are reachable");
+}
+
+TEST(ValidateDag, CountsEdgesAndSeeds) {
+  auto dag = patterns::make_pattern("left-top", 3, 3);
+  DagValidation v = validate_dag(*dag);
+  EXPECT_TRUE(v.ok);
+  // 2*2*2 interior-ish + borders: total deps = 2*(3*3) - 3 - 3 = 12.
+  EXPECT_EQ(v.edges, 12);
+  EXPECT_EQ(v.seeds, 1);  // only (0,0)
+}
+
+TEST(ValidateDag, ProblemListCapped) {
+  // A dag where every interior cell self-edges produces many findings.
+  class ManyDefects final : public Dag {
+   public:
+    ManyDefects() : Dag(6, 6, DagDomain::rect(6, 6)) {}
+    void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+      out.push_back(v);  // self-edge everywhere
+    }
+    void anti_dependencies(VertexId, std::vector<VertexId>&) const override {}
+    std::string_view name() const override { return "many-defects"; }
+  } dag;
+  DagValidation v = validate_dag(dag, 4);
+  EXPECT_FALSE(v.ok);
+  EXPECT_LE(v.problems.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dpx10

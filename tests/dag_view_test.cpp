@@ -1,0 +1,72 @@
+// DagView and DistArray cell-state plumbing.
+#include <gtest/gtest.h>
+
+#include "apgas/dist_array.h"
+#include "core/dag_view.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(DistArray, OwnershipComposesDistAndGroup) {
+  DagDomain domain = DagDomain::rect(8, 8);
+  PlaceGroup group({3, 5});  // two survivor places with non-dense ids
+  DistArray<int> array(domain, DistKind::BlockRow, group);
+  EXPECT_EQ(array.owner_place(VertexId{0, 0}), 3);
+  EXPECT_EQ(array.owner_place(VertexId{7, 7}), 5);
+  EXPECT_EQ(array.owner_slot(VertexId{0, 0}), 0);
+  EXPECT_EQ(array.owner_slot(VertexId{7, 7}), 1);
+  EXPECT_EQ(array.size(), 64);
+}
+
+TEST(DistArray, CellsStartUnfinished) {
+  DistArray<int> array(DagDomain::rect(3, 3), DistKind::BlockRow, PlaceGroup::dense(1));
+  for (std::int64_t idx = 0; idx < array.size(); ++idx) {
+    EXPECT_EQ(array.cell(idx).load_state(), CellState::Unfinished);
+    EXPECT_FALSE(array.cell(idx).is_done());
+    EXPECT_EQ(array.cell(idx).indegree.load(), 0);
+  }
+}
+
+TEST(DistArray, OutOfRangeIndexIsInternalError) {
+  DistArray<int> array(DagDomain::rect(2, 2), DistKind::BlockRow, PlaceGroup::dense(1));
+  EXPECT_THROW(array.cell(std::int64_t{4}), InternalError);
+  EXPECT_THROW(array.cell(std::int64_t{-1}), InternalError);
+}
+
+TEST(DagView, ReadsFinishedCells) {
+  DistArray<int> array(DagDomain::rect(2, 3), DistKind::BlockRow, PlaceGroup::dense(1));
+  array.cell(VertexId{1, 2}).value = 42;
+  array.cell(VertexId{1, 2}).store_state(CellState::Finished);
+  array.cell(VertexId{0, 0}).value = 7;
+  array.cell(VertexId{0, 0}).store_state(CellState::Prefinished);
+
+  DagView<int> view(array);
+  EXPECT_TRUE(view.contains(1, 2));
+  EXPECT_FALSE(view.contains(2, 0));
+  EXPECT_TRUE(view.finished(1, 2));
+  EXPECT_TRUE(view.finished(0, 0));  // pre-finished counts as done
+  EXPECT_FALSE(view.finished(0, 1));
+  EXPECT_EQ(view.at(1, 2), 42);
+  EXPECT_EQ(view.at(0, 0), 7);
+}
+
+TEST(DagView, AtUnfinishedIsInternalError) {
+  DistArray<int> array(DagDomain::rect(2, 2), DistKind::BlockRow, PlaceGroup::dense(1));
+  DagView<int> view(array);
+  EXPECT_THROW(view.at(0, 0), InternalError);
+}
+
+TEST(DagView, ValueOrFallsBack) {
+  DistArray<int> array(DagDomain::upper_triangular(4), DistKind::BlockRow,
+                       PlaceGroup::dense(2));
+  array.cell(VertexId{1, 3}).value = 5;
+  array.cell(VertexId{1, 3}).store_state(CellState::Finished);
+  DagView<int> view(array);
+  EXPECT_EQ(view.value_or(1, 3, -1), 5);
+  EXPECT_EQ(view.value_or(3, 1, -1), -1);  // outside the triangle
+  EXPECT_EQ(view.value_or(0, 0, -1), -1);  // unfinished
+  EXPECT_EQ(view.value_or(9, 9, -1), -1);  // outside bounds
+}
+
+}  // namespace
+}  // namespace dpx10

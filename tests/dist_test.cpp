@@ -1,0 +1,174 @@
+// Dist: ownership mapping properties for every distribution kind.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "apgas/dist.h"
+#include "common/error.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(BlockIndex, BalancedPartitionInverse) {
+  // block_index must be the exact inverse of the standard block bounds.
+  for (std::int32_t nblocks : {1, 2, 3, 7, 16}) {
+    for (std::int64_t extent : {1, 5, 16, 97, 1000}) {
+      if (extent < nblocks) continue;
+      for (std::int64_t coord = 0; coord < extent; ++coord) {
+        std::int32_t b = block_index(coord, extent, nblocks);
+        ASSERT_GE(coord, b * extent / nblocks);
+        ASSERT_LT(coord, (b + 1) * extent / nblocks);
+      }
+    }
+  }
+}
+
+TEST(Dist, RejectsZeroSlots) {
+  DagDomain d = DagDomain::rect(4, 4);
+  EXPECT_THROW(make_dist(DistKind::BlockRow, 0, d), ConfigError);
+}
+
+TEST(Dist, KindNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (DistKind k : {DistKind::BlockRow, DistKind::BlockCol, DistKind::BlockCyclicRow,
+                     DistKind::Block2D}) {
+    names.insert(dist_kind_name(k));
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(Dist, BlockRowIsContiguousInRows) {
+  DagDomain d = DagDomain::rect(100, 10);
+  auto dist = make_dist(DistKind::BlockRow, 7, d);
+  std::int32_t last = 0;
+  for (std::int32_t i = 0; i < 100; ++i) {
+    std::int32_t slot = dist->slot_of({i, 5});
+    ASSERT_GE(slot, last);  // non-decreasing down the rows
+    last = slot;
+    // row-invariant across columns
+    ASSERT_EQ(dist->slot_of({i, 0}), slot);
+    ASSERT_EQ(dist->slot_of({i, 9}), slot);
+  }
+  EXPECT_EQ(last, 6);
+}
+
+TEST(Dist, BlockColIsContiguousInColumns) {
+  DagDomain d = DagDomain::rect(10, 100);
+  auto dist = make_dist(DistKind::BlockCol, 7, d);
+  std::int32_t last = 0;
+  for (std::int32_t j = 0; j < 100; ++j) {
+    std::int32_t slot = dist->slot_of({5, j});
+    ASSERT_GE(slot, last);
+    last = slot;
+    ASSERT_EQ(dist->slot_of({0, j}), slot);
+    ASSERT_EQ(dist->slot_of({9, j}), slot);
+  }
+  EXPECT_EQ(last, 6);
+}
+
+TEST(Dist, BlockCyclicDealsRoundRobin) {
+  DagDomain d = DagDomain::rect(64, 4);
+  auto dist = make_dist(DistKind::BlockCyclicRow, 4, d);
+  // Row blocks repeat with period nslots * block; owners cycle 0,1,2,3,0,..
+  std::vector<std::int32_t> owners;
+  std::int32_t prev = -1;
+  for (std::int32_t i = 0; i < 64; ++i) {
+    std::int32_t slot = dist->slot_of({i, 0});
+    if (slot != prev) {
+      owners.push_back(slot);
+      prev = slot;
+    }
+  }
+  ASSERT_GE(owners.size(), 4u);
+  for (std::size_t k = 0; k < owners.size(); ++k) {
+    ASSERT_EQ(owners[k], static_cast<std::int32_t>(k % 4));
+  }
+}
+
+TEST(Dist, Block2DFormsGrid) {
+  DagDomain d = DagDomain::rect(60, 60);
+  auto dist = make_dist(DistKind::Block2D, 6, d);  // 2 x 3 grid
+  // Corners land in distinct slots covering the full range.
+  std::set<std::int32_t> corner_slots = {
+      dist->slot_of({0, 0}), dist->slot_of({0, 59}), dist->slot_of({59, 0}),
+      dist->slot_of({59, 59})};
+  EXPECT_EQ(corner_slots.size(), 4u);
+  EXPECT_TRUE(corner_slots.count(0) == 1);
+  EXPECT_TRUE(corner_slots.count(5) == 1);
+}
+
+class DistProperty
+    : public ::testing::TestWithParam<std::tuple<DistKind, std::int32_t, std::int32_t>> {};
+
+TEST_P(DistProperty, SlotsInRangeAndAllUsed) {
+  auto [kind, nslots, side] = GetParam();
+  DagDomain d = DagDomain::rect(side, side);
+  auto dist = make_dist(kind, nslots, d);
+  ASSERT_EQ(dist->nslots(), nslots);
+  ASSERT_EQ(dist->kind(), kind);
+  std::vector<std::int64_t> owned(static_cast<std::size_t>(nslots), 0);
+  for (std::int32_t i = 0; i < side; ++i) {
+    for (std::int32_t j = 0; j < side; ++j) {
+      std::int32_t slot = dist->slot_of({i, j});
+      ASSERT_GE(slot, 0);
+      ASSERT_LT(slot, nslots);
+      ++owned[static_cast<std::size_t>(slot)];
+    }
+  }
+  // Every slot owns something, and the split is no worse than 4x imbalanced
+  // (block distributions over a side >= 2*nslots are much better than this;
+  // the bound just guards gross regressions).
+  for (std::int32_t s = 0; s < nslots; ++s) {
+    ASSERT_GT(owned[static_cast<std::size_t>(s)], 0) << "slot " << s << " owns nothing";
+    ASSERT_LE(owned[static_cast<std::size_t>(s)],
+              4 * static_cast<std::int64_t>(side) * side / nslots)
+        << "slot " << s << " over-loaded";
+  }
+}
+
+TEST_P(DistProperty, DeterministicAcrossInstances) {
+  auto [kind, nslots, side] = GetParam();
+  DagDomain d = DagDomain::rect(side, side);
+  auto a = make_dist(kind, nslots, d);
+  auto b = make_dist(kind, nslots, d);
+  for (std::int32_t i = 0; i < side; i += 3) {
+    for (std::int32_t j = 0; j < side; j += 3) {
+      ASSERT_EQ(a->slot_of({i, j}), b->slot_of({i, j}));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistProperty,
+    ::testing::Combine(::testing::Values(DistKind::BlockRow, DistKind::BlockCol,
+                                         DistKind::BlockCyclicRow, DistKind::Block2D),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Values(16, 33)),
+    [](const ::testing::TestParamInfo<std::tuple<DistKind, std::int32_t, std::int32_t>>& info) {
+      std::string name(dist_kind_name(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_s" + std::to_string(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Dist, UpperTriangularDomainSupported) {
+  DagDomain d = DagDomain::upper_triangular(20);
+  for (DistKind k : {DistKind::BlockRow, DistKind::BlockCol, DistKind::BlockCyclicRow,
+                     DistKind::Block2D}) {
+    auto dist = make_dist(k, 4, d);
+    for (std::int32_t i = 0; i < 20; ++i) {
+      for (std::int32_t j = i; j < 20; ++j) {
+        std::int32_t slot = dist->slot_of({i, j});
+        ASSERT_GE(slot, 0);
+        ASSERT_LT(slot, 4);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpx10

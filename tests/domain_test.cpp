@@ -1,0 +1,139 @@
+// DagDomain: sizes, membership, and the linearize/delinearize bijection for
+// every domain kind.
+#include <gtest/gtest.h>
+
+#include "apgas/domain.h"
+#include "common/error.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(DomainRect, SizeAndBounds) {
+  DagDomain d = DagDomain::rect(4, 7);
+  EXPECT_EQ(d.size(), 28);
+  EXPECT_EQ(d.height(), 4);
+  EXPECT_EQ(d.width(), 7);
+  EXPECT_TRUE(d.contains({0, 0}));
+  EXPECT_TRUE(d.contains({3, 6}));
+  EXPECT_FALSE(d.contains({4, 0}));
+  EXPECT_FALSE(d.contains({0, 7}));
+  EXPECT_FALSE(d.contains({-1, 0}));
+  EXPECT_FALSE(d.contains({0, -1}));
+}
+
+TEST(DomainRect, RowMajorLinearization) {
+  DagDomain d = DagDomain::rect(3, 5);
+  EXPECT_EQ(d.linearize({0, 0}), 0);
+  EXPECT_EQ(d.linearize({0, 4}), 4);
+  EXPECT_EQ(d.linearize({1, 0}), 5);
+  EXPECT_EQ(d.linearize({2, 4}), 14);
+}
+
+TEST(DomainUpper, SizeIsTriangleNumber) {
+  DagDomain d = DagDomain::upper_triangular(6);
+  EXPECT_EQ(d.size(), 21);
+  EXPECT_TRUE(d.contains({0, 5}));
+  EXPECT_TRUE(d.contains({3, 3}));
+  EXPECT_FALSE(d.contains({3, 2}));
+  EXPECT_FALSE(d.contains({5, 4}));
+}
+
+TEST(DomainUpper, RowRanges) {
+  DagDomain d = DagDomain::upper_triangular(5);
+  for (std::int32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(d.row_begin(i), i);
+    EXPECT_EQ(d.row_end(i), 5);
+  }
+}
+
+TEST(DomainUpper, RequiresSquare) {
+  EXPECT_NO_THROW(DagDomain::upper_triangular(3));
+}
+
+TEST(DomainBanded, SizeMatchesEnumeration) {
+  DagDomain d = DagDomain::banded(10, 10, 2);
+  std::int64_t count = 0;
+  for (std::int32_t i = 0; i < 10; ++i) {
+    for (std::int32_t j = 0; j < 10; ++j) {
+      if (d.contains({i, j})) ++count;
+    }
+  }
+  EXPECT_EQ(d.size(), count);
+}
+
+TEST(DomainBanded, RejectsEmptyRows) {
+  // height 10, width 3: rows 6..9 would be empty with band 2.
+  EXPECT_THROW(DagDomain::banded(10, 3, 2), ConfigError);
+  EXPECT_NO_THROW(DagDomain::banded(10, 3, 7));
+}
+
+TEST(DomainBanded, AsymmetricRect) {
+  DagDomain d = DagDomain::banded(8, 12, 3);
+  EXPECT_TRUE(d.contains({0, 3}));
+  EXPECT_FALSE(d.contains({0, 4}));
+  EXPECT_TRUE(d.contains({7, 10}));
+  EXPECT_TRUE(d.contains({7, 4}));
+  EXPECT_FALSE(d.contains({7, 3}));
+}
+
+TEST(Domain, RejectsNonPositiveExtents) {
+  EXPECT_THROW(DagDomain::rect(0, 3), ConfigError);
+  EXPECT_THROW(DagDomain::rect(3, 0), ConfigError);
+  EXPECT_THROW(DagDomain::banded(4, 4, -1), ConfigError);
+}
+
+struct DomainCase {
+  const char* label;
+  DagDomain domain;
+};
+
+class DomainRoundTrip : public ::testing::TestWithParam<DomainCase> {};
+
+TEST_P(DomainRoundTrip, LinearizeDelinearizeBijection) {
+  const DagDomain& d = GetParam().domain;
+  // Every index maps to a distinct in-domain cell and back.
+  for (std::int64_t idx = 0; idx < d.size(); ++idx) {
+    VertexId id = d.delinearize(idx);
+    ASSERT_TRUE(d.contains(id)) << "index " << idx;
+    ASSERT_EQ(d.linearize(id), idx) << "id (" << id.i << "," << id.j << ")";
+  }
+}
+
+TEST_P(DomainRoundTrip, RowPrefixConsistentWithRowRanges) {
+  const DagDomain& d = GetParam().domain;
+  std::int64_t running = 0;
+  for (std::int32_t i = 0; i < d.height(); ++i) {
+    ASSERT_EQ(d.row_prefix(i), running) << "row " << i;
+    ASSERT_LT(d.row_begin(i), d.row_end(i)) << "empty row " << i;
+    running += d.row_end(i) - d.row_begin(i);
+  }
+  EXPECT_EQ(running, d.size());
+}
+
+TEST_P(DomainRoundTrip, ContainsAgreesWithRowRanges) {
+  const DagDomain& d = GetParam().domain;
+  for (std::int32_t i = 0; i < d.height(); ++i) {
+    for (std::int32_t j = -1; j <= d.width(); ++j) {
+      bool in_range = j >= d.row_begin(i) && j < d.row_end(i) && j >= 0 && j < d.width();
+      ASSERT_EQ(d.contains({i, j}), in_range) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DomainRoundTrip,
+    ::testing::Values(DomainCase{"rect_square", DagDomain::rect(17, 17)},
+                      DomainCase{"rect_wide", DagDomain::rect(3, 41)},
+                      DomainCase{"rect_tall", DagDomain::rect(41, 3)},
+                      DomainCase{"rect_one_cell", DagDomain::rect(1, 1)},
+                      DomainCase{"upper_small", DagDomain::upper_triangular(2)},
+                      DomainCase{"upper_mid", DagDomain::upper_triangular(19)},
+                      DomainCase{"banded_narrow", DagDomain::banded(23, 23, 1)},
+                      DomainCase{"banded_wide", DagDomain::banded(23, 23, 22)},
+                      DomainCase{"banded_zero", DagDomain::banded(9, 9, 0)},
+                      DomainCase{"banded_rect", DagDomain::banded(12, 30, 4)},
+                      DomainCase{"banded_tall", DagDomain::banded(30, 12, 20)}),
+    [](const ::testing::TestParamInfo<DomainCase>& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace dpx10

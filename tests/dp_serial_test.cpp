@@ -1,0 +1,165 @@
+// Serial reference implementations against hand-computed ground truth.
+#include <gtest/gtest.h>
+
+#include "dp/inputs.h"
+#include "dp/knapsack.h"
+#include "dp/lcs.h"
+#include "dp/lps.h"
+#include "dp/manhattan.h"
+#include "dp/smith_waterman.h"
+#include "dp/swlag.h"
+
+namespace dpx10::dp {
+namespace {
+
+TEST(SerialLcs, PaperFig1Example) {
+  // Paper Fig. 1: LCS("ABC", "DBC") = "BC", length 2.
+  auto f = serial_lcs("ABC", "DBC");
+  EXPECT_EQ(f.at(3, 3), 2);
+}
+
+TEST(SerialLcs, KnownCases) {
+  EXPECT_EQ(serial_lcs("ABCBDAB", "BDCABA").at(7, 6), 4);  // BCBA / BDAB
+  EXPECT_EQ(serial_lcs("AAAA", "AA").at(4, 2), 2);
+  EXPECT_EQ(serial_lcs("ABC", "XYZ").at(3, 3), 0);
+  EXPECT_EQ(serial_lcs("X", "X").at(1, 1), 1);
+}
+
+TEST(SerialLcs, BoundariesAreZero) {
+  auto f = serial_lcs("GATTACA", "TACGT");
+  for (std::int32_t i = 0; i <= 7; ++i) EXPECT_EQ(f.at(i, 0), 0);
+  for (std::int32_t j = 0; j <= 5; ++j) EXPECT_EQ(f.at(0, j), 0);
+}
+
+TEST(SerialSw, IdenticalStringsScorePerfect) {
+  // Perfect match: score = 2 * length at the bottom-right.
+  auto h = serial_smith_waterman("ACGT", "ACGT");
+  EXPECT_EQ(h.at(4, 4), 8);
+  EXPECT_EQ(matrix_max(h), 8);
+}
+
+TEST(SerialSw, NeverNegative) {
+  auto h = serial_smith_waterman("AAAA", "TTTT");
+  for (std::int32_t i = 0; i <= 4; ++i) {
+    for (std::int32_t j = 0; j <= 4; ++j) EXPECT_GE(h.at(i, j), 0);
+  }
+  EXPECT_EQ(matrix_max(h), 0);
+}
+
+TEST(SerialSw, LocalAlignmentFindsEmbeddedMatch) {
+  // "CGT" inside both, surrounded by mismatches: local score = 6.
+  auto h = serial_smith_waterman("AACGTAA", "TTCGTTT");
+  EXPECT_EQ(matrix_max(h), 6);
+}
+
+TEST(SerialSwlag, MatchRunScores) {
+  auto m = serial_swlag("ACGT", "ACGT");
+  EXPECT_EQ(swlag_best_score(m), 8);  // 4 matches x 2
+}
+
+TEST(SerialSwlag, AffineGapPenalizesOpeningOnce) {
+  // a = "AAAATTTT", b = "AAAA" + gap + "TTTT" -> with affine gaps a single
+  // long gap costs open + (k-1) * extend, so the 8-match alignment with one
+  // 3-gap wins over fragmenting.
+  auto m = serial_swlag("AAAACCCTTTT", "AAAATTTT");
+  // 8 matches (16) minus gap open(-3) and 2 extends(-2) = 11.
+  EXPECT_EQ(swlag_best_score(m), 11);
+}
+
+TEST(SerialSwlag, BoundariesNeutral) {
+  auto m = serial_swlag("ACG", "TGC");
+  for (std::int32_t j = 0; j <= 3; ++j) {
+    EXPECT_EQ(m.at(0, j).h, 0);
+    EXPECT_EQ(m.at(0, j).e, kSwlagNegInf);
+  }
+}
+
+TEST(SerialManhattan, TwoByTwoManual) {
+  const std::uint64_t seed = 77;
+  auto d = serial_manhattan(2, 2, seed);
+  EXPECT_EQ(d.at(0, 0), 0);
+  EXPECT_EQ(d.at(0, 1), mtp_weight(0, 0, 0, 1, seed));
+  EXPECT_EQ(d.at(1, 0), mtp_weight(0, 0, 1, 0, seed));
+  std::int64_t via_top = d.at(0, 1) + mtp_weight(0, 1, 1, 1, seed);
+  std::int64_t via_left = d.at(1, 0) + mtp_weight(1, 0, 1, 1, seed);
+  EXPECT_EQ(d.at(1, 1), std::max(via_top, via_left));
+}
+
+TEST(SerialManhattan, MonotoneAlongPaths) {
+  auto d = serial_manhattan(6, 6, 3);
+  for (std::int32_t i = 0; i < 6; ++i) {
+    for (std::int32_t j = 1; j < 6; ++j) {
+      EXPECT_GE(d.at(i, j), d.at(i, j - 1));  // weights are non-negative
+    }
+  }
+}
+
+TEST(SerialLps, KnownPalindromes) {
+  EXPECT_EQ(serial_lps("A").at(0, 0), 1);
+  EXPECT_EQ(serial_lps("AB").at(0, 1), 1);
+  EXPECT_EQ(serial_lps("AA").at(0, 1), 2);
+  EXPECT_EQ(serial_lps("BBABCBCAB").at(0, 8), 7);   // BACBCAB
+  EXPECT_EQ(serial_lps("CHARACTER").at(0, 8), 5);   // CARAC
+  EXPECT_EQ(serial_lps("RACECAR").at(0, 6), 7);
+}
+
+TEST(SerialKnapsack, SmallKnownOptimum) {
+  KnapsackInstance inst;
+  inst.weights = {1, 3, 4, 5};
+  inst.values = {1, 4, 5, 7};
+  inst.capacity = 7;
+  auto m = serial_knapsack(inst);
+  EXPECT_EQ(m.at(4, 7), 9);  // items 2 + 3 (w 3+4, v 4+5)
+  EXPECT_EQ(m.at(4, 3), 4);
+  EXPECT_EQ(m.at(4, 0), 0);
+  EXPECT_EQ(m.at(0, 7), 0);
+}
+
+TEST(SerialKnapsack, MonotoneInCapacityAndItems) {
+  KnapsackInstance inst = random_knapsack(10, 40, 9, 5);
+  auto m = serial_knapsack(inst);
+  for (std::int32_t i = 1; i <= 10; ++i) {
+    for (std::int32_t j = 1; j <= 40; ++j) {
+      EXPECT_GE(m.at(i, j), m.at(i - 1, j));
+      EXPECT_GE(m.at(i, j), m.at(i, j - 1));
+    }
+  }
+}
+
+TEST(Inputs, RandomSequenceDeterministicAndInAlphabet) {
+  std::string a = random_sequence(64, 9);
+  EXPECT_EQ(a, random_sequence(64, 9));
+  EXPECT_NE(a, random_sequence(64, 10));
+  for (char c : a) {
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << c;
+  }
+  std::string bin = random_sequence(64, 9, "01");
+  for (char c : bin) EXPECT_TRUE(c == '0' || c == '1');
+}
+
+TEST(Inputs, RandomKnapsackRespectsBounds) {
+  KnapsackInstance inst = random_knapsack(50, 100, 12, 3);
+  EXPECT_EQ(inst.items(), 50);
+  EXPECT_EQ(inst.capacity, 100);
+  for (std::int32_t w : inst.weights) {
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, 12);
+  }
+  for (std::int64_t v : inst.values) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+  }
+}
+
+TEST(Inputs, MtpWeightStatelessAndBounded) {
+  EXPECT_EQ(mtp_weight(3, 4, 3, 5, 11), mtp_weight(3, 4, 3, 5, 11));
+  EXPECT_NE(mtp_weight(3, 4, 3, 5, 11), mtp_weight(3, 4, 3, 5, 12));
+  for (int k = 0; k < 100; ++k) {
+    std::int64_t w = mtp_weight(k, k + 1, k + 2, k + 3, 1);
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 100);
+  }
+}
+
+}  // namespace
+}  // namespace dpx10::dp

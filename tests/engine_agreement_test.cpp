@@ -1,0 +1,174 @@
+// The central correctness property (DESIGN.md §6): every application ×
+// engine × distribution × scheduling strategy produces exactly the serial
+// reference results, cell for cell.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/dpx10.h"
+#include "dp/inputs.h"
+#include "dp/knapsack.h"
+#include "dp/runners.h"
+#include "dp/lcs.h"
+#include "dp/lps.h"
+#include "dp/manhattan.h"
+#include "dp/smith_waterman.h"
+#include "dp/swlag.h"
+
+namespace dpx10 {
+namespace {
+
+using dp::Matrix;
+
+using Param = std::tuple<std::string, dp::EngineKind, DistKind, Scheduling>;
+
+class EngineAgreement : public ::testing::TestWithParam<Param> {
+ protected:
+  RuntimeOptions options() const {
+    RuntimeOptions opts;
+    opts.nplaces = 4;
+    opts.nthreads = 2;
+    opts.dist = std::get<2>(GetParam());
+    opts.scheduling = std::get<3>(GetParam());
+    opts.cache_capacity = 16;  // small so eviction paths run
+    opts.seed = 77;
+    return opts;
+  }
+
+  template <typename T>
+  RunReport run(const Dag& dag, DPX10App<T>& app) {
+    if (std::get<1>(GetParam()) == dp::EngineKind::Threaded) {
+      ThreadedEngine<T> engine(options());
+      return engine.run(dag, app);
+    }
+    SimEngine<T> engine(options());
+    return engine.run(dag, app);
+  }
+};
+
+/// Captures the full result matrix in app_finished.
+template <typename Base, typename T>
+class Capturing final : public Base {
+ public:
+  using Base::Base;
+  std::unique_ptr<Matrix<T>> result;
+
+  void app_finished(const DagView<T>& dag) override {
+    result = std::make_unique<Matrix<T>>(dag.domain().height(), dag.domain().width());
+    for (std::int32_t i = 0; i < dag.domain().height(); ++i) {
+      for (std::int32_t j = dag.domain().row_begin(i); j < dag.domain().row_end(i); ++j) {
+        result->at(i, j) = dag.at(i, j);
+      }
+    }
+  }
+};
+
+TEST_P(EngineAgreement, MatchesSerialReference) {
+  const std::string& app_name = std::get<0>(GetParam());
+  const std::string a = dp::random_sequence(23, 100);
+  const std::string b = dp::random_sequence(19, 101);
+
+  if (app_name == "lcs") {
+    Capturing<dp::LcsApp, std::int32_t> app(a, b);
+    auto dag = patterns::make_pattern("left-top-diag", 24, 20);
+    run(*dag, app);
+    auto ref = dp::serial_lcs(a, b);
+    for (std::int32_t i = 0; i <= 23; ++i) {
+      for (std::int32_t j = 0; j <= 19; ++j) {
+        ASSERT_EQ(app.result->at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+      }
+    }
+  } else if (app_name == "sw") {
+    Capturing<dp::SmithWatermanApp, std::int32_t> app(a, b);
+    auto dag = patterns::make_pattern("left-top-diag", 24, 20);
+    run(*dag, app);
+    auto ref = dp::serial_smith_waterman(a, b);
+    for (std::int32_t i = 0; i <= 23; ++i) {
+      for (std::int32_t j = 0; j <= 19; ++j) {
+        ASSERT_EQ(app.result->at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+      }
+    }
+  } else if (app_name == "swlag") {
+    Capturing<dp::SwlagApp, dp::SwlagCell> app(a, b);
+    auto dag = patterns::make_pattern("left-top-diag", 24, 20);
+    run(*dag, app);
+    auto ref = dp::serial_swlag(a, b);
+    for (std::int32_t i = 0; i <= 23; ++i) {
+      for (std::int32_t j = 0; j <= 19; ++j) {
+        ASSERT_EQ(app.result->at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+      }
+    }
+  } else if (app_name == "mtp") {
+    Capturing<dp::ManhattanApp, std::int64_t> app(std::uint64_t{42});
+    auto dag = patterns::make_pattern("left-top", 21, 17);
+    run(*dag, app);
+    auto ref = dp::serial_manhattan(21, 17, 42);
+    for (std::int32_t i = 0; i < 21; ++i) {
+      for (std::int32_t j = 0; j < 17; ++j) {
+        ASSERT_EQ(app.result->at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+      }
+    }
+  } else if (app_name == "lps") {
+    const std::string x = dp::random_sequence(25, 102);
+    Capturing<dp::LpsApp, std::int32_t> app(x);
+    auto dag = patterns::make_pattern("interval", 25, 25);
+    run(*dag, app);
+    auto ref = dp::serial_lps(x);
+    for (std::int32_t i = 0; i < 25; ++i) {
+      for (std::int32_t j = i; j < 25; ++j) {
+        ASSERT_EQ(app.result->at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+      }
+    }
+  } else if (app_name == "knapsack") {
+    auto instance = std::make_shared<const dp::KnapsackInstance>(
+        dp::random_knapsack(12, 35, 9, 103));
+    Capturing<dp::KnapsackApp, std::int64_t> app(instance);
+    dp::KnapsackDag dag(instance);
+    run(dag, app);
+    auto ref = dp::serial_knapsack(*instance);
+    for (std::int32_t i = 0; i <= 12; ++i) {
+      for (std::int32_t j = 0; j <= 35; ++j) {
+        ASSERT_EQ(app.result->at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+      }
+    }
+  } else {
+    FAIL() << "unknown app " << app_name;
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  auto [app, engine, dist, sched] = info.param;
+  std::string name = app;
+  name += engine == dp::EngineKind::Threaded ? "_threaded_" : "_sim_";
+  name += dist_kind_name(dist);
+  name += "_";
+  name += scheduling_name(sched);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+// Full cross of distributions with local scheduling...
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, EngineAgreement,
+    ::testing::Combine(::testing::Values("lcs", "sw", "swlag", "mtp", "lps", "knapsack"),
+                       ::testing::Values(dp::EngineKind::Threaded, dp::EngineKind::Sim),
+                       ::testing::Values(DistKind::BlockRow, DistKind::BlockCol,
+                                         DistKind::BlockCyclicRow, DistKind::Block2D),
+                       ::testing::Values(Scheduling::Local)),
+    param_name);
+
+// ...and the full cross of scheduling strategies on the default dist.
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, EngineAgreement,
+    ::testing::Combine(::testing::Values("lcs", "sw", "swlag", "mtp", "lps", "knapsack"),
+                       ::testing::Values(dp::EngineKind::Threaded, dp::EngineKind::Sim),
+                       ::testing::Values(DistKind::BlockRow),
+                       ::testing::Values(Scheduling::Random, Scheduling::MinCommunication,
+                                         Scheduling::WorkStealing)),
+    param_name);
+
+}  // namespace
+}  // namespace dpx10

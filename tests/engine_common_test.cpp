@@ -1,0 +1,216 @@
+// detail::initialize_cells / seed_ready / rebuild_after_death — the engine-
+// shared structural phases, exercised directly on a DistArray.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/engine_common.h"
+#include "core/patterns/registry.h"
+
+namespace dpx10 {
+namespace {
+
+/// Counts upward; pre-finishes row 0 when `prefinish_row0` is set.
+class CountApp final : public DPX10App<std::int32_t> {
+ public:
+  explicit CountApp(bool prefinish_row0 = false) : prefinish_row0_(prefinish_row0) {}
+
+  std::int32_t compute(std::int32_t i, std::int32_t j,
+                       std::span<const Vertex<std::int32_t>> deps) override {
+    std::int32_t best = 0;
+    for (const auto& d : deps) best = std::max(best, d.result());
+    return best + i + j;
+  }
+
+  std::optional<std::int32_t> initial_value(VertexId id) const override {
+    if (prefinish_row0_ && id.i == 0) return 100 + id.j;
+    return std::nullopt;
+  }
+
+ private:
+  bool prefinish_row0_;
+};
+
+TEST(InitializeCells, IndegreesMatchPattern) {
+  auto dag = patterns::make_pattern("left-top-diag", 4, 4);
+  DistArray<std::int32_t> array(dag->domain(), DistKind::BlockRow, PlaceGroup::dense(2));
+  CountApp app;
+  auto summary = detail::initialize_cells(array, *dag, app);
+  EXPECT_EQ(summary.prefinished, 0u);
+  EXPECT_EQ(summary.to_compute, 16u);
+  EXPECT_EQ(array.cell(VertexId{0, 0}).indegree.load(), 0);
+  EXPECT_EQ(array.cell(VertexId{0, 3}).indegree.load(), 1);
+  EXPECT_EQ(array.cell(VertexId{3, 0}).indegree.load(), 1);
+  EXPECT_EQ(array.cell(VertexId{2, 2}).indegree.load(), 3);
+}
+
+TEST(InitializeCells, PrefinishedCellsDoNotCount) {
+  auto dag = patterns::make_pattern("left-top-diag", 4, 4);
+  DistArray<std::int32_t> array(dag->domain(), DistKind::BlockRow, PlaceGroup::dense(2));
+  CountApp app(/*prefinish_row0=*/true);
+  auto summary = detail::initialize_cells(array, *dag, app);
+  EXPECT_EQ(summary.prefinished, 4u);
+  EXPECT_EQ(summary.to_compute, 12u);
+  // Row-0 cells carry their initial values and the Prefinished state.
+  EXPECT_EQ(array.cell(VertexId{0, 2}).value, 102);
+  EXPECT_EQ(array.cell(VertexId{0, 2}).load_state(), CellState::Prefinished);
+  // (1,1)'s deps (0,0),(0,1) are pre-finished; only (1,0) counts.
+  EXPECT_EQ(array.cell(VertexId{1, 1}).indegree.load(), 1);
+  // (1,0)'s only remaining dep (0,0) is pre-finished -> seed.
+  EXPECT_EQ(array.cell(VertexId{1, 0}).indegree.load(), 0);
+}
+
+TEST(SeedReady, EmitsExactlyZeroIndegreeUnfinished) {
+  auto dag = patterns::make_pattern("left", 3, 5);  // three row chains
+  DistArray<std::int32_t> array(dag->domain(), DistKind::BlockRow, PlaceGroup::dense(3));
+  CountApp app;
+  detail::initialize_cells(array, *dag, app);
+  std::map<std::int32_t, std::vector<std::int64_t>> pushed;
+  detail::seed_ready(array, [&](std::int32_t place, std::int64_t idx) {
+    pushed[place].push_back(idx);
+  });
+  // One seed per row: (i, 0), owned by place i under BlockRow/3 over 3 rows.
+  ASSERT_EQ(pushed.size(), 3u);
+  for (std::int32_t p = 0; p < 3; ++p) {
+    ASSERT_EQ(pushed[p].size(), 1u) << "place " << p;
+    EXPECT_EQ(array.domain().delinearize(pushed[p][0]), (VertexId{p, 0}));
+  }
+}
+
+class RebuildTest : public ::testing::TestWithParam<RestoreMode> {};
+
+TEST_P(RebuildTest, RestoreRulesPerMode) {
+  const RestoreMode mode = GetParam();
+  auto dag = patterns::make_pattern("left-top", 8, 4);
+  CountApp app;
+  // Old world: 4 places, rows {0,1},{2,3},{4,5},{6,7}.
+  DistArray<std::int32_t> old_array(dag->domain(), DistKind::BlockRow, PlaceGroup::dense(4));
+  detail::initialize_cells(old_array, *dag, app);
+  // Mark rows 0..3 finished (places 0 and 1 in the old layout).
+  for (std::int32_t i = 0; i < 4; ++i) {
+    for (std::int32_t j = 0; j < 4; ++j) {
+      auto& cell = old_array.cell(VertexId{i, j});
+      cell.value = 1000 + i * 4 + j;
+      cell.store_state(CellState::Finished, std::memory_order_relaxed);
+    }
+  }
+  // Kill place 1 (owned rows 2,3 — finished, so they are lost).
+  net::TrafficBook book(4);
+  PlaceGroup survivors = PlaceGroup::dense(4).without(1);
+  DistArray<std::int32_t> fresh(dag->domain(), DistKind::BlockRow, survivors);
+  RecoveryRecord record =
+      detail::rebuild_after_death(old_array, 1, mode, *dag, app, fresh, book);
+
+  EXPECT_EQ(record.dead_place, 1);
+  EXPECT_EQ(record.lost, 8u);  // rows 2-3
+  // New layout over survivors {0,2,3}: rows {0,1,2},{3,4,5},{6,7}.
+  // Finished rows 0,1 stay with old owner (place 0 slot 0) -> restored.
+  // Row 2's data died. Row 3 was on dead place too. So restored = rows 0,1.
+  EXPECT_EQ(record.restored, 8u);
+  EXPECT_EQ(record.discarded, 0u);
+  for (std::int32_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(fresh.cell(VertexId{0, j}).load_state(), CellState::Finished);
+    EXPECT_EQ(fresh.cell(VertexId{0, j}).value, 1000 + j);
+    EXPECT_EQ(fresh.cell(VertexId{2, j}).load_state(), CellState::Unfinished);
+  }
+  // Indegrees of unfinished cells count only unfinished deps:
+  // (2,0) <- (1,0) finished -> indegree 0; (4,1) <- (3,1),(4,0) unfinished -> 2.
+  EXPECT_EQ(fresh.cell(VertexId{2, 0}).indegree.load(), 0);
+  EXPECT_EQ(fresh.cell(VertexId{4, 1}).indegree.load(), 2);
+  EXPECT_EQ(detail::count_finished(fresh), 8u);
+}
+
+TEST_P(RebuildTest, OwnerChangeRespectsMode) {
+  const RestoreMode mode = GetParam();
+  auto dag = patterns::make_pattern("left-top", 6, 2);
+  CountApp app;
+  // Old: 3 places, rows {0,1},{2,3},{4,5}. Finish rows 4,5 (place 2).
+  DistArray<std::int32_t> old_array(dag->domain(), DistKind::BlockRow, PlaceGroup::dense(3));
+  detail::initialize_cells(old_array, *dag, app);
+  for (std::int32_t i = 4; i < 6; ++i) {
+    for (std::int32_t j = 0; j < 2; ++j) {
+      auto& cell = old_array.cell(VertexId{i, j});
+      cell.value = 7;
+      cell.store_state(CellState::Finished, std::memory_order_relaxed);
+    }
+  }
+  // Kill place 0. Survivors {1,2}: new rows {0,1,2},{3,4,5}.
+  // Rows 4,5: old owner place 2, new owner place 2 for rows 3-5 -> stays!
+  // To force a move, kill place 1 instead: survivors {0,2}: rows {0,1,2} ->
+  // place 0, rows {3,4,5} -> place 2; rows 4,5 stay with place 2 again.
+  // Use BlockCol... simpler: kill place 2's neighbour and check row 4 via
+  // survivors {0,1}: rows {0,1,2} -> 0, {3,4,5} -> 1: rows 4,5 move 2 -> 1.
+  net::TrafficBook book(3);
+  PlaceGroup survivors = PlaceGroup::dense(3).without(2);
+  // Place 2 is NOT dead here — we kill place 0's data but place 2 leaves the
+  // group? That cannot happen in the real engine; instead simulate the
+  // legal case: place 0 dies, but rows 4,5 owned by place 2 map to the new
+  // slot of place 1? Recompute: survivors {1,2} -> slot0=place1 rows{0,1,2},
+  // slot1=place2 rows{3,4,5}. Rows 4,5 stay. To exercise the move path we
+  // finish rows 2,3 instead (old owner place 1):
+  for (std::int32_t i = 4; i < 6; ++i) {
+    for (std::int32_t j = 0; j < 2; ++j) {
+      old_array.cell(VertexId{i, j}).store_state(CellState::Unfinished,
+                                                 std::memory_order_relaxed);
+    }
+  }
+  for (std::int32_t i = 2; i < 4; ++i) {
+    for (std::int32_t j = 0; j < 2; ++j) {
+      auto& cell = old_array.cell(VertexId{i, j});
+      cell.value = 9;
+      cell.store_state(CellState::Finished, std::memory_order_relaxed);
+    }
+  }
+  // Kill place 0: survivors {1,2}; new owner of row 2 is place 1 (same),
+  // row 3 -> place 2 (moved from place 1).
+  PlaceGroup surv = PlaceGroup::dense(3).without(0);
+  DistArray<std::int32_t> fresh(dag->domain(), DistKind::BlockRow, surv);
+  RecoveryRecord record =
+      detail::rebuild_after_death(old_array, 0, mode, *dag, app, fresh, book);
+  (void)survivors;
+  EXPECT_EQ(record.lost, 0u);
+  if (mode == RestoreMode::DiscardRemote) {
+    EXPECT_EQ(record.restored, 2u);   // row 2 stayed local
+    EXPECT_EQ(record.discarded, 2u);  // row 3 moved -> dropped
+    EXPECT_EQ(fresh.cell(VertexId{3, 0}).load_state(), CellState::Unfinished);
+  } else {
+    EXPECT_EQ(record.restored, 4u);
+    EXPECT_EQ(record.restored_remote, 2u);
+    EXPECT_EQ(record.discarded, 0u);
+    EXPECT_EQ(fresh.cell(VertexId{3, 0}).load_state(), CellState::Finished);
+    EXPECT_EQ(fresh.cell(VertexId{3, 0}).value, 9);
+    // The move was accounted as recovery traffic from old to new owner.
+    auto snap = book.snapshot(1);
+    EXPECT_EQ(snap.messages_out[static_cast<std::size_t>(net::MessageKind::RecoveryTransfer)],
+              2u);
+  }
+}
+
+TEST_P(RebuildTest, PrefinishedCellsAlwaysRecovered) {
+  const RestoreMode mode = GetParam();
+  auto dag = patterns::make_pattern("left-top-diag", 4, 4);
+  CountApp app(/*prefinish_row0=*/true);
+  DistArray<std::int32_t> old_array(dag->domain(), DistKind::BlockRow, PlaceGroup::dense(4));
+  detail::initialize_cells(old_array, *dag, app);
+  net::TrafficBook book(4);
+  PlaceGroup surv = PlaceGroup::dense(4).without(0);
+  DistArray<std::int32_t> fresh(dag->domain(), DistKind::BlockRow, surv);
+  detail::rebuild_after_death(old_array, 0, mode, *dag, app, fresh, book);
+  // Row 0 was owned by the dead place, but it is pre-finished state derived
+  // from the app, so it must be re-derived, not lost.
+  for (std::int32_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(fresh.cell(VertexId{0, j}).load_state(), CellState::Prefinished);
+    EXPECT_EQ(fresh.cell(VertexId{0, j}).value, 100 + j);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RebuildTest,
+                         ::testing::Values(RestoreMode::DiscardRemote,
+                                           RestoreMode::RestoreRemote),
+                         [](const ::testing::TestParamInfo<RestoreMode>& info) {
+                           return info.param == RestoreMode::DiscardRemote ? "discard"
+                                                                           : "restore";
+                         });
+
+}  // namespace
+}  // namespace dpx10

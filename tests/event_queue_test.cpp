@@ -1,0 +1,94 @@
+// sim::EventQueue: deterministic (time, seq) ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace dpx10::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(3.0, 0, 1, 0);
+  q.push(1.0, 0, 2, 0);
+  q.push(2.0, 0, 3, 0);
+  EXPECT_EQ(q.pop().a, 2);
+  EXPECT_EQ(q.pop().a, 3);
+  EXPECT_EQ(q.pop().a, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  for (int k = 0; k < 50; ++k) q.push(1.0, 0, k, 0);
+  for (int k = 0; k < 50; ++k) {
+    ASSERT_EQ(q.pop().a, k) << "FIFO within equal timestamps";
+  }
+}
+
+TEST(EventQueue, NextTimePeeks) {
+  EventQueue q;
+  q.push(5.0, 0, 0, 0);
+  q.push(2.5, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+  EXPECT_EQ(q.size(), 2u);  // peek does not pop
+}
+
+TEST(EventQueue, ClearDiscardsEverything) {
+  EventQueue q;
+  q.push(1.0, 0, 0, 0);
+  q.push(2.0, 0, 0, 0);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pushed(), 2u);  // lifetime counter survives clear
+}
+
+TEST(EventQueue, RejectsInvalidTimes) {
+  EventQueue q;
+  EXPECT_THROW(q.push(-1.0, 0, 0, 0), InternalError);
+  EXPECT_THROW(q.push(std::numeric_limits<double>::quiet_NaN(), 0, 0, 0), InternalError);
+}
+
+TEST(EventQueue, EmptyPopIsInternalError) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), InternalError);
+  EXPECT_THROW(q.next_time(), InternalError);
+}
+
+TEST(EventQueue, PayloadRoundTrips) {
+  EventQueue q;
+  q.push(1.0, 7, -42, 1'000'000'000'000LL);
+  Event ev = q.pop();
+  EXPECT_EQ(ev.kind, 7u);
+  EXPECT_EQ(ev.a, -42);
+  EXPECT_EQ(ev.b, 1'000'000'000'000LL);
+}
+
+TEST(EventQueueProperty, MatchesStableSortReference) {
+  // Random interleavings must pop exactly like a stable sort by time.
+  dpx10::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    EventQueue q;
+    std::vector<std::pair<double, std::int64_t>> reference;
+    const int n = 200;
+    for (int k = 0; k < n; ++k) {
+      double t = static_cast<double>(rng.below(50));  // force many ties
+      q.push(t, 0, k, 0);
+      reference.emplace_back(t, k);
+    }
+    std::stable_sort(reference.begin(), reference.end(),
+                     [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (int k = 0; k < n; ++k) {
+      Event ev = q.pop();
+      ASSERT_DOUBLE_EQ(ev.time, reference[static_cast<std::size_t>(k)].first);
+      ASSERT_EQ(ev.a, reference[static_cast<std::size_t>(k)].second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpx10::sim

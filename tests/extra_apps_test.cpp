@@ -1,0 +1,155 @@
+// Edit distance and banded alignment: the extension applications agree with
+// their serial references on both engines.
+#include <gtest/gtest.h>
+
+#include "core/dpx10.h"
+#include "dp/banded.h"
+#include "dp/edit_distance.h"
+#include "dp/inputs.h"
+#include "dp/runners.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(EditDistanceSerial, KnownValues) {
+  EXPECT_EQ(dp::serial_edit_distance("kitten", "sitting").at(6, 7), 3);
+  EXPECT_EQ(dp::serial_edit_distance("flaw", "lawn").at(4, 4), 2);
+  EXPECT_EQ(dp::serial_edit_distance("abc", "abc").at(3, 3), 0);
+  EXPECT_EQ(dp::serial_edit_distance("abc", "xyz").at(3, 3), 3);
+  // Deleting everything / inserting everything.
+  EXPECT_EQ(dp::serial_edit_distance("abcd", "a").at(4, 1), 3);
+}
+
+template <typename App>
+class CapturingApp final : public App {
+ public:
+  using App::App;
+  std::unique_ptr<dp::Matrix<std::int32_t>> result;
+
+  void app_finished(const DagView<std::int32_t>& dag) override {
+    result = std::make_unique<dp::Matrix<std::int32_t>>(dag.domain().height(),
+                                                        dag.domain().width());
+    for (std::int32_t i = 0; i < dag.domain().height(); ++i) {
+      for (std::int32_t j = dag.domain().row_begin(i); j < dag.domain().row_end(i); ++j) {
+        result->at(i, j) = dag.at(i, j);
+      }
+    }
+  }
+};
+
+class ExtraApps : public ::testing::TestWithParam<dp::EngineKind> {
+ protected:
+  template <typename T>
+  void run(const Dag& dag, DPX10App<T>& app) {
+    RuntimeOptions opts;
+    opts.nplaces = 3;
+    opts.nthreads = 2;
+    if (GetParam() == dp::EngineKind::Threaded) {
+      ThreadedEngine<T> engine(opts);
+      engine.run(dag, app);
+    } else {
+      SimEngine<T> engine(opts);
+      engine.run(dag, app);
+    }
+  }
+};
+
+TEST_P(ExtraApps, EditDistanceMatchesSerial) {
+  const std::string a = dp::random_sequence(25, 41, "ACGTN");
+  const std::string b = dp::random_sequence(31, 42, "ACGTN");
+  CapturingApp<dp::EditDistanceApp> app(a, b);
+  auto dag = patterns::make_pattern("left-top-diag", 26, 32);
+  run(*dag, app);
+  auto ref = dp::serial_edit_distance(a, b);
+  for (std::int32_t i = 0; i <= 25; ++i) {
+    for (std::int32_t j = 0; j <= 31; ++j) {
+      ASSERT_EQ(app.result->at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(ExtraApps, EditDistancePrefinishedBoundaries) {
+  const std::string a = dp::random_sequence(20, 43);
+  const std::string b = dp::random_sequence(20, 44);
+  CapturingApp<dp::EditDistancePrefinishedApp> app(a, b);
+  auto dag = patterns::make_pattern("left-top-diag", 21, 21);
+  run(*dag, app);
+  auto ref = dp::serial_edit_distance(a, b);
+  for (std::int32_t i = 0; i <= 20; ++i) {
+    for (std::int32_t j = 0; j <= 20; ++j) {
+      ASSERT_EQ(app.result->at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(ExtraApps, BandedSwMatchesSerial) {
+  const std::string a = dp::random_sequence(30, 45);
+  const std::string b = dp::random_sequence(30, 46);
+  for (std::int32_t band : {1, 4, 10, 30}) {
+    CapturingApp<dp::BandedSwApp> app(a, b);
+    dp::BandedWavefrontDag dag(31, 31, band);
+    run(dag, app);
+    auto ref = dp::serial_banded_sw(a, b, band);
+    for (std::int32_t i = 0; i <= 30; ++i) {
+      for (std::int32_t j = dag.domain().row_begin(i); j < dag.domain().row_end(i); ++j) {
+        ASSERT_EQ(app.result->at(i, j), ref.at(i, j))
+            << "band " << band << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST_P(ExtraApps, BandedFaultTransparency) {
+  const std::string a = dp::random_sequence(40, 47);
+  const std::string b = dp::random_sequence(40, 48);
+  dp::BandedWavefrontDag dag(41, 41, 6);
+
+  CapturingApp<dp::BandedSwApp> clean(a, b);
+  run(dag, clean);
+
+  CapturingApp<dp::BandedSwApp> faulty(a, b);
+  RuntimeOptions opts;
+  opts.nplaces = 3;
+  opts.nthreads = 2;
+  opts.faults.push_back(FaultPlan{2, 0.5});
+  if (GetParam() == dp::EngineKind::Threaded) {
+    ThreadedEngine<std::int32_t> engine(opts);
+    engine.run(dag, faulty);
+  } else {
+    SimEngine<std::int32_t> engine(opts);
+    engine.run(dag, faulty);
+  }
+  for (std::int32_t i = 0; i <= 40; ++i) {
+    for (std::int32_t j = dag.domain().row_begin(i); j < dag.domain().row_end(i); ++j) {
+      ASSERT_EQ(faulty.result->at(i, j), clean.result->at(i, j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ExtraApps,
+                         ::testing::Values(dp::EngineKind::Threaded, dp::EngineKind::Sim),
+                         [](const ::testing::TestParamInfo<dp::EngineKind>& info) {
+                           return info.param == dp::EngineKind::Threaded ? "threaded"
+                                                                         : "sim";
+                         });
+
+TEST(BandedDag, PatternInvariantsHold) {
+  dp::BandedWavefrontDag dag(12, 12, 3);
+  const DagDomain& domain = dag.domain();
+  std::vector<VertexId> out;
+  // Duality spot check over the whole band.
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    VertexId v = domain.delinearize(idx);
+    out.clear();
+    dag.dependencies(v, out);
+    for (VertexId u : out) {
+      ASSERT_TRUE(domain.contains(u));
+      std::vector<VertexId> anti;
+      dag.anti_dependencies(u, anti);
+      ASSERT_NE(std::find(anti.begin(), anti.end(), v), anti.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,131 @@
+// Fault transparency across the whole application library (fault_test.cpp
+// proves the property in depth on LCS; this file proves breadth), plus
+// domain fuzzing and simulator scaling sanity checks.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/dpx10.h"
+#include "dp/runners.h"
+
+namespace dpx10 {
+namespace {
+
+class AppFaultSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AppFaultSweep, SimResultsUnaffectedByFault) {
+  const std::string& app = GetParam();
+  RuntimeOptions clean;
+  clean.nplaces = 4;
+  clean.nthreads = 2;
+  // The runner seeds inputs identically, so identical options must give
+  // identical virtual times; a fault must change time but not correctness
+  // proxies (computed >= vertices, recovery recorded).
+  RunReport base = dp::run_dp_app(app, dp::EngineKind::Sim, 4000, clean, 7);
+
+  RuntimeOptions faulty = clean;
+  faulty.faults.push_back(FaultPlan{3, 0.5});
+  RunReport with_fault = dp::run_dp_app(app, dp::EngineKind::Sim, 4000, faulty, 7);
+
+  EXPECT_EQ(with_fault.vertices, base.vertices);
+  ASSERT_EQ(with_fault.recoveries.size(), 1u);
+  const RecoveryRecord& rec = with_fault.recoveries[0];
+  EXPECT_EQ(with_fault.computed,
+            base.computed + rec.lost + rec.discarded);
+  // A fault costs recovery time plus recomputation, but the post-recovery
+  // schedule can occasionally pipeline *better* than the original (0/1KP's
+  // row waves are chaotic), so only a loose lower bound is an invariant.
+  EXPECT_GT(with_fault.elapsed_seconds + with_fault.recovery_seconds,
+            base.elapsed_seconds * 0.5);
+  EXPECT_GT(with_fault.recovery_seconds, 0.0);
+}
+
+TEST_P(AppFaultSweep, ThreadedCompletesWithFault) {
+  const std::string& app = GetParam();
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.faults.push_back(FaultPlan{2, 0.4});
+  RunReport report = dp::run_dp_app(app, dp::EngineKind::Threaded, 4000, opts, 7);
+  EXPECT_GE(report.computed, report.vertices - report.prefinished);
+  EXPECT_EQ(report.recoveries.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppFaultSweep,
+                         ::testing::Values("swlag", "mtp", "lps", "knapsack", "lcs", "sw"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(DomainFuzz, RandomExtentsRoundTrip) {
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto h = static_cast<std::int32_t>(1 + rng.below(60));
+    const auto w = static_cast<std::int32_t>(1 + rng.below(60));
+    DagDomain rect = DagDomain::rect(h, w);
+    // Spot-check a random sample of indices (full sweeps live in
+    // domain_test.cpp; this fuzzes the extent space).
+    for (int k = 0; k < 50; ++k) {
+      auto idx = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(rect.size())));
+      ASSERT_EQ(rect.linearize(rect.delinearize(idx)), idx) << h << "x" << w;
+    }
+    const std::int32_t n = std::max(h, std::int32_t{2});
+    DagDomain upper = DagDomain::upper_triangular(n);
+    for (int k = 0; k < 50; ++k) {
+      auto idx = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(upper.size())));
+      ASSERT_EQ(upper.linearize(upper.delinearize(idx)), idx) << "upper " << n;
+    }
+    const auto band = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)) +
+                                                (h > w ? h - w : 0));
+    if (band >= 0) {
+      DagDomain banded = DagDomain::banded(h, w, band + std::abs(h - w));
+      for (int k = 0; k < 50; ++k) {
+        auto idx =
+            static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(banded.size())));
+        ASSERT_EQ(banded.linearize(banded.delinearize(idx)), idx)
+            << "banded " << h << "x" << w << " band " << band;
+      }
+    }
+  }
+}
+
+TEST(SimScaling, MoreThreadsPerPlaceNeverSlower) {
+  for (const char* app : {"swlag", "lps"}) {
+    double prev = 1e300;
+    for (std::int32_t nthreads : {1, 2, 6}) {
+      RuntimeOptions opts;
+      opts.nplaces = 4;
+      opts.nthreads = nthreads;
+      RunReport r = dp::run_dp_app(app, dp::EngineKind::Sim, 20000, opts);
+      EXPECT_LE(r.elapsed_seconds, prev * 1.0001)
+          << app << " slowed down going to " << nthreads << " threads";
+      prev = r.elapsed_seconds;
+    }
+  }
+}
+
+TEST(SimScaling, FasterLinkNeverSlower) {
+  RuntimeOptions slow;
+  slow.nplaces = 8;
+  slow.nthreads = 2;
+  slow.link.latency_s = 100e-6;
+  RuntimeOptions fast = slow;
+  fast.link.latency_s = 1e-6;
+  RunReport r_slow = dp::run_dp_app("swlag", dp::EngineKind::Sim, 30000, slow);
+  RunReport r_fast = dp::run_dp_app("swlag", dp::EngineKind::Sim, 30000, fast);
+  EXPECT_LT(r_fast.elapsed_seconds, r_slow.elapsed_seconds);
+}
+
+TEST(SimScaling, FrameworkCostMovesTime) {
+  RuntimeOptions lean;
+  lean.nplaces = 4;
+  lean.nthreads = 2;
+  lean.cost.framework_ns = 0.0;
+  RuntimeOptions heavy = lean;
+  heavy.cost.framework_ns = 5000.0;
+  RunReport r_lean = dp::run_dp_app("lcs", dp::EngineKind::Sim, 20000, lean);
+  RunReport r_heavy = dp::run_dp_app("lcs", dp::EngineKind::Sim, 20000, heavy);
+  EXPECT_LT(r_lean.elapsed_seconds, r_heavy.elapsed_seconds);
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,171 @@
+// Fault tolerance (§VI-D): transparent recovery on both engines.
+//
+// The headline property: injecting a place death at any point of the run,
+// under either restore mode, yields exactly the fault-free results.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/dpx10.h"
+#include "dp/inputs.h"
+#include "dp/lcs.h"
+#include "dp/runners.h"
+
+namespace dpx10 {
+namespace {
+
+/// LCS app capturing the final matrix's bottom-right value and a checksum.
+class ChecksumLcs final : public dp::LcsApp {
+ public:
+  using LcsApp::LcsApp;
+  std::uint64_t checksum = 0;
+
+  void app_finished(const DagView<std::int32_t>& dag) override {
+    for (std::int32_t i = 0; i < dag.domain().height(); ++i) {
+      for (std::int32_t j = 0; j < dag.domain().width(); ++j) {
+        checksum = checksum * 1099511628211ULL +
+                   static_cast<std::uint64_t>(dag.at(i, j) + 1);
+      }
+    }
+  }
+};
+
+std::uint64_t run_checksum(dp::EngineKind kind, const RuntimeOptions& opts,
+                           RunReport* report_out = nullptr) {
+  ChecksumLcs app(dp::random_sequence(35, 50), dp::random_sequence(35, 51));
+  auto dag = patterns::make_pattern("left-top-diag", 36, 36);
+  RunReport report;
+  if (kind == dp::EngineKind::Threaded) {
+    ThreadedEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  } else {
+    SimEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  }
+  if (report_out) *report_out = report;
+  return app.checksum;
+}
+
+using FaultParam = std::tuple<dp::EngineKind, RestoreMode, double>;
+
+class FaultTransparency : public ::testing::TestWithParam<FaultParam> {};
+
+TEST_P(FaultTransparency, ResultsIdenticalToFaultFreeRun) {
+  auto [engine, mode, fraction] = GetParam();
+  RuntimeOptions clean;
+  clean.nplaces = 4;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_checksum(engine, clean);
+
+  RuntimeOptions faulty = clean;
+  faulty.restore = mode;
+  faulty.faults.push_back(FaultPlan{3, fraction});
+  RunReport report;
+  const std::uint64_t actual = run_checksum(engine, faulty, &report);
+
+  EXPECT_EQ(actual, expected);
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  const RecoveryRecord& rec = report.recoveries[0];
+  EXPECT_EQ(rec.dead_place, 3);
+  EXPECT_GE(report.recovery_seconds, 0.0);
+  // With work lost or discarded, some vertices were computed twice.
+  EXPECT_GE(report.computed, report.vertices);
+  EXPECT_EQ(report.computed, report.vertices + rec.lost + rec.discarded);
+  if (mode == RestoreMode::RestoreRemote) {
+    EXPECT_EQ(rec.discarded, 0u);
+  }
+}
+
+std::string fault_param_name(const ::testing::TestParamInfo<FaultParam>& info) {
+  auto [engine, mode, fraction] = info.param;
+  std::string name = engine == dp::EngineKind::Threaded ? "threaded" : "sim";
+  name += mode == RestoreMode::DiscardRemote ? "_discard" : "_restore";
+  name += "_at" + std::to_string(static_cast<int>(fraction * 100));
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FaultTransparency,
+    ::testing::Combine(::testing::Values(dp::EngineKind::Threaded, dp::EngineKind::Sim),
+                       ::testing::Values(RestoreMode::DiscardRemote,
+                                         RestoreMode::RestoreRemote),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.9)),
+    fault_param_name);
+
+TEST(Fault, PlaceZeroDeathIsUnrecoverableSim) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.faults.push_back(FaultPlan{0, 0.3});
+  EXPECT_THROW(run_checksum(dp::EngineKind::Sim, opts), DeadPlaceException);
+}
+
+TEST(Fault, PlaceZeroDeathIsUnrecoverableThreaded) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.faults.push_back(FaultPlan{0, 0.3});
+  EXPECT_THROW(run_checksum(dp::EngineKind::Threaded, opts), DeadPlaceException);
+}
+
+TEST(Fault, TwoSequentialDeathsStillTransparent) {
+  RuntimeOptions clean;
+  clean.nplaces = 5;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_checksum(dp::EngineKind::Sim, clean);
+
+  RuntimeOptions faulty = clean;
+  faulty.faults.push_back(FaultPlan{4, 0.3});
+  faulty.faults.push_back(FaultPlan{2, 0.7});
+  RunReport report;
+  EXPECT_EQ(run_checksum(dp::EngineKind::Sim, faulty, &report), expected);
+  ASSERT_EQ(report.recoveries.size(), 2u);
+  EXPECT_EQ(report.recoveries[0].dead_place, 4);
+  EXPECT_EQ(report.recoveries[1].dead_place, 2);
+}
+
+TEST(Fault, TwoSequentialDeathsThreaded) {
+  RuntimeOptions clean;
+  clean.nplaces = 5;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_checksum(dp::EngineKind::Threaded, clean);
+
+  RuntimeOptions faulty = clean;
+  faulty.faults.push_back(FaultPlan{1, 0.2});
+  faulty.faults.push_back(FaultPlan{3, 0.6});
+  RunReport report;
+  EXPECT_EQ(run_checksum(dp::EngineKind::Threaded, faulty, &report), expected);
+  EXPECT_EQ(report.recoveries.size(), 2u);
+}
+
+TEST(Fault, RecoveryCensusBalances) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.faults.push_back(FaultPlan{2, 0.5});
+  RunReport report;
+  run_checksum(dp::EngineKind::Sim, opts, &report);
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  const RecoveryRecord& rec = report.recoveries[0];
+  // Everything finished at the time of the fault is exactly partitioned
+  // into lost / restored / discarded.
+  EXPECT_GT(rec.lost + rec.restored + rec.discarded, 0u);
+  EXPECT_GT(rec.restored, 0u);
+}
+
+TEST(Fault, FaultOnLargerClusterKeepsDataOfSurvivors) {
+  RuntimeOptions opts;
+  opts.nplaces = 8;
+  opts.nthreads = 2;
+  opts.restore = RestoreMode::RestoreRemote;
+  opts.faults.push_back(FaultPlan{7, 0.6});
+  RunReport report;
+  run_checksum(dp::EngineKind::Sim, opts, &report);
+  const RecoveryRecord& rec = report.recoveries.at(0);
+  // Under restore-remote, only the dead place's data is recomputed.
+  EXPECT_EQ(rec.discarded, 0u);
+  EXPECT_EQ(report.computed, report.vertices + rec.lost);
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,174 @@
+// Cross-feature interplay: combinations of options that individually pass
+// elsewhere must also compose — cache policies with faults, 2D
+// distributions with restore modes, tiling with snapshots, and repeated
+// threaded runs hunting for races.
+#include <gtest/gtest.h>
+
+#include "core/dpx10.h"
+#include "core/tiling.h"
+#include "dp/inputs.h"
+#include "dp/kernels.h"
+#include "dp/lcs.h"
+#include "dp/runners.h"
+#include "dp/swlag.h"
+
+namespace dpx10 {
+namespace {
+
+class ChecksumLcs final : public dp::LcsApp {
+ public:
+  using LcsApp::LcsApp;
+  std::uint64_t checksum = 0;
+  void app_finished(const DagView<std::int32_t>& dag) override {
+    for (std::int32_t i = 0; i < dag.domain().height(); ++i) {
+      for (std::int32_t j = 0; j < dag.domain().width(); ++j) {
+        checksum = checksum * 131 + static_cast<std::uint64_t>(dag.at(i, j) + 1);
+      }
+    }
+  }
+};
+
+std::uint64_t run_lcs(dp::EngineKind kind, const RuntimeOptions& opts,
+                      std::int32_t side = 33) {
+  ChecksumLcs app(dp::random_sequence(static_cast<std::size_t>(side - 1), 81),
+                  dp::random_sequence(static_cast<std::size_t>(side - 1), 82));
+  auto dag = patterns::make_pattern("left-top-diag", side, side);
+  if (kind == dp::EngineKind::Threaded) {
+    ThreadedEngine<std::int32_t> engine(opts);
+    engine.run(*dag, app);
+  } else {
+    SimEngine<std::int32_t> engine(opts);
+    engine.run(*dag, app);
+  }
+  return app.checksum;
+}
+
+TEST(Interplay, LruCacheDeliversIdenticalResults) {
+  RuntimeOptions fifo;
+  fifo.nplaces = 4;
+  fifo.nthreads = 2;
+  fifo.cache_capacity = 8;  // tiny, to force evictions
+  RuntimeOptions lru = fifo;
+  lru.cache_policy = CachePolicy::Lru;
+  for (dp::EngineKind kind : {dp::EngineKind::Threaded, dp::EngineKind::Sim}) {
+    EXPECT_EQ(run_lcs(kind, fifo), run_lcs(kind, lru));
+  }
+}
+
+TEST(Interplay, Block2DWithRestoreRemoteFault) {
+  RuntimeOptions clean;
+  clean.nplaces = 6;
+  clean.nthreads = 2;
+  clean.dist = DistKind::Block2D;
+  const std::uint64_t expected = run_lcs(dp::EngineKind::Sim, clean);
+
+  RuntimeOptions faulty = clean;
+  faulty.restore = RestoreMode::RestoreRemote;
+  faulty.faults.push_back(FaultPlan{5, 0.5});
+  EXPECT_EQ(run_lcs(dp::EngineKind::Sim, faulty), expected);
+  EXPECT_EQ(run_lcs(dp::EngineKind::Threaded, faulty), expected);
+}
+
+TEST(Interplay, MinCommSchedulingWithFault) {
+  RuntimeOptions clean;
+  clean.nplaces = 4;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_lcs(dp::EngineKind::Sim, clean);
+
+  RuntimeOptions faulty = clean;
+  faulty.scheduling = Scheduling::MinCommunication;
+  faulty.faults.push_back(FaultPlan{3, 0.3});
+  EXPECT_EQ(run_lcs(dp::EngineKind::Sim, faulty), expected);
+  EXPECT_EQ(run_lcs(dp::EngineKind::Threaded, faulty), expected);
+}
+
+TEST(Interplay, LifoOrderWithWorkStealing) {
+  RuntimeOptions clean;
+  clean.nplaces = 4;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_lcs(dp::EngineKind::Threaded, clean);
+
+  RuntimeOptions combo = clean;
+  combo.ready_order = ReadyOrder::Lifo;
+  combo.scheduling = Scheduling::WorkStealing;
+  EXPECT_EQ(run_lcs(dp::EngineKind::Threaded, combo), expected);
+  EXPECT_EQ(run_lcs(dp::EngineKind::Sim, combo), expected);
+}
+
+TEST(Interplay, TiledExecutionUnderSnapshotPolicyWithFault) {
+  const std::string a = dp::random_sequence(47, 83);
+  const std::string b = dp::random_sequence(47, 84);
+
+  auto run_tiled = [&](const RuntimeOptions& opts) {
+    dp::SwlagKernel kernel(a, b);
+    struct Final final : TiledWavefrontApp<dp::SwlagKernel> {
+      using TiledWavefrontApp::TiledWavefrontApp;
+      std::int32_t corner_h = -1;
+      void app_finished(const DagView<TileEdge<dp::SwlagCell>>& dag) override {
+        const auto& edge =
+            dag.at(dag.domain().height() - 1, dag.domain().width() - 1);
+        corner_h = edge.bottom.back().h;
+      }
+    } app(kernel, TileGeometry(48, 48, 8));
+    auto dag = app.make_dag();
+    SimEngine<TileEdge<dp::SwlagCell>> engine(opts);
+    engine.run(*dag, app);
+    return app.corner_h;
+  };
+
+  RuntimeOptions clean;
+  clean.nplaces = 3;
+  clean.nthreads = 2;
+  const std::int32_t expected = run_tiled(clean);
+  EXPECT_EQ(expected, dp::serial_swlag(a, b).at(47, 47).h);
+
+  RuntimeOptions faulty = clean;
+  faulty.recovery = RecoveryPolicy::PeriodicSnapshot;
+  faulty.snapshot_interval = 0.3;
+  faulty.faults.push_back(FaultPlan{2, 0.6});
+  EXPECT_EQ(run_tiled(faulty), expected);
+}
+
+TEST(Interplay, RepeatedThreadedRunsAreConsistent) {
+  // Race hunt: many repetitions with aggressive settings must always
+  // produce the serial answer.
+  RuntimeOptions opts;
+  opts.nplaces = 6;
+  opts.nthreads = 3;
+  opts.scheduling = Scheduling::Random;
+  opts.cache_capacity = 4;
+  const std::uint64_t expected = run_lcs(dp::EngineKind::Sim, opts, 41);
+  for (int rep = 0; rep < 5; ++rep) {
+    opts.seed = static_cast<std::uint64_t>(rep + 1);
+    ASSERT_EQ(run_lcs(dp::EngineKind::Threaded, opts, 41), expected) << "rep " << rep;
+  }
+}
+
+TEST(Interplay, RepeatedThreadedFaultRunsAreConsistent) {
+  RuntimeOptions clean;
+  clean.nplaces = 5;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_lcs(dp::EngineKind::Sim, clean, 37);
+  for (int rep = 0; rep < 5; ++rep) {
+    RuntimeOptions faulty = clean;
+    faulty.seed = static_cast<std::uint64_t>(100 + rep);
+    faulty.faults.push_back(FaultPlan{4, 0.2 + 0.15 * rep});
+    ASSERT_EQ(run_lcs(dp::EngineKind::Threaded, faulty, 37), expected) << "rep " << rep;
+  }
+}
+
+TEST(Interplay, SimDeterministicUnderEveryStrategy) {
+  for (Scheduling s : {Scheduling::Local, Scheduling::Random,
+                       Scheduling::MinCommunication, Scheduling::WorkStealing}) {
+    RuntimeOptions opts;
+    opts.nplaces = 4;
+    opts.nthreads = 2;
+    opts.scheduling = s;
+    opts.seed = 7;
+    EXPECT_EQ(run_lcs(dp::EngineKind::Sim, opts), run_lcs(dp::EngineKind::Sim, opts))
+        << scheduling_name(s);
+  }
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,48 @@
+// net::LinkModel: the alpha-beta + comm-thread cost arithmetic.
+#include <gtest/gtest.h>
+
+#include "net/link_model.h"
+#include "net/message.h"
+
+namespace dpx10::net {
+namespace {
+
+TEST(LinkModel, TransferTimeIsAlphaPlusBytes) {
+  LinkModel link;
+  link.latency_s = 1e-5;
+  link.bandwidth_bytes_s = 1e9;
+  EXPECT_DOUBLE_EQ(link.transfer_time(1000), 1e-5 + 1000.0 / 1e9);
+  EXPECT_DOUBLE_EQ(link.transfer_time(0), 1e-5);
+}
+
+TEST(LinkModel, NicTimeIncludesPerMessageFloor) {
+  LinkModel link;
+  link.nic_per_msg_s = 2e-6;
+  link.nic_bytes_s = 1e9;
+  EXPECT_DOUBLE_EQ(link.nic_time(1000), 2e-6 + 1000.0 / 1e9);
+  EXPECT_DOUBLE_EQ(link.nic_time(0), 2e-6);
+}
+
+TEST(LinkModel, FetchRoundTripSumsBothLegs) {
+  LinkModel link;
+  const std::size_t reply = wire_bytes(64);
+  EXPECT_DOUBLE_EQ(link.fetch_round_trip(reply),
+                   link.transfer_time(wire_bytes(kControlPayloadBytes)) +
+                       link.transfer_time(reply));
+}
+
+TEST(LinkModel, ZeroCostLinkIsFree) {
+  LinkModel link = zero_cost_link();
+  EXPECT_DOUBLE_EQ(link.transfer_time(1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(link.nic_time(1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(link.fetch_round_trip(1 << 20), 0.0);
+}
+
+TEST(LinkModel, MonotoneInSize) {
+  LinkModel link;
+  EXPECT_LT(link.transfer_time(10), link.transfer_time(10'000'000));
+  EXPECT_LT(link.nic_time(10), link.nic_time(10'000'000));
+}
+
+}  // namespace
+}  // namespace dpx10::net

@@ -1,0 +1,92 @@
+// LruVertexCache and the VertexCache policy wrapper.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cache.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(LruCache, HitRefreshesRecency) {
+  LruVertexCache<int> cache(2);
+  cache.put({0, 0}, 1);
+  cache.put({0, 1}, 2);
+  int out = 0;
+  ASSERT_TRUE(cache.get({0, 0}, out));  // (0,0) becomes most recent
+  cache.put({0, 2}, 3);                 // evicts (0,1), the LRU entry
+  EXPECT_TRUE(cache.get({0, 0}, out));
+  EXPECT_FALSE(cache.get({0, 1}, out));
+  EXPECT_TRUE(cache.get({0, 2}, out));
+}
+
+TEST(LruCache, PutRefreshesRecencyToo) {
+  LruVertexCache<int> cache(2);
+  cache.put({0, 0}, 1);
+  cache.put({0, 1}, 2);
+  cache.put({0, 0}, 9);  // refresh value AND recency — unlike FIFO
+  cache.put({0, 2}, 3);  // evicts (0,1)
+  int out = 0;
+  ASSERT_TRUE(cache.get({0, 0}, out));
+  EXPECT_EQ(out, 9);
+  EXPECT_FALSE(cache.get({0, 1}, out));
+}
+
+TEST(LruCache, CapacityZeroAndClear) {
+  LruVertexCache<int> zero(0);
+  zero.put({1, 1}, 5);
+  int out;
+  EXPECT_FALSE(zero.get({1, 1}, out));
+
+  LruVertexCache<int> cache(4);
+  cache.put({1, 1}, 5);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get({1, 1}, out));
+}
+
+TEST(LruCache, SizeBounded) {
+  LruVertexCache<std::uint64_t> cache(16);
+  Xoshiro256 rng(3);
+  for (int k = 0; k < 1000; ++k) {
+    VertexId id{static_cast<std::int32_t>(rng.below(40)),
+                static_cast<std::int32_t>(rng.below(40))};
+    cache.put(id, id.key());
+    ASSERT_LE(cache.size(), 16u);
+  }
+  // Values never corrupt.
+  for (std::int32_t i = 0; i < 40; ++i) {
+    for (std::int32_t j = 0; j < 40; ++j) {
+      std::uint64_t out;
+      if (cache.get({i, j}, out)) {
+        ASSERT_EQ(out, (VertexId{i, j}.key()));
+      }
+    }
+  }
+}
+
+TEST(VertexCacheWrapper, DispatchesByPolicy) {
+  // FIFO: re-put does not refresh age; LRU: it does. Distinguish them.
+  for (CachePolicy policy : {CachePolicy::Fifo, CachePolicy::Lru}) {
+    VertexCache<int> cache(policy, 2);
+    cache.put({0, 0}, 1);
+    cache.put({0, 1}, 2);
+    int out = 0;
+    ASSERT_TRUE(cache.get({0, 0}, out));  // refreshes only under LRU
+    cache.put({0, 2}, 3);
+    const bool survived = cache.get({0, 0}, out);
+    if (policy == CachePolicy::Lru) {
+      EXPECT_TRUE(survived);
+    } else {
+      EXPECT_FALSE(survived);
+    }
+  }
+}
+
+TEST(VertexCacheWrapper, PolicyNames) {
+  EXPECT_EQ(cache_policy_name(CachePolicy::Fifo), "fifo");
+  EXPECT_EQ(cache_policy_name(CachePolicy::Lru), "lru");
+}
+
+}  // namespace
+}  // namespace dpx10

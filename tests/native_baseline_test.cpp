@@ -1,0 +1,50 @@
+// The hand-coded Fig. 12 baseline must agree with the serial reference.
+#include <gtest/gtest.h>
+
+#include "baseline/native_swlag.h"
+#include "common/stopwatch.h"
+#include "dp/inputs.h"
+#include "dp/swlag.h"
+
+namespace dpx10::baseline {
+namespace {
+
+TEST(NativeSwlag, MatchesSerialScore) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    std::string a = dp::random_sequence(50, seed);
+    std::string b = dp::random_sequence(47, seed + 100);
+    NativeRunResult result = native_swlag_threaded(a, b, 3, 2);
+    auto ref = dp::serial_swlag(a, b);
+    EXPECT_EQ(result.best_score, dp::swlag_best_score(ref)) << "seed " << seed;
+    EXPECT_EQ(result.computed, 51u * 48u);
+    EXPECT_GT(result.elapsed_seconds, 0.0);
+  }
+}
+
+TEST(NativeSwlag, TopologySweep) {
+  std::string a = dp::random_sequence(30, 9);
+  std::string b = dp::random_sequence(30, 10);
+  auto ref = dp::swlag_best_score(dp::serial_swlag(a, b));
+  for (std::int32_t nplaces : {1, 2, 7}) {
+    for (std::int32_t nthreads : {1, 3}) {
+      NativeRunResult result = native_swlag_threaded(a, b, nplaces, nthreads);
+      EXPECT_EQ(result.best_score, ref) << nplaces << "x" << nthreads;
+    }
+  }
+}
+
+TEST(NativeSwlag, RejectsBadTopology) {
+  EXPECT_THROW(native_swlag_threaded("A", "A", 0, 1), ConfigError);
+  EXPECT_THROW(native_swlag_threaded("A", "A", 1, 0), ConfigError);
+}
+
+TEST(SpinForNs, WaitsApproximately) {
+  Stopwatch watch;
+  spin_for_ns(2e6);  // 2 ms
+  EXPECT_GE(watch.seconds(), 1.8e-3);
+  spin_for_ns(0.0);   // no-op
+  spin_for_ns(-5.0);  // no-op
+}
+
+}  // namespace
+}  // namespace dpx10::baseline

@@ -1,0 +1,144 @@
+// Nussinov RNA folding: the 2D/1D library application.
+#include <gtest/gtest.h>
+
+#include "core/dpx10.h"
+#include "dp/inputs.h"
+#include "dp/nussinov.h"
+#include "dp/runners.h"
+
+namespace dpx10::dp {
+namespace {
+
+TEST(NussinovPairing, CanonicalPairsOnly) {
+  EXPECT_EQ(nussinov_pair('A', 'U'), 1);
+  EXPECT_EQ(nussinov_pair('U', 'A'), 1);
+  EXPECT_EQ(nussinov_pair('G', 'C'), 1);
+  EXPECT_EQ(nussinov_pair('C', 'G'), 1);
+  EXPECT_EQ(nussinov_pair('G', 'U'), 1);
+  EXPECT_EQ(nussinov_pair('U', 'G'), 1);
+  EXPECT_EQ(nussinov_pair('A', 'A'), 0);
+  EXPECT_EQ(nussinov_pair('A', 'C'), 0);
+  EXPECT_EQ(nussinov_pair('C', 'U'), 0);
+}
+
+TEST(NussinovSerial, KnownStructures) {
+  // Too short to pair at all (min loop 3).
+  EXPECT_EQ(serial_nussinov("AUAU").at(0, 3), 0);
+  // "AAAAUUUU": candidate pairs (0,7),(1,6) satisfy the min-loop rule but
+  // (2,5) has j-i = 3 which does not -> 2 pairs.
+  EXPECT_EQ(serial_nussinov("AAAAUUUU").at(0, 7), 2);
+  // No complementary bases at all.
+  EXPECT_EQ(serial_nussinov("AAAAAAAAAA").at(0, 9), 0);
+  // GC arm of a hairpin: GGGAAAACCC pairs the 3 GC.
+  EXPECT_EQ(serial_nussinov("GGGAAAACCC").at(0, 9), 3);
+}
+
+TEST(NussinovSerial, MonotoneInInterval) {
+  auto m = serial_nussinov(random_sequence(30, 5, "ACGU"));
+  for (std::int32_t i = 0; i < 30; ++i) {
+    for (std::int32_t j = i + 1; j < 30; ++j) {
+      EXPECT_GE(m.at(i, j), m.at(i + 1, j));
+      EXPECT_GE(m.at(i, j), m.at(i, j - 1));
+    }
+  }
+}
+
+TEST(NussinovDagStructure, DualityAndAcyclicity) {
+  NussinovDag dag(14);
+  const DagDomain& domain = dag.domain();
+  std::vector<VertexId> out, anti;
+  std::int64_t edges = 0;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    VertexId v = domain.delinearize(idx);
+    out.clear();
+    dag.dependencies(v, out);
+    edges += static_cast<std::int64_t>(out.size());
+    for (VertexId u : out) {
+      ASSERT_TRUE(domain.contains(u));
+      anti.clear();
+      dag.anti_dependencies(u, anti);
+      ASSERT_NE(std::find(anti.begin(), anti.end(), v), anti.end())
+          << "(" << u.i << "," << u.j << ") !-> (" << v.i << "," << v.j << ")";
+    }
+  }
+  EXPECT_GT(edges, 0);
+}
+
+class NussinovEngines : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(NussinovEngines, MatchesSerialEverywhere) {
+  const std::string x = random_sequence(26, 17, "ACGU");
+  struct Capture final : NussinovApp {
+    using NussinovApp::NussinovApp;
+    std::unique_ptr<Matrix<std::int32_t>> result;
+    void app_finished(const DagView<std::int32_t>& dag) override {
+      const auto n = dag.domain().height();
+      result = std::make_unique<Matrix<std::int32_t>>(n, n, 0);
+      for (std::int32_t i = 0; i < n; ++i) {
+        for (std::int32_t j = i; j < n; ++j) result->at(i, j) = dag.at(i, j);
+      }
+    }
+  } app(x);
+  NussinovDag dag(26);
+  RuntimeOptions opts;
+  opts.nplaces = 3;
+  opts.nthreads = 2;
+  if (GetParam() == EngineKind::Threaded) {
+    ThreadedEngine<std::int32_t> engine(opts);
+    engine.run(dag, app);
+  } else {
+    SimEngine<std::int32_t> engine(opts);
+    engine.run(dag, app);
+  }
+  auto ref = serial_nussinov(x);
+  for (std::int32_t i = 0; i < 26; ++i) {
+    for (std::int32_t j = i; j < 26; ++j) {
+      ASSERT_EQ(app.result->at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(NussinovEngines, FaultTransparent) {
+  const std::string x = random_sequence(24, 18, "ACGU");
+  auto run_score = [&](bool fault) {
+    struct Best final : NussinovApp {
+      using NussinovApp::NussinovApp;
+      std::int32_t best = -1;
+      void app_finished(const DagView<std::int32_t>& dag) override {
+        best = dag.at(0, dag.domain().height() - 1);
+      }
+    } app(x);
+    NussinovDag dag(24);
+    RuntimeOptions opts;
+    opts.nplaces = 3;
+    opts.nthreads = 2;
+    if (fault) opts.faults.push_back(FaultPlan{2, 0.5});
+    if (GetParam() == EngineKind::Threaded) {
+      ThreadedEngine<std::int32_t> engine(opts);
+      engine.run(dag, app);
+    } else {
+      SimEngine<std::int32_t> engine(opts);
+      engine.run(dag, app);
+    }
+    return app.best;
+  };
+  EXPECT_EQ(run_score(true), run_score(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, NussinovEngines,
+                         ::testing::Values(EngineKind::Threaded, EngineKind::Sim),
+                         [](const ::testing::TestParamInfo<EngineKind>& info) {
+                           return info.param == EngineKind::Threaded ? "threaded" : "sim";
+                         });
+
+TEST(NussinovRunner, RunsThroughRunner) {
+  RuntimeOptions opts;
+  opts.nplaces = 3;
+  opts.nthreads = 2;
+  RunReport r = run_dp_app("nussinov", EngineKind::Sim, 2000, opts);
+  EXPECT_EQ(r.computed, r.vertices);
+  EXPECT_EQ(r.app_name, "nussinov");
+}
+
+}  // namespace
+}  // namespace dpx10::dp

@@ -1,0 +1,93 @@
+// common/Options: CLI + environment resolution.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/options.h"
+
+namespace dpx10 {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, EqualsForm) {
+  Options o = parse({"--nodes=12", "--name=foo"});
+  EXPECT_EQ(o.get_int("nodes", 0), 12);
+  EXPECT_EQ(o.get("name", ""), "foo");
+}
+
+TEST(Options, SpaceForm) {
+  Options o = parse({"--nodes", "12"});
+  EXPECT_EQ(o.get_int("nodes", 0), 12);
+}
+
+TEST(Options, BareFlagIsTrue) {
+  Options o = parse({"--verbose", "--nodes=3"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_EQ(o.get_int("nodes", 0), 3);
+}
+
+TEST(Options, Fallbacks) {
+  Options o = parse({});
+  EXPECT_EQ(o.get_int("missing", 7), 7);
+  EXPECT_EQ(o.get("missing", "d"), "d");
+  EXPECT_FALSE(o.has("missing"));
+  EXPECT_DOUBLE_EQ(o.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Options, Positional) {
+  Options o = parse({"file1", "--k=v", "file2"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "file1");
+  EXPECT_EQ(o.positional()[1], "file2");
+}
+
+TEST(Options, IntList) {
+  Options o = parse({"--nodes=2,4, 6 ,8"});
+  auto list = o.get_int_list("nodes", {});
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0], 2);
+  EXPECT_EQ(list[3], 8);
+  auto fallback = o.get_int_list("missing", {1, 2});
+  EXPECT_EQ(fallback.size(), 2u);
+}
+
+TEST(Options, Scaled) {
+  Options o = parse({"--vertices=300m"});
+  EXPECT_EQ(o.get_scaled("vertices", 0), 300'000'000u);
+  EXPECT_EQ(o.get_scaled("missing", 5), 5u);
+}
+
+TEST(Options, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=off"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+}
+
+TEST(Options, BadValuesThrow) {
+  EXPECT_THROW(parse({"--n=abc"}).get_int("n", 0), ConfigError);
+  EXPECT_THROW(parse({"--n=abc"}).get_double("n", 0), ConfigError);
+  EXPECT_THROW(parse({"--n=maybe"}).get_bool("n", false), ConfigError);
+  EXPECT_THROW(parse({"--n=1,x"}).get_int_list("n", {}), ConfigError);
+}
+
+TEST(Options, EnvironmentFallback) {
+  ::setenv("DPX10_ENV_PROBE", "33", 1);
+  Options o = parse({});
+  EXPECT_EQ(o.get_int("env-probe", 0), 33);
+  // CLI beats environment.
+  Options o2 = parse({"--env-probe=44"});
+  EXPECT_EQ(o2.get_int("env-probe", 0), 44);
+  ::unsetenv("DPX10_ENV_PROBE");
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,151 @@
+// Structural invariants every DAG pattern must satisfy (DESIGN.md §6) —
+// parameterized over all built-in patterns, the knapsack custom pattern,
+// and several sizes.
+//
+//  * all emitted ids lie inside the domain
+//  * no self-edges, no duplicate edges
+//  * duality: u in deps(v)  <=>  v in antideps(u)
+//  * acyclicity: Kahn's algorithm consumes the whole domain
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "core/patterns/registry.h"
+#include "dp/inputs.h"
+#include "dp/knapsack.h"
+#include "dp/nussinov.h"
+
+namespace dpx10 {
+namespace {
+
+struct PatternCase {
+  std::string label;
+  std::shared_ptr<Dag> dag;
+};
+
+std::vector<PatternCase> all_cases() {
+  std::vector<PatternCase> cases;
+  for (const std::string& name : patterns::builtin_pattern_names()) {
+    for (std::int32_t side : {1, 2, 5, 12}) {
+      std::string label = name + "_" + std::to_string(side);
+      for (char& c : label) {
+        if (c == '-') c = '_';
+      }
+      cases.push_back({label, patterns::make_pattern(name, side, side)});
+    }
+    // Non-square instance for the rectangular patterns.
+    if (name != "interval") {
+      std::string label = name + "_rect";
+      for (char& c : label) {
+        if (c == '-') c = '_';
+      }
+      cases.push_back({label, patterns::make_pattern(name, 4, 9)});
+    }
+  }
+  for (const std::string& name : patterns::extended_pattern_names()) {
+    for (std::int32_t side : {1, 2, 9}) {
+      std::string label = name + "_" + std::to_string(side);
+      for (char& c : label) {
+        if (c == '-') c = '_';
+      }
+      cases.push_back({label, patterns::make_pattern(name, side, side)});
+    }
+  }
+  for (std::uint64_t seed : {1u, 7u}) {
+    auto instance = std::make_shared<const dp::KnapsackInstance>(
+        dp::random_knapsack(6, 20, 8, seed));
+    cases.push_back({"knapsack_seed" + std::to_string(seed),
+                     std::make_shared<dp::KnapsackDag>(instance)});
+  }
+  for (std::int32_t side : {2, 11}) {
+    cases.push_back({"nussinov_" + std::to_string(side),
+                     std::make_shared<dp::NussinovDag>(side)});
+  }
+  return cases;
+}
+
+class PatternInvariants : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(PatternInvariants, EdgesInDomainNoSelfNoDuplicates) {
+  const Dag& dag = *GetParam().dag;
+  const DagDomain& domain = dag.domain();
+  std::vector<VertexId> out;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    VertexId v = domain.delinearize(idx);
+    for (bool anti : {false, true}) {
+      out.clear();
+      if (anti) {
+        dag.anti_dependencies(v, out);
+      } else {
+        dag.dependencies(v, out);
+      }
+      std::set<std::pair<std::int32_t, std::int32_t>> seen;
+      for (VertexId u : out) {
+        ASSERT_TRUE(domain.contains(u))
+            << "(" << u.i << "," << u.j << ") outside domain (anti=" << anti << ")";
+        ASSERT_FALSE(u == v) << "self-edge at (" << v.i << "," << v.j << ")";
+        ASSERT_TRUE(seen.insert({u.i, u.j}).second)
+            << "duplicate edge (" << v.i << "," << v.j << ")->(" << u.i << "," << u.j << ")";
+      }
+    }
+  }
+}
+
+TEST_P(PatternInvariants, DepsAndAntiDepsAreDual) {
+  const Dag& dag = *GetParam().dag;
+  const DagDomain& domain = dag.domain();
+  // Build both edge sets and compare.
+  std::set<std::pair<std::int64_t, std::int64_t>> forward, backward;
+  std::vector<VertexId> out;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    VertexId v = domain.delinearize(idx);
+    out.clear();
+    dag.dependencies(v, out);
+    for (VertexId u : out) forward.insert({domain.linearize(u), idx});
+    out.clear();
+    dag.anti_dependencies(v, out);
+    for (VertexId u : out) backward.insert({idx, domain.linearize(u)});
+  }
+  EXPECT_EQ(forward, backward) << "getDependency/getAntiDependency disagree";
+}
+
+TEST_P(PatternInvariants, KahnConsumesWholeDomain) {
+  const Dag& dag = *GetParam().dag;
+  const DagDomain& domain = dag.domain();
+  std::vector<std::int32_t> indegree(static_cast<std::size_t>(domain.size()), 0);
+  std::vector<VertexId> out;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    out.clear();
+    dag.dependencies(domain.delinearize(idx), out);
+    indegree[static_cast<std::size_t>(idx)] = static_cast<std::int32_t>(out.size());
+  }
+  std::vector<std::int64_t> frontier;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    if (indegree[static_cast<std::size_t>(idx)] == 0) frontier.push_back(idx);
+  }
+  ASSERT_FALSE(frontier.empty()) << "no zero-indegree seeds: graph cannot start";
+  std::int64_t consumed = 0;
+  while (!frontier.empty()) {
+    std::int64_t idx = frontier.back();
+    frontier.pop_back();
+    ++consumed;
+    out.clear();
+    dag.anti_dependencies(domain.delinearize(idx), out);
+    for (VertexId u : out) {
+      if (--indegree[static_cast<std::size_t>(domain.linearize(u))] == 0) {
+        frontier.push_back(domain.linearize(u));
+      }
+    }
+  }
+  EXPECT_EQ(consumed, domain.size()) << "cycle or unreachable vertices";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternInvariants, ::testing::ValuesIn(all_cases()),
+                         [](const ::testing::TestParamInfo<PatternCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,124 @@
+// Built-in DAG patterns: explicit edge expectations on small instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/patterns/registry.h"
+
+namespace dpx10 {
+namespace {
+
+std::vector<VertexId> deps_of(const Dag& dag, VertexId v) {
+  std::vector<VertexId> out;
+  dag.dependencies(v, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VertexId> antideps_of(const Dag& dag, VertexId v) {
+  std::vector<VertexId> out;
+  dag.anti_dependencies(v, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PatternRegistry, HasEightBuiltins) {
+  EXPECT_EQ(patterns::builtin_pattern_names().size(), 8u);
+}
+
+TEST(PatternRegistry, UnknownNameThrows) {
+  EXPECT_THROW(patterns::make_pattern("no-such-pattern", 4, 4), ConfigError);
+}
+
+TEST(PatternRegistry, IntervalRequiresSquare) {
+  EXPECT_THROW(patterns::make_pattern("interval", 4, 5), ConfigError);
+  EXPECT_NO_THROW(patterns::make_pattern("interval", 5, 5));
+}
+
+TEST(Pattern, LeftTopEdges) {
+  auto dag = patterns::make_pattern("left-top", 4, 4);
+  EXPECT_TRUE(deps_of(*dag, {0, 0}).empty());
+  EXPECT_EQ(deps_of(*dag, {0, 2}), (std::vector<VertexId>{{0, 1}}));
+  EXPECT_EQ(deps_of(*dag, {2, 0}), (std::vector<VertexId>{{1, 0}}));
+  EXPECT_EQ(deps_of(*dag, {2, 2}), (std::vector<VertexId>{{1, 2}, {2, 1}}));
+  EXPECT_EQ(antideps_of(*dag, {3, 3}), (std::vector<VertexId>{}));
+  EXPECT_EQ(antideps_of(*dag, {1, 1}), (std::vector<VertexId>{{1, 2}, {2, 1}}));
+}
+
+TEST(Pattern, LeftTopDiagEdges) {
+  auto dag = patterns::make_pattern("left-top-diag", 4, 4);
+  EXPECT_TRUE(deps_of(*dag, {0, 0}).empty());
+  EXPECT_EQ(deps_of(*dag, {1, 0}), (std::vector<VertexId>{{0, 0}}));
+  EXPECT_EQ(deps_of(*dag, {2, 2}), (std::vector<VertexId>{{1, 1}, {1, 2}, {2, 1}}));
+  EXPECT_EQ(antideps_of(*dag, {1, 1}), (std::vector<VertexId>{{1, 2}, {2, 1}, {2, 2}}));
+}
+
+TEST(Pattern, LeftOnlyRowChains) {
+  auto dag = patterns::make_pattern("left", 3, 4);
+  for (std::int32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(deps_of(*dag, {i, 0}).empty());
+    EXPECT_EQ(deps_of(*dag, {i, 2}), (std::vector<VertexId>{{i, 1}}));
+    EXPECT_TRUE(antideps_of(*dag, {i, 3}).empty());
+  }
+}
+
+TEST(Pattern, TopOnlyColumnChains) {
+  auto dag = patterns::make_pattern("top", 4, 3);
+  for (std::int32_t j = 0; j < 3; ++j) {
+    EXPECT_TRUE(deps_of(*dag, {0, j}).empty());
+    EXPECT_EQ(deps_of(*dag, {2, j}), (std::vector<VertexId>{{1, j}}));
+    EXPECT_TRUE(antideps_of(*dag, {3, j}).empty());
+  }
+}
+
+TEST(Pattern, DiagOnlyChains) {
+  auto dag = patterns::make_pattern("diag", 4, 4);
+  EXPECT_TRUE(deps_of(*dag, {0, 2}).empty());
+  EXPECT_TRUE(deps_of(*dag, {2, 0}).empty());
+  EXPECT_EQ(deps_of(*dag, {2, 3}), (std::vector<VertexId>{{1, 2}}));
+  EXPECT_EQ(antideps_of(*dag, {1, 2}), (std::vector<VertexId>{{2, 3}}));
+}
+
+TEST(Pattern, IntervalEdgesAndDomain) {
+  auto dag = patterns::make_pattern("interval", 5, 5);
+  EXPECT_EQ(dag->domain().kind(), DagDomain::Kind::UpperTriangular);
+  // Diagonal cells are the seeds.
+  EXPECT_TRUE(deps_of(*dag, {2, 2}).empty());
+  // (1,3) <- (1,2), (2,3), (2,2)
+  EXPECT_EQ(deps_of(*dag, {1, 3}), (std::vector<VertexId>{{1, 2}, {2, 2}, {2, 3}}));
+  // The top-right corner is the sink.
+  EXPECT_TRUE(antideps_of(*dag, {0, 4}).empty());
+}
+
+TEST(Pattern, PyramidEdges) {
+  auto dag = patterns::make_pattern("pyramid", 4, 4);
+  EXPECT_TRUE(deps_of(*dag, {0, 1}).empty());
+  EXPECT_EQ(deps_of(*dag, {1, 0}), (std::vector<VertexId>{{0, 0}, {0, 1}}));
+  EXPECT_EQ(deps_of(*dag, {2, 1}), (std::vector<VertexId>{{1, 0}, {1, 1}, {1, 2}}));
+  EXPECT_EQ(antideps_of(*dag, {1, 3}), (std::vector<VertexId>{{2, 2}, {2, 3}}));
+}
+
+TEST(Pattern, FullPrefixEdges) {
+  auto dag = patterns::make_pattern("full-prefix", 3, 3);
+  EXPECT_TRUE(deps_of(*dag, {0, 0}).empty());
+  EXPECT_EQ(deps_of(*dag, {2, 2}),
+            (std::vector<VertexId>{{0, 2}, {1, 2}, {2, 0}, {2, 1}}));
+  EXPECT_EQ(deps_of(*dag, {0, 2}), (std::vector<VertexId>{{0, 0}, {0, 1}}));
+  EXPECT_EQ(antideps_of(*dag, {1, 1}), (std::vector<VertexId>{{1, 2}, {2, 1}}));
+}
+
+TEST(Pattern, SizeOneByOne) {
+  // Every rectangular pattern must handle the degenerate 1x1 DAG.
+  for (const std::string& name : patterns::builtin_pattern_names()) {
+    if (name == "interval") continue;  // needs n >= 1 too, but check square
+    auto dag = patterns::make_pattern(name, 1, 1);
+    EXPECT_TRUE(deps_of(*dag, {0, 0}).empty()) << name;
+    EXPECT_TRUE(antideps_of(*dag, {0, 0}).empty()) << name;
+  }
+  auto interval = patterns::make_pattern("interval", 1, 1);
+  EXPECT_TRUE(deps_of(*interval, {0, 0}).empty());
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,75 @@
+// PlaceGroup / PlaceManager: liveness bookkeeping used by recovery.
+#include <gtest/gtest.h>
+
+#include "apgas/place.h"
+#include "common/error.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(PlaceGroup, DenseEnumeratesIds) {
+  PlaceGroup g = PlaceGroup::dense(4);
+  ASSERT_EQ(g.size(), 4);
+  for (std::int32_t s = 0; s < 4; ++s) EXPECT_EQ(g[s], s);
+}
+
+TEST(PlaceGroup, WithoutRemovesExactlyOne) {
+  PlaceGroup g = PlaceGroup::dense(5).without(2);
+  ASSERT_EQ(g.size(), 4);
+  EXPECT_EQ(g[0], 0);
+  EXPECT_EQ(g[1], 1);
+  EXPECT_EQ(g[2], 3);
+  EXPECT_EQ(g[3], 4);
+  EXPECT_FALSE(g.contains(2));
+  EXPECT_TRUE(g.contains(4));
+}
+
+TEST(PlaceGroup, WithoutMissingPlaceThrows) {
+  PlaceGroup g = PlaceGroup::dense(3);
+  EXPECT_THROW(g.without(7), Error);
+}
+
+TEST(PlaceGroup, CannotBeEmpty) {
+  EXPECT_THROW(PlaceGroup(std::vector<std::int32_t>{}), ConfigError);
+  EXPECT_THROW(PlaceGroup::dense(0), ConfigError);
+  PlaceGroup one = PlaceGroup::dense(1);
+  EXPECT_THROW(one.without(0), ConfigError);
+}
+
+TEST(PlaceManager, KillUpdatesLiveness) {
+  PlaceManager pm(4);
+  EXPECT_EQ(pm.alive_count(), 4);
+  EXPECT_TRUE(pm.is_alive(3));
+  pm.kill(3);
+  EXPECT_FALSE(pm.is_alive(3));
+  EXPECT_EQ(pm.alive_count(), 3);
+  PlaceGroup g = pm.alive_group();
+  ASSERT_EQ(g.size(), 3);
+  EXPECT_FALSE(g.contains(3));
+}
+
+TEST(PlaceManager, DoubleKillIsInternalError) {
+  PlaceManager pm(3);
+  pm.kill(1);
+  EXPECT_THROW(pm.kill(1), InternalError);
+}
+
+TEST(PlaceManager, CannotKillLastPlace) {
+  PlaceManager pm(2);
+  pm.kill(1);
+  EXPECT_THROW(pm.kill(0), ConfigError);
+}
+
+TEST(PlaceManager, SequentialDeaths) {
+  PlaceManager pm(5);
+  pm.kill(4);
+  pm.kill(2);
+  pm.kill(1);
+  PlaceGroup g = pm.alive_group();
+  ASSERT_EQ(g.size(), 2);
+  EXPECT_EQ(g[0], 0);
+  EXPECT_EQ(g[1], 3);
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,106 @@
+// report_io: human-readable run summaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/report_io.h"
+
+namespace dpx10 {
+namespace {
+
+RunReport sample_report() {
+  RunReport r;
+  r.app_name = "demo-app";
+  r.dag_name = "left-top";
+  r.vertices = 1'000'000;
+  r.computed = 1'050'000;
+  r.elapsed_seconds = 1.5;
+  PlaceStats p;
+  p.computed = 525'000;
+  p.remote_fetches = 100;
+  p.cache_hits = 300;
+  p.steals = 4;
+  p.busy_seconds = 1.2;
+  r.places = {p, p};
+  RecoveryRecord rec;
+  rec.dead_place = 1;
+  rec.started_at = 0.7;
+  rec.recovery_seconds = 0.1;
+  rec.lost = 50'000;
+  rec.restored = 400'000;
+  r.recoveries = {rec};
+  r.recovery_seconds = 0.1;
+  r.traffic.bytes_out = 4096;
+  return r;
+}
+
+TEST(ReportIo, SummaryMentionsKeyFigures) {
+  std::ostringstream os;
+  print_report(os, sample_report());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("demo-app"), std::string::npos);
+  EXPECT_NE(text.find("left-top"), std::string::npos);
+  EXPECT_NE(text.find("1,000,000"), std::string::npos);
+  EXPECT_NE(text.find("1,050,000"), std::string::npos);
+  EXPECT_NE(text.find("1.500 s"), std::string::npos);
+  EXPECT_NE(text.find("recovery"), std::string::npos);
+  EXPECT_NE(text.find("place 1"), std::string::npos);
+  EXPECT_NE(text.find("hit rate"), std::string::npos);
+  EXPECT_NE(text.find("steals"), std::string::npos);
+}
+
+TEST(ReportIo, PlaceTableHasOneRowPerPlace) {
+  std::ostringstream os;
+  print_place_table(os, sample_report());
+  const std::string text = os.str();
+  // Header + 2 place rows.
+  int lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(text.find("525000"), std::string::npos);
+}
+
+TEST(ReportIo, QuietWithoutRecoveryOrSteals) {
+  RunReport r = sample_report();
+  r.recoveries.clear();
+  for (auto& p : r.places) p.steals = 0;
+  std::ostringstream os;
+  print_report(os, r);
+  EXPECT_EQ(os.str().find("recovery"), std::string::npos);
+  EXPECT_EQ(os.str().find("steals"), std::string::npos);
+}
+
+TEST(ReportIo, CsvRoundTripsKeyFields) {
+  std::ostringstream os;
+  print_csv_header(os);
+  print_csv_row(os, "fig10;swlag;n=4", sample_report());
+  const std::string text = os.str();
+  // Two lines, equal column counts.
+  auto nl = text.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const std::string header = text.substr(0, nl);
+  const std::string row = text.substr(nl + 1, text.size() - nl - 2);
+  auto count_commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count_commas(header), count_commas(row));
+  EXPECT_NE(row.find("fig10;swlag;n=4"), std::string::npos);
+  EXPECT_NE(row.find("demo-app"), std::string::npos);
+  EXPECT_NE(row.find("1000000"), std::string::npos);
+  EXPECT_NE(row.find("1.5"), std::string::npos);
+}
+
+TEST(ReportIo, TotalsSumPlaces) {
+  RunReport r = sample_report();
+  PlaceStats t = r.totals();
+  EXPECT_EQ(t.computed, 1'050'000u);
+  EXPECT_EQ(t.remote_fetches, 200u);
+  EXPECT_EQ(t.cache_hits, 600u);
+  EXPECT_DOUBLE_EQ(t.busy_seconds, 2.4);
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,83 @@
+// Deterministic RNG: reproducibility and basic statistical sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(SplitMix, DeterministicAndNonTrivial) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);  // the zero input must still mix
+}
+
+TEST(SplitMix, Mix64OrderSensitive) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(123), b(123);
+  for (int k = 0; k < 100; ++k) ASSERT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(123), b(124);
+  int same = 0;
+  for (int k = 0; k < 100; ++k) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, BelowStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int k = 0; k < 200; ++k) {
+      ASSERT_LT(rng.below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BelowCoversSmallRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int k = 0; k < 1000; ++k) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, BelowRoughlyUniform) {
+  Xoshiro256 rng(13);
+  const int buckets = 10, draws = 100000;
+  int counts[10] = {};
+  for (int k = 0; k < draws; ++k) ++counts[rng.below(buckets)];
+  for (int b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], draws / buckets, draws / buckets / 5) << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(17);
+  double sum = 0.0;
+  for (int k = 0; k < 10000; ++k) {
+    double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  static_assert(std::is_same_v<Xoshiro256::result_type, std::uint64_t>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dpx10

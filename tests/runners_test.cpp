@@ -1,0 +1,75 @@
+// dp::runners — the bench entry point: sizing and end-to-end launches.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "dp/runners.h"
+
+namespace dpx10::dp {
+namespace {
+
+TEST(Shapes, ApproximateTargetSize) {
+  for (const std::string& app : runnable_apps()) {
+    for (std::int64_t target : {1000, 10'000, 250'000}) {
+      ProblemShape shape = shape_for(app, target);
+      EXPECT_GT(shape.height, 1) << app;
+      EXPECT_GT(shape.width, 1) << app;
+      // Within a factor of two of the request (rounding a square/triangle).
+      EXPECT_GT(shape.vertices, target / 2) << app << " at " << target;
+      EXPECT_LT(shape.vertices, target * 2) << app << " at " << target;
+    }
+  }
+}
+
+TEST(Shapes, LpsIsTriangular) {
+  ProblemShape s = shape_for("lps", 10'000);
+  EXPECT_EQ(s.height, s.width);
+  EXPECT_EQ(s.vertices, static_cast<std::int64_t>(s.height) * (s.height + 1) / 2);
+}
+
+TEST(Shapes, KnapsackIsWide) {
+  ProblemShape s = shape_for("knapsack", 100'000);
+  EXPECT_GT(s.width, s.height);
+}
+
+TEST(Shapes, TooSmallRejected) { EXPECT_THROW(shape_for("lcs", 2), ConfigError); }
+
+class RunnerSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, EngineKind>> {};
+
+TEST_P(RunnerSweep, CompletesAndAccounts) {
+  auto [app, engine] = GetParam();
+  RuntimeOptions opts;
+  opts.nplaces = 3;
+  opts.nthreads = 2;
+  RunReport report = run_dp_app(app, engine, 2000, opts);
+  EXPECT_EQ(report.computed, report.vertices - report.prefinished);
+  EXPECT_GT(report.elapsed_seconds, 0.0);
+  EXPECT_EQ(report.places.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsTimesEngines, RunnerSweep,
+    ::testing::Combine(::testing::Values("swlag", "mtp", "lps", "knapsack", "lcs", "sw",
+                                         "nussinov"),
+                       ::testing::Values(EngineKind::Threaded, EngineKind::Sim)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, EngineKind>>& info) {
+      return std::get<0>(info.param) +
+             (std::get<1>(info.param) == EngineKind::Threaded ? "_threaded" : "_sim");
+    });
+
+TEST(Runner, UnknownAppThrows) {
+  RuntimeOptions opts;
+  EXPECT_THROW(run_dp_app("nope", EngineKind::Sim, 1000, opts), ConfigError);
+}
+
+TEST(Runner, SameSeedSameSimTime) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  RunReport a = run_dp_app("swlag", EngineKind::Sim, 5000, opts, 9);
+  RunReport b = run_dp_app("swlag", EngineKind::Sim, 5000, opts, 9);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, b.elapsed_seconds);
+}
+
+}  // namespace
+}  // namespace dpx10::dp

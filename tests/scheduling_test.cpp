@@ -1,0 +1,146 @@
+// choose_target_slot: the §VI-C scheduling strategies.
+#include <gtest/gtest.h>
+
+#include "apgas/dist.h"
+#include "core/patterns/registry.h"
+#include "core/scheduling.h"
+
+namespace dpx10 {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Dag> dag = patterns::make_pattern("left-top-diag", 40, 40);
+  std::unique_ptr<Dist> dist = make_dist(DistKind::BlockRow, 4, dag->domain());
+  Xoshiro256 rng{42};
+  std::vector<VertexId> scratch;
+};
+
+TEST(Scheduling, LocalReturnsOwner) {
+  Fixture f;
+  for (VertexId v : {VertexId{0, 0}, VertexId{13, 20}, VertexId{39, 39}}) {
+    EXPECT_EQ(choose_target_slot(Scheduling::Local, v, *f.dag, *f.dist, 8, f.rng, f.scratch),
+              f.dist->slot_of(v));
+  }
+}
+
+TEST(Scheduling, WorkStealingPushesToOwner) {
+  Fixture f;
+  VertexId v{25, 10};
+  EXPECT_EQ(
+      choose_target_slot(Scheduling::WorkStealing, v, *f.dag, *f.dist, 8, f.rng, f.scratch),
+      f.dist->slot_of(v));
+}
+
+TEST(Scheduling, RandomStaysInRangeAndIsSeedDeterministic) {
+  Fixture f;
+  Xoshiro256 rng_a(7), rng_b(7);
+  for (int k = 0; k < 200; ++k) {
+    VertexId v{static_cast<std::int32_t>(k % 40), static_cast<std::int32_t>((3 * k) % 40)};
+    std::int32_t a =
+        choose_target_slot(Scheduling::Random, v, *f.dag, *f.dist, 8, rng_a, f.scratch);
+    std::int32_t b =
+        choose_target_slot(Scheduling::Random, v, *f.dag, *f.dist, 8, rng_b, f.scratch);
+    ASSERT_EQ(a, b);
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, 4);
+  }
+}
+
+TEST(Scheduling, RandomActuallyVaries) {
+  Fixture f;
+  std::set<std::int32_t> seen;
+  for (int k = 0; k < 100; ++k) {
+    seen.insert(
+        choose_target_slot(Scheduling::Random, {20, 20}, *f.dag, *f.dist, 8, f.rng, f.scratch));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Scheduling, MinCommPrefersOwnerWhenDepsAreLocal) {
+  Fixture f;
+  // (20, 20) with BlockRow/4 over 40 rows: rows 20 and 19 are both in slot 1's
+  // block [10, 20)? No: block 2 owns rows [20, 30), block 1 owns [10, 20).
+  // Deps (19,19),(19,20) live in slot 1, (20,19) in slot 2 (the owner).
+  // cost(owner=2) = 2 transfers; cost(1) = 1 transfer + writeback = 2 — tie,
+  // owner wins.
+  EXPECT_EQ(choose_target_slot(Scheduling::MinCommunication, {20, 20}, *f.dag, *f.dist, 8,
+                               f.rng, f.scratch),
+            f.dist->slot_of({20, 20}));
+}
+
+TEST(Scheduling, MinCommMovesToDependencyHeavySlot) {
+  // A custom dag where one vertex depends on three cells owned elsewhere.
+  class ThreeRemoteDeps final : public Dag {
+   public:
+    ThreeRemoteDeps() : Dag(8, 8, DagDomain::rect(8, 8)) {}
+    void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+      if (v.i == 7) {
+        out.push_back({0, 0});
+        out.push_back({0, 1});
+        out.push_back({0, 2});
+      }
+    }
+    void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+      if (v.i == 0 && v.j <= 2) out.push_back({7, 0});
+    }
+    std::string_view name() const override { return "three-remote"; }
+  } dag;
+  auto dist = make_dist(DistKind::BlockRow, 4, dag.domain());
+  Xoshiro256 rng(1);
+  std::vector<VertexId> scratch;
+  // Owner of (7,0) is slot 3, all deps are in slot 0:
+  // cost(slot3) = 3 transfers, cost(slot0) = 0 + 1 writeback -> slot 0 wins.
+  EXPECT_EQ(choose_target_slot(Scheduling::MinCommunication, {7, 0}, dag, *dist, 8, rng,
+                               scratch),
+            0);
+}
+
+TEST(Scheduling, MinCommNoDepsReturnsOwner) {
+  Fixture f;
+  EXPECT_EQ(choose_target_slot(Scheduling::MinCommunication, {0, 0}, *f.dag, *f.dist, 8,
+                               f.rng, f.scratch),
+            f.dist->slot_of({0, 0}));
+}
+
+TEST(Scheduling, MinCommIsOptimalOnRandomStructures) {
+  // Property: the chosen slot's cost never exceeds the cost of ANY slot,
+  // where cost = value-bytes per non-resident dependency + writeback if
+  // away from the owner (brute force over all slots).
+  auto dag = patterns::make_pattern("full-prefix", 10, 10);  // O(n) fan-in
+  auto dist = make_dist(DistKind::Block2D, 6, dag->domain());
+  Xoshiro256 rng(3);
+  std::vector<VertexId> scratch, deps;
+  const std::size_t bytes = 16;
+  for (std::int32_t i = 0; i < 10; ++i) {
+    for (std::int32_t j = 0; j < 10; ++j) {
+      VertexId v{i, j};
+      std::int32_t chosen = choose_target_slot(Scheduling::MinCommunication, v, *dag,
+                                               *dist, bytes, rng, scratch);
+      deps.clear();
+      dag->dependencies(v, deps);
+      auto cost_at = [&](std::int32_t p) {
+        std::size_t c = (p == dist->slot_of(v)) ? 0 : bytes;
+        for (VertexId d : deps) {
+          if (dist->slot_of(d) != p) c += bytes;
+        }
+        return c;
+      };
+      const std::size_t chosen_cost = cost_at(chosen);
+      for (std::int32_t p = 0; p < dist->nslots(); ++p) {
+        ASSERT_LE(chosen_cost, cost_at(p))
+            << "(" << i << "," << j << ") chose slot " << chosen << " but slot " << p
+            << " is cheaper";
+      }
+    }
+  }
+}
+
+TEST(Scheduling, NamesAreStable) {
+  EXPECT_EQ(scheduling_name(Scheduling::Local), "local");
+  EXPECT_EQ(scheduling_name(Scheduling::Random), "random");
+  EXPECT_EQ(scheduling_name(Scheduling::MinCommunication), "min-comm");
+  EXPECT_EQ(scheduling_name(Scheduling::WorkStealing), "work-stealing");
+}
+
+}  // namespace
+}  // namespace dpx10

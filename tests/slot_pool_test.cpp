@@ -1,0 +1,74 @@
+// sim::SlotPool: execution-slot reservation bookkeeping.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/slot_pool.h"
+
+namespace dpx10::sim {
+namespace {
+
+TEST(SlotPool, SingleSlotSerializes) {
+  SlotPool pool(1);
+  EXPECT_TRUE(pool.available(0.0));
+  pool.reserve(0.0, 5.0);
+  EXPECT_FALSE(pool.available(4.9));
+  EXPECT_TRUE(pool.available(5.0));
+  EXPECT_DOUBLE_EQ(pool.earliest_start(1.0), 5.0);
+}
+
+TEST(SlotPool, MultipleSlotsOverlap) {
+  SlotPool pool(3);
+  pool.reserve(0.0, 10.0);
+  pool.reserve(0.0, 20.0);
+  EXPECT_TRUE(pool.available(0.0));  // third slot still free
+  pool.reserve(0.0, 30.0);
+  EXPECT_FALSE(pool.available(5.0));
+  EXPECT_DOUBLE_EQ(pool.earliest_start(5.0), 10.0);  // first slot frees first
+}
+
+TEST(SlotPool, EarliestStartClampsToNow) {
+  SlotPool pool(2);
+  pool.reserve(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(pool.earliest_start(7.0), 7.0);  // free slots start "now"
+}
+
+TEST(SlotPool, BusyAccountingSums) {
+  SlotPool pool(2);
+  pool.reserve(0.0, 2.0);
+  pool.reserve(0.0, 3.0);
+  pool.reserve(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(pool.busy_seconds(), 2.0 + 3.0 + 4.0);
+  EXPECT_EQ(pool.reservations(), 3u);
+}
+
+TEST(SlotPool, ResetAllFreesEverySlot) {
+  SlotPool pool(2);
+  pool.reserve(0.0, 100.0);
+  pool.reserve(0.0, 100.0);
+  pool.reset_all(10.0);
+  EXPECT_TRUE(pool.available(10.0));
+  EXPECT_FALSE(pool.available(9.0));
+  EXPECT_DOUBLE_EQ(pool.earliest_start(0.0), 10.0);
+}
+
+TEST(SlotPool, ReserveBeforeFreeIsInternalError) {
+  SlotPool pool(1);
+  pool.reserve(0.0, 5.0);
+  EXPECT_THROW(pool.reserve(2.0, 6.0), InternalError);
+}
+
+TEST(SlotPool, NegativeDurationIsInternalError) {
+  SlotPool pool(1);
+  EXPECT_THROW(pool.reserve(5.0, 4.0), InternalError);
+}
+
+TEST(SlotPool, RejectsZeroThreads) { EXPECT_THROW(SlotPool(0), ConfigError); }
+
+TEST(SlotPool, InitialTimeOffset) {
+  SlotPool pool(2, 50.0);
+  EXPECT_FALSE(pool.available(49.0));
+  EXPECT_TRUE(pool.available(50.0));
+}
+
+}  // namespace
+}  // namespace dpx10::sim

@@ -1,0 +1,163 @@
+// SnapshotVault and the PeriodicSnapshot recovery policy.
+#include <gtest/gtest.h>
+
+#include "apgas/snapshot.h"
+#include "core/dpx10.h"
+#include "dp/inputs.h"
+#include "dp/lcs.h"
+#include "dp/runners.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(SnapshotVault, CaptureRestoreRoundTrip) {
+  DagDomain domain = DagDomain::rect(4, 4);
+  DistArray<int> array(domain, DistKind::BlockRow, PlaceGroup::dense(2));
+  array.cell(VertexId{1, 1}).value = 11;
+  array.cell(VertexId{1, 1}).store_state(CellState::Finished);
+  array.cell(VertexId{0, 0}).value = 5;
+  array.cell(VertexId{0, 0}).store_state(CellState::Prefinished);
+
+  SnapshotVault<int> vault;
+  EXPECT_FALSE(vault.has_snapshot());
+  vault.capture(array);
+  EXPECT_TRUE(vault.has_snapshot());
+  EXPECT_EQ(vault.finished_in_snapshot(), 1u);
+
+  // Mutate past the snapshot, then roll a fresh (differently-grouped)
+  // array back.
+  array.cell(VertexId{2, 2}).store_state(CellState::Finished);
+  DistArray<int> fresh(domain, DistKind::BlockRow, PlaceGroup::dense(2).without(1));
+  vault.restore(fresh);
+  EXPECT_EQ(fresh.cell(VertexId{1, 1}).load_state(), CellState::Finished);
+  EXPECT_EQ(fresh.cell(VertexId{1, 1}).value, 11);
+  EXPECT_EQ(fresh.cell(VertexId{0, 0}).load_state(), CellState::Prefinished);
+  EXPECT_EQ(fresh.cell(VertexId{0, 0}).value, 5);
+  EXPECT_EQ(fresh.cell(VertexId{2, 2}).load_state(), CellState::Unfinished);
+}
+
+TEST(SnapshotVault, RestoreWithoutSnapshotIsInternalError) {
+  SnapshotVault<int> vault;
+  DistArray<int> array(DagDomain::rect(2, 2), DistKind::BlockRow, PlaceGroup::dense(1));
+  EXPECT_THROW(vault.restore(array), InternalError);
+}
+
+// -- policy end-to-end ------------------------------------------------------
+
+class ChecksumLcs final : public dp::LcsApp {
+ public:
+  using LcsApp::LcsApp;
+  std::uint64_t checksum = 0;
+  void app_finished(const DagView<std::int32_t>& dag) override {
+    for (std::int32_t i = 0; i < dag.domain().height(); ++i) {
+      for (std::int32_t j = 0; j < dag.domain().width(); ++j) {
+        checksum = checksum * 31 + static_cast<std::uint64_t>(dag.at(i, j) + 1);
+      }
+    }
+  }
+};
+
+std::uint64_t run_checksum(dp::EngineKind kind, const RuntimeOptions& opts,
+                           RunReport* report_out = nullptr) {
+  ChecksumLcs app(dp::random_sequence(30, 70), dp::random_sequence(30, 71));
+  auto dag = patterns::make_pattern("left-top-diag", 31, 31);
+  RunReport report;
+  if (kind == dp::EngineKind::Threaded) {
+    ThreadedEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  } else {
+    SimEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  }
+  if (report_out) *report_out = report;
+  return app.checksum;
+}
+
+class SnapshotPolicy : public ::testing::TestWithParam<dp::EngineKind> {};
+
+TEST_P(SnapshotPolicy, FaultFreeRunTakesSnapshots) {
+  RuntimeOptions opts;
+  opts.nplaces = 3;
+  opts.nthreads = 2;
+  opts.recovery = RecoveryPolicy::PeriodicSnapshot;
+  opts.snapshot_interval = 0.25;
+  RunReport report;
+  run_checksum(GetParam(), opts, &report);
+  // 31*31 vertices at 25% intervals: snapshots at 25/50/75% (the final
+  // crossing is suppressed — no point snapshotting a finished run).
+  EXPECT_GE(report.snapshots_taken, 3u);
+  EXPECT_LE(report.snapshots_taken, 4u);
+  EXPECT_GE(report.snapshot_seconds, 0.0);
+  EXPECT_EQ(report.computed, report.vertices);  // no recomputation
+}
+
+TEST_P(SnapshotPolicy, FaultRollsBackToSnapshotButResultsMatch) {
+  RuntimeOptions clean;
+  clean.nplaces = 3;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_checksum(GetParam(), clean);
+
+  RuntimeOptions faulty = clean;
+  faulty.recovery = RecoveryPolicy::PeriodicSnapshot;
+  faulty.snapshot_interval = 0.2;
+  faulty.faults.push_back(FaultPlan{2, 0.55});
+  RunReport report;
+  const std::uint64_t actual = run_checksum(GetParam(), faulty, &report);
+  EXPECT_EQ(actual, expected);
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  // Rollback semantics: everything since the snapshot was recomputed.
+  EXPECT_GT(report.recoveries[0].lost, 0u);
+  EXPECT_EQ(report.computed, report.vertices + report.recoveries[0].lost);
+}
+
+TEST_P(SnapshotPolicy, FaultBeforeFirstSnapshotRestarts) {
+  RuntimeOptions clean;
+  clean.nplaces = 3;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_checksum(GetParam(), clean);
+
+  RuntimeOptions faulty = clean;
+  faulty.recovery = RecoveryPolicy::PeriodicSnapshot;
+  faulty.snapshot_interval = 0.9;  // first snapshot at 90%
+  faulty.faults.push_back(FaultPlan{1, 0.3});
+  RunReport report;
+  EXPECT_EQ(run_checksum(GetParam(), faulty, &report), expected);
+  // The fault hit before any snapshot existed: everything restarts.
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  EXPECT_EQ(report.recoveries[0].restored, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SnapshotPolicy,
+                         ::testing::Values(dp::EngineKind::Threaded, dp::EngineKind::Sim),
+                         [](const ::testing::TestParamInfo<dp::EngineKind>& info) {
+                           return info.param == dp::EngineKind::Threaded ? "threaded"
+                                                                         : "sim";
+                         });
+
+TEST(SnapshotPolicy, SimSnapshotsCostVirtualTime) {
+  RuntimeOptions plain;
+  plain.nplaces = 4;
+  plain.nthreads = 2;
+  RunReport baseline;
+  run_checksum(dp::EngineKind::Sim, plain, &baseline);
+
+  RuntimeOptions snap = plain;
+  snap.recovery = RecoveryPolicy::PeriodicSnapshot;
+  snap.snapshot_interval = 0.1;
+  RunReport with;
+  run_checksum(dp::EngineKind::Sim, snap, &with);
+  EXPECT_GT(with.snapshots_taken, 0u);
+  EXPECT_GT(with.snapshot_seconds, 0.0);
+  EXPECT_GT(with.elapsed_seconds, baseline.elapsed_seconds);
+}
+
+TEST(SnapshotPolicy, BadIntervalRejected) {
+  RuntimeOptions opts;
+  opts.snapshot_interval = 0.0;
+  EXPECT_THROW(opts.validate(), ConfigError);
+  opts.snapshot_interval = 1.5;
+  EXPECT_THROW(opts.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,73 @@
+// common/strings helpers.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(Strings, Strformat) {
+  EXPECT_EQ(strformat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strformat("%s", ""), "");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("xyz", ',').size(), 1u);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\na b\r "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(1000000000ULL), "1,000,000,000");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.00 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(human_bytes(3.5 * 1024 * 1024), "3.50 MiB");
+}
+
+TEST(Strings, HumanSeconds) {
+  EXPECT_EQ(human_seconds(2.5), "2.500 s");
+  EXPECT_EQ(human_seconds(0.002), "2.000 ms");
+  EXPECT_EQ(human_seconds(3e-6), "3.000 us");
+  EXPECT_EQ(human_seconds(5e-9), "5.0 ns");
+}
+
+TEST(Strings, ParseScaled) {
+  EXPECT_EQ(parse_scaled_u64("0"), 0u);
+  EXPECT_EQ(parse_scaled_u64("42"), 42u);
+  EXPECT_EQ(parse_scaled_u64("3k"), 3000u);
+  EXPECT_EQ(parse_scaled_u64("300m"), 300'000'000u);
+  EXPECT_EQ(parse_scaled_u64("1g"), 1'000'000'000u);
+  EXPECT_EQ(parse_scaled_u64("2G"), 2'000'000'000u);
+  EXPECT_EQ(parse_scaled_u64(" 5k "), 5000u);
+}
+
+TEST(Strings, ParseScaledRejectsJunk) {
+  EXPECT_THROW(parse_scaled_u64(""), ConfigError);
+  EXPECT_THROW(parse_scaled_u64("k"), ConfigError);
+  EXPECT_THROW(parse_scaled_u64("12x"), ConfigError);
+  EXPECT_THROW(parse_scaled_u64("-5"), ConfigError);
+  EXPECT_THROW(parse_scaled_u64("1.5k"), ConfigError);
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -1,0 +1,160 @@
+// Tiled wavefront execution: geometry, and bit-identical agreement with the
+// serial references for every kernel across tile sizes (including sizes
+// that do not divide the matrix).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/dpx10.h"
+#include "core/tiling.h"
+#include "dp/inputs.h"
+#include "dp/runners.h"
+#include "dp/kernels.h"
+#include "dp/lcs.h"
+#include "dp/manhattan.h"
+#include "dp/smith_waterman.h"
+#include "dp/swlag.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(TileGeometry, DividingAndNonDividing) {
+  TileGeometry even(64, 32, 16);
+  EXPECT_EQ(even.tiles_i(), 4);
+  EXPECT_EQ(even.tiles_j(), 2);
+  EXPECT_EQ(even.row_end(3), 64);
+
+  TileGeometry ragged(65, 33, 16);
+  EXPECT_EQ(ragged.tiles_i(), 5);
+  EXPECT_EQ(ragged.tiles_j(), 3);
+  EXPECT_EQ(ragged.row_begin(4), 64);
+  EXPECT_EQ(ragged.row_end(4), 65);  // 1-row edge tile
+  EXPECT_EQ(ragged.col_end(2), 33);  // 1-col edge tile
+}
+
+TEST(TileGeometry, RejectsBadArguments) {
+  EXPECT_THROW(TileGeometry(0, 4, 2), ConfigError);
+  EXPECT_THROW(TileGeometry(4, 4, 0), ConfigError);
+}
+
+TEST(TileEdgeTraits, WireBytesCountBothEdges) {
+  TileEdge<std::int32_t> edge;
+  edge.bottom.resize(10);
+  edge.right.resize(6);
+  EXPECT_EQ(value_wire_bytes(edge), 16u * sizeof(std::int32_t));
+}
+
+// ---- agreement sweep -------------------------------------------------------
+
+using Param = std::tuple<std::string, std::int32_t, dp::EngineKind>;
+
+class TiledAgreement : public ::testing::TestWithParam<Param> {
+ protected:
+  template <typename Kernel>
+  void check(Kernel kernel, std::int32_t rows, std::int32_t cols,
+             const dp::Matrix<typename Kernel::Value>& reference) {
+    using Edge = TileEdge<typename Kernel::Value>;
+    const std::int32_t tile = std::get<1>(GetParam());
+
+    struct Capture final : TiledWavefrontApp<Kernel> {
+      using TiledWavefrontApp<Kernel>::TiledWavefrontApp;
+      std::vector<std::pair<VertexId, Edge>> edges;
+      std::mutex mu;
+      Edge compute(std::int32_t bi, std::int32_t bj,
+                   std::span<const Vertex<Edge>> deps) override {
+        Edge out = TiledWavefrontApp<Kernel>::compute(bi, bj, deps);
+        std::lock_guard<std::mutex> lk(mu);
+        edges.emplace_back(VertexId{bi, bj}, out);
+        return out;
+      }
+    } app(std::move(kernel), TileGeometry(rows, cols, tile));
+
+    auto dag = app.make_dag();
+    RuntimeOptions opts;
+    opts.nplaces = 3;
+    opts.nthreads = 2;
+    if (std::get<2>(GetParam()) == dp::EngineKind::Threaded) {
+      ThreadedEngine<Edge> engine(opts);
+      engine.run(*dag, app);
+    } else {
+      SimEngine<Edge> engine(opts);
+      engine.run(*dag, app);
+    }
+
+    const TileGeometry& geo = app.geometry();
+    ASSERT_EQ(app.edges.size(),
+              static_cast<std::size_t>(geo.tiles_i()) * geo.tiles_j());
+    for (const auto& [id, edge] : app.edges) {
+      const std::int32_t r_last = geo.row_end(id.i) - 1;
+      const std::int32_t c_last = geo.col_end(id.j) - 1;
+      for (std::int32_t c = geo.col_begin(id.j); c <= c_last; ++c) {
+        ASSERT_EQ(edge.bottom[static_cast<std::size_t>(c - geo.col_begin(id.j))],
+                  reference.at(r_last, c))
+            << "tile (" << id.i << "," << id.j << ") bottom col " << c;
+      }
+      for (std::int32_t r = geo.row_begin(id.i); r <= r_last; ++r) {
+        ASSERT_EQ(edge.right[static_cast<std::size_t>(r - geo.row_begin(id.i))],
+                  reference.at(r, c_last))
+            << "tile (" << id.i << "," << id.j << ") right row " << r;
+      }
+    }
+  }
+};
+
+TEST_P(TiledAgreement, EdgesMatchSerialReference) {
+  const std::string& which = std::get<0>(GetParam());
+  const std::string a = dp::random_sequence(37, 7);
+  const std::string b = dp::random_sequence(30, 8);
+  const std::int32_t rows = 38, cols = 31;  // matrix incl. boundary row/col
+  if (which == "lcs") {
+    check(dp::LcsKernel(a, b), rows, cols, dp::serial_lcs(a, b));
+  } else if (which == "sw") {
+    check(dp::SwKernel(a, b), rows, cols, dp::serial_smith_waterman(a, b));
+  } else if (which == "swlag") {
+    check(dp::SwlagKernel(a, b), rows, cols, dp::serial_swlag(a, b));
+  } else if (which == "mtp") {
+    check(dp::MtpKernel(99), 20, 27, dp::serial_manhattan(20, 27, 99));
+  } else {
+    FAIL() << which;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsTilesEngines, TiledAgreement,
+    ::testing::Combine(::testing::Values("lcs", "sw", "swlag", "mtp"),
+                       ::testing::Values(1, 4, 7, 16, 64),
+                       ::testing::Values(dp::EngineKind::Threaded, dp::EngineKind::Sim)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::get<0>(info.param) + "_b" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == dp::EngineKind::Threaded ? "_threaded" : "_sim");
+    });
+
+TEST(Tiling, CostUnitsMatchTileArea) {
+  dp::LcsKernel kernel("AAAA", "BBBB");
+  TiledWavefrontApp<dp::LcsKernel> app(kernel, TileGeometry(10, 10, 4));
+  EXPECT_DOUBLE_EQ(app.compute_cost_units({0, 0}), 16.0);
+  EXPECT_DOUBLE_EQ(app.compute_cost_units({2, 2}), 4.0);   // 2x2 edge tile
+  EXPECT_DOUBLE_EQ(app.compute_cost_units({0, 2}), 8.0);   // 4x2
+}
+
+TEST(Tiling, SurvivesFaultInjection) {
+  const std::string a = dp::random_sequence(40, 11);
+  const std::string b = dp::random_sequence(40, 12);
+  dp::SwlagKernel kernel(a, b);
+  TiledWavefrontApp<dp::SwlagKernel> app(kernel, TileGeometry(41, 41, 8));
+  auto dag = app.make_dag();
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.faults.push_back(FaultPlan{3, 0.5});
+  SimEngine<TileEdge<dp::SwlagCell>> engine(opts);
+  RunReport report = engine.run(*dag, app);
+  EXPECT_EQ(report.recoveries.size(), 1u);
+  EXPECT_GE(report.computed, report.vertices);
+}
+
+}  // namespace
+}  // namespace dpx10

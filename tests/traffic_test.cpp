@@ -1,0 +1,76 @@
+// net::TrafficBook: message accounting and its conservation laws.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/traffic.h"
+
+namespace dpx10::net {
+namespace {
+
+TEST(Traffic, RecordCountsBothEnds) {
+  TrafficBook book(3);
+  book.record(0, 2, MessageKind::FetchReply, 8);
+  TrafficSnapshot s0 = book.snapshot(0);
+  TrafficSnapshot s2 = book.snapshot(2);
+  EXPECT_EQ(s0.messages_out[static_cast<std::size_t>(MessageKind::FetchReply)], 1u);
+  EXPECT_EQ(s0.bytes_out, wire_bytes(8));
+  EXPECT_EQ(s2.messages_in[static_cast<std::size_t>(MessageKind::FetchReply)], 1u);
+  EXPECT_EQ(s2.bytes_in, wire_bytes(8));
+  EXPECT_EQ(s0.bytes_in, 0u);
+  EXPECT_EQ(s2.bytes_out, 0u);
+}
+
+TEST(Traffic, LocalMessagesAreSeparate) {
+  TrafficBook book(2);
+  book.record(1, 1, MessageKind::FetchRequest, 8);
+  EXPECT_EQ(book.local_messages(), 1u);
+  EXPECT_EQ(book.total().total_messages_out(), 0u);
+  EXPECT_EQ(book.total().bytes_out, 0u);
+}
+
+TEST(Traffic, EnvelopeAddedToPayload) {
+  EXPECT_EQ(wire_bytes(0), kEnvelopeBytes);
+  EXPECT_EQ(wire_bytes(100), kEnvelopeBytes + 100);
+}
+
+TEST(Traffic, ResetZeroes) {
+  TrafficBook book(2);
+  book.record(0, 1, MessageKind::IndegreeControl, 12);
+  book.record(1, 1, MessageKind::IndegreeControl, 12);
+  book.reset();
+  EXPECT_EQ(book.total().total_messages_out(), 0u);
+  EXPECT_EQ(book.total().bytes_in, 0u);
+  EXPECT_EQ(book.local_messages(), 0u);
+}
+
+TEST(Traffic, OutOfRangePlaceIsInternalError) {
+  TrafficBook book(2);
+  EXPECT_THROW(book.record(0, 2, MessageKind::FetchReply, 8), InternalError);
+  EXPECT_THROW(book.record(-1, 0, MessageKind::FetchReply, 8), InternalError);
+  EXPECT_THROW(book.snapshot(5), InternalError);
+}
+
+TEST(Traffic, RejectsNonPositivePlaces) { EXPECT_THROW(TrafficBook(0), ConfigError); }
+
+TEST(TrafficProperty, GlobalConservation) {
+  // Whatever random traffic flows, sum(bytes_out) == sum(bytes_in) and
+  // per-kind message counts match across directions.
+  dpx10::Xoshiro256 rng(5);
+  TrafficBook book(6);
+  for (int k = 0; k < 5000; ++k) {
+    auto src = static_cast<std::int32_t>(rng.below(6));
+    auto dst = static_cast<std::int32_t>(rng.below(6));
+    auto kind = static_cast<MessageKind>(rng.below(kMessageKindCount));
+    book.record(src, dst, kind, rng.below(256));
+  }
+  TrafficSnapshot total = book.total();
+  EXPECT_EQ(total.bytes_out, total.bytes_in);
+  EXPECT_EQ(total.total_messages_out(), total.total_messages_in());
+  for (std::size_t kind = 0; kind < kMessageKindCount; ++kind) {
+    EXPECT_EQ(total.messages_out[kind], total.messages_in[kind]);
+  }
+}
+
+}  // namespace
+}  // namespace dpx10::net

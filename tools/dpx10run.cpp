@@ -1,0 +1,118 @@
+// dpx10run — the command-line driver: run any bundled DP application on
+// either engine with every runtime knob exposed.
+//
+//   dpx10run --app=swlag --engine=sim --vertices=1m --nodes=8
+//   dpx10run --app=knapsack --engine=threaded --nplaces=4 --nthreads=2
+//            --scheduling=min-comm --cache=4096 --dist=block-col
+//   dpx10run --app=lps --engine=sim --fault-place=7 --fault-at=0.5
+//            --recovery=snapshot --snapshot-interval=0.1 --csv
+//
+// Flags (all optional; environment variables DPX10_<FLAG> work too):
+//   --app            swlag|mtp|lps|knapsack|lcs|sw        [swlag]
+//   --engine         sim|threaded                          [sim]
+//   --vertices       target DAG size, k/m/g suffixes ok    [1m]
+//   --nodes          simulated nodes; places = 2 x nodes   [8]
+//   --nplaces        override the place count directly
+//   --nthreads       worker threads/slots per place        [6]
+//   --dist           block-row|block-col|block-cyclic-row|block-2d
+//   --scheduling     local|random|min-comm|work-stealing   [local]
+//   --ready-order    fifo|lifo                             [fifo]
+//   --cache          per-place cache capacity              [1024]
+//   --cache-policy   fifo|lru                              [fifo]
+//   --restore        discard-remote|restore-remote         [discard-remote]
+//   --recovery       rebuild|snapshot                      [rebuild]
+//   --snapshot-interval  fraction between snapshots        [0.1]
+//   --fault-place    place to kill (repeatable via comma list)
+//   --fault-at       completion fraction of the kill       [0.5]
+//   --seed           run seed                              [42]
+//   --places         also print the per-place table
+//   --csv            print a CSV row instead of the report
+#include <iostream>
+
+#include "common/error.h"
+#include "common/options.h"
+#include "core/dpx10.h"
+#include "core/report_io.h"
+#include "dp/runners.h"
+
+namespace {
+
+using namespace dpx10;
+
+DistKind parse_dist(const std::string& name) {
+  if (name == "block-row") return DistKind::BlockRow;
+  if (name == "block-col") return DistKind::BlockCol;
+  if (name == "block-cyclic-row") return DistKind::BlockCyclicRow;
+  if (name == "block-2d") return DistKind::Block2D;
+  throw ConfigError("unknown --dist '" + name + "'");
+}
+
+Scheduling parse_scheduling(const std::string& name) {
+  if (name == "local") return Scheduling::Local;
+  if (name == "random") return Scheduling::Random;
+  if (name == "min-comm") return Scheduling::MinCommunication;
+  if (name == "work-stealing") return Scheduling::WorkStealing;
+  throw ConfigError("unknown --scheduling '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Options cli(argc, argv);
+
+    const std::string app = cli.get("app", "swlag");
+    const std::string engine_name = cli.get("engine", "sim");
+    require(engine_name == "sim" || engine_name == "threaded",
+            "--engine must be sim or threaded");
+    const dp::EngineKind engine =
+        engine_name == "sim" ? dp::EngineKind::Sim : dp::EngineKind::Threaded;
+    const auto vertices = static_cast<std::int64_t>(cli.get_scaled("vertices", 1'000'000));
+
+    RuntimeOptions opts;
+    const auto nodes = static_cast<std::int32_t>(cli.get_int("nodes", 8));
+    opts.nplaces = static_cast<std::int32_t>(cli.get_int("nplaces", 2 * nodes));
+    opts.nthreads = static_cast<std::int32_t>(cli.get_int("nthreads", 6));
+    opts.dist = parse_dist(cli.get("dist", "block-row"));
+    opts.scheduling = parse_scheduling(cli.get("scheduling", "local"));
+    opts.ready_order =
+        cli.get("ready-order", "fifo") == "lifo" ? ReadyOrder::Lifo : ReadyOrder::Fifo;
+    opts.cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 1024));
+    opts.cache_policy =
+        cli.get("cache-policy", "fifo") == "lru" ? CachePolicy::Lru : CachePolicy::Fifo;
+    opts.restore = cli.get("restore", "discard-remote") == "restore-remote"
+                       ? RestoreMode::RestoreRemote
+                       : RestoreMode::DiscardRemote;
+    opts.recovery = cli.get("recovery", "rebuild") == "snapshot"
+                        ? RecoveryPolicy::PeriodicSnapshot
+                        : RecoveryPolicy::Rebuild;
+    opts.snapshot_interval = cli.get_double("snapshot-interval", 0.1);
+    opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    if (cli.has("fault-place")) {
+      const double at = cli.get_double("fault-at", 0.5);
+      double offset = 0.0;
+      for (std::int64_t place : cli.get_int_list("fault-place", {})) {
+        opts.faults.push_back(FaultPlan{static_cast<std::int32_t>(place), at + offset});
+        offset += 0.1;  // stagger multiple deaths
+      }
+    }
+
+    RunReport report = dp::run_dp_app(app, engine, vertices, opts,
+                                      static_cast<std::uint64_t>(cli.get_int("input-seed", 1234)));
+
+    if (cli.get_bool("csv", false)) {
+      print_csv_header(std::cout);
+      print_csv_row(std::cout, app + ";" + engine_name, report);
+    } else {
+      print_report(std::cout, report);
+      if (cli.get_bool("places", false)) {
+        std::cout << "\n";
+        print_place_table(std::cout, report);
+      }
+    }
+    return 0;
+  } catch (const dpx10::Error& e) {
+    std::cerr << "dpx10run: " << e.what() << "\n";
+    return 1;
+  }
+}
