@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cache.dir/ablate_cache.cpp.o"
+  "CMakeFiles/ablate_cache.dir/ablate_cache.cpp.o.d"
+  "ablate_cache"
+  "ablate_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

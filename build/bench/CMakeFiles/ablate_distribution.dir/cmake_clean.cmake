@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_distribution.dir/ablate_distribution.cpp.o"
+  "CMakeFiles/ablate_distribution.dir/ablate_distribution.cpp.o.d"
+  "ablate_distribution"
+  "ablate_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

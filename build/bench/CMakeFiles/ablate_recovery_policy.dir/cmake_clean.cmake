@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_recovery_policy.dir/ablate_recovery_policy.cpp.o"
+  "CMakeFiles/ablate_recovery_policy.dir/ablate_recovery_policy.cpp.o.d"
+  "ablate_recovery_policy"
+  "ablate_recovery_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_recovery_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_restore.dir/ablate_restore.cpp.o"
+  "CMakeFiles/ablate_restore.dir/ablate_restore.cpp.o.d"
+  "ablate_restore"
+  "ablate_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

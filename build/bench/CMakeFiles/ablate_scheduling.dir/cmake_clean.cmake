@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_scheduling.dir/ablate_scheduling.cpp.o"
+  "CMakeFiles/ablate_scheduling.dir/ablate_scheduling.cpp.o.d"
+  "ablate_scheduling"
+  "ablate_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tiling.dir/ablate_tiling.cpp.o"
+  "CMakeFiles/ablate_tiling.dir/ablate_tiling.cpp.o.d"
+  "ablate_tiling"
+  "ablate_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

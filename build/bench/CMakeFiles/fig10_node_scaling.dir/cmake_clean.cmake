@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_node_scaling.dir/fig10_node_scaling.cpp.o"
+  "CMakeFiles/fig10_node_scaling.dir/fig10_node_scaling.cpp.o.d"
+  "fig10_node_scaling"
+  "fig10_node_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

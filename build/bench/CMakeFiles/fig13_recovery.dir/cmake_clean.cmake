@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_recovery.dir/fig13_recovery.cpp.o"
+  "CMakeFiles/fig13_recovery.dir/fig13_recovery.cpp.o.d"
+  "fig13_recovery"
+  "fig13_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banded_alignment.dir/banded_alignment.cpp.o"
+  "CMakeFiles/banded_alignment.dir/banded_alignment.cpp.o.d"
+  "banded_alignment"
+  "banded_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banded_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for banded_alignment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knapsack_custom_pattern.dir/knapsack_custom_pattern.cpp.o"
+  "CMakeFiles/knapsack_custom_pattern.dir/knapsack_custom_pattern.cpp.o.d"
+  "knapsack_custom_pattern"
+  "knapsack_custom_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knapsack_custom_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for knapsack_custom_pattern.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_chain.dir/matrix_chain.cpp.o"
+  "CMakeFiles/matrix_chain.dir/matrix_chain.cpp.o.d"
+  "matrix_chain"
+  "matrix_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smith_waterman.dir/smith_waterman.cpp.o"
+  "CMakeFiles/smith_waterman.dir/smith_waterman.cpp.o.d"
+  "smith_waterman"
+  "smith_waterman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smith_waterman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

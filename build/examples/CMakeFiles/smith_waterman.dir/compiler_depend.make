@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for smith_waterman.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for smith_waterman.
+# This may be replaced when dependencies are built.

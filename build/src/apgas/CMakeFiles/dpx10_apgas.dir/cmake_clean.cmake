@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx10_apgas.dir/dist.cpp.o"
+  "CMakeFiles/dpx10_apgas.dir/dist.cpp.o.d"
+  "CMakeFiles/dpx10_apgas.dir/domain.cpp.o"
+  "CMakeFiles/dpx10_apgas.dir/domain.cpp.o.d"
+  "libdpx10_apgas.a"
+  "libdpx10_apgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx10_apgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx10_baseline.dir/native_swlag.cpp.o"
+  "CMakeFiles/dpx10_baseline.dir/native_swlag.cpp.o.d"
+  "libdpx10_baseline.a"
+  "libdpx10_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx10_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx10_common.dir/logging.cpp.o"
+  "CMakeFiles/dpx10_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dpx10_common.dir/options.cpp.o"
+  "CMakeFiles/dpx10_common.dir/options.cpp.o.d"
+  "CMakeFiles/dpx10_common.dir/strings.cpp.o"
+  "CMakeFiles/dpx10_common.dir/strings.cpp.o.d"
+  "libdpx10_common.a"
+  "libdpx10_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx10_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

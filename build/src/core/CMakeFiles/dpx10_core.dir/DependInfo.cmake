@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dag.cpp" "src/core/CMakeFiles/dpx10_core.dir/dag.cpp.o" "gcc" "src/core/CMakeFiles/dpx10_core.dir/dag.cpp.o.d"
+  "/root/repo/src/core/dag_validate.cpp" "src/core/CMakeFiles/dpx10_core.dir/dag_validate.cpp.o" "gcc" "src/core/CMakeFiles/dpx10_core.dir/dag_validate.cpp.o.d"
+  "/root/repo/src/core/patterns/registry.cpp" "src/core/CMakeFiles/dpx10_core.dir/patterns/registry.cpp.o" "gcc" "src/core/CMakeFiles/dpx10_core.dir/patterns/registry.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/dpx10_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/dpx10_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/core/scheduling.cpp" "src/core/CMakeFiles/dpx10_core.dir/scheduling.cpp.o" "gcc" "src/core/CMakeFiles/dpx10_core.dir/scheduling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dpx10_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpx10_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpx10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apgas/CMakeFiles/dpx10_apgas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx10_core.dir/dag.cpp.o"
+  "CMakeFiles/dpx10_core.dir/dag.cpp.o.d"
+  "CMakeFiles/dpx10_core.dir/dag_validate.cpp.o"
+  "CMakeFiles/dpx10_core.dir/dag_validate.cpp.o.d"
+  "CMakeFiles/dpx10_core.dir/patterns/registry.cpp.o"
+  "CMakeFiles/dpx10_core.dir/patterns/registry.cpp.o.d"
+  "CMakeFiles/dpx10_core.dir/report_io.cpp.o"
+  "CMakeFiles/dpx10_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/dpx10_core.dir/scheduling.cpp.o"
+  "CMakeFiles/dpx10_core.dir/scheduling.cpp.o.d"
+  "libdpx10_core.a"
+  "libdpx10_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx10_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

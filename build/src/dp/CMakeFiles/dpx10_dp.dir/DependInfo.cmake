@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/banded.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/banded.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/banded.cpp.o.d"
+  "/root/repo/src/dp/edit_distance.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/edit_distance.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/edit_distance.cpp.o.d"
+  "/root/repo/src/dp/inputs.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/inputs.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/inputs.cpp.o.d"
+  "/root/repo/src/dp/knapsack.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/knapsack.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/knapsack.cpp.o.d"
+  "/root/repo/src/dp/lcs.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/lcs.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/lcs.cpp.o.d"
+  "/root/repo/src/dp/lps.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/lps.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/lps.cpp.o.d"
+  "/root/repo/src/dp/manhattan.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/manhattan.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/manhattan.cpp.o.d"
+  "/root/repo/src/dp/nussinov.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/nussinov.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/nussinov.cpp.o.d"
+  "/root/repo/src/dp/runners.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/runners.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/runners.cpp.o.d"
+  "/root/repo/src/dp/smith_waterman.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/smith_waterman.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/smith_waterman.cpp.o.d"
+  "/root/repo/src/dp/swlag.cpp" "src/dp/CMakeFiles/dpx10_dp.dir/swlag.cpp.o" "gcc" "src/dp/CMakeFiles/dpx10_dp.dir/swlag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpx10_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpx10_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpx10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apgas/CMakeFiles/dpx10_apgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpx10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

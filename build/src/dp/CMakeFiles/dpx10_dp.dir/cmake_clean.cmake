@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx10_dp.dir/banded.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/banded.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/edit_distance.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/edit_distance.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/inputs.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/inputs.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/knapsack.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/knapsack.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/lcs.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/lcs.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/lps.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/lps.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/manhattan.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/manhattan.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/nussinov.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/nussinov.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/runners.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/runners.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/smith_waterman.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/smith_waterman.cpp.o.d"
+  "CMakeFiles/dpx10_dp.dir/swlag.cpp.o"
+  "CMakeFiles/dpx10_dp.dir/swlag.cpp.o.d"
+  "libdpx10_dp.a"
+  "libdpx10_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx10_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx10_net.dir/link_model.cpp.o"
+  "CMakeFiles/dpx10_net.dir/link_model.cpp.o.d"
+  "CMakeFiles/dpx10_net.dir/traffic.cpp.o"
+  "CMakeFiles/dpx10_net.dir/traffic.cpp.o.d"
+  "libdpx10_net.a"
+  "libdpx10_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx10_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

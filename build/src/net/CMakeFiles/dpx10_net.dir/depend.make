@@ -1,0 +1,2 @@
+# Empty dependencies file for dpx10_net.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx10_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dpx10_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dpx10_sim.dir/slot_pool.cpp.o"
+  "CMakeFiles/dpx10_sim.dir/slot_pool.cpp.o.d"
+  "libdpx10_sim.a"
+  "libdpx10_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx10_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

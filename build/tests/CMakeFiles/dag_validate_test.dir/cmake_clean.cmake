@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_validate_test.dir/dag_validate_test.cpp.o"
+  "CMakeFiles/dag_validate_test.dir/dag_validate_test.cpp.o.d"
+  "dag_validate_test"
+  "dag_validate_test.pdb"
+  "dag_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

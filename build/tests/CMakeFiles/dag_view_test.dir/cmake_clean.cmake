@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_view_test.dir/dag_view_test.cpp.o"
+  "CMakeFiles/dag_view_test.dir/dag_view_test.cpp.o.d"
+  "dag_view_test"
+  "dag_view_test.pdb"
+  "dag_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

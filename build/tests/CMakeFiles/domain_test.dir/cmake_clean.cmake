@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_test.dir/domain_test.cpp.o"
+  "CMakeFiles/domain_test.dir/domain_test.cpp.o.d"
+  "domain_test"
+  "domain_test.pdb"
+  "domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

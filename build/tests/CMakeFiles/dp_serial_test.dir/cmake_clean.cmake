@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_serial_test.dir/dp_serial_test.cpp.o"
+  "CMakeFiles/dp_serial_test.dir/dp_serial_test.cpp.o.d"
+  "dp_serial_test"
+  "dp_serial_test.pdb"
+  "dp_serial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_serial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_agreement_test.dir/engine_agreement_test.cpp.o"
+  "CMakeFiles/engine_agreement_test.dir/engine_agreement_test.cpp.o.d"
+  "engine_agreement_test"
+  "engine_agreement_test.pdb"
+  "engine_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

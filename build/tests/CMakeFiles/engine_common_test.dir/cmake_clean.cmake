@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_common_test.dir/engine_common_test.cpp.o"
+  "CMakeFiles/engine_common_test.dir/engine_common_test.cpp.o.d"
+  "engine_common_test"
+  "engine_common_test.pdb"
+  "engine_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_apps_test.dir/extra_apps_test.cpp.o"
+  "CMakeFiles/extra_apps_test.dir/extra_apps_test.cpp.o.d"
+  "extra_apps_test"
+  "extra_apps_test.pdb"
+  "extra_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_apps_test.dir/fault_apps_test.cpp.o"
+  "CMakeFiles/fault_apps_test.dir/fault_apps_test.cpp.o.d"
+  "fault_apps_test"
+  "fault_apps_test.pdb"
+  "fault_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interplay_test.dir/interplay_test.cpp.o"
+  "CMakeFiles/interplay_test.dir/interplay_test.cpp.o.d"
+  "interplay_test"
+  "interplay_test.pdb"
+  "interplay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interplay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

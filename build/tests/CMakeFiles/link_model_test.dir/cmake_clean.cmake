@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_model_test.dir/link_model_test.cpp.o"
+  "CMakeFiles/link_model_test.dir/link_model_test.cpp.o.d"
+  "link_model_test"
+  "link_model_test.pdb"
+  "link_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

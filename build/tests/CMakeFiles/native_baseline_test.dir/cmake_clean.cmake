@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_baseline_test.dir/native_baseline_test.cpp.o"
+  "CMakeFiles/native_baseline_test.dir/native_baseline_test.cpp.o.d"
+  "native_baseline_test"
+  "native_baseline_test.pdb"
+  "native_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

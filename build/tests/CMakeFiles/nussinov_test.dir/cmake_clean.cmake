@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nussinov_test.dir/nussinov_test.cpp.o"
+  "CMakeFiles/nussinov_test.dir/nussinov_test.cpp.o.d"
+  "nussinov_test"
+  "nussinov_test.pdb"
+  "nussinov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nussinov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

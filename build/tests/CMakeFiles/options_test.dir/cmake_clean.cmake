@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_test.dir/options_test.cpp.o"
+  "CMakeFiles/options_test.dir/options_test.cpp.o.d"
+  "options_test"
+  "options_test.pdb"
+  "options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

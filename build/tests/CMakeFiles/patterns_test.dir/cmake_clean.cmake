@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_test.dir/patterns_test.cpp.o"
+  "CMakeFiles/patterns_test.dir/patterns_test.cpp.o.d"
+  "patterns_test"
+  "patterns_test.pdb"
+  "patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

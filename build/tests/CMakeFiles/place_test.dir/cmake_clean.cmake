@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_test.dir/place_test.cpp.o"
+  "CMakeFiles/place_test.dir/place_test.cpp.o.d"
+  "place_test"
+  "place_test.pdb"
+  "place_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_dag_test.dir/random_dag_test.cpp.o"
+  "CMakeFiles/random_dag_test.dir/random_dag_test.cpp.o.d"
+  "random_dag_test"
+  "random_dag_test.pdb"
+  "random_dag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_io_test.dir/report_io_test.cpp.o"
+  "CMakeFiles/report_io_test.dir/report_io_test.cpp.o.d"
+  "report_io_test"
+  "report_io_test.pdb"
+  "report_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runners_test.dir/runners_test.cpp.o"
+  "CMakeFiles/runners_test.dir/runners_test.cpp.o.d"
+  "runners_test"
+  "runners_test.pdb"
+  "runners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_engine_test.dir/sim_engine_test.cpp.o"
+  "CMakeFiles/sim_engine_test.dir/sim_engine_test.cpp.o.d"
+  "sim_engine_test"
+  "sim_engine_test.pdb"
+  "sim_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slot_pool_test.dir/slot_pool_test.cpp.o"
+  "CMakeFiles/slot_pool_test.dir/slot_pool_test.cpp.o.d"
+  "slot_pool_test"
+  "slot_pool_test.pdb"
+  "slot_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slot_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/snapshot_test.cpp" "tests/CMakeFiles/snapshot_test.dir/snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/snapshot_test.dir/snapshot_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dp/CMakeFiles/dpx10_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dpx10_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpx10_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpx10_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpx10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apgas/CMakeFiles/dpx10_apgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dpx10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

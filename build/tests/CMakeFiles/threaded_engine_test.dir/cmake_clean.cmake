@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_engine_test.dir/threaded_engine_test.cpp.o"
+  "CMakeFiles/threaded_engine_test.dir/threaded_engine_test.cpp.o.d"
+  "threaded_engine_test"
+  "threaded_engine_test.pdb"
+  "threaded_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Smoke.ThreadedLcsMatchesSerial]=]  /root/repo/build/tests/smoke_test [==[--gtest_filter=Smoke.ThreadedLcsMatchesSerial]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.ThreadedLcsMatchesSerial]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  smoke_test_TESTS Smoke.ThreadedLcsMatchesSerial)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpx10run.dir/dpx10run.cpp.o"
+  "CMakeFiles/dpx10run.dir/dpx10run.cpp.o.d"
+  "dpx10run"
+  "dpx10run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpx10run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
