@@ -8,6 +8,12 @@
 // Headline shapes: recovery time grows linearly with size, halves from 4 to
 // 8 nodes (recovery runs in parallel on all survivors), and the normalized
 // impact of one fault shrinks as nodes are added.
+//
+// Series (c) reports the heartbeat detector's latency: the gap between the
+// crash and the §VI-D declaration. It is a property of the detector config
+// (interval x (suspect + confirm) beats), not of the problem size, so the
+// row should be flat across sizes — pass --hb-interval style knobs through
+// RuntimeOptions to move it.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -28,7 +34,7 @@ int main(int argc, char** argv) {
   bench::print_header("\\ vertices", sizes);
 
   for (std::int64_t nodes : node_counts) {
-    std::vector<double> recovery, normalized;
+    std::vector<double> recovery, normalized, detection;
     for (std::int64_t v : sizes) {
       RuntimeOptions opts = bench::sim_options_for_nodes(static_cast<std::int32_t>(nodes), cli);
       opts.faults.push_back(FaultPlan{opts.nplaces - 1, at});
@@ -40,12 +46,15 @@ int main(int argc, char** argv) {
 
       recovery.push_back(faulty.recovery_seconds);
       normalized.push_back(faulty.elapsed_seconds / baseline.elapsed_seconds);
+      detection.push_back(faulty.detection_seconds);
     }
     char label[64];
     std::snprintf(label, sizeof label, "(a) recovery, %lldn", static_cast<long long>(nodes));
     bench::print_series(label, recovery, "sim seconds");
     std::snprintf(label, sizeof label, "(b) normalized, %lldn", static_cast<long long>(nodes));
     bench::print_series(label, normalized, "x fault-free");
+    std::snprintf(label, sizeof label, "(c) detection, %lldn", static_cast<long long>(nodes));
+    bench::print_series(label, detection, "sim seconds");
   }
   return 0;
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full local gate: build + test the default config, then the sanitizer
+# config (ASan + UBSan). Usage:
+#
+#   scripts/check.sh             # both configs
+#   scripts/check.sh default     # just the plain build
+#   scripts/check.sh sanitize    # just the sanitizer build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+configs=("${@:-default sanitize}")
+# Word-split a single "default sanitize" default into two entries.
+read -r -a configs <<< "${configs[*]}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in "${configs[@]}"; do
+  echo "==> configure (${preset})"
+  cmake --preset "${preset}" >/dev/null
+  echo "==> build (${preset})"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==> test (${preset})"
+  ctest --preset "${preset}"
+done
+
+echo "check.sh: all configs passed"

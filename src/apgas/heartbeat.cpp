@@ -1,0 +1,69 @@
+#include "apgas/heartbeat.h"
+
+#include <algorithm>
+
+namespace dpx10 {
+
+HeartbeatDetector::HeartbeatDetector(const HeartbeatConfig& cfg,
+                                     std::int32_t nplaces, double now)
+    : cfg_(cfg), entries_(static_cast<std::size_t>(nplaces)) {
+  cfg_.validate();
+  require(nplaces > 0, "HeartbeatDetector: need at least one place");
+  for (Entry& e : entries_) e.last_beat = now;
+}
+
+void HeartbeatDetector::beat(std::int32_t place, double at) {
+  check_internal(place >= 0 && place < static_cast<std::int32_t>(entries_.size()),
+                 "HeartbeatDetector::beat: place out of range");
+  if (place == 0) return;  // the monitor does not monitor itself
+  Entry& e = entries_[static_cast<std::size_t>(place)];
+  if (e.health == PlaceHealth::Dead) return;  // beats from the grave: fenced
+  e.last_beat = std::max(e.last_beat, at);
+  if (e.health == PlaceHealth::Suspected) {
+    e.health = PlaceHealth::Alive;
+    pending_.push_back({place, PlaceHealth::Alive, at});
+  }
+}
+
+void HeartbeatDetector::sweep(double now, std::vector<HealthTransition>& out) {
+  // Beat-driven clears first: a straggler that resumed before this sweep
+  // must be un-suspected before we judge anyone else.
+  out.insert(out.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  for (std::size_t p = 1; p < entries_.size(); ++p) {
+    Entry& e = entries_[p];
+    if (e.health == PlaceHealth::Dead) continue;
+    const double silent = now - e.last_beat;
+    if (e.health == PlaceHealth::Alive && silent >= cfg_.suspect_delay()) {
+      e.health = PlaceHealth::Suspected;
+      out.push_back({static_cast<std::int32_t>(p), PlaceHealth::Suspected, now});
+    }
+    if (e.health == PlaceHealth::Suspected && silent >= cfg_.declare_delay()) {
+      e.health = PlaceHealth::Dead;
+      out.push_back({static_cast<std::int32_t>(p), PlaceHealth::Dead, now});
+    }
+  }
+}
+
+PlaceHealth HeartbeatDetector::health(std::int32_t place) const {
+  check_internal(place >= 0 && place < static_cast<std::int32_t>(entries_.size()),
+                 "HeartbeatDetector::health: place out of range");
+  return entries_[static_cast<std::size_t>(place)].health;
+}
+
+void HeartbeatDetector::mark_dead(std::int32_t place) {
+  check_internal(place >= 0 && place < static_cast<std::int32_t>(entries_.size()),
+                 "HeartbeatDetector::mark_dead: place out of range");
+  entries_[static_cast<std::size_t>(place)].health = PlaceHealth::Dead;
+}
+
+void HeartbeatDetector::reset(double now) {
+  pending_.clear();
+  for (Entry& e : entries_) {
+    if (e.health == PlaceHealth::Dead) continue;
+    e.last_beat = now;
+    e.health = PlaceHealth::Alive;
+  }
+}
+
+}  // namespace dpx10

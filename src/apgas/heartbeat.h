@@ -1,0 +1,155 @@
+// Heartbeat failure detection — replacing §VI-D's oracle death broadcast.
+//
+// Resilient X10 learns about a place death from its transport layer; the
+// paper's experiment (and our FaultPlan seed implementation) idealized that
+// into an oracle that announces the death the instant it happens, making
+// detection latency invisible in Fig. 13. This module models the real
+// mechanism: every place sends periodic heartbeats to place 0 over the
+// modeled NIC; a place that misses `suspect_after` consecutive beats is
+// *suspected* (schedulers stop routing work to it), and after a further
+// `confirm_after` beats of silence it is *declared dead*, which is the
+// moment §VI-D recovery actually begins. A suspected place that beats again
+// is cleared — that is what distinguishes a straggler from a corpse.
+//
+// The detector is deliberately engine-agnostic: the SimEngine feeds it
+// virtual-time beat arrivals, the ThreadedEngine feeds it wall-clock worker
+// progress. Place 0 is the monitor and is not monitored here — its death is
+// unrecoverable anyway (the Resilient X10 limitation) and is handled by the
+// engines directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace dpx10 {
+
+struct HeartbeatConfig {
+  /// Master switch. When disabled the engines fall back to the oracle
+  /// broadcast (recovery starts the instant the fault fires, as in the seed
+  /// implementation — useful for isolating recovery cost from detection).
+  bool enabled = true;
+  double interval_s = 500.0e-6;     ///< beat period (virtual time, SimEngine)
+  std::int32_t suspect_after = 3;   ///< missed beats before suspicion
+  std::int32_t confirm_after = 3;   ///< further missed beats before death
+
+  double suspect_delay() const { return interval_s * suspect_after; }
+  double declare_delay() const {
+    return interval_s * (suspect_after + confirm_after);
+  }
+
+  void validate() const {
+    require(interval_s > 0.0, "HeartbeatConfig: interval_s must be positive");
+    require(suspect_after > 0,
+            "HeartbeatConfig: suspect_after must be positive");
+    require(confirm_after > 0,
+            "HeartbeatConfig: confirm_after must be positive");
+  }
+};
+
+enum class PlaceHealth : std::uint8_t { Alive = 0, Suspected, Dead };
+
+struct HealthTransition {
+  std::int32_t place = -1;
+  PlaceHealth to = PlaceHealth::Alive;
+  double at = 0.0;
+};
+
+/// The monitor-side state machine. Not thread-safe: the SimEngine drives it
+/// from the event loop, the ThreadedEngine from its single monitor thread.
+class HeartbeatDetector {
+ public:
+  HeartbeatDetector(const HeartbeatConfig& cfg, std::int32_t nplaces,
+                    double now);
+
+  /// Records a beat from `place` arriving at time `at` (may be ahead of the
+  /// caller's clock — the simulator stamps beats with their NIC completion
+  /// time). A beat from a suspected place queues a Suspected->Alive
+  /// transition for the next sweep. Beats from place 0 or dead places are
+  /// ignored.
+  void beat(std::int32_t place, double at);
+
+  /// Advances the state machine to `now`, appending every transition to
+  /// `out` (cleared suspicions first, then new suspicions/deaths).
+  void sweep(double now, std::vector<HealthTransition>& out);
+
+  PlaceHealth health(std::int32_t place) const;
+
+  /// Marks a place dead without a transition (the engine already acted).
+  void mark_dead(std::int32_t place);
+
+  /// Re-baselines every non-dead place's beat clock to `now` and clears
+  /// suspicion. Called after recovery (the world paused; silence during the
+  /// pause is not evidence) and after a ThreadedEngine snapshot.
+  void reset(double now);
+
+ private:
+  struct Entry {
+    double last_beat = 0.0;
+    PlaceHealth health = PlaceHealth::Alive;
+  };
+
+  HeartbeatConfig cfg_;
+  std::vector<Entry> entries_;
+  std::vector<HealthTransition> pending_;  ///< beat-driven clears, FIFO
+};
+
+/// Lock-free "which places are currently suspected" bitmap shared between
+/// the detector's owner and the scheduling hot path. Relaxed ordering is
+/// fine: suspicion is advisory — acting on a stale bit only costs a
+/// slightly worse placement decision, never correctness.
+class SuspicionSet {
+ public:
+  explicit SuspicionSet(std::int32_t nplaces)
+      : words_((static_cast<std::size_t>(nplaces) + 63) / 64) {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  void set(std::int32_t place) {
+    words_[word(place)].fetch_or(bit(place), std::memory_order_relaxed);
+    any_.store(true, std::memory_order_relaxed);
+  }
+
+  void clear(std::int32_t place) {
+    words_[word(place)].fetch_and(~bit(place), std::memory_order_relaxed);
+    refresh_any();
+  }
+
+  void clear_all() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+    any_.store(false, std::memory_order_relaxed);
+  }
+
+  bool test(std::int32_t place) const {
+    return (words_[word(place)].load(std::memory_order_relaxed) &
+            bit(place)) != 0;
+  }
+
+  /// Fast-path gate: false means no place is suspected and schedulers can
+  /// take their exact legacy path (preserving RNG streams).
+  bool any() const { return any_.load(std::memory_order_relaxed); }
+
+ private:
+  static std::size_t word(std::int32_t place) {
+    return static_cast<std::size_t>(place) / 64;
+  }
+  static std::uint64_t bit(std::int32_t place) {
+    return std::uint64_t{1} << (static_cast<std::uint32_t>(place) % 64);
+  }
+  void refresh_any() {
+    for (const auto& w : words_) {
+      if (w.load(std::memory_order_relaxed) != 0) {
+        any_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+    any_.store(false, std::memory_order_relaxed);
+  }
+
+  std::vector<std::atomic<std::uint64_t>> words_;
+  std::atomic<bool> any_{false};
+};
+
+}  // namespace dpx10

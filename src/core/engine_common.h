@@ -11,15 +11,54 @@
 #include <cstdint>
 #include <vector>
 
+#include <algorithm>
+
 #include "apgas/dist_array.h"
 #include "core/app.h"
 #include "core/dag.h"
 #include "core/metrics.h"
 #include "core/runtime_options.h"
 #include "core/value_traits.h"
+#include "net/fault_injector.h"
 #include "net/traffic.h"
 
 namespace dpx10::detail {
+
+/// Next retransmit timeout after one expires: exponential up to the cap,
+/// with +/- backoff_jitter applied from a deterministic [0,1) draw so
+/// concurrent fetchers don't retry in lockstep.
+inline double next_backoff(const RetryConfig& cfg, double current_timeout,
+                           double jitter01) {
+  const double doubled = std::min(current_timeout * 2.0, cfg.max_timeout_s);
+  return doubled * (1.0 + cfg.backoff_jitter * (2.0 * jitter01 - 1.0));
+}
+
+/// Replays the retry protocol for one fetch over the lossy link and returns
+/// the number of retransmissions it needed. The ThreadedEngine uses this for
+/// accounting only — real memory reads cannot be "dropped", but the counters
+/// and extra wire traffic a lossy network would cost are still recorded.
+/// Never blocks (a sleeping worker would stall the recovery pause gate).
+inline std::uint32_t count_fetch_retries(net::FaultInjector& injector,
+                                         const RetryConfig& cfg,
+                                         std::int32_t src, std::int32_t dst) {
+  std::uint32_t retries = 0;
+  while (retries + 1 < static_cast<std::uint32_t>(cfg.max_attempts)) {
+    const auto req =
+        injector.perturb(net::MessageKind::FetchRequest, src, dst, 0.0);
+    if (req.dropped) {
+      ++retries;
+      continue;
+    }
+    const auto rep =
+        injector.perturb(net::MessageKind::FetchReply, dst, src, 0.0);
+    if (rep.dropped) {
+      ++retries;
+      continue;
+    }
+    break;
+  }
+  return retries;
+}
 
 struct InitSummary {
   std::uint64_t prefinished = 0;  ///< cells set by initial_value()

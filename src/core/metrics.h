@@ -24,6 +24,12 @@ struct PlaceStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t control_msgs_out = 0;  ///< remote indegree decrements sent
   std::uint64_t steals = 0;            ///< vertices stolen by this place
+  std::uint64_t fetch_retries = 0;     ///< fetch attempts beyond the first
+  std::uint64_t fetch_timeouts = 0;    ///< fetch attempts that hit a timeout
+  std::uint64_t net_drops = 0;         ///< messages this place saw vanish
+  std::uint64_t net_duplicates = 0;    ///< duplicate deliveries (idempotently
+                                       ///< discarded via fetch seq numbers)
+  std::uint64_t suspicions = 0;        ///< times the detector suspected this place
   double busy_seconds = 0.0;           ///< SimEngine: slot-occupied time
 
   PlaceStats& operator+=(const PlaceStats& o) {
@@ -34,6 +40,11 @@ struct PlaceStats {
     cache_hits += o.cache_hits;
     control_msgs_out += o.control_msgs_out;
     steals += o.steals;
+    fetch_retries += o.fetch_retries;
+    fetch_timeouts += o.fetch_timeouts;
+    net_drops += o.net_drops;
+    net_duplicates += o.net_duplicates;
+    suspicions += o.suspicions;
     busy_seconds += o.busy_seconds;
     return *this;
   }
@@ -48,6 +59,11 @@ struct AtomicPlaceStats {
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> control_msgs_out{0};
   std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> fetch_retries{0};
+  std::atomic<std::uint64_t> fetch_timeouts{0};
+  std::atomic<std::uint64_t> net_drops{0};
+  std::atomic<std::uint64_t> net_duplicates{0};
+  std::atomic<std::uint64_t> suspicions{0};
 
   PlaceStats snapshot() const {
     PlaceStats s;
@@ -58,6 +74,11 @@ struct AtomicPlaceStats {
     s.cache_hits = cache_hits.load(std::memory_order_relaxed);
     s.control_msgs_out = control_msgs_out.load(std::memory_order_relaxed);
     s.steals = steals.load(std::memory_order_relaxed);
+    s.fetch_retries = fetch_retries.load(std::memory_order_relaxed);
+    s.fetch_timeouts = fetch_timeouts.load(std::memory_order_relaxed);
+    s.net_drops = net_drops.load(std::memory_order_relaxed);
+    s.net_duplicates = net_duplicates.load(std::memory_order_relaxed);
+    s.suspicions = suspicions.load(std::memory_order_relaxed);
     return s;
   }
 };
@@ -76,6 +97,9 @@ struct RecoveryRecord {
   std::int32_t dead_place = -1;
   double started_at = 0.0;         ///< seconds into the run (virtual or wall)
   double recovery_seconds = 0.0;   ///< duration of the recovery phase
+  double detected_after_s = 0.0;   ///< crash -> declared-dead latency (0 with
+                                   ///< the oracle detector, or if the place
+                                   ///< was falsely evicted while alive)
   std::uint64_t lost = 0;          ///< finished vertices wiped with the place
   std::uint64_t restored = 0;        ///< finished vertices whose value survived
   std::uint64_t restored_remote = 0; ///< of which crossed the network
@@ -93,6 +117,7 @@ struct RunReport {
                                      ///< - prefinished when faults recompute)
   double elapsed_seconds = 0.0;      ///< wall (threaded) or virtual (sim)
   double recovery_seconds = 0.0;     ///< total time spent in recovery
+  double detection_seconds = 0.0;    ///< total crash -> declaration latency
   std::uint64_t snapshots_taken = 0; ///< PeriodicSnapshot policy only
   double snapshot_seconds = 0.0;     ///< total time paused for snapshots
   std::vector<PlaceStats> places;

@@ -28,9 +28,22 @@ void print_report(std::ostream& os, const RunReport& report) {
   if (totals.steals > 0) {
     os << "  steals:        " << with_commas(totals.steals) << "\n";
   }
+  if (totals.net_drops + totals.net_duplicates + totals.fetch_retries > 0) {
+    os << "  net faults:    " << with_commas(totals.net_drops) << " drops, "
+       << with_commas(totals.net_duplicates) << " duplicates, "
+       << with_commas(totals.fetch_retries) << " retries ("
+       << with_commas(totals.fetch_timeouts) << " timeouts)\n";
+  }
+  if (totals.suspicions > 0) {
+    os << "  suspicions:    " << with_commas(totals.suspicions) << "\n";
+  }
   for (const RecoveryRecord& r : report.recoveries) {
     os << "  recovery:      place " << r.dead_place << " died at "
-       << human_seconds(r.started_at) << "; recovered in "
+       << human_seconds(r.started_at) << "; ";
+    if (r.detected_after_s > 0.0) {
+      os << "detected in " << human_seconds(r.detected_after_s) << "; ";
+    }
+    os << "recovered in "
        << human_seconds(r.recovery_seconds) << " (lost " << with_commas(r.lost)
        << ", restored " << with_commas(r.restored) << ", discarded "
        << with_commas(r.discarded) << ")\n";
@@ -40,7 +53,8 @@ void print_report(std::ostream& os, const RunReport& report) {
 void print_csv_header(std::ostream& os) {
   os << "label,app,dag,vertices,computed,elapsed_s,recovery_s,snapshot_s,"
         "snapshots,remote_fetches,cache_hits,control_msgs,executed_nonlocal,"
-        "steals,messages,bytes_out\n";
+        "steals,messages,bytes_out,net_drops,net_dups,fetch_retries,"
+        "fetch_timeouts,suspicions,detection_s\n";
 }
 
 void print_csv_row(std::ostream& os, const std::string& label, const RunReport& report) {
@@ -52,7 +66,102 @@ void print_csv_row(std::ostream& os, const std::string& label, const RunReport& 
      << strformat("%.9g", report.snapshot_seconds) << ',' << report.snapshots_taken << ','
      << t.remote_fetches << ',' << t.cache_hits << ',' << t.control_msgs_out << ','
      << t.executed_nonlocal << ',' << t.steals << ','
-     << report.traffic.total_messages_out() << ',' << report.traffic.bytes_out << '\n';
+     << report.traffic.total_messages_out() << ',' << report.traffic.bytes_out << ','
+     << t.net_drops << ',' << t.net_duplicates << ',' << t.fetch_retries << ','
+     << t.fetch_timeouts << ',' << t.suspicions << ','
+     << strformat("%.9g", report.detection_seconds) << '\n';
+}
+
+namespace {
+
+// JSON string escaping for the few fields that carry free text (app and dag
+// names). Control characters beyond the common escapes are \u-encoded.
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << strformat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_double(std::ostream& os, double v) { os << strformat("%.17g", v); }
+
+void json_place(std::ostream& os, const PlaceStats& s) {
+  os << "{\"computed\":" << s.computed
+     << ",\"executed_nonlocal\":" << s.executed_nonlocal
+     << ",\"local_dep_reads\":" << s.local_dep_reads
+     << ",\"remote_fetches\":" << s.remote_fetches
+     << ",\"cache_hits\":" << s.cache_hits
+     << ",\"control_msgs_out\":" << s.control_msgs_out
+     << ",\"steals\":" << s.steals
+     << ",\"fetch_retries\":" << s.fetch_retries
+     << ",\"fetch_timeouts\":" << s.fetch_timeouts
+     << ",\"net_drops\":" << s.net_drops
+     << ",\"net_duplicates\":" << s.net_duplicates
+     << ",\"suspicions\":" << s.suspicions
+     << ",\"busy_seconds\":";
+  json_double(os, s.busy_seconds);
+  os << '}';
+}
+
+}  // namespace
+
+void print_json(std::ostream& os, const RunReport& report) {
+  const PlaceStats t = report.totals();
+  os << "{\"app\":";
+  json_string(os, report.app_name);
+  os << ",\"dag\":";
+  json_string(os, report.dag_name);
+  os << ",\"vertices\":" << report.vertices
+     << ",\"prefinished\":" << report.prefinished
+     << ",\"computed\":" << report.computed << ",\"elapsed_s\":";
+  json_double(os, report.elapsed_seconds);
+  os << ",\"recovery_s\":";
+  json_double(os, report.recovery_seconds);
+  os << ",\"detection_s\":";
+  json_double(os, report.detection_seconds);
+  os << ",\"snapshots\":" << report.snapshots_taken << ",\"snapshot_s\":";
+  json_double(os, report.snapshot_seconds);
+  os << ",\"sim_events\":" << report.sim_events
+     << ",\"net_drops\":" << t.net_drops
+     << ",\"net_duplicates\":" << t.net_duplicates
+     << ",\"fetch_retries\":" << t.fetch_retries
+     << ",\"fetch_timeouts\":" << t.fetch_timeouts
+     << ",\"suspicions\":" << t.suspicions
+     << ",\"traffic\":{\"messages_out\":" << report.traffic.total_messages_out()
+     << ",\"bytes_out\":" << report.traffic.bytes_out << '}';
+  os << ",\"recoveries\":[";
+  for (std::size_t i = 0; i < report.recoveries.size(); ++i) {
+    const RecoveryRecord& r = report.recoveries[i];
+    if (i) os << ',';
+    os << "{\"dead_place\":" << r.dead_place << ",\"started_at\":";
+    json_double(os, r.started_at);
+    os << ",\"recovery_s\":";
+    json_double(os, r.recovery_seconds);
+    os << ",\"detected_after_s\":";
+    json_double(os, r.detected_after_s);
+    os << ",\"lost\":" << r.lost << ",\"restored\":" << r.restored
+       << ",\"restored_remote\":" << r.restored_remote
+       << ",\"discarded\":" << r.discarded << '}';
+  }
+  os << "],\"places\":[";
+  for (std::size_t p = 0; p < report.places.size(); ++p) {
+    if (p) os << ',';
+    json_place(os, report.places[p]);
+  }
+  os << "]}\n";
 }
 
 void print_place_table(std::ostream& os, const RunReport& report) {

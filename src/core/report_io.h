@@ -21,4 +21,10 @@ void print_place_table(std::ostream& os, const RunReport& report);
 void print_csv_header(std::ostream& os);
 void print_csv_row(std::ostream& os, const std::string& label, const RunReport& report);
 
+/// Full report as one JSON object (counters, per-place stats, recoveries,
+/// traffic). Doubles are printed with %.17g so the output round-trips
+/// bit-exactly — the determinism tests compare two same-seed runs by their
+/// serialized JSON, byte for byte.
+void print_json(std::ostream& os, const RunReport& report);
+
 }  // namespace dpx10

@@ -11,10 +11,14 @@
 #include <string_view>
 #include <vector>
 
+#include <algorithm>
+
 #include "apgas/dist.h"
-#include "core/cache.h"
 #include "apgas/fault.h"
+#include "apgas/heartbeat.h"
 #include "common/error.h"
+#include "core/cache.h"
+#include "net/fault_injector.h"
 #include "net/link_model.h"
 
 namespace dpx10 {
@@ -89,6 +93,31 @@ struct CostModel {
   double snapshot_copy_ns = 1200.0;
 };
 
+/// Timeout/backoff protocol for remote dependency fetches on an unreliable
+/// network. A fetch that has not seen a reply by the deadline retransmits
+/// the request and doubles the timeout (with jitter, to avoid retry storms
+/// from lockstep timers); a reply for an already-satisfied fetch is matched
+/// by its sequence number and idempotently discarded. After `max_attempts`
+/// the fetch either parks until the failure detector resolves the owner's
+/// fate (owner crashed) or keeps retrying at the backoff ceiling (owner
+/// alive but the link is foul — eviction is the detector's call, not the
+/// fetch path's).
+struct RetryConfig {
+  double timeout_s = 250.0e-6;   ///< initial retransmit deadline
+  double max_timeout_s = 4.0e-3; ///< exponential backoff ceiling
+  double backoff_jitter = 0.25;  ///< +/- fraction applied to each backoff
+  std::int32_t max_attempts = 12;
+
+  void validate() const {
+    require(timeout_s > 0.0, "RetryConfig: timeout_s must be positive");
+    require(max_timeout_s >= timeout_s,
+            "RetryConfig: max_timeout_s must be >= timeout_s");
+    require(backoff_jitter >= 0.0 && backoff_jitter < 1.0,
+            "RetryConfig: backoff_jitter must be in [0, 1)");
+    require(max_attempts > 0, "RetryConfig: max_attempts must be positive");
+  }
+};
+
 struct RuntimeOptions {
   std::int32_t nplaces = 4;
   std::int32_t nthreads = 2;
@@ -107,10 +136,17 @@ struct RuntimeOptions {
   std::vector<FaultPlan> faults;  ///< applied in order of at_fraction
   std::uint64_t seed = 42;
 
-  net::LinkModel link;  ///< SimEngine interconnect
-  CostModel cost;       ///< SimEngine per-operation costs
+  net::LinkModel link;            ///< SimEngine interconnect
+  CostModel cost;                 ///< SimEngine per-operation costs
+  net::NetFaultConfig netfaults;  ///< message drop/dup/jitter/stall injection
+  HeartbeatConfig heartbeat;      ///< failure detector parameters
+  RetryConfig retry;              ///< remote-fetch timeout/backoff protocol
 
-  void validate() const {
+  /// Validates every knob and normalizes the fault plan: faults are sorted
+  /// by at_fraction (they fire in that order) and exact ties are rejected —
+  /// two deaths at the same instant would make the death order, and hence
+  /// the recovery sequence, ambiguous.
+  void validate() {
     require(nplaces > 0, "RuntimeOptions: nplaces must be positive");
     require(nthreads > 0, "RuntimeOptions: nthreads must be positive");
     require(static_cast<std::int64_t>(faults.size()) < nplaces,
@@ -124,6 +160,17 @@ struct RuntimeOptions {
                 "RuntimeOptions: a place can only die once");
       }
     }
+    std::stable_sort(faults.begin(), faults.end(),
+                     [](const FaultPlan& a, const FaultPlan& b) {
+                       return a.at_fraction < b.at_fraction;
+                     });
+    for (std::size_t a = 1; a < faults.size(); ++a) {
+      require(faults[a].at_fraction != faults[a - 1].at_fraction,
+              "RuntimeOptions: two faults at the same at_fraction");
+    }
+    netfaults.validate(nplaces);
+    heartbeat.validate();
+    retry.validate();
   }
 };
 

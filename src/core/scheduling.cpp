@@ -6,25 +6,54 @@ namespace dpx10 {
 
 std::int32_t choose_target_slot(Scheduling strategy, VertexId v, const Dag& dag,
                                 const Dist& dist, std::size_t value_bytes,
-                                Xoshiro256& rng, std::vector<VertexId>& scratch) {
+                                Xoshiro256& rng, std::vector<VertexId>& scratch,
+                                const PlaceGroup* group,
+                                const SuspicionSet* suspected) {
   const std::int32_t owner = dist.slot_of(v);
+  // Suspicion-avoidance is only engaged while somebody is actually
+  // suspected; otherwise every strategy takes its exact legacy path so the
+  // RNG stream (and with it, simulator determinism across configurations)
+  // is untouched.
+  const bool avoid =
+      group != nullptr && suspected != nullptr && suspected->any();
+  const auto slot_suspected = [&](std::int32_t slot) {
+    return avoid && suspected->test((*group)[slot]);
+  };
+
   switch (strategy) {
     case Scheduling::Local:
     case Scheduling::WorkStealing:
       return owner;
-    case Scheduling::Random:
-      return static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(dist.nslots())));
+    case Scheduling::Random: {
+      const auto nslots = static_cast<std::int32_t>(dist.nslots());
+      if (!avoid) {
+        return static_cast<std::int32_t>(
+            rng.below(static_cast<std::uint64_t>(nslots)));
+      }
+      std::int32_t healthy = 0;
+      for (std::int32_t s = 0; s < nslots; ++s) {
+        if (!slot_suspected(s)) ++healthy;
+      }
+      if (healthy == 0) return owner;  // everyone suspect: keep locality
+      auto k = static_cast<std::int32_t>(
+          rng.below(static_cast<std::uint64_t>(healthy)));
+      for (std::int32_t s = 0; s < nslots; ++s) {
+        if (slot_suspected(s)) continue;
+        if (k-- == 0) return s;
+      }
+      return owner;  // unreachable
+    }
     case Scheduling::MinCommunication:
       break;
   }
 
   scratch.clear();
   dag.dependencies(v, scratch);
-  if (scratch.empty()) return owner;
+  if (scratch.empty() && !slot_suspected(owner)) return owner;
 
   // Cost of running at slot p: one value transfer per dependency owned
   // elsewhere, plus one writeback if p is not the owner. Candidates: the
-  // owner and each dependency's owner.
+  // owner and each dependency's owner — minus anyone under suspicion.
   auto cost_at = [&](std::int32_t p) {
     std::size_t cost = (p == owner) ? 0 : value_bytes;
     for (VertexId d : scratch) {
@@ -33,20 +62,31 @@ std::int32_t choose_target_slot(Scheduling strategy, VertexId v, const Dag& dag,
     return cost;
   };
 
-  std::int32_t best = owner;
-  std::size_t best_cost = cost_at(owner);
+  std::int32_t best = -1;
+  std::size_t best_cost = 0;
+  if (!slot_suspected(owner)) {
+    best = owner;
+    best_cost = cost_at(owner);
+  }
   for (VertexId d : scratch) {
     std::int32_t p = dist.slot_of(d);
     if (p == best) continue;
+    if (slot_suspected(p)) continue;
     std::size_t c = cost_at(p);
     // Strictly better only: ties keep the owner / earlier candidate, which
     // preserves locality and keeps the choice deterministic.
-    if (c < best_cost) {
+    if (best < 0 || c < best_cost) {
       best = p;
       best_cost = c;
     }
   }
-  return best;
+  if (best >= 0) return best;
+  // Owner and every candidate are suspected: fall back to the first healthy
+  // slot, or the owner if the whole world is suspect.
+  for (std::int32_t s = 0; s < static_cast<std::int32_t>(dist.nslots()); ++s) {
+    if (!slot_suspected(s)) return s;
+  }
+  return owner;
 }
 
 }  // namespace dpx10

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "apgas/dist.h"
+#include "apgas/heartbeat.h"
+#include "apgas/place.h"
 #include "common/rng.h"
 #include "common/vertex_id.h"
 #include "core/dag.h"
@@ -32,9 +34,18 @@ namespace dpx10 {
 ///    owner slots can be optimal, so those are the candidates. Ties prefer
 ///    the owner (no writeback, better locality).
 ///
+/// When the failure detector suspects places (`group` + `suspected` both
+/// non-null and at least one bit set), Random draws only among healthy
+/// slots and MinCommunication drops suspected candidates — routing work to
+/// a place that is about to be declared dead just manufactures lost
+/// vertices. With no suspicion the legacy code path (and hence the RNG
+/// stream) is preserved exactly.
+///
 /// `scratch` avoids per-call allocation on the hot path.
 std::int32_t choose_target_slot(Scheduling strategy, VertexId v, const Dag& dag,
                                 const Dist& dist, std::size_t value_bytes,
-                                Xoshiro256& rng, std::vector<VertexId>& scratch);
+                                Xoshiro256& rng, std::vector<VertexId>& scratch,
+                                const PlaceGroup* group = nullptr,
+                                const SuspicionSet* suspected = nullptr);
 
 }  // namespace dpx10

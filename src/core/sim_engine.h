@@ -12,10 +12,18 @@
 // NIC, which is what bends the Fig. 10 speedup curves once communication
 // dominates.
 //
+// On top of the reliable baseline the engine models an *unreliable* cluster
+// when RuntimeOptions::netfaults or a FaultPlan is configured: messages can
+// be dropped/duplicated/delayed by the FaultInjector, remote fetches run a
+// timeout + exponential-backoff retry protocol, and place deaths are no
+// longer announced by an oracle — a fault only *crashes* the place
+// (silently), and §VI-D recovery starts when the heartbeat failure detector
+// declares it dead, so runs include real detection latency.
+//
 // Everything is driven off one (time, seq)-ordered event queue, so a run is
 // a pure function of (dag, app, options): identical seeds give identical
-// traces, times and traffic counts — property-tested in
-// tests/sim_engine_test.cpp.
+// traces, times, traffic counts and fault sequences — property-tested in
+// tests/sim_engine_test.cpp and tests/net_fault_test.cpp.
 #pragma once
 
 #include <algorithm>
@@ -26,6 +34,7 @@
 
 #include "apgas/dist_array.h"
 #include "apgas/fault.h"
+#include "apgas/heartbeat.h"
 #include "apgas/place.h"
 #include "apgas/snapshot.h"
 #include "common/logging.h"
@@ -38,6 +47,7 @@
 #include "core/runtime_options.h"
 #include "core/scheduling.h"
 #include "core/value_traits.h"
+#include "net/fault_injector.h"
 #include "net/message.h"
 #include "net/traffic.h"
 #include "sim/event_queue.h"
@@ -56,7 +66,14 @@ class SimEngine {
   }
 
  private:
-  enum EventKind : std::uint32_t { kReady = 0, kDispatch = 1, kDone = 2 };
+  enum EventKind : std::uint32_t {
+    kReady = 0,
+    kDispatch = 1,
+    kDone = 2,
+    kHeartbeat = 3,      ///< place `a` emits its periodic beat to place 0
+    kSweep = 4,          ///< the monitor advances the failure detector
+    kPlaceZeroDead = 5,  ///< place 0's crash reached its declaration point
+  };
 
   struct PlaceSim {
     std::deque<std::int64_t> ready;
@@ -85,16 +102,22 @@ class SimEngine {
           pm_(opts.nplaces),
           book_(opts.nplaces),
           rng_(mix64(opts.seed, 0x5157ULL)),
+          injector_(opts.netfaults, mix64(opts.seed, 0x4e4654ULL)),
+          detector_(opts.heartbeat, opts.nplaces, 0.0),
+          suspected_(opts.nplaces),
+          crashed_(static_cast<std::size_t>(opts.nplaces), 0),
+          crash_time_(static_cast<std::size_t>(opts.nplaces), 0.0),
           array_(std::make_unique<DistArray<T>>(dag.domain(), opts.dist,
                                                 PlaceGroup::dense(opts.nplaces))) {
       for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
         places_.emplace_back(opts_.nthreads, opts_.cache_policy, opts_.cache_capacity);
       }
-      faults_ = opts_.faults;
-      std::sort(faults_.begin(), faults_.end(),
-                [](const FaultPlan& a, const FaultPlan& b) {
-                  return a.at_fraction < b.at_fraction;
-                });
+      faults_ = opts_.faults;  // validate() already sorted by at_fraction
+      // The detector (and its heartbeat traffic) only engages when there is
+      // something to detect; a fault-free reliable run stays event-for-event
+      // identical to the baseline engine.
+      detector_active_ =
+          opts_.heartbeat.enabled && (!faults_.empty() || injector_.enabled());
     }
 
     RunReport run() {
@@ -114,6 +137,7 @@ class SimEngine {
       detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
         queue_.push(0.0, kReady, place, idx);
       });
+      if (detector_active_) arm_heartbeats(0.0);
 
       while (!done_) {
         check_internal(!queue_.empty(),
@@ -127,9 +151,16 @@ class SimEngine {
             on_dispatch(static_cast<std::int32_t>(ev.a), static_cast<std::uint64_t>(ev.b));
             break;
           case kDone: on_done(static_cast<std::int32_t>(ev.a), ev.b); break;
+          case kHeartbeat: on_heartbeat(static_cast<std::int32_t>(ev.a)); break;
+          case kSweep: on_sweep(); break;
+          case kPlaceZeroDead: throw DeadPlaceException(0);
           default: check_internal(false, "SimEngine: unknown event kind");
         }
       }
+      // Completion cannot outrun place 0's declaration timer in practice
+      // (its cells stop finishing), but never let a pending place-0 crash
+      // go unreported.
+      if (crashed_[0]) throw DeadPlaceException(0);
 
       RunReport report;
       report.app_name = std::string(app_.name());
@@ -146,6 +177,7 @@ class SimEngine {
       report.recoveries = recoveries_;
       for (const RecoveryRecord& r : recoveries_) {
         report.recovery_seconds += r.recovery_seconds;
+        report.detection_seconds += r.detected_after_s;
       }
       report.snapshots_taken = snapshots_taken_;
       report.snapshot_seconds = snapshot_seconds_;
@@ -170,7 +202,10 @@ class SimEngine {
     }
 
     void on_ready(std::int32_t p, std::int64_t idx) {
-      if (!pm_.is_alive(p)) return;  // message to a place that died in flight
+      // A message to a place that died (or silently crashed) in flight is
+      // lost with it; the vertex stays Unfinished and is re-seeded by
+      // recovery once the death is declared.
+      if (!pm_.is_alive(p) || crashed_[p]) return;
       place(p).ready.push_back(idx);
       schedule_dispatch(p, now_);
     }
@@ -179,7 +214,7 @@ class SimEngine {
       PlaceSim& pl = place(p);
       if (!pl.dispatch_pending || seq != pl.armed_seq) return;  // stale event
       pl.dispatch_pending = false;
-      if (!pm_.is_alive(p)) return;
+      if (!pm_.is_alive(p) || crashed_[p]) return;
       while (!pl.ready.empty() && pl.slots.available(now_)) {
         std::int64_t idx;
         if (opts_.ready_order == ReadyOrder::Lifo) {
@@ -200,12 +235,15 @@ class SimEngine {
 
     /// Work-stealing in virtual time: an idle place raids the deepest
     /// backlog, paying one control-message hop for the transfer. One vertex
-    /// per attempt — the next dispatch can steal again.
+    /// per attempt — the next dispatch can steal again. Crashed or suspected
+    /// places are never raided: their backlog is about to be re-seeded (or
+    /// they are too slow to answer the steal request anyway).
     void try_steal(std::int32_t thief) {
       std::int32_t victim = -1;
       std::size_t deepest = 1;  // leave lone vertices local
       for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
-        if (p == thief || !pm_.is_alive(p)) continue;
+        if (p == thief || !pm_.is_alive(p) || crashed_[p]) continue;
+        if (detector_active_ && suspected_.test(p)) continue;
         if (place(p).ready.size() > deepest) {
           deepest = place(p).ready.size();
           victim = p;
@@ -228,10 +266,101 @@ class SimEngine {
                   kReady, thief, idx);
     }
 
+    /// Outcome of one modeled remote fetch.
+    struct FetchTiming {
+      double ready_at = 0.0;
+      bool unreachable = false;  ///< retry budget exhausted, owner crashed
+    };
+
+    /// Models fetching one dependency value from `owner`'s NIC, with the
+    /// timeout + exponential backoff + retry-cap protocol when the network
+    /// is unreliable. Fetch attempts carry a sequence number: a duplicated
+    /// or late reply for an already-satisfied fetch is idempotently ignored
+    /// (it only burns wire bytes and owner NIC time). On a reliable network
+    /// with a live owner this reduces exactly to the baseline
+    /// request/NIC-queue/reply timing, with zero injector draws.
+    FetchTiming model_remote_fetch(std::int32_t p, std::int32_t owner,
+                                   std::size_t reply_bytes) {
+      PlaceSim& pl = place(p);
+      PlaceSim& owner_pl = place(owner);
+      const double req_wire =
+          opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+      const double reply_wire = opts_.link.transfer_time(net::wire_bytes(reply_bytes));
+
+      if (!injector_.enabled() && !crashed_[owner]) {
+        book_.record(p, owner, net::MessageKind::FetchRequest, net::kControlPayloadBytes);
+        book_.record(owner, p, net::MessageKind::FetchReply, reply_bytes);
+        const double request_arrives = now_ + req_wire;
+        const double nic_start = std::max(request_arrives, owner_pl.nic_free);
+        const double nic_end = nic_start + opts_.link.nic_time(net::wire_bytes(reply_bytes));
+        owner_pl.nic_free = nic_end;
+        return {nic_end + reply_wire, false};
+      }
+
+      double t = now_;
+      double timeout = opts_.retry.timeout_s;
+      double earliest = -1.0;
+      std::uint32_t attempts = 0;
+      std::uint32_t timeouts = 0;
+      while (true) {
+        ++attempts;
+        check_internal(attempts < 100000,
+                       "SimEngine: remote fetch failed to terminate");
+        book_.record(p, owner, net::MessageKind::FetchRequest, net::kControlPayloadBytes);
+        const auto req =
+            injector_.perturb(net::MessageKind::FetchRequest, p, owner, t);
+        if (req.dropped) {
+          ++pl.stats.net_drops;
+        } else if (!crashed_[owner]) {
+          const double request_arrives = t + req_wire + req.extra_delay_s;
+          pl.stats.net_duplicates += static_cast<std::uint64_t>(req.extra_copies);
+          // Every arriving request copy is served — the owner cannot know
+          // the fetcher already gave up or got another copy's reply; the
+          // fetcher dedups by sequence number on its side.
+          for (std::int32_t c = 0; c <= req.extra_copies; ++c) {
+            const double nic_start = std::max(request_arrives, owner_pl.nic_free);
+            const double nic_end =
+                nic_start + opts_.link.nic_time(net::wire_bytes(reply_bytes));
+            owner_pl.nic_free = nic_end;
+            book_.record(owner, p, net::MessageKind::FetchReply, reply_bytes);
+            const auto rep =
+                injector_.perturb(net::MessageKind::FetchReply, owner, p, nic_end);
+            if (rep.dropped) {
+              ++pl.stats.net_drops;
+              continue;
+            }
+            pl.stats.net_duplicates += static_cast<std::uint64_t>(rep.extra_copies);
+            const double arrives = nic_end + reply_wire + rep.extra_delay_s;
+            if (earliest < 0.0 || arrives < earliest) earliest = arrives;
+          }
+        }
+        const double deadline = t + timeout;
+        if (earliest >= 0.0 && earliest <= deadline) break;
+        ++timeouts;
+        if (attempts >= static_cast<std::uint32_t>(opts_.retry.max_attempts) &&
+            crashed_[owner]) {
+          // The owner is gone and the budget is spent: park until the
+          // failure detector settles its fate (the vertex is re-seeded by
+          // recovery). A merely-lossy link never abandons — eviction is the
+          // detector's decision, so we keep retrying at the ceiling.
+          pl.stats.fetch_retries += attempts - 1;
+          pl.stats.fetch_timeouts += timeouts;
+          return {0.0, true};
+        }
+        t = deadline;
+        timeout = detail::next_backoff(opts_.retry, timeout, injector_.uniform01());
+      }
+      pl.stats.fetch_retries += attempts - 1;
+      pl.stats.fetch_timeouts += timeouts;
+      return {earliest, false};
+    }
+
     /// Reserves a slot, models the dependency-gather + compute time, and —
     /// because values never change once finished — executes the real
     /// compute() eagerly. The cell is only *published* (state, indegree
-    /// decrements) at the kDone event.
+    /// decrements) at the kDone event. If a dependency owner is crashed and
+    /// unreachable past the retry budget, the vertex is abandoned (no slot,
+    /// no trace, no kDone) and comes back via recovery's re-seed.
     void start_vertex(std::int32_t p, std::int64_t idx) {
       PlaceSim& pl = place(p);
       DistArray<T>& array = *array_;
@@ -255,20 +384,10 @@ class SimEngine {
           ++pl.stats.cache_hits;
         } else {
           value = array.cell(d).value;
-          book_.record(p, owner, net::MessageKind::FetchRequest, net::kControlPayloadBytes);
-          const std::size_t reply_bytes = value_wire_bytes(value);
-          book_.record(owner, p, net::MessageKind::FetchReply, reply_bytes);
           ++pl.stats.remote_fetches;
-          // Request flies to the owner, waits for its NIC, reply flies back.
-          const double request_arrives =
-              now_ + opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
-          PlaceSim& owner_pl = place(owner);
-          const double nic_start = std::max(request_arrives, owner_pl.nic_free);
-          const double nic_end = nic_start + opts_.link.nic_time(net::wire_bytes(reply_bytes));
-          owner_pl.nic_free = nic_end;
-          const double reply_arrives =
-              nic_end + opts_.link.transfer_time(net::wire_bytes(reply_bytes));
-          data_ready = std::max(data_ready, reply_arrives);
+          const FetchTiming fetch = model_remote_fetch(p, owner, value_wire_bytes(value));
+          if (fetch.unreachable) return;
+          data_ready = std::max(data_ready, fetch.ready_at);
           pl.cache.put(d, value);
         }
         dep_values_.push_back(Vertex<T>{d, value});
@@ -288,7 +407,9 @@ class SimEngine {
     }
 
     void on_done(std::int32_t p, std::int64_t idx) {
-      if (!pm_.is_alive(p)) return;  // defensive: queue is cleared on death
+      // A crashed place's in-flight vertices die with it: the result was
+      // computed but never published, so recovery recomputes the cell.
+      if (!pm_.is_alive(p) || crashed_[p]) return;
       PlaceSim& pl = place(p);
       DistArray<T>& array = *array_;
       const VertexId id = array.domain().delinearize(idx);
@@ -325,8 +446,10 @@ class SimEngine {
           delay = handled - now_;
         }
         if (ac.indegree.fetch_sub(1, std::memory_order_relaxed) - 1 == 0) {
-          std::int32_t slot = choose_target_slot(opts_.scheduling, a, dag_, array.dist(),
-                                                 sizeof(T), rng_, sched_scratch_);
+          std::int32_t slot = choose_target_slot(
+              opts_.scheduling, a, dag_, array.dist(), sizeof(T), rng_, sched_scratch_,
+              detector_active_ ? &array.group() : nullptr,
+              detector_active_ ? &suspected_ : nullptr);
           std::int32_t target = array.group()[slot];
           if (target != a_owner) {
             book_.record(a_owner, target, net::MessageKind::ReadyTransfer,
@@ -348,8 +471,17 @@ class SimEngine {
       if (next_fault_ < faults_.size() && finished_ >= fault_thresholds_[next_fault_]) {
         const FaultPlan fault = faults_[next_fault_];
         ++next_fault_;
-        perform_recovery(fault.place);
-        return;
+        if (detector_active_) {
+          // No oracle: the place crashes silently and keeps "running" from
+          // everyone else's point of view until the detector declares it.
+          if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
+            crash_place(fault.place);
+          }
+          if (crashed_[p]) return;  // the finishing place crashed itself
+        } else {
+          perform_recovery(fault.place, 0.0);
+          return;
+        }
       }
 
       if (finished_ >= target_) {
@@ -357,6 +489,114 @@ class SimEngine {
         return;
       }
       schedule_dispatch(p, now_);
+    }
+
+    // ---- failure detection ----
+
+    /// Schedules the first beat of every live place and the monitor's sweep.
+    void arm_heartbeats(double start) {
+      for (std::int32_t p = 1; p < opts_.nplaces; ++p) {
+        if (pm_.is_alive(p) && !crashed_[p]) {
+          queue_.push(start + opts_.heartbeat.interval_s, kHeartbeat, p, 0);
+        }
+      }
+      queue_.push(start + opts_.heartbeat.interval_s, kSweep, 0, 0);
+    }
+
+    /// Place p emits its periodic beat to the monitor (place 0). The beat
+    /// is a real message: it pays wire time, queues on the monitor's NIC,
+    /// and can be dropped or delayed by the injector — which is exactly how
+    /// a straggling network manufactures false suspicion.
+    void on_heartbeat(std::int32_t p) {
+      if (!pm_.is_alive(p) || crashed_[p]) return;  // silence, forever
+      book_.record(p, 0, net::MessageKind::Heartbeat, net::kControlPayloadBytes);
+      const auto pert = injector_.perturb(net::MessageKind::Heartbeat, p, 0, now_);
+      if (pert.dropped) {
+        ++place(p).stats.net_drops;
+      } else if (!crashed_[0]) {
+        place(p).stats.net_duplicates += static_cast<std::uint64_t>(pert.extra_copies);
+        const double wire =
+            opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+        const double nic =
+            opts_.link.nic_time(net::wire_bytes(net::kControlPayloadBytes));
+        PlaceSim& monitor = place(0);
+        const double handled =
+            std::max(now_ + wire + pert.extra_delay_s, monitor.nic_free) + nic;
+        monitor.nic_free = handled;
+        // Stamped with NIC completion: a beat "in flight" at sweep time has
+        // not been heard yet. Duplicates only burn extra monitor NIC time.
+        detector_.beat(p, handled);
+        for (std::int32_t c = 0; c < pert.extra_copies; ++c) monitor.nic_free += nic;
+      }
+      queue_.push(now_ + opts_.heartbeat.interval_s, kHeartbeat, p, 0);
+    }
+
+    /// The monitor advances the detector: new suspicions bar a place from
+    /// scheduling, declarations trigger §VI-D recovery.
+    void on_sweep() {
+      if (crashed_[0]) return;  // monitor is gone; kPlaceZeroDead will fire
+      transitions_.clear();
+      detector_.sweep(now_, transitions_);
+      bool recovered = false;
+      for (const HealthTransition& tr : transitions_) {
+        switch (tr.to) {
+          case PlaceHealth::Alive:
+            suspected_.clear(tr.place);
+            DPX10_INFO << "sim: place " << tr.place << " cleared of suspicion at t="
+                       << now_ << "s";
+            break;
+          case PlaceHealth::Suspected:
+            suspected_.set(tr.place);
+            ++place(tr.place).stats.suspicions;
+            DPX10_INFO << "sim: place " << tr.place << " suspected at t=" << now_ << "s";
+            break;
+          case PlaceHealth::Dead:
+            if (pm_.is_alive(tr.place)) {
+              declare_dead(tr.place);
+              recovered = true;
+            }
+            break;
+        }
+        // Recovery reset the detector; the remaining transitions of this
+        // sweep are stale. Anything still wrong re-fires after re-baseline.
+        if (recovered) break;
+      }
+      // Recovery re-armed the beat/sweep cycle itself; otherwise keep it up.
+      if (!recovered && !done_) {
+        queue_.push(now_ + opts_.heartbeat.interval_s, kSweep, 0, 0);
+      }
+    }
+
+    /// A fault fires: the place stops, silently. Its queued work is gone;
+    /// everything already in flight *to* it will be dropped on arrival.
+    /// Detection — and only then recovery — comes from the heartbeat path.
+    void crash_place(std::int32_t p) {
+      crashed_[static_cast<std::size_t>(p)] = 1;
+      crash_time_[static_cast<std::size_t>(p)] = now_;
+      place(p).ready.clear();
+      DPX10_INFO << "sim: place " << p << " crashed at t=" << now_
+                 << "s (not yet detected)";
+      if (p == 0) {
+        // Place 0 is the monitor — nobody watches the watcher. Model the
+        // survivors noticing after the same declaration window, at which
+        // point the computation is unrecoverable (Resilient X10 limitation).
+        queue_.push(now_ + opts_.heartbeat.declare_delay(), kPlaceZeroDead, 0, 0);
+      }
+    }
+
+    /// The detector declared `d` dead: fence it out (even if it was a false
+    /// positive — a place the group evicted must never rejoin) and run
+    /// §VI-D recovery, now carrying the measured detection latency.
+    void declare_dead(std::int32_t d) {
+      const bool was_crashed = crashed_[static_cast<std::size_t>(d)] != 0;
+      crashed_[static_cast<std::size_t>(d)] = 1;
+      suspected_.clear(d);
+      detector_.mark_dead(d);
+      const double detected_after =
+          was_crashed ? now_ - crash_time_[static_cast<std::size_t>(d)] : 0.0;
+      DPX10_INFO << "sim: place " << d << " declared dead at t=" << now_
+                 << "s (detection latency " << detected_after << "s)";
+      perform_recovery(d, detected_after);
     }
 
     /// Periodic snapshot (RecoveryPolicy::PeriodicSnapshot): capture a
@@ -383,7 +623,7 @@ class SimEngine {
     /// copies the locally-restorable results, so the modeled duration is the
     /// per-cell work divided by the survivor count, plus the wire time of
     /// any cross-place restores.
-    void perform_recovery(std::int32_t dead_place) {
+    void perform_recovery(std::int32_t dead_place, double detected_after) {
       if (dead_place == 0) throw DeadPlaceException(0);
       const double started_at = now_;
       const std::int64_t finished_before = finished_;
@@ -428,6 +668,7 @@ class SimEngine {
 
       record.started_at = started_at;
       record.recovery_seconds = recovery_s;
+      record.detected_after_s = detected_after;
       recoveries_.push_back(record);
       DPX10_INFO << "sim: place " << dead_place << " died at t=" << started_at
                  << "s; recovery took " << recovery_s << "s (restored " << record.restored
@@ -449,6 +690,12 @@ class SimEngine {
       finished_ = static_cast<std::int64_t>(detail::count_finished(*array_));
       elapsed_ = resume_at;
       if (finished_ >= target_) done_ = true;
+      if (detector_active_ && !done_) {
+        // The pause is global: silence during recovery is not evidence.
+        suspected_.clear_all();
+        detector_.reset(resume_at);
+        arm_heartbeats(resume_at);
+      }
     }
 
     // ---- state ----
@@ -460,6 +707,12 @@ class SimEngine {
     PlaceManager pm_;
     net::TrafficBook book_;
     Xoshiro256 rng_;
+    net::FaultInjector injector_;
+    HeartbeatDetector detector_;
+    SuspicionSet suspected_;
+    bool detector_active_ = false;
+    std::vector<std::uint8_t> crashed_;   ///< crashed but maybe undeclared
+    std::vector<double> crash_time_;
     std::unique_ptr<DistArray<T>> array_;
     std::vector<PlaceSim> places_;
     sim::EventQueue queue_;
@@ -484,6 +737,7 @@ class SimEngine {
 
     std::vector<RecoveryRecord> recoveries_;
     std::vector<TraceEvent> trace_;
+    std::vector<HealthTransition> transitions_;
 
     std::vector<VertexId> deps_scratch_;
     std::vector<VertexId> anti_scratch_;

@@ -10,6 +10,17 @@
 // while all workers are parked at a pause gate, and resumes on the
 // survivors.
 //
+// Failure detection: with the heartbeat detector active (the default when
+// faults or network faults are configured), a FaultPlan only *crashes* the
+// place — its workers stop, silently. A monitor thread samples per-place
+// worker progress ("beats") on a wall-clock period, suspects a place after
+// missed beats, and declares it dead after the confirmation window; only
+// the declaration starts recovery, so reports carry a real detection
+// latency. The monitor guards against its own starvation: if place 0's
+// workers (its liveness reference) made no progress either, the sample
+// proves nothing and the detector is re-baselined instead — a wall-clock
+// detector must never evict a place because the whole process was asleep.
+//
 // Memory-ordering protocol (the correctness core):
 //   writer: cell.value = r;  cell.state.store(Finished, release);
 //           antidep.indegree.fetch_sub(1, acq_rel)
@@ -33,6 +44,7 @@
 
 #include "apgas/dist_array.h"
 #include "apgas/fault.h"
+#include "apgas/heartbeat.h"
 #include "apgas/place.h"
 #include "apgas/snapshot.h"
 #include "common/logging.h"
@@ -46,6 +58,7 @@
 #include "core/runtime_options.h"
 #include "core/scheduling.h"
 #include "core/value_traits.h"
+#include "net/fault_injector.h"
 #include "net/traffic.h"
 
 namespace dpx10 {
@@ -73,6 +86,14 @@ class ThreadedEngine {
     std::mutex cache_mu;
     VertexCache<T> cache;
     AtomicPlaceStats stats;
+    /// Liveness counter bumped by every worker loop iteration; the monitor
+    /// samples it — no progress across a detection window means silence.
+    std::atomic<std::uint64_t> beats{0};
+    /// Fail-stop flag, set by a FaultPlan crossing; workers exit on sight.
+    /// Also the monitor's confirmation gate: a completed silence window
+    /// only declares death if the place really fail-stopped.
+    std::atomic<bool> crashed{false};
+    double crash_wall = 0.0;  ///< written before crashed.store(release)
 
     PlaceRt(CachePolicy policy, std::size_t cache_capacity)
         : cache(policy, cache_capacity) {}
@@ -86,17 +107,17 @@ class ThreadedEngine {
           app_(app),
           pm_(opts.nplaces),
           book_(opts.nplaces),
+          injector_(opts.netfaults, mix64(opts.seed, 0x4e4654ULL)),
+          suspected_(opts.nplaces),
           array_(std::make_unique<DistArray<T>>(dag.domain(), opts.dist,
                                                 PlaceGroup::dense(opts.nplaces))) {
       places_.reserve(static_cast<std::size_t>(opts_.nplaces));
       for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
         places_.push_back(std::make_unique<PlaceRt>(opts_.cache_policy, opts_.cache_capacity));
       }
-      faults_ = opts_.faults;
-      std::sort(faults_.begin(), faults_.end(),
-                [](const FaultPlan& a, const FaultPlan& b) {
-                  return a.at_fraction < b.at_fraction;
-                });
+      faults_ = opts_.faults;  // validate() already sorted by at_fraction
+      detector_active_ =
+          opts_.heartbeat.enabled && (!faults_.empty() || injector_.enabled());
     }
 
     RunReport run() {
@@ -126,8 +147,16 @@ class ThreadedEngine {
       for (std::int32_t w = 0; w < nworkers; ++w) {
         workers.emplace_back([this, w] { worker_main(w); });
       }
+      std::thread monitor;
+      if (detector_active_) monitor = std::thread([this] { monitor_main(); });
       for (std::thread& t : workers) t.join();
+      if (monitor.joinable()) monitor.join();
 
+      // A place-0 crash is unrecoverable even if the survivors managed to
+      // finish before the detector could say so.
+      if (!failure_ && places_[0]->crashed.load(std::memory_order_acquire)) {
+        failure_ = std::make_exception_ptr(DeadPlaceException(0));
+      }
       if (failure_) std::rethrow_exception(failure_);
 
       RunReport report;
@@ -141,6 +170,7 @@ class ThreadedEngine {
       report.recoveries = recoveries_;
       for (const RecoveryRecord& r : recoveries_) {
         report.recovery_seconds += r.recovery_seconds;
+        report.detection_seconds += r.detected_after_s;
       }
       report.snapshots_taken = snapshots_taken_;
       report.snapshot_seconds = snapshot_seconds_;
@@ -155,6 +185,7 @@ class ThreadedEngine {
 
     void worker_main(std::int32_t worker) {
       const std::int32_t my_place = worker / opts_.nthreads;
+      PlaceRt& my_pr = *places_[static_cast<std::size_t>(my_place)];
       Xoshiro256 rng(mix64(opts_.seed, static_cast<std::uint64_t>(worker) + 1));
       std::vector<VertexId> deps_scratch;
       std::vector<VertexId> anti_scratch;
@@ -167,11 +198,13 @@ class ThreadedEngine {
           park();
           continue;
         }
+        if (my_pr.crashed.load(std::memory_order_acquire)) break;  // fail-stop
         if (!pm_alive(my_place)) break;  // our place died during recovery
+        my_pr.beats.fetch_add(1, std::memory_order_relaxed);
 
         std::int64_t idx = -1;
         {
-          PlaceRt& pr = *places_[static_cast<std::size_t>(my_place)];
+          PlaceRt& pr = my_pr;
           std::unique_lock<std::mutex> lk(pr.mu);
           if (!pr.ready.empty()) {
             if (opts_.ready_order == ReadyOrder::Lifo) {
@@ -216,6 +249,10 @@ class ThreadedEngine {
         std::int32_t victim = (start + step) % n;
         if (victim == thief || !pm_alive(victim)) continue;
         PlaceRt& vp = *places_[static_cast<std::size_t>(victim)];
+        // A crashed place's backlog is about to be re-seeded by recovery; a
+        // suspected place is too slow to answer the steal handshake.
+        if (vp.crashed.load(std::memory_order_acquire)) continue;
+        if (detector_active_ && suspected_.test(victim)) continue;
         std::unique_lock<std::mutex> lk(vp.mu);
         if (vp.ready.size() < 2) continue;  // leave lone vertices local
         // Steal from the end the owner is not working: classic
@@ -261,6 +298,24 @@ class ThreadedEngine {
       dag_.dependencies(id, deps_scratch);
       dep_values.clear();
       std::uint64_t local_reads = 0, hits = 0, fetches = 0;
+      // Shared memory cannot actually lose a read, so the unreliable
+      // network is accounted, not suffered: each miss replays the retry
+      // protocol against the injector and records the retransmit traffic
+      // and counters a lossy link would have cost. Never blocks — a
+      // sleeping worker would stall the recovery pause gate.
+      const auto lossy_fetch = [&](std::int32_t owner) {
+        if (!injector_.enabled()) return;
+        const std::uint32_t retries =
+            detail::count_fetch_retries(injector_, opts_.retry, place, owner);
+        if (retries == 0) return;
+        for (std::uint32_t r = 0; r < retries; ++r) {
+          book_.record(place, owner, net::MessageKind::FetchRequest,
+                       net::kControlPayloadBytes);
+        }
+        pr.stats.fetch_retries.fetch_add(retries, std::memory_order_relaxed);
+        pr.stats.fetch_timeouts.fetch_add(retries, std::memory_order_relaxed);
+        pr.stats.net_drops.fetch_add(retries, std::memory_order_relaxed);
+      };
       for (VertexId d : deps_scratch) {
         const Cell<T>& dep_cell = array.cell(d);
         const std::int32_t owner = array.owner_place(d);
@@ -273,6 +328,7 @@ class ThreadedEngine {
           book_.record(place, owner, net::MessageKind::FetchRequest,
                        net::kControlPayloadBytes);
           book_.record(owner, place, net::MessageKind::FetchReply, value_wire_bytes(value));
+          lossy_fetch(owner);
           ++fetches;
         } else {
           std::lock_guard<std::mutex> lk(pr.cache_mu);
@@ -285,6 +341,7 @@ class ThreadedEngine {
             book_.record(owner, place, net::MessageKind::FetchReply,
                          value_wire_bytes(value));
             pr.cache.put(d, value);
+            lossy_fetch(owner);
             ++fetches;
           }
         }
@@ -319,8 +376,10 @@ class ThreadedEngine {
           pr.stats.control_msgs_out.fetch_add(1, std::memory_order_relaxed);
         }
         if (ac.indegree.fetch_sub(1, std::memory_order_acq_rel) - 1 == 0) {
-          std::int32_t slot = choose_target_slot(opts_.scheduling, a, dag_, array.dist(),
-                                                 sizeof(T), rng, sched_scratch);
+          std::int32_t slot = choose_target_slot(
+              opts_.scheduling, a, dag_, array.dist(), sizeof(T), rng, sched_scratch,
+              detector_active_ ? &array.group() : nullptr,
+              detector_active_ ? &suspected_ : nullptr);
           std::int32_t target = array.group()[slot];
           if (target != a_owner) {
             book_.record(a_owner, target, net::MessageKind::ReadyTransfer,
@@ -336,13 +395,19 @@ class ThreadedEngine {
     void finish_one() {
       const std::int64_t fc = finished_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
-      // Fault injection: the worker that crosses an armed threshold becomes
-      // the recovery coordinator.
+      // Fault injection. Oracle mode: the worker that crosses an armed
+      // threshold becomes the recovery coordinator, instantly. Detector
+      // mode: the place merely crashes — silently — and the monitor thread
+      // has to notice before anyone recovers.
       std::size_t f = next_fault_.load(std::memory_order_relaxed);
       if (f < faults_.size() && fc >= fault_thresholds_[f]) {
         if (next_fault_.compare_exchange_strong(f, f + 1, std::memory_order_acq_rel)) {
-          coordinate_recovery(faults_[f].place);
-          return;
+          if (detector_active_) {
+            crash_place(faults_[f].place);
+          } else {
+            coordinate_recovery(faults_[f].place, /*detected_after=*/0.0);
+            return;
+          }
         }
       }
 
@@ -384,15 +449,20 @@ class ThreadedEngine {
       --parked_;
     }
 
-    // A coordinator is a worker that crossed a fault threshold. Should two
-    // thresholds be crossed near-simultaneously, both workers coordinate:
-    // neither parks (hence the gate below waits for all workers *except*
-    // the coordinators), pause_requests_ stays positive until the last one
-    // finishes, and recovery_mu_ serializes the actual rebuilds.
-    void coordinate_recovery(std::int32_t dead_place) {
+    // A coordinator is a worker that crossed a fault threshold (oracle
+    // mode), or the monitor thread declaring a death (detector mode).
+    // Should two thresholds be crossed near-simultaneously, both workers
+    // coordinate: neither parks (hence the gate below waits for all workers
+    // *except* the worker coordinators), pause_requests_ stays positive
+    // until the last one finishes, and recovery_mu_ serializes the actual
+    // rebuilds. The monitor is NOT a worker, so it must not count itself in
+    // coordinating_ — doing so would leave the gate waiting for one worker
+    // that does not exist.
+    void coordinate_recovery(std::int32_t dead_place, double detected_after,
+                             bool worker_coordinator = true) {
       const double started_at = stopwatch_.seconds();
 
-      coordinating_.fetch_add(1, std::memory_order_acq_rel);
+      if (worker_coordinator) coordinating_.fetch_add(1, std::memory_order_acq_rel);
       pause_requests_.fetch_add(1, std::memory_order_acq_rel);
       for (auto& p : places_) p->cv.notify_all();
       {
@@ -415,12 +485,12 @@ class ThreadedEngine {
           failure_ = std::make_exception_ptr(DeadPlaceException(0));
           announce_done();
         } else if (!done_.load(std::memory_order_acquire)) {
-          perform_recovery(dead_place, started_at, recovery_watch);
+          perform_recovery(dead_place, started_at, detected_after, recovery_watch);
         }
       }
 
       pause_requests_.fetch_sub(1, std::memory_order_acq_rel);
-      coordinating_.fetch_sub(1, std::memory_order_acq_rel);
+      if (worker_coordinator) coordinating_.fetch_sub(1, std::memory_order_acq_rel);
       {
         std::lock_guard<std::mutex> lk(pause_mu_);
         pause_cv_.notify_all();
@@ -461,7 +531,7 @@ class ThreadedEngine {
     }
 
     void perform_recovery(std::int32_t dead_place, double started_at,
-                          const Stopwatch& recovery_watch) {
+                          double detected_after, const Stopwatch& recovery_watch) {
       const std::int64_t finished_before = finished_.load(std::memory_order_acquire);
       {
         std::lock_guard<std::mutex> lk(pm_mu_);
@@ -506,11 +576,132 @@ class ThreadedEngine {
 
       record.started_at = started_at;
       record.recovery_seconds = recovery_watch.seconds();
+      record.detected_after_s = detected_after;
       recoveries_.push_back(record);
 
       // Degenerate but possible: the dead place owned no computed work and
       // the run was already complete — nobody will call finish_one again.
       if (now_finished >= target_) announce_done();
+    }
+
+    // ---- failure detection (detector mode) ---------------------------------
+
+    /// Fail-stops a place without telling anyone. Its workers exit on the
+    /// next loop iteration; from here on only the monitor's silence
+    /// detection can trigger recovery.
+    void crash_place(std::int32_t p) {
+      PlaceRt& pr = *places_[static_cast<std::size_t>(p)];
+      pr.crash_wall = stopwatch_.seconds();
+      pr.crashed.store(true, std::memory_order_release);
+      pr.cv.notify_all();
+    }
+
+    /// Monitor thread: samples every place's beat counter on a wall-clock
+    /// period, suspects a place after `suspect_after` consecutive silent
+    /// samples, declares it dead `confirm_after` samples later, and only
+    /// then coordinates §VI-D recovery — so reports carry a real detection
+    /// latency instead of oracle knowledge.
+    ///
+    /// Two situations make a sample meaningless, and both re-baseline the
+    /// counters instead of advancing them: a pause is in flight (workers
+    /// are parked on purpose), or place 0's own workers made no progress
+    /// (the whole process was starved — a wall-clock detector must never
+    /// evict a place because the machine was asleep).
+    void monitor_main() {
+      const double interval_s = std::max(opts_.heartbeat.interval_s, kMinMonitorInterval);
+      const auto interval = std::chrono::duration<double>(interval_s);
+      const std::size_t n = places_.size();
+      const std::int32_t suspect_after = opts_.heartbeat.suspect_after;
+      const std::int32_t declare_after =
+          opts_.heartbeat.suspect_after + opts_.heartbeat.confirm_after;
+      std::vector<std::uint64_t> seen(n, 0);
+      std::vector<std::int32_t> silent(n, 0);
+      rebaseline(seen, silent);
+
+      while (!done_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(interval);
+        if (done_.load(std::memory_order_acquire)) break;
+
+        // The monitor lives at place 0; a place-0 crash is unrecoverable.
+        // The declaration window is still waited out so the abort happens
+        // with honest detection latency, not at the instant of the crash.
+        if (places_[0]->crashed.load(std::memory_order_acquire)) {
+          if (++silent[0] >= declare_after) {
+            std::lock_guard<std::mutex> lk(recovery_mu_);
+            if (!failure_) failure_ = std::make_exception_ptr(DeadPlaceException(0));
+            announce_done();
+            break;
+          }
+          continue;
+        }
+
+        if (pause_requests_.load(std::memory_order_acquire) > 0) {
+          rebaseline(seen, silent);
+          continue;
+        }
+        const std::uint64_t root_now = places_[0]->beats.load(std::memory_order_relaxed);
+        if (root_now == seen[0]) {  // starvation guard: the sample proves nothing
+          rebaseline(seen, silent);
+          continue;
+        }
+        seen[0] = root_now;
+
+        std::int32_t to_declare = -1;
+        for (std::size_t p = 1; p < n; ++p) {
+          const auto place = static_cast<std::int32_t>(p);
+          if (!pm_alive(place)) continue;
+          const std::uint64_t now = places_[p]->beats.load(std::memory_order_relaxed);
+          if (now != seen[p]) {
+            // The beat reached the monitor: one control message of modeled
+            // heartbeat traffic per observed sample.
+            book_.record(place, 0, net::MessageKind::Heartbeat,
+                         net::kControlPayloadBytes);
+            seen[p] = now;
+            if (silent[p] >= suspect_after) suspected_.clear(place);
+            silent[p] = 0;
+            continue;
+          }
+          ++silent[p];
+          if (silent[p] == suspect_after) {
+            suspected_.set(place);
+            places_[0]->stats.suspicions.fetch_add(1, std::memory_order_relaxed);
+          } else if (silent[p] >= declare_after) {
+            // Confirmation gate: a silence window alone is not proof on a
+            // shared machine — an oversubscribed scheduler can park both of
+            // a live place's workers for longer than the window. Eviction of
+            // a live place would be permanent (fencing), so the declaration
+            // additionally requires the place to have actually fail-stopped;
+            // a completed window without a crash is a false alarm and
+            // re-baselines. The latency stays honest — the declaration still
+            // waits out the full missed-beat window past the real crash.
+            // (The SimEngine's detector has no such gate: virtual time has
+            // no scheduler noise, so there silence alone declares, and stall
+            // windows can genuinely evict a live place.)
+            if (places_[p]->crashed.load(std::memory_order_acquire)) {
+              to_declare = place;
+              break;
+            }
+            suspected_.clear(place);
+            silent[p] = 0;
+            seen[p] = now;
+          }
+        }
+        if (to_declare < 0) continue;
+
+        PlaceRt& dp = *places_[static_cast<std::size_t>(to_declare)];
+        dp.cv.notify_all();
+        const double latency = stopwatch_.seconds() - dp.crash_wall;
+        coordinate_recovery(to_declare, latency, /*worker_coordinator=*/false);
+        suspected_.clear_all();
+        rebaseline(seen, silent);
+      }
+    }
+
+    void rebaseline(std::vector<std::uint64_t>& seen, std::vector<std::int32_t>& silent) {
+      for (std::size_t p = 0; p < places_.size(); ++p) {
+        seen[p] = places_[p]->beats.load(std::memory_order_relaxed);
+        if (!places_[p]->crashed.load(std::memory_order_acquire)) silent[p] = 0;
+      }
     }
 
     // ---- state -------------------------------------------------------------
@@ -522,6 +713,9 @@ class ThreadedEngine {
     std::mutex pm_mu_;
     PlaceManager pm_;
     net::TrafficBook book_;
+    net::FaultInjector injector_;
+    SuspicionSet suspected_;
+    bool detector_active_ = false;
     std::unique_ptr<DistArray<T>> array_;
     std::vector<std::unique_ptr<PlaceRt>> places_;
 
@@ -551,6 +745,11 @@ class ThreadedEngine {
     std::vector<RecoveryRecord> recoveries_;
     std::exception_ptr failure_;
     Stopwatch stopwatch_;
+
+    /// Floor for the monitor's sampling period: the configured (simulated)
+    /// heartbeat interval is microseconds, but real scheduler jitter makes
+    /// sub-millisecond wall-clock detection windows fire spuriously.
+    static constexpr double kMinMonitorInterval = 0.025;
   };
 
   RuntimeOptions opts_;

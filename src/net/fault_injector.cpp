@@ -1,0 +1,51 @@
+#include "net/fault_injector.h"
+
+namespace dpx10::net {
+
+namespace {
+constexpr double to01(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+double FaultInjector::roll01(std::uint64_t base, std::uint64_t salt) const {
+  return to01(splitmix64(base ^ salt));
+}
+
+Perturbation FaultInjector::perturb(MessageKind kind, std::int32_t src,
+                                    std::int32_t dst, double now) {
+  (void)kind;
+  Perturbation p;
+  if (!enabled_) return p;
+  const std::uint64_t base =
+      mix64(seed_, seq_.fetch_add(1, std::memory_order_relaxed));
+  if (cfg_.drop_prob > 0.0 && roll01(base, 0xd801) < cfg_.drop_prob) {
+    p.dropped = true;
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+  if (cfg_.dup_prob > 0.0 && roll01(base, 0xd802) < cfg_.dup_prob) {
+    p.extra_copies = 1;
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (cfg_.delay_jitter_s > 0.0) {
+    p.extra_delay_s = cfg_.delay_jitter_s * roll01(base, 0xd803);
+  }
+  for (const StallWindow& w : cfg_.stalls) {
+    if ((w.place == src || w.place == dst) && now >= w.start_s &&
+        now < w.end_s) {
+      p.extra_delay_s += w.end_s - now;
+      stalled_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return p;
+}
+
+double FaultInjector::uniform01() {
+  if (!enabled_) return 0.5;
+  return to01(
+      splitmix64(mix64(seed_, seq_.fetch_add(1, std::memory_order_relaxed)) ^
+                 0xd804));
+}
+
+}  // namespace dpx10::net

@@ -1,0 +1,120 @@
+// Deterministic network fault injection.
+//
+// The paper's testbed (and §VI-D's failure experiment) assumes a perfectly
+// reliable interconnect: messages always arrive, exactly once, after the
+// alpha-beta delay. Real clusters misbehave — packets are dropped and
+// retransmitted, replies are duplicated, switches add jitter, and a place
+// can stall for milliseconds (GC pause, cron job, flaky NIC) and look dead
+// without being dead. The FaultInjector perturbs every simulated message
+// with exactly those failure modes, reproducibly from the run seed, so the
+// heartbeat detector and the retry protocol can be exercised — and two runs
+// with the same seed see the *same* sequence of faults.
+//
+// Determinism: each perturb() consumes one global sequence number and hashes
+// (seed, seq) statelessly. In the simulator messages are perturbed in event
+// order, so the fault sequence is a pure function of the seed. The counter
+// is atomic so the threaded engine can share one injector across workers
+// (there, per-run determinism is already out of scope — wall clock rules).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/message.h"
+
+namespace dpx10::net {
+
+/// A transient straggler window: every message touching `place` (as sender
+/// or receiver) during [start_s, end_s) is held until the window closes.
+/// Models GC pauses / noisy neighbours — long windows make a live place
+/// look dead and provoke false suspicion in the failure detector.
+struct StallWindow {
+  std::int32_t place = -1;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  void validate(std::int32_t nplaces) const {
+    require(place >= 0 && place < nplaces, "StallWindow: place out of range");
+    require(start_s >= 0.0 && end_s > start_s,
+            "StallWindow: need 0 <= start_s < end_s");
+  }
+};
+
+/// Configuration of the unreliable network. Default-constructed = perfectly
+/// reliable (the injector short-circuits and the engines keep their exact
+/// seed-identical behaviour).
+struct NetFaultConfig {
+  double drop_prob = 0.0;      ///< P(message silently lost)
+  double dup_prob = 0.0;       ///< P(message delivered twice)
+  double delay_jitter_s = 0.0; ///< extra uniform [0, jitter) delivery delay
+  std::vector<StallWindow> stalls;
+
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_jitter_s > 0.0 ||
+           !stalls.empty();
+  }
+
+  void validate(std::int32_t nplaces) const {
+    // Drop is capped below 1 so retry loops terminate (each attempt keeps a
+    // bounded success probability); 0.9 already models a catastrophic link.
+    require(drop_prob >= 0.0 && drop_prob <= 0.9,
+            "NetFaultConfig: drop_prob must be in [0, 0.9]");
+    require(dup_prob >= 0.0 && dup_prob <= 1.0,
+            "NetFaultConfig: dup_prob must be in [0, 1]");
+    require(delay_jitter_s >= 0.0,
+            "NetFaultConfig: delay_jitter_s must be >= 0");
+    for (const StallWindow& w : stalls) w.validate(nplaces);
+  }
+};
+
+/// What the network did to one message.
+struct Perturbation {
+  bool dropped = false;
+  std::int32_t extra_copies = 0;  ///< duplicates delivered beyond the first
+  double extra_delay_s = 0.0;     ///< jitter + stall hold, on top of the link
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const NetFaultConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), seed_(seed), enabled_(cfg.any()) {}
+
+  bool enabled() const { return enabled_; }
+  const NetFaultConfig& config() const { return cfg_; }
+
+  /// Rolls the fate of one message from src to dst at (virtual) time `now`.
+  /// Consumes exactly one sequence number per call regardless of which
+  /// faults are configured, so enabling one fault mode never perturbs the
+  /// sequence of another.
+  Perturbation perturb(MessageKind kind, std::int32_t src, std::int32_t dst,
+                       double now);
+
+  /// Auxiliary deterministic uniform [0,1) stream (backoff jitter). Shares
+  /// the sequence counter with perturb() — same determinism argument.
+  double uniform01();
+
+  // Whole-run totals (atomic: shared by threaded workers).
+  std::uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
+  std::uint64_t duplicates() const {
+    return duplicates_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stalled() const {
+    return stalled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double roll01(std::uint64_t base, std::uint64_t salt) const;
+
+  NetFaultConfig cfg_;
+  std::uint64_t seed_;
+  bool enabled_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> stalled_{0};
+};
+
+}  // namespace dpx10::net

@@ -8,6 +8,8 @@
 //                          distributed array after a place death
 // We keep the same taxonomy so traffic statistics and the cost model can
 // distinguish them exactly as the paper's discussion does (§VI-C, §VI-D).
+// Heartbeats — the failure detector's periodic liveness beats — share the
+// modeled NIC with application traffic, so detection is not free.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +24,7 @@ enum class MessageKind : std::uint8_t {
   ReadyTransfer,      ///< a ready vertex handed to a non-owner place
   ResultWriteback,    ///< result of a non-locally-executed vertex sent home
   RecoveryTransfer,   ///< finished value copied during recovery
+  Heartbeat,          ///< periodic liveness beat to the monitor (place 0)
   KindCount,
 };
 

@@ -44,6 +44,12 @@ TEST_P(AppFaultSweep, ThreadedCompletesWithFault) {
   RuntimeOptions opts;
   opts.nplaces = 4;
   opts.nthreads = 2;
+  // Oracle recovery: with the heartbeat detector, whether place 2 still owns
+  // unfinished cells when it crashes — and hence whether a recovery happens
+  // at all before the survivors finish — depends on thread timing for some
+  // of these DAG shapes. The detector path is covered deterministically by
+  // fault_test.cpp and net_fault_test.cpp, which kill last-wavefront places.
+  opts.heartbeat.enabled = false;
   opts.faults.push_back(FaultPlan{2, 0.4});
   RunReport report = dp::run_dp_app(app, dp::EngineKind::Threaded, 4000, opts, 7);
   EXPECT_GE(report.computed, report.vertices - report.prefinished);

@@ -1,0 +1,127 @@
+// FaultInjector: deterministic message perturbation from the run seed.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/fault_injector.h"
+
+namespace dpx10::net {
+namespace {
+
+TEST(FaultInjector, DisabledInjectorIsTransparent) {
+  NetFaultConfig cfg;  // default: perfectly reliable
+  EXPECT_FALSE(cfg.any());
+  FaultInjector inj(cfg, 123);
+  EXPECT_FALSE(inj.enabled());
+  for (int i = 0; i < 100; ++i) {
+    Perturbation p = inj.perturb(MessageKind::FetchRequest, 0, 1, 0.0);
+    EXPECT_FALSE(p.dropped);
+    EXPECT_EQ(p.extra_copies, 0);
+    EXPECT_EQ(p.extra_delay_s, 0.0);
+  }
+  EXPECT_EQ(inj.drops(), 0u);
+  EXPECT_EQ(inj.duplicates(), 0u);
+  // The disabled auxiliary stream is a constant: no hidden state advances.
+  EXPECT_EQ(inj.uniform01(), 0.5);
+  EXPECT_EQ(inj.uniform01(), 0.5);
+}
+
+TEST(FaultInjector, SameSeedSameFaultSequence) {
+  NetFaultConfig cfg;
+  cfg.drop_prob = 0.3;
+  cfg.dup_prob = 0.2;
+  cfg.delay_jitter_s = 1.0e-5;
+  FaultInjector a(cfg, 999);
+  FaultInjector b(cfg, 999);
+  for (int i = 0; i < 5000; ++i) {
+    Perturbation pa = a.perturb(MessageKind::FetchReply, i % 4, (i + 1) % 4, 0.0);
+    Perturbation pb = b.perturb(MessageKind::FetchReply, i % 4, (i + 1) % 4, 0.0);
+    ASSERT_EQ(pa.dropped, pb.dropped);
+    ASSERT_EQ(pa.extra_copies, pb.extra_copies);
+    ASSERT_EQ(pa.extra_delay_s, pb.extra_delay_s);
+  }
+  EXPECT_EQ(a.drops(), b.drops());
+  EXPECT_EQ(a.duplicates(), b.duplicates());
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  NetFaultConfig cfg;
+  cfg.drop_prob = 0.5;
+  FaultInjector a(cfg, 1);
+  FaultInjector b(cfg, 2);
+  int differ = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const bool da = a.perturb(MessageKind::FetchRequest, 0, 1, 0.0).dropped;
+    const bool db = b.perturb(MessageKind::FetchRequest, 0, 1, 0.0).dropped;
+    differ += (da != db) ? 1 : 0;
+  }
+  EXPECT_GT(differ, 100);  // ~50% expected
+}
+
+TEST(FaultInjector, EmpiricalRatesMatchConfiguration) {
+  NetFaultConfig cfg;
+  cfg.drop_prob = 0.3;
+  cfg.dup_prob = 0.2;
+  FaultInjector inj(cfg, 7);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) inj.perturb(MessageKind::FetchRequest, 0, 1, 0.0);
+  const double drop_rate = static_cast<double>(inj.drops()) / n;
+  EXPECT_NEAR(drop_rate, 0.3, 0.02);
+  // Duplication is only rolled for messages that survived the drop.
+  const double dup_rate =
+      static_cast<double>(inj.duplicates()) / (n - static_cast<int>(inj.drops()));
+  EXPECT_NEAR(dup_rate, 0.2, 0.02);
+}
+
+TEST(FaultInjector, JitterIsBoundedAndNonNegative) {
+  NetFaultConfig cfg;
+  cfg.delay_jitter_s = 3.0e-6;
+  FaultInjector inj(cfg, 11);
+  bool saw_positive = false;
+  for (int i = 0; i < 2000; ++i) {
+    Perturbation p = inj.perturb(MessageKind::FetchReply, 1, 0, 0.0);
+    ASSERT_GE(p.extra_delay_s, 0.0);
+    ASSERT_LT(p.extra_delay_s, 3.0e-6);
+    saw_positive = saw_positive || p.extra_delay_s > 0.0;
+  }
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(FaultInjector, StallWindowHoldsMessagesUntilItCloses) {
+  NetFaultConfig cfg;
+  cfg.stalls.push_back(StallWindow{2, 1.0e-3, 2.0e-3});
+  FaultInjector inj(cfg, 3);
+  // Inside the window, touching place 2 as either endpoint: held to the end.
+  EXPECT_DOUBLE_EQ(
+      inj.perturb(MessageKind::FetchRequest, 2, 0, 1.5e-3).extra_delay_s,
+      0.5e-3);
+  EXPECT_DOUBLE_EQ(
+      inj.perturb(MessageKind::FetchReply, 0, 2, 1.2e-3).extra_delay_s, 0.8e-3);
+  // Outside the window or not touching place 2: untouched.
+  EXPECT_EQ(inj.perturb(MessageKind::FetchRequest, 2, 0, 2.5e-3).extra_delay_s, 0.0);
+  EXPECT_EQ(inj.perturb(MessageKind::FetchRequest, 0, 1, 1.5e-3).extra_delay_s, 0.0);
+  EXPECT_EQ(inj.stalled(), 2u);
+}
+
+TEST(FaultInjector, ValidateRejectsBadConfigs) {
+  NetFaultConfig cfg;
+  cfg.drop_prob = 0.95;  // above the retry-termination cap
+  EXPECT_THROW(cfg.validate(4), ConfigError);
+  cfg.drop_prob = -0.1;
+  EXPECT_THROW(cfg.validate(4), ConfigError);
+  cfg.drop_prob = 0.0;
+  cfg.dup_prob = 1.5;
+  EXPECT_THROW(cfg.validate(4), ConfigError);
+  cfg.dup_prob = 0.0;
+  cfg.delay_jitter_s = -1.0;
+  EXPECT_THROW(cfg.validate(4), ConfigError);
+  cfg.delay_jitter_s = 0.0;
+  cfg.stalls.push_back(StallWindow{7, 0.0, 1.0});  // place out of range
+  EXPECT_THROW(cfg.validate(4), ConfigError);
+  cfg.stalls[0] = StallWindow{1, 2.0, 1.0};  // end before start
+  EXPECT_THROW(cfg.validate(4), ConfigError);
+  cfg.stalls[0] = StallWindow{1, 1.0, 2.0};
+  EXPECT_NO_THROW(cfg.validate(4));
+}
+
+}  // namespace
+}  // namespace dpx10::net

@@ -108,6 +108,42 @@ TEST(Fault, PlaceZeroDeathIsUnrecoverableThreaded) {
   EXPECT_THROW(run_checksum(dp::EngineKind::Threaded, opts), DeadPlaceException);
 }
 
+TEST(Fault, PlaceZeroDeathRaisesThroughHeartbeatPathSim) {
+  // With the failure detector active (faults + enabled heartbeat), a place-0
+  // crash is not an instant oracle abort: the monitor's own death has to
+  // play out through the declaration window, and the run must still end in
+  // DeadPlaceException. Kill early so place 0 has plenty of unfinished work.
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.netfaults.drop_prob = 0.1;  // lossy network at the same time
+  opts.faults.push_back(FaultPlan{0, 0.1});
+  ASSERT_TRUE(opts.heartbeat.enabled);
+  EXPECT_THROW(run_checksum(dp::EngineKind::Sim, opts), DeadPlaceException);
+}
+
+TEST(Fault, PlaceZeroDeathRaisesThroughHeartbeatPathThreaded) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.faults.push_back(FaultPlan{0, 0.1});
+  ASSERT_TRUE(opts.heartbeat.enabled);
+  EXPECT_THROW(run_checksum(dp::EngineKind::Threaded, opts), DeadPlaceException);
+}
+
+TEST(Fault, DetectionLatencyIsReportedSim) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.faults.push_back(FaultPlan{3, 0.5});
+  RunReport report;
+  run_checksum(dp::EngineKind::Sim, opts, &report);
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  // Declaration cannot precede the full missed-beat window.
+  EXPECT_GE(report.recoveries[0].detected_after_s, opts.heartbeat.declare_delay());
+  EXPECT_GT(report.totals().suspicions, 0u);
+}
+
 TEST(Fault, TwoSequentialDeathsStillTransparent) {
   RuntimeOptions clean;
   clean.nplaces = 5;

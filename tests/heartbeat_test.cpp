@@ -1,0 +1,153 @@
+// HeartbeatDetector state machine and the SuspicionSet bitmap.
+#include <gtest/gtest.h>
+
+#include "apgas/heartbeat.h"
+#include "common/error.h"
+
+namespace dpx10 {
+namespace {
+
+HeartbeatConfig test_cfg() {
+  HeartbeatConfig cfg;
+  cfg.interval_s = 1.0;  // suspect after 3 s of silence, declare after 6 s
+  cfg.suspect_after = 3;
+  cfg.confirm_after = 3;
+  return cfg;
+}
+
+TEST(Heartbeat, ConfigDelays) {
+  HeartbeatConfig cfg = test_cfg();
+  EXPECT_DOUBLE_EQ(cfg.suspect_delay(), 3.0);
+  EXPECT_DOUBLE_EQ(cfg.declare_delay(), 6.0);
+}
+
+TEST(Heartbeat, ConfigValidation) {
+  HeartbeatConfig cfg;
+  cfg.interval_s = 0.0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = HeartbeatConfig{};
+  cfg.suspect_after = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg = HeartbeatConfig{};
+  cfg.confirm_after = -1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  EXPECT_NO_THROW(HeartbeatConfig{}.validate());
+}
+
+TEST(Heartbeat, SilentPlaceIsSuspectedThenDeclaredDead) {
+  HeartbeatDetector det(test_cfg(), 3, 0.0);
+  std::vector<HealthTransition> out;
+
+  // Place 1 keeps beating; place 2 goes silent at t=0.
+  det.beat(1, 1.0);
+  det.sweep(2.0, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(det.health(2), PlaceHealth::Alive);
+
+  det.beat(1, 3.0);
+  det.sweep(3.5, out);  // place 2 silent 3.5 s >= 3 s: suspected
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].place, 2);
+  EXPECT_EQ(out[0].to, PlaceHealth::Suspected);
+  EXPECT_EQ(det.health(2), PlaceHealth::Suspected);
+  EXPECT_EQ(det.health(1), PlaceHealth::Alive);
+
+  out.clear();
+  det.beat(1, 6.0);
+  det.sweep(6.5, out);  // silent 6.5 s >= 6 s: dead
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].place, 2);
+  EXPECT_EQ(out[0].to, PlaceHealth::Dead);
+  EXPECT_EQ(det.health(2), PlaceHealth::Dead);
+
+  // Beats from the grave are fenced.
+  out.clear();
+  det.beat(2, 7.0);
+  det.sweep(7.5, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(det.health(2), PlaceHealth::Dead);
+}
+
+TEST(Heartbeat, StragglerIsClearedByALateBeat) {
+  HeartbeatDetector det(test_cfg(), 2, 0.0);
+  std::vector<HealthTransition> out;
+  det.sweep(4.0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to, PlaceHealth::Suspected);
+
+  out.clear();
+  det.beat(1, 4.5);  // the straggler wakes up
+  EXPECT_EQ(det.health(1), PlaceHealth::Alive);
+  det.sweep(5.0, out);
+  ASSERT_EQ(out.size(), 1u);  // the queued Suspected->Alive clear
+  EXPECT_EQ(out[0].to, PlaceHealth::Alive);
+  EXPECT_EQ(out[0].place, 1);
+}
+
+TEST(Heartbeat, SlowClockBeatsDoNotRegress) {
+  // The simulator stamps beats with NIC completion times, which can run
+  // ahead of the sweep clock; an older beat must never rewind last_beat.
+  HeartbeatDetector det(test_cfg(), 2, 0.0);
+  std::vector<HealthTransition> out;
+  det.beat(1, 10.0);
+  det.beat(1, 4.0);  // out of order: ignored
+  det.sweep(12.0, out);
+  EXPECT_TRUE(out.empty());  // silent only 2 s, judged against t=10
+  EXPECT_EQ(det.health(1), PlaceHealth::Alive);
+}
+
+TEST(Heartbeat, PlaceZeroIsNotMonitored) {
+  HeartbeatDetector det(test_cfg(), 2, 0.0);
+  std::vector<HealthTransition> out;
+  det.sweep(100.0, out);  // place 0 silent forever: no transition for it
+  for (const HealthTransition& t : out) EXPECT_NE(t.place, 0);
+  EXPECT_EQ(det.health(0), PlaceHealth::Alive);
+}
+
+TEST(Heartbeat, ResetRebaselinesSurvivorsButNotTheDead) {
+  HeartbeatDetector det(test_cfg(), 3, 0.0);
+  std::vector<HealthTransition> out;
+  det.mark_dead(2);
+  det.sweep(4.0, out);  // place 1 suspected; place 2 already dead, silent
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].place, 1);
+
+  out.clear();
+  det.reset(10.0);
+  EXPECT_EQ(det.health(1), PlaceHealth::Alive);
+  EXPECT_EQ(det.health(2), PlaceHealth::Dead);
+  det.sweep(12.0, out);  // only 2 s since the re-baseline: nothing fires
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SuspicionSet, SetTestClearAcrossWordBoundaries) {
+  SuspicionSet set(130);  // three 64-bit words
+  EXPECT_FALSE(set.any());
+  set.set(0);
+  set.set(63);
+  set.set(64);
+  set.set(129);
+  EXPECT_TRUE(set.any());
+  EXPECT_TRUE(set.test(0));
+  EXPECT_TRUE(set.test(63));
+  EXPECT_TRUE(set.test(64));
+  EXPECT_TRUE(set.test(129));
+  EXPECT_FALSE(set.test(1));
+  EXPECT_FALSE(set.test(128));
+
+  set.clear(63);
+  EXPECT_FALSE(set.test(63));
+  EXPECT_TRUE(set.any());  // others still set
+  set.clear(0);
+  set.clear(64);
+  set.clear(129);
+  EXPECT_FALSE(set.any());
+
+  set.set(100);
+  set.clear_all();
+  EXPECT_FALSE(set.any());
+  EXPECT_FALSE(set.test(100));
+}
+
+}  // namespace
+}  // namespace dpx10

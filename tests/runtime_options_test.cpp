@@ -1,0 +1,79 @@
+// RuntimeOptions::validate(): fault-plan normalization and knob checks.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/runtime_options.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(RuntimeOptions, ValidateSortsFaultsByFraction) {
+  RuntimeOptions opts;
+  opts.nplaces = 8;
+  opts.faults.push_back(FaultPlan{3, 0.7});
+  opts.faults.push_back(FaultPlan{5, 0.2});
+  opts.faults.push_back(FaultPlan{1, 0.5});
+  opts.validate();
+  ASSERT_EQ(opts.faults.size(), 3u);
+  EXPECT_EQ(opts.faults[0].place, 5);
+  EXPECT_EQ(opts.faults[1].place, 1);
+  EXPECT_EQ(opts.faults[2].place, 3);
+  EXPECT_LT(opts.faults[0].at_fraction, opts.faults[1].at_fraction);
+  EXPECT_LT(opts.faults[1].at_fraction, opts.faults[2].at_fraction);
+}
+
+TEST(RuntimeOptions, ValidateRejectsTiedFaultFractions) {
+  RuntimeOptions opts;
+  opts.nplaces = 8;
+  opts.faults.push_back(FaultPlan{3, 0.5});
+  opts.faults.push_back(FaultPlan{5, 0.5});
+  // The death order at a tie would be ambiguous — and with it the whole
+  // recovery sequence.
+  EXPECT_THROW(opts.validate(), ConfigError);
+}
+
+TEST(RuntimeOptions, ValidateIsIdempotentOnSortedPlans) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.faults.push_back(FaultPlan{1, 0.25});
+  opts.faults.push_back(FaultPlan{2, 0.75});
+  opts.validate();
+  opts.validate();  // engines call validate() again in their constructors
+  EXPECT_EQ(opts.faults[0].place, 1);
+  EXPECT_EQ(opts.faults[1].place, 2);
+}
+
+TEST(RuntimeOptions, ValidateRejectsDuplicateDeaths) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.faults.push_back(FaultPlan{1, 0.2});
+  opts.faults.push_back(FaultPlan{1, 0.8});
+  EXPECT_THROW(opts.validate(), ConfigError);
+}
+
+TEST(RuntimeOptions, ValidateChecksNestedConfigs) {
+  RuntimeOptions opts;
+  opts.netfaults.drop_prob = 0.95;
+  EXPECT_THROW(opts.validate(), ConfigError);
+
+  opts = RuntimeOptions{};
+  opts.heartbeat.interval_s = -1.0;
+  EXPECT_THROW(opts.validate(), ConfigError);
+
+  opts = RuntimeOptions{};
+  opts.retry.max_timeout_s = opts.retry.timeout_s / 2;
+  EXPECT_THROW(opts.validate(), ConfigError);
+
+  opts = RuntimeOptions{};
+  opts.retry.backoff_jitter = 1.0;
+  EXPECT_THROW(opts.validate(), ConfigError);
+
+  opts = RuntimeOptions{};
+  opts.netfaults.stalls.push_back(net::StallWindow{99, 0.0, 1.0});
+  EXPECT_THROW(opts.validate(), ConfigError);
+
+  EXPECT_NO_THROW(RuntimeOptions{}.validate());
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -135,6 +135,83 @@ TEST(Scheduling, MinCommIsOptimalOnRandomStructures) {
   }
 }
 
+TEST(Scheduling, SuspicionFreeSetPreservesLegacyRandomStream) {
+  // Passing the detector arguments with no active suspicion must not change
+  // a single draw — otherwise enabling the detector would perturb
+  // fault-free determinism.
+  Fixture f;
+  PlaceGroup group = PlaceGroup::dense(4);
+  SuspicionSet none(4);
+  Xoshiro256 rng_a(7), rng_b(7);
+  for (int k = 0; k < 200; ++k) {
+    VertexId v{static_cast<std::int32_t>(k % 40), static_cast<std::int32_t>((3 * k) % 40)};
+    std::int32_t legacy =
+        choose_target_slot(Scheduling::Random, v, *f.dag, *f.dist, 8, rng_a, f.scratch);
+    std::int32_t gated = choose_target_slot(Scheduling::Random, v, *f.dag, *f.dist, 8,
+                                            rng_b, f.scratch, &group, &none);
+    ASSERT_EQ(legacy, gated);
+  }
+}
+
+TEST(Scheduling, RandomAvoidsSuspectedPlaces) {
+  Fixture f;
+  PlaceGroup group = PlaceGroup::dense(4);
+  SuspicionSet suspected(4);
+  suspected.set(2);
+  for (int k = 0; k < 200; ++k) {
+    std::int32_t slot = choose_target_slot(Scheduling::Random, {20, 20}, *f.dag, *f.dist,
+                                           8, f.rng, f.scratch, &group, &suspected);
+    ASSERT_NE(slot, 2);
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, 4);
+  }
+}
+
+TEST(Scheduling, RandomFallsBackToOwnerWhenAllSuspected) {
+  Fixture f;
+  PlaceGroup group = PlaceGroup::dense(4);
+  SuspicionSet suspected(4);
+  for (std::int32_t p = 0; p < 4; ++p) suspected.set(p);
+  EXPECT_EQ(choose_target_slot(Scheduling::Random, {20, 20}, *f.dag, *f.dist, 8, f.rng,
+                               f.scratch, &group, &suspected),
+            f.dist->slot_of({20, 20}));
+}
+
+TEST(Scheduling, MinCommSkipsSuspectedCandidates) {
+  // Same layout as MinCommMovesToDependencyHeavySlot, but the winning slot 0
+  // is suspected — the owner (slot 3) must win instead.
+  class ThreeRemoteDeps final : public Dag {
+   public:
+    ThreeRemoteDeps() : Dag(8, 8, DagDomain::rect(8, 8)) {}
+    void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+      if (v.i == 7) {
+        out.push_back({0, 0});
+        out.push_back({0, 1});
+        out.push_back({0, 2});
+      }
+    }
+    void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+      if (v.i == 0 && v.j <= 2) out.push_back({7, 0});
+    }
+    std::string_view name() const override { return "three-remote"; }
+  } dag;
+  auto dist = make_dist(DistKind::BlockRow, 4, dag.domain());
+  Xoshiro256 rng(1);
+  std::vector<VertexId> scratch;
+  PlaceGroup group = PlaceGroup::dense(4);
+  SuspicionSet suspected(4);
+  suspected.set(0);
+  EXPECT_EQ(choose_target_slot(Scheduling::MinCommunication, {7, 0}, dag, *dist, 8, rng,
+                               scratch, &group, &suspected),
+            3);
+  // And if the owner is the suspect, the dependency-heavy slot still wins.
+  suspected.clear_all();
+  suspected.set(3);
+  EXPECT_EQ(choose_target_slot(Scheduling::MinCommunication, {7, 0}, dag, *dist, 8, rng,
+                               scratch, &group, &suspected),
+            0);
+}
+
 TEST(Scheduling, NamesAreStable) {
   EXPECT_EQ(scheduling_name(Scheduling::Local), "local");
   EXPECT_EQ(scheduling_name(Scheduling::Random), "random");

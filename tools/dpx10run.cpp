@@ -24,13 +24,27 @@
 //   --snapshot-interval  fraction between snapshots        [0.1]
 //   --fault-place    place to kill (repeatable via comma list)
 //   --fault-at       completion fraction of the kill       [0.5]
+//   --drop           per-message drop probability          [0]
+//   --dup            per-message duplication probability   [0]
+//   --jitter         max extra per-message delay, seconds  [0]
+//   --stall          place:start:end stall windows, comma-separated,
+//                    e.g. --stall=2:0.001:0.002,3:0.004:0.005
+//   --no-heartbeat   disable the failure detector (oracle recovery)
+//   --hb-interval    heartbeat period, seconds             [500us]
+//   --hb-suspect     missed beats before suspicion         [3]
+//   --hb-confirm     further missed beats before declared  [3]
+//   --retry-timeout  initial fetch retransmit timeout, s   [250us]
+//   --retry-cap      retransmit timeout ceiling, s         [4ms]
+//   --retry-attempts max fetch attempts before giving up   [12]
 //   --seed           run seed                              [42]
 //   --places         also print the per-place table
 //   --csv            print a CSV row instead of the report
+//   --json           print the full report as JSON
 #include <iostream>
 
 #include "common/error.h"
 #include "common/options.h"
+#include "common/strings.h"
 #include "core/dpx10.h"
 #include "core/report_io.h"
 #include "dp/runners.h"
@@ -53,6 +67,21 @@ Scheduling parse_scheduling(const std::string& name) {
   if (name == "min-comm") return Scheduling::MinCommunication;
   if (name == "work-stealing") return Scheduling::WorkStealing;
   throw ConfigError("unknown --scheduling '" + name + "'");
+}
+
+std::vector<net::StallWindow> parse_stalls(const std::string& spec) {
+  std::vector<net::StallWindow> stalls;
+  for (const std::string& item : split(spec, ',')) {
+    const std::vector<std::string> parts = split(trim(item), ':');
+    require(parts.size() == 3,
+            "--stall entries must be place:start:end, got '" + item + "'");
+    net::StallWindow w;
+    w.place = static_cast<std::int32_t>(std::stol(parts[0]));
+    w.start_s = std::stod(parts[1]);
+    w.end_s = std::stod(parts[2]);
+    stalls.push_back(w);
+  }
+  return stalls;
 }
 
 }  // namespace
@@ -96,11 +125,27 @@ int main(int argc, char** argv) {
         offset += 0.1;  // stagger multiple deaths
       }
     }
+    opts.netfaults.drop_prob = cli.get_double("drop", 0.0);
+    opts.netfaults.dup_prob = cli.get_double("dup", 0.0);
+    opts.netfaults.delay_jitter_s = cli.get_double("jitter", 0.0);
+    if (cli.has("stall")) opts.netfaults.stalls = parse_stalls(cli.get("stall", ""));
+    opts.heartbeat.enabled = !cli.get_bool("no-heartbeat", false);
+    opts.heartbeat.interval_s = cli.get_double("hb-interval", opts.heartbeat.interval_s);
+    opts.heartbeat.suspect_after =
+        static_cast<std::int32_t>(cli.get_int("hb-suspect", opts.heartbeat.suspect_after));
+    opts.heartbeat.confirm_after =
+        static_cast<std::int32_t>(cli.get_int("hb-confirm", opts.heartbeat.confirm_after));
+    opts.retry.timeout_s = cli.get_double("retry-timeout", opts.retry.timeout_s);
+    opts.retry.max_timeout_s = cli.get_double("retry-cap", opts.retry.max_timeout_s);
+    opts.retry.max_attempts =
+        static_cast<std::int32_t>(cli.get_int("retry-attempts", opts.retry.max_attempts));
 
     RunReport report = dp::run_dp_app(app, engine, vertices, opts,
                                       static_cast<std::uint64_t>(cli.get_int("input-seed", 1234)));
 
-    if (cli.get_bool("csv", false)) {
+    if (cli.get_bool("json", false)) {
+      print_json(std::cout, report);
+    } else if (cli.get_bool("csv", false)) {
       print_csv_header(std::cout);
       print_csv_row(std::cout, app + ";" + engine_name, report);
     } else {
