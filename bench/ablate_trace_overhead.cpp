@@ -1,0 +1,59 @@
+// Ablation — tracing overhead on the real-thread engine (ISSUE 2
+// acceptance: compiled-in-but-disabled tracing must cost < 2%).
+//
+// Runs each app on the ThreadedEngine at the three trace levels and
+// reports wall time and throughput relative to `off`. `off` pays one
+// predictable branch per potential event; `counters` adds shard-local
+// histogram records and clock reads; `full` additionally appends a
+// VertexSpan per execution and message events on the lossy-fetch path.
+// Several repetitions are taken and the fastest kept, since wall-clock
+// noise on a loaded machine easily exceeds the effect being measured.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/options.h"
+#include "dp/runners.h"
+#include "obs/trace_level.h"
+
+int main(int argc, char** argv) {
+  using namespace dpx10;
+  Options cli(argc, argv);
+
+  const std::int64_t vertices =
+      static_cast<std::int64_t>(cli.get_scaled("vertices", 1'000'000));
+  const std::int32_t nplaces = static_cast<std::int32_t>(cli.get_int("nplaces", 4));
+  const std::int32_t nthreads = static_cast<std::int32_t>(cli.get_int("nthreads", 2));
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+
+  std::printf("Ablation: tracing overhead, threaded engine (%lld vertices, "
+              "%d places x %d threads, best of %d)\n",
+              static_cast<long long>(vertices), nplaces, nthreads, reps);
+  std::printf("  %-10s %-9s | %9s | %12s | %9s\n", "app", "level", "time (s)",
+              "vertices/s", "overhead");
+
+  for (const char* app : {"swlag", "lcs"}) {
+    double base = 0.0;
+    for (obs::TraceLevel level :
+         {obs::TraceLevel::Off, obs::TraceLevel::Counters, obs::TraceLevel::Full}) {
+      double best = 0.0;
+      std::uint64_t computed = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        RuntimeOptions opts;
+        opts.nplaces = nplaces;
+        opts.nthreads = nthreads;
+        opts.trace_level = level;
+        RunReport r = dp::run_dp_app(app, dp::EngineKind::Threaded, vertices, opts);
+        if (rep == 0 || r.elapsed_seconds < best) best = r.elapsed_seconds;
+        computed = r.computed;
+      }
+      if (level == obs::TraceLevel::Off) base = best;
+      const double overhead = base > 0.0 ? 100.0 * (best - base) / base : 0.0;
+      std::printf("  %-10s %-9s | %9.3f | %12.0f | %+8.2f%%\n", app,
+                  std::string(trace_level_name(level)).c_str(), best,
+                  static_cast<double>(computed) / best, overhead);
+    }
+  }
+  return 0;
+}

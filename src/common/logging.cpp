@@ -1,12 +1,25 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
 namespace dpx10 {
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Process-start reference for the elapsed-time prefix. function-local so
+/// the first log call anchors it; close enough to process start for a
+/// human-readable offset.
+SteadyClock::time_point process_start() {
+  static const SteadyClock::time_point start = SteadyClock::now();
+  return start;
+}
+
+thread_local std::int32_t t_log_place = -1;
 
 std::atomic<int>& level_storage() {
   static std::atomic<int> level = [] {
@@ -45,12 +58,32 @@ LogLevel parse_log_level(const std::string& text) {
   return LogLevel::Warn;
 }
 
+void set_log_place(std::int32_t place) { t_log_place = place < 0 ? -1 : place; }
+
+std::int32_t log_place() { return t_log_place; }
+
 namespace detail {
 
+std::string format_log_line(LogLevel level, double elapsed_s, std::int32_t place,
+                            const std::string& message) {
+  char prefix[96];
+  if (place >= 0) {
+    std::snprintf(prefix, sizeof prefix, "[dpx10 %s +%.3fs p%d] ",
+                  level_name(level), elapsed_s, place);
+  } else {
+    std::snprintf(prefix, sizeof prefix, "[dpx10 %s +%.3fs] ",
+                  level_name(level), elapsed_s);
+  }
+  return std::string(prefix) + message;
+}
+
 void log_emit(LogLevel level, const std::string& message) {
+  const double elapsed_s =
+      std::chrono::duration<double>(SteadyClock::now() - process_start()).count();
+  const std::string line = format_log_line(level, elapsed_s, t_log_place, message);
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[dpx10 %s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace detail

@@ -4,9 +4,13 @@
 // raise verbosity via set_log_level() or the DPX10_LOG environment variable
 // (one of: trace, debug, info, warn, error, off). Logging is safe to call
 // from any thread; each message is written with a single write so lines
-// never interleave.
+// never interleave. Every line carries the elapsed time since process start
+// and — where the calling thread has declared one via set_log_place() — the
+// place id, so interleaved multi-place output stays attributable:
+//   [dpx10 INFO +1.204s p2] place 2 suspected ...
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -20,8 +24,33 @@ void set_log_level(LogLevel level);
 /// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; returns Warn on junk.
 LogLevel parse_log_level(const std::string& text);
 
+/// Tags every subsequent log line from the calling thread with a place id
+/// (pass a negative id to clear the tag). Thread-local: worker threads each
+/// declare their own place.
+void set_log_place(std::int32_t place);
+std::int32_t log_place();
+
+/// RAII place tag for scopes that log on behalf of one place.
+class ScopedLogPlace {
+ public:
+  explicit ScopedLogPlace(std::int32_t place) : prev_(log_place()) {
+    set_log_place(place);
+  }
+  ScopedLogPlace(const ScopedLogPlace&) = delete;
+  ScopedLogPlace& operator=(const ScopedLogPlace&) = delete;
+  ~ScopedLogPlace() { set_log_place(prev_); }
+
+ private:
+  std::int32_t prev_;
+};
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);
+
+/// Builds the full line (sans newline) — split out so tests can check the
+/// prefix format without capturing stderr.
+std::string format_log_line(LogLevel level, double elapsed_s, std::int32_t place,
+                            const std::string& message);
 
 class LogLine {
  public:

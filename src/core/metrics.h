@@ -9,10 +9,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/traffic.h"
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
 
 namespace dpx10 {
 
@@ -124,7 +127,15 @@ struct RunReport {
   std::vector<RecoveryRecord> recoveries;
   net::TrafficSnapshot traffic;      ///< whole-run totals
   std::uint64_t sim_events = 0;      ///< SimEngine: events processed
-  std::vector<TraceEvent> trace;     ///< SimEngine, record_trace only
+  std::vector<TraceEvent> trace;     ///< SimEngine, record_trace only —
+                                     ///< derived from trace_log's vertex
+                                     ///< spans (legacy view)
+  /// Full span/message/detector history (RuntimeOptions::trace_level ==
+  /// Full); null otherwise. Shared so RunReport stays cheap to copy.
+  std::shared_ptr<obs::TraceLog> trace_log;
+  /// Histograms + time-series samplers (trace_level >= Counters); null
+  /// otherwise.
+  std::shared_ptr<obs::MetricsReport> metrics;
 
   PlaceStats totals() const {
     PlaceStats t;

@@ -50,26 +50,60 @@ void print_report(std::ostream& os, const RunReport& report) {
   }
 }
 
+namespace {
+
+/// Sum of the per-recovery loss/restore counters — the CSV needs flat
+/// columns and the JSON mirrors them so the two field sets stay in sync
+/// (asserted by tests/report_io_test.cpp).
+struct RecoveryTotals {
+  std::uint64_t lost = 0;
+  std::uint64_t restored = 0;
+  std::uint64_t restored_remote = 0;
+  std::uint64_t discarded = 0;
+};
+
+RecoveryTotals recovery_totals(const RunReport& report) {
+  RecoveryTotals t;
+  for (const RecoveryRecord& r : report.recoveries) {
+    t.lost += r.lost;
+    t.restored += r.restored;
+    t.restored_remote += r.restored_remote;
+    t.discarded += r.discarded;
+  }
+  return t;
+}
+
+}  // namespace
+
+// Every column after label/app/dag must appear as a key of the same name in
+// print_json (tests/report_io_test.cpp enforces the parity).
 void print_csv_header(std::ostream& os) {
-  os << "label,app,dag,vertices,computed,elapsed_s,recovery_s,snapshot_s,"
-        "snapshots,remote_fetches,cache_hits,control_msgs,executed_nonlocal,"
-        "steals,messages,bytes_out,net_drops,net_dups,fetch_retries,"
-        "fetch_timeouts,suspicions,detection_s\n";
+  os << "label,app,dag,vertices,prefinished,computed,elapsed_s,recovery_s,"
+        "detection_s,snapshot_s,snapshots,sim_events,remote_fetches,"
+        "cache_hits,local_dep_reads,control_msgs_out,executed_nonlocal,"
+        "steals,messages_out,bytes_out,net_drops,net_duplicates,"
+        "fetch_retries,fetch_timeouts,suspicions,recoveries,lost,restored,"
+        "restored_remote,discarded\n";
 }
 
 void print_csv_row(std::ostream& os, const std::string& label, const RunReport& report) {
   const PlaceStats t = report.totals();
+  const RecoveryTotals rt = recovery_totals(report);
   os << label << ',' << report.app_name << ',' << report.dag_name << ','
-     << report.vertices << ',' << report.computed << ','
+     << report.vertices << ',' << report.prefinished << ','
+     << report.computed << ','
      << strformat("%.9g", report.elapsed_seconds) << ','
      << strformat("%.9g", report.recovery_seconds) << ','
-     << strformat("%.9g", report.snapshot_seconds) << ',' << report.snapshots_taken << ','
-     << t.remote_fetches << ',' << t.cache_hits << ',' << t.control_msgs_out << ','
-     << t.executed_nonlocal << ',' << t.steals << ','
+     << strformat("%.9g", report.detection_seconds) << ','
+     << strformat("%.9g", report.snapshot_seconds) << ','
+     << report.snapshots_taken << ',' << report.sim_events << ','
+     << t.remote_fetches << ',' << t.cache_hits << ',' << t.local_dep_reads << ','
+     << t.control_msgs_out << ',' << t.executed_nonlocal << ',' << t.steals << ','
      << report.traffic.total_messages_out() << ',' << report.traffic.bytes_out << ','
      << t.net_drops << ',' << t.net_duplicates << ',' << t.fetch_retries << ','
      << t.fetch_timeouts << ',' << t.suspicions << ','
-     << strformat("%.9g", report.detection_seconds) << '\n';
+     << report.recoveries.size() << ',' << rt.lost << ',' << rt.restored << ','
+     << rt.restored_remote << ',' << rt.discarded << '\n';
 }
 
 namespace {
@@ -134,12 +168,23 @@ void print_json(std::ostream& os, const RunReport& report) {
   json_double(os, report.detection_seconds);
   os << ",\"snapshots\":" << report.snapshots_taken << ",\"snapshot_s\":";
   json_double(os, report.snapshot_seconds);
+  const RecoveryTotals rt = recovery_totals(report);
   os << ",\"sim_events\":" << report.sim_events
+     << ",\"remote_fetches\":" << t.remote_fetches
+     << ",\"cache_hits\":" << t.cache_hits
+     << ",\"local_dep_reads\":" << t.local_dep_reads
+     << ",\"control_msgs_out\":" << t.control_msgs_out
+     << ",\"executed_nonlocal\":" << t.executed_nonlocal
+     << ",\"steals\":" << t.steals
      << ",\"net_drops\":" << t.net_drops
      << ",\"net_duplicates\":" << t.net_duplicates
      << ",\"fetch_retries\":" << t.fetch_retries
      << ",\"fetch_timeouts\":" << t.fetch_timeouts
      << ",\"suspicions\":" << t.suspicions
+     << ",\"lost\":" << rt.lost
+     << ",\"restored\":" << rt.restored
+     << ",\"restored_remote\":" << rt.restored_remote
+     << ",\"discarded\":" << rt.discarded
      << ",\"traffic\":{\"messages_out\":" << report.traffic.total_messages_out()
      << ",\"bytes_out\":" << report.traffic.bytes_out << '}';
   os << ",\"recoveries\":[";

@@ -20,6 +20,7 @@
 #include "core/cache.h"
 #include "net/fault_injector.h"
 #include "net/link_model.h"
+#include "obs/trace_level.h"
 
 namespace dpx10 {
 
@@ -127,7 +128,15 @@ struct RuntimeOptions {
   std::size_t cache_capacity = 1024;
   CachePolicy cache_policy = CachePolicy::Fifo;  ///< paper default: FIFO (per §VI-C)
   /// SimEngine: record one TraceEvent per vertex dispatch (tests/tools).
+  /// Subsumed by trace_level == Full; kept as the cheap legacy knob.
   bool record_trace = false;
+  /// Observability depth for both engines: Off (default, near-zero cost),
+  /// Counters (histograms + time-series samplers), Full (adds lifecycle
+  /// spans for vertices/messages and detector transitions).
+  obs::TraceLevel trace_level = obs::TraceLevel::Off;
+  /// Sampler period for the Counters/Full time series: virtual seconds in
+  /// the SimEngine, wall seconds (floored at 1 ms) in the ThreadedEngine.
+  double trace_sample_s = 1.0e-3;
   RestoreMode restore = RestoreMode::DiscardRemote;
   RecoveryPolicy recovery = RecoveryPolicy::Rebuild;
   /// PeriodicSnapshot only: take a snapshot each time this fraction of the
@@ -153,6 +162,8 @@ struct RuntimeOptions {
             "RuntimeOptions: cannot kill every place");
     require(snapshot_interval > 0.0 && snapshot_interval <= 1.0,
             "RuntimeOptions: snapshot_interval must be in (0, 1]");
+    require(trace_sample_s > 0.0,
+            "RuntimeOptions: trace_sample_s must be positive");
     for (std::size_t a = 0; a < faults.size(); ++a) {
       faults[a].validate(nplaces);
       for (std::size_t b = a + 1; b < faults.size(); ++b) {

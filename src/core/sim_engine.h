@@ -30,6 +30,7 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "apgas/dist_array.h"
@@ -50,6 +51,7 @@
 #include "net/fault_injector.h"
 #include "net/message.h"
 #include "net/traffic.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "sim/slot_pool.h"
 
@@ -103,6 +105,7 @@ class SimEngine {
           book_(opts.nplaces),
           rng_(mix64(opts.seed, 0x5157ULL)),
           injector_(opts.netfaults, mix64(opts.seed, 0x4e4654ULL)),
+          tracer_(opts.trace_level, 1, opts.record_trace),
           detector_(opts.heartbeat, opts.nplaces, 0.0),
           suspected_(opts.nplaces),
           crashed_(static_cast<std::size_t>(opts.nplaces), 0),
@@ -118,6 +121,11 @@ class SimEngine {
       // identical to the baseline engine.
       detector_active_ =
           opts_.heartbeat.enabled && (!faults_.empty() || injector_.enabled());
+      // The injector only reports message fates somebody is listening for;
+      // an untraced run never pays the observer's lock.
+      if (tracer_.counters_on() && injector_.enabled()) {
+        injector_.set_observer(&tracer_);
+      }
     }
 
     RunReport run() {
@@ -139,12 +147,21 @@ class SimEngine {
       });
       if (detector_active_) arm_heartbeats(0.0);
 
+      const bool sampling = tracer_.counters_on();
       while (!done_) {
         check_internal(!queue_.empty(),
                        "SimEngine: event queue drained before completion — "
                        "the DAG is cyclic or a vertex was lost");
         sim::Event ev = queue_.pop();
         now_ = ev.time;
+        // Gauges are read between events, so sampling observes but never
+        // perturbs the virtual timeline.
+        if (sampling) {
+          while (next_sample_ <= now_) {
+            record_samples(next_sample_);
+            next_sample_ += opts_.trace_sample_s;
+          }
+        }
         switch (ev.kind) {
           case kReady: on_ready(static_cast<std::int32_t>(ev.a), ev.b); break;
           case kDispatch:
@@ -183,7 +200,24 @@ class SimEngine {
       report.snapshot_seconds = snapshot_seconds_;
       report.traffic = book_.total();
       report.sim_events = queue_.pushed();
-      report.trace = std::move(trace_);
+      if (tracer_.active()) {
+        obs::Tracer::Collected c = tracer_.collect(obs::TraceMeta{
+            std::string(app_.name()), std::string(dag_.name()), "sim",
+            dag_.height(), dag_.width(), opts_.nplaces, opts_.nthreads,
+            elapsed_});
+        if (opts_.record_trace) {
+          report.trace.reserve(c.log.vertices.size());
+          for (const obs::VertexSpan& v : c.log.vertices) {
+            report.trace.push_back(TraceEvent{v.index, v.place, v.start, v.end});
+          }
+        }
+        if (tracer_.spans_on()) {
+          report.trace_log = std::make_shared<obs::TraceLog>(std::move(c.log));
+        }
+        if (tracer_.counters_on()) {
+          report.metrics = std::make_shared<obs::MetricsReport>(std::move(c.metrics));
+        }
+      }
 
       app_.app_finished(DagView<T>(*array_));
       return report;
@@ -206,8 +240,20 @@ class SimEngine {
       // lost with it; the vertex stays Unfinished and is re-seeded by
       // recovery once the death is declared.
       if (!pm_.is_alive(p) || crashed_[p]) return;
+      if (tracer_.active()) ready_time_[idx] = now_;
       place(p).ready.push_back(idx);
       schedule_dispatch(p, now_);
+    }
+
+    /// One gauge tick of every per-place time series (counters and up).
+    void record_samples(double t) {
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        PlaceSim& pl = place(p);
+        tracer_.sample("ready_depth", p, t, static_cast<double>(pl.ready.size()));
+        tracer_.sample("slots_busy", p, t,
+                       static_cast<double>(pl.slots.busy_count(t)));
+        tracer_.sample("nic_backlog_s", p, t, std::max(0.0, pl.nic_free - t));
+      }
     }
 
     void on_dispatch(std::int32_t p, std::uint64_t seq) {
@@ -262,8 +308,14 @@ class SimEngine {
       book_.record(victim, thief, net::MessageKind::ReadyTransfer,
                    net::kControlPayloadBytes);
       ++place(thief).stats.steals;
-      queue_.push(now_ + opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes)),
-                  kReady, thief, idx);
+      const double arrives =
+          now_ + opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+      if (tracer_.spans_on()) {
+        tracer_.shard(0).messages.push_back({net::MessageKind::ReadyTransfer,
+                                             victim, thief, now_, arrives,
+                                             obs::MessageFate::Delivered});
+      }
+      queue_.push(arrives, kReady, thief, idx);
     }
 
     /// Outcome of one modeled remote fetch.
@@ -283,6 +335,8 @@ class SimEngine {
                                    std::size_t reply_bytes) {
       PlaceSim& pl = place(p);
       PlaceSim& owner_pl = place(owner);
+      const bool msgs = tracer_.spans_on();
+      obs::Tracer::Shard& sh = tracer_.shard(0);
       const double req_wire =
           opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
       const double reply_wire = opts_.link.transfer_time(net::wire_bytes(reply_bytes));
@@ -294,6 +348,12 @@ class SimEngine {
         const double nic_start = std::max(request_arrives, owner_pl.nic_free);
         const double nic_end = nic_start + opts_.link.nic_time(net::wire_bytes(reply_bytes));
         owner_pl.nic_free = nic_end;
+        if (msgs) {
+          sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, now_,
+                                 request_arrives, obs::MessageFate::Delivered});
+          sh.messages.push_back({net::MessageKind::FetchReply, owner, p, nic_end,
+                                 nic_end + reply_wire, obs::MessageFate::Delivered});
+        }
         return {nic_end + reply_wire, false};
       }
 
@@ -311,9 +371,21 @@ class SimEngine {
             injector_.perturb(net::MessageKind::FetchRequest, p, owner, t);
         if (req.dropped) {
           ++pl.stats.net_drops;
+          if (msgs) {
+            sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, t,
+                                   -1.0, obs::MessageFate::Dropped});
+          }
         } else if (!crashed_[owner]) {
           const double request_arrives = t + req_wire + req.extra_delay_s;
           pl.stats.net_duplicates += static_cast<std::uint64_t>(req.extra_copies);
+          if (msgs) {
+            sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, t,
+                                   request_arrives, obs::MessageFate::Delivered});
+            for (std::int32_t c = 0; c < req.extra_copies; ++c) {
+              sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, t,
+                                     request_arrives, obs::MessageFate::Duplicated});
+            }
+          }
           // Every arriving request copy is served — the owner cannot know
           // the fetcher already gave up or got another copy's reply; the
           // fetcher dedups by sequence number on its side.
@@ -327,12 +399,28 @@ class SimEngine {
                 injector_.perturb(net::MessageKind::FetchReply, owner, p, nic_end);
             if (rep.dropped) {
               ++pl.stats.net_drops;
+              if (msgs) {
+                sh.messages.push_back({net::MessageKind::FetchReply, owner, p,
+                                       nic_end, -1.0, obs::MessageFate::Dropped});
+              }
               continue;
             }
             pl.stats.net_duplicates += static_cast<std::uint64_t>(rep.extra_copies);
             const double arrives = nic_end + reply_wire + rep.extra_delay_s;
+            if (msgs) {
+              sh.messages.push_back({net::MessageKind::FetchReply, owner, p,
+                                     nic_end, arrives, obs::MessageFate::Delivered});
+              for (std::int32_t c2 = 0; c2 < rep.extra_copies; ++c2) {
+                sh.messages.push_back({net::MessageKind::FetchReply, owner, p,
+                                       nic_end, arrives, obs::MessageFate::Duplicated});
+              }
+            }
             if (earliest < 0.0 || arrives < earliest) earliest = arrives;
           }
+        } else if (msgs) {
+          // Delivered into a silently-crashed owner: lost with the place.
+          sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, t,
+                                 -1.0, obs::MessageFate::Dropped});
         }
         const double deadline = t + timeout;
         if (earliest >= 0.0 && earliest <= deadline) break;
@@ -345,6 +433,9 @@ class SimEngine {
           // detector's decision, so we keep retrying at the ceiling.
           pl.stats.fetch_retries += attempts - 1;
           pl.stats.fetch_timeouts += timeouts;
+          if (tracer_.counters_on()) {
+            sh.fetch_retries.record(static_cast<double>(attempts - 1));
+          }
           return {0.0, true};
         }
         t = deadline;
@@ -352,6 +443,9 @@ class SimEngine {
       }
       pl.stats.fetch_retries += attempts - 1;
       pl.stats.fetch_timeouts += timeouts;
+      if (tracer_.counters_on()) {
+        sh.fetch_retries.record(static_cast<double>(attempts - 1));
+      }
       return {earliest, false};
     }
 
@@ -387,6 +481,9 @@ class SimEngine {
           ++pl.stats.remote_fetches;
           const FetchTiming fetch = model_remote_fetch(p, owner, value_wire_bytes(value));
           if (fetch.unreachable) return;
+          if (tracer_.counters_on()) {
+            tracer_.shard(0).fetch_latency_s.record(fetch.ready_at - now_);
+          }
           data_ready = std::max(data_ready, fetch.ready_at);
           pl.cache.put(d, value);
         }
@@ -401,8 +498,24 @@ class SimEngine {
               1e-9 +
           gather_cost;
       const double end = std::max(now_, data_ready) + compute_s;
-      pl.slots.reserve(now_, end);
-      if (opts_.record_trace) trace_.push_back(TraceEvent{idx, p, now_, end});
+      const std::int32_t slot = pl.slots.reserve(now_, end);
+      if (tracer_.active()) {
+        obs::Tracer::Shard& sh = tracer_.shard(0);
+        const auto it = ready_time_.find(idx);
+        const double ready_at = it == ready_time_.end() ? now_ : it->second;
+        if (tracer_.counters_on()) {
+          sh.compute_s.record(compute_s);
+          sh.queue_wait_s.record(now_ - ready_at);
+        }
+        if (tracer_.vertex_spans_on()) {
+          // published flips to true at the kDone event; a crash in between
+          // leaves the span marked as a discarded execution.
+          open_span_[idx] = sh.vertices.size();
+          sh.vertices.push_back(obs::VertexSpan{idx, p, slot, ready_at, now_,
+                                                std::max(now_, data_ready), end,
+                                                /*published=*/false});
+        }
+      }
       queue_.push(end, kDone, p, idx);
     }
 
@@ -413,6 +526,15 @@ class SimEngine {
       PlaceSim& pl = place(p);
       DistArray<T>& array = *array_;
       const VertexId id = array.domain().delinearize(idx);
+      const bool spans = tracer_.spans_on();
+      obs::Tracer::Shard& sh = tracer_.shard(0);
+      if (tracer_.vertex_spans_on()) {
+        const auto it = open_span_.find(idx);
+        if (it != open_span_.end()) {
+          sh.vertices[it->second].published = true;
+          open_span_.erase(it);
+        }
+      }
 
       Cell<T>& cell = array.cell(idx);
       cell.store_state(CellState::Finished, std::memory_order_relaxed);
@@ -422,6 +544,13 @@ class SimEngine {
       if (owner != p) {
         book_.record(p, owner, net::MessageKind::ResultWriteback, value_wire_bytes(cell.value));
         ++pl.stats.executed_nonlocal;
+        if (spans) {
+          sh.messages.push_back(
+              {net::MessageKind::ResultWriteback, p, owner, now_,
+               now_ + opts_.link.transfer_time(
+                          net::wire_bytes(value_wire_bytes(cell.value))),
+               obs::MessageFate::Delivered});
+        }
       }
 
       anti_scratch_.clear();
@@ -444,6 +573,10 @@ class SimEngine {
                                  opts_.link.nic_time(net::wire_bytes(net::kControlPayloadBytes));
           dest.nic_free = handled;
           delay = handled - now_;
+          if (spans) {
+            sh.messages.push_back({net::MessageKind::IndegreeControl, p, a_owner,
+                                   now_, handled, obs::MessageFate::Delivered});
+          }
         }
         if (ac.indegree.fetch_sub(1, std::memory_order_relaxed) - 1 == 0) {
           std::int32_t slot = choose_target_slot(
@@ -455,6 +588,11 @@ class SimEngine {
             book_.record(a_owner, target, net::MessageKind::ReadyTransfer,
                          net::kControlPayloadBytes);
             delay += opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+            if (spans) {
+              sh.messages.push_back({net::MessageKind::ReadyTransfer, a_owner,
+                                     target, now_, now_ + delay,
+                                     obs::MessageFate::Delivered});
+            }
           }
           queue_.push(now_ + delay, kReady, target, array.domain().linearize(a));
         }
@@ -509,10 +647,16 @@ class SimEngine {
     /// a straggling network manufactures false suspicion.
     void on_heartbeat(std::int32_t p) {
       if (!pm_.is_alive(p) || crashed_[p]) return;  // silence, forever
+      const bool spans = tracer_.spans_on();
+      obs::Tracer::Shard& sh = tracer_.shard(0);
       book_.record(p, 0, net::MessageKind::Heartbeat, net::kControlPayloadBytes);
       const auto pert = injector_.perturb(net::MessageKind::Heartbeat, p, 0, now_);
       if (pert.dropped) {
         ++place(p).stats.net_drops;
+        if (spans) {
+          sh.messages.push_back({net::MessageKind::Heartbeat, p, 0, now_, -1.0,
+                                 obs::MessageFate::Dropped});
+        }
       } else if (!crashed_[0]) {
         place(p).stats.net_duplicates += static_cast<std::uint64_t>(pert.extra_copies);
         const double wire =
@@ -527,6 +671,18 @@ class SimEngine {
         // not been heard yet. Duplicates only burn extra monitor NIC time.
         detector_.beat(p, handled);
         for (std::int32_t c = 0; c < pert.extra_copies; ++c) monitor.nic_free += nic;
+        if (spans) {
+          sh.messages.push_back({net::MessageKind::Heartbeat, p, 0, now_, handled,
+                                 obs::MessageFate::Delivered});
+          for (std::int32_t c = 0; c < pert.extra_copies; ++c) {
+            sh.messages.push_back({net::MessageKind::Heartbeat, p, 0, now_,
+                                   handled, obs::MessageFate::Duplicated});
+          }
+        }
+      } else if (spans) {
+        // The monitor silently crashed: the beat is lost with it.
+        sh.messages.push_back({net::MessageKind::Heartbeat, p, 0, now_, -1.0,
+                               obs::MessageFate::Dropped});
       }
       queue_.push(now_ + opts_.heartbeat.interval_s, kHeartbeat, p, 0);
     }
@@ -539,6 +695,9 @@ class SimEngine {
       detector_.sweep(now_, transitions_);
       bool recovered = false;
       for (const HealthTransition& tr : transitions_) {
+        if (tracer_.spans_on()) {
+          tracer_.detector_event(tr.place, static_cast<std::uint8_t>(tr.to), now_);
+        }
         switch (tr.to) {
           case PlaceHealth::Alive:
             suspected_.clear(tr.place);
@@ -708,6 +867,7 @@ class SimEngine {
     net::TrafficBook book_;
     Xoshiro256 rng_;
     net::FaultInjector injector_;
+    obs::Tracer tracer_;
     HeartbeatDetector detector_;
     SuspicionSet suspected_;
     bool detector_active_ = false;
@@ -736,8 +896,11 @@ class SimEngine {
     bool done_ = false;
 
     std::vector<RecoveryRecord> recoveries_;
-    std::vector<TraceEvent> trace_;
     std::vector<HealthTransition> transitions_;
+
+    double next_sample_ = 0.0;
+    std::unordered_map<std::int64_t, double> ready_time_;
+    std::unordered_map<std::int64_t, std::size_t> open_span_;
 
     std::vector<VertexId> deps_scratch_;
     std::vector<VertexId> anti_scratch_;

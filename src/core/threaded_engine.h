@@ -60,6 +60,7 @@
 #include "core/value_traits.h"
 #include "net/fault_injector.h"
 #include "net/traffic.h"
+#include "obs/tracer.h"
 
 namespace dpx10 {
 
@@ -83,6 +84,10 @@ class ThreadedEngine {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<std::int64_t> ready;
+    /// Wall timestamps parallel to `ready` (same pushes/pops, under `mu`),
+    /// maintained only while tracing is active — they feed the queue-wait
+    /// histogram and the vertex spans' ready time.
+    std::deque<double> ready_ts;
     std::mutex cache_mu;
     VertexCache<T> cache;
     AtomicPlaceStats stats;
@@ -108,6 +113,10 @@ class ThreadedEngine {
           pm_(opts.nplaces),
           book_(opts.nplaces),
           injector_(opts.netfaults, mix64(opts.seed, 0x4e4654ULL)),
+          tracer_(opts.trace_level,
+                  static_cast<std::size_t>(opts.nplaces) *
+                          static_cast<std::size_t>(opts.nthreads) +
+                      1),
           suspected_(opts.nplaces),
           array_(std::make_unique<DistArray<T>>(dag.domain(), opts.dist,
                                                 PlaceGroup::dense(opts.nplaces))) {
@@ -118,6 +127,9 @@ class ThreadedEngine {
       faults_ = opts_.faults;  // validate() already sorted by at_fraction
       detector_active_ =
           opts_.heartbeat.enabled && (!faults_.empty() || injector_.enabled());
+      if (tracer_.counters_on() && injector_.enabled()) {
+        injector_.set_observer(&tracer_);
+      }
     }
 
     RunReport run() {
@@ -126,6 +138,9 @@ class ThreadedEngine {
       require(target_ > 0, "ThreadedEngine: nothing to compute (all cells pre-finished)");
       detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
         places_[static_cast<std::size_t>(place)]->ready.push_back(idx);
+        if (tracer_.active()) {
+          places_[static_cast<std::size_t>(place)]->ready_ts.push_back(0.0);
+        }
       });
       for (std::size_t f = 0; f < faults_.size(); ++f) {
         fault_thresholds_.push_back(static_cast<std::int64_t>(
@@ -149,8 +164,11 @@ class ThreadedEngine {
       }
       std::thread monitor;
       if (detector_active_) monitor = std::thread([this] { monitor_main(); });
+      std::thread sampler;
+      if (tracer_.counters_on()) sampler = std::thread([this] { sampler_main(); });
       for (std::thread& t : workers) t.join();
       if (monitor.joinable()) monitor.join();
+      if (sampler.joinable()) sampler.join();
 
       // A place-0 crash is unrecoverable even if the survivors managed to
       // finish before the detector could say so.
@@ -175,6 +193,18 @@ class ThreadedEngine {
       report.snapshots_taken = snapshots_taken_;
       report.snapshot_seconds = snapshot_seconds_;
       report.traffic = book_.total();
+      if (tracer_.active()) {
+        obs::Tracer::Collected c = tracer_.collect(obs::TraceMeta{
+            std::string(app_.name()), std::string(dag_.name()), "threaded",
+            dag_.height(), dag_.width(), opts_.nplaces, opts_.nthreads,
+            report.elapsed_seconds});
+        if (tracer_.spans_on()) {
+          report.trace_log = std::make_shared<obs::TraceLog>(std::move(c.log));
+        }
+        if (tracer_.counters_on()) {
+          report.metrics = std::make_shared<obs::MetricsReport>(std::move(c.metrics));
+        }
+      }
 
       app_.app_finished(DagView<T>(*array_));
       return report;
@@ -185,12 +215,16 @@ class ThreadedEngine {
 
     void worker_main(std::int32_t worker) {
       const std::int32_t my_place = worker / opts_.nthreads;
+      set_log_place(my_place);
       PlaceRt& my_pr = *places_[static_cast<std::size_t>(my_place)];
       Xoshiro256 rng(mix64(opts_.seed, static_cast<std::uint64_t>(worker) + 1));
       std::vector<VertexId> deps_scratch;
       std::vector<VertexId> anti_scratch;
       std::vector<VertexId> sched_scratch;
       std::vector<Vertex<T>> dep_values;
+      // One predictable branch per hook when tracing is off — hoisted here
+      // so the hot loop never re-derives the level.
+      const bool track = tracer_.active();
 
       while (true) {
         if (done_.load(std::memory_order_acquire)) break;
@@ -203,6 +237,7 @@ class ThreadedEngine {
         my_pr.beats.fetch_add(1, std::memory_order_relaxed);
 
         std::int64_t idx = -1;
+        double ready_at = 0.0;
         {
           PlaceRt& pr = my_pr;
           std::unique_lock<std::mutex> lk(pr.mu);
@@ -210,14 +245,22 @@ class ThreadedEngine {
             if (opts_.ready_order == ReadyOrder::Lifo) {
               idx = pr.ready.back();
               pr.ready.pop_back();
+              if (track) {
+                ready_at = pr.ready_ts.back();
+                pr.ready_ts.pop_back();
+              }
             } else {
               idx = pr.ready.front();
               pr.ready.pop_front();
+              if (track) {
+                ready_at = pr.ready_ts.front();
+                pr.ready_ts.pop_front();
+              }
             }
           }
         }
         if (idx < 0 && opts_.scheduling == Scheduling::WorkStealing) {
-          idx = try_steal(my_place, rng);
+          idx = try_steal(my_place, rng, ready_at);
         }
         if (idx < 0) {
           PlaceRt& pr = *places_[static_cast<std::size_t>(my_place)];
@@ -227,7 +270,8 @@ class ThreadedEngine {
           }
           continue;
         }
-        execute(idx, my_place, rng, deps_scratch, anti_scratch, sched_scratch, dep_values);
+        execute(idx, my_place, worker, ready_at, rng, deps_scratch, anti_scratch,
+                sched_scratch, dep_values);
       }
 
       std::lock_guard<std::mutex> lk(pause_mu_);
@@ -240,7 +284,7 @@ class ThreadedEngine {
       return pm_.is_alive(place);
     }
 
-    std::int64_t try_steal(std::int32_t thief, Xoshiro256& rng) {
+    std::int64_t try_steal(std::int32_t thief, Xoshiro256& rng, double& ready_at) {
       const std::int32_t n = opts_.nplaces;
       // One random probe plus a linear sweep: cheap when everyone is busy,
       // thorough when work is scarce.
@@ -258,12 +302,21 @@ class ThreadedEngine {
         // Steal from the end the owner is not working: classic
         // steal-the-oldest under LIFO execution, and vice versa.
         std::int64_t idx;
+        const bool track = tracer_.active();
         if (opts_.ready_order == ReadyOrder::Lifo) {
           idx = vp.ready.front();
           vp.ready.pop_front();
+          if (track) {
+            ready_at = vp.ready_ts.front();
+            vp.ready_ts.pop_front();
+          }
         } else {
           idx = vp.ready.back();
           vp.ready.pop_back();
+          if (track) {
+            ready_at = vp.ready_ts.back();
+            vp.ready_ts.pop_back();
+          }
         }
         lk.unlock();
         book_.record(victim, thief, net::MessageKind::ReadyTransfer,
@@ -277,22 +330,30 @@ class ThreadedEngine {
 
     void push_ready(std::int32_t place, std::int64_t idx) {
       PlaceRt& pr = *places_[static_cast<std::size_t>(place)];
+      const double ts = tracer_.active() ? stopwatch_.seconds() : 0.0;
       {
         std::lock_guard<std::mutex> lk(pr.mu);
         pr.ready.push_back(idx);
+        if (tracer_.active()) pr.ready_ts.push_back(ts);
       }
       pr.cv.notify_one();
     }
 
     // ---- vertex execution ------------------------------------------------
 
-    void execute(std::int64_t idx, std::int32_t place, Xoshiro256& rng,
+    void execute(std::int64_t idx, std::int32_t place, std::int32_t worker,
+                 double ready_at, Xoshiro256& rng,
                  std::vector<VertexId>& deps_scratch, std::vector<VertexId>& anti_scratch,
                  std::vector<VertexId>& sched_scratch, std::vector<Vertex<T>>& dep_values) {
       DistArray<T>& array = *array_;
       const DagDomain& domain = array.domain();
       const VertexId id = domain.delinearize(idx);
       PlaceRt& pr = *places_[static_cast<std::size_t>(place)];
+      const bool counters = tracer_.counters_on();
+      const bool spans = tracer_.spans_on();
+      obs::Tracer::Shard* sh =
+          (counters || spans) ? &tracer_.shard(static_cast<std::size_t>(worker)) : nullptr;
+      const double t_start = sh != nullptr ? stopwatch_.seconds() : 0.0;
 
       deps_scratch.clear();
       dag_.dependencies(id, deps_scratch);
@@ -307,6 +368,7 @@ class ThreadedEngine {
         if (!injector_.enabled()) return;
         const std::uint32_t retries =
             detail::count_fetch_retries(injector_, opts_.retry, place, owner);
+        if (counters) sh->fetch_retries.record(static_cast<double>(retries));
         if (retries == 0) return;
         for (std::uint32_t r = 0; r < retries; ++r) {
           book_.record(place, owner, net::MessageKind::FetchRequest,
@@ -350,6 +412,7 @@ class ThreadedEngine {
       pr.stats.local_dep_reads.fetch_add(local_reads, std::memory_order_relaxed);
       pr.stats.cache_hits.fetch_add(hits, std::memory_order_relaxed);
       pr.stats.remote_fetches.fetch_add(fetches, std::memory_order_relaxed);
+      const double t_data = sh != nullptr ? stopwatch_.seconds() : 0.0;
 
       T result = app_.compute(id.i, id.j, std::span<const Vertex<T>>(dep_values));
 
@@ -389,6 +452,22 @@ class ThreadedEngine {
         }
       }
 
+      if (sh != nullptr) {
+        const double t_end = stopwatch_.seconds();
+        if (counters) {
+          if (fetches > 0) sh->fetch_latency_s.record(t_data - t_start);
+          sh->compute_s.record(t_end - t_data);
+          sh->queue_wait_s.record(std::max(0.0, t_start - ready_at));
+        }
+        if (spans) {
+          // slot = the worker's local id within its place; a run always
+          // publishes in the threaded engine (crashes stop workers between
+          // vertices, never mid-execute).
+          sh->vertices.push_back(obs::VertexSpan{
+              idx, place, worker % opts_.nthreads, ready_at, t_start, t_data,
+              t_end, /*published=*/true});
+        }
+      }
       finish_one();
     }
 
@@ -564,11 +643,16 @@ class ThreadedEngine {
       for (auto& p : places_) {
         std::lock_guard<std::mutex> lk(p->mu);
         p->ready.clear();
+        p->ready_ts.clear();
         std::lock_guard<std::mutex> clk(p->cache_mu);
         p->cache.clear();
       }
+      const double reseed_ts = tracer_.active() ? stopwatch_.seconds() : 0.0;
       detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
         places_[static_cast<std::size_t>(place)]->ready.push_back(idx);
+        if (tracer_.active()) {
+          places_[static_cast<std::size_t>(place)]->ready_ts.push_back(reseed_ts);
+        }
       });
       const std::int64_t now_finished =
           static_cast<std::int64_t>(detail::count_finished(*array_));
@@ -608,6 +692,7 @@ class ThreadedEngine {
     /// (the whole process was starved — a wall-clock detector must never
     /// evict a place because the machine was asleep).
     void monitor_main() {
+      set_log_place(0);  // the monitor lives at place 0
       const double interval_s = std::max(opts_.heartbeat.interval_s, kMinMonitorInterval);
       const auto interval = std::chrono::duration<double>(interval_s);
       const std::size_t n = places_.size();
@@ -657,7 +742,12 @@ class ThreadedEngine {
             book_.record(place, 0, net::MessageKind::Heartbeat,
                          net::kControlPayloadBytes);
             seen[p] = now;
-            if (silent[p] >= suspect_after) suspected_.clear(place);
+            if (silent[p] >= suspect_after) {
+              suspected_.clear(place);
+              if (tracer_.spans_on()) {
+                detector_transition(place, PlaceHealth::Alive);
+              }
+            }
             silent[p] = 0;
             continue;
           }
@@ -665,6 +755,9 @@ class ThreadedEngine {
           if (silent[p] == suspect_after) {
             suspected_.set(place);
             places_[0]->stats.suspicions.fetch_add(1, std::memory_order_relaxed);
+            if (tracer_.spans_on()) {
+              detector_transition(place, PlaceHealth::Suspected);
+            }
           } else if (silent[p] >= declare_after) {
             // Confirmation gate: a silence window alone is not proof on a
             // shared machine — an oversubscribed scheduler can park both of
@@ -682,6 +775,7 @@ class ThreadedEngine {
               break;
             }
             suspected_.clear(place);
+            if (tracer_.spans_on()) detector_transition(place, PlaceHealth::Alive);
             silent[p] = 0;
             seen[p] = now;
           }
@@ -690,10 +784,41 @@ class ThreadedEngine {
 
         PlaceRt& dp = *places_[static_cast<std::size_t>(to_declare)];
         dp.cv.notify_all();
+        if (tracer_.spans_on()) detector_transition(to_declare, PlaceHealth::Dead);
         const double latency = stopwatch_.seconds() - dp.crash_wall;
         coordinate_recovery(to_declare, latency, /*worker_coordinator=*/false);
         suspected_.clear_all();
         rebaseline(seen, silent);
+      }
+    }
+
+    /// Monitor-thread only (detector events are single-writer).
+    void detector_transition(std::int32_t place, PlaceHealth to) {
+      tracer_.detector_event(place, static_cast<std::uint8_t>(to),
+                             stopwatch_.seconds());
+    }
+
+    /// Sampler thread (Counters and up): per-place gauges on a wall-clock
+    /// period. Purely observational — it takes each place's ready lock for
+    /// one size() read per tick.
+    void sampler_main() {
+      const double period_s = std::max(opts_.trace_sample_s, 1.0e-3);
+      const auto period = std::chrono::duration<double>(period_s);
+      while (!done_.load(std::memory_order_acquire)) {
+        const double t = stopwatch_.seconds();
+        for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+          PlaceRt& pr = *places_[static_cast<std::size_t>(p)];
+          std::size_t depth = 0;
+          {
+            std::lock_guard<std::mutex> lk(pr.mu);
+            depth = pr.ready.size();
+          }
+          tracer_.sample("ready_depth", p, t, static_cast<double>(depth));
+          tracer_.sample("computed", p, t,
+                         static_cast<double>(pr.stats.computed.load(
+                             std::memory_order_relaxed)));
+        }
+        std::this_thread::sleep_for(period);
       }
     }
 
@@ -714,6 +839,7 @@ class ThreadedEngine {
     PlaceManager pm_;
     net::TrafficBook book_;
     net::FaultInjector injector_;
+    obs::Tracer tracer_;
     SuspicionSet suspected_;
     bool detector_active_ = false;
     std::unique_ptr<DistArray<T>> array_;

@@ -14,7 +14,6 @@ double FaultInjector::roll01(std::uint64_t base, std::uint64_t salt) const {
 
 Perturbation FaultInjector::perturb(MessageKind kind, std::int32_t src,
                                     std::int32_t dst, double now) {
-  (void)kind;
   Perturbation p;
   if (!enabled_) return p;
   const std::uint64_t base =
@@ -22,6 +21,7 @@ Perturbation FaultInjector::perturb(MessageKind kind, std::int32_t src,
   if (cfg_.drop_prob > 0.0 && roll01(base, 0xd801) < cfg_.drop_prob) {
     p.dropped = true;
     drops_.fetch_add(1, std::memory_order_relaxed);
+    if (observer_) observer_->on_perturb(kind, src, dst, p, now);
     return p;
   }
   if (cfg_.dup_prob > 0.0 && roll01(base, 0xd802) < cfg_.dup_prob) {
@@ -38,6 +38,7 @@ Perturbation FaultInjector::perturb(MessageKind kind, std::int32_t src,
       stalled_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  if (observer_) observer_->on_perturb(kind, src, dst, p, now);
   return p;
 }
 

@@ -77,6 +77,17 @@ struct Perturbation {
   double extra_delay_s = 0.0;     ///< jitter + stall hold, on top of the link
 };
 
+/// Observability hook: an observer wired via set_observer() sees every
+/// rolled message fate (the obs::Tracer histograms injected delays and
+/// counts drops/duplicates at the source). Implementations must be
+/// thread-safe when the injector is shared by threaded workers.
+class PerturbObserver {
+ public:
+  virtual ~PerturbObserver() = default;
+  virtual void on_perturb(MessageKind kind, std::int32_t src, std::int32_t dst,
+                          const Perturbation& p, double now) = 0;
+};
+
 class FaultInjector {
  public:
   FaultInjector(const NetFaultConfig& cfg, std::uint64_t seed)
@@ -84,6 +95,10 @@ class FaultInjector {
 
   bool enabled() const { return enabled_; }
   const NetFaultConfig& config() const { return cfg_; }
+
+  /// Wires (or clears, with nullptr) the fate observer. Not synchronized:
+  /// set it before the run starts. A disabled injector never calls it.
+  void set_observer(PerturbObserver* observer) { observer_ = observer; }
 
   /// Rolls the fate of one message from src to dst at (virtual) time `now`.
   /// Consumes exactly one sequence number per call regardless of which
@@ -111,6 +126,7 @@ class FaultInjector {
   NetFaultConfig cfg_;
   std::uint64_t seed_;
   bool enabled_;
+  PerturbObserver* observer_ = nullptr;
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint64_t> drops_{0};
   std::atomic<std::uint64_t> duplicates_{0};

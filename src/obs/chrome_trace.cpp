@@ -1,0 +1,121 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace dpx10::obs {
+
+namespace {
+
+// Microseconds with fixed nanosecond precision: deterministic output and
+// the native unit of the trace_event format.
+std::string us(double seconds) { return strformat("%.3f", seconds * 1e6); }
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceLog& log,
+                        const MetricsReport* metrics) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) os << ',';
+    first = false;
+    os << '\n' << event;
+  };
+
+  // Process/thread naming metadata. Slots present per place are discovered
+  // from the spans so the exporter needs no engine configuration.
+  std::vector<std::int32_t> max_slot(
+      static_cast<std::size_t>(std::max(log.meta.nplaces, 1)), -1);
+  for (const VertexSpan& v : log.vertices) {
+    const auto p = static_cast<std::size_t>(v.place);
+    if (p >= max_slot.size()) max_slot.resize(p + 1, -1);
+    max_slot[p] = std::max(max_slot[p], v.slot);
+  }
+  for (std::size_t p = 0; p < max_slot.size(); ++p) {
+    emit(strformat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+                   "\"tid\":0,\"args\":{\"name\":\"place %zu\"}}",
+                   p, p));
+    for (std::int32_t s = 0; s <= std::max(max_slot[p], 0); ++s) {
+      emit(strformat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%zu,"
+                     "\"tid\":%d,\"args\":{\"name\":\"slot %d\"}}",
+                     p, s, s));
+    }
+  }
+
+  for (const VertexSpan& v : log.vertices) {
+    const double queue_s = std::max(0.0, v.start - v.ready);
+    const double net_s = std::max(0.0, v.data_ready - v.start);
+    emit(strformat(
+        "{\"name\":\"v%lld%s\",\"cat\":\"vertex\",\"ph\":\"X\",\"pid\":%d,"
+        "\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"index\":%lld,"
+        "\"queue_us\":%s,\"net_us\":%s,\"published\":%s}}",
+        static_cast<long long>(v.index), v.published ? "" : "!", v.place,
+        v.slot, us(v.start).c_str(), us(v.end - v.start).c_str(),
+        static_cast<long long>(v.index), us(queue_s).c_str(),
+        us(net_s).c_str(), v.published ? "true" : "false"));
+  }
+
+  std::uint64_t next_id = 1;
+  for (const MessageEvent& m : log.messages) {
+    const auto kind = std::string(message_kind_name(m.kind));
+    switch (m.fate) {
+      case MessageFate::Delivered: {
+        const std::uint64_t id = next_id++;
+        emit(strformat("{\"name\":\"%s\",\"cat\":\"net\",\"ph\":\"b\","
+                       "\"id\":%llu,\"pid\":%d,\"tid\":0,\"ts\":%s,"
+                       "\"args\":{\"dst\":%d}}",
+                       kind.c_str(), static_cast<unsigned long long>(id),
+                       m.src, us(m.send).c_str(), m.dst));
+        emit(strformat("{\"name\":\"%s\",\"cat\":\"net\",\"ph\":\"e\","
+                       "\"id\":%llu,\"pid\":%d,\"tid\":0,\"ts\":%s}",
+                       kind.c_str(), static_cast<unsigned long long>(id),
+                       m.src, us(std::max(m.deliver, m.send)).c_str()));
+        break;
+      }
+      case MessageFate::Dropped:
+        emit(strformat("{\"name\":\"drop:%s\",\"cat\":\"net\",\"ph\":\"i\","
+                       "\"s\":\"p\",\"pid\":%d,\"tid\":0,\"ts\":%s,"
+                       "\"args\":{\"dst\":%d}}",
+                       kind.c_str(), m.src, us(m.send).c_str(), m.dst));
+        break;
+      case MessageFate::Duplicated:
+        emit(strformat("{\"name\":\"dup:%s\",\"cat\":\"net\",\"ph\":\"i\","
+                       "\"s\":\"p\",\"pid\":%d,\"tid\":0,\"ts\":%s,"
+                       "\"args\":{\"dst\":%d}}",
+                       kind.c_str(), m.src, us(m.send).c_str(), m.dst));
+        break;
+    }
+  }
+
+  for (const DetectorEvent& d : log.detector) {
+    const char* what = d.to == 0 ? "cleared" : d.to == 1 ? "suspected" : "declared-dead";
+    emit(strformat("{\"name\":\"%s: place %d\",\"cat\":\"detector\","
+                   "\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":%s}",
+                   what, d.place, us(d.t).c_str()));
+  }
+
+  if (metrics != nullptr) {
+    for (const TimeSeries& s : metrics->series) {
+      const std::int32_t pid = std::max(s.place, 0);
+      for (const SamplePoint& pt : s.points) {
+        emit(strformat("{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"tid\":0,"
+                       "\"ts\":%s,\"args\":{\"value\":%s}}",
+                       s.name.c_str(), pid, us(pt.t).c_str(),
+                       strformat("%.17g", pt.value).c_str()));
+      }
+    }
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+     << "\"app\":\"" << log.meta.app << "\",\"dag\":\"" << log.meta.dag
+     << "\",\"engine\":\"" << log.meta.engine << "\",\"elapsed_s\":"
+     << strformat("%.17g", log.meta.elapsed_s) << "}}\n";
+}
+
+}  // namespace dpx10::obs

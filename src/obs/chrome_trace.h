@@ -1,0 +1,27 @@
+// Chrome trace_event JSON exporter.
+//
+// Writes a TraceLog (plus optional metrics time series) in the Trace Event
+// Format consumed by Perfetto and chrome://tracing:
+//   * each place is a process (pid = place, named "place N");
+//   * each execution slot / worker is a thread (tid = slot, named
+//     "slot N"), carrying the vertex compute spans as complete ("X")
+//     events with the queue/network phase breakdown in args;
+//   * messages are async ("b"/"e") events on the source place so
+//     overlapping in-flight messages render on their own tracks; dropped
+//     and duplicated messages appear as instant ("i") events;
+//   * failure-detector transitions are instant events on the monitor;
+//   * metric time series become counter ("C") events.
+// Timestamps are microseconds (the format's native unit) from run start.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
+
+namespace dpx10::obs {
+
+void write_chrome_trace(std::ostream& os, const TraceLog& log,
+                        const MetricsReport* metrics = nullptr);
+
+}  // namespace dpx10::obs

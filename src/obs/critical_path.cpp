@@ -1,0 +1,101 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace dpx10::obs {
+
+CriticalPathReport compute_critical_path(const TraceLog& log,
+                                         const DepsFn& deps) {
+  CriticalPathReport cp;
+
+  // Last published span per vertex: with faults a vertex can run several
+  // times; only the publish that survived feeds dependents.
+  std::unordered_map<std::int64_t, const VertexSpan*> last;
+  last.reserve(log.vertices.size());
+  for (const VertexSpan& v : log.vertices) {
+    if (!v.published) continue;
+    auto [it, inserted] = last.emplace(v.index, &v);
+    if (!inserted && v.end > it->second->end) it->second = &v;
+  }
+  if (last.empty()) return cp;
+
+  // Sink: the latest-finishing span (ties broken by smaller index so the
+  // walk is deterministic across identical runs).
+  const VertexSpan* sink = nullptr;
+  for (const auto& [idx, span] : last) {
+    if (sink == nullptr || span->end > sink->end ||
+        (span->end == sink->end && span->index < sink->index)) {
+      sink = span;
+    }
+  }
+
+  std::vector<std::int64_t> dep_scratch;
+  const VertexSpan* cur = sink;
+  cp.total_s = sink->end;
+  while (true) {
+    cp.chain.push_back(cur->index);
+    const double data_ready = std::max(cur->data_ready, cur->start);
+    cp.compute_s += cur->end - std::max(data_ready, cur->start);
+    cp.network_s += std::max(0.0, cur->data_ready - cur->start);
+    cp.queue_s += std::max(0.0, cur->start - cur->ready);
+
+    dep_scratch.clear();
+    deps(cur->index, dep_scratch);
+    const VertexSpan* gate = nullptr;
+    for (std::int64_t d : dep_scratch) {
+      auto it = last.find(d);
+      if (it == last.end()) continue;  // source / pre-finished / restored
+      const VertexSpan* s = it->second;
+      if (s->end >= cur->ready + 1e-15) continue;  // published after we were
+                                                   // ready: not our gate
+      if (gate == nullptr || s->end > gate->end ||
+          (s->end == gate->end && s->index < gate->index)) {
+        gate = s;
+      }
+    }
+    if (gate == nullptr) {
+      cp.lead_in_s = std::max(0.0, cur->ready);
+      break;
+    }
+    cp.publish_s += std::max(0.0, cur->ready - gate->end);
+    cur = gate;
+  }
+  std::reverse(cp.chain.begin(), cp.chain.end());
+  return cp;
+}
+
+void print_critical_path(std::ostream& os, const CriticalPathReport& cp,
+                         const TraceLog& log) {
+  if (cp.empty()) {
+    os << "critical path: no published vertex spans recorded\n";
+    return;
+  }
+  const auto pct = [&](double v) {
+    return cp.total_s > 0.0 ? 100.0 * v / cp.total_s : 0.0;
+  };
+  os << "critical path (" << log.meta.app << " on '" << log.meta.dag << "', "
+     << log.meta.engine << " engine):\n";
+  os << strformat("  chain length:  %zu vertices (of %zu executed spans)\n",
+                  cp.length(), log.vertices.size());
+  os << strformat("  total:         %s  (run elapsed %s)\n",
+                  human_seconds(cp.total_s).c_str(),
+                  human_seconds(log.meta.elapsed_s).c_str());
+  os << strformat("    compute:     %12s  %5.1f%%\n",
+                  human_seconds(cp.compute_s).c_str(), pct(cp.compute_s));
+  os << strformat("    queue wait:  %12s  %5.1f%%\n",
+                  human_seconds(cp.queue_s).c_str(), pct(cp.queue_s));
+  os << strformat("    network:     %12s  %5.1f%%\n",
+                  human_seconds(cp.network_s).c_str(), pct(cp.network_s));
+  os << strformat("    publish:     %12s  %5.1f%%\n",
+                  human_seconds(cp.publish_s).c_str(), pct(cp.publish_s));
+  if (cp.lead_in_s > 0.0) {
+    os << strformat("    lead-in:     %12s  %5.1f%%\n",
+                    human_seconds(cp.lead_in_s).c_str(), pct(cp.lead_in_s));
+  }
+}
+
+}  // namespace dpx10::obs

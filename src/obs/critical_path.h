@@ -1,0 +1,65 @@
+// Critical-path profiler: walks recorded vertex spans against the DAG's
+// dependency structure and reports the longest dependency chain with a
+// compute / queue / network / publish breakdown.
+//
+// The walk starts at the last-finishing published span and repeatedly steps
+// to the dependency whose span finished last — the predecessor that gated
+// this vertex. Per chain link the elapsed time decomposes exactly:
+//
+//   dep.end --(publish: readiness signal travels)--> ready
+//   ready   --(queue: waiting for a slot/worker)---> start
+//   start   --(network: remote dependency fetches)-> data_ready
+//   data    --(compute)----------------------------> end
+//
+// so the segment sums telescope to sink.end, which equals the run's
+// elapsed time up to model tolerance — the acceptance check of ISSUE 2 and
+// the quantity the nested-dataflow literature calls the span/depth of the
+// schedule. The chain breaks at vertices whose dependencies have no
+// recorded span (DAG sources, pre-finished cells, or values restored by
+// recovery); time before the first chain vertex became ready is reported
+// as lead_in_s.
+//
+// Dependencies are supplied as a callback on linear indices so this module
+// stays independent of the core Dag class (callers adapt, see
+// report_io/dpx10trace).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace_log.h"
+
+namespace dpx10::obs {
+
+/// Appends the dependency *linear indices* of vertex `index` to `out`
+/// (without clearing it).
+using DepsFn =
+    std::function<void(std::int64_t index, std::vector<std::int64_t>& out)>;
+
+struct CriticalPathReport {
+  std::vector<std::int64_t> chain;  ///< source -> sink linear indices
+  double total_s = 0.0;             ///< end of the sink span
+  double lead_in_s = 0.0;           ///< run start -> first chain vertex ready
+  double publish_s = 0.0;           ///< dep finished -> successor ready
+  double queue_s = 0.0;             ///< ready -> dispatched
+  double network_s = 0.0;           ///< dispatched -> remote deps fetched
+  double compute_s = 0.0;           ///< deps fetched -> finished
+
+  bool empty() const { return chain.empty(); }
+  std::size_t length() const { return chain.size(); }
+  /// lead_in + publish + queue + network + compute; equals total_s by
+  /// construction (up to floating-point noise).
+  double accounted_s() const {
+    return lead_in_s + publish_s + queue_s + network_s + compute_s;
+  }
+};
+
+CriticalPathReport compute_critical_path(const TraceLog& log, const DepsFn& deps);
+
+/// Human-readable breakdown table for CLI output.
+void print_critical_path(std::ostream& os, const CriticalPathReport& cp,
+                         const TraceLog& log);
+
+}  // namespace dpx10::obs

@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace dpx10::obs {
+
+void Histogram::record(double value) {
+  int b;
+  if (value < kMinValue) {
+    b = 0;
+  } else {
+    // ilogb(value / kMinValue) = number of doublings above the floor.
+    const int log2 = std::ilogb(value / kMinValue);
+    b = log2 >= kLogBuckets ? kBucketCount - 1 : 1 + log2;
+  }
+  ++buckets_[static_cast<std::size_t>(b)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBucketCount; ++b) {
+    buckets_[static_cast<std::size_t>(b)] += other.buckets_[static_cast<std::size_t>(b)];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::bucket_floor(int b) {
+  if (b <= 0) return 0.0;
+  return kMinValue * std::ldexp(1.0, b - 1);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBucketCount; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen >= rank) {
+      // Upper edge of the bucket, clamped to the observed extremes.
+      const double hi = b == kBucketCount - 1 ? max_ : bucket_floor(b + 1);
+      return std::clamp(hi, min_, max_);
+    }
+  }
+  return max_;
+}
+
+Histogram Histogram::restore(std::uint64_t count, double sum, double min,
+                             double max,
+                             const std::array<std::uint64_t, kBucketCount>& buckets) {
+  Histogram h;
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  h.buckets_ = buckets;
+  return h;
+}
+
+const Histogram* MetricsReport::find(const std::string& name) const {
+  for (const NamedHistogram& h : histograms) {
+    if (h.name == name) return &h.hist;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void json_double(std::ostream& os, double v) { os << strformat("%.17g", v); }
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsReport& metrics) {
+  os << "{\"histograms\":[";
+  for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+    const NamedHistogram& nh = metrics.histograms[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << nh.name << "\",\"count\":" << nh.hist.count()
+       << ",\"sum\":";
+    json_double(os, nh.hist.sum());
+    os << ",\"min\":";
+    json_double(os, nh.hist.min());
+    os << ",\"max\":";
+    json_double(os, nh.hist.max());
+    os << ",\"mean\":";
+    json_double(os, nh.hist.mean());
+    os << ",\"p50\":";
+    json_double(os, nh.hist.percentile(0.50));
+    os << ",\"p99\":";
+    json_double(os, nh.hist.percentile(0.99));
+    os << ",\"buckets\":[";
+    bool first = true;
+    for (int b = 0; b < Histogram::kBucketCount; ++b) {
+      const std::uint64_t n = nh.hist.buckets()[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (!first) os << ',';
+      first = false;
+      os << "[";
+      json_double(os, Histogram::bucket_floor(b));
+      os << ',' << n << ']';
+    }
+    os << "]}";
+  }
+  os << "],\"series\":[";
+  for (std::size_t i = 0; i < metrics.series.size(); ++i) {
+    const TimeSeries& s = metrics.series[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << s.name << "\",\"place\":" << s.place << ",\"points\":[";
+    for (std::size_t j = 0; j < s.points.size(); ++j) {
+      if (j) os << ',';
+      os << '[';
+      json_double(os, s.points[j].t);
+      os << ',';
+      json_double(os, s.points[j].value);
+      os << ']';
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+void write_metrics_csv(std::ostream& os, const MetricsReport& metrics) {
+  os << "kind,name,place,key,value\n";
+  for (const NamedHistogram& nh : metrics.histograms) {
+    os << "hist," << nh.name << ",-1,count," << nh.hist.count() << '\n';
+    os << "hist," << nh.name << ",-1,sum," << strformat("%.17g", nh.hist.sum()) << '\n';
+    os << "hist," << nh.name << ",-1,min," << strformat("%.17g", nh.hist.min()) << '\n';
+    os << "hist," << nh.name << ",-1,max," << strformat("%.17g", nh.hist.max()) << '\n';
+    for (int b = 0; b < Histogram::kBucketCount; ++b) {
+      const std::uint64_t n = nh.hist.buckets()[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      os << "hist," << nh.name << ",-1,bucket:"
+         << strformat("%.17g", Histogram::bucket_floor(b)) << ',' << n << '\n';
+    }
+  }
+  for (const TimeSeries& s : metrics.series) {
+    for (const SamplePoint& p : s.points) {
+      os << "series," << s.name << ',' << s.place << ','
+         << strformat("%.17g", p.t) << ',' << strformat("%.17g", p.value) << '\n';
+    }
+  }
+}
+
+void print_metrics_summary(std::ostream& os, const MetricsReport& metrics) {
+  for (const NamedHistogram& nh : metrics.histograms) {
+    if (nh.hist.count() == 0) continue;
+    os << strformat("  %-22s n=%-10llu mean=%-12s p50=%-12s p99=%-12s max=%s\n",
+                    nh.name.c_str(),
+                    static_cast<unsigned long long>(nh.hist.count()),
+                    human_seconds(nh.hist.mean()).c_str(),
+                    human_seconds(nh.hist.percentile(0.50)).c_str(),
+                    human_seconds(nh.hist.percentile(0.99)).c_str(),
+                    human_seconds(nh.hist.max()).c_str());
+  }
+  std::size_t points = 0;
+  for (const TimeSeries& s : metrics.series) points += s.points.size();
+  if (!metrics.series.empty()) {
+    os << "  " << metrics.series.size() << " time series, " << points
+       << " sample points\n";
+  }
+}
+
+}  // namespace dpx10::obs

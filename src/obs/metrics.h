@@ -1,0 +1,101 @@
+// Metrics registry: fixed-bucket histograms and time-series samplers.
+//
+// Histograms use a fixed log2 bucket layout (no allocation, mergeable by
+// bucket-wise addition, deterministic) so per-worker shards can record
+// without synchronization and be combined at collection time. Time series
+// are (t, value) samples of gauges the paper's evaluation reasons about:
+// ready-queue depth, busy slots, NIC backlog.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dpx10::obs {
+
+/// Fixed-layout histogram over positive values. Bucket 0 catches values
+/// below kMinValue, bucket kBucketCount-1 values at or above the ceiling;
+/// bucket b (1 <= b <= kLogBuckets) covers [kMinValue * 2^(b-1),
+/// kMinValue * 2^b). With kMinValue = 1e-9 the layout spans one nanosecond
+/// to ~4400 s of latency — and doubles as a count histogram (1, 2, 4, ...)
+/// for retry distributions.
+class Histogram {
+ public:
+  static constexpr int kLogBuckets = 42;
+  static constexpr int kBucketCount = kLogBuckets + 2;  // + under/overflow
+  static constexpr double kMinValue = 1e-9;
+
+  void record(double value);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Bucket-resolution percentile estimate (upper bound of the bucket that
+  /// contains the p-quantile), p in [0, 1]. Returns 0 on an empty histogram.
+  double percentile(double p) const;
+
+  /// Inclusive lower bound of bucket b (0 for the underflow bucket).
+  static double bucket_floor(int b);
+
+  const std::array<std::uint64_t, kBucketCount>& buckets() const { return buckets_; }
+
+  /// Rebuilds a histogram from serialized parts (native trace reader).
+  static Histogram restore(std::uint64_t count, double sum, double min, double max,
+                           const std::array<std::uint64_t, kBucketCount>& buckets);
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct NamedHistogram {
+  std::string name;
+  Histogram hist;
+};
+
+struct SamplePoint {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+/// One gauge sampled over the run, scoped to a place (-1 = whole run).
+struct TimeSeries {
+  std::string name;
+  std::int32_t place = -1;
+  std::vector<SamplePoint> points;
+};
+
+/// The collected metrics of one run, attached to RunReport when tracing is
+/// at least at Counters level.
+struct MetricsReport {
+  std::vector<NamedHistogram> histograms;
+  std::vector<TimeSeries> series;
+
+  bool empty() const { return histograms.empty() && series.empty(); }
+  const Histogram* find(const std::string& name) const;
+};
+
+/// JSON export: {"histograms":[{name,count,sum,min,max,mean,p50,p99,
+/// buckets:[[floor,count],...nonzero]}], "series":[{name,place,points:
+/// [[t,v],...]}]}. Doubles print with %.17g so same-seed sim runs export
+/// byte-identically.
+void write_metrics_json(std::ostream& os, const MetricsReport& metrics);
+
+/// CSV export: one long-format table, kind,name,place,key,value per row —
+/// histogram buckets and series points alike, trivially greppable.
+void write_metrics_csv(std::ostream& os, const MetricsReport& metrics);
+
+/// Human-readable summary (one line per histogram, series elided to their
+/// extents) for CLI output.
+void print_metrics_summary(std::ostream& os, const MetricsReport& metrics);
+
+}  // namespace dpx10::obs

@@ -1,0 +1,141 @@
+#include "obs/trace_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace dpx10::obs {
+
+namespace {
+
+const char* g17(double v) {
+  // strformat returns a temporary; callers stream it immediately.
+  thread_local std::string buf;
+  buf = strformat("%.17g", v);
+  return buf.c_str();
+}
+
+}  // namespace
+
+void write_native_trace(std::ostream& os, const TraceLog& log,
+                        const MetricsReport* metrics) {
+  os << "dpx10-trace 1\n";
+  os << "app " << (log.meta.app.empty() ? "?" : log.meta.app) << '\n';
+  os << "dag " << (log.meta.dag.empty() ? "?" : log.meta.dag) << '\n';
+  os << "engine " << (log.meta.engine.empty() ? "?" : log.meta.engine) << '\n';
+  os << "dims " << log.meta.height << ' ' << log.meta.width << ' '
+     << log.meta.nplaces << ' ' << log.meta.nthreads << '\n';
+  os << "elapsed " << g17(log.meta.elapsed_s) << '\n';
+  for (const VertexSpan& v : log.vertices) {
+    os << "v " << v.index << ' ' << v.place << ' ' << v.slot << ' '
+       << g17(v.ready) << ' ' << g17(v.start) << ' ' << g17(v.data_ready)
+       << ' ' << g17(v.end) << ' ' << (v.published ? 1 : 0) << '\n';
+  }
+  for (const MessageEvent& m : log.messages) {
+    os << "m " << static_cast<int>(m.kind) << ' ' << m.src << ' ' << m.dst
+       << ' ' << g17(m.send) << ' ' << g17(m.deliver) << ' '
+       << static_cast<int>(m.fate) << '\n';
+  }
+  for (const DetectorEvent& d : log.detector) {
+    os << "d " << d.place << ' ' << static_cast<int>(d.to) << ' ' << g17(d.t)
+       << '\n';
+  }
+  if (metrics != nullptr) {
+    for (const NamedHistogram& nh : metrics->histograms) {
+      os << "h " << nh.name << ' ' << nh.hist.count() << ' '
+         << g17(nh.hist.sum()) << ' ' << g17(nh.hist.min()) << ' '
+         << g17(nh.hist.max());
+      for (std::uint64_t b : nh.hist.buckets()) os << ' ' << b;
+      os << '\n';
+    }
+    for (const TimeSeries& s : metrics->series) {
+      os << "s " << s.name << ' ' << s.place << ' ' << s.points.size();
+      for (const SamplePoint& p : s.points) {
+        os << ' ' << g17(p.t) << ' ' << g17(p.value);
+      }
+      os << '\n';
+    }
+  }
+  os << "end\n";
+}
+
+void read_native_trace(std::istream& is, TraceLog& log, MetricsReport* metrics) {
+  log = TraceLog{};
+  if (metrics != nullptr) *metrics = MetricsReport{};
+
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  require(magic == "dpx10-trace" && version == 1,
+          "read_native_trace: not a dpx10-trace v1 file");
+
+  std::string tag;
+  while (is >> tag) {
+    if (tag == "end") return;
+    if (tag == "app") {
+      is >> log.meta.app;
+    } else if (tag == "dag") {
+      is >> log.meta.dag;
+    } else if (tag == "engine") {
+      is >> log.meta.engine;
+    } else if (tag == "dims") {
+      is >> log.meta.height >> log.meta.width >> log.meta.nplaces >>
+          log.meta.nthreads;
+    } else if (tag == "elapsed") {
+      is >> log.meta.elapsed_s;
+    } else if (tag == "v") {
+      VertexSpan v;
+      int published = 1;
+      is >> v.index >> v.place >> v.slot >> v.ready >> v.start >>
+          v.data_ready >> v.end >> published;
+      v.published = published != 0;
+      log.vertices.push_back(v);
+    } else if (tag == "m") {
+      MessageEvent m;
+      int kind = 0, fate = 0;
+      is >> kind >> m.src >> m.dst >> m.send >> m.deliver >> fate;
+      require(kind >= 0 && kind < static_cast<int>(net::kMessageKindCount),
+              "read_native_trace: message kind out of range");
+      require(fate >= 0 && fate <= 2, "read_native_trace: fate out of range");
+      m.kind = static_cast<net::MessageKind>(kind);
+      m.fate = static_cast<MessageFate>(fate);
+      log.messages.push_back(m);
+    } else if (tag == "d") {
+      DetectorEvent d;
+      int to = 0;
+      is >> d.place >> to >> d.t;
+      d.to = static_cast<std::uint8_t>(to);
+      log.detector.push_back(d);
+    } else if (tag == "h") {
+      std::string name;
+      std::uint64_t count = 0;
+      double sum = 0, min = 0, max = 0;
+      std::array<std::uint64_t, Histogram::kBucketCount> buckets{};
+      is >> name >> count >> sum >> min >> max;
+      for (auto& b : buckets) is >> b;
+      if (metrics != nullptr) {
+        metrics->histograms.push_back(
+            {name, Histogram::restore(count, sum, min, max, buckets)});
+      }
+    } else if (tag == "s") {
+      TimeSeries s;
+      std::size_t n = 0;
+      is >> s.name >> s.place >> n;
+      s.points.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        SamplePoint p;
+        is >> p.t >> p.value;
+        s.points.push_back(p);
+      }
+      if (metrics != nullptr) metrics->series.push_back(std::move(s));
+    } else {
+      throw ConfigError("read_native_trace: unknown record '" + tag + "'");
+    }
+    require(static_cast<bool>(is), "read_native_trace: truncated record");
+  }
+  throw ConfigError("read_native_trace: missing 'end' marker");
+}
+
+}  // namespace dpx10::obs

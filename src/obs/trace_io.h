@@ -1,0 +1,39 @@
+// Native on-disk trace format: a line-oriented text serialization of
+// TraceLog + MetricsReport that round-trips exactly.
+//
+// This is the format `dpx10run --trace-out=run.trace` records and the
+// `dpx10trace` CLI consumes (summarize / convert to Chrome JSON). It embeds
+// the dag pattern name and dimensions so a standalone tool can rebuild the
+// DAG from the pattern registry and recompute the critical path without the
+// original binary. Doubles are written with %.17g so same-seed simulator
+// runs serialize byte-identically.
+//
+// Grammar (one record per line, whitespace-separated):
+//   dpx10-trace 1
+//   app <name> / dag <name> / engine <name>
+//   dims <height> <width> <nplaces> <nthreads>
+//   elapsed <seconds>
+//   v <index> <place> <slot> <ready> <start> <data_ready> <end> <published>
+//   m <kind> <src> <dst> <send> <deliver> <fate>
+//   d <place> <to> <t>
+//   h <name> <count> <sum> <min> <max> <bucket counts x44>
+//   s <name> <place> <npoints> <t value>...
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace_log.h"
+
+namespace dpx10::obs {
+
+void write_native_trace(std::ostream& os, const TraceLog& log,
+                        const MetricsReport* metrics = nullptr);
+
+/// Parses a native trace. Throws dpx10::ConfigError on malformed input.
+/// `metrics` may be null if the caller does not need them.
+void read_native_trace(std::istream& is, TraceLog& log, MetricsReport* metrics);
+
+}  // namespace dpx10::obs

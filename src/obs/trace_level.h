@@ -1,0 +1,40 @@
+// TraceLevel — how much the observability subsystem records.
+//
+// Kept in its own tiny header so RuntimeOptions (included by every engine
+// and every bench) does not pull in the full span/metrics data model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dpx10::obs {
+
+/// Off       — tracing compiled in but dormant: one predictable branch per
+///             potential event, no allocation, no clock reads.
+/// Counters  — histograms and time-series samplers only (fetch latency,
+///             compute duration, queue depth, ...): cheap enough for
+///             production runs.
+/// Full      — Counters plus per-vertex lifecycle spans and per-message
+///             lifecycle events, exportable to Perfetto.
+enum class TraceLevel : std::uint8_t { Off = 0, Counters = 1, Full = 2 };
+
+inline std::string_view trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::Off: return "off";
+    case TraceLevel::Counters: return "counters";
+    case TraceLevel::Full: return "full";
+  }
+  return "?";
+}
+
+/// Parses "off"/"counters"/"full"; returns false (leaving `out` untouched)
+/// on junk, so CLIs can produce their own error message.
+inline bool parse_trace_level(const std::string& text, TraceLevel& out) {
+  if (text == "off") { out = TraceLevel::Off; return true; }
+  if (text == "counters") { out = TraceLevel::Counters; return true; }
+  if (text == "full") { out = TraceLevel::Full; return true; }
+  return false;
+}
+
+}  // namespace dpx10::obs

@@ -1,0 +1,112 @@
+// The recorded-trace data model shared by the tracer, the exporters and the
+// critical-path profiler.
+//
+// A TraceLog is the full observable history of one run: vertex lifecycle
+// spans (ready -> queued -> compute -> publish), message lifecycle events
+// (send -> deliver, including dropped/duplicated fates from the fault
+// injector) and failure-detector health transitions, plus enough metadata
+// (app, dag pattern, dimensions) for a standalone tool to rebuild the DAG
+// and walk the critical path. Timestamps are seconds from run start —
+// virtual time for the SimEngine, wall time for the ThreadedEngine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+
+namespace dpx10::obs {
+
+struct TraceMeta {
+  std::string app;
+  std::string dag;       ///< pattern-registry name (make_pattern key)
+  std::string engine;    ///< "sim" or "threaded"
+  std::int32_t height = 0;
+  std::int32_t width = 0;
+  std::int32_t nplaces = 0;
+  std::int32_t nthreads = 0;
+  double elapsed_s = 0.0;
+};
+
+/// One vertex execution. The four timestamps delimit the lifecycle phases:
+///   ready      — indegree hit zero / the vertex landed on a ready list
+///   start      — a slot/worker picked it up (ready..start = queue wait)
+///   data_ready — remote dependency fetches completed (start..data_ready =
+///                network wait; == start when all deps were local/cached)
+///   end        — compute() + publish finished
+/// A fault can discard an execution after it ran (the result was never
+/// published); such spans carry published = false and recovery re-runs the
+/// vertex, so one index may appear in several spans.
+struct VertexSpan {
+  std::int64_t index = 0;   ///< domain linear index
+  std::int32_t place = -1;
+  std::int32_t slot = 0;    ///< sim: execution slot; threaded: worker id
+  double ready = 0.0;
+  double start = 0.0;
+  double data_ready = 0.0;
+  double end = 0.0;
+  bool published = true;
+};
+
+enum class MessageFate : std::uint8_t {
+  Delivered = 0,
+  Dropped,     ///< injector ate it; deliver is meaningless (< 0)
+  Duplicated,  ///< an extra copy beyond the first delivery
+};
+
+inline std::string_view message_fate_name(MessageFate f) {
+  switch (f) {
+    case MessageFate::Delivered: return "delivered";
+    case MessageFate::Dropped: return "dropped";
+    case MessageFate::Duplicated: return "duplicated";
+  }
+  return "?";
+}
+
+inline std::string_view message_kind_name(net::MessageKind k) {
+  switch (k) {
+    case net::MessageKind::FetchRequest: return "fetch-request";
+    case net::MessageKind::FetchReply: return "fetch-reply";
+    case net::MessageKind::IndegreeControl: return "indegree";
+    case net::MessageKind::ReadyTransfer: return "ready-transfer";
+    case net::MessageKind::ResultWriteback: return "writeback";
+    case net::MessageKind::RecoveryTransfer: return "recovery";
+    case net::MessageKind::Heartbeat: return "heartbeat";
+    case net::MessageKind::KindCount: break;
+  }
+  return "?";
+}
+
+/// One message's trip through the modeled network: it leaves `src` at
+/// `send` and reaches `dst`'s application layer at `deliver` (wire time +
+/// injected delay + NIC queueing). Dropped messages have deliver < 0.
+struct MessageEvent {
+  net::MessageKind kind = net::MessageKind::FetchRequest;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  double send = 0.0;
+  double deliver = -1.0;
+  MessageFate fate = MessageFate::Delivered;
+};
+
+/// A failure-detector health transition (PlaceHealth as uint8 to keep this
+/// header free of the apgas dependency): 0 = alive, 1 = suspected, 2 = dead.
+struct DetectorEvent {
+  std::int32_t place = -1;
+  std::uint8_t to = 0;
+  double t = 0.0;
+};
+
+struct TraceLog {
+  TraceMeta meta;
+  std::vector<VertexSpan> vertices;
+  std::vector<MessageEvent> messages;
+  std::vector<DetectorEvent> detector;
+
+  bool empty() const {
+    return vertices.empty() && messages.empty() && detector.empty();
+  }
+};
+
+}  // namespace dpx10::obs

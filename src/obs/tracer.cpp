@@ -1,0 +1,70 @@
+#include "obs/tracer.h"
+
+namespace dpx10::obs {
+
+Tracer::Tracer(TraceLevel level, std::size_t nshards, bool vertex_spans_extra)
+    : level_(level), vertex_spans_extra_(vertex_spans_extra) {
+  if (nshards == 0) nshards = 1;
+  shards_.reserve(nshards);
+  for (std::size_t i = 0; i < nshards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void Tracer::detector_event(std::int32_t place, std::uint8_t to, double t) {
+  detector_.push_back(DetectorEvent{place, to, t});
+}
+
+void Tracer::sample(const std::string& name, std::int32_t place, double t,
+                    double value) {
+  const auto key = std::make_pair(name, place);
+  auto it = series_index_.find(key);
+  if (it == series_index_.end()) {
+    it = series_index_.emplace(key, series_.size()).first;
+    series_.push_back(TimeSeries{name, place, {}});
+  }
+  series_[it->second].points.push_back(SamplePoint{t, value});
+}
+
+void Tracer::on_perturb(net::MessageKind kind, std::int32_t src,
+                        std::int32_t dst, const net::Perturbation& p,
+                        double now) {
+  (void)kind;
+  (void)src;
+  (void)dst;
+  (void)now;
+  std::lock_guard<std::mutex> lk(perturb_mu_);
+  if (p.dropped) ++perturb_drops_;
+  if (p.extra_copies > 0) perturb_dups_ += static_cast<std::uint64_t>(p.extra_copies);
+  if (p.extra_delay_s > 0.0) injected_delay_s_.record(p.extra_delay_s);
+}
+
+Tracer::Collected Tracer::collect(TraceMeta meta) {
+  Collected out;
+  out.log.meta = std::move(meta);
+
+  Histogram fetch_latency, compute, queue_wait, retries;
+  for (auto& sh : shards_) {
+    out.log.vertices.insert(out.log.vertices.end(), sh->vertices.begin(),
+                            sh->vertices.end());
+    out.log.messages.insert(out.log.messages.end(), sh->messages.begin(),
+                            sh->messages.end());
+    fetch_latency.merge(sh->fetch_latency_s);
+    compute.merge(sh->compute_s);
+    queue_wait.merge(sh->queue_wait_s);
+    retries.merge(sh->fetch_retries);
+  }
+  out.log.detector = std::move(detector_);
+
+  if (counters_on()) {
+    out.metrics.histograms.push_back({"fetch_latency_s", fetch_latency});
+    out.metrics.histograms.push_back({"compute_s", compute});
+    out.metrics.histograms.push_back({"queue_wait_s", queue_wait});
+    out.metrics.histograms.push_back({"fetch_retries", retries});
+    out.metrics.histograms.push_back({"net_injected_delay_s", injected_delay_s_});
+    out.metrics.series = std::move(series_);
+  }
+  return out;
+}
+
+}  // namespace dpx10::obs

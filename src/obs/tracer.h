@@ -1,0 +1,99 @@
+// Tracer — the low-overhead recording front end of the observability
+// subsystem.
+//
+// Design rules (the <2% disabled-overhead budget of ISSUE 2):
+//   * every hot-path hook is guarded by one branch on a level the caller
+//     hoists into a local (`if (tracer.spans_on()) ...`) — disabled tracing
+//     costs a predictable branch, no clock read, no allocation;
+//   * recording never feeds back into engine behaviour: the SimEngine's
+//     virtual time and the threaded engine's scheduling are identical with
+//     tracing on or off (property-tested in tests/obs_test.cpp);
+//   * concurrent writers get private shards (one per worker thread) that
+//     are merged deterministically at collect() time — the single-threaded
+//     SimEngine uses shard 0 for everything, so same-seed runs produce
+//     byte-identical exports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace_level.h"
+#include "obs/trace_log.h"
+
+namespace dpx10::obs {
+
+class Tracer : public net::PerturbObserver {
+ public:
+  /// `nshards` is the number of concurrent writers (1 for the SimEngine,
+  /// nworkers + 1 for the ThreadedEngine: one per worker plus the monitor).
+  /// `vertex_spans_extra` forces vertex-span recording below Full level —
+  /// the legacy RuntimeOptions::record_trace path, which the span tracer
+  /// subsumes.
+  Tracer(TraceLevel level, std::size_t nshards, bool vertex_spans_extra = false);
+
+  TraceLevel level() const { return level_; }
+  bool counters_on() const { return level_ >= TraceLevel::Counters; }
+  bool spans_on() const { return level_ == TraceLevel::Full; }
+  bool vertex_spans_on() const { return spans_on() || vertex_spans_extra_; }
+  bool active() const { return counters_on() || vertex_spans_extra_; }
+
+  /// One writer's private buffers. Histograms are recorded shard-locally
+  /// and merged at collect(); span vectors are concatenated shard-by-shard.
+  struct Shard {
+    std::vector<VertexSpan> vertices;
+    std::vector<MessageEvent> messages;
+    Histogram fetch_latency_s;    ///< remote dependency fetch, send -> value
+    Histogram compute_s;          ///< compute() duration (incl. gather cost)
+    Histogram queue_wait_s;       ///< ready -> dispatched
+    Histogram fetch_retries;      ///< retransmissions per retried fetch
+  };
+
+  Shard& shard(std::size_t i) { return *shards_[i]; }
+
+  /// Failure-detector health transition (single-writer: the sim event loop
+  /// or the threaded monitor thread).
+  void detector_event(std::int32_t place, std::uint8_t to, double t);
+
+  /// Appends one gauge sample, creating the series on first use
+  /// (single-writer: the sim event loop or the threaded sampler thread).
+  void sample(const std::string& name, std::int32_t place, double t, double value);
+
+  /// net::PerturbObserver — the fault injector reports every message fate
+  /// it rolls. May be called concurrently by threaded workers, hence the
+  /// mutex; only wired up when counters are on, so the lock is never taken
+  /// on an untraced run.
+  void on_perturb(net::MessageKind kind, std::int32_t src, std::int32_t dst,
+                  const net::Perturbation& p, double now) override;
+
+  struct Collected {
+    TraceLog log;
+    MetricsReport metrics;
+  };
+
+  /// Merges all shards into one TraceLog + MetricsReport. Shards are
+  /// visited in index order and series in creation order, so the result is
+  /// deterministic whenever the recording was (SimEngine). Call once, after
+  /// all writers have stopped.
+  Collected collect(TraceMeta meta);
+
+ private:
+  TraceLevel level_;
+  bool vertex_spans_extra_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<DetectorEvent> detector_;
+  std::vector<TimeSeries> series_;
+  std::map<std::pair<std::string, std::int32_t>, std::size_t> series_index_;
+  std::mutex perturb_mu_;
+  Histogram injected_delay_s_;
+  std::uint64_t perturb_drops_ = 0;
+  std::uint64_t perturb_dups_ = 0;
+};
+
+}  // namespace dpx10::obs

@@ -40,6 +40,14 @@ class SlotPool {
   double busy_seconds() const { return busy_seconds_; }
   std::uint64_t reservations() const { return reservations_; }
 
+  /// Number of slots reserved past `now` — the observability sampler's
+  /// slot-utilization gauge.
+  std::int32_t busy_count(double now) const {
+    std::int32_t n = 0;
+    for (double f : free_at_) n += f > now ? 1 : 0;
+    return n;
+  }
+
  private:
   std::size_t min_index() const;
 

@@ -49,6 +49,28 @@ TEST(Logging, MacroCompilesAndRespectsGate) {
   set_log_level(saved);
 }
 
+TEST(Logging, FormatCarriesElapsedAndPlace) {
+  EXPECT_EQ(detail::format_log_line(LogLevel::Info, 1.2041, 2, "hello"),
+            "[dpx10 INFO +1.204s p2] hello");
+  EXPECT_EQ(detail::format_log_line(LogLevel::Warn, 0.0, -1, "no place"),
+            "[dpx10 WARN +0.000s] no place");
+}
+
+TEST(Logging, ScopedPlaceTagRestores) {
+  set_log_place(-1);
+  EXPECT_EQ(log_place(), -1);
+  {
+    ScopedLogPlace tag(3);
+    EXPECT_EQ(log_place(), 3);
+    {
+      ScopedLogPlace inner(7);
+      EXPECT_EQ(log_place(), 7);
+    }
+    EXPECT_EQ(log_place(), 3);
+  }
+  EXPECT_EQ(log_place(), -1);
+}
+
 TEST(VertexIdOps, EqualityAndOrdering) {
   VertexId a{1, 2}, b{1, 2}, c{1, 3}, d{2, 0};
   EXPECT_EQ(a, b);

@@ -1,0 +1,375 @@
+// Observability subsystem: histogram layout, trace determinism, export
+// round-trips, tracing-off transparency and the critical-path profiler
+// (ISSUE 2 acceptance checks).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dpx10.h"
+#include "core/report_io.h"
+#include "dp/inputs.h"
+#include "dp/lcs.h"
+#include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
+#include "obs/metrics.h"
+#include "obs/trace_io.h"
+
+namespace dpx10 {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(ObsHistogram, BucketLayoutAndStats) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  h.record(1e-12);  // underflow bucket
+  h.record(1e-3);
+  h.record(2e-3);
+  h.record(1e9);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-12);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_NEAR(h.sum(), 1e9 + 3e-3 + 1e-12, 1.0);
+  std::uint64_t total = 0;
+  for (std::uint64_t b : h.buckets()) total += b;
+  EXPECT_EQ(total, 4u);
+  EXPECT_GT(h.buckets().front(), 0u);  // underflow landed
+  EXPECT_GT(h.buckets().back(), 0u);   // overflow landed
+}
+
+TEST(ObsHistogram, PercentileIsBucketUpperBound) {
+  obs::Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(1e-3);
+  h.record(1.0);
+  // p50 falls in the bucket containing 1e-3; the estimate is that bucket's
+  // ceiling, which must bracket the true value within one bucket (2x).
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 1e-3);
+  EXPECT_LE(p50, 2e-3 + 1e-12);
+  EXPECT_GE(h.percentile(0.999), 1.0);
+}
+
+TEST(ObsHistogram, MergeMatchesCombinedRecording) {
+  obs::Histogram a, b, both;
+  for (int i = 1; i <= 10; ++i) {
+    const double v = i * 1e-4;
+    (i % 2 ? a : b).record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  EXPECT_EQ(a.buckets(), both.buckets());
+}
+
+TEST(ObsHistogram, RestoreRoundTrips) {
+  obs::Histogram h;
+  h.record(3e-6);
+  h.record(4.5);
+  obs::Histogram r = obs::Histogram::restore(h.count(), h.sum(), h.min(), h.max(),
+                                             h.buckets());
+  EXPECT_EQ(r.count(), h.count());
+  EXPECT_DOUBLE_EQ(r.sum(), h.sum());
+  EXPECT_EQ(r.buckets(), h.buckets());
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), h.percentile(0.5));
+}
+
+// ------------------------------------------------- critical path, in vitro
+
+// A hand-built three-vertex chain 0 -> 1 -> 2 with known phase durations;
+// the walk must recover the chain and the breakdown must telescope.
+TEST(ObsCriticalPath, RecoversHandBuiltChain) {
+  obs::TraceLog log;
+  log.meta.elapsed_s = 10.0;
+  //                         index place slot ready start data  end   pub
+  log.vertices.push_back({0, 0, 0, 0.0, 0.5, 0.5, 2.0, true});
+  log.vertices.push_back({1, 0, 0, 2.5, 3.0, 4.0, 6.0, true});
+  log.vertices.push_back({2, 1, 0, 6.5, 7.0, 7.0, 10.0, true});
+  obs::DepsFn deps = [](std::int64_t index, std::vector<std::int64_t>& out) {
+    if (index > 0) out.push_back(index - 1);
+  };
+  const obs::CriticalPathReport cp = obs::compute_critical_path(log, deps);
+  ASSERT_EQ(cp.length(), 3u);
+  EXPECT_EQ(cp.chain.front(), 0);
+  EXPECT_EQ(cp.chain.back(), 2);
+  EXPECT_DOUBLE_EQ(cp.total_s, 10.0);
+  EXPECT_DOUBLE_EQ(cp.compute_s, 1.5 + 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(cp.queue_s, 0.5 + 0.5 + 0.5);
+  EXPECT_DOUBLE_EQ(cp.network_s, 1.0);
+  EXPECT_DOUBLE_EQ(cp.publish_s, 0.5 + 0.5);
+  EXPECT_DOUBLE_EQ(cp.lead_in_s, 0.0);
+  EXPECT_NEAR(cp.accounted_s(), cp.total_s, 1e-12);
+}
+
+TEST(ObsCriticalPath, EmptyLogYieldsEmptyReport) {
+  obs::TraceLog log;
+  const obs::CriticalPathReport cp =
+      obs::compute_critical_path(log, [](std::int64_t, std::vector<std::int64_t>&) {});
+  EXPECT_TRUE(cp.empty());
+  EXPECT_DOUBLE_EQ(cp.total_s, 0.0);
+}
+
+// --------------------------------------------------------- engine fixtures
+
+constexpr std::int32_t kSide = 31;
+
+std::unique_ptr<Dag> test_dag() { return patterns::make_pattern("left-top-diag", kSide, kSide); }
+
+dp::LcsApp test_app() {
+  return dp::LcsApp(dp::random_sequence(kSide - 1, 61), dp::random_sequence(kSide - 1, 62));
+}
+
+RunReport sim_run(obs::TraceLevel level, bool faults = false) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 3;
+  opts.trace_level = level;
+  if (faults) {
+    opts.netfaults.drop_prob = 0.2;
+    opts.netfaults.dup_prob = 0.1;
+  }
+  dp::LcsApp app = test_app();
+  SimEngine<std::int32_t> engine(opts);
+  auto dag = test_dag();
+  return engine.run(*dag, app);
+}
+
+obs::DepsFn dag_deps(const Dag& dag) {
+  return [&dag](std::int64_t index, std::vector<std::int64_t>& out) {
+    std::vector<VertexId> deps;
+    dag.dependencies(dag.domain().delinearize(index), deps);
+    for (const VertexId& d : deps) out.push_back(dag.domain().linearize(d));
+  };
+}
+
+// --------------------------------------------------------------- sim runs
+
+TEST(ObsSim, OffProducesNoTraceOrMetrics) {
+  const RunReport r = sim_run(obs::TraceLevel::Off);
+  EXPECT_EQ(r.trace_log, nullptr);
+  EXPECT_EQ(r.metrics, nullptr);
+}
+
+TEST(ObsSim, CountersProducesMetricsOnly) {
+  const RunReport r = sim_run(obs::TraceLevel::Counters);
+  EXPECT_EQ(r.trace_log, nullptr);
+  ASSERT_NE(r.metrics, nullptr);
+  const obs::Histogram* compute = r.metrics->find("compute_s");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_EQ(compute->count(), r.computed);
+  EXPECT_FALSE(r.metrics->series.empty());
+}
+
+// Tracing must observe, never perturb: a fully-traced run and an untraced
+// run of the same configuration produce the identical RunReport (the
+// simulator is deterministic, so any drift would be a tracing side effect).
+TEST(ObsSim, TracingDoesNotPerturbTheRun) {
+  const RunReport off = sim_run(obs::TraceLevel::Off);
+  const RunReport full = sim_run(obs::TraceLevel::Full);
+  std::ostringstream a, b;
+  print_json(a, off);
+  print_json(b, full);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_DOUBLE_EQ(off.elapsed_seconds, full.elapsed_seconds);
+  EXPECT_EQ(off.sim_events, full.sim_events);
+}
+
+TEST(ObsSim, SameSeedExportsAreByteIdentical) {
+  const RunReport r1 = sim_run(obs::TraceLevel::Full, /*faults=*/true);
+  const RunReport r2 = sim_run(obs::TraceLevel::Full, /*faults=*/true);
+  ASSERT_NE(r1.trace_log, nullptr);
+  ASSERT_NE(r2.trace_log, nullptr);
+  std::ostringstream n1, n2, c1, c2, m1, m2;
+  obs::write_native_trace(n1, *r1.trace_log, r1.metrics.get());
+  obs::write_native_trace(n2, *r2.trace_log, r2.metrics.get());
+  EXPECT_EQ(n1.str(), n2.str());
+  obs::write_chrome_trace(c1, *r1.trace_log, r1.metrics.get());
+  obs::write_chrome_trace(c2, *r2.trace_log, r2.metrics.get());
+  EXPECT_EQ(c1.str(), c2.str());
+  obs::write_metrics_json(m1, *r1.metrics);
+  obs::write_metrics_json(m2, *r2.metrics);
+  EXPECT_EQ(m1.str(), m2.str());
+}
+
+TEST(ObsSim, SpansCoverComputedVerticesWithOrderedPhases) {
+  const RunReport r = sim_run(obs::TraceLevel::Full);
+  ASSERT_NE(r.trace_log, nullptr);
+  EXPECT_EQ(r.trace_log->vertices.size(), r.computed);
+  for (const obs::VertexSpan& s : r.trace_log->vertices) {
+    EXPECT_LE(s.ready, s.start);
+    EXPECT_LE(s.start, s.data_ready);
+    EXPECT_LE(s.data_ready, s.end);
+    EXPECT_LE(s.end, r.elapsed_seconds + 1e-12);
+    EXPECT_TRUE(s.published);
+    EXPECT_GE(s.slot, 0);
+    EXPECT_LT(s.slot, 3);
+  }
+}
+
+TEST(ObsSim, FaultyNetworkRecordsDropsAndRetries) {
+  const RunReport r = sim_run(obs::TraceLevel::Full, /*faults=*/true);
+  ASSERT_NE(r.trace_log, nullptr);
+  bool dropped = false, delivered = false;
+  for (const obs::MessageEvent& m : r.trace_log->messages) {
+    if (m.fate == obs::MessageFate::Dropped) {
+      dropped = true;
+      EXPECT_LT(m.deliver, 0.0);
+    }
+    if (m.fate == obs::MessageFate::Delivered) {
+      delivered = true;
+      EXPECT_GE(m.deliver, m.send);
+    }
+  }
+  EXPECT_TRUE(dropped);
+  EXPECT_TRUE(delivered);
+  const obs::Histogram* retries = r.metrics->find("fetch_retries");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_GT(retries->max(), 0.0);  // at least one fetch needed a retransmit
+}
+
+// Legacy record_trace consumers keep working: the TraceEvent list is now
+// derived from the span log and must describe the same executions.
+TEST(ObsSim, LegacyTraceDerivesFromSpans) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 3;
+  opts.record_trace = true;
+  opts.trace_level = obs::TraceLevel::Full;
+  dp::LcsApp app = test_app();
+  SimEngine<std::int32_t> engine(opts);
+  auto dag = test_dag();
+  const RunReport r = engine.run(*dag, app);
+  ASSERT_NE(r.trace_log, nullptr);
+  ASSERT_EQ(r.trace.size(), r.trace_log->vertices.size());
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    const obs::VertexSpan& s = r.trace_log->vertices[i];
+    EXPECT_EQ(r.trace[i].index, s.index);
+    EXPECT_EQ(r.trace[i].place, s.place);
+    EXPECT_DOUBLE_EQ(r.trace[i].start, s.start);
+    EXPECT_DOUBLE_EQ(r.trace[i].end, s.end);
+  }
+}
+
+// Acceptance: the critical path walked from the recorded spans accounts for
+// the run's elapsed time exactly (virtual time has no measurement noise).
+TEST(ObsSim, CriticalPathAccountsForElapsed) {
+  const RunReport r = sim_run(obs::TraceLevel::Full);
+  ASSERT_NE(r.trace_log, nullptr);
+  auto dag = test_dag();
+  const obs::CriticalPathReport cp =
+      obs::compute_critical_path(*r.trace_log, dag_deps(*dag));
+  ASSERT_FALSE(cp.empty());
+  EXPECT_NEAR(cp.total_s, r.elapsed_seconds, 1e-9);
+  EXPECT_NEAR(cp.accounted_s(), cp.total_s, 1e-9);
+  EXPECT_GT(cp.compute_s, 0.0);
+}
+
+// ----------------------------------------------------------- export forms
+
+TEST(ObsExport, NativeTraceRoundTripsByteExactly) {
+  const RunReport r = sim_run(obs::TraceLevel::Full, /*faults=*/true);
+  ASSERT_NE(r.trace_log, nullptr);
+  std::ostringstream first;
+  obs::write_native_trace(first, *r.trace_log, r.metrics.get());
+
+  obs::TraceLog reread;
+  obs::MetricsReport metrics;
+  std::istringstream is(first.str());
+  obs::read_native_trace(is, reread, &metrics);
+  EXPECT_EQ(reread.vertices.size(), r.trace_log->vertices.size());
+  EXPECT_EQ(reread.messages.size(), r.trace_log->messages.size());
+  EXPECT_EQ(reread.meta.dag, r.trace_log->meta.dag);
+  EXPECT_EQ(metrics.histograms.size(), r.metrics->histograms.size());
+
+  std::ostringstream second;
+  obs::write_native_trace(second, reread, &metrics);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ObsExport, ChromeTraceHasExpectedEventShapes) {
+  const RunReport r = sim_run(obs::TraceLevel::Full, /*faults=*/true);
+  ASSERT_NE(r.trace_log, nullptr);
+  std::ostringstream os;
+  obs::write_chrome_trace(os, *r.trace_log, r.metrics.get());
+  const std::string json = os.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // vertex spans
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // counters
+  EXPECT_NE(json.find("\"place 0\""), std::string::npos);
+  // Balanced top-level structure (cheap well-formedness check without a
+  // JSON parser): equal brace and bracket counts.
+  std::int64_t braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ObsExport, MetricsCsvAndJsonAgreeOnHistogramNames)
+{
+  const RunReport r = sim_run(obs::TraceLevel::Counters);
+  ASSERT_NE(r.metrics, nullptr);
+  std::ostringstream csv, json;
+  obs::write_metrics_csv(csv, *r.metrics);
+  obs::write_metrics_json(json, *r.metrics);
+  for (const obs::NamedHistogram& h : r.metrics->histograms) {
+    EXPECT_NE(csv.str().find(h.name), std::string::npos) << h.name;
+    EXPECT_NE(json.str().find('"' + h.name + '"'), std::string::npos) << h.name;
+  }
+}
+
+// ------------------------------------------------------------- threaded
+
+TEST(ObsThreaded, FullTraceCoversRunAndCriticalPathIsSane) {
+  RuntimeOptions opts;
+  opts.nplaces = 2;
+  opts.nthreads = 2;
+  opts.trace_level = obs::TraceLevel::Full;
+  dp::LcsApp app = test_app();
+  ThreadedEngine<std::int32_t> engine(opts);
+  auto dag = test_dag();
+  const RunReport r = engine.run(*dag, app);
+  ASSERT_NE(r.trace_log, nullptr);
+  ASSERT_NE(r.metrics, nullptr);
+  EXPECT_EQ(r.trace_log->meta.engine, "threaded");
+  EXPECT_EQ(r.trace_log->vertices.size(), r.computed);
+  for (const obs::VertexSpan& s : r.trace_log->vertices) {
+    EXPECT_LE(s.start, s.data_ready);
+    EXPECT_LE(s.data_ready, s.end);
+  }
+  const obs::CriticalPathReport cp =
+      obs::compute_critical_path(*r.trace_log, dag_deps(*dag));
+  ASSERT_FALSE(cp.empty());
+  // Wall-clock measurement: the chain cannot outlast the run (collection
+  // happens after the last span ends) and must account for a meaningful
+  // share of it.
+  EXPECT_LE(cp.total_s, r.elapsed_seconds + 1e-6);
+  EXPECT_NEAR(cp.accounted_s(), cp.total_s, 1e-9);
+  EXPECT_GT(cp.total_s, 0.0);
+}
+
+TEST(ObsThreaded, OffProducesNoTraceOrMetrics) {
+  RuntimeOptions opts;
+  opts.nplaces = 2;
+  opts.nthreads = 2;
+  dp::LcsApp app = test_app();
+  ThreadedEngine<std::int32_t> engine(opts);
+  auto dag = test_dag();
+  const RunReport r = engine.run(*dag, app);
+  EXPECT_EQ(r.trace_log, nullptr);
+  EXPECT_EQ(r.metrics, nullptr);
+  EXPECT_EQ(r.computed, static_cast<std::uint64_t>(r.vertices));
+}
+
+}  // namespace
+}  // namespace dpx10

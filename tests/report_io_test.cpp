@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "core/report_io.h"
 
@@ -29,6 +30,8 @@ RunReport sample_report() {
   rec.recovery_seconds = 0.1;
   rec.lost = 50'000;
   rec.restored = 400'000;
+  rec.restored_remote = 120'000;
+  rec.discarded = 30'000;
   r.recoveries = {rec};
   r.recovery_seconds = 0.1;
   r.traffic.bytes_out = 4096;
@@ -91,6 +94,45 @@ TEST(ReportIo, CsvRoundTripsKeyFields) {
   EXPECT_NE(row.find("demo-app"), std::string::npos);
   EXPECT_NE(row.find("1000000"), std::string::npos);
   EXPECT_NE(row.find("1.5"), std::string::npos);
+}
+
+TEST(ReportIo, CsvCarriesRecoveryLossColumns) {
+  std::ostringstream os;
+  print_csv_row(os, "x", sample_report());
+  const std::string row = os.str();
+  EXPECT_NE(row.find("120000"), std::string::npos);  // restored_remote
+  EXPECT_NE(row.find("30000"), std::string::npos);   // discarded
+}
+
+// The CSV and JSON emitters must expose the same field set: every CSV
+// column except the free-text identifiers maps to a JSON key of the same
+// name, so downstream consumers can switch formats without a translation
+// table.
+TEST(ReportIo, CsvColumnsAllAppearAsJsonKeys) {
+  std::ostringstream hos;
+  print_csv_header(hos);
+  std::string header = hos.str();
+  ASSERT_FALSE(header.empty());
+  if (header.back() == '\n') header.pop_back();
+
+  std::ostringstream jos;
+  print_json(jos, sample_report());
+  const std::string json = jos.str();
+
+  std::vector<std::string> columns;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = header.find(',', start);
+    columns.push_back(header.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  ASSERT_GT(columns.size(), 20u);
+  for (const std::string& col : columns) {
+    if (col == "label" || col == "app" || col == "dag") continue;
+    EXPECT_NE(json.find('"' + col + "\":"), std::string::npos)
+        << "CSV column '" << col << "' has no JSON key of the same name";
+  }
 }
 
 TEST(ReportIo, TotalsSumPlaces) {

@@ -1,0 +1,34 @@
+// Shared by dpx10run and dpx10trace: rebuild the DAG named in a trace's
+// metadata from the pattern registry and adapt Dag::dependencies() to the
+// linear-index callback the critical-path profiler consumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dag.h"
+#include "core/patterns/registry.h"
+#include "obs/critical_path.h"
+#include "obs/trace_log.h"
+
+namespace dpx10::tools {
+
+/// Rebuilds the DAG a trace was recorded against. Throws ConfigError when
+/// the pattern name is not in the registry (e.g. a custom Dag subclass).
+inline std::unique_ptr<Dag> rebuild_dag(const obs::TraceMeta& meta) {
+  return patterns::make_pattern(meta.dag, meta.height, meta.width);
+}
+
+/// Adapts a Dag to obs::DepsFn. The caller keeps `dag` alive for the
+/// lifetime of the returned callback.
+inline obs::DepsFn make_deps_fn(const Dag& dag) {
+  return [&dag, deps = std::vector<VertexId>()](
+             std::int64_t index, std::vector<std::int64_t>& out) mutable {
+    deps.clear();
+    dag.dependencies(dag.domain().delinearize(index), deps);
+    for (const VertexId& d : deps) out.push_back(dag.domain().linearize(d));
+  };
+}
+
+}  // namespace dpx10::tools

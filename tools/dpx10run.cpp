@@ -37,9 +37,20 @@
 //   --retry-cap      retransmit timeout ceiling, s         [4ms]
 //   --retry-attempts max fetch attempts before giving up   [12]
 //   --seed           run seed                              [42]
+//   --trace-level    off|counters|full                     [off]
+//   --trace-sample   time-series sampling period, seconds  [1ms]
+//   --trace-out      write the recorded trace to FILE; a .json suffix
+//                    selects Chrome/Perfetto trace_event JSON, anything
+//                    else the native round-trippable format (implies
+//                    --trace-level=full)
+//   --metrics-out    write histograms + time series to FILE, .csv or
+//                    .json by suffix (implies --trace-level=counters)
+//   --critical-path  print the critical-path breakdown after the report
+//                    (implies --trace-level=full)
 //   --places         also print the per-place table
 //   --csv            print a CSV row instead of the report
 //   --json           print the full report as JSON
+#include <fstream>
 #include <iostream>
 
 #include "common/error.h"
@@ -47,7 +58,13 @@
 #include "common/strings.h"
 #include "core/dpx10.h"
 #include "core/report_io.h"
+#include "dag_deps.h"
 #include "dp/runners.h"
+#include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
+#include "obs/metrics.h"
+#include "obs/trace_io.h"
+#include "obs/trace_level.h"
 
 namespace {
 
@@ -140,8 +157,45 @@ int main(int argc, char** argv) {
     opts.retry.max_attempts =
         static_cast<std::int32_t>(cli.get_int("retry-attempts", opts.retry.max_attempts));
 
+    const std::string trace_out = cli.get("trace-out", "");
+    const std::string metrics_out = cli.get("metrics-out", "");
+    const bool critical_path = cli.get_bool("critical-path", false);
+    {
+      const std::string level_name = cli.get("trace-level", "off");
+      require(obs::parse_trace_level(level_name, opts.trace_level),
+              "unknown --trace-level '" + level_name + "' (off|counters|full)");
+    }
+    if (!metrics_out.empty() && opts.trace_level == obs::TraceLevel::Off) {
+      opts.trace_level = obs::TraceLevel::Counters;
+    }
+    if (!trace_out.empty() || critical_path) {
+      opts.trace_level = obs::TraceLevel::Full;
+    }
+    opts.trace_sample_s = cli.get_double("trace-sample", opts.trace_sample_s);
+
     RunReport report = dp::run_dp_app(app, engine, vertices, opts,
                                       static_cast<std::uint64_t>(cli.get_int("input-seed", 1234)));
+
+    if (!trace_out.empty()) {
+      require(report.trace_log != nullptr, "engine produced no trace for --trace-out");
+      std::ofstream os(trace_out);
+      require(os.good(), "cannot open --trace-out '" + trace_out + "'");
+      if (trace_out.ends_with(".json")) {
+        obs::write_chrome_trace(os, *report.trace_log, report.metrics.get());
+      } else {
+        obs::write_native_trace(os, *report.trace_log, report.metrics.get());
+      }
+    }
+    if (!metrics_out.empty()) {
+      require(report.metrics != nullptr, "engine produced no metrics for --metrics-out");
+      std::ofstream os(metrics_out);
+      require(os.good(), "cannot open --metrics-out '" + metrics_out + "'");
+      if (metrics_out.ends_with(".csv")) {
+        obs::write_metrics_csv(os, *report.metrics);
+      } else {
+        obs::write_metrics_json(os, *report.metrics);
+      }
+    }
 
     if (cli.get_bool("json", false)) {
       print_json(std::cout, report);
@@ -154,6 +208,13 @@ int main(int argc, char** argv) {
         std::cout << "\n";
         print_place_table(std::cout, report);
       }
+    }
+    if (critical_path && report.trace_log != nullptr) {
+      const std::unique_ptr<Dag> dag = tools::rebuild_dag(report.trace_log->meta);
+      const obs::CriticalPathReport cp =
+          obs::compute_critical_path(*report.trace_log, tools::make_deps_fn(*dag));
+      std::cout << "\n";
+      obs::print_critical_path(std::cout, cp, *report.trace_log);
     }
     return 0;
   } catch (const dpx10::Error& e) {

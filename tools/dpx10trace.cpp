@@ -1,0 +1,106 @@
+// dpx10trace — offline inspector for traces recorded with
+// `dpx10run --trace-out=FILE` (the native format; see obs/trace_io.h).
+//
+//   dpx10trace summary run.trace
+//       Print the run metadata, event counts, histogram summaries and the
+//       critical-path breakdown. The DAG is rebuilt from the pattern name
+//       and dimensions embedded in the trace, so no other input is needed.
+//
+//   dpx10trace convert run.trace --out=run.json
+//       Convert to Chrome trace_event JSON, loadable in Perfetto
+//       (https://ui.perfetto.dev) or chrome://tracing. Without --out the
+//       JSON goes to stdout.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/error.h"
+#include "common/options.h"
+#include "dag_deps.h"
+#include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
+#include "obs/metrics.h"
+#include "obs/trace_io.h"
+
+namespace {
+
+using namespace dpx10;
+
+void load(const std::string& path, obs::TraceLog& log, obs::MetricsReport& metrics) {
+  std::ifstream is(path);
+  require(is.good(), "cannot open trace file '" + path + "'");
+  obs::read_native_trace(is, log, &metrics);
+}
+
+int cmd_summary(const std::string& path) {
+  obs::TraceLog log;
+  obs::MetricsReport metrics;
+  load(path, log, metrics);
+
+  const obs::TraceMeta& m = log.meta;
+  char line[256];
+  std::snprintf(line, sizeof line, "%s on %s (%dx%d), engine %s, %d places x %d threads",
+                m.app.c_str(), m.dag.c_str(), m.height, m.width, m.engine.c_str(),
+                m.nplaces, m.nthreads);
+  std::cout << line << "\n";
+  std::snprintf(line, sizeof line,
+                "elapsed %.6f s; %zu vertex spans, %zu message events, %zu detector events",
+                m.elapsed_s, log.vertices.size(), log.messages.size(), log.detector.size());
+  std::cout << line << "\n";
+
+  if (!metrics.empty()) {
+    std::cout << "\n";
+    obs::print_metrics_summary(std::cout, metrics);
+  }
+
+  if (!log.vertices.empty()) {
+    std::cout << "\n";
+    try {
+      const std::unique_ptr<Dag> dag = tools::rebuild_dag(m);
+      const obs::CriticalPathReport cp =
+          obs::compute_critical_path(log, tools::make_deps_fn(*dag));
+      obs::print_critical_path(std::cout, cp, log);
+    } catch (const ConfigError& e) {
+      std::cout << "(critical path unavailable: " << e.what() << ")\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_convert(const std::string& path, const std::string& out) {
+  obs::TraceLog log;
+  obs::MetricsReport metrics;
+  load(path, log, metrics);
+  if (out.empty()) {
+    obs::write_chrome_trace(std::cout, log, &metrics);
+  } else {
+    std::ofstream os(out);
+    require(os.good(), "cannot open --out '" + out + "'");
+    obs::write_chrome_trace(os, log, &metrics);
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: dpx10trace summary FILE\n"
+               "       dpx10trace convert FILE [--out=FILE.json]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Options cli(argc, argv);
+    const std::vector<std::string>& args = cli.positional();
+    if (args.size() != 2) return usage();
+    if (args[0] == "summary") return cmd_summary(args[1]);
+    if (args[0] == "convert") return cmd_convert(args[1], cli.get("out", ""));
+    return usage();
+  } catch (const dpx10::Error& e) {
+    std::cerr << "dpx10trace: " << e.what() << "\n";
+    return 1;
+  }
+}
