@@ -2,7 +2,14 @@
 // per second through the simulated and threaded engines on a fixed small
 // workload. These are the end-to-end constants behind the figure benches'
 // host runtime.
+//
+// Ships its own main: `micro_engine --quick` runs one fast pass over the
+// small problem sizes — the CI smoke mode (also used by scripts/
+// bench_report.sh for the sharded-vs-legacy scheduler comparison).
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "core/dpx10.h"
 #include "dp/inputs.h"
@@ -47,4 +54,58 @@ void BM_ThreadedEngineLcs(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadedEngineLcs)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
+// The scheduler hot path under contention: many workers, one place, so the
+// ready queue itself is the bottleneck. Legacy pins queue_shards (and the
+// cache-lock stripes) to 1 — the single-deque, single-lock layout this PR
+// replaced; Sharded uses the per-worker default. The spread between the two
+// is the sharding win reported in BENCH_PR3.json.
+void threaded_queue_bench(benchmark::State& state, std::int32_t queue_shards) {
+  const auto side = static_cast<std::int32_t>(state.range(0));
+  std::string a = dp::random_sequence(static_cast<std::size_t>(side - 1), 1);
+  std::string b = dp::random_sequence(static_cast<std::size_t>(side - 1), 2);
+  auto dag = patterns::make_pattern("left-top-diag", side, side);
+  RuntimeOptions opts;
+  opts.nplaces = 2;
+  opts.nthreads = 6;
+  opts.ready_order = ReadyOrder::Lifo;
+  opts.queue_shards = queue_shards;
+  opts.cache_stripes = queue_shards;
+  for (auto _ : state) {
+    dp::LcsApp app(a, b);
+    ThreadedEngine<std::int32_t> engine(opts);
+    benchmark::DoNotOptimize(engine.run(*dag, app).elapsed_seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+
+void BM_ThreadedQueueLegacy(benchmark::State& state) { threaded_queue_bench(state, 1); }
+void BM_ThreadedQueueSharded(benchmark::State& state) { threaded_queue_bench(state, 0); }
+BENCHMARK(BM_ThreadedQueueLegacy)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ThreadedQueueSharded)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool quick = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string(*it) == "--quick") {
+      quick = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  static char filter[] = "--benchmark_filter=/64";
+  static char min_time[] = "--benchmark_min_time=0.05";
+  if (quick) {
+    args.push_back(filter);
+    args.push_back(min_time);
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

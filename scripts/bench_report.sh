@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Benchmark evidence for the coalescing + sharded-queue PR: builds the
+# Release preset, measures
+#   * threaded-engine throughput with the legacy single-deque scheduler
+#     (queue_shards=1) vs the sharded per-worker default (micro_engine),
+#   * one Figure-10 sim scaling point (SWLAG, 1M vertices, 8 nodes) with
+#     coalescing off and on,
+# and writes the combined report to BENCH_PR3.json at the repo root.
+#
+#   scripts/bench_report.sh            # full run (~a minute)
+#   scripts/bench_report.sh --quick    # CI-sized smoke run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=""
+[[ "${1:-}" == "--quick" ]] && quick="yes"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+echo "==> build (release)"
+cmake --preset release >/dev/null
+cmake --build --preset release -j "${jobs}" --target micro_engine dpx10run >/dev/null
+
+bench_json="$(mktemp)"
+fig10_off="$(mktemp)"
+fig10_on="$(mktemp)"
+trap 'rm -f "${bench_json}" "${fig10_off}" "${fig10_on}"' EXIT
+
+echo "==> micro_engine (sharded vs legacy ready queues)"
+if [[ -n "${quick}" ]]; then
+  build-release/bench/micro_engine --quick \
+    --benchmark_out="${bench_json}" --benchmark_out_format=json >/dev/null
+else
+  build-release/bench/micro_engine \
+    --benchmark_filter='BM_Threaded' \
+    --benchmark_out="${bench_json}" --benchmark_out_format=json >/dev/null
+fi
+
+echo "==> fig10 scaling point (swlag, sim, 8 nodes)"
+vertices="1m"
+[[ -n "${quick}" ]] && vertices="100k"
+build-release/tools/dpx10run --app=swlag --engine=sim --vertices="${vertices}" \
+  --nodes=8 --scheduling=min-comm --json > "${fig10_off}"
+build-release/tools/dpx10run --app=swlag --engine=sim --vertices="${vertices}" \
+  --nodes=8 --scheduling=min-comm --coalescing=true --json > "${fig10_on}"
+
+if ! command -v python3 >/dev/null; then
+  echo "bench_report.sh: python3 not found; leaving raw outputs" >&2
+  cp "${bench_json}" BENCH_PR3.json
+  exit 0
+fi
+
+python3 - "${bench_json}" "${fig10_off}" "${fig10_on}" <<'PY'
+import json, sys
+
+bench = json.load(open(sys.argv[1]))
+fig10_off = json.load(open(sys.argv[2]))
+fig10_on = json.load(open(sys.argv[3]))
+
+def items_per_second(name_prefix):
+    best = 0.0
+    for b in bench.get("benchmarks", []):
+        if b["name"].startswith(name_prefix):
+            best = max(best, b.get("items_per_second", 0.0))
+    return best
+
+legacy = items_per_second("BM_ThreadedQueueLegacy")
+sharded = items_per_second("BM_ThreadedQueueSharded")
+
+def fig10_point(r):
+    return {
+        "elapsed_s": r["elapsed_s"],
+        "messages_out": r["traffic"]["messages_out"],
+        "bytes_out": r["traffic"]["bytes_out"],
+        "messages_per_vertex": r["traffic"]["messages_out"] / max(r["vertices"], 1),
+        "fetch_batches": r["fetch_batches"],
+        "control_batches": r["control_batches"],
+    }
+
+report = {
+    "pr": "message coalescing + sharded ready queues",
+    "threaded_queue": {
+        "legacy_items_per_second": legacy,
+        "sharded_items_per_second": sharded,
+        "speedup": (sharded / legacy) if legacy else None,
+    },
+    "fig10_swlag_8_nodes": {
+        "vertices": fig10_off["vertices"],
+        "coalescing_off": fig10_point(fig10_off),
+        "coalescing_on": fig10_point(fig10_on),
+        "message_reduction":
+            fig10_off["traffic"]["messages_out"] /
+            max(fig10_on["traffic"]["messages_out"], 1),
+    },
+}
+with open("BENCH_PR3.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps(report["threaded_queue"], indent=2))
+print("fig10 message reduction: %.2fx" %
+      report["fig10_swlag_8_nodes"]["message_reduction"])
+PY
+
+echo "bench_report.sh: wrote BENCH_PR3.json"

@@ -12,8 +12,11 @@
 // single-threaded.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -173,6 +176,63 @@ class VertexCache {
   CachePolicy policy_;
   FifoVertexCache<T> fifo_;
   LruVertexCache<T> lru_;
+};
+
+/// N-way lock-striped wrapper around VertexCache for the threaded engine.
+/// Each stripe owns an independent mutex + cache holding its share of the
+/// capacity; a key always maps to the same stripe, so get/put for one
+/// vertex never contend with a different stripe's traffic. One stripe
+/// reproduces the legacy single-lock, single-FIFO behaviour exactly.
+template <typename T>
+class StripedVertexCache {
+ public:
+  StripedVertexCache(CachePolicy policy, std::size_t capacity, std::size_t stripes)
+      : stripes_(std::max<std::size_t>(1, stripes)) {
+    // Split the capacity evenly, rounding up so `stripes` one-entry caches
+    // never degenerate to zero; total capacity may exceed the request by at
+    // most stripes-1 entries.
+    const std::size_t share =
+        capacity == 0 ? 0 : (capacity + stripes_.size() - 1) / stripes_.size();
+    for (Stripe& s : stripes_) {
+      s.cache = std::make_unique<VertexCache<T>>(policy, share);
+    }
+  }
+
+  std::size_t stripe_count() const { return stripes_.size(); }
+
+  bool get(VertexId id, T& out) {
+    Stripe& s = stripe_of(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.cache->get(id, out);
+  }
+
+  void put(VertexId id, const T& value) {
+    Stripe& s = stripe_of(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.cache->put(id, value);
+  }
+
+  void clear() {
+    for (Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.cache->clear();
+    }
+  }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::unique_ptr<VertexCache<T>> cache;
+  };
+
+  Stripe& stripe_of(VertexId id) {
+    // key() already mixes row and column; a multiplicative hash spreads
+    // neighbouring diagonals across stripes.
+    const std::uint64_t h = id.key() * 0x9e3779b97f4a7c15ull;
+    return stripes_[(h >> 32) % stripes_.size()];
+  }
+
+  std::vector<Stripe> stripes_;
 };
 
 }  // namespace dpx10

@@ -26,6 +26,8 @@ struct PlaceStats {
   std::uint64_t remote_fetches = 0;  ///< cache misses that went to the network
   std::uint64_t cache_hits = 0;
   std::uint64_t control_msgs_out = 0;  ///< remote indegree decrements sent
+  std::uint64_t fetch_batches = 0;     ///< coalesced fetch round trips issued
+  std::uint64_t control_batches = 0;   ///< coalesced control messages sent
   std::uint64_t steals = 0;            ///< vertices stolen by this place
   std::uint64_t fetch_retries = 0;     ///< fetch attempts beyond the first
   std::uint64_t fetch_timeouts = 0;    ///< fetch attempts that hit a timeout
@@ -42,6 +44,8 @@ struct PlaceStats {
     remote_fetches += o.remote_fetches;
     cache_hits += o.cache_hits;
     control_msgs_out += o.control_msgs_out;
+    fetch_batches += o.fetch_batches;
+    control_batches += o.control_batches;
     steals += o.steals;
     fetch_retries += o.fetch_retries;
     fetch_timeouts += o.fetch_timeouts;
@@ -61,6 +65,8 @@ struct AtomicPlaceStats {
   std::atomic<std::uint64_t> remote_fetches{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> control_msgs_out{0};
+  std::atomic<std::uint64_t> fetch_batches{0};
+  std::atomic<std::uint64_t> control_batches{0};
   std::atomic<std::uint64_t> steals{0};
   std::atomic<std::uint64_t> fetch_retries{0};
   std::atomic<std::uint64_t> fetch_timeouts{0};
@@ -76,6 +82,8 @@ struct AtomicPlaceStats {
     s.remote_fetches = remote_fetches.load(std::memory_order_relaxed);
     s.cache_hits = cache_hits.load(std::memory_order_relaxed);
     s.control_msgs_out = control_msgs_out.load(std::memory_order_relaxed);
+    s.fetch_batches = fetch_batches.load(std::memory_order_relaxed);
+    s.control_batches = control_batches.load(std::memory_order_relaxed);
     s.steals = steals.load(std::memory_order_relaxed);
     s.fetch_retries = fetch_retries.load(std::memory_order_relaxed);
     s.fetch_timeouts = fetch_timeouts.load(std::memory_order_relaxed);

@@ -25,6 +25,11 @@ void print_report(std::ostream& os, const RunReport& report) {
   os << "\n";
   os << "  traffic:       " << with_commas(report.traffic.total_messages_out())
      << " messages, " << human_bytes(static_cast<double>(report.traffic.bytes_out)) << "\n";
+  if (totals.fetch_batches + totals.control_batches > 0) {
+    os << "  coalescing:    " << with_commas(totals.fetch_batches)
+       << " fetch batches, " << with_commas(totals.control_batches)
+       << " control batches\n";
+  }
   if (totals.steals > 0) {
     os << "  steals:        " << with_commas(totals.steals) << "\n";
   }
@@ -80,7 +85,8 @@ RecoveryTotals recovery_totals(const RunReport& report) {
 void print_csv_header(std::ostream& os) {
   os << "label,app,dag,vertices,prefinished,computed,elapsed_s,recovery_s,"
         "detection_s,snapshot_s,snapshots,sim_events,remote_fetches,"
-        "cache_hits,local_dep_reads,control_msgs_out,executed_nonlocal,"
+        "cache_hits,local_dep_reads,control_msgs_out,fetch_batches,"
+        "control_batches,executed_nonlocal,"
         "steals,messages_out,bytes_out,net_drops,net_duplicates,"
         "fetch_retries,fetch_timeouts,suspicions,recoveries,lost,restored,"
         "restored_remote,discarded\n";
@@ -98,7 +104,8 @@ void print_csv_row(std::ostream& os, const std::string& label, const RunReport& 
      << strformat("%.9g", report.snapshot_seconds) << ','
      << report.snapshots_taken << ',' << report.sim_events << ','
      << t.remote_fetches << ',' << t.cache_hits << ',' << t.local_dep_reads << ','
-     << t.control_msgs_out << ',' << t.executed_nonlocal << ',' << t.steals << ','
+     << t.control_msgs_out << ',' << t.fetch_batches << ',' << t.control_batches << ','
+     << t.executed_nonlocal << ',' << t.steals << ','
      << report.traffic.total_messages_out() << ',' << report.traffic.bytes_out << ','
      << t.net_drops << ',' << t.net_duplicates << ',' << t.fetch_retries << ','
      << t.fetch_timeouts << ',' << t.suspicions << ','
@@ -139,6 +146,8 @@ void json_place(std::ostream& os, const PlaceStats& s) {
      << ",\"remote_fetches\":" << s.remote_fetches
      << ",\"cache_hits\":" << s.cache_hits
      << ",\"control_msgs_out\":" << s.control_msgs_out
+     << ",\"fetch_batches\":" << s.fetch_batches
+     << ",\"control_batches\":" << s.control_batches
      << ",\"steals\":" << s.steals
      << ",\"fetch_retries\":" << s.fetch_retries
      << ",\"fetch_timeouts\":" << s.fetch_timeouts
@@ -174,6 +183,8 @@ void print_json(std::ostream& os, const RunReport& report) {
      << ",\"cache_hits\":" << t.cache_hits
      << ",\"local_dep_reads\":" << t.local_dep_reads
      << ",\"control_msgs_out\":" << t.control_msgs_out
+     << ",\"fetch_batches\":" << t.fetch_batches
+     << ",\"control_batches\":" << t.control_batches
      << ",\"executed_nonlocal\":" << t.executed_nonlocal
      << ",\"steals\":" << t.steals
      << ",\"net_drops\":" << t.net_drops

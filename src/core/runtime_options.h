@@ -137,6 +137,23 @@ struct RuntimeOptions {
   /// Sampler period for the Counters/Full time series: virtual seconds in
   /// the SimEngine, wall seconds (floored at 1 ms) in the ThreadedEngine.
   double trace_sample_s = 1.0e-3;
+  /// Communication coalescing (both engines). When on, a vertex's remote
+  /// dependencies are grouped by owner place and fetched with ONE
+  /// BatchFetchRequest/BatchFetchReply pair per owner, and a publish flushes
+  /// ONE BatchIndegreeControl per destination place (carrying the finished
+  /// value, which seeds the destination's vertex cache) instead of one
+  /// IndegreeControl per edge. Off by default: the legacy per-edge wire
+  /// protocol is what the paper's traffic discussion (§VI-C) and the
+  /// calibrated Fig. 10 curves describe, so measurements against the paper
+  /// should leave this off.
+  bool coalescing = false;
+  /// ThreadedEngine: number of per-worker ready-deque shards per place.
+  /// 0 = one shard per worker thread (the sharded scheduler); 1 = the
+  /// legacy single mutex+deque per place. Values > nthreads are clamped.
+  std::int32_t queue_shards = 0;
+  /// ThreadedEngine: number of lock stripes for the per-place vertex cache.
+  /// 0 = one stripe per worker thread; 1 = the legacy single cache lock.
+  std::int32_t cache_stripes = 0;
   RestoreMode restore = RestoreMode::DiscardRemote;
   RecoveryPolicy recovery = RecoveryPolicy::Rebuild;
   /// PeriodicSnapshot only: take a snapshot each time this fraction of the
@@ -164,6 +181,10 @@ struct RuntimeOptions {
             "RuntimeOptions: snapshot_interval must be in (0, 1]");
     require(trace_sample_s > 0.0,
             "RuntimeOptions: trace_sample_s must be positive");
+    require(queue_shards >= 0,
+            "RuntimeOptions: queue_shards must be >= 0 (0 = per-worker)");
+    require(cache_stripes >= 0,
+            "RuntimeOptions: cache_stripes must be >= 0 (0 = per-worker)");
     for (std::size_t a = 0; a < faults.size(); ++a) {
       faults[a].validate(nplaces);
       for (std::size_t b = a + 1; b < faults.size(); ++b) {

@@ -324,34 +324,41 @@ class SimEngine {
       bool unreachable = false;  ///< retry budget exhausted, owner crashed
     };
 
-    /// Models fetching one dependency value from `owner`'s NIC, with the
-    /// timeout + exponential backoff + retry-cap protocol when the network
-    /// is unreliable. Fetch attempts carry a sequence number: a duplicated
-    /// or late reply for an already-satisfied fetch is idempotently ignored
-    /// (it only burns wire bytes and owner NIC time). On a reliable network
-    /// with a live owner this reduces exactly to the baseline
-    /// request/NIC-queue/reply timing, with zero injector draws.
+    /// Models fetching one dependency value — or, under coalescing, one
+    /// owner-grouped batch of values — from `owner`'s NIC, with the timeout
+    /// + exponential backoff + retry-cap protocol when the network is
+    /// unreliable. The request/reply kinds and payload sizes are the
+    /// caller's: the legacy path passes FetchRequest/FetchReply with a
+    /// control-sized request, the coalesced path passes the Batch* kinds
+    /// with k-scaled payloads. A batch is ONE wire message either way: one
+    /// injector draw per direction, one NIC slot, and a timeout retransmits
+    /// the whole batch. Fetch attempts carry a sequence number: a
+    /// duplicated or late reply for an already-satisfied fetch is
+    /// idempotently ignored (it only burns wire bytes and owner NIC time).
+    /// On a reliable network with a live owner this reduces exactly to the
+    /// baseline request/NIC-queue/reply timing, with zero injector draws.
     FetchTiming model_remote_fetch(std::int32_t p, std::int32_t owner,
-                                   std::size_t reply_bytes) {
+                                   net::MessageKind req_kind, net::MessageKind reply_kind,
+                                   std::size_t req_payload, std::size_t reply_bytes) {
       PlaceSim& pl = place(p);
       PlaceSim& owner_pl = place(owner);
       const bool msgs = tracer_.spans_on();
       obs::Tracer::Shard& sh = tracer_.shard(0);
       const double req_wire =
-          opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+          opts_.link.transfer_time(net::wire_bytes(req_payload));
       const double reply_wire = opts_.link.transfer_time(net::wire_bytes(reply_bytes));
 
       if (!injector_.enabled() && !crashed_[owner]) {
-        book_.record(p, owner, net::MessageKind::FetchRequest, net::kControlPayloadBytes);
-        book_.record(owner, p, net::MessageKind::FetchReply, reply_bytes);
+        book_.record(p, owner, req_kind, req_payload);
+        book_.record(owner, p, reply_kind, reply_bytes);
         const double request_arrives = now_ + req_wire;
         const double nic_start = std::max(request_arrives, owner_pl.nic_free);
         const double nic_end = nic_start + opts_.link.nic_time(net::wire_bytes(reply_bytes));
         owner_pl.nic_free = nic_end;
         if (msgs) {
-          sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, now_,
+          sh.messages.push_back({req_kind, p, owner, now_,
                                  request_arrives, obs::MessageFate::Delivered});
-          sh.messages.push_back({net::MessageKind::FetchReply, owner, p, nic_end,
+          sh.messages.push_back({reply_kind, owner, p, nic_end,
                                  nic_end + reply_wire, obs::MessageFate::Delivered});
         }
         return {nic_end + reply_wire, false};
@@ -366,23 +373,22 @@ class SimEngine {
         ++attempts;
         check_internal(attempts < 100000,
                        "SimEngine: remote fetch failed to terminate");
-        book_.record(p, owner, net::MessageKind::FetchRequest, net::kControlPayloadBytes);
-        const auto req =
-            injector_.perturb(net::MessageKind::FetchRequest, p, owner, t);
+        book_.record(p, owner, req_kind, req_payload);
+        const auto req = injector_.perturb(req_kind, p, owner, t);
         if (req.dropped) {
           ++pl.stats.net_drops;
           if (msgs) {
-            sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, t,
+            sh.messages.push_back({req_kind, p, owner, t,
                                    -1.0, obs::MessageFate::Dropped});
           }
         } else if (!crashed_[owner]) {
           const double request_arrives = t + req_wire + req.extra_delay_s;
           pl.stats.net_duplicates += static_cast<std::uint64_t>(req.extra_copies);
           if (msgs) {
-            sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, t,
+            sh.messages.push_back({req_kind, p, owner, t,
                                    request_arrives, obs::MessageFate::Delivered});
             for (std::int32_t c = 0; c < req.extra_copies; ++c) {
-              sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, t,
+              sh.messages.push_back({req_kind, p, owner, t,
                                      request_arrives, obs::MessageFate::Duplicated});
             }
           }
@@ -394,13 +400,12 @@ class SimEngine {
             const double nic_end =
                 nic_start + opts_.link.nic_time(net::wire_bytes(reply_bytes));
             owner_pl.nic_free = nic_end;
-            book_.record(owner, p, net::MessageKind::FetchReply, reply_bytes);
-            const auto rep =
-                injector_.perturb(net::MessageKind::FetchReply, owner, p, nic_end);
+            book_.record(owner, p, reply_kind, reply_bytes);
+            const auto rep = injector_.perturb(reply_kind, owner, p, nic_end);
             if (rep.dropped) {
               ++pl.stats.net_drops;
               if (msgs) {
-                sh.messages.push_back({net::MessageKind::FetchReply, owner, p,
+                sh.messages.push_back({reply_kind, owner, p,
                                        nic_end, -1.0, obs::MessageFate::Dropped});
               }
               continue;
@@ -408,10 +413,10 @@ class SimEngine {
             pl.stats.net_duplicates += static_cast<std::uint64_t>(rep.extra_copies);
             const double arrives = nic_end + reply_wire + rep.extra_delay_s;
             if (msgs) {
-              sh.messages.push_back({net::MessageKind::FetchReply, owner, p,
+              sh.messages.push_back({reply_kind, owner, p,
                                      nic_end, arrives, obs::MessageFate::Delivered});
               for (std::int32_t c2 = 0; c2 < rep.extra_copies; ++c2) {
-                sh.messages.push_back({net::MessageKind::FetchReply, owner, p,
+                sh.messages.push_back({reply_kind, owner, p,
                                        nic_end, arrives, obs::MessageFate::Duplicated});
               }
             }
@@ -419,7 +424,7 @@ class SimEngine {
           }
         } else if (msgs) {
           // Delivered into a silently-crashed owner: lost with the place.
-          sh.messages.push_back({net::MessageKind::FetchRequest, p, owner, t,
+          sh.messages.push_back({req_kind, p, owner, t,
                                  -1.0, obs::MessageFate::Dropped});
         }
         const double deadline = t + timeout;
@@ -466,28 +471,79 @@ class SimEngine {
 
       double gather_cost = 0.0;      // sequential local/cached reads
       double data_ready = now_;      // parallel remote fetches finish here
-      for (VertexId d : deps_scratch_) {
-        const std::int32_t owner = array.owner_place(d);
-        T value;
-        if (owner == p) {
-          value = array.cell(d).value;
-          gather_cost += opts_.cost.local_dep_ns * 1e-9;
-          ++pl.stats.local_dep_reads;
-        } else if (pl.cache.get(d, value)) {
-          gather_cost += opts_.cost.local_dep_ns * 1e-9;
-          ++pl.stats.cache_hits;
-        } else {
-          value = array.cell(d).value;
-          ++pl.stats.remote_fetches;
-          const FetchTiming fetch = model_remote_fetch(p, owner, value_wire_bytes(value));
-          if (fetch.unreachable) return;
+      if (!opts_.coalescing) {
+        for (VertexId d : deps_scratch_) {
+          const std::int32_t owner = array.owner_place(d);
+          T value;
+          if (owner == p) {
+            value = array.cell(d).value;
+            gather_cost += opts_.cost.local_dep_ns * 1e-9;
+            ++pl.stats.local_dep_reads;
+          } else if (pl.cache.get(d, value)) {
+            gather_cost += opts_.cost.local_dep_ns * 1e-9;
+            ++pl.stats.cache_hits;
+          } else {
+            value = array.cell(d).value;
+            ++pl.stats.remote_fetches;
+            const FetchTiming fetch = model_remote_fetch(
+                p, owner, net::MessageKind::FetchRequest, net::MessageKind::FetchReply,
+                net::kControlPayloadBytes, value_wire_bytes(value));
+            if (fetch.unreachable) return;
+            if (tracer_.counters_on()) {
+              tracer_.shard(0).fetch_latency_s.record(fetch.ready_at - now_);
+            }
+            data_ready = std::max(data_ready, fetch.ready_at);
+            pl.cache.put(d, value);
+          }
+          dep_values_.push_back(Vertex<T>{d, value});
+        }
+      } else {
+        // Coalesced gather: classify every dependency first, grouping cache
+        // misses by owner place, then issue ONE batch round trip per owner.
+        // Values are read eagerly either way (the sim publishes lazily but
+        // computes eagerly), so only accounting and timing change.
+        fetch_groups_.clear();
+        for (VertexId d : deps_scratch_) {
+          const std::int32_t owner = array.owner_place(d);
+          T value;
+          if (owner == p) {
+            value = array.cell(d).value;
+            gather_cost += opts_.cost.local_dep_ns * 1e-9;
+            ++pl.stats.local_dep_reads;
+          } else if (pl.cache.get(d, value)) {
+            gather_cost += opts_.cost.local_dep_ns * 1e-9;
+            ++pl.stats.cache_hits;
+          } else {
+            value = array.cell(d).value;
+            ++pl.stats.remote_fetches;
+            FetchGroup* group = nullptr;
+            for (FetchGroup& g : fetch_groups_) {
+              if (g.owner == owner) { group = &g; break; }
+            }
+            if (group == nullptr) {
+              fetch_groups_.push_back(FetchGroup{owner, 0, {}});
+              group = &fetch_groups_.back();
+            }
+            group->reply_payload += value_wire_bytes(value);
+            group->entries.push_back(Vertex<T>{d, value});
+          }
+          dep_values_.push_back(Vertex<T>{d, value});
+        }
+        for (FetchGroup& g : fetch_groups_) {
+          ++pl.stats.fetch_batches;
+          const FetchTiming fetch = model_remote_fetch(
+              p, g.owner, net::MessageKind::BatchFetchRequest,
+              net::MessageKind::BatchFetchReply,
+              net::batch_fetch_request_payload(g.entries.size()), g.reply_payload);
+          if (fetch.unreachable) return;  // nothing cached yet: clean abandon
           if (tracer_.counters_on()) {
             tracer_.shard(0).fetch_latency_s.record(fetch.ready_at - now_);
           }
           data_ready = std::max(data_ready, fetch.ready_at);
-          pl.cache.put(d, value);
         }
-        dep_values_.push_back(Vertex<T>{d, value});
+        for (const FetchGroup& g : fetch_groups_) {
+          for (const Vertex<T>& v : g.entries) pl.cache.put(v.id, v.value);
+        }
       }
 
       T result = app_.compute(id.i, id.j, std::span<const Vertex<T>>(dep_values_));
@@ -555,27 +611,75 @@ class SimEngine {
 
       anti_scratch_.clear();
       dag_.anti_dependencies(id, anti_scratch_);
+      if (opts_.coalescing) {
+        // Coalesced publish: ONE BatchIndegreeControl per destination place,
+        // carrying every decrement bound there plus one copy of the finished
+        // value, which seeds the destination's vertex cache — consumers there
+        // will hit instead of fetching. The per-edge accounting loop below
+        // then reuses each destination's NIC-handled time as its delay.
+        ctrl_groups_.clear();
+        for (VertexId a : anti_scratch_) {
+          Cell<T>& ac = array.cell(a);
+          if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
+          const std::int32_t a_owner = array.owner_place(a);
+          if (a_owner == p) continue;
+          CtrlGroup* group = nullptr;
+          for (CtrlGroup& g : ctrl_groups_) {
+            if (g.dest == a_owner) { group = &g; break; }
+          }
+          if (group == nullptr) {
+            ctrl_groups_.push_back(CtrlGroup{a_owner, 0, 0.0});
+            group = &ctrl_groups_.back();
+          }
+          ++group->edges;
+        }
+        for (CtrlGroup& g : ctrl_groups_) {
+          const std::size_t payload =
+              net::batch_control_payload(g.edges, value_wire_bytes(cell.value));
+          book_.record(p, g.dest, net::MessageKind::BatchIndegreeControl, payload);
+          pl.stats.control_msgs_out += g.edges;
+          ++pl.stats.control_batches;
+          const double arrives =
+              now_ + opts_.link.transfer_time(net::wire_bytes(payload));
+          PlaceSim& dest = place(g.dest);
+          g.handled = std::max(arrives, dest.nic_free) +
+                      opts_.link.nic_time(net::wire_bytes(payload));
+          dest.nic_free = g.handled;
+          dest.cache.put(id, cell.value);
+          if (spans) {
+            sh.messages.push_back({net::MessageKind::BatchIndegreeControl, p,
+                                   g.dest, now_, g.handled,
+                                   obs::MessageFate::Delivered});
+          }
+        }
+      }
       for (VertexId a : anti_scratch_) {
         Cell<T>& ac = array.cell(a);
         if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
         const std::int32_t a_owner = array.owner_place(a);
         double delay = 0.0;
         if (a_owner != p) {
-          book_.record(p, a_owner, net::MessageKind::IndegreeControl,
-                       net::kControlPayloadBytes);
-          ++pl.stats.control_msgs_out;
-          // The decrement is processed by the destination place's comm
-          // thread: wire time plus serialized per-message handling.
-          const double arrives =
-              now_ + opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
-          PlaceSim& dest = place(a_owner);
-          const double handled = std::max(arrives, dest.nic_free) +
-                                 opts_.link.nic_time(net::wire_bytes(net::kControlPayloadBytes));
-          dest.nic_free = handled;
-          delay = handled - now_;
-          if (spans) {
-            sh.messages.push_back({net::MessageKind::IndegreeControl, p, a_owner,
-                                   now_, handled, obs::MessageFate::Delivered});
+          if (opts_.coalescing) {
+            for (const CtrlGroup& g : ctrl_groups_) {
+              if (g.dest == a_owner) { delay = g.handled - now_; break; }
+            }
+          } else {
+            book_.record(p, a_owner, net::MessageKind::IndegreeControl,
+                         net::kControlPayloadBytes);
+            ++pl.stats.control_msgs_out;
+            // The decrement is processed by the destination place's comm
+            // thread: wire time plus serialized per-message handling.
+            const double arrives =
+                now_ + opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+            PlaceSim& dest = place(a_owner);
+            const double handled = std::max(arrives, dest.nic_free) +
+                                   opts_.link.nic_time(net::wire_bytes(net::kControlPayloadBytes));
+            dest.nic_free = handled;
+            delay = handled - now_;
+            if (spans) {
+              sh.messages.push_back({net::MessageKind::IndegreeControl, p, a_owner,
+                                     now_, handled, obs::MessageFate::Delivered});
+            }
           }
         }
         if (ac.indegree.fetch_sub(1, std::memory_order_relaxed) - 1 == 0) {
@@ -906,6 +1010,22 @@ class SimEngine {
     std::vector<VertexId> anti_scratch_;
     std::vector<VertexId> sched_scratch_;
     std::vector<Vertex<T>> dep_values_;
+
+    /// Scratch for the coalesced gather: one batch round trip per owner.
+    struct FetchGroup {
+      std::int32_t owner;
+      std::size_t reply_payload;
+      std::vector<Vertex<T>> entries;
+    };
+    std::vector<FetchGroup> fetch_groups_;
+
+    /// Scratch for the coalesced publish: one control message per dest.
+    struct CtrlGroup {
+      std::int32_t dest;
+      std::size_t edges;
+      double handled;  ///< NIC completion at the destination
+    };
+    std::vector<CtrlGroup> ctrl_groups_;
   };
 
   RuntimeOptions opts_;

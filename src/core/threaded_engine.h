@@ -80,16 +80,35 @@ class ThreadedEngine {
   }
 
  private:
-  struct PlaceRt {
+  /// One worker's share of a place's ready list (RuntimeOptions::
+  /// queue_shards). A worker pushes and pops its own shard without
+  /// contending with siblings; an empty worker scans sibling shards, then
+  /// other places under WorkStealing. One shard per place reproduces the
+  /// legacy single mutex+deque scheduler.
+  struct ReadyShard {
     std::mutex mu;
-    std::condition_variable cv;
     std::deque<std::int64_t> ready;
     /// Wall timestamps parallel to `ready` (same pushes/pops, under `mu`),
     /// maintained only while tracing is active — they feed the queue-wait
     /// histogram and the vertex spans' ready time.
     std::deque<double> ready_ts;
-    std::mutex cache_mu;
-    VertexCache<T> cache;
+    /// Lock-free emptiness hint so shard scans skip idle shards without
+    /// taking `mu`; written under `mu`, read without it.
+    std::atomic<std::int64_t> size_hint{0};
+  };
+
+  struct PlaceRt {
+    std::vector<ReadyShard> shards;
+    std::atomic<std::uint32_t> push_cursor{0};  ///< round-robin for non-local pushes
+    std::atomic<std::int64_t> ready_count{0};   ///< total across shards
+    std::mutex cv_mu;
+    std::condition_variable cv;
+    /// Workers blocked in the idle wait. Pushes skip the notify entirely
+    /// while this is zero — on the self-feeding LIFO fast path (a worker
+    /// pushing work it will pop right back) the queue never goes through
+    /// the condition variable at all.
+    std::atomic<std::int32_t> idle_waiters{0};
+    StripedVertexCache<T> cache;
     AtomicPlaceStats stats;
     /// Liveness counter bumped by every worker loop iteration; the monitor
     /// samples it — no progress across a detection window means silence.
@@ -100,8 +119,9 @@ class ThreadedEngine {
     std::atomic<bool> crashed{false};
     double crash_wall = 0.0;  ///< written before crashed.store(release)
 
-    PlaceRt(CachePolicy policy, std::size_t cache_capacity)
-        : cache(policy, cache_capacity) {}
+    PlaceRt(CachePolicy policy, std::size_t cache_capacity, std::size_t stripes,
+            std::size_t nshards)
+        : shards(nshards), cache(policy, cache_capacity, stripes) {}
   };
 
   class State {
@@ -120,9 +140,19 @@ class ThreadedEngine {
           suspected_(opts.nplaces),
           array_(std::make_unique<DistArray<T>>(dag.domain(), opts.dist,
                                                 PlaceGroup::dense(opts.nplaces))) {
+      // Resolve the sharding knobs: 0 means one shard/stripe per worker
+      // thread; queue_shards beyond nthreads would leave shards no worker
+      // ever owns, so it is clamped.
+      nshards_ = opts.queue_shards == 0
+                     ? static_cast<std::size_t>(opts.nthreads)
+                     : static_cast<std::size_t>(std::min(opts.queue_shards, opts.nthreads));
+      const std::size_t nstripes = opts.cache_stripes == 0
+                                       ? static_cast<std::size_t>(opts.nthreads)
+                                       : static_cast<std::size_t>(opts.cache_stripes);
       places_.reserve(static_cast<std::size_t>(opts_.nplaces));
       for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
-        places_.push_back(std::make_unique<PlaceRt>(opts_.cache_policy, opts_.cache_capacity));
+        places_.push_back(std::make_unique<PlaceRt>(opts_.cache_policy, opts_.cache_capacity,
+                                                    nstripes, nshards_));
       }
       faults_ = opts_.faults;  // validate() already sorted by at_fraction
       detector_active_ =
@@ -137,10 +167,7 @@ class ThreadedEngine {
       target_ = static_cast<std::int64_t>(init.to_compute);
       require(target_ > 0, "ThreadedEngine: nothing to compute (all cells pre-finished)");
       detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
-        places_[static_cast<std::size_t>(place)]->ready.push_back(idx);
-        if (tracer_.active()) {
-          places_[static_cast<std::size_t>(place)]->ready_ts.push_back(0.0);
-        }
+        seed_push(place, idx, 0.0);
       });
       for (std::size_t f = 0; f < faults_.size(); ++f) {
         fault_thresholds_.push_back(static_cast<std::int64_t>(
@@ -215,6 +242,8 @@ class ThreadedEngine {
 
     void worker_main(std::int32_t worker) {
       const std::int32_t my_place = worker / opts_.nthreads;
+      const std::size_t my_shard =
+          static_cast<std::size_t>(worker % opts_.nthreads) % nshards_;
       set_log_place(my_place);
       PlaceRt& my_pr = *places_[static_cast<std::size_t>(my_place)];
       Xoshiro256 rng(mix64(opts_.seed, static_cast<std::uint64_t>(worker) + 1));
@@ -222,9 +251,8 @@ class ThreadedEngine {
       std::vector<VertexId> anti_scratch;
       std::vector<VertexId> sched_scratch;
       std::vector<Vertex<T>> dep_values;
-      // One predictable branch per hook when tracing is off — hoisted here
-      // so the hot loop never re-derives the level.
-      const bool track = tracer_.active();
+      std::vector<FetchGroup> fetch_groups;
+      std::vector<CtrlGroup> ctrl_groups;
 
       while (true) {
         if (done_.load(std::memory_order_acquire)) break;
@@ -236,42 +264,36 @@ class ThreadedEngine {
         if (!pm_alive(my_place)) break;  // our place died during recovery
         my_pr.beats.fetch_add(1, std::memory_order_relaxed);
 
+        // Own shard first (uncontended in the common case), then sibling
+        // shards, then — under WorkStealing — other places.
         std::int64_t idx = -1;
         double ready_at = 0.0;
-        {
-          PlaceRt& pr = my_pr;
-          std::unique_lock<std::mutex> lk(pr.mu);
-          if (!pr.ready.empty()) {
-            if (opts_.ready_order == ReadyOrder::Lifo) {
-              idx = pr.ready.back();
-              pr.ready.pop_back();
-              if (track) {
-                ready_at = pr.ready_ts.back();
-                pr.ready_ts.pop_back();
-              }
-            } else {
-              idx = pr.ready.front();
-              pr.ready.pop_front();
-              if (track) {
-                ready_at = pr.ready_ts.front();
-                pr.ready_ts.pop_front();
-              }
-            }
-          }
+        for (std::size_t s = 0; s < nshards_ && idx < 0; ++s) {
+          ReadyShard& shard = my_pr.shards[(my_shard + s) % nshards_];
+          if (shard.size_hint.load(std::memory_order_relaxed) == 0) continue;
+          // Sibling shards are popped from the end the owning worker is not
+          // working — the same steal-the-oldest rule as cross-place steals.
+          idx = pop_shard(my_pr, shard, /*owner_end=*/s == 0, ready_at);
         }
         if (idx < 0 && opts_.scheduling == Scheduling::WorkStealing) {
           idx = try_steal(my_place, rng, ready_at);
         }
         if (idx < 0) {
-          PlaceRt& pr = *places_[static_cast<std::size_t>(my_place)];
-          std::unique_lock<std::mutex> lk(pr.mu);
-          if (pr.ready.empty()) {
-            pr.cv.wait_for(lk, std::chrono::milliseconds(1));
+          std::unique_lock<std::mutex> lk(my_pr.cv_mu);
+          if (my_pr.ready_count.load(std::memory_order_acquire) == 0) {
+            my_pr.idle_waiters.fetch_add(1, std::memory_order_seq_cst);
+            // Re-check after announcing the wait: a push between the first
+            // load and the increment would otherwise skip its notify and
+            // strand us for the full timeout.
+            if (my_pr.ready_count.load(std::memory_order_seq_cst) == 0) {
+              my_pr.cv.wait_for(lk, std::chrono::milliseconds(1));
+            }
+            my_pr.idle_waiters.fetch_sub(1, std::memory_order_seq_cst);
           }
           continue;
         }
         execute(idx, my_place, worker, ready_at, rng, deps_scratch, anti_scratch,
-                sched_scratch, dep_values);
+                sched_scratch, dep_values, fetch_groups, ctrl_groups);
       }
 
       std::lock_guard<std::mutex> lk(pause_mu_);
@@ -282,6 +304,36 @@ class ThreadedEngine {
     bool pm_alive(std::int32_t place) {
       std::lock_guard<std::mutex> lk(pm_mu_);
       return pm_.is_alive(place);
+    }
+
+    /// Pops one vertex from `shard`. `owner_end` pops the end the shard's
+    /// owning worker works (per ready_order); otherwise the opposite end —
+    /// classic steal-the-oldest under LIFO execution, and vice versa.
+    std::int64_t pop_shard(PlaceRt& pr, ReadyShard& shard, bool owner_end,
+                           double& ready_at) {
+      const bool track = tracer_.active();
+      std::lock_guard<std::mutex> lk(shard.mu);
+      if (shard.ready.empty()) return -1;
+      std::int64_t idx;
+      const bool from_back = (opts_.ready_order == ReadyOrder::Lifo) == owner_end;
+      if (from_back) {
+        idx = shard.ready.back();
+        shard.ready.pop_back();
+        if (track) {
+          ready_at = shard.ready_ts.back();
+          shard.ready_ts.pop_back();
+        }
+      } else {
+        idx = shard.ready.front();
+        shard.ready.pop_front();
+        if (track) {
+          ready_at = shard.ready_ts.front();
+          shard.ready_ts.pop_front();
+        }
+      }
+      shard.size_hint.fetch_sub(1, std::memory_order_relaxed);
+      pr.ready_count.fetch_sub(1, std::memory_order_release);
+      return idx;
     }
 
     std::int64_t try_steal(std::int32_t thief, Xoshiro256& rng, double& ready_at) {
@@ -297,54 +349,76 @@ class ThreadedEngine {
         // suspected place is too slow to answer the steal handshake.
         if (vp.crashed.load(std::memory_order_acquire)) continue;
         if (detector_active_ && suspected_.test(victim)) continue;
-        std::unique_lock<std::mutex> lk(vp.mu);
-        if (vp.ready.size() < 2) continue;  // leave lone vertices local
-        // Steal from the end the owner is not working: classic
-        // steal-the-oldest under LIFO execution, and vice versa.
-        std::int64_t idx;
-        const bool track = tracer_.active();
-        if (opts_.ready_order == ReadyOrder::Lifo) {
-          idx = vp.ready.front();
-          vp.ready.pop_front();
-          if (track) {
-            ready_at = vp.ready_ts.front();
-            vp.ready_ts.pop_front();
-          }
-        } else {
-          idx = vp.ready.back();
-          vp.ready.pop_back();
-          if (track) {
-            ready_at = vp.ready_ts.back();
-            vp.ready_ts.pop_back();
-          }
+        if (vp.ready_count.load(std::memory_order_acquire) < 2) continue;  // leave lone
+                                                                           // vertices local
+        for (ReadyShard& shard : vp.shards) {
+          if (shard.size_hint.load(std::memory_order_relaxed) == 0) continue;
+          const std::int64_t idx = pop_shard(vp, shard, /*owner_end=*/false, ready_at);
+          if (idx < 0) continue;
+          book_.record(victim, thief, net::MessageKind::ReadyTransfer,
+                       net::kControlPayloadBytes);
+          places_[static_cast<std::size_t>(thief)]->stats.steals.fetch_add(
+              1, std::memory_order_relaxed);
+          return idx;
         }
-        lk.unlock();
-        book_.record(victim, thief, net::MessageKind::ReadyTransfer,
-                     net::kControlPayloadBytes);
-        places_[static_cast<std::size_t>(thief)]->stats.steals.fetch_add(
-            1, std::memory_order_relaxed);
-        return idx;
       }
       return -1;
     }
 
-    void push_ready(std::int32_t place, std::int64_t idx) {
+    /// Routes a ready vertex to one of `place`'s shards: a worker of that
+    /// place pushes its own shard (the local LIFO fast path); pushes from
+    /// other places round-robin across shards to spread the load.
+    void push_ready(std::int32_t place, std::int64_t idx, std::int32_t pusher_place,
+                    std::int32_t pusher_local) {
       PlaceRt& pr = *places_[static_cast<std::size_t>(place)];
+      const std::size_t s =
+          (pusher_place == place && pusher_local >= 0)
+              ? static_cast<std::size_t>(pusher_local) % nshards_
+              : pr.push_cursor.fetch_add(1, std::memory_order_relaxed) % nshards_;
+      ReadyShard& shard = pr.shards[s];
       const double ts = tracer_.active() ? stopwatch_.seconds() : 0.0;
       {
-        std::lock_guard<std::mutex> lk(pr.mu);
-        pr.ready.push_back(idx);
-        if (tracer_.active()) pr.ready_ts.push_back(ts);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        shard.ready.push_back(idx);
+        if (tracer_.active()) shard.ready_ts.push_back(ts);
+        shard.size_hint.fetch_add(1, std::memory_order_relaxed);
+        pr.ready_count.fetch_add(1, std::memory_order_seq_cst);
       }
-      pr.cv.notify_one();
+      if (pr.idle_waiters.load(std::memory_order_seq_cst) > 0) pr.cv.notify_one();
+    }
+
+    /// Seeding path (startup and recovery): no pushing worker, workers are
+    /// not running — distribute round-robin with an explicit timestamp.
+    void seed_push(std::int32_t place, std::int64_t idx, double ts) {
+      PlaceRt& pr = *places_[static_cast<std::size_t>(place)];
+      ReadyShard& shard =
+          pr.shards[pr.push_cursor.fetch_add(1, std::memory_order_relaxed) % nshards_];
+      std::lock_guard<std::mutex> lk(shard.mu);
+      shard.ready.push_back(idx);
+      if (tracer_.active()) shard.ready_ts.push_back(ts);
+      shard.size_hint.fetch_add(1, std::memory_order_relaxed);
+      pr.ready_count.fetch_add(1, std::memory_order_release);
     }
 
     // ---- vertex execution ------------------------------------------------
 
+    /// Scratch for the coalesced gather: one batch round trip per owner.
+    struct FetchGroup {
+      std::int32_t owner;
+      std::size_t count;
+      std::size_t reply_payload;
+    };
+    /// Scratch for the coalesced publish: one control message per dest.
+    struct CtrlGroup {
+      std::int32_t dest;
+      std::size_t edges;
+    };
+
     void execute(std::int64_t idx, std::int32_t place, std::int32_t worker,
                  double ready_at, Xoshiro256& rng,
                  std::vector<VertexId>& deps_scratch, std::vector<VertexId>& anti_scratch,
-                 std::vector<VertexId>& sched_scratch, std::vector<Vertex<T>>& dep_values) {
+                 std::vector<VertexId>& sched_scratch, std::vector<Vertex<T>>& dep_values,
+                 std::vector<FetchGroup>& fetch_groups, std::vector<CtrlGroup>& ctrl_groups) {
       DistArray<T>& array = *array_;
       const DagDomain& domain = array.domain();
       const VertexId id = domain.delinearize(idx);
@@ -358,26 +432,32 @@ class ThreadedEngine {
       deps_scratch.clear();
       dag_.dependencies(id, deps_scratch);
       dep_values.clear();
-      std::uint64_t local_reads = 0, hits = 0, fetches = 0;
+      std::uint64_t local_reads = 0, hits = 0, fetches = 0, batches = 0;
       // Shared memory cannot actually lose a read, so the unreliable
-      // network is accounted, not suffered: each miss replays the retry
-      // protocol against the injector and records the retransmit traffic
-      // and counters a lossy link would have cost. Never blocks — a
-      // sleeping worker would stall the recovery pause gate.
-      const auto lossy_fetch = [&](std::int32_t owner) {
+      // network is accounted, not suffered: each miss (or, under
+      // coalescing, each owner batch) replays the retry protocol against
+      // the injector and records the retransmit traffic and counters a
+      // lossy link would have cost — a timeout retransmits the whole
+      // batch. Never blocks — a sleeping worker would stall the recovery
+      // pause gate.
+      const auto lossy_fetch = [&](std::int32_t owner, net::MessageKind req_kind,
+                                   std::size_t req_payload) {
         if (!injector_.enabled()) return;
         const std::uint32_t retries =
             detail::count_fetch_retries(injector_, opts_.retry, place, owner);
         if (counters) sh->fetch_retries.record(static_cast<double>(retries));
         if (retries == 0) return;
         for (std::uint32_t r = 0; r < retries; ++r) {
-          book_.record(place, owner, net::MessageKind::FetchRequest,
-                       net::kControlPayloadBytes);
+          book_.record(place, owner, req_kind, req_payload);
         }
         pr.stats.fetch_retries.fetch_add(retries, std::memory_order_relaxed);
         pr.stats.fetch_timeouts.fetch_add(retries, std::memory_order_relaxed);
         pr.stats.net_drops.fetch_add(retries, std::memory_order_relaxed);
       };
+      // The cache stripe lock guards only the get/put itself — the cell
+      // value read and the traffic-book records happen outside it.
+      std::vector<FetchGroup>* groups = opts_.coalescing ? &fetch_groups : nullptr;
+      if (groups != nullptr) groups->clear();
       for (VertexId d : deps_scratch) {
         const Cell<T>& dep_cell = array.cell(d);
         const std::int32_t owner = array.owner_place(d);
@@ -385,33 +465,47 @@ class ThreadedEngine {
         if (owner == place) {
           value = dep_cell.value;
           ++local_reads;
-        } else if (opts_.cache_capacity == 0) {
-          value = dep_cell.value;
-          book_.record(place, owner, net::MessageKind::FetchRequest,
-                       net::kControlPayloadBytes);
-          book_.record(owner, place, net::MessageKind::FetchReply, value_wire_bytes(value));
-          lossy_fetch(owner);
-          ++fetches;
+        } else if (opts_.cache_capacity != 0 && pr.cache.get(d, value)) {
+          ++hits;
         } else {
-          std::lock_guard<std::mutex> lk(pr.cache_mu);
-          if (pr.cache.get(d, value)) {
-            ++hits;
+          value = dep_cell.value;
+          ++fetches;
+          if (groups != nullptr) {
+            // Coalesced: defer the wire accounting to one batch per owner.
+            FetchGroup* g = nullptr;
+            for (FetchGroup& fg : *groups) {
+              if (fg.owner == owner) { g = &fg; break; }
+            }
+            if (g == nullptr) {
+              groups->push_back(FetchGroup{owner, 0, 0});
+              g = &groups->back();
+            }
+            ++g->count;
+            g->reply_payload += value_wire_bytes(value);
           } else {
-            value = dep_cell.value;
             book_.record(place, owner, net::MessageKind::FetchRequest,
                          net::kControlPayloadBytes);
             book_.record(owner, place, net::MessageKind::FetchReply,
                          value_wire_bytes(value));
-            pr.cache.put(d, value);
-            lossy_fetch(owner);
-            ++fetches;
+            lossy_fetch(owner, net::MessageKind::FetchRequest, net::kControlPayloadBytes);
           }
+          if (opts_.cache_capacity != 0) pr.cache.put(d, value);
         }
         dep_values.push_back(Vertex<T>{d, value});
+      }
+      if (groups != nullptr) {
+        for (const FetchGroup& g : *groups) {
+          const std::size_t req_payload = net::batch_fetch_request_payload(g.count);
+          book_.record(place, g.owner, net::MessageKind::BatchFetchRequest, req_payload);
+          book_.record(g.owner, place, net::MessageKind::BatchFetchReply, g.reply_payload);
+          lossy_fetch(g.owner, net::MessageKind::BatchFetchRequest, req_payload);
+          ++batches;
+        }
       }
       pr.stats.local_dep_reads.fetch_add(local_reads, std::memory_order_relaxed);
       pr.stats.cache_hits.fetch_add(hits, std::memory_order_relaxed);
       pr.stats.remote_fetches.fetch_add(fetches, std::memory_order_relaxed);
+      if (batches > 0) pr.stats.fetch_batches.fetch_add(batches, std::memory_order_relaxed);
       const double t_data = sh != nullptr ? stopwatch_.seconds() : 0.0;
 
       T result = app_.compute(id.i, id.j, std::span<const Vertex<T>>(dep_values));
@@ -429,11 +523,47 @@ class ThreadedEngine {
 
       anti_scratch.clear();
       dag_.anti_dependencies(id, anti_scratch);
+      if (opts_.coalescing) {
+        // Coalesced publish: ONE BatchIndegreeControl per destination place,
+        // carrying every decrement bound there plus one copy of the finished
+        // value — which seeds the destination's cache, so consumers there
+        // hit instead of fetching this vertex back. The seed must land
+        // before the decrements release the consumers.
+        ctrl_groups.clear();
+        for (VertexId a : anti_scratch) {
+          Cell<T>& ac = array.cell(a);
+          if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
+          const std::int32_t a_owner = array.owner_place(a);
+          if (a_owner == place) continue;
+          CtrlGroup* g = nullptr;
+          for (CtrlGroup& cg : ctrl_groups) {
+            if (cg.dest == a_owner) { g = &cg; break; }
+          }
+          if (g == nullptr) {
+            ctrl_groups.push_back(CtrlGroup{a_owner, 0});
+            g = &ctrl_groups.back();
+          }
+          ++g->edges;
+        }
+        std::uint64_t ctrl_edges = 0;
+        for (const CtrlGroup& g : ctrl_groups) {
+          book_.record(place, g.dest, net::MessageKind::BatchIndegreeControl,
+                       net::batch_control_payload(g.edges, value_wire_bytes(result)));
+          ctrl_edges += g.edges;
+          if (opts_.cache_capacity != 0) {
+            places_[static_cast<std::size_t>(g.dest)]->cache.put(id, result);
+          }
+        }
+        if (!ctrl_groups.empty()) {
+          pr.stats.control_msgs_out.fetch_add(ctrl_edges, std::memory_order_relaxed);
+          pr.stats.control_batches.fetch_add(ctrl_groups.size(), std::memory_order_relaxed);
+        }
+      }
       for (VertexId a : anti_scratch) {
         Cell<T>& ac = array.cell(a);
         if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
         const std::int32_t a_owner = array.owner_place(a);
-        if (a_owner != place) {
+        if (a_owner != place && !opts_.coalescing) {
           book_.record(place, a_owner, net::MessageKind::IndegreeControl,
                        net::kControlPayloadBytes);
           pr.stats.control_msgs_out.fetch_add(1, std::memory_order_relaxed);
@@ -448,7 +578,7 @@ class ThreadedEngine {
             book_.record(a_owner, target, net::MessageKind::ReadyTransfer,
                          net::kControlPayloadBytes);
           }
-          push_ready(target, domain.linearize(a));
+          push_ready(target, domain.linearize(a), place, worker % opts_.nthreads);
         }
       }
 
@@ -641,18 +771,18 @@ class ThreadedEngine {
       array_ = std::move(fresh);
 
       for (auto& p : places_) {
-        std::lock_guard<std::mutex> lk(p->mu);
-        p->ready.clear();
-        p->ready_ts.clear();
-        std::lock_guard<std::mutex> clk(p->cache_mu);
+        for (ReadyShard& shard : p->shards) {
+          std::lock_guard<std::mutex> lk(shard.mu);
+          shard.ready.clear();
+          shard.ready_ts.clear();
+          shard.size_hint.store(0, std::memory_order_relaxed);
+        }
+        p->ready_count.store(0, std::memory_order_release);
         p->cache.clear();
       }
       const double reseed_ts = tracer_.active() ? stopwatch_.seconds() : 0.0;
       detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
-        places_[static_cast<std::size_t>(place)]->ready.push_back(idx);
-        if (tracer_.active()) {
-          places_[static_cast<std::size_t>(place)]->ready_ts.push_back(reseed_ts);
-        }
+        seed_push(place, idx, reseed_ts);
       });
       const std::int64_t now_finished =
           static_cast<std::int64_t>(detail::count_finished(*array_));
@@ -799,8 +929,8 @@ class ThreadedEngine {
     }
 
     /// Sampler thread (Counters and up): per-place gauges on a wall-clock
-    /// period. Purely observational — it takes each place's ready lock for
-    /// one size() read per tick.
+    /// period. Purely observational — one relaxed atomic load per place
+    /// per tick, no locks.
     void sampler_main() {
       const double period_s = std::max(opts_.trace_sample_s, 1.0e-3);
       const auto period = std::chrono::duration<double>(period_s);
@@ -808,11 +938,7 @@ class ThreadedEngine {
         const double t = stopwatch_.seconds();
         for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
           PlaceRt& pr = *places_[static_cast<std::size_t>(p)];
-          std::size_t depth = 0;
-          {
-            std::lock_guard<std::mutex> lk(pr.mu);
-            depth = pr.ready.size();
-          }
+          const std::int64_t depth = pr.ready_count.load(std::memory_order_relaxed);
           tracer_.sample("ready_depth", p, t, static_cast<double>(depth));
           tracer_.sample("computed", p, t,
                          static_cast<double>(pr.stats.computed.load(
@@ -842,6 +968,7 @@ class ThreadedEngine {
     obs::Tracer tracer_;
     SuspicionSet suspected_;
     bool detector_active_ = false;
+    std::size_t nshards_ = 1;  ///< ready-deque shards per place (resolved)
     std::unique_ptr<DistArray<T>> array_;
     std::vector<std::unique_ptr<PlaceRt>> places_;
 

@@ -10,6 +10,12 @@ double LinkModel::fetch_round_trip(std::size_t reply_wire_bytes) const {
   return transfer_time(wire_bytes(kControlPayloadBytes)) + transfer_time(reply_wire_bytes);
 }
 
+double LinkModel::batch_fetch_round_trip(std::size_t k,
+                                         std::size_t reply_payload_bytes) const {
+  return transfer_time(wire_bytes(batch_fetch_request_payload(k))) +
+         transfer_time(wire_bytes(reply_payload_bytes));
+}
+
 LinkModel zero_cost_link() {
   LinkModel link;
   link.latency_s = 0.0;

@@ -42,6 +42,11 @@ struct LinkModel {
 
   /// A round trip for a fetch: request (control-sized) out, reply back.
   double fetch_round_trip(std::size_t reply_wire_bytes) const;
+
+  /// A round trip for a coalesced fetch of `k` dependencies from one owner:
+  /// one k-id request out, one k-value reply back. The alpha latency and
+  /// the two envelopes are paid once instead of k times.
+  double batch_fetch_round_trip(std::size_t k, std::size_t reply_payload_bytes) const;
 };
 
 /// Model of an instantaneous, free interconnect — used to isolate

@@ -25,6 +25,13 @@ enum class MessageKind : std::uint8_t {
   ResultWriteback,    ///< result of a non-locally-executed vertex sent home
   RecoveryTransfer,   ///< finished value copied during recovery
   Heartbeat,          ///< periodic liveness beat to the monitor (place 0)
+  // Coalesced kinds (RuntimeOptions::coalescing). A batch is ONE wire
+  // message: one envelope, one link traversal, one NIC slot, one fault
+  // injector draw — that is the whole point. Appended after the legacy
+  // kinds so per-kind indices (and serialized counters) stay stable.
+  BatchFetchRequest,   ///< k dependency ids, grouped by owner place
+  BatchFetchReply,     ///< the k values, one envelope
+  BatchIndegreeControl,///< k indegree decrements + the finished value
   KindCount,
 };
 
@@ -39,9 +46,29 @@ inline constexpr std::size_t kEnvelopeBytes = 32;
 /// A small control payload: a VertexId (two int32) plus a counter delta.
 inline constexpr std::size_t kControlPayloadBytes = 12;
 
+/// One VertexId on the wire (two int32) — the per-dependency cost of a
+/// batched fetch request.
+inline constexpr std::size_t kVertexIdBytes = 8;
+
 /// Wire size of a message carrying `payload` bytes of application data.
 inline constexpr std::size_t wire_bytes(std::size_t payload) {
   return kEnvelopeBytes + payload;
+}
+
+/// Payload of a BatchFetchRequest asking for `k` dependencies: k ids under
+/// a single envelope (vs k * (envelope + id) unbatched).
+inline constexpr std::size_t batch_fetch_request_payload(std::size_t k) {
+  return k * kVertexIdBytes;
+}
+
+/// Payload of a BatchIndegreeControl carrying `k` decrements plus one copy
+/// of the publisher's value (`value_bytes`). Every edge of the batch shares
+/// the same source vertex, so the value ships once and seeds the
+/// destination's vertex cache — a pull round-trip turned into a one-way
+/// push.
+inline constexpr std::size_t batch_control_payload(std::size_t k,
+                                                   std::size_t value_bytes) {
+  return k * kControlPayloadBytes + value_bytes;
 }
 
 }  // namespace dpx10::net

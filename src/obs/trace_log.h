@@ -73,6 +73,9 @@ inline std::string_view message_kind_name(net::MessageKind k) {
     case net::MessageKind::ResultWriteback: return "writeback";
     case net::MessageKind::RecoveryTransfer: return "recovery";
     case net::MessageKind::Heartbeat: return "heartbeat";
+    case net::MessageKind::BatchFetchRequest: return "batch-fetch-request";
+    case net::MessageKind::BatchFetchReply: return "batch-fetch-reply";
+    case net::MessageKind::BatchIndegreeControl: return "batch-indegree";
     case net::MessageKind::KindCount: break;
   }
   return "?";

@@ -92,6 +92,61 @@ TEST(Cache, NegativeCoordinatesDistinct) {
   EXPECT_EQ(out, 3);
 }
 
+TEST(StripedCache, BasicGetPutAcrossStripes) {
+  StripedVertexCache<int> cache(CachePolicy::Fifo, 16, 4);
+  EXPECT_EQ(cache.stripe_count(), 4u);
+  int out = 0;
+  for (std::int32_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(cache.get({i, i}, out));
+    cache.put({i, i}, i * 10);
+  }
+  for (std::int32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cache.get({i, i}, out));
+    EXPECT_EQ(out, i * 10);
+  }
+}
+
+TEST(StripedCache, CapacityZeroNeverStores) {
+  StripedVertexCache<int> cache(CachePolicy::Fifo, 0, 8);
+  cache.put({1, 1}, 7);
+  int out = 0;
+  EXPECT_FALSE(cache.get({1, 1}, out));
+}
+
+TEST(StripedCache, ClearEmptiesEveryStripe) {
+  StripedVertexCache<int> cache(CachePolicy::Lru, 64, 3);
+  for (std::int32_t i = 0; i < 32; ++i) cache.put({i, 0}, i);
+  cache.clear();
+  int out = 0;
+  for (std::int32_t i = 0; i < 32; ++i) EXPECT_FALSE(cache.get({i, 0}, out));
+}
+
+TEST(StripedCache, TotalOccupancyBoundedByCapacity) {
+  // Capacity splits across stripes as ceil(cap/n); total stored entries can
+  // never exceed n * ceil(cap/n), which for cap=16, n=5 is 20 but each
+  // stripe individually holds at most 4.
+  StripedVertexCache<std::uint64_t> cache(CachePolicy::Fifo, 16, 5);
+  Xoshiro256 rng(7);
+  for (int n = 0; n < 500; ++n) {
+    VertexId id{static_cast<std::int32_t>(rng.below(64)),
+                static_cast<std::int32_t>(rng.below(64))};
+    std::uint64_t probe;
+    if (!cache.get(id, probe)) cache.put(id, id.key());
+  }
+  // Hits always return the value stored for that key.
+  std::size_t live = 0;
+  for (std::int32_t i = 0; i < 64; ++i) {
+    for (std::int32_t j = 0; j < 64; ++j) {
+      std::uint64_t out;
+      if (cache.get({i, j}, out)) {
+        ++live;
+        ASSERT_EQ(out, (VertexId{i, j}.key()));
+      }
+    }
+  }
+  EXPECT_LE(live, 5u * 4u);
+}
+
 class CacheCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(CacheCapacitySweep, SizeNeverExceedsCapacityAndRecentSurvive) {

@@ -1,0 +1,275 @@
+// Message coalescing (RuntimeOptions::coalescing): the owner-grouped batch
+// fetch and aggregated indegree-control wire protocol.
+//
+// The headline properties:
+//   * coalescing changes only the wire protocol, never a DP cell: results
+//     are byte-identical ON vs OFF on both engines;
+//   * on the acceptance config (Smith-Waterman 512x512, 4 places, min-comm)
+//     coalescing cuts total messages_out by at least 2x;
+//   * with the knob OFF the engines take the legacy code path verbatim —
+//     pinned against pre-coalescing golden counters so the refactor cannot
+//     drift;
+//   * a coalesced sim run is still a pure function of the seed (byte
+//     identical same-seed exports), including under a lossy network where
+//     a whole batch retransmits as one unit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/dpx10.h"
+#include "core/report_io.h"
+#include "dp/inputs.h"
+#include "dp/lcs.h"
+#include "dp/runners.h"
+#include "dp/smith_waterman.h"
+
+namespace dpx10 {
+namespace {
+
+constexpr auto kFetchRequest = static_cast<std::size_t>(net::MessageKind::FetchRequest);
+constexpr auto kFetchReply = static_cast<std::size_t>(net::MessageKind::FetchReply);
+constexpr auto kIndegree = static_cast<std::size_t>(net::MessageKind::IndegreeControl);
+constexpr auto kBatchFetchRequest =
+    static_cast<std::size_t>(net::MessageKind::BatchFetchRequest);
+constexpr auto kBatchFetchReply =
+    static_cast<std::size_t>(net::MessageKind::BatchFetchReply);
+constexpr auto kBatchIndegree =
+    static_cast<std::size_t>(net::MessageKind::BatchIndegreeControl);
+
+template <typename Base, typename T>
+class Checksum final : public Base {
+ public:
+  using Base::Base;
+  std::uint64_t checksum = 0;
+
+  void app_finished(const DagView<T>& dag) override {
+    for (std::int32_t i = 0; i < dag.domain().height(); ++i) {
+      for (std::int32_t j = dag.domain().row_begin(i); j < dag.domain().row_end(i); ++j) {
+        checksum = checksum * 1099511628211ULL +
+                   static_cast<std::uint64_t>(dag.at(i, j) + 1);
+      }
+    }
+  }
+};
+
+std::uint64_t run_sw(dp::EngineKind kind, std::int32_t n, const RuntimeOptions& opts,
+                     RunReport* report_out = nullptr) {
+  Checksum<dp::SmithWatermanApp, std::int32_t> app(
+      dp::random_sequence(n - 1, 50), dp::random_sequence(n - 1, 51));
+  auto dag = patterns::make_pattern("left-top-diag", n, n);
+  RunReport report;
+  if (kind == dp::EngineKind::Threaded) {
+    ThreadedEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  } else {
+    SimEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  }
+  if (report_out) *report_out = report;
+  return app.checksum;
+}
+
+std::uint64_t run_lcs(dp::EngineKind kind, const RuntimeOptions& opts,
+                      RunReport* report_out = nullptr) {
+  Checksum<dp::LcsApp, std::int32_t> app(dp::random_sequence(35, 50),
+                                         dp::random_sequence(35, 51));
+  auto dag = patterns::make_pattern("left-top-diag", 36, 36);
+  RunReport report;
+  if (kind == dp::EngineKind::Threaded) {
+    ThreadedEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  } else {
+    SimEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  }
+  if (report_out) *report_out = report;
+  return app.checksum;
+}
+
+RuntimeOptions acceptance_opts(bool coalescing) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.scheduling = Scheduling::MinCommunication;
+  opts.coalescing = coalescing;
+  return opts;
+}
+
+// The PR's acceptance criterion: SW 512x512, 4 places, min-comm — coalescing
+// must at least halve total messages_out without changing a single cell.
+TEST(Coalescing, SimSwHalvesMessagesWithIdenticalResults) {
+  RunReport off, on;
+  const std::uint64_t c_off = run_sw(dp::EngineKind::Sim, 512, acceptance_opts(false), &off);
+  const std::uint64_t c_on = run_sw(dp::EngineKind::Sim, 512, acceptance_opts(true), &on);
+  EXPECT_EQ(c_on, c_off);
+
+  const std::uint64_t msgs_off = off.traffic.total_messages_out();
+  const std::uint64_t msgs_on = on.traffic.total_messages_out();
+  EXPECT_GE(msgs_off, 2 * msgs_on)
+      << "coalescing only cut " << msgs_off << " -> " << msgs_on;
+  // Fewer envelopes also means fewer wire bytes, not just fewer messages.
+  EXPECT_LT(on.traffic.bytes_out, off.traffic.bytes_out);
+}
+
+TEST(Coalescing, ThreadedSwIdenticalResults) {
+  const std::uint64_t c_off = run_sw(dp::EngineKind::Threaded, 512, acceptance_opts(false));
+  const std::uint64_t c_on = run_sw(dp::EngineKind::Threaded, 512, acceptance_opts(true));
+  EXPECT_EQ(c_on, c_off);
+}
+
+// With the knob ON the legacy per-edge kinds vanish from the wire entirely:
+// every remote fetch rides a batch, every remote decrement a coalesced
+// control. Counters keep their per-value / per-edge meaning regardless.
+TEST(Coalescing, BatchKindsReplaceUnbatchedOnTheWire) {
+  for (dp::EngineKind kind : {dp::EngineKind::Sim, dp::EngineKind::Threaded}) {
+    RuntimeOptions opts = acceptance_opts(true);
+    opts.cache_capacity = 0;  // no piggyback seeding: every remote read batches
+    RunReport report;
+    run_sw(kind, 64, opts, &report);
+
+    EXPECT_EQ(report.traffic.messages_out[kFetchRequest], 0u);
+    EXPECT_EQ(report.traffic.messages_out[kFetchReply], 0u);
+    EXPECT_EQ(report.traffic.messages_out[kIndegree], 0u);
+    EXPECT_GT(report.traffic.messages_out[kBatchFetchRequest], 0u);
+    EXPECT_GT(report.traffic.messages_out[kBatchIndegree], 0u);
+
+    const PlaceStats t = report.totals();
+    // One wire reply per wire request; the batch counters mirror the book.
+    EXPECT_EQ(report.traffic.messages_out[kBatchFetchRequest],
+              report.traffic.messages_out[kBatchFetchReply]);
+    EXPECT_EQ(t.fetch_batches, report.traffic.messages_out[kBatchFetchRequest]);
+    EXPECT_EQ(t.control_batches, report.traffic.messages_out[kBatchIndegree]);
+    // Batching amortizes, it does not elide: a batch carries >= 1 entry, so
+    // per-value and per-edge counters dominate their batch counts.
+    EXPECT_GE(t.remote_fetches, t.fetch_batches);
+    EXPECT_GE(t.control_msgs_out, t.control_batches);
+    // Conservation per kind still holds with batches in flight.
+    for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+      EXPECT_EQ(report.traffic.messages_out[k], report.traffic.messages_in[k]) << k;
+    }
+  }
+}
+
+// Golden pin: with coalescing OFF and queue_shards=1 (the legacy layout)
+// the sim must reproduce the exact pre-coalescing counters, byte for byte
+// in virtual time. Captured from the tree at commit 9425832 with the two
+// configs below; any drift means the OFF path is no longer the old code.
+TEST(CoalescingGolden, CleanMinCommMatchesPrePrCounters) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.cache_capacity = 16;
+  opts.scheduling = Scheduling::MinCommunication;
+  opts.queue_shards = 1;
+  RunReport report;
+  run_lcs(dp::EngineKind::Sim, opts, &report);
+
+  const PlaceStats t = report.totals();
+  EXPECT_DOUBLE_EQ(report.elapsed_seconds, 0.0029169079999999989);
+  EXPECT_EQ(report.sim_events, 4311u);
+  EXPECT_EQ(report.traffic.bytes_out, 18012u);
+  EXPECT_EQ(report.traffic.total_messages_out(), 429u);
+  EXPECT_EQ(report.traffic.messages_out[kFetchRequest], 108u);
+  EXPECT_EQ(report.traffic.messages_out[kIndegree], 213u);
+  EXPECT_EQ(t.remote_fetches, 108u);
+  EXPECT_EQ(t.cache_hits, 105u);
+  EXPECT_EQ(t.fetch_retries, 0u);
+  EXPECT_EQ(t.fetch_batches + t.control_batches, 0u);
+}
+
+TEST(CoalescingGolden, FaultyRunMatchesPrePrCounters) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.cache_capacity = 16;
+  opts.queue_shards = 1;
+  opts.netfaults.drop_prob = 0.2;
+  opts.netfaults.dup_prob = 0.1;
+  opts.netfaults.delay_jitter_s = 1.0e-6;
+  opts.faults.push_back(FaultPlan{2, 0.4});
+  RunReport report;
+  run_lcs(dp::EngineKind::Sim, opts, &report);
+
+  const PlaceStats t = report.totals();
+  EXPECT_DOUBLE_EQ(report.elapsed_seconds, 0.011785203365446804);
+  EXPECT_EQ(report.sim_events, 5370u);
+  EXPECT_EQ(report.traffic.bytes_out, 23180u);
+  EXPECT_EQ(report.traffic.total_messages_out(), 545u);
+  EXPECT_EQ(report.traffic.messages_out[kFetchRequest], 106u);
+  EXPECT_EQ(report.traffic.messages_out[kIndegree], 290u);
+  EXPECT_EQ(t.remote_fetches, 79u);
+  EXPECT_EQ(t.cache_hits, 75u);
+  EXPECT_EQ(t.fetch_retries, 27u);
+}
+
+// Same-seed determinism survives coalescing: two coalesced sim runs over a
+// lossy network with a mid-run death serialize to byte-identical reports.
+TEST(Coalescing, SimSameSeedRunsAreByteIdentical) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.coalescing = true;
+  opts.netfaults.drop_prob = 0.2;
+  opts.netfaults.dup_prob = 0.1;
+  opts.netfaults.delay_jitter_s = 1.0e-6;
+  opts.faults.push_back(FaultPlan{2, 0.4});
+  opts.record_trace = true;
+
+  RunReport a, b;
+  const std::uint64_t ca = run_lcs(dp::EngineKind::Sim, opts, &a);
+  const std::uint64_t cb = run_lcs(dp::EngineKind::Sim, opts, &b);
+  EXPECT_EQ(ca, cb);
+
+  std::ostringstream ja, jb;
+  print_json(ja, a);
+  print_json(jb, b);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+// A lossy network under coalescing: drops cost the WHOLE batch (one injector
+// draw per wire message), retransmits resend the whole batch, and the run
+// still converges to the clean answer.
+TEST(Coalescing, SimLossyNetworkPreservesResults) {
+  RuntimeOptions clean;
+  clean.nplaces = 4;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_lcs(dp::EngineKind::Sim, clean);
+
+  RuntimeOptions lossy = clean;
+  lossy.coalescing = true;
+  lossy.cache_capacity = 0;  // no piggyback seeding: batches must brave the wire
+  lossy.netfaults.drop_prob = 0.2;
+  lossy.netfaults.dup_prob = 0.1;
+  lossy.netfaults.delay_jitter_s = 2.0e-6;
+  RunReport report;
+  EXPECT_EQ(run_lcs(dp::EngineKind::Sim, lossy, &report), expected);
+  const PlaceStats t = report.totals();
+  EXPECT_GT(t.net_drops, 0u);
+  EXPECT_GT(t.fetch_retries, 0u);
+  EXPECT_EQ(report.computed, report.vertices);
+}
+
+// Death + recovery with coalescing ON, on both engines: the §VI-D protocol
+// is orthogonal to the wire format.
+TEST(Coalescing, DeathAndRecoveryStayTransparent) {
+  for (dp::EngineKind kind : {dp::EngineKind::Sim, dp::EngineKind::Threaded}) {
+    RuntimeOptions clean;
+    clean.nplaces = 4;
+    clean.nthreads = 2;
+    const std::uint64_t expected = run_lcs(kind, clean);
+
+    RuntimeOptions faulty = clean;
+    faulty.coalescing = true;
+    faulty.faults.push_back(FaultPlan{3, 0.5});
+    RunReport report;
+    EXPECT_EQ(run_lcs(kind, faulty, &report), expected);
+    ASSERT_EQ(report.recoveries.size(), 1u);
+    const RecoveryRecord& rec = report.recoveries[0];
+    EXPECT_EQ(rec.dead_place, 3);
+    EXPECT_EQ(report.computed, report.vertices + rec.lost + rec.discarded);
+  }
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -21,7 +21,7 @@ namespace {
 
 using dp::Matrix;
 
-using Param = std::tuple<std::string, dp::EngineKind, DistKind, Scheduling>;
+using Param = std::tuple<std::string, dp::EngineKind, DistKind, Scheduling, bool>;
 
 class EngineAgreement : public ::testing::TestWithParam<Param> {
  protected:
@@ -31,6 +31,7 @@ class EngineAgreement : public ::testing::TestWithParam<Param> {
     opts.nthreads = 2;
     opts.dist = std::get<2>(GetParam());
     opts.scheduling = std::get<3>(GetParam());
+    opts.coalescing = std::get<4>(GetParam());
     opts.cache_capacity = 16;  // small so eviction paths run
     opts.seed = 77;
     return opts;
@@ -138,12 +139,13 @@ TEST_P(EngineAgreement, MatchesSerialReference) {
 }
 
 std::string param_name(const ::testing::TestParamInfo<Param>& info) {
-  auto [app, engine, dist, sched] = info.param;
+  auto [app, engine, dist, sched, coalescing] = info.param;
   std::string name = app;
   name += engine == dp::EngineKind::Threaded ? "_threaded_" : "_sim_";
   name += dist_kind_name(dist);
   name += "_";
   name += scheduling_name(sched);
+  if (coalescing) name += "_coalesced";
   for (char& c : name) {
     if (c == '-') c = '_';
   }
@@ -157,17 +159,32 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(dp::EngineKind::Threaded, dp::EngineKind::Sim),
                        ::testing::Values(DistKind::BlockRow, DistKind::BlockCol,
                                          DistKind::BlockCyclicRow, DistKind::Block2D),
-                       ::testing::Values(Scheduling::Local)),
+                       ::testing::Values(Scheduling::Local),
+                       ::testing::Values(false)),
     param_name);
 
-// ...and the full cross of scheduling strategies on the default dist.
+// ...the full cross of scheduling strategies on the default dist...
 INSTANTIATE_TEST_SUITE_P(
     Strategies, EngineAgreement,
     ::testing::Combine(::testing::Values("lcs", "sw", "swlag", "mtp", "lps", "knapsack"),
                        ::testing::Values(dp::EngineKind::Threaded, dp::EngineKind::Sim),
                        ::testing::Values(DistKind::BlockRow),
                        ::testing::Values(Scheduling::Random, Scheduling::MinCommunication,
-                                         Scheduling::WorkStealing)),
+                                         Scheduling::WorkStealing),
+                       ::testing::Values(false)),
+    param_name);
+
+// ...and the communication-coalescing layer across every app, engine and
+// scheduling strategy: batch fetches and aggregated indegree controls (with
+// their cache-seeding piggyback) must not change a single cell.
+INSTANTIATE_TEST_SUITE_P(
+    Coalescing, EngineAgreement,
+    ::testing::Combine(::testing::Values("lcs", "sw", "swlag", "mtp", "lps", "knapsack"),
+                       ::testing::Values(dp::EngineKind::Threaded, dp::EngineKind::Sim),
+                       ::testing::Values(DistKind::BlockRow, DistKind::Block2D),
+                       ::testing::Values(Scheduling::Local, Scheduling::MinCommunication,
+                                         Scheduling::WorkStealing),
+                       ::testing::Values(true)),
     param_name);
 
 }  // namespace

@@ -75,5 +75,27 @@ TEST(RuntimeOptions, ValidateChecksNestedConfigs) {
   EXPECT_NO_THROW(RuntimeOptions{}.validate());
 }
 
+TEST(RuntimeOptions, ValidateRejectsNegativeShardAndStripeCounts) {
+  RuntimeOptions opts;
+  opts.queue_shards = -1;
+  EXPECT_THROW(opts.validate(), ConfigError);
+
+  opts = RuntimeOptions{};
+  opts.cache_stripes = -2;
+  EXPECT_THROW(opts.validate(), ConfigError);
+
+  // 0 means auto (one shard/stripe per worker); 1 reproduces the legacy
+  // single-queue, single-lock layout. Both are valid, as is oversubscribing
+  // (engines clamp shards to the worker count).
+  opts = RuntimeOptions{};
+  opts.queue_shards = 0;
+  opts.cache_stripes = 0;
+  EXPECT_NO_THROW(opts.validate());
+  opts.queue_shards = 64;
+  opts.cache_stripes = 64;
+  opts.coalescing = true;
+  EXPECT_NO_THROW(opts.validate());
+}
+
 }  // namespace
 }  // namespace dpx10

@@ -1,0 +1,184 @@
+// Sharded ready queues (RuntimeOptions::queue_shards) in the threaded
+// engine: per-worker deques with LIFO-local push/pop and steal-from-the-
+// other-end, plus the striped per-place cache lock.
+//
+// The headline properties:
+//   * sharding is pure scheduling — any shard count produces the serial
+//     reference results, with every vertex computed exactly once;
+//   * queue_shards=1 (the legacy single-deque layout) and the auto
+//     per-worker layout agree cell for cell;
+//   * cross-shard and cross-place stealing stays correct under the full
+//     §VI-D two-deaths fault matrix, where recovery drains and reseeds
+//     every shard.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/dpx10.h"
+#include "dp/inputs.h"
+#include "dp/lcs.h"
+
+namespace dpx10 {
+namespace {
+
+class ChecksumLcs final : public dp::LcsApp {
+ public:
+  using LcsApp::LcsApp;
+  std::uint64_t checksum = 0;
+
+  void app_finished(const DagView<std::int32_t>& dag) override {
+    for (std::int32_t i = 0; i < dag.domain().height(); ++i) {
+      for (std::int32_t j = 0; j < dag.domain().width(); ++j) {
+        checksum = checksum * 1099511628211ULL +
+                   static_cast<std::uint64_t>(dag.at(i, j) + 1);
+      }
+    }
+  }
+};
+
+std::uint64_t run_checksum(const RuntimeOptions& opts, std::int32_t n = 48,
+                           RunReport* report_out = nullptr) {
+  ChecksumLcs app(dp::random_sequence(n - 1, 50), dp::random_sequence(n - 1, 51));
+  auto dag = patterns::make_pattern("left-top-diag", n, n);
+  ThreadedEngine<std::int32_t> engine(opts);
+  RunReport report = engine.run(*dag, app);
+  if (report_out) *report_out = report;
+  return app.checksum;
+}
+
+std::uint64_t reference_checksum(std::int32_t n = 48) {
+  ChecksumLcs app(dp::random_sequence(n - 1, 50), dp::random_sequence(n - 1, 51));
+  auto dag = patterns::make_pattern("left-top-diag", n, n);
+  RuntimeOptions opts;
+  opts.nplaces = 1;
+  opts.nthreads = 1;
+  SimEngine<std::int32_t> engine(opts);
+  engine.run(*dag, app);
+  return app.checksum;
+}
+
+// shards x ready-order x scheduling: every combination must match the
+// single-place serial reference with nothing lost or recomputed.
+using Param = std::tuple<std::int32_t, ReadyOrder, Scheduling>;
+
+class ShardedQueue : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ShardedQueue, MatchesReferenceAndComputesEachVertexOnce) {
+  auto [shards, order, sched] = GetParam();
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 4;  // auto => 4 shards, real cross-shard contention
+  opts.queue_shards = shards;
+  opts.ready_order = order;
+  opts.scheduling = sched;
+  RunReport report;
+  EXPECT_EQ(run_checksum(opts, 48, &report), reference_checksum(48));
+  // A clean run computes every vertex exactly once: a lost vertex would
+  // deadlock the wavefront, a duplicated one would overcount.
+  EXPECT_EQ(report.computed, report.vertices);
+  EXPECT_TRUE(report.recoveries.empty());
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  auto [shards, order, sched] = info.param;
+  std::string name = "shards";
+  name += shards == 0 ? "auto" : std::to_string(shards);
+  name += order == ReadyOrder::Lifo ? "_lifo" : "_fifo";
+  name += sched == Scheduling::WorkStealing ? "_steal" : "_local";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, ShardedQueue,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(ReadyOrder::Fifo, ReadyOrder::Lifo),
+                       ::testing::Values(Scheduling::Local, Scheduling::WorkStealing)),
+    param_name);
+
+// The legacy layout and the sharded layout agree with coalescing and the
+// striped cache in play too — the three knobs compose.
+TEST(ShardedQueueKnobs, SingleShardMatchesAutoWithAllKnobs) {
+  const std::uint64_t expected = reference_checksum();
+  for (bool coalescing : {false, true}) {
+    RuntimeOptions legacy;
+    legacy.nplaces = 4;
+    legacy.nthreads = 4;
+    legacy.queue_shards = 1;
+    legacy.cache_stripes = 1;
+    legacy.coalescing = coalescing;
+    legacy.scheduling = Scheduling::WorkStealing;
+    EXPECT_EQ(run_checksum(legacy), expected);
+
+    RuntimeOptions sharded = legacy;
+    sharded.queue_shards = 0;
+    sharded.cache_stripes = 0;
+    EXPECT_EQ(run_checksum(sharded), expected);
+  }
+}
+
+TEST(ShardedQueueKnobs, OversubscribedShardCountClamps) {
+  // queue_shards far above nthreads must clamp, not crash or strand work.
+  RuntimeOptions opts;
+  opts.nplaces = 2;
+  opts.nthreads = 2;
+  opts.queue_shards = 64;
+  opts.cache_stripes = 64;
+  RunReport report;
+  EXPECT_EQ(run_checksum(opts, 32, &report), reference_checksum(32));
+  EXPECT_EQ(report.computed, report.vertices);
+}
+
+// Steal correctness under the §VI-D two-deaths matrix: recovery drains and
+// reseeds per-worker shards while survivors keep stealing; suspicion-aware
+// stealing must still avoid resurrecting work from declared-dead places.
+using MatrixParam = std::tuple<std::int32_t, RecoveryPolicy>;
+
+class ShardedFaultMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ShardedFaultMatrix, TwoDeathsStayTransparent) {
+  auto [shards, policy] = GetParam();
+  RuntimeOptions clean;
+  clean.nplaces = 5;
+  clean.nthreads = 2;
+  const std::uint64_t expected = reference_checksum(36);
+
+  RuntimeOptions faulty = clean;
+  faulty.queue_shards = shards;
+  faulty.recovery = policy;
+  faulty.scheduling = Scheduling::WorkStealing;
+  faulty.netfaults.drop_prob = 0.1;
+  // Kill the owners of the LAST wavefront rows so recovery is guaranteed
+  // (see net_fault_test.cpp for the rationale).
+  faulty.faults.push_back(FaultPlan{3, 0.3});
+  faulty.faults.push_back(FaultPlan{4, 0.65});
+  RunReport report;
+  EXPECT_EQ(run_checksum(faulty, 36, &report), expected);
+  ASSERT_EQ(report.recoveries.size(), 2u);
+  std::uint64_t redone = 0;
+  for (const RecoveryRecord& rec : report.recoveries) {
+    EXPECT_GT(rec.detected_after_s, 0.0);
+    redone += rec.lost + rec.discarded;
+  }
+  // Exactly-once modulo recovery: every computed vertex is either a live
+  // result or a re-execution of one lost/discarded by a death.
+  EXPECT_EQ(report.computed, report.vertices + redone);
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  auto [shards, policy] = info.param;
+  std::string name = "shards";
+  name += shards == 0 ? "auto" : std::to_string(shards);
+  name += policy == RecoveryPolicy::Rebuild ? "_rebuild" : "_snapshot";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ShardedFaultMatrix,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(RecoveryPolicy::Rebuild,
+                                         RecoveryPolicy::PeriodicSnapshot)),
+    matrix_name);
+
+}  // namespace
+}  // namespace dpx10

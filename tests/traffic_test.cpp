@@ -34,6 +34,33 @@ TEST(Traffic, EnvelopeAddedToPayload) {
   EXPECT_EQ(wire_bytes(100), kEnvelopeBytes + 100);
 }
 
+TEST(Traffic, BatchPayloadHelpers) {
+  // A batch fetch request carries one vertex id per requested dependency.
+  EXPECT_EQ(batch_fetch_request_payload(1), kVertexIdBytes);
+  EXPECT_EQ(batch_fetch_request_payload(7), 7 * kVertexIdBytes);
+  // A coalesced control message carries one (id, delta) entry per decrement
+  // edge plus the publisher's piggybacked value.
+  EXPECT_EQ(batch_control_payload(1, 4), kControlPayloadBytes + 4);
+  EXPECT_EQ(batch_control_payload(5, 16), 5 * kControlPayloadBytes + 16);
+}
+
+TEST(Traffic, BatchKindsConserve) {
+  // The batch message kinds flow through the book like any other wire
+  // message: one record = one envelope at each end, per-kind in == out.
+  TrafficBook book(4);
+  book.record(0, 1, MessageKind::BatchFetchRequest, batch_fetch_request_payload(3));
+  book.record(1, 0, MessageKind::BatchFetchReply, 3 * 4);
+  book.record(2, 3, MessageKind::BatchIndegreeControl, batch_control_payload(2, 8));
+  TrafficSnapshot total = book.total();
+  EXPECT_EQ(total.total_messages_out(), 3u);
+  EXPECT_EQ(total.bytes_out, total.bytes_in);
+  for (auto kind : {MessageKind::BatchFetchRequest, MessageKind::BatchFetchReply,
+                    MessageKind::BatchIndegreeControl}) {
+    EXPECT_EQ(total.messages_out[static_cast<std::size_t>(kind)], 1u);
+    EXPECT_EQ(total.messages_in[static_cast<std::size_t>(kind)], 1u);
+  }
+}
+
 TEST(Traffic, ResetZeroes) {
   TrafficBook book(2);
   book.record(0, 1, MessageKind::IndegreeControl, 12);

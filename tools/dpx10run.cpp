@@ -19,6 +19,9 @@
 //   --ready-order    fifo|lifo                             [fifo]
 //   --cache          per-place cache capacity              [1024]
 //   --cache-policy   fifo|lru                              [fifo]
+//   --coalescing     batch fetches/control msgs per place  [off]
+//   --queue-shards   ready-deque shards per place; 0=auto  [0]
+//   --cache-stripes  cache lock stripes per place; 0=auto  [0]
 //   --restore        discard-remote|restore-remote         [discard-remote]
 //   --recovery       rebuild|snapshot                      [rebuild]
 //   --snapshot-interval  fraction between snapshots        [0.1]
@@ -126,6 +129,9 @@ int main(int argc, char** argv) {
     opts.cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 1024));
     opts.cache_policy =
         cli.get("cache-policy", "fifo") == "lru" ? CachePolicy::Lru : CachePolicy::Fifo;
+    opts.coalescing = cli.get_bool("coalescing", false);
+    opts.queue_shards = static_cast<std::int32_t>(cli.get_int("queue-shards", 0));
+    opts.cache_stripes = static_cast<std::int32_t>(cli.get_int("cache-stripes", 0));
     opts.restore = cli.get("restore", "discard-remote") == "restore-remote"
                        ? RestoreMode::RestoreRemote
                        : RestoreMode::DiscardRemote;

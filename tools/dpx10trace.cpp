@@ -49,6 +49,14 @@ int cmd_summary(const std::string& path) {
                 "elapsed %.6f s; %zu vertex spans, %zu message events, %zu detector events",
                 m.elapsed_s, log.vertices.size(), log.messages.size(), log.detector.size());
   std::cout << line << "\n";
+  if (!log.vertices.empty()) {
+    // The per-vertex framework cost the coalescing knobs attack: wire
+    // messages divided by executed vertices.
+    std::snprintf(line, sizeof line, "messages per vertex: %.3f",
+                  static_cast<double>(log.messages.size()) /
+                      static_cast<double>(log.vertices.size()));
+    std::cout << line << "\n";
+  }
 
   if (!metrics.empty()) {
     std::cout << "\n";
