@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Benchmark evidence for the coalescing + sharded-queue PR: builds the
-# Release preset, measures
-#   * threaded-engine throughput with the legacy single-deque scheduler
-#     (queue_shards=1) vs the sharded per-worker default (micro_engine),
-#   * one Figure-10 sim scaling point (SWLAG, 1M vertices, 8 nodes) with
-#     coalescing off and on,
-# and writes the combined report to BENCH_PR3.json at the repo root.
+# Benchmark evidence, one section per PR. Builds the Release preset, then:
+#   * PR 3 (BENCH_PR3.json): threaded-engine throughput with the legacy
+#     single-deque scheduler (queue_shards=1) vs the sharded per-worker
+#     default (micro_engine), plus one Figure-10 sim scaling point (SWLAG,
+#     1M vertices, 8 nodes) with coalescing off and on.
+#   * PR 4 (BENCH_PR4.json): memory-governor ablation — SWLAG + Nussinov
+#     under --retirement off/retire/spill, recording peak live cells/bytes
+#     per configuration (retire should sit orders of magnitude below off on
+#     SWLAG) and checking the reports stay result-identical across modes.
 #
 #   scripts/bench_report.sh            # full run (~a minute)
 #   scripts/bench_report.sh --quick    # CI-sized smoke run
@@ -23,7 +25,8 @@ cmake --build --preset release -j "${jobs}" --target micro_engine dpx10run >/dev
 bench_json="$(mktemp)"
 fig10_off="$(mktemp)"
 fig10_on="$(mktemp)"
-trap 'rm -f "${bench_json}" "${fig10_off}" "${fig10_on}"' EXIT
+memdir="$(mktemp -d)"
+trap 'rm -f "${bench_json}" "${fig10_off}" "${fig10_on}"; rm -rf "${memdir}"' EXIT
 
 echo "==> micro_engine (sharded vs legacy ready queues)"
 if [[ -n "${quick}" ]]; then
@@ -49,7 +52,19 @@ if ! command -v python3 >/dev/null; then
   exit 0
 fi
 
-python3 - "${bench_json}" "${fig10_off}" "${fig10_on}" <<'PY'
+echo "==> memory governor ablation (swlag + nussinov, off/retire/spill)"
+mem_vertices="1m"
+[[ -n "${quick}" ]] && mem_vertices="100k"
+for app in swlag nussinov; do
+  for mode in off retire spill; do
+    args=(--app="${app}" --engine=sim --vertices="${mem_vertices}" --nodes=8 --json)
+    [[ "${mode}" != "off" ]] && args+=(--retirement="${mode}")
+    [[ "${mode}" == "spill" ]] && args+=(--spill-dir="${memdir}")
+    build-release/tools/dpx10run "${args[@]}" > "${memdir}/${app}_${mode}.json"
+  done
+done
+
+python3 - "${bench_json}" "${fig10_off}" "${fig10_on}" "${memdir}" <<'PY'
 import json, sys
 
 bench = json.load(open(sys.argv[1]))
@@ -98,6 +113,47 @@ with open("BENCH_PR3.json", "w") as f:
 print(json.dumps(report["threaded_queue"], indent=2))
 print("fig10 message reduction: %.2fx" %
       report["fig10_swlag_8_nodes"]["message_reduction"])
+
+# ---- PR 4: memory governor ablation -------------------------------------
+memdir = sys.argv[4]
+mem = {}
+for app in ("swlag", "nussinov"):
+    runs = {mode: json.load(open(f"{memdir}/{app}_{mode}.json"))
+            for mode in ("off", "retire", "spill")}
+    # Legacy runs keep every computed value resident to the end, so the
+    # off-path peak is the whole computed set (its gauges stay 0).
+    off_peak = runs["off"]["live_cells_peak"] or (
+        runs["off"]["computed"] + runs["off"]["prefinished"])
+    mem[app] = {
+        "vertices": runs["off"]["vertices"],
+        "configs": {
+            mode: {
+                "elapsed_s": r["elapsed_s"],
+                "peak_live_cells": (r["live_cells_peak"] or
+                                    (r["computed"] + r["prefinished"])),
+                "peak_live_bytes": r["live_bytes_peak"],
+                "retired_cells": r["retired_cells"],
+                "spilled_cells": r["spilled_cells"],
+                "spill_reads": r["spill_reads"],
+            } for mode, r in runs.items()
+        },
+        "peak_reduction_retire":
+            off_peak / max(runs["retire"]["live_cells_peak"], 1),
+        "peak_reduction_spill":
+            off_peak / max(runs["spill"]["live_cells_peak"], 1),
+        "results_identical_across_modes": len({
+            (r["computed"], r["vertices"]) for r in runs.values()}) == 1,
+    }
+mem_report = {"pr": "memory governor: retirement, accounting, spill",
+              "ablation": mem}
+with open("BENCH_PR4.json", "w") as f:
+    json.dump(mem_report, f, indent=2)
+    f.write("\n")
+for app, a in mem.items():
+    print("%s peak live cells: off=%d retire=%d (%.1fx reduction) spill=%d" % (
+        app, a["configs"]["off"]["peak_live_cells"],
+        a["configs"]["retire"]["peak_live_cells"], a["peak_reduction_retire"],
+        a["configs"]["spill"]["peak_live_cells"]))
 PY
 
-echo "bench_report.sh: wrote BENCH_PR3.json"
+echo "bench_report.sh: wrote BENCH_PR3.json and BENCH_PR4.json"

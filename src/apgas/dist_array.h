@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "apgas/dist.h"
@@ -32,6 +33,11 @@ enum class CellState : std::uint8_t {
   /// counted in indegrees, always recoverable by re-applying the app's
   /// initializer.
   Prefinished = 2,
+  /// Computed, consumed by every anti-dependency, and payload released by
+  /// the memory governor (src/mem). Still "done" for scheduling purposes;
+  /// the value lives only in the SpillStore (spill mode) or nowhere
+  /// (retire mode — recovery recomputes it if needed).
+  Retired = 3,
 };
 
 /// One cell's runtime state. Atomics make the threaded engine's
@@ -53,6 +59,17 @@ struct Cell {
 
   void store_state(CellState s, std::memory_order order = std::memory_order_release) {
     state.store(static_cast<std::uint8_t>(s), order);
+  }
+
+  /// Memory-governor retire hook: releases the payload's storage (swapping
+  /// with a default-constructed value frees heap-owning payloads such as
+  /// tile edges) and marks the cell Retired. The caller must have spilled
+  /// the value first if it will ever be read again.
+  void retire_value(std::memory_order order = std::memory_order_release) {
+    T released{};
+    using std::swap;
+    swap(value, released);
+    store_state(CellState::Retired, order);
   }
 };
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "apgas/dist_array.h"
@@ -26,24 +27,41 @@ class SnapshotVault {
 
   bool has_snapshot() const { return !states_.empty(); }
 
-  /// Number of Finished (not pre-finished) cells in the stored snapshot.
+  /// Number of computed-and-done cells (Finished, or Retired-and-pinned, or
+  /// Retired-kept — not pre-finished) in the stored snapshot.
   std::uint64_t finished_in_snapshot() const { return finished_; }
 
   /// Captures the array. Caller must guarantee quiescence (both engines
   /// pause all places, exactly like Resilient X10's global snapshot).
-  void capture(const DistArray<T>& array) {
+  ///
+  /// `retired_reader` integrates the memory governor: a Retired cell's
+  /// payload is gone from the array, so in spill mode the engines pass a
+  /// reader that fetches it back from the SpillStore and the snapshot PINS
+  /// it as a plain Finished value (the vault, like ResilientDistArray's
+  /// redundant copies, must survive the owner's death — the spill file
+  /// won't). With no reader, or when the reader misses, the cell is stored
+  /// Retired and stateless: still "done", recomputable via resurrection.
+  void capture(const DistArray<T>& array,
+               const std::function<bool(std::int64_t, T&)>& retired_reader = {}) {
     const std::size_t n = static_cast<std::size_t>(array.size());
     values_.resize(n);
     states_.resize(n);
     finished_ = 0;
     for (std::int64_t idx = 0; idx < array.size(); ++idx) {
       const Cell<T>& cell = array.cell(idx);
-      const CellState state = cell.load_state(std::memory_order_relaxed);
-      states_[static_cast<std::size_t>(idx)] = static_cast<std::uint8_t>(state);
-      if (state != CellState::Unfinished) {
+      CellState state = cell.load_state(std::memory_order_relaxed);
+      if (state == CellState::Retired) {
+        T pinned{};
+        if (retired_reader && retired_reader(idx, pinned)) {
+          values_[static_cast<std::size_t>(idx)] = pinned;
+          state = CellState::Finished;
+        }
+        ++finished_;
+      } else if (state != CellState::Unfinished) {
         values_[static_cast<std::size_t>(idx)] = cell.value;
+        if (state == CellState::Finished) ++finished_;
       }
-      if (state == CellState::Finished) ++finished_;
+      states_[static_cast<std::size_t>(idx)] = static_cast<std::uint8_t>(state);
     }
   }
 

@@ -34,7 +34,9 @@ class FifoVertexCache {
   }
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return index_.size(); }
+  /// Cumulative capacity evictions (not erase() drops; survives clear()).
+  std::uint64_t evictions() const { return evictions_; }
 
   /// Looks up `id`; on hit copies the cached value into `out`.
   bool get(VertexId id, T& out) const {
@@ -55,16 +57,33 @@ class FifoVertexCache {
     }
     if (entries_.size() < capacity_) {
       index_.emplace(id.key(), entries_.size());
-      entries_.push_back(Entry{id.key(), value});
+      entries_.push_back(Entry{id.key(), value, true});
       return;
     }
-    // Evict the slot the FIFO cursor points at.
+    // Evict (or reuse, if erase() already emptied it) the slot the FIFO
+    // cursor points at.
     Entry& victim = entries_[cursor_];
-    index_.erase(victim.key);
+    if (victim.occupied) {
+      index_.erase(victim.key);
+      ++evictions_;
+    }
     victim.key = id.key();
     victim.value = value;
+    victim.occupied = true;
     index_.emplace(id.key(), cursor_);
     cursor_ = (cursor_ + 1) % capacity_;
+  }
+
+  /// Drops `id` if cached (memory governor: the vertex was retired, its
+  /// value must not be served anymore). The ring slot stays in place and is
+  /// reused when the cursor reaches it; not counted as an eviction.
+  void erase(VertexId id) {
+    auto it = index_.find(id.key());
+    if (it == index_.end()) return;
+    Entry& entry = entries_[it->second];
+    entry.occupied = false;
+    entry.value = T{};
+    index_.erase(it);
   }
 
   void clear() {
@@ -77,12 +96,14 @@ class FifoVertexCache {
   struct Entry {
     std::uint64_t key;
     T value;
+    bool occupied;
   };
 
   std::size_t capacity_;
   std::vector<Entry> entries_;
   std::unordered_map<std::uint64_t, std::size_t> index_;
   std::size_t cursor_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// LRU alternative to the paper's FIFO list. The paper argues FIFO is
@@ -99,6 +120,8 @@ class LruVertexCache {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const { return order_.size(); }
+  /// Cumulative capacity evictions (not erase() drops; survives clear()).
+  std::uint64_t evictions() const { return evictions_; }
 
   /// Lookup; a hit refreshes the entry's recency.
   bool get(VertexId id, T& out) {
@@ -120,9 +143,18 @@ class LruVertexCache {
     if (order_.size() == capacity_) {
       index_.erase(order_.back().key);
       order_.pop_back();
+      ++evictions_;
     }
     order_.push_front(Entry{id.key(), value});
     index_.emplace(id.key(), order_.begin());
+  }
+
+  /// Drops `id` if cached (not counted as an eviction).
+  void erase(VertexId id) {
+    auto it = index_.find(id.key());
+    if (it == index_.end()) return;
+    order_.erase(it->second);
+    index_.erase(it);
   }
 
   void clear() {
@@ -139,6 +171,7 @@ class LruVertexCache {
   std::size_t capacity_;
   std::list<Entry> order_;  // front = most recently used
   std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator> index_;
+  std::uint64_t evictions_ = 0;
 };
 
 /// Runtime-selectable cache used by the engines.
@@ -165,6 +198,18 @@ class VertexCache {
     } else {
       lru_.put(id, value);
     }
+  }
+
+  void erase(VertexId id) {
+    if (policy_ == CachePolicy::Fifo) {
+      fifo_.erase(id);
+    } else {
+      lru_.erase(id);
+    }
+  }
+
+  std::uint64_t evictions() const {
+    return fifo_.evictions() + lru_.evictions();
   }
 
   void clear() {
@@ -212,6 +257,21 @@ class StripedVertexCache {
     s.cache->put(id, value);
   }
 
+  void erase(VertexId id) {
+    Stripe& s = stripe_of(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.cache->erase(id);
+  }
+
+  std::uint64_t evictions() const {
+    std::uint64_t n = 0;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.cache->evictions();
+    }
+    return n;
+  }
+
   void clear() {
     for (Stripe& s : stripes_) {
       std::lock_guard<std::mutex> lock(s.mu);
@@ -221,7 +281,7 @@ class StripedVertexCache {
 
  private:
   struct Stripe {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::unique_ptr<VertexCache<T>> cache;
   };
 

@@ -3,7 +3,16 @@
 // Passed to DPX10App::app_finished() (paper Fig. 2: "the argument dag can
 // be used to access the result of each vertex") and used by result
 // processing such as traceback. Only finished cells may be read.
+//
+// With the memory governor in spill mode, a cell's payload may have been
+// retired to the owner place's SpillStore; the engines then construct the
+// view with a `retired_reader` so traceback still sees every done value.
+// In retire mode retired values are gone by design — at() fails loudly and
+// value_or() falls back, which is why apps whose app_finished() walks the
+// matrix should be run with spill, not retire (docs/MEMORY.md).
 #pragma once
+
+#include <functional>
 
 #include "apgas/dist_array.h"
 #include "common/error.h"
@@ -14,6 +23,10 @@ template <typename T>
 class DagView {
  public:
   explicit DagView(const DistArray<T>& array) : array_(&array) {}
+
+  DagView(const DistArray<T>& array,
+          std::function<bool(std::int64_t, T&)> retired_reader)
+      : array_(&array), retired_reader_(std::move(retired_reader)) {}
 
   const DagDomain& domain() const { return array_->domain(); }
 
@@ -26,25 +39,48 @@ class DagView {
   }
 
   /// Result of cell (i, j). Requires the cell to be in the domain and
-  /// finished (always true in app_finished()).
+  /// finished (always true in app_finished()). Retired cells are served
+  /// from the spill store when a reader is installed; without one, reading
+  /// a retired cell is an internal error (the value no longer exists).
   const T& at(std::int32_t i, std::int32_t j) const {
     const Cell<T>& cell = array_->cell(VertexId{i, j});
     check_internal(cell.is_done(), "DagView::at: reading an unfinished vertex");
+    if (cell.load_state() == CellState::Retired) {
+      check_internal(static_cast<bool>(retired_reader_),
+                     "DagView::at: reading a retired vertex with no spill "
+                     "store (use --retirement=spill for traceback apps)");
+      const std::int64_t idx = domain().linearize(VertexId{i, j});
+      const bool ok = retired_reader_(idx, spill_scratch_);
+      check_internal(ok, "DagView::at: retired vertex missing from spill");
+      return spill_scratch_;
+    }
     return cell.value;
   }
 
   /// at(i, j) when the cell exists and is finished, `fallback` otherwise —
-  /// convenient for boundary-free traceback loops.
+  /// convenient for boundary-free traceback loops. A retired cell with no
+  /// reader (retire mode) yields the fallback.
   T value_or(std::int32_t i, std::int32_t j, T fallback) const {
     VertexId id{i, j};
     if (!domain().contains(id)) return fallback;
     const Cell<T>& cell = array_->cell(id);
     if (!cell.is_done()) return fallback;
+    if (cell.load_state() == CellState::Retired) {
+      T out{};
+      if (retired_reader_ && retired_reader_(domain().linearize(id), out)) {
+        return out;
+      }
+      return fallback;
+    }
     return cell.value;
   }
 
  private:
   const DistArray<T>* array_;
+  std::function<bool(std::int64_t, T&)> retired_reader_;
+  /// at() returns a reference; spill reads land here. Single-threaded use
+  /// only (app_finished runs after the engines quiesce).
+  mutable T spill_scratch_{};
 };
 
 }  // namespace dpx10

@@ -19,6 +19,7 @@
 #include "core/metrics.h"
 #include "core/runtime_options.h"
 #include "core/value_traits.h"
+#include "mem/governor.h"
 #include "net/fault_injector.h"
 #include "net/traffic.h"
 
@@ -136,6 +137,41 @@ void recompute_indegrees(DistArray<T>& array, const Dag& dag) {
   }
 }
 
+/// Makes retire-mode recovery sound: a Retired cell's value exists nowhere,
+/// so if any Unfinished cell depends on it, the retired cell must be flipped
+/// back to Unfinished and recomputed — and its own retired dependencies with
+/// it, transitively. Must run BEFORE recompute_indegrees (the flips change
+/// which dependencies count). Returns the number of cells resurrected. A
+/// no-op in spill mode, where retired values are still readable.
+template <typename T>
+std::uint64_t resurrect_retired(DistArray<T>& array, const Dag& dag) {
+  const DagDomain& domain = array.domain();
+  std::vector<std::int64_t> work;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    if (array.cell(idx).load_state(std::memory_order_relaxed) ==
+        CellState::Unfinished) {
+      work.push_back(idx);
+    }
+  }
+  std::vector<VertexId> deps;
+  std::uint64_t flipped = 0;
+  while (!work.empty()) {
+    const std::int64_t idx = work.back();
+    work.pop_back();
+    deps.clear();
+    dag.dependencies(domain.delinearize(idx), deps);
+    for (VertexId d : deps) {
+      Cell<T>& dep = array.cell(d);
+      if (dep.load_state(std::memory_order_relaxed) == CellState::Retired) {
+        dep.store_state(CellState::Unfinished, std::memory_order_relaxed);
+        ++flipped;
+        work.push_back(domain.linearize(d));
+      }
+    }
+  }
+  return flipped;
+}
+
 /// Rebuilds `fresh` (already constructed over the survivor group) from
 /// `old_array` after `dead_place` died, per §VI-D:
 ///   * pre-finished cells are re-derived from the app's initializer — they
@@ -148,12 +184,19 @@ void recompute_indegrees(DistArray<T>& array, const Dag& dag) {
 ///     because recomputing is usually cheaper than copying;
 ///   * every unfinished cell gets its indegree recomputed from the new
 ///     finished set.
+/// Retired cells (memory governor, `gov` non-null) extend the matrix: in
+/// spill mode the value is in the owner's SpillStore — kept if the owner
+/// survived in place, lost with the owner's disk if it died, and moved (or
+/// discarded) like a finished value if ownership changed; in retire mode
+/// the value exists nowhere, so Retired survives as "done" and any retired
+/// cell an unfinished consumer needs is resurrected for recomputation.
 /// Returns the recovery census; timing fields are filled by the caller.
 template <typename T>
 RecoveryRecord rebuild_after_death(const DistArray<T>& old_array, std::int32_t dead_place,
                                    RestoreMode mode, const Dag& dag,
                                    const DPX10App<T>& app, DistArray<T>& fresh,
-                                   net::TrafficBook& book) {
+                                   net::TrafficBook& book,
+                                   mem::MemoryGovernor<T>* gov = nullptr) {
   const DagDomain& domain = old_array.domain();
   RecoveryRecord record;
   record.dead_place = dead_place;
@@ -192,22 +235,59 @@ RecoveryRecord rebuild_after_death(const DistArray<T>& old_array, std::int32_t d
         ++record.restored;
         break;
       }
+      case CellState::Retired: {
+        if (gov == nullptr || !gov->spill_on()) {
+          // Retire mode: no value anywhere, on any place — death cannot
+          // lose what was already released. Kept as "done"; resurrection
+          // below recomputes the ones an unfinished consumer needs.
+          new_cell.store_state(CellState::Retired, std::memory_order_relaxed);
+          break;
+        }
+        const std::int32_t old_owner = old_array.owner_place(id);
+        if (old_owner == dead_place) {
+          ++record.lost;  // spill file died with the place; stays Unfinished
+          break;
+        }
+        const std::int32_t new_owner = fresh.owner_place(id);
+        if (new_owner != old_owner) {
+          if (mode == RestoreMode::DiscardRemote) {
+            ++record.discarded;
+            break;
+          }
+          T spilled{};
+          const bool ok = gov->spill_read(old_owner, idx, spilled);
+          check_internal(ok, "rebuild_after_death: retired cell missing "
+                             "from the old owner's spill store");
+          book.record(old_owner, new_owner, net::MessageKind::RecoveryTransfer,
+                      value_wire_bytes(spilled));
+          gov->spill_write(new_owner, idx, spilled);
+          ++record.restored_remote;
+        }
+        new_cell.store_state(CellState::Retired, std::memory_order_relaxed);
+        ++record.restored_spilled;
+        break;
+      }
       case CellState::Unfinished:
         break;
     }
   }
 
+  if (gov == nullptr || !gov->spill_on()) {
+    record.resurrected = resurrect_retired(fresh, dag);
+  }
   recompute_indegrees(fresh, dag);
   return record;
 }
 
-/// Number of Finished (not pre-finished) cells — the engines' finished
+/// Number of computed-and-done cells (Finished, plus Retired — a retired
+/// cell finished before its payload was released) — the engines' finished
 /// counter is reset to this after recovery.
 template <typename T>
 std::uint64_t count_finished(const DistArray<T>& array) {
   std::uint64_t n = 0;
   for (std::int64_t idx = 0; idx < array.size(); ++idx) {
-    if (array.cell(idx).load_state(std::memory_order_relaxed) == CellState::Finished) ++n;
+    const CellState s = array.cell(idx).load_state(std::memory_order_relaxed);
+    if (s == CellState::Finished || s == CellState::Retired) ++n;
   }
   return n;
 }

@@ -35,6 +35,14 @@ struct PlaceStats {
   std::uint64_t net_duplicates = 0;    ///< duplicate deliveries (idempotently
                                        ///< discarded via fetch seq numbers)
   std::uint64_t suspicions = 0;        ///< times the detector suspected this place
+  // Memory governor (src/mem). Zero when --retirement=off, except
+  // cache_evictions, which counts capacity evictions in any mode.
+  std::uint64_t retired_cells = 0;     ///< payloads released from the array
+  std::uint64_t spilled_cells = 0;     ///< payloads written to the spill file
+  std::uint64_t spill_reads = 0;       ///< demand reads served from the file
+  std::uint64_t cache_evictions = 0;   ///< vertex-cache capacity evictions
+  std::uint64_t live_cells_peak = 0;   ///< high-water mark of resident cells
+  std::uint64_t live_bytes_peak = 0;   ///< high-water mark of resident bytes
   double busy_seconds = 0.0;           ///< SimEngine: slot-occupied time
 
   PlaceStats& operator+=(const PlaceStats& o) {
@@ -52,6 +60,12 @@ struct PlaceStats {
     net_drops += o.net_drops;
     net_duplicates += o.net_duplicates;
     suspicions += o.suspicions;
+    retired_cells += o.retired_cells;
+    spilled_cells += o.spilled_cells;
+    spill_reads += o.spill_reads;
+    cache_evictions += o.cache_evictions;
+    live_cells_peak += o.live_cells_peak;
+    live_bytes_peak += o.live_bytes_peak;
     busy_seconds += o.busy_seconds;
     return *this;
   }
@@ -117,6 +131,12 @@ struct RecoveryRecord {
                                      ///< (RestoreMode::RestoreRemote only)
   std::uint64_t discarded = 0;       ///< finished-on-survivor values dropped
                                      ///< by the discard-remote restore mode
+  std::uint64_t restored_spilled = 0;  ///< retired cells whose value survived
+                                       ///< in a SpillStore (spill mode)
+  std::uint64_t resurrected = 0;     ///< retired cells flipped back to
+                                     ///< Unfinished because a consumer must
+                                     ///< re-run and the value is gone
+                                     ///< (retire mode)
 };
 
 struct RunReport {

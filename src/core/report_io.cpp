@@ -22,7 +22,18 @@ void print_report(std::ostream& os, const RunReport& report) {
                     100.0 * static_cast<double>(totals.cache_hits) /
                         static_cast<double>(lookups));
   }
+  if (totals.cache_evictions > 0) {
+    os << ", " << with_commas(totals.cache_evictions) << " evicted";
+  }
   os << "\n";
+  // live_cells_peak is zero exactly when the memory governor was off.
+  if (totals.live_cells_peak > 0) {
+    os << "  memory:        peak " << with_commas(totals.live_cells_peak)
+       << " live cells (" << human_bytes(static_cast<double>(totals.live_bytes_peak))
+       << "), " << with_commas(totals.retired_cells) << " retired, "
+       << with_commas(totals.spilled_cells) << " spilled, "
+       << with_commas(totals.spill_reads) << " spill reads\n";
+  }
   os << "  traffic:       " << with_commas(report.traffic.total_messages_out())
      << " messages, " << human_bytes(static_cast<double>(report.traffic.bytes_out)) << "\n";
   if (totals.fetch_batches + totals.control_batches > 0) {
@@ -51,7 +62,14 @@ void print_report(std::ostream& os, const RunReport& report) {
     os << "recovered in "
        << human_seconds(r.recovery_seconds) << " (lost " << with_commas(r.lost)
        << ", restored " << with_commas(r.restored) << ", discarded "
-       << with_commas(r.discarded) << ")\n";
+       << with_commas(r.discarded);
+    if (r.restored_spilled > 0) {
+      os << ", spill-kept " << with_commas(r.restored_spilled);
+    }
+    if (r.resurrected > 0) {
+      os << ", resurrected " << with_commas(r.resurrected);
+    }
+    os << ")\n";
   }
 }
 
@@ -65,6 +83,8 @@ struct RecoveryTotals {
   std::uint64_t restored = 0;
   std::uint64_t restored_remote = 0;
   std::uint64_t discarded = 0;
+  std::uint64_t restored_spilled = 0;
+  std::uint64_t resurrected = 0;
 };
 
 RecoveryTotals recovery_totals(const RunReport& report) {
@@ -74,6 +94,8 @@ RecoveryTotals recovery_totals(const RunReport& report) {
     t.restored += r.restored;
     t.restored_remote += r.restored_remote;
     t.discarded += r.discarded;
+    t.restored_spilled += r.restored_spilled;
+    t.resurrected += r.resurrected;
   }
   return t;
 }
@@ -89,7 +111,9 @@ void print_csv_header(std::ostream& os) {
         "control_batches,executed_nonlocal,"
         "steals,messages_out,bytes_out,net_drops,net_duplicates,"
         "fetch_retries,fetch_timeouts,suspicions,recoveries,lost,restored,"
-        "restored_remote,discarded\n";
+        "restored_remote,discarded,restored_spilled,resurrected,"
+        "cache_evictions,retired_cells,spilled_cells,spill_reads,"
+        "live_cells_peak,live_bytes_peak\n";
 }
 
 void print_csv_row(std::ostream& os, const std::string& label, const RunReport& report) {
@@ -110,7 +134,10 @@ void print_csv_row(std::ostream& os, const std::string& label, const RunReport& 
      << t.net_drops << ',' << t.net_duplicates << ',' << t.fetch_retries << ','
      << t.fetch_timeouts << ',' << t.suspicions << ','
      << report.recoveries.size() << ',' << rt.lost << ',' << rt.restored << ','
-     << rt.restored_remote << ',' << rt.discarded << '\n';
+     << rt.restored_remote << ',' << rt.discarded << ','
+     << rt.restored_spilled << ',' << rt.resurrected << ','
+     << t.cache_evictions << ',' << t.retired_cells << ',' << t.spilled_cells << ','
+     << t.spill_reads << ',' << t.live_cells_peak << ',' << t.live_bytes_peak << '\n';
 }
 
 namespace {
@@ -154,6 +181,12 @@ void json_place(std::ostream& os, const PlaceStats& s) {
      << ",\"net_drops\":" << s.net_drops
      << ",\"net_duplicates\":" << s.net_duplicates
      << ",\"suspicions\":" << s.suspicions
+     << ",\"cache_evictions\":" << s.cache_evictions
+     << ",\"retired_cells\":" << s.retired_cells
+     << ",\"spilled_cells\":" << s.spilled_cells
+     << ",\"spill_reads\":" << s.spill_reads
+     << ",\"live_cells_peak\":" << s.live_cells_peak
+     << ",\"live_bytes_peak\":" << s.live_bytes_peak
      << ",\"busy_seconds\":";
   json_double(os, s.busy_seconds);
   os << '}';
@@ -196,6 +229,14 @@ void print_json(std::ostream& os, const RunReport& report) {
      << ",\"restored\":" << rt.restored
      << ",\"restored_remote\":" << rt.restored_remote
      << ",\"discarded\":" << rt.discarded
+     << ",\"restored_spilled\":" << rt.restored_spilled
+     << ",\"resurrected\":" << rt.resurrected
+     << ",\"cache_evictions\":" << t.cache_evictions
+     << ",\"retired_cells\":" << t.retired_cells
+     << ",\"spilled_cells\":" << t.spilled_cells
+     << ",\"spill_reads\":" << t.spill_reads
+     << ",\"live_cells_peak\":" << t.live_cells_peak
+     << ",\"live_bytes_peak\":" << t.live_bytes_peak
      << ",\"traffic\":{\"messages_out\":" << report.traffic.total_messages_out()
      << ",\"bytes_out\":" << report.traffic.bytes_out << '}';
   os << ",\"recoveries\":[";
@@ -210,7 +251,9 @@ void print_json(std::ostream& os, const RunReport& report) {
     json_double(os, r.detected_after_s);
     os << ",\"lost\":" << r.lost << ",\"restored\":" << r.restored
        << ",\"restored_remote\":" << r.restored_remote
-       << ",\"discarded\":" << r.discarded << '}';
+       << ",\"discarded\":" << r.discarded
+       << ",\"restored_spilled\":" << r.restored_spilled
+       << ",\"resurrected\":" << r.resurrected << '}';
   }
   os << "],\"places\":[";
   for (std::size_t p = 0; p < report.places.size(); ++p) {

@@ -18,6 +18,7 @@
 #include "apgas/heartbeat.h"
 #include "common/error.h"
 #include "core/cache.h"
+#include "mem/options.h"
 #include "net/fault_injector.h"
 #include "net/link_model.h"
 #include "obs/trace_level.h"
@@ -167,6 +168,7 @@ struct RuntimeOptions {
   net::NetFaultConfig netfaults;  ///< message drop/dup/jitter/stall injection
   HeartbeatConfig heartbeat;      ///< failure detector parameters
   RetryConfig retry;              ///< remote-fetch timeout/backoff protocol
+  mem::MemoryOptions memory;      ///< cell retirement / accounting / spill
 
   /// Validates every knob and normalizes the fault plan: faults are sorted
   /// by at_fraction (they fire in that order) and exact ties are rejected —
@@ -203,6 +205,7 @@ struct RuntimeOptions {
     netfaults.validate(nplaces);
     heartbeat.validate();
     retry.validate();
+    memory.validate();
   }
 };
 

@@ -48,6 +48,7 @@
 #include "core/runtime_options.h"
 #include "core/scheduling.h"
 #include "core/value_traits.h"
+#include "mem/governor.h"
 #include "net/fault_injector.h"
 #include "net/message.h"
 #include "net/traffic.h"
@@ -115,6 +116,11 @@ class SimEngine {
       for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
         places_.emplace_back(opts_.nthreads, opts_.cache_policy, opts_.cache_capacity);
       }
+      if (opts_.memory.retirement != mem::RetirementMode::Off) {
+        gov_ = std::make_unique<mem::MemoryGovernor<T>>(opts_.memory,
+                                                        opts_.nplaces);
+        gov_spill_ = gov_->spill_on();
+      }
       faults_ = opts_.faults;  // validate() already sorted by at_fraction
       // The detector (and its heartbeat traffic) only engages when there is
       // something to detect; a fault-free reliable run stays event-for-event
@@ -130,6 +136,7 @@ class SimEngine {
 
     RunReport run() {
       detail::InitSummary init = detail::initialize_cells(*array_, dag_, app_);
+      if (gov_) gov_->rebuild(*array_, dag_);
       target_ = static_cast<std::int64_t>(init.to_compute);
       require(target_ > 0, "SimEngine: nothing to compute (all cells pre-finished)");
       for (const FaultPlan& f : faults_) {
@@ -189,6 +196,15 @@ class SimEngine {
       for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
         PlaceStats s = places_[static_cast<std::size_t>(p)].stats;
         s.busy_seconds = places_[static_cast<std::size_t>(p)].slots.busy_seconds();
+        s.cache_evictions = places_[static_cast<std::size_t>(p)].cache.evictions();
+        if (gov_) {
+          const mem::MemAccount a = gov_->account(p);
+          s.retired_cells = a.retired_cells;
+          s.spilled_cells = a.spilled_cells;
+          s.spill_reads = a.spill_reads;
+          s.live_cells_peak = a.live_cells_peak;
+          s.live_bytes_peak = a.live_bytes_peak;
+        }
         report.places.push_back(s);
       }
       report.recoveries = recoveries_;
@@ -219,12 +235,37 @@ class SimEngine {
         }
       }
 
-      app_.app_finished(DagView<T>(*array_));
+      app_.app_finished(make_result_view());
       return report;
     }
 
    private:
     PlaceSim& place(std::int32_t p) { return places_[static_cast<std::size_t>(p)]; }
+
+    /// The app_finished() view: spill-aware when the governor can serve
+    /// retired values back from the spill stores.
+    DagView<T> make_result_view() {
+      if (!gov_spill_) return DagView<T>(*array_);
+      DistArray<T>* array = array_.get();
+      mem::MemoryGovernor<T>* gov = gov_.get();
+      return DagView<T>(*array_, [array, gov](std::int64_t i, T& out) {
+        const std::int32_t owner =
+            array->owner_place(array->domain().delinearize(i));
+        return gov->spill_read(owner, i, out);
+      });
+    }
+
+    /// Dependency-value read: direct on the legacy and retire paths (a
+    /// retire-mode cell cannot be retired before its last consumer reads
+    /// it), through the governor when pressure spill may have displaced the
+    /// payload to the spill file.
+    void read_dep_value(DistArray<T>& array, VertexId d, T& out) {
+      if (gov_spill_) {
+        gov_->read(array, array.domain().linearize(d), out);
+      } else {
+        out = array.cell(d).value;
+      }
+    }
 
     void schedule_dispatch(std::int32_t p, double t) {
       PlaceSim& pl = place(p);
@@ -253,6 +294,24 @@ class SimEngine {
         tracer_.sample("slots_busy", p, t,
                        static_cast<double>(pl.slots.busy_count(t)));
         tracer_.sample("nic_backlog_s", p, t, std::max(0.0, pl.nic_free - t));
+        if (gov_) {
+          // The governor's live gauges double as the simulated-RSS model:
+          // payload bytes resident in the DistArray, reproducible
+          // seed-for-seed because sampling rides the virtual clock.
+          const mem::MemAccount a = gov_->account(p);
+          tracer_.sample("live_cells", p, t, static_cast<double>(a.live_cells));
+          tracer_.sample("live_bytes", p, t, static_cast<double>(a.live_bytes));
+          tracer_.sample("retired_cells", p, t,
+                         static_cast<double>(a.retired_cells));
+          tracer_.sample("spilled_cells", p, t,
+                         static_cast<double>(a.spilled_cells));
+          tracer_.sample("spill_reads", p, t,
+                         static_cast<double>(a.spill_reads));
+          tracer_.sample("cache_hits", p, t,
+                         static_cast<double>(pl.stats.cache_hits));
+          tracer_.sample("cache_evictions", p, t,
+                         static_cast<double>(pl.cache.evictions()));
+        }
       }
     }
 
@@ -476,14 +535,14 @@ class SimEngine {
           const std::int32_t owner = array.owner_place(d);
           T value;
           if (owner == p) {
-            value = array.cell(d).value;
+            read_dep_value(array, d, value);
             gather_cost += opts_.cost.local_dep_ns * 1e-9;
             ++pl.stats.local_dep_reads;
           } else if (pl.cache.get(d, value)) {
             gather_cost += opts_.cost.local_dep_ns * 1e-9;
             ++pl.stats.cache_hits;
           } else {
-            value = array.cell(d).value;
+            read_dep_value(array, d, value);
             ++pl.stats.remote_fetches;
             const FetchTiming fetch = model_remote_fetch(
                 p, owner, net::MessageKind::FetchRequest, net::MessageKind::FetchReply,
@@ -507,14 +566,14 @@ class SimEngine {
           const std::int32_t owner = array.owner_place(d);
           T value;
           if (owner == p) {
-            value = array.cell(d).value;
+            read_dep_value(array, d, value);
             gather_cost += opts_.cost.local_dep_ns * 1e-9;
             ++pl.stats.local_dep_reads;
           } else if (pl.cache.get(d, value)) {
             gather_cost += opts_.cost.local_dep_ns * 1e-9;
             ++pl.stats.cache_hits;
           } else {
-            value = array.cell(d).value;
+            read_dep_value(array, d, value);
             ++pl.stats.remote_fetches;
             FetchGroup* group = nullptr;
             for (FetchGroup& g : fetch_groups_) {
@@ -702,6 +761,31 @@ class SimEngine {
         }
       }
 
+      if (gov_) {
+        // Publish accounting runs after the control loops above — they need
+        // the cell's real value for payload sizes and cache seeding, and a
+        // pressure spill may displace it. Then this vertex consumes its
+        // dependencies: the last consumer's publish retires each one, and
+        // every retired/displaced cell is dropped from all vertex caches
+        // eagerly so its bytes are gone everywhere at once.
+        evicted_scratch_.clear();
+        gov_->on_publish(array, idx, &evicted_scratch_);
+        deps_scratch_.clear();
+        dag_.dependencies(id, deps_scratch_);
+        for (VertexId d : deps_scratch_) {
+          const std::int64_t dep_idx = array.domain().linearize(d);
+          if (gov_->on_consumed(array, dep_idx)) {
+            evicted_scratch_.push_back(dep_idx);
+          }
+        }
+        for (std::int64_t e : evicted_scratch_) {
+          const VertexId eid = array.domain().delinearize(e);
+          for (std::int32_t q = 0; q < opts_.nplaces; ++q) {
+            place(q).cache.erase(eid);
+          }
+        }
+      }
+
       ++finished_;
       elapsed_ = now_;
 
@@ -867,7 +951,19 @@ class SimEngine {
     /// time. In-flight vertices keep running to completion — they are
     /// simply newer than the snapshot.
     void take_snapshot() {
-      vault_.capture(*array_);
+      if (gov_spill_) {
+        // Pin retired values out of the spill files: the vault must survive
+        // the owner's death, the owner's spill file would not.
+        DistArray<T>* array = array_.get();
+        mem::MemoryGovernor<T>* gov = gov_.get();
+        vault_.capture(*array_, [array, gov](std::int64_t i, T& out) {
+          const std::int32_t owner =
+              array->owner_place(array->domain().delinearize(i));
+          return gov->spill_read(owner, i, out);
+        });
+      } else {
+        vault_.capture(*array_);
+      }
       const double duration =
           static_cast<double>(dag_.domain().size()) * opts_.cost.snapshot_copy_ns * 1e-9 /
               static_cast<double>(pm_.alive_count()) +
@@ -902,7 +998,7 @@ class SimEngine {
       double recovery_s;
       if (opts_.recovery == RecoveryPolicy::Rebuild) {
         record = detail::rebuild_after_death(*array_, dead_place, opts_.restore, dag_, app_,
-                                             *fresh, book_);
+                                             *fresh, book_, gov_.get());
         const double copy_s =
             static_cast<double>(record.restored) * opts_.cost.restore_copy_ns * 1e-9;
         const double wire_s = static_cast<double>(record.restored_remote) *
@@ -915,6 +1011,11 @@ class SimEngine {
         record.dead_place = dead_place;
         if (vault_.has_snapshot()) {
           vault_.restore(*fresh);
+          if (gov_ && !gov_spill_) {
+            // Retire-mode snapshots hold Retired cells statelessly; any
+            // such cell an unfinished consumer needs must recompute.
+            record.resurrected = detail::resurrect_retired(*fresh, dag_);
+          }
           detail::recompute_indegrees(*fresh, dag_);
           record.restored = vault_.finished_in_snapshot();
         } else {
@@ -947,6 +1048,7 @@ class SimEngine {
         pl.nic_free = resume_at;
         pl.dispatch_pending = false;
       }
+      if (gov_) gov_->rebuild(*array_, dag_);
       detail::seed_ready(*array_, [&](std::int32_t owner, std::int64_t idx) {
         queue_.push(resume_at, kReady, owner, idx);
       });
@@ -978,6 +1080,8 @@ class SimEngine {
     std::vector<std::uint8_t> crashed_;   ///< crashed but maybe undeclared
     std::vector<double> crash_time_;
     std::unique_ptr<DistArray<T>> array_;
+    std::unique_ptr<mem::MemoryGovernor<T>> gov_;
+    bool gov_spill_ = false;
     std::vector<PlaceSim> places_;
     sim::EventQueue queue_;
 
@@ -1010,6 +1114,7 @@ class SimEngine {
     std::vector<VertexId> anti_scratch_;
     std::vector<VertexId> sched_scratch_;
     std::vector<Vertex<T>> dep_values_;
+    std::vector<std::int64_t> evicted_scratch_;
 
     /// Scratch for the coalesced gather: one batch round trip per owner.
     struct FetchGroup {

@@ -58,6 +58,7 @@
 #include "core/runtime_options.h"
 #include "core/scheduling.h"
 #include "core/value_traits.h"
+#include "mem/governor.h"
 #include "net/fault_injector.h"
 #include "net/traffic.h"
 #include "obs/tracer.h"
@@ -154,6 +155,11 @@ class ThreadedEngine {
         places_.push_back(std::make_unique<PlaceRt>(opts_.cache_policy, opts_.cache_capacity,
                                                     nstripes, nshards_));
       }
+      if (opts_.memory.retirement != mem::RetirementMode::Off) {
+        gov_ = std::make_unique<mem::MemoryGovernor<T>>(opts_.memory,
+                                                        opts_.nplaces);
+        gov_spill_ = gov_->spill_on();
+      }
       faults_ = opts_.faults;  // validate() already sorted by at_fraction
       detector_active_ =
           opts_.heartbeat.enabled && (!faults_.empty() || injector_.enabled());
@@ -164,6 +170,7 @@ class ThreadedEngine {
 
     RunReport run() {
       detail::InitSummary init = detail::initialize_cells(*array_, dag_, app_);
+      if (gov_) gov_->rebuild(*array_, dag_);
       target_ = static_cast<std::int64_t>(init.to_compute);
       require(target_ > 0, "ThreadedEngine: nothing to compute (all cells pre-finished)");
       detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
@@ -211,7 +218,19 @@ class ThreadedEngine {
       report.prefinished = init.prefinished;
       report.computed = computed_total_.load(std::memory_order_relaxed);
       report.elapsed_seconds = stopwatch_.seconds();
-      for (const auto& p : places_) report.places.push_back(p->stats.snapshot());
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        PlaceStats s = places_[static_cast<std::size_t>(p)]->stats.snapshot();
+        s.cache_evictions = places_[static_cast<std::size_t>(p)]->cache.evictions();
+        if (gov_) {
+          const mem::MemAccount acct = gov_->account(p);
+          s.retired_cells = acct.retired_cells;
+          s.spilled_cells = acct.spilled_cells;
+          s.spill_reads = acct.spill_reads;
+          s.live_cells_peak = acct.live_cells_peak;
+          s.live_bytes_peak = acct.live_bytes_peak;
+        }
+        report.places.push_back(s);
+      }
       report.recoveries = recoveries_;
       for (const RecoveryRecord& r : recoveries_) {
         report.recovery_seconds += r.recovery_seconds;
@@ -233,8 +252,20 @@ class ThreadedEngine {
         }
       }
 
-      app_.app_finished(DagView<T>(*array_));
+      app_.app_finished(make_result_view());
       return report;
+    }
+
+    /// View handed to app_finished(): in spill mode retired payloads are
+    /// served back out of the owner place's spill store.
+    DagView<T> make_result_view() const {
+      if (!gov_spill_) return DagView<T>(*array_);
+      const DistArray<T>* array = array_.get();
+      mem::MemoryGovernor<T>* gov = gov_.get();
+      return DagView<T>(*array_, [array, gov](std::int64_t idx, T& out) {
+        const std::int32_t owner = array->owner_place(array->domain().delinearize(idx));
+        return gov->spill_read(owner, idx, out);
+      });
     }
 
    private:
@@ -253,6 +284,7 @@ class ThreadedEngine {
       std::vector<Vertex<T>> dep_values;
       std::vector<FetchGroup> fetch_groups;
       std::vector<CtrlGroup> ctrl_groups;
+      std::vector<std::int64_t> retired_scratch;
 
       while (true) {
         if (done_.load(std::memory_order_acquire)) break;
@@ -293,7 +325,7 @@ class ThreadedEngine {
           continue;
         }
         execute(idx, my_place, worker, ready_at, rng, deps_scratch, anti_scratch,
-                sched_scratch, dep_values, fetch_groups, ctrl_groups);
+                sched_scratch, dep_values, fetch_groups, ctrl_groups, retired_scratch);
       }
 
       std::lock_guard<std::mutex> lk(pause_mu_);
@@ -402,6 +434,18 @@ class ThreadedEngine {
 
     // ---- vertex execution ------------------------------------------------
 
+    /// Dependency read. Plain cell read, except in spill mode: there a
+    /// pressure spill may retire a cell before all its consumers have read
+    /// it, so every read goes through the governor (owner-place lock,
+    /// transparent restore from the spill store).
+    void read_dep_value(const DistArray<T>& array, VertexId d, T& out) {
+      if (gov_spill_) {
+        gov_->read(array, array.domain().linearize(d), out);
+      } else {
+        out = array.cell(d).value;
+      }
+    }
+
     /// Scratch for the coalesced gather: one batch round trip per owner.
     struct FetchGroup {
       std::int32_t owner;
@@ -418,7 +462,8 @@ class ThreadedEngine {
                  double ready_at, Xoshiro256& rng,
                  std::vector<VertexId>& deps_scratch, std::vector<VertexId>& anti_scratch,
                  std::vector<VertexId>& sched_scratch, std::vector<Vertex<T>>& dep_values,
-                 std::vector<FetchGroup>& fetch_groups, std::vector<CtrlGroup>& ctrl_groups) {
+                 std::vector<FetchGroup>& fetch_groups, std::vector<CtrlGroup>& ctrl_groups,
+                 std::vector<std::int64_t>& retired_scratch) {
       DistArray<T>& array = *array_;
       const DagDomain& domain = array.domain();
       const VertexId id = domain.delinearize(idx);
@@ -459,16 +504,15 @@ class ThreadedEngine {
       std::vector<FetchGroup>* groups = opts_.coalescing ? &fetch_groups : nullptr;
       if (groups != nullptr) groups->clear();
       for (VertexId d : deps_scratch) {
-        const Cell<T>& dep_cell = array.cell(d);
         const std::int32_t owner = array.owner_place(d);
         T value;
         if (owner == place) {
-          value = dep_cell.value;
+          read_dep_value(array, d, value);
           ++local_reads;
         } else if (opts_.cache_capacity != 0 && pr.cache.get(d, value)) {
           ++hits;
         } else {
-          value = dep_cell.value;
+          read_dep_value(array, d, value);
           ++fetches;
           if (groups != nullptr) {
             // Coalesced: defer the wire accounting to one batch per owner.
@@ -520,6 +564,27 @@ class ThreadedEngine {
       cell.store_state(CellState::Finished, std::memory_order_release);
       pr.stats.computed.fetch_add(1, std::memory_order_relaxed);
       computed_total_.fetch_add(1, std::memory_order_relaxed);
+
+      // Memory governor. on_publish MUST precede the indegree decrements
+      // below: once a consumer becomes runnable it may finish and call
+      // on_consumed for this vertex from another worker, and the refcount
+      // retirement would then release accounting this publish had not booked
+      // yet. on_consumed for our own dependencies is ordered by the acq_rel
+      // refcount chain itself, so it can ride along here. Retired payloads
+      // must stop being served from the per-place caches.
+      if (gov_) {
+        retired_scratch.clear();
+        gov_->on_publish(array, idx, &retired_scratch);
+        for (const Vertex<T>& v : dep_values) {
+          if (gov_->on_consumed(array, domain.linearize(v.id))) {
+            retired_scratch.push_back(domain.linearize(v.id));
+          }
+        }
+        for (std::int64_t r : retired_scratch) {
+          const VertexId rid = domain.delinearize(r);
+          for (auto& p : places_) p->cache.erase(rid);
+        }
+      }
 
       anti_scratch.clear();
       dag_.anti_dependencies(id, anti_scratch);
@@ -725,7 +790,19 @@ class ThreadedEngine {
         std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
         if (!done_.load(std::memory_order_acquire)) {
           Stopwatch watch;
-          vault_.capture(*array_);
+          if (gov_spill_) {
+            // Pin retired payloads into the snapshot from the spill store
+            // (the world is paused — single-threaded access is safe).
+            const DistArray<T>* array = array_.get();
+            mem::MemoryGovernor<T>* gov = gov_.get();
+            vault_.capture(*array_, [array, gov](std::int64_t i, T& out) {
+              const std::int32_t owner =
+                  array->owner_place(array->domain().delinearize(i));
+              return gov->spill_read(owner, i, out);
+            });
+          } else {
+            vault_.capture(*array_);
+          }
           ++snapshots_taken_;
           snapshot_seconds_ += watch.seconds();
         }
@@ -755,12 +832,17 @@ class ThreadedEngine {
       RecoveryRecord record;
       if (opts_.recovery == RecoveryPolicy::Rebuild) {
         record = detail::rebuild_after_death(*array_, dead_place, opts_.restore, dag_, app_,
-                                             *fresh, book_);
+                                             *fresh, book_, gov_.get());
       } else {
         // Periodic-snapshot rollback (§VI-D's rejected baseline).
         record.dead_place = dead_place;
         if (vault_.has_snapshot()) {
           vault_.restore(*fresh);
+          if (gov_ && !gov_spill_) {
+            // Retire-mode snapshots store retired cells state-only; any the
+            // remaining work still needs must be recomputed.
+            record.resurrected = detail::resurrect_retired(*fresh, dag_);
+          }
           detail::recompute_indegrees(*fresh, dag_);
           record.restored = vault_.finished_in_snapshot();
         } else {
@@ -780,6 +862,7 @@ class ThreadedEngine {
         p->ready_count.store(0, std::memory_order_release);
         p->cache.clear();
       }
+      if (gov_) gov_->rebuild(*array_, dag_);
       const double reseed_ts = tracer_.active() ? stopwatch_.seconds() : 0.0;
       detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
         seed_push(place, idx, reseed_ts);
@@ -943,6 +1026,23 @@ class ThreadedEngine {
           tracer_.sample("computed", p, t,
                          static_cast<double>(pr.stats.computed.load(
                              std::memory_order_relaxed)));
+          if (gov_) {
+            // Governor gauges take the per-place accounting lock — only with
+            // the (opt-in) governor active does the sampler pay for locks.
+            const mem::MemAccount a = gov_->account(p);
+            tracer_.sample("live_cells", p, t, static_cast<double>(a.live_cells));
+            tracer_.sample("live_bytes", p, t, static_cast<double>(a.live_bytes));
+            tracer_.sample("retired_cells", p, t,
+                           static_cast<double>(a.retired_cells));
+            tracer_.sample("spilled_cells", p, t,
+                           static_cast<double>(a.spilled_cells));
+            tracer_.sample("spill_reads", p, t, static_cast<double>(a.spill_reads));
+            tracer_.sample("cache_hits", p, t,
+                           static_cast<double>(pr.stats.cache_hits.load(
+                               std::memory_order_relaxed)));
+            tracer_.sample("cache_evictions", p, t,
+                           static_cast<double>(pr.cache.evictions()));
+          }
         }
         std::this_thread::sleep_for(period);
       }
@@ -971,6 +1071,8 @@ class ThreadedEngine {
     std::size_t nshards_ = 1;  ///< ready-deque shards per place (resolved)
     std::unique_ptr<DistArray<T>> array_;
     std::vector<std::unique_ptr<PlaceRt>> places_;
+    std::unique_ptr<mem::MemoryGovernor<T>> gov_;
+    bool gov_spill_ = false;
 
     std::vector<FaultPlan> faults_;
     std::vector<std::int64_t> fault_thresholds_;

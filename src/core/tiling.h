@@ -17,12 +17,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/error.h"
 #include "core/app.h"
 #include "core/patterns/left_top_diag.h"
 #include "core/value_traits.h"
+#include "mem/spill_codec.h"
 
 namespace dpx10 {
 
@@ -40,6 +42,47 @@ template <typename C>
 struct ValueTraits<TileEdge<C>> {
   static std::size_t wire_bytes(const TileEdge<C>& edge) {
     return (edge.bottom.size() + edge.right.size()) * sizeof(C);
+  }
+  static void release(TileEdge<C>& edge) {
+    edge = TileEdge<C>{};  // drops the heap buffers, not just the elements
+  }
+};
+
+/// Spill encoding of a tile boundary: the two extents as u64, then the raw
+/// cell arrays. Makes tiled apps eligible for --retirement=spill.
+template <typename C>
+struct mem::SpillCodec<TileEdge<C>> {
+  static_assert(std::is_trivially_copyable_v<C>,
+                "TileEdge spill codec needs trivially copyable cells");
+  static constexpr bool available = true;
+
+  static void encode(const TileEdge<C>& edge, std::vector<std::byte>& out) {
+    const std::uint64_t nb = edge.bottom.size();
+    const std::uint64_t nr = edge.right.size();
+    out.resize(2 * sizeof(std::uint64_t) + (nb + nr) * sizeof(C));
+    std::byte* p = out.data();
+    std::memcpy(p, &nb, sizeof(nb));
+    p += sizeof(nb);
+    std::memcpy(p, &nr, sizeof(nr));
+    p += sizeof(nr);
+    if (nb) std::memcpy(p, edge.bottom.data(), nb * sizeof(C));
+    p += nb * sizeof(C);
+    if (nr) std::memcpy(p, edge.right.data(), nr * sizeof(C));
+  }
+
+  static bool decode(const std::byte* data, std::size_t size, TileEdge<C>& out) {
+    if (size < 2 * sizeof(std::uint64_t)) return false;
+    std::uint64_t nb = 0;
+    std::uint64_t nr = 0;
+    std::memcpy(&nb, data, sizeof(nb));
+    std::memcpy(&nr, data + sizeof(nb), sizeof(nr));
+    if (size != 2 * sizeof(std::uint64_t) + (nb + nr) * sizeof(C)) return false;
+    const std::byte* p = data + 2 * sizeof(std::uint64_t);
+    out.bottom.resize(static_cast<std::size_t>(nb));
+    out.right.resize(static_cast<std::size_t>(nr));
+    if (nb) std::memcpy(out.bottom.data(), p, nb * sizeof(C));
+    if (nr) std::memcpy(out.right.data(), p + nb * sizeof(C), nr * sizeof(C));
+    return true;
   }
 };
 

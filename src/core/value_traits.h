@@ -13,11 +13,19 @@ namespace dpx10 {
 template <typename T>
 struct ValueTraits {
   static std::size_t wire_bytes(const T&) { return sizeof(T); }
+  /// Releases any storage the value owns (memory-governor retire hook);
+  /// heap-owning specializations shrink to an empty footprint here.
+  static void release(T& value) { value = T{}; }
 };
 
 template <typename T>
 std::size_t value_wire_bytes(const T& value) {
   return ValueTraits<T>::wire_bytes(value);
+}
+
+template <typename T>
+void value_release(T& value) {
+  ValueTraits<T>::release(value);
 }
 
 }  // namespace dpx10

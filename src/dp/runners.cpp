@@ -71,6 +71,31 @@ ProblemShape shape_for(const std::string& app, std::int64_t target_vertices) {
   return shape;
 }
 
+std::unique_ptr<Dag> make_dp_dag(const std::string& app, std::int64_t target_vertices,
+                                 std::uint64_t input_seed) {
+  const ProblemShape shape = shape_for(app, target_vertices);
+  if (app == "swlag" || app == "sw" || app == "lcs") {
+    return patterns::make_pattern("left-top-diag", shape.height, shape.width);
+  }
+  if (app == "mtp") {
+    return patterns::make_pattern("left-top", shape.height, shape.width);
+  }
+  if (app == "lps") {
+    return patterns::make_pattern("interval", shape.height, shape.width);
+  }
+  if (app == "nussinov") {
+    return std::make_unique<NussinovDag>(shape.height);
+  }
+  if (app == "knapsack") {
+    const std::int32_t capacity = shape.width - 1;
+    const std::int32_t max_weight = capacity < 50 ? capacity : 50;
+    auto instance = std::make_shared<const KnapsackInstance>(
+        random_knapsack(shape.height - 1, capacity, max_weight, input_seed));
+    return std::make_unique<KnapsackDag>(instance);
+  }
+  throw ConfigError("make_dp_dag: unknown application '" + app + "'");
+}
+
 RunReport run_dp_app(const std::string& app, EngineKind engine,
                      std::int64_t target_vertices, const RuntimeOptions& options,
                      std::uint64_t input_seed) {

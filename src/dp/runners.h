@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/dag.h"
 #include "core/metrics.h"
 #include "core/runtime_options.h"
 
@@ -31,6 +33,14 @@ struct ProblemShape {
 };
 
 ProblemShape shape_for(const std::string& app, std::int64_t target_vertices);
+
+/// Builds exactly the DAG pattern run_dp_app would execute for `app` at
+/// `target_vertices`, without running anything — so callers (dpx10run
+/// --validate-dag) can validate_dag() a configuration before paying for the
+/// run. Irregular DAGs that depend on the generated input (knapsack) seed
+/// their instance from `input_seed`, matching run_dp_app.
+std::unique_ptr<Dag> make_dp_dag(const std::string& app, std::int64_t target_vertices,
+                                 std::uint64_t input_seed = 1234);
 
 /// Generates inputs (seeded by `input_seed`), builds the app and its DAG
 /// pattern, runs it on the chosen engine and returns the report.

@@ -1,0 +1,293 @@
+// MemoryGovernor<T> — anti-dependency-driven cell retirement, per-place
+// memory accounting, and out-of-core spill (docs/MEMORY.md).
+//
+// The Dag contract makes anti_dependencies(v) the exact consumer set of
+// v's value, so the governor can track, per cell, how many consumers have
+// not yet published. When that count reaches zero the payload is retired:
+// released from the DistArray (retire mode) or first preserved in the
+// owner place's file-backed SpillStore (spill mode). The engines call
+//   rebuild()      after initialize_cells() and after every recovery,
+//   on_publish()   when a cell's value is stored and made Finished,
+//   on_consumed()  once per (consumer, dependency) edge after the consumer
+//                  publishes (uniform across local reads, cache hits,
+//                  fetches, and coalesced batches),
+//   read()         in spill mode, for every dependency value read.
+//
+// Concurrency: consumer counts are lock-free atomics; the acq_rel decrement
+// chain guarantees every consumer's value read happens-before the final
+// decrement that triggers retirement, so retire-mode reads stay lock-free.
+// Pressure spill (--memory-limit) retires cells that still HAVE pending
+// consumers, which is why spill mode routes every read through read() under
+// the owner place's mutex. The simulator calls the same API from one thread.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "apgas/dist_array.h"
+#include "common/error.h"
+#include "core/dag.h"
+#include "core/value_traits.h"
+#include "mem/options.h"
+#include "mem/spill_codec.h"
+#include "mem/spill_store.h"
+
+namespace dpx10::mem {
+
+/// One place's memory ledger. live_* are gauges over currently resident
+/// payloads; the rest are cumulative over the whole run (they survive
+/// recovery rebuilds, like PlaceStats traffic counters).
+struct MemAccount {
+  std::uint64_t live_cells = 0;
+  std::uint64_t live_bytes = 0;
+  std::uint64_t live_cells_peak = 0;
+  std::uint64_t live_bytes_peak = 0;
+  std::uint64_t retired_cells = 0;  ///< payloads released from the array
+  std::uint64_t spilled_cells = 0;  ///< payloads written to the spill file
+  std::uint64_t spill_reads = 0;    ///< demand reads served from the file
+  std::uint64_t spill_bytes = 0;    ///< cumulative bytes written to the file
+};
+
+template <typename T>
+class MemoryGovernor {
+ public:
+  MemoryGovernor(const MemoryOptions& opts, std::int32_t num_places)
+      : opts_(opts) {
+    require(opts_.retirement != RetirementMode::Off,
+            "MemoryGovernor constructed with --retirement=off");
+    if (spill_on()) {
+      require(SpillCodec<T>::available,
+              "MemoryGovernor: --retirement=spill needs a SpillCodec "
+              "specialization for this value type");
+    }
+    places_.reserve(static_cast<std::size_t>(num_places));
+    for (std::int32_t p = 0; p < num_places; ++p) {
+      places_.push_back(std::make_unique<PerPlace>());
+      if (spill_on()) places_.back()->spill.configure(opts_.spill_dir, p);
+    }
+  }
+
+  bool spill_on() const { return opts_.retirement == RetirementMode::Spill; }
+  const MemoryOptions& options() const { return opts_; }
+
+  /// Re-derives consumer counts and the live ledger from the array's
+  /// current states. Called after initialize_cells() and after every
+  /// recovery (the fault and the restore policy both change which
+  /// consumers are still pending). Cumulative counters and peaks are kept;
+  /// spill files are kept so recovery can read values retired before the
+  /// death. A Finished cell whose consumers all happen to be done already
+  /// stays resident — nothing will ever decrement it to zero — which only
+  /// arises transiently around recovery and keeps the pass conservative.
+  void rebuild(const DistArray<T>& array, const Dag& dag) {
+    const DagDomain& domain = array.domain();
+    const std::int64_t n = domain.size();
+    consumers_ = std::vector<std::atomic<std::int32_t>>(
+        static_cast<std::size_t>(n));
+    for (auto& place : places_) {
+      std::lock_guard<std::mutex> lock(place->mu);
+      place->acct.live_cells = 0;
+      place->acct.live_bytes = 0;
+      place->fifo.clear();
+    }
+    std::vector<VertexId> anti;
+    for (std::int64_t idx = 0; idx < n; ++idx) {
+      const Cell<T>& cell = array.cell(idx);
+      const CellState state = cell.load_state(std::memory_order_relaxed);
+      if (state != CellState::Prefinished) {
+        anti.clear();
+        dag.anti_dependencies(domain.delinearize(idx), anti);
+        std::int32_t pending = 0;
+        for (VertexId a : anti) {
+          // Finished/Retired successors already consumed; Prefinished ones
+          // never run, so they never will.
+          if (array.cell(a).load_state(std::memory_order_relaxed) ==
+              CellState::Unfinished) {
+            ++pending;
+          }
+        }
+        consumers_[static_cast<std::size_t>(idx)].store(
+            pending, std::memory_order_relaxed);
+      }
+      if (state == CellState::Finished) {
+        PerPlace& place = place_of(array, idx);
+        std::lock_guard<std::mutex> lock(place.mu);
+        account_live_locked(place, value_wire_bytes(cell.value));
+        place.fifo.push_back(idx);
+      }
+    }
+  }
+
+  /// Accounts a freshly finished cell and, in spill mode with a memory
+  /// limit, retires the owner place's oldest resident cells until the place
+  /// is back under budget. Victims (including, possibly, `idx` itself) are
+  /// appended to `evicted` so the caller can drop their cache entries.
+  void on_publish(DistArray<T>& array, std::int64_t idx,
+                  std::vector<std::int64_t>* evicted = nullptr) {
+    PerPlace& place = place_of(array, idx);
+    std::lock_guard<std::mutex> lock(place.mu);
+    account_live_locked(place, value_wire_bytes(array.cell(idx).value));
+    place.fifo.push_back(idx);
+    if (!spill_on() || opts_.memory_limit_bytes == 0) return;
+    while (place.acct.live_bytes > opts_.memory_limit_bytes &&
+           !place.fifo.empty()) {
+      const std::int64_t victim = place.fifo.front();
+      place.fifo.pop_front();
+      Cell<T>& cell = array.cell(victim);
+      if (cell.load_state(std::memory_order_relaxed) != CellState::Finished) {
+        continue;  // already retired through the refcount path
+      }
+      retire_locked(place, cell, victim);
+      if (evicted) evicted->push_back(victim);
+    }
+  }
+
+  /// One consumer of `dep_idx` has published. Returns true iff this was the
+  /// last pending consumer and the payload was retired here (the caller
+  /// then drops the cell's cache entries everywhere).
+  bool on_consumed(DistArray<T>& array, std::int64_t dep_idx) {
+    Cell<T>& cell = array.cell(dep_idx);
+    if (cell.load_state(std::memory_order_relaxed) == CellState::Prefinished) {
+      return false;  // initializer cells are not refcounted
+    }
+    auto& count = consumers_[static_cast<std::size_t>(dep_idx)];
+    const std::int32_t left =
+        count.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    check_internal(left >= 0,
+                   "MemoryGovernor: consumer count underflow — "
+                   "anti_dependencies() is not the dual of dependencies()");
+    if (left != 0) return false;
+    PerPlace& place = place_of(array, dep_idx);
+    std::lock_guard<std::mutex> lock(place.mu);
+    if (cell.load_state(std::memory_order_relaxed) != CellState::Finished) {
+      return false;  // pressure spill got there first
+    }
+    retire_locked(place, cell, dep_idx);
+    return true;
+  }
+
+  /// Spill-mode read of any done cell's value, resident or retired. The
+  /// owner-place lock orders it against pressure retirement.
+  void read(const DistArray<T>& array, std::int64_t idx, T& out) {
+    PerPlace& place = place_of(array, idx);
+    std::lock_guard<std::mutex> lock(place.mu);
+    const Cell<T>& cell = array.cell(idx);
+    if (cell.load_state(std::memory_order_acquire) == CellState::Retired) {
+      const bool ok = spill_get_locked(place, idx, out);
+      check_internal(ok, "MemoryGovernor: retired cell missing from spill");
+      ++place.acct.spill_reads;
+    } else {
+      out = cell.value;
+    }
+  }
+
+  /// Recovery helpers: direct spill access by place, bypassing the array
+  /// (the dead place's slots are already wiped when these run).
+  bool spill_read(std::int32_t place_id, std::int64_t key, T& out) {
+    PerPlace& place = *places_[static_cast<std::size_t>(place_id)];
+    std::lock_guard<std::mutex> lock(place.mu);
+    return spill_get_locked(place, key, out);
+  }
+
+  void spill_write(std::int32_t place_id, std::int64_t key, const T& value) {
+    PerPlace& place = *places_[static_cast<std::size_t>(place_id)];
+    std::lock_guard<std::mutex> lock(place.mu);
+    std::vector<std::byte> bytes;
+    SpillCodec<T>::encode(value, bytes);
+    place.spill.put(key, bytes.data(), bytes.size());
+    ++place.acct.spilled_cells;
+    place.acct.spill_bytes += bytes.size();
+  }
+
+  bool spill_has(std::int32_t place_id, std::int64_t key) const {
+    PerPlace& place = *places_[static_cast<std::size_t>(place_id)];
+    std::lock_guard<std::mutex> lock(place.mu);
+    return place.spill.has(key);
+  }
+
+  MemAccount account(std::int32_t place_id) const {
+    PerPlace& place = *places_[static_cast<std::size_t>(place_id)];
+    std::lock_guard<std::mutex> lock(place.mu);
+    return place.acct;
+  }
+
+  MemAccount totals() const {
+    MemAccount sum;
+    for (std::int32_t p = 0; p < static_cast<std::int32_t>(places_.size());
+         ++p) {
+      const MemAccount a = account(p);
+      sum.live_cells += a.live_cells;
+      sum.live_bytes += a.live_bytes;
+      sum.live_cells_peak += a.live_cells_peak;
+      sum.live_bytes_peak += a.live_bytes_peak;
+      sum.retired_cells += a.retired_cells;
+      sum.spilled_cells += a.spilled_cells;
+      sum.spill_reads += a.spill_reads;
+      sum.spill_bytes += a.spill_bytes;
+    }
+    return sum;
+  }
+
+  std::int32_t num_places() const {
+    return static_cast<std::int32_t>(places_.size());
+  }
+
+ private:
+  struct PerPlace {
+    mutable std::mutex mu;
+    MemAccount acct;
+    /// Resident finished cells in publish order — pressure-spill victims
+    /// are popped from the front; refcount-retired entries are skipped
+    /// lazily.
+    std::deque<std::int64_t> fifo;
+    SpillStore spill;
+  };
+
+  PerPlace& place_of(const DistArray<T>& array, std::int64_t idx) const {
+    const std::int32_t owner =
+        array.owner_place(array.domain().delinearize(idx));
+    return *places_[static_cast<std::size_t>(owner)];
+  }
+
+  void account_live_locked(PerPlace& place, std::uint64_t bytes) {
+    ++place.acct.live_cells;
+    place.acct.live_bytes += bytes;
+    place.acct.live_cells_peak =
+        std::max(place.acct.live_cells_peak, place.acct.live_cells);
+    place.acct.live_bytes_peak =
+        std::max(place.acct.live_bytes_peak, place.acct.live_bytes);
+  }
+
+  void retire_locked(PerPlace& place, Cell<T>& cell, std::int64_t idx) {
+    const std::uint64_t bytes = value_wire_bytes(cell.value);
+    if (spill_on()) {
+      std::vector<std::byte> encoded;
+      SpillCodec<T>::encode(cell.value, encoded);
+      place.spill.put(idx, encoded.data(), encoded.size());
+      ++place.acct.spilled_cells;
+      place.acct.spill_bytes += encoded.size();
+    }
+    check_internal(place.acct.live_cells > 0 && place.acct.live_bytes >= bytes,
+                   "MemoryGovernor: live ledger underflow");
+    --place.acct.live_cells;
+    place.acct.live_bytes -= bytes;
+    cell.retire_value(std::memory_order_release);
+    ++place.acct.retired_cells;
+  }
+
+  bool spill_get_locked(PerPlace& place, std::int64_t key, T& out) {
+    std::vector<std::byte> bytes;
+    if (!place.spill.get(key, bytes)) return false;
+    return SpillCodec<T>::decode(bytes.data(), bytes.size(), out);
+  }
+
+  MemoryOptions opts_;
+  std::vector<std::unique_ptr<PerPlace>> places_;
+  std::vector<std::atomic<std::int32_t>> consumers_;
+};
+
+}  // namespace dpx10::mem

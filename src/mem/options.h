@@ -1,0 +1,67 @@
+// MemoryOptions — knobs of the memory governor (src/mem, docs/MEMORY.md).
+//
+// The paper's DAG API exposes getAntiDependency precisely so the runtime
+// can know when a cell's value will never be read again; RetirementMode
+// decides what the engines do with that knowledge. Off (the default) is the
+// legacy behaviour — every computed cell stays resident from first write to
+// the end of the run — and is byte-identical to the pre-governor runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace dpx10::mem {
+
+enum class RetirementMode : std::uint8_t {
+  /// Legacy: no consumer refcounting, no accounting, no spill.
+  Off = 0,
+  /// Release a cell's payload from the DistArray once its last pending
+  /// consumer has published. The value is gone for good — recovery must
+  /// recompute any retired cell a resurrected consumer needs.
+  Retire,
+  /// Like Retire, but the payload is written to the owner place's
+  /// file-backed SpillStore first, so traceback, snapshots and recovery can
+  /// still read it. Also enables the --memory-limit pressure spill.
+  Spill,
+};
+
+inline std::string_view retirement_mode_name(RetirementMode m) {
+  switch (m) {
+    case RetirementMode::Off: return "off";
+    case RetirementMode::Retire: return "retire";
+    case RetirementMode::Spill: return "spill";
+  }
+  return "?";
+}
+
+inline bool parse_retirement_mode(const std::string& name, RetirementMode& out) {
+  if (name == "off") { out = RetirementMode::Off; return true; }
+  if (name == "retire") { out = RetirementMode::Retire; return true; }
+  if (name == "spill") { out = RetirementMode::Spill; return true; }
+  return false;
+}
+
+struct MemoryOptions {
+  RetirementMode retirement = RetirementMode::Off;
+  /// Spill mode only: per-place budget of live payload bytes. When a
+  /// publish pushes a place past it, the oldest resident finished cells are
+  /// spilled even though consumers are still pending (they read the values
+  /// back from the spill file). 0 = no pressure limit.
+  std::uint64_t memory_limit_bytes = 0;
+  /// Spill mode: directory for the per-place spill files. Empty = the
+  /// system temporary directory. Files are removed when the run ends.
+  std::string spill_dir;
+
+  void validate() const {
+    require(memory_limit_bytes == 0 || retirement == RetirementMode::Spill,
+            "MemoryOptions: --memory-limit requires --retirement=spill "
+            "(a limit without a spill target would have to drop live data)");
+    require(spill_dir.empty() || retirement == RetirementMode::Spill,
+            "MemoryOptions: --spill-dir requires --retirement=spill");
+  }
+};
+
+}  // namespace dpx10::mem

@@ -1,0 +1,41 @@
+// SpillCodec<T> — fixed encoding of a cell payload for the SpillStore.
+//
+// The primary template covers trivially-copyable payloads (all the scalar
+// DP apps) with a raw memcpy. Types that own heap storage must provide a
+// specialization (see ValueTraits for the same pattern with wire_bytes);
+// TileEdge<C> gets one in src/core/tiling.h. A type without a usable codec
+// still compiles — `available` is false and the governor rejects
+// --retirement=spill for it at construction time instead.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace dpx10::mem {
+
+template <typename T, typename Enable = void>
+struct SpillCodec {
+  static constexpr bool available = std::is_trivially_copyable_v<T>;
+
+  static void encode(const T& value, std::vector<std::byte>& out) {
+    if constexpr (available) {
+      out.resize(sizeof(T));
+      std::memcpy(out.data(), &value, sizeof(T));
+    }
+  }
+
+  static bool decode(const std::byte* data, std::size_t size, T& out) {
+    if constexpr (available) {
+      if (size != sizeof(T)) return false;
+      std::memcpy(&out, data, sizeof(T));
+      return true;
+    } else {
+      (void)data; (void)size; (void)out;
+      return false;
+    }
+  }
+};
+
+}  // namespace dpx10::mem

@@ -1,0 +1,76 @@
+#include "mem/spill_store.h"
+
+#include <filesystem>
+
+#include "common/error.h"
+
+namespace dpx10::mem {
+
+namespace fs = std::filesystem;
+
+SpillStore::~SpillStore() { clear(); }
+
+void SpillStore::configure(const std::string& dir, int place) {
+  clear();
+  fs::path base = dir.empty() ? fs::temp_directory_path() : fs::path(dir);
+  std::error_code ec;
+  fs::create_directories(base, ec);  // best effort; open_file reports failure
+  // getpid-equivalent uniqueness without <unistd.h>: the store's address is
+  // unique within the process and stable for its lifetime.
+  path_ = (base / ("dpx10-spill-p" + std::to_string(place) + "-" +
+                   std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                   ".bin"))
+              .string();
+}
+
+void SpillStore::open_file() {
+  if (file_.is_open()) return;
+  require(!path_.empty(), "SpillStore: put() before configure()");
+  // trunc creates the file; then reopen for mixed read/append positioning.
+  file_.open(path_, std::ios::binary | std::ios::out | std::ios::trunc);
+  require(file_.is_open(), "SpillStore: cannot create spill file " + path_);
+  file_.close();
+  file_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+  require(file_.is_open(), "SpillStore: cannot open spill file " + path_);
+}
+
+void SpillStore::put(std::int64_t key, const std::byte* data,
+                     std::size_t size) {
+  open_file();
+  file_.seekp(static_cast<std::streamoff>(end_offset_));
+  file_.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  require(file_.good(), "SpillStore: write failed on " + path_);
+  file_.flush();
+  auto it = index_.find(key);
+  if (it != index_.end()) bytes_stored_ -= it->second.size;
+  index_[key] = Extent{end_offset_, size};
+  end_offset_ += size;
+  bytes_stored_ += size;
+  bytes_written_ += size;
+}
+
+bool SpillStore::get(std::int64_t key, std::vector<std::byte>& out) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  out.resize(it->second.size);
+  file_.seekg(static_cast<std::streamoff>(it->second.offset));
+  file_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(it->second.size));
+  require(file_.good(), "SpillStore: read failed on " + path_);
+  return true;
+}
+
+void SpillStore::clear() {
+  if (file_.is_open()) file_.close();
+  if (!path_.empty()) {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  index_.clear();
+  end_offset_ = 0;
+  bytes_stored_ = 0;
+  bytes_written_ = 0;
+}
+
+}  // namespace dpx10::mem

@@ -1,0 +1,67 @@
+// SpillStore — append-only, file-backed byte store for one place's retired
+// cell payloads.
+//
+// One store per place (sim: all in one process, distinct files; threaded:
+// one per place struct). Values are written once at retirement and read
+// back for pending consumers, traceback (DagView), snapshot capture and
+// recovery. The file is append-only — a cell respilled after recovery gets
+// a new extent and the index simply points at the newest one; the file is
+// deleted when the store is destroyed or configured anew.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dpx10::mem {
+
+class SpillStore {
+ public:
+  SpillStore() = default;
+  ~SpillStore();
+
+  SpillStore(const SpillStore&) = delete;
+  SpillStore& operator=(const SpillStore&) = delete;
+
+  /// Chooses the backing file (created lazily on first put). `dir` empty
+  /// means the system temporary directory. Drops any previous contents.
+  void configure(const std::string& dir, int place);
+
+  bool has(std::int64_t key) const { return index_.count(key) != 0; }
+
+  /// Appends `size` bytes for `key`, replacing any previous extent.
+  void put(std::int64_t key, const std::byte* data, std::size_t size);
+
+  /// Reads `key`'s payload into `out`; false if the key was never spilled.
+  bool get(std::int64_t key, std::vector<std::byte>& out);
+
+  /// Forgets all entries and removes the backing file.
+  void clear();
+
+  std::size_t entries() const { return index_.size(); }
+  /// Bytes addressable through the index (latest extent per key).
+  std::uint64_t bytes_stored() const { return bytes_stored_; }
+  /// Cumulative bytes appended to the file, including superseded extents.
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Extent {
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+  };
+
+  void open_file();
+
+  std::string path_;
+  std::fstream file_;
+  std::unordered_map<std::int64_t, Extent> index_;
+  std::uint64_t end_offset_ = 0;
+  std::uint64_t bytes_stored_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace dpx10::mem

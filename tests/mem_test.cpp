@@ -1,0 +1,370 @@
+// Memory governor (src/mem, docs/MEMORY.md): anti-dependency-driven cell
+// retirement, per-place accounting, and out-of-core spill.
+//
+// The headline properties:
+//   * retirement changes only memory residency, never a DP cell: results
+//     are identical across --retirement off/retire/spill on both engines,
+//     and on the sim the governor is invisible on the virtual clock and
+//     the wire;
+//   * with the knob OFF the engines take the legacy code path verbatim —
+//     pinned against the pre-governor golden counters;
+//   * under retirement the peak resident set tracks the consumer window
+//     (the wavefront), not the whole matrix;
+//   * recovery composes with retirement: two mid-run deaths under either
+//     recovery policy, in either retirement mode, still yield exactly the
+//     fault-free results (spill restores retired values from the file,
+//     retire resurrects them for recomputation).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/dpx10.h"
+#include "dp/inputs.h"
+#include "dp/lcs.h"
+#include "dp/runners.h"
+#include "mem/options.h"
+
+namespace dpx10 {
+namespace {
+
+constexpr auto kFetchRequest = static_cast<std::size_t>(net::MessageKind::FetchRequest);
+constexpr auto kIndegree = static_cast<std::size_t>(net::MessageKind::IndegreeControl);
+
+/// LCS recording every compute() result as it happens. This is the oracle
+/// that works under every retirement mode: retire frees the payloads, so a
+/// post-run matrix walk (fault_test's ChecksumLcs) cannot be used here.
+/// Recomputation after a fault rewrites the same deterministic value, so
+/// the record is idempotent across recoveries, and concurrent writers
+/// (threaded engine) touch distinct elements.
+class RecordingLcs final : public dp::LcsApp {
+ public:
+  RecordingLcs(std::string x, std::string y)
+      : LcsApp(std::move(x), std::move(y)),
+        width_(static_cast<std::int64_t>(b().size()) + 1),
+        cells_(static_cast<std::size_t>((a().size() + 1) * (b().size() + 1)), -1) {}
+
+  std::int32_t compute(std::int32_t i, std::int32_t j,
+                       std::span<const Vertex<std::int32_t>> deps) override {
+    const std::int32_t v = dp::LcsApp::compute(i, j, deps);
+    cells_[static_cast<std::size_t>(i * width_ + j)] = v;
+    return v;
+  }
+
+  const std::vector<std::int32_t>& cells() const { return cells_; }
+
+ private:
+  std::int64_t width_;
+  std::vector<std::int32_t> cells_;
+};
+
+std::vector<std::int32_t> run_recording(dp::EngineKind kind, const RuntimeOptions& opts,
+                                        RunReport* report_out = nullptr,
+                                        std::int32_t n = 36) {
+  RecordingLcs app(dp::random_sequence(n - 1, 50), dp::random_sequence(n - 1, 51));
+  auto dag = patterns::make_pattern("left-top-diag", n, n);
+  RunReport report;
+  if (kind == dp::EngineKind::Threaded) {
+    ThreadedEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  } else {
+    SimEngine<std::int32_t> engine(opts);
+    report = engine.run(*dag, app);
+  }
+  if (report_out) *report_out = report;
+  return app.cells();
+}
+
+RuntimeOptions base_opts() {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  // Large enough that nothing is ever capacity-evicted (36x36 = 1296
+  // cells): eager eviction of retirees must not perturb cache occupancy,
+  // or hit/miss divergence would mask a real result divergence below.
+  opts.cache_capacity = 4096;
+  return opts;
+}
+
+TEST(MemOptions, ParseRetirementModeRoundtrips) {
+  mem::RetirementMode m = mem::RetirementMode::Retire;
+  EXPECT_TRUE(mem::parse_retirement_mode("off", m));
+  EXPECT_EQ(m, mem::RetirementMode::Off);
+  EXPECT_TRUE(mem::parse_retirement_mode("retire", m));
+  EXPECT_EQ(m, mem::RetirementMode::Retire);
+  EXPECT_TRUE(mem::parse_retirement_mode("spill", m));
+  EXPECT_EQ(m, mem::RetirementMode::Spill);
+  EXPECT_FALSE(mem::parse_retirement_mode("bogus", m));
+  for (mem::RetirementMode mode :
+       {mem::RetirementMode::Off, mem::RetirementMode::Retire,
+        mem::RetirementMode::Spill}) {
+    mem::RetirementMode back = mem::RetirementMode::Off;
+    ASSERT_TRUE(mem::parse_retirement_mode(
+        std::string(mem::retirement_mode_name(mode)), back));
+    EXPECT_EQ(back, mode);
+  }
+}
+
+class MemModeIdentity : public ::testing::TestWithParam<dp::EngineKind> {};
+
+TEST_P(MemModeIdentity, ResultsIdenticalAcrossRetirementModes) {
+  const dp::EngineKind kind = GetParam();
+  RunReport off_report;
+  const std::vector<std::int32_t> expected =
+      run_recording(kind, base_opts(), &off_report);
+
+  // Off leaves every governor counter untouched.
+  const PlaceStats off_t = off_report.totals();
+  EXPECT_EQ(off_t.retired_cells, 0u);
+  EXPECT_EQ(off_t.spilled_cells, 0u);
+  EXPECT_EQ(off_t.spill_reads, 0u);
+  EXPECT_EQ(off_t.live_cells_peak, 0u);
+  EXPECT_EQ(off_t.live_bytes_peak, 0u);
+
+  for (mem::RetirementMode mode :
+       {mem::RetirementMode::Retire, mem::RetirementMode::Spill}) {
+    RuntimeOptions opts = base_opts();
+    opts.memory.retirement = mode;
+    if (mode == mem::RetirementMode::Spill) {
+      opts.memory.spill_dir = ::testing::TempDir();
+    }
+    RunReport report;
+    const std::vector<std::int32_t> actual = run_recording(kind, opts, &report);
+    EXPECT_EQ(actual, expected) << mem::retirement_mode_name(mode);
+
+    const PlaceStats t = report.totals();
+    EXPECT_GT(t.retired_cells, 0u) << mem::retirement_mode_name(mode);
+    EXPECT_GT(t.live_cells_peak, 0u) << mem::retirement_mode_name(mode);
+    EXPECT_LT(t.live_cells_peak, report.computed) << mem::retirement_mode_name(mode);
+    if (mode == mem::RetirementMode::Spill) {
+      // Every retiree is preserved in the file before release.
+      EXPECT_EQ(t.spilled_cells, t.retired_cells);
+    } else {
+      EXPECT_EQ(t.spilled_cells, 0u);
+      EXPECT_EQ(t.spill_reads, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, MemModeIdentity,
+                         ::testing::Values(dp::EngineKind::Sim, dp::EngineKind::Threaded),
+                         [](const ::testing::TestParamInfo<dp::EngineKind>& info) {
+                           return info.param == dp::EngineKind::Threaded ? "threaded"
+                                                                         : "sim";
+                         });
+
+// The governor must be invisible to the simulation itself: it charges no
+// virtual time and sends no messages, so the sim's clock, event count and
+// wire traffic are bit-identical across all three modes.
+TEST(MemModes, GovernorStaysOffTheVirtualClockAndWire) {
+  RunReport reports[3];
+  int i = 0;
+  for (mem::RetirementMode mode :
+       {mem::RetirementMode::Off, mem::RetirementMode::Retire,
+        mem::RetirementMode::Spill}) {
+    RuntimeOptions opts = base_opts();
+    opts.scheduling = Scheduling::MinCommunication;  // nontrivial traffic
+    opts.memory.retirement = mode;
+    if (mode == mem::RetirementMode::Spill) {
+      opts.memory.spill_dir = ::testing::TempDir();
+    }
+    run_recording(dp::EngineKind::Sim, opts, &reports[i++]);
+  }
+  for (int m = 1; m < 3; ++m) {
+    EXPECT_DOUBLE_EQ(reports[m].elapsed_seconds, reports[0].elapsed_seconds) << m;
+    EXPECT_EQ(reports[m].sim_events, reports[0].sim_events) << m;
+    EXPECT_EQ(reports[m].traffic.total_messages_out(),
+              reports[0].traffic.total_messages_out()) << m;
+    EXPECT_EQ(reports[m].traffic.bytes_out, reports[0].traffic.bytes_out) << m;
+    const PlaceStats t = reports[m].totals();
+    const PlaceStats t0 = reports[0].totals();
+    EXPECT_EQ(t.remote_fetches, t0.remote_fetches) << m;
+    EXPECT_EQ(t.cache_hits, t0.cache_hits) << m;
+  }
+}
+
+// Golden pin: with --retirement=off (the default) the engines must
+// reproduce the exact pre-governor counters, byte for byte in virtual
+// time — the same pins coalescing_test captured at commit 9425832. Any
+// drift means the OFF path is no longer the old code.
+TEST(MemGolden, OffPathMatchesPreGovernorCounters) {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 2;
+  opts.cache_capacity = 16;
+  opts.scheduling = Scheduling::MinCommunication;
+  opts.queue_shards = 1;
+  opts.memory.retirement = mem::RetirementMode::Off;
+  RunReport report;
+  run_recording(dp::EngineKind::Sim, opts, &report);
+
+  const PlaceStats t = report.totals();
+  EXPECT_DOUBLE_EQ(report.elapsed_seconds, 0.0029169079999999989);
+  EXPECT_EQ(report.sim_events, 4311u);
+  EXPECT_EQ(report.traffic.bytes_out, 18012u);
+  EXPECT_EQ(report.traffic.total_messages_out(), 429u);
+  EXPECT_EQ(report.traffic.messages_out[kFetchRequest], 108u);
+  EXPECT_EQ(report.traffic.messages_out[kIndegree], 213u);
+  EXPECT_EQ(t.remote_fetches, 108u);
+  EXPECT_EQ(t.cache_hits, 105u);
+  EXPECT_EQ(t.retired_cells + t.spilled_cells + t.spill_reads, 0u);
+  EXPECT_EQ(t.live_cells_peak + t.live_bytes_peak, 0u);
+}
+
+// Left-top-diag retires a cell one anti-diagonal after it finishes, so
+// with local scheduling the resident set is the wavefront: every cell but
+// the sink (the only one with no anti-dependencies) retires, and the
+// summed per-place peaks sit far below the matrix the off path keeps
+// resident to the end.
+TEST(MemAccounting, RetirePeakTracksWavefrontNotMatrix) {
+  RuntimeOptions opts = base_opts();
+  opts.memory.retirement = mem::RetirementMode::Retire;
+  RunReport report;
+  run_recording(dp::EngineKind::Sim, opts, &report, 60);
+
+  const PlaceStats t = report.totals();
+  EXPECT_EQ(report.computed, 3600u);
+  EXPECT_EQ(t.retired_cells, report.computed - 1);
+  EXPECT_LT(t.live_cells_peak * 2, report.computed);
+  EXPECT_GT(t.live_bytes_peak, 0u);
+}
+
+// --memory-limit: pressure spill retires cells that still have pending
+// consumers; those consumers read the values back from the file, and the
+// per-place resident set never exceeds the budget by more than the one
+// cell accounted before the trim.
+TEST(MemSpill, PressureLimitCapsResidentBytes) {
+  RuntimeOptions opts = base_opts();
+  opts.memory.retirement = mem::RetirementMode::Spill;
+  // Tight enough (8 cells per place) that the trim runs ahead of the
+  // consumer frontier: pending consumers must demand-read from the file.
+  opts.memory.memory_limit_bytes = 32;
+  opts.memory.spill_dir = ::testing::TempDir();
+  RunReport report;
+  const std::vector<std::int32_t> actual =
+      run_recording(dp::EngineKind::Sim, opts, &report);
+  const std::vector<std::int32_t> expected =
+      run_recording(dp::EngineKind::Sim, base_opts());
+
+  EXPECT_EQ(actual, expected);
+  const PlaceStats t = report.totals();
+  EXPECT_GT(t.spilled_cells, 0u);
+  EXPECT_GT(t.spill_reads, 0u);
+  // Summed per-place peaks: each place tops out at limit + one payload.
+  EXPECT_LE(t.live_bytes_peak,
+            static_cast<std::uint64_t>(opts.nplaces) *
+                (opts.memory.memory_limit_bytes + sizeof(std::int32_t)));
+}
+
+/// LCS walking the finished matrix after the run — the post-run access
+/// pattern retire mode forbids but spill mode must keep serving: DagView
+/// routes Retired cells to the owner place's spill file, so both the
+/// checksum walk and LcsApp::traceback still work out-of-core.
+class WalkingLcs final : public dp::LcsApp {
+ public:
+  using LcsApp::LcsApp;
+  std::uint64_t checksum = 0;
+  std::string lcs;
+
+  void app_finished(const DagView<std::int32_t>& dag) override {
+    for (std::int32_t i = 0; i < dag.domain().height(); ++i) {
+      for (std::int32_t j = 0; j < dag.domain().width(); ++j) {
+        checksum = checksum * 1099511628211ULL +
+                   static_cast<std::uint64_t>(dag.at(i, j) + 1);
+      }
+    }
+    lcs = traceback(dag);
+  }
+};
+
+TEST(MemSpill, TracebackReadsRetiredValuesFromTheFile) {
+  std::uint64_t checksums[2];
+  std::string traces[2];
+  int i = 0;
+  for (bool spill : {false, true}) {
+    RuntimeOptions opts = base_opts();
+    if (spill) {
+      opts.memory.retirement = mem::RetirementMode::Spill;
+      opts.memory.spill_dir = ::testing::TempDir();
+    }
+    WalkingLcs app(dp::random_sequence(35, 50), dp::random_sequence(35, 51));
+    auto dag = patterns::make_pattern("left-top-diag", 36, 36);
+    SimEngine<std::int32_t> engine(opts);
+    RunReport report = engine.run(*dag, app);
+    if (spill) EXPECT_GT(report.totals().retired_cells, 0u);
+    checksums[i] = app.checksum;
+    traces[i] = app.lcs;
+    ++i;
+  }
+  EXPECT_EQ(checksums[1], checksums[0]);
+  EXPECT_EQ(traces[1], traces[0]);
+  EXPECT_FALSE(traces[0].empty());
+}
+
+// Recovery composition: two mid-run deaths, both recovery policies, both
+// retirement modes, both engines — results stay exactly the fault-free
+// ones. In spill mode recovery re-reads retired values from the surviving
+// files; in retire mode they are gone, so consumers that must re-run get
+// their dependencies resurrected and recomputed.
+using MemFaultParam =
+    std::tuple<dp::EngineKind, RecoveryPolicy, mem::RetirementMode>;
+
+class MemFaultMatrix : public ::testing::TestWithParam<MemFaultParam> {};
+
+TEST_P(MemFaultMatrix, TwoDeathsStayTransparent) {
+  auto [kind, policy, mode] = GetParam();
+  RuntimeOptions clean = base_opts();
+  clean.nplaces = 5;
+  const std::vector<std::int32_t> expected = run_recording(kind, clean);
+
+  RuntimeOptions faulty = clean;
+  faulty.recovery = policy;
+  faulty.memory.retirement = mode;
+  if (mode == mem::RetirementMode::Spill) {
+    faulty.memory.spill_dir = ::testing::TempDir();
+  }
+  faulty.faults.push_back(FaultPlan{2, 0.3});
+  faulty.faults.push_back(FaultPlan{3, 0.6});
+  RunReport report;
+  const std::vector<std::int32_t> actual = run_recording(kind, faulty, &report);
+
+  EXPECT_EQ(actual, expected);
+  ASSERT_EQ(report.recoveries.size(), 2u);
+  EXPECT_EQ(report.recoveries[0].dead_place, 2);
+  EXPECT_EQ(report.recoveries[1].dead_place, 3);
+  // Deaths lose work, so some vertices were computed more than once.
+  EXPECT_GE(report.computed, report.vertices);
+  EXPECT_GT(report.totals().retired_cells, 0u);
+  for (const RecoveryRecord& rec : report.recoveries) {
+    if (mode == mem::RetirementMode::Retire) {
+      // Nothing to restore from a file that was never written.
+      EXPECT_EQ(rec.restored_spilled, 0u);
+    } else {
+      // Spill keeps every retired value readable: no resurrection needed.
+      EXPECT_EQ(rec.resurrected, 0u);
+    }
+  }
+}
+
+std::string mem_fault_name(const ::testing::TestParamInfo<MemFaultParam>& info) {
+  auto [kind, policy, mode] = info.param;
+  std::string name = kind == dp::EngineKind::Threaded ? "threaded" : "sim";
+  name += policy == RecoveryPolicy::PeriodicSnapshot ? "_snapshot" : "_rebuild";
+  name += "_";
+  name += mem::retirement_mode_name(mode);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MemFaultMatrix,
+    ::testing::Combine(::testing::Values(dp::EngineKind::Sim, dp::EngineKind::Threaded),
+                       ::testing::Values(RecoveryPolicy::Rebuild,
+                                         RecoveryPolicy::PeriodicSnapshot),
+                       ::testing::Values(mem::RetirementMode::Retire,
+                                         mem::RetirementMode::Spill)),
+    mem_fault_name);
+
+}  // namespace
+}  // namespace dpx10

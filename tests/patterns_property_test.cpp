@@ -12,7 +12,9 @@
 #include <set>
 #include <tuple>
 
+#include "core/dag_validate.h"
 #include "core/patterns/registry.h"
+#include "core/tiling.h"
 #include "dp/inputs.h"
 #include "dp/knapsack.h"
 #include "dp/nussinov.h"
@@ -62,6 +64,18 @@ std::vector<PatternCase> all_cases() {
   for (std::int32_t side : {2, 11}) {
     cases.push_back({"nussinov_" + std::to_string(side),
                      std::make_shared<dp::NussinovDag>(side)});
+  }
+  // Tiled macro-DAGs (core/tiling.h): the pattern TiledWavefrontApp::
+  // make_dag instantiates at tile granularity, on a square matrix, a
+  // rectangular one, and ragged edges (extents not divisible by the tile).
+  for (auto [rows, cols, tile] : {std::tuple<int, int, int>{16, 16, 4},
+                                  std::tuple<int, int, int>{9, 23, 5},
+                                  std::tuple<int, int, int>{7, 3, 2}}) {
+    TileGeometry geo(rows, cols, tile);
+    cases.push_back({"tiled_" + std::to_string(rows) + "x" + std::to_string(cols) +
+                         "_b" + std::to_string(tile),
+                     std::make_shared<patterns::LeftTopDiagDag>(geo.tiles_i(),
+                                                                geo.tiles_j())});
   }
   return cases;
 }
@@ -140,6 +154,17 @@ TEST_P(PatternInvariants, KahnConsumesWholeDomain) {
     }
   }
   EXPECT_EQ(consumed, domain.size()) << "cycle or unreachable vertices";
+}
+
+// The shipped checker must agree with the hand-rolled invariants above on
+// every registry pattern — this is what `dpx10run --validate-dag` runs.
+TEST_P(PatternInvariants, ValidateDagPasses) {
+  const DagValidation v = validate_dag(*GetParam().dag);
+  std::string joined;
+  for (const std::string& p : v.problems) joined += p + "; ";
+  EXPECT_TRUE(v.ok) << joined;
+  EXPECT_GT(v.seeds, 0);
+  EXPECT_GE(v.edges, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternInvariants, ::testing::ValuesIn(all_cases()),

@@ -75,6 +75,30 @@ TEST(RuntimeOptions, ValidateChecksNestedConfigs) {
   EXPECT_NO_THROW(RuntimeOptions{}.validate());
 }
 
+TEST(RuntimeOptions, ValidateChecksMemoryOptions) {
+  // A memory limit without a spill target would have to drop live data.
+  RuntimeOptions opts;
+  opts.memory.memory_limit_bytes = 1 << 20;
+  EXPECT_THROW(opts.validate(), ConfigError);
+
+  opts = RuntimeOptions{};
+  opts.memory.spill_dir = "/tmp/spill";
+  EXPECT_THROW(opts.validate(), ConfigError);
+
+  opts = RuntimeOptions{};
+  opts.memory.retirement = mem::RetirementMode::Retire;
+  EXPECT_NO_THROW(opts.validate());
+
+  // Spill without a limit is valid (retire-to-file, no pressure path), and
+  // so is the full spill configuration.
+  opts = RuntimeOptions{};
+  opts.memory.retirement = mem::RetirementMode::Spill;
+  EXPECT_NO_THROW(opts.validate());
+  opts.memory.memory_limit_bytes = 4096;
+  opts.memory.spill_dir = "/tmp/spill";
+  EXPECT_NO_THROW(opts.validate());
+}
+
 TEST(RuntimeOptions, ValidateRejectsNegativeShardAndStripeCounts) {
   RuntimeOptions opts;
   opts.queue_shards = -1;

@@ -1,0 +1,150 @@
+// SpillStore (src/mem): the file-backed byte store one place uses for
+// retired cell payloads. Append-only with a latest-extent index; the file
+// vanishes with clear()/destruction.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "mem/spill_codec.h"
+#include "mem/spill_store.h"
+
+namespace dpx10::mem {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = static_cast<std::byte>(s[i]);
+  return out;
+}
+
+std::string string_of(const std::vector<std::byte>& b) {
+  std::string out(b.size(), '\0');
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = static_cast<char>(b[i]);
+  return out;
+}
+
+TEST(SpillStore, PutGetRoundtrip) {
+  SpillStore store;
+  store.configure(::testing::TempDir(), 0);
+  const auto a = bytes_of("hello");
+  const auto b = bytes_of("governor");
+  store.put(7, a.data(), a.size());
+  store.put(42, b.data(), b.size());
+
+  EXPECT_TRUE(store.has(7));
+  EXPECT_TRUE(store.has(42));
+  EXPECT_FALSE(store.has(8));
+  EXPECT_EQ(store.entries(), 2u);
+  EXPECT_EQ(store.bytes_stored(), a.size() + b.size());
+
+  std::vector<std::byte> out;
+  ASSERT_TRUE(store.get(7, out));
+  EXPECT_EQ(string_of(out), "hello");
+  ASSERT_TRUE(store.get(42, out));
+  EXPECT_EQ(string_of(out), "governor");
+}
+
+TEST(SpillStore, GetOnMissingKeyIsFalse) {
+  SpillStore store;
+  store.configure(::testing::TempDir(), 1);
+  std::vector<std::byte> out;
+  EXPECT_FALSE(store.get(123, out));
+}
+
+// A respill after recovery appends a new extent; the index serves the
+// newest one and bytes_stored tracks only addressable bytes, while
+// bytes_written keeps the cumulative file traffic.
+TEST(SpillStore, ReplaceServesLatestExtent) {
+  SpillStore store;
+  store.configure(::testing::TempDir(), 2);
+  const auto v1 = bytes_of("first");
+  const auto v2 = bytes_of("second!");
+  store.put(5, v1.data(), v1.size());
+  store.put(5, v2.data(), v2.size());
+
+  EXPECT_EQ(store.entries(), 1u);
+  EXPECT_EQ(store.bytes_stored(), v2.size());
+  EXPECT_EQ(store.bytes_written(), v1.size() + v2.size());
+  std::vector<std::byte> out;
+  ASSERT_TRUE(store.get(5, out));
+  EXPECT_EQ(string_of(out), "second!");
+}
+
+TEST(SpillStore, ClearForgetsEntriesAndRemovesFile) {
+  SpillStore store;
+  store.configure(::testing::TempDir(), 3);
+  const auto v = bytes_of("payload");
+  store.put(1, v.data(), v.size());
+  const std::string path = store.path();
+  ASSERT_TRUE(fs::exists(path));
+
+  store.clear();
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(store.entries(), 0u);
+  EXPECT_EQ(store.bytes_stored(), 0u);
+  EXPECT_FALSE(store.has(1));
+}
+
+TEST(SpillStore, DestructorRemovesFile) {
+  std::string path;
+  {
+    SpillStore store;
+    store.configure(::testing::TempDir(), 4);
+    const auto v = bytes_of("x");
+    store.put(0, v.data(), v.size());
+    path = store.path();
+    ASSERT_TRUE(fs::exists(path));
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(SpillStore, ReconfigureDropsPreviousContents) {
+  SpillStore store;
+  store.configure(::testing::TempDir(), 5);
+  const auto v = bytes_of("old");
+  store.put(9, v.data(), v.size());
+  const std::string old_path = store.path();
+
+  store.configure(::testing::TempDir(), 6);
+  EXPECT_FALSE(fs::exists(old_path));
+  EXPECT_EQ(store.entries(), 0u);
+  EXPECT_FALSE(store.has(9));
+}
+
+TEST(SpillStore, EmptyDirMeansSystemTemp) {
+  SpillStore store;
+  store.configure("", 7);
+  const auto v = bytes_of("tmp");
+  store.put(3, v.data(), v.size());
+  EXPECT_EQ(fs::path(store.path()).parent_path(), fs::temp_directory_path());
+  std::vector<std::byte> out;
+  ASSERT_TRUE(store.get(3, out));
+  EXPECT_EQ(string_of(out), "tmp");
+}
+
+TEST(SpillStore, PutBeforeConfigureThrows) {
+  SpillStore store;
+  const auto v = bytes_of("no");
+  EXPECT_THROW(store.put(0, v.data(), v.size()), ConfigError);
+}
+
+// The codec the governor feeds the store with: trivially-copyable values
+// round-trip byte-exactly, and decode rejects size mismatches.
+TEST(SpillCodec, TriviallyCopyableRoundtrip) {
+  static_assert(SpillCodec<std::int32_t>::available);
+  std::vector<std::byte> bytes;
+  SpillCodec<std::int32_t>::encode(-123456, bytes);
+  std::int32_t back = 0;
+  ASSERT_TRUE(SpillCodec<std::int32_t>::decode(bytes.data(), bytes.size(), back));
+  EXPECT_EQ(back, -123456);
+  EXPECT_FALSE(SpillCodec<std::int32_t>::decode(bytes.data(), bytes.size() - 1, back));
+}
+
+}  // namespace
+}  // namespace dpx10::mem

@@ -39,6 +39,14 @@
 //   --retry-timeout  initial fetch retransmit timeout, s   [250us]
 //   --retry-cap      retransmit timeout ceiling, s         [4ms]
 //   --retry-attempts max fetch attempts before giving up   [12]
+//   --retirement     off|retire|spill — memory governor:   [off]
+//                    retire frees a cell once its last consumer ran,
+//                    spill additionally writes it to disk first
+//   --memory-limit   per-place live-byte cap, k/m/g ok; exceeding it
+//                    spills the oldest finished cells (spill mode)  [0=off]
+//   --spill-dir      directory for spill files             [system tmp]
+//   --validate-dag   run the structural DAG checker (dag_validate) on the
+//                    selected app's pattern before executing
 //   --seed           run seed                              [42]
 //   --trace-level    off|counters|full                     [off]
 //   --trace-sample   time-series sampling period, seconds  [1ms]
@@ -59,6 +67,7 @@
 #include "common/error.h"
 #include "common/options.h"
 #include "common/strings.h"
+#include "core/dag_validate.h"
 #include "core/dpx10.h"
 #include "core/report_io.h"
 #include "dag_deps.h"
@@ -162,6 +171,13 @@ int main(int argc, char** argv) {
     opts.retry.max_timeout_s = cli.get_double("retry-cap", opts.retry.max_timeout_s);
     opts.retry.max_attempts =
         static_cast<std::int32_t>(cli.get_int("retry-attempts", opts.retry.max_attempts));
+    {
+      const std::string mode_name = cli.get("retirement", "off");
+      require(mem::parse_retirement_mode(mode_name, opts.memory.retirement),
+              "unknown --retirement '" + mode_name + "' (off|retire|spill)");
+    }
+    opts.memory.memory_limit_bytes = cli.get_scaled("memory-limit", 0);
+    opts.memory.spill_dir = cli.get("spill-dir", "");
 
     const std::string trace_out = cli.get("trace-out", "");
     const std::string metrics_out = cli.get("metrics-out", "");
@@ -179,8 +195,27 @@ int main(int argc, char** argv) {
     }
     opts.trace_sample_s = cli.get_double("trace-sample", opts.trace_sample_s);
 
-    RunReport report = dp::run_dp_app(app, engine, vertices, opts,
-                                      static_cast<std::uint64_t>(cli.get_int("input-seed", 1234)));
+    const auto input_seed = static_cast<std::uint64_t>(cli.get_int("input-seed", 1234));
+    if (cli.get_bool("validate-dag", false)) {
+      // Structural pre-flight: dependency/anti-dependency duality is what
+      // the memory governor's retirement refcounts (and the engines'
+      // indegree protocol) rest on. Diagnostics go to stderr so --json and
+      // --csv stdout output stays machine-readable.
+      const std::unique_ptr<Dag> dag = dp::make_dp_dag(app, vertices, input_seed);
+      const DagValidation v = validate_dag(*dag);
+      if (!v.ok) {
+        std::cerr << "dpx10run: --validate-dag failed for '" << dag->name() << "':\n";
+        for (const std::string& problem : v.problems) {
+          std::cerr << "  " << problem << "\n";
+        }
+        return 1;
+      }
+      std::cerr << "validate-dag: '" << dag->name() << "' ok ("
+                << with_commas(static_cast<std::uint64_t>(v.edges)) << " edges, "
+                << with_commas(static_cast<std::uint64_t>(v.seeds)) << " seeds)\n";
+    }
+
+    RunReport report = dp::run_dp_app(app, engine, vertices, opts, input_seed);
 
     if (!trace_out.empty()) {
       require(report.trace_log != nullptr, "engine produced no trace for --trace-out");

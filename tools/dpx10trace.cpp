@@ -34,6 +34,30 @@ void load(const std::string& path, obs::TraceLog& log, obs::MetricsReport& metri
   obs::read_native_trace(is, log, &metrics);
 }
 
+/// Sums series `name` across places: the final sample per place (cumulative
+/// counters) or the per-place maximum (gauges) when `peak` is set. Returns
+/// false when no place recorded the series (e.g. the memory governor was
+/// off for this run).
+bool series_total(const obs::MetricsReport& metrics, const std::string& name,
+                  bool peak, double& out) {
+  bool found = false;
+  out = 0.0;
+  for (const obs::TimeSeries& s : metrics.series) {
+    if (s.name != name || s.points.empty()) continue;
+    found = true;
+    if (peak) {
+      double m = 0.0;
+      for (const obs::SamplePoint& p : s.points) {
+        if (p.value > m) m = p.value;
+      }
+      out += m;
+    } else {
+      out += s.points.back().value;
+    }
+  }
+  return found;
+}
+
 int cmd_summary(const std::string& path) {
   obs::TraceLog log;
   obs::MetricsReport metrics;
@@ -55,6 +79,33 @@ int cmd_summary(const std::string& path) {
     std::snprintf(line, sizeof line, "messages per vertex: %.3f",
                   static_cast<double>(log.messages.size()) /
                       static_cast<double>(log.vertices.size()));
+    std::cout << line << "\n";
+  }
+  // Memory-governor runs also sample the vertex cache and retirement
+  // gauges; summarize them when present (absent in legacy traces).
+  double hits = 0.0;
+  double evictions = 0.0;
+  const bool have_hits = series_total(metrics, "cache_hits", false, hits);
+  const bool have_evict = series_total(metrics, "cache_evictions", false, evictions);
+  if (have_hits || have_evict) {
+    std::snprintf(line, sizeof line, "vertex cache: %.0f hits, %.0f evictions",
+                  hits, evictions);
+    std::cout << line << "\n";
+  }
+  double live_peak = 0.0;
+  if (series_total(metrics, "live_cells", true, live_peak)) {
+    double bytes_peak = 0.0;
+    double retired = 0.0;
+    double spilled = 0.0;
+    double spill_reads = 0.0;
+    series_total(metrics, "live_bytes", true, bytes_peak);
+    series_total(metrics, "retired_cells", false, retired);
+    series_total(metrics, "spilled_cells", false, spilled);
+    series_total(metrics, "spill_reads", false, spill_reads);
+    std::snprintf(line, sizeof line,
+                  "memory: peak %.0f live cells (%.0f bytes), %.0f retired, "
+                  "%.0f spilled, %.0f spill reads",
+                  live_peak, bytes_peak, retired, spilled, spill_reads);
     std::cout << line << "\n";
   }
 
