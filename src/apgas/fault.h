@@ -29,15 +29,25 @@ class DeadPlaceException : public Error {
   std::int32_t place_;
 };
 
-/// Kill `place` when at least `at_fraction` of computable vertices are done.
+/// Kill `place` when at least `at_fraction` of computable vertices are done
+/// — or, when `at_event >= 0`, at an absolute progress point instead: the
+/// SimEngine crashes the place just before processing its `at_event`-th
+/// event, the ThreadedEngine when `at_event` vertices have finished. The
+/// event form is what dpx10check's crash-point sweep uses to kill a place
+/// at every K-th event of a run deterministically.
 struct FaultPlan {
   std::int32_t place = -1;
   double at_fraction = 0.5;
+  std::int64_t at_event = -1;  ///< -1 = use at_fraction
+
+  bool event_based() const { return at_event >= 0; }
 
   void validate(std::int32_t nplaces) const {
     require(place >= 0 && place < nplaces, "FaultPlan: place out of range");
-    require(at_fraction >= 0.0 && at_fraction < 1.0,
-            "FaultPlan: at_fraction must be in [0, 1)");
+    if (!event_based()) {
+      require(at_fraction >= 0.0 && at_fraction < 1.0,
+              "FaultPlan: at_fraction must be in [0, 1)");
+    }
   }
 };
 

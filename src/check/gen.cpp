@@ -1,0 +1,463 @@
+#include "check/gen.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "core/patterns/registry.h"
+
+namespace dpx10::check {
+namespace {
+
+// Distinct hash streams derived from the case seed, so the recurrence, the
+// prefinish selection and the prefinish values never collide.
+constexpr std::uint64_t kPrefinSelect = 0xf1de5e1ec7ed5a17ULL;
+constexpr std::uint64_t kPrefinValue = 0xabba9e3779b97f4aULL;
+
+std::int64_t parse_i64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(value, &used, 10);
+    require(used == value.size(), "dpx10check: malformed number for '" + key +
+                                      "': " + value);
+    return v;
+  } catch (const std::logic_error&) {
+    throw ConfigError("dpx10check: malformed number for '" + key + "': " + value);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(value, &used, 10);
+    require(used == value.size(), "dpx10check: malformed number for '" + key +
+                                      "': " + value);
+    return v;
+  } catch (const std::logic_error&) {
+    throw ConfigError("dpx10check: malformed number for '" + key + "': " + value);
+  }
+}
+
+// Parses an enum by scanning its name table — every enum here is tiny and
+// this keeps the harness decoupled from per-enum parser functions the
+// production headers mostly don't provide.
+template <typename E, typename NameFn>
+bool parse_enum(const std::string& name, int count, NameFn name_of, E& out) {
+  for (int v = 0; v < count; ++v) {
+    const E candidate = static_cast<E>(v);
+    if (name == name_of(candidate)) {
+      out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view planted_bug_name(PlantedBug b) {
+  switch (b) {
+    case PlantedBug::None: return "none";
+    case PlantedBug::MutateValue: return "mutate-value";
+    case PlantedBug::DropDecrement: return "drop-decrement";
+  }
+  return "?";
+}
+
+bool is_random_pattern(const std::string& pattern) {
+  return pattern == "random" || pattern == "random-banded" ||
+         pattern == "random-upper";
+}
+
+bool is_square_only(const std::string& pattern) {
+  return pattern == "interval" || pattern == "interval-prefix" ||
+         pattern == "random-upper";
+}
+
+}  // namespace
+
+std::string_view engine_kind_name(EngineKind e) {
+  switch (e) {
+    case EngineKind::Sim: return "sim";
+    case EngineKind::Threaded: return "threaded";
+  }
+  return "?";
+}
+
+bool parse_engine_kind(const std::string& name, EngineKind& out) {
+  return parse_enum(name, 2, engine_kind_name, out);
+}
+
+std::string_view case_mode_name(CaseMode m) {
+  switch (m) {
+    case CaseMode::Single: return "single";
+    case CaseMode::Matrix: return "matrix";
+    case CaseMode::Schedules: return "schedules";
+    case CaseMode::Crashes: return "crashes";
+  }
+  return "?";
+}
+
+bool parse_case_mode(const std::string& name, CaseMode& out) {
+  return parse_enum(name, 4, case_mode_name, out);
+}
+
+void CaseSpec::normalize() {
+  height = std::clamp<std::int32_t>(height, 1, 1 << 14);
+  width = std::clamp<std::int32_t>(width, 1, 1 << 14);
+  if (is_square_only(pattern)) width = height;
+  if (pattern == "random-banded") {
+    // Keep every row non-empty (DagDomain::banded's precondition).
+    const std::int32_t min_band = std::max(1, height - width);
+    band = std::clamp(band, min_band, std::max(min_band, width));
+  }
+  max_preds = std::clamp<std::int32_t>(max_preds, 1, 8);
+  prefin = std::clamp<std::int32_t>(prefin, 0, 500);
+  nplaces = std::clamp<std::int32_t>(nplaces, 1, 16);
+  nthreads = std::clamp<std::int32_t>(nthreads, 1, 8);
+  cache = std::max<std::int64_t>(cache, 0);
+  shards = std::clamp<std::int32_t>(shards, 0, 16);
+  stripes = std::clamp<std::int32_t>(stripes, 0, 16);
+  wedge_ms = std::max<std::int32_t>(wedge_ms, 0);
+  if (retirement != mem::RetirementMode::Spill) memory_limit = 0;
+  if (crash_place >= 0) {
+    nplaces = std::max<std::int32_t>(nplaces, 2);  // cannot kill every place
+    crash_place = std::min(crash_place, nplaces - 1);
+    crash_event = std::max<std::int64_t>(crash_event, 1);
+  } else {
+    crash_place = -1;
+    crash_event = -1;
+  }
+}
+
+DagDomain CaseSpec::make_domain() const {
+  if (pattern == "random") return DagDomain::rect(height, width);
+  if (pattern == "random-banded") return DagDomain::banded(height, width, band);
+  if (pattern == "random-upper") return DagDomain::upper_triangular(height);
+  return patterns::make_pattern(pattern, height, width)->domain();
+}
+
+std::int64_t CaseSpec::vertex_count() const { return make_domain().size(); }
+
+RuntimeOptions CaseSpec::runtime_options() const {
+  RuntimeOptions opts;
+  opts.nplaces = nplaces;
+  opts.nthreads = nthreads;
+  opts.dist = dist;
+  opts.scheduling = scheduling;
+  opts.ready_order = order;
+  opts.cache_capacity = static_cast<std::size_t>(cache);
+  opts.cache_policy = cache_policy;
+  opts.coalescing = coalescing;
+  opts.queue_shards = shards;
+  opts.cache_stripes = stripes;
+  opts.restore = restore;
+  opts.recovery = recovery;
+  opts.memory.retirement = retirement;
+  opts.memory.memory_limit_bytes = memory_limit;
+  opts.seed = mix64(seed, 0x5eedULL);
+  opts.wedge_timeout_s = wedge_ms / 1000.0;
+  // Oracle failure detection: recovery starts the instant the fault fires,
+  // which keeps crash-sweep runs deterministic and their accounting exact.
+  opts.heartbeat.enabled = false;
+  if (crash_place >= 0) {
+    FaultPlan fault;
+    fault.place = crash_place;
+    fault.at_event = crash_event;
+    opts.faults.push_back(fault);
+  }
+  return opts;
+}
+
+std::string CaseSpec::encode() const {
+  const CaseSpec d;  // defaults — only deltas are emitted
+  std::ostringstream out;
+  const char* sep = "";
+  auto emit = [&](const char* key, const auto& value) {
+    out << sep << key << '=' << value;
+    sep = ",";
+  };
+  if (mode != d.mode) emit("mode", case_mode_name(mode));
+  if (engine != d.engine) emit("engine", engine_kind_name(engine));
+  if (seed != d.seed) emit("seed", seed);
+  if (pattern != d.pattern) emit("pattern", pattern);
+  if (height != d.height) emit("h", height);
+  if (width != d.width) emit("w", width);
+  if (band != d.band) emit("band", band);
+  if (max_preds != d.max_preds) emit("preds", max_preds);
+  if (prefin != d.prefin) emit("prefin", prefin);
+  if (nplaces != d.nplaces) emit("nplaces", nplaces);
+  if (nthreads != d.nthreads) emit("nthreads", nthreads);
+  if (dist != d.dist) emit("dist", dist_kind_name(dist));
+  if (scheduling != d.scheduling) emit("sched", scheduling_name(scheduling));
+  if (order != d.order) emit("order", ready_order_name(order));
+  if (cache_policy != d.cache_policy)
+    emit("cpolicy", cache_policy_name(cache_policy));
+  if (cache != d.cache) emit("cache", cache);
+  if (coalescing != d.coalescing) emit("coal", coalescing ? 1 : 0);
+  if (shards != d.shards) emit("shards", shards);
+  if (stripes != d.stripes) emit("stripes", stripes);
+  if (retirement != d.retirement)
+    emit("ret", mem::retirement_mode_name(retirement));
+  if (memory_limit != d.memory_limit) emit("memlim", memory_limit);
+  if (recovery != d.recovery) emit("recovery", recovery_policy_name(recovery));
+  if (restore != d.restore) emit("restore", restore_mode_name(restore));
+  if (crash_place != d.crash_place) emit("cplace", crash_place);
+  if (crash_event != d.crash_event) emit("cevent", crash_event);
+  if (hook_seed != d.hook_seed) emit("hook", hook_seed);
+  if (wedge_ms != d.wedge_ms) emit("wedge_ms", wedge_ms);
+  if (bug != d.bug) emit("bug", planted_bug_name(bug));
+  if (bug_salt != d.bug_salt) emit("bugsalt", bug_salt);
+  return out.str();
+}
+
+CaseSpec CaseSpec::decode(const std::string& text) {
+  CaseSpec spec;
+  for (const std::string& field : split(text, ',')) {
+    const std::string pair = trim(field);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    require(eq != std::string::npos && eq > 0,
+            "dpx10check: malformed spec field '" + pair + "' (expected key=value)");
+    const std::string key = trim(pair.substr(0, eq));
+    const std::string value = trim(pair.substr(eq + 1));
+    bool ok = true;
+    if (key == "mode") ok = parse_case_mode(value, spec.mode);
+    else if (key == "engine") ok = parse_engine_kind(value, spec.engine);
+    else if (key == "seed") spec.seed = parse_u64(key, value);
+    else if (key == "pattern") spec.pattern = value;
+    else if (key == "h") spec.height = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "w") spec.width = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "band") spec.band = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "preds") spec.max_preds = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "prefin") spec.prefin = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "nplaces") spec.nplaces = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "nthreads") spec.nthreads = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "dist") ok = parse_enum(value, 4, dist_kind_name, spec.dist);
+    else if (key == "sched") ok = parse_enum(value, 4, scheduling_name, spec.scheduling);
+    else if (key == "order") ok = parse_enum(value, 2, ready_order_name, spec.order);
+    else if (key == "cpolicy") ok = parse_enum(value, 2, cache_policy_name, spec.cache_policy);
+    else if (key == "cache") spec.cache = parse_i64(key, value);
+    else if (key == "coal") spec.coalescing = parse_i64(key, value) != 0;
+    else if (key == "shards") spec.shards = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "stripes") spec.stripes = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "ret") ok = mem::parse_retirement_mode(value, spec.retirement);
+    else if (key == "memlim") spec.memory_limit = parse_u64(key, value);
+    else if (key == "recovery") ok = parse_enum(value, 2, recovery_policy_name, spec.recovery);
+    else if (key == "restore") ok = parse_enum(value, 2, restore_mode_name, spec.restore);
+    else if (key == "cplace") spec.crash_place = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "cevent") spec.crash_event = parse_i64(key, value);
+    else if (key == "hook") spec.hook_seed = parse_u64(key, value);
+    else if (key == "wedge_ms") spec.wedge_ms = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "bug") ok = parse_enum(value, 3, planted_bug_name, spec.bug);
+    else if (key == "bugsalt") spec.bug_salt = parse_u64(key, value);
+    else throw ConfigError("dpx10check: unknown spec key '" + key + "'");
+    require(ok, "dpx10check: bad value '" + value + "' for spec key '" + key + "'");
+  }
+  return spec;
+}
+
+CaseSpec CaseSpec::draw(Xoshiro256& rng) {
+  CaseSpec spec;
+  spec.seed = rng();
+  spec.engine = rng.below(2) == 0 ? EngineKind::Sim : EngineKind::Threaded;
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 40) {
+    spec.pattern = "random";
+  } else if (roll < 55) {
+    spec.pattern = "random-banded";
+  } else if (roll < 70) {
+    spec.pattern = "random-upper";
+  } else {
+    std::vector<std::string> names = patterns::builtin_pattern_names();
+    for (const std::string& n : patterns::extended_pattern_names()) names.push_back(n);
+    spec.pattern = names[rng.below(names.size())];
+  }
+  spec.height = 2 + static_cast<std::int32_t>(rng.below(11));
+  spec.width = 2 + static_cast<std::int32_t>(rng.below(11));
+  spec.band = 1 + static_cast<std::int32_t>(rng.below(4));
+  spec.max_preds = 1 + static_cast<std::int32_t>(rng.below(5));
+  spec.prefin = rng.below(4) == 0 ? 50 + static_cast<std::int32_t>(rng.below(250)) : 0;
+  spec.nplaces = 1 + static_cast<std::int32_t>(rng.below(5));
+  spec.nthreads = 1 + static_cast<std::int32_t>(rng.below(3));
+  spec.dist = static_cast<DistKind>(rng.below(4));
+  spec.scheduling = static_cast<Scheduling>(rng.below(4));
+  spec.order = static_cast<ReadyOrder>(rng.below(2));
+  spec.cache_policy = static_cast<CachePolicy>(rng.below(2));
+  static constexpr std::int64_t kCacheSizes[] = {0, 1, 4, 64};
+  spec.cache = kCacheSizes[rng.below(4)];
+  spec.coalescing = rng.below(2) == 1;
+  spec.shards = static_cast<std::int32_t>(rng.below(3));
+  spec.stripes = static_cast<std::int32_t>(rng.below(3));
+  spec.retirement = static_cast<mem::RetirementMode>(rng.below(3));
+  if (spec.retirement == mem::RetirementMode::Spill && rng.below(2) == 0) {
+    spec.memory_limit = 256;  // 32 live uint64 cells — forces pressure spill
+  }
+  spec.recovery = rng.below(4) == 0 ? RecoveryPolicy::PeriodicSnapshot
+                                    : RecoveryPolicy::Rebuild;
+  spec.restore = static_cast<RestoreMode>(rng.below(2));
+  spec.normalize();
+  return spec;
+}
+
+CheckApp::CheckApp(DagDomain domain, std::uint64_t salt,
+                   std::int32_t prefin_permille)
+    : domain_(domain), salt_(salt), prefin_(prefin_permille) {}
+
+std::uint64_t CheckApp::vertex_hash(std::uint64_t salt, VertexId id) {
+  return splitmix64(mix64(salt, id.key()));
+}
+
+bool CheckApp::is_prefinished(const DagDomain& domain, std::uint64_t salt,
+                              std::int32_t prefin_permille, VertexId id) {
+  if (prefin_permille <= 0) return false;
+  // The last linear index is always computable: the engines reject a DAG
+  // with nothing to do, and the oracle relies on a non-empty schedule too.
+  if (domain.linearize(id) == domain.size() - 1) return false;
+  return splitmix64(mix64(mix64(salt, kPrefinSelect), id.key())) % 1000 <
+         static_cast<std::uint64_t>(prefin_permille);
+}
+
+std::uint64_t CheckApp::prefinish_value(std::uint64_t salt, VertexId id) {
+  return splitmix64(mix64(mix64(salt, kPrefinValue), id.key()));
+}
+
+std::uint64_t CheckApp::compute(std::int32_t i, std::int32_t j,
+                                std::span<const Vertex<std::uint64_t>> deps) {
+  // Commutative fold: addition mod 2^64 is order-insensitive, so any
+  // schedule / dep-span ordering must reproduce the oracle exactly.
+  std::uint64_t value = vertex_hash(salt_, VertexId{i, j});
+  for (const Vertex<std::uint64_t>& dep : deps) value += dep.value;
+  return value;
+}
+
+std::optional<std::uint64_t> CheckApp::initial_value(VertexId id) const {
+  if (!is_prefinished(domain_, salt_, prefin_, id)) return std::nullopt;
+  return prefinish_value(salt_, id);
+}
+
+void CheckApp::app_finished(const DagView<std::uint64_t>& dag) {
+  const std::int64_t n = domain_.size();
+  values_.assign(static_cast<std::size_t>(n), 0);
+  present_.assign(static_cast<std::size_t>(n), 0);
+  for (std::int64_t idx = 0; idx < n; ++idx) {
+    const VertexId id = domain_.delinearize(idx);
+    // value_or() with two distinct fallbacks distinguishes "the cell still
+    // holds v" (both calls agree) from "the payload is gone" (retired in
+    // retire mode, where each call returns its own fallback).
+    const std::uint64_t v0 = dag.value_or(id.i, id.j, 0);
+    const std::uint64_t v1 = dag.value_or(id.i, id.j, 1);
+    if (v0 == v1) {
+      values_[static_cast<std::size_t>(idx)] = v0;
+      present_[static_cast<std::size_t>(idx)] = 1;
+    }
+  }
+}
+
+RandomCheckDag::RandomCheckDag(DagDomain domain, std::uint64_t seed,
+                               std::int32_t max_preds)
+    : Dag(domain.height(), domain.width(), domain) {
+  const DagDomain& dom = this->domain();
+  const std::int64_t n = dom.size();
+  deps_.resize(static_cast<std::size_t>(n));
+  antideps_.resize(static_cast<std::size_t>(n));
+  Xoshiro256 rng(mix64(seed, 0xdac5ULL));
+  for (std::int64_t idx = 1; idx < n; ++idx) {
+    const std::uint64_t k = rng.below(static_cast<std::uint64_t>(max_preds) + 1);
+    auto& dep_list = deps_[static_cast<std::size_t>(idx)];
+    for (std::uint64_t e = 0; e < k; ++e) {
+      // Predecessors come from strictly earlier linear indices, so the
+      // structure is acyclic by construction whatever the domain shape.
+      const auto pred = static_cast<std::int64_t>(
+          rng.below(static_cast<std::uint64_t>(idx)));
+      if (std::find(dep_list.begin(), dep_list.end(), pred) != dep_list.end())
+        continue;
+      dep_list.push_back(pred);
+      antideps_[static_cast<std::size_t>(pred)].push_back(idx);
+    }
+  }
+}
+
+void RandomCheckDag::dependencies(VertexId v, std::vector<VertexId>& out) const {
+  for (std::int64_t d : deps_[static_cast<std::size_t>(domain().linearize(v))]) {
+    out.push_back(domain().delinearize(d));
+  }
+}
+
+void RandomCheckDag::anti_dependencies(VertexId v,
+                                       std::vector<VertexId>& out) const {
+  for (std::int64_t a : antideps_[static_cast<std::size_t>(domain().linearize(v))]) {
+    out.push_back(domain().delinearize(a));
+  }
+}
+
+GeneratedCase build_case(const CaseSpec& spec) {
+  GeneratedCase built;
+  if (is_random_pattern(spec.pattern)) {
+    built.dag = std::make_unique<RandomCheckDag>(spec.make_domain(), spec.seed,
+                                                 spec.max_preds);
+  } else {
+    built.dag = patterns::make_pattern(spec.pattern, spec.height, spec.width);
+  }
+  const DagDomain& domain = built.dag->domain();
+  const std::int64_t n = domain.size();
+  built.vertices = n;
+  built.oracle.assign(static_cast<std::size_t>(n), 0);
+
+  // Serial Kahn evaluation. Linear order is not topological for the
+  // interval family (cell (i,j) depends on (i,k) with k < j AND (k,j) with
+  // k > i in linear order), so readiness must be indegree-driven.
+  std::vector<std::vector<std::int64_t>> deps(static_cast<std::size_t>(n));
+  std::vector<std::vector<std::int64_t>> succs(static_cast<std::size_t>(n));
+  std::vector<char> prefin(static_cast<std::size_t>(n), 0);
+  std::vector<std::int64_t> remaining(static_cast<std::size_t>(n), 0);
+  std::vector<VertexId> scratch;
+  for (std::int64_t idx = 0; idx < n; ++idx) {
+    const VertexId id = domain.delinearize(idx);
+    if (CheckApp::is_prefinished(domain, spec.seed, spec.prefin, id)) {
+      prefin[static_cast<std::size_t>(idx)] = 1;
+      built.oracle[static_cast<std::size_t>(idx)] =
+          CheckApp::prefinish_value(spec.seed, id);
+      ++built.prefinished;
+    }
+    scratch.clear();
+    built.dag->dependencies(id, scratch);
+    for (VertexId dep : scratch) {
+      const std::int64_t d = domain.linearize(dep);
+      deps[static_cast<std::size_t>(idx)].push_back(d);
+      succs[static_cast<std::size_t>(d)].push_back(idx);
+    }
+  }
+  std::vector<std::int64_t> ready;
+  for (std::int64_t idx = 0; idx < n; ++idx) {
+    if (prefin[static_cast<std::size_t>(idx)]) continue;
+    std::int64_t waiting = 0;
+    for (std::int64_t d : deps[static_cast<std::size_t>(idx)]) {
+      if (!prefin[static_cast<std::size_t>(d)]) ++waiting;
+    }
+    remaining[static_cast<std::size_t>(idx)] = waiting;
+    if (waiting == 0) ready.push_back(idx);
+  }
+  std::int64_t processed = 0;
+  while (!ready.empty()) {
+    const std::int64_t idx = ready.back();
+    ready.pop_back();
+    const VertexId id = domain.delinearize(idx);
+    std::uint64_t value = CheckApp::vertex_hash(spec.seed, id);
+    for (std::int64_t d : deps[static_cast<std::size_t>(idx)]) {
+      value += built.oracle[static_cast<std::size_t>(d)];
+    }
+    built.oracle[static_cast<std::size_t>(idx)] = value;
+    ++processed;
+    for (std::int64_t s : succs[static_cast<std::size_t>(idx)]) {
+      if (prefin[static_cast<std::size_t>(s)]) continue;
+      if (--remaining[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  check_internal(processed == n - built.prefinished,
+                 "dpx10check: oracle worklist stalled — generated structure "
+                 "is cyclic or dependencies() is inconsistent");
+  return built;
+}
+
+}  // namespace dpx10::check

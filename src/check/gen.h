@@ -1,0 +1,186 @@
+// dpx10check case generation — random DP applications with a cheap oracle.
+//
+// A CaseSpec is one fully-determined harness case: the DP structure (a
+// built-in pattern by name, or a randomized custom DAG over a rect /
+// banded / upper-triangular domain), the recurrence seed, and every
+// runtime knob of both engines (places, threads, dist, scheduling, ready
+// order, cache, coalescing, shards, stripes, retirement/spill, recovery,
+// restore), plus optional decorations: a crash point (place + event index),
+// a schedule-exploration hook seed, and a planted bug for the self-test.
+//
+// The recurrence is a commutative fold over dependency values,
+//
+//   value(v) = splitmix64(mix64(salt, v.key())) + sum of dep values  (mod 2^64)
+//
+// so the result is independent of evaluation order and of the order in
+// which the engines present the deps span — any engine, any schedule, any
+// crash/recovery sequence must reproduce the serial Kahn evaluation
+// bit-for-bit. That serial evaluation (build_case's `oracle`) costs O(V+E)
+// and is the differential baseline every run is compared against.
+//
+// Everything is derived deterministically from CaseSpec fields, and a spec
+// round-trips through encode()/decode() — the one-line reproducer printed
+// on failure (`dpx10check --repro='...'`) is the encoded spec.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/hooks.h"
+#include "common/rng.h"
+#include "core/dpx10.h"
+
+namespace dpx10::check {
+
+enum class EngineKind : std::uint8_t { Sim = 0, Threaded };
+std::string_view engine_kind_name(EngineKind e);
+bool parse_engine_kind(const std::string& name, EngineKind& out);
+
+/// How a CaseSpec expands into engine runs (see runner.h). Single is the
+/// unit every other mode decomposes into — a failing Matrix/Schedules/
+/// Crashes case always reports (and shrinks) the failing Single spec.
+enum class CaseMode : std::uint8_t {
+  Single = 0,  ///< one engine run, exactly as specified
+  Matrix,      ///< knob matrix: scheduling x coalescing x retirement (+ more)
+  Schedules,   ///< seeded schedule exploration (PCT perturber / sim shuffler)
+  Crashes,     ///< crash-point sweep: kill a place at every K-th event
+};
+std::string_view case_mode_name(CaseMode m);
+bool parse_case_mode(const std::string& name, CaseMode& out);
+
+struct CaseSpec {
+  CaseMode mode = CaseMode::Single;
+  EngineKind engine = EngineKind::Sim;
+  std::uint64_t seed = 1;  ///< recurrence salt + structure seed
+
+  // --- DP structure ---------------------------------------------------
+  /// "random" / "random-banded" / "random-upper" (randomized custom DAG
+  /// over the matching domain) or any pattern-library name ("left-top",
+  /// "interval", "full-prefix", ...).
+  std::string pattern = "random";
+  std::int32_t height = 8;
+  std::int32_t width = 8;
+  std::int32_t band = 2;        ///< "random-banded" only
+  std::int32_t max_preds = 4;   ///< random patterns: per-cell predecessor cap
+  std::int32_t prefin = 0;      ///< permille of cells prefinished (0..500)
+
+  // --- runtime knobs (both engines) -----------------------------------
+  std::int32_t nplaces = 4;
+  std::int32_t nthreads = 2;
+  DistKind dist = DistKind::BlockRow;
+  Scheduling scheduling = Scheduling::Local;
+  ReadyOrder order = ReadyOrder::Fifo;
+  CachePolicy cache_policy = CachePolicy::Fifo;
+  std::int64_t cache = 64;        ///< cache_capacity; 0 disables
+  bool coalescing = false;
+  std::int32_t shards = 0;        ///< threaded queue shards (0 = per-worker)
+  std::int32_t stripes = 0;       ///< threaded cache stripes (0 = per-worker)
+  mem::RetirementMode retirement = mem::RetirementMode::Off;
+  std::uint64_t memory_limit = 0; ///< spill pressure budget, bytes
+  RecoveryPolicy recovery = RecoveryPolicy::Rebuild;
+  RestoreMode restore = RestoreMode::DiscardRemote;
+
+  // --- decorations ----------------------------------------------------
+  std::int32_t crash_place = -1;   ///< -1 = no fault
+  std::int64_t crash_event = -1;   ///< sim: event index; threaded: finished count
+  std::uint64_t hook_seed = 0;     ///< 0 = no schedule hook installed
+  std::int32_t wedge_ms = 10000;   ///< threaded wedge-detector timeout
+  PlantedBug bug = PlantedBug::None;  ///< self-test only
+  std::uint64_t bug_salt = 0;
+
+  /// Clamps dependent fields into a consistent state (square domains for
+  /// square-only patterns, band wide enough for every row, crash place in
+  /// range, ...). draw() and the shrinker call this after every mutation.
+  void normalize();
+
+  /// Number of valid cells of the case's domain.
+  std::int64_t vertex_count() const;
+
+  DagDomain make_domain() const;
+  RuntimeOptions runtime_options() const;
+
+  /// Key=value serialization; only fields that differ from the defaults
+  /// are emitted, so reproducer lines stay short. decode() accepts any
+  /// subset of fields over a default-constructed spec and throws
+  /// ConfigError on unknown keys or malformed values.
+  std::string encode() const;
+  static CaseSpec decode(const std::string& text);
+
+  /// Draws a random Single spec (structure + knobs; no crash, no hook —
+  /// the fuzz loop adds those per mode). Deterministic in the rng state.
+  static CaseSpec draw(Xoshiro256& rng);
+};
+
+/// The generated application: a commutative hash fold (see file header).
+/// Stateless and reentrant across compute() calls; app_finished() captures
+/// which cells still hold a value and what it is, so the runner can diff
+/// against the oracle (in retire mode, retired payloads are gone by design
+/// and are skipped rather than failed).
+class CheckApp final : public DPX10App<std::uint64_t> {
+ public:
+  CheckApp(DagDomain domain, std::uint64_t salt, std::int32_t prefin_permille);
+
+  std::uint64_t compute(std::int32_t i, std::int32_t j,
+                        std::span<const Vertex<std::uint64_t>> deps) override;
+  std::optional<std::uint64_t> initial_value(VertexId id) const override;
+  void app_finished(const DagView<std::uint64_t>& dag) override;
+  std::string_view name() const override { return "dpx10check"; }
+
+  /// Seeded-hash cell selection shared with the oracle. The LAST linear
+  /// index is never prefinished, so every case keeps at least one
+  /// computable vertex (the engines require a non-empty schedule).
+  static bool is_prefinished(const DagDomain& domain, std::uint64_t salt,
+                             std::int32_t prefin_permille, VertexId id);
+  static std::uint64_t prefinish_value(std::uint64_t salt, VertexId id);
+  static std::uint64_t vertex_hash(std::uint64_t salt, VertexId id);
+
+  /// Captured by app_finished(): value per linear index, and whether the
+  /// cell still held a readable value (false only for retired cells in
+  /// retire mode).
+  const std::vector<std::uint64_t>& values() const { return values_; }
+  const std::vector<char>& present() const { return present_; }
+
+ private:
+  DagDomain domain_;
+  std::uint64_t salt_;
+  std::int32_t prefin_;
+  std::vector<std::uint64_t> values_;
+  std::vector<char> present_;
+};
+
+/// Randomized custom DAG: per cell, up to `max_preds` distinct predecessors
+/// drawn from the cells strictly before it in linear order (acyclic by
+/// construction), over any of the three domain shapes. Produces long-range
+/// and high-fan-in edges the regular pattern library never does.
+class RandomCheckDag final : public Dag {
+ public:
+  RandomCheckDag(DagDomain domain, std::uint64_t seed, std::int32_t max_preds);
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override;
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override;
+  std::string_view name() const override { return "random-check-dag"; }
+
+ private:
+  std::vector<std::vector<std::int64_t>> deps_;
+  std::vector<std::vector<std::int64_t>> antideps_;
+};
+
+/// A built case: the DAG plus the serial oracle evaluation.
+struct GeneratedCase {
+  std::unique_ptr<Dag> dag;
+  std::int64_t vertices = 0;
+  std::int64_t prefinished = 0;           ///< cells is_prefinished selects
+  std::vector<std::uint64_t> oracle;      ///< expected value per linear index
+};
+
+/// Instantiates the spec's DAG and evaluates the recurrence serially with
+/// an indegree-driven (Kahn) worklist — linear order is NOT topological for
+/// interval-family patterns, so a plain left-to-right sweep would deadlock.
+/// Throws InternalError if the structure is cyclic (cannot happen for the
+/// shipped generators; guards against generator bugs).
+GeneratedCase build_case(const CaseSpec& spec);
+
+}  // namespace dpx10::check

@@ -1,0 +1,171 @@
+// Check hooks — the engines' test-only instrumentation surface.
+//
+// dpx10check (tools/dpx10check, src/check) needs three capabilities the
+// production engines must not pay for:
+//
+//   1. Schedule exploration. A ScheduleHook installed in the global Hooks
+//      registry is consulted at every scheduler synchronization point
+//      (queue push/pop, cache get/put, publish, indegree decrement,
+//      governor accounting). The threaded harness uses it to run a
+//      PCT-style perturber (seeded priority changes realized as short
+//      delays); the sim harness uses pick_ready() to override which ready
+//      vertex a place dispatches next, exploring alternative topological
+//      orders in virtual time.
+//
+//   2. Planted bugs (mutation-testing guard). The self-test plants a bug —
+//      flip a bit in a published value, or drop an indegree decrement —
+//      and asserts the harness catches it within N cases. The bug sites
+//      live in the engines, gated here, selecting victims by a seeded hash
+//      so a planted run is deterministic and shrinkable.
+//
+//   3. Zero cost when off. Every gate is one relaxed/acquire atomic load
+//      of a pointer or int that is null/zero outside the harness; the
+//      branch predictor eats it.
+//
+// Everything here is process-global: the harness runs cases sequentially
+// and installs/uninstalls around each engine run (HookGuard/PlantedBugGuard).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/rng.h"
+
+namespace dpx10::check {
+
+/// Scheduler synchronization points at which an installed ScheduleHook is
+/// consulted. These are exactly the places where thread interleaving (or,
+/// in the sim, ready-list order) can change the execution order of the DAG
+/// without changing its data dependencies.
+enum class SyncPoint : std::uint8_t {
+  QueuePush = 0,    ///< a ready vertex is about to be enqueued
+  QueuePop,         ///< a worker popped a vertex and is about to execute it
+  CacheGet,         ///< per-place vertex-cache lookup
+  CachePut,         ///< per-place vertex-cache insert
+  Publish,          ///< the finished value is about to become visible
+  Decrement,        ///< an anti-dependency indegree is about to drop
+  GovernorPublish,  ///< memory-governor publish accounting
+  GovernorConsume,  ///< memory-governor consume accounting
+};
+
+/// Installed by the harness for one engine run. Implementations must be
+/// thread-safe (the threaded engine calls from every worker) and must
+/// never block indefinitely or throw.
+class ScheduleHook {
+ public:
+  virtual ~ScheduleHook() = default;
+
+  /// Called at each SyncPoint with the acting place. May delay/yield the
+  /// calling thread to perturb the interleaving; called outside engine
+  /// locks, so sleeping here cannot deadlock the engine.
+  virtual void sync_point(SyncPoint point, std::int32_t place) noexcept = 0;
+
+  /// SimEngine dispatch override: given `size` ready vertices at `place`,
+  /// return the index (0..size-1) to dispatch next, or -1 to keep the
+  /// engine's configured ReadyOrder. Single-threaded (virtual time).
+  virtual std::int64_t pick_ready(std::int32_t place, std::size_t size) noexcept {
+    (void)place;
+    (void)size;
+    return -1;
+  }
+};
+
+/// Hidden test-only defects for the mutation-testing self-test.
+enum class PlantedBug : int {
+  None = 0,
+  MutateValue = 1,    ///< flip one bit of the published value of ~1/8 vertices
+  DropDecrement = 2,  ///< skip ~1/8 of anti-dependency indegree decrements
+};
+
+struct Hooks {
+  std::atomic<ScheduleHook*> schedule{nullptr};
+  std::atomic<int> planted_bug{static_cast<int>(PlantedBug::None)};
+  std::atomic<std::uint64_t> bug_salt{0};
+};
+
+inline Hooks& hooks() {
+  static Hooks h;
+  return h;
+}
+
+inline void sync_point(SyncPoint point, std::int32_t place) {
+  ScheduleHook* h = hooks().schedule.load(std::memory_order_acquire);
+  if (h != nullptr) h->sync_point(point, place);
+}
+
+inline std::int64_t pick_ready(std::int32_t place, std::size_t size) {
+  ScheduleHook* h = hooks().schedule.load(std::memory_order_acquire);
+  if (h == nullptr) return -1;
+  return h->pick_ready(place, size);
+}
+
+/// PlantedBug::MutateValue — flip the low bit of the first byte of `value`
+/// for a seeded-hash-selected ~1/8 of vertices. Called by both engines at
+/// the publish site; a bit-identical differential oracle must notice.
+/// Value types with non-trivial layout are left alone (the harness always
+/// runs over a trivially-copyable value type).
+template <typename T>
+inline void maybe_mutate_value(T& value, std::int64_t idx) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    if (hooks().planted_bug.load(std::memory_order_acquire) !=
+        static_cast<int>(PlantedBug::MutateValue)) {
+      return;
+    }
+    const std::uint64_t salt = hooks().bug_salt.load(std::memory_order_relaxed);
+    if (splitmix64(mix64(salt, static_cast<std::uint64_t>(idx))) % 8 != 0) return;
+    unsigned char bytes[sizeof(T)];
+    std::memcpy(bytes, &value, sizeof(T));
+    bytes[0] ^= 1u;
+    std::memcpy(&value, bytes, sizeof(T));
+  } else {
+    (void)value;
+    (void)idx;
+  }
+}
+
+/// PlantedBug::DropDecrement — true when the decrement for edge
+/// (publisher `idx` → consumer `anti_idx`) should be silently skipped
+/// (~1/8 of edges, seeded). The consumer's indegree never reaches zero:
+/// the sim's event queue drains (InternalError) and the threaded engine
+/// wedges, which its quiescence detector converts into an InternalError.
+inline bool bug_drops_decrement(std::int64_t idx, std::int64_t anti_idx) {
+  if (hooks().planted_bug.load(std::memory_order_acquire) !=
+      static_cast<int>(PlantedBug::DropDecrement)) {
+    return false;
+  }
+  const std::uint64_t salt = hooks().bug_salt.load(std::memory_order_relaxed);
+  const std::uint64_t edge =
+      mix64(static_cast<std::uint64_t>(idx), static_cast<std::uint64_t>(anti_idx));
+  return splitmix64(mix64(salt, edge)) % 8 == 0;
+}
+
+/// RAII installer for a ScheduleHook (one engine run at a time).
+class HookGuard {
+ public:
+  explicit HookGuard(ScheduleHook* hook) {
+    hooks().schedule.store(hook, std::memory_order_release);
+  }
+  ~HookGuard() { hooks().schedule.store(nullptr, std::memory_order_release); }
+  HookGuard(const HookGuard&) = delete;
+  HookGuard& operator=(const HookGuard&) = delete;
+};
+
+/// RAII installer for a planted bug (self-test only).
+class PlantedBugGuard {
+ public:
+  PlantedBugGuard(PlantedBug bug, std::uint64_t salt) {
+    hooks().bug_salt.store(salt, std::memory_order_relaxed);
+    hooks().planted_bug.store(static_cast<int>(bug), std::memory_order_release);
+  }
+  ~PlantedBugGuard() {
+    hooks().planted_bug.store(static_cast<int>(PlantedBug::None),
+                              std::memory_order_release);
+    hooks().bug_salt.store(0, std::memory_order_relaxed);
+  }
+  PlantedBugGuard(const PlantedBugGuard&) = delete;
+  PlantedBugGuard& operator=(const PlantedBugGuard&) = delete;
+};
+
+}  // namespace dpx10::check

@@ -1,0 +1,93 @@
+// Schedule exploration hooks for dpx10check (see check/hooks.h).
+//
+// Two ScheduleHook implementations, one per engine:
+//
+//   PctPerturber (ThreadedEngine) — a PCT-style randomized scheduler in the
+//   spirit of Burckhardt et al.'s probabilistic concurrency testing,
+//   adapted to a hook that cannot control the OS scheduler directly: it
+//   realizes priority changes as short sleeps. The perturber pre-draws d
+//   "priority change points" over the expected stream of synchronization
+//   events; the thread that hits change point k sleeps a few hundred
+//   microseconds, demoting it exactly where a PCT scheduler would lower its
+//   priority. Between change points it also yields on a seeded ~1/16 of
+//   sync events (cheap fine-grained reordering), with extra weight on a
+//   seeded victim place so perturbation concentrates rather than averaging
+//   out. Everything derives from the seed: re-running the same CaseSpec
+//   replays the same perturbation policy (the OS still interleaves, but the
+//   bias is reproducible, which is what shrinking needs).
+//
+//   SimShuffler (SimEngine) — the simulator is deterministic given its
+//   options, so exploring schedules means overriding dispatch order:
+//   pick_ready() draws a uniformly random index into the ready list. In
+//   virtual time this explores alternative topological orders exactly, and
+//   the run is perfectly reproducible from the seed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "check/hooks.h"
+#include "common/rng.h"
+
+namespace dpx10::check {
+
+class PctPerturber final : public ScheduleHook {
+ public:
+  explicit PctPerturber(std::uint64_t seed) : seed_(seed) {
+    Xoshiro256 rng(mix64(seed, 0x9c7ULL));
+    depth_ = 3 + static_cast<std::int32_t>(rng.below(4));
+    for (std::int32_t k = 0; k < depth_; ++k) {
+      change_points_[k] = rng.below(kExpectedEvents);
+    }
+    victim_place_ = static_cast<std::int32_t>(rng.below(8));
+  }
+
+  void sync_point(SyncPoint point, std::int32_t place) noexcept override {
+    const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+    for (std::int32_t k = 0; k < depth_; ++k) {
+      if (change_points_[k] == n) {
+        // A PCT priority change: demote the thread that got here first.
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            100 + static_cast<std::int64_t>(splitmix64(mix64(seed_, n)) % 300)));
+        return;
+      }
+    }
+    const std::uint64_t h =
+        splitmix64(mix64(seed_, mix64(n, static_cast<std::uint64_t>(place))));
+    // Concentrate reordering on one place's queue/publish traffic.
+    if (place == victim_place_ &&
+        (point == SyncPoint::QueuePop || point == SyncPoint::Publish)) {
+      if (h % 4 == 0) std::this_thread::yield();
+      return;
+    }
+    if (h % 16 == 0) std::this_thread::yield();
+  }
+
+ private:
+  static constexpr std::uint64_t kExpectedEvents = 4096;
+  std::uint64_t seed_;
+  std::int32_t depth_ = 3;
+  std::uint64_t change_points_[8] = {};
+  std::int32_t victim_place_ = 0;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+class SimShuffler final : public ScheduleHook {
+ public:
+  explicit SimShuffler(std::uint64_t seed) : rng_(mix64(seed, 0x51caULL)) {}
+
+  void sync_point(SyncPoint, std::int32_t) noexcept override {}
+
+  std::int64_t pick_ready(std::int32_t, std::size_t size) noexcept override {
+    if (size <= 1) return -1;
+    // The simulator is single-threaded, so the unguarded rng draw is safe.
+    return static_cast<std::int64_t>(rng_.below(size));
+  }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+}  // namespace dpx10::check

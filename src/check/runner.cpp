@@ -1,0 +1,409 @@
+#include "check/runner.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <sstream>
+
+#include "apgas/fault.h"
+#include "check/perturb.h"
+#include "common/error.h"
+
+namespace dpx10::check {
+namespace {
+
+template <typename Engine>
+RunReport run_engine(const RuntimeOptions& opts, const Dag& dag, CheckApp& app) {
+  Engine engine(opts);
+  return engine.run(dag, app);
+}
+
+std::string describe(const CaseSpec& spec) {
+  std::string text = spec.encode();
+  return text.empty() ? std::string("<defaults>") : text;
+}
+
+RunOutcome fail(std::string reason) {
+  RunOutcome out;
+  out.ok = false;
+  out.reason = std::move(reason);
+  return out;
+}
+
+}  // namespace
+
+RunOutcome run_single(const CaseSpec& spec) {
+  RunOutcome out;
+  try {
+    const GeneratedCase built = build_case(spec);
+    CheckApp app(built.dag->domain(), spec.seed, spec.prefin);
+    const RuntimeOptions opts = spec.runtime_options();
+
+    std::unique_ptr<ScheduleHook> hook;
+    if (spec.hook_seed != 0) {
+      if (spec.engine == EngineKind::Sim) {
+        hook = std::make_unique<SimShuffler>(spec.hook_seed);
+      } else {
+        hook = std::make_unique<PctPerturber>(spec.hook_seed);
+      }
+    }
+    const HookGuard hook_guard(hook.get());
+    std::optional<PlantedBugGuard> bug_guard;
+    if (spec.bug != PlantedBug::None) {
+      bug_guard.emplace(spec.bug,
+                        spec.bug_salt != 0 ? spec.bug_salt : spec.seed);
+    }
+
+    RunReport report;
+    try {
+      report = spec.engine == EngineKind::Sim
+                   ? run_engine<SimEngine<std::uint64_t>>(opts, *built.dag, app)
+                   : run_engine<ThreadedEngine<std::uint64_t>>(opts, *built.dag,
+                                                               app);
+    } catch (const DeadPlaceException& ex) {
+      if (spec.crash_place == 0) return out;  // unrecoverable by design
+      return fail(std::string("unexpected DeadPlaceException: ") + ex.what());
+    }
+    out.sim_events = report.sim_events;
+    out.computed = report.computed;
+
+    // A fired place-0 fault must not have been survived. (An at_event past
+    // the end of the run legitimately never fires — that run is fault-free.)
+    for (const RecoveryRecord& rec : report.recoveries) {
+      if (rec.dead_place == 0) {
+        return fail("place-0 death was survived instead of raising "
+                    "DeadPlaceException");
+      }
+    }
+
+    // Differential check against the serial oracle.
+    const auto n = static_cast<std::size_t>(built.vertices);
+    if (app.present().size() != n) {
+      return fail("app_finished was never invoked");
+    }
+    std::int64_t absent = 0;
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      if (!app.present()[idx]) {
+        ++absent;
+        continue;
+      }
+      if (app.values()[idx] != built.oracle[idx]) {
+        std::ostringstream why;
+        why << "value mismatch at linear index " << idx << ": engine "
+            << app.values()[idx] << " != oracle " << built.oracle[idx];
+        return fail(why.str());
+      }
+    }
+    if (absent != 0 && spec.retirement != mem::RetirementMode::Retire) {
+      std::ostringstream why;
+      why << absent << " cells unreadable outside retire mode";
+      return fail(why.str());
+    }
+
+    // Report bookkeeping and the replay law.
+    if (static_cast<std::int64_t>(report.vertices) != built.vertices) {
+      return fail("report.vertices disagrees with the domain size");
+    }
+    if (static_cast<std::int64_t>(report.prefinished) != built.prefinished) {
+      return fail("report.prefinished disagrees with the generator");
+    }
+    const std::uint64_t to_compute =
+        report.vertices - report.prefinished;
+    std::uint64_t replayed = 0;
+    for (const RecoveryRecord& rec : report.recoveries) {
+      replayed += rec.lost + rec.discarded + rec.resurrected;
+      if (spec.restore == RestoreMode::DiscardRemote && rec.restored_remote != 0) {
+        return fail("restored_remote counted under RestoreMode::DiscardRemote");
+      }
+      if (spec.retirement != mem::RetirementMode::Retire && rec.resurrected != 0) {
+        return fail("resurrected counted outside retire mode");
+      }
+      if (spec.retirement != mem::RetirementMode::Spill &&
+          rec.restored_spilled != 0) {
+        return fail("restored_spilled counted outside spill mode");
+      }
+    }
+    const bool exact_law = report.recoveries.empty() || spec.prefin == 0;
+    if (exact_law) {
+      if (report.computed != to_compute + replayed) {
+        std::ostringstream why;
+        why << "replay law violated: computed " << report.computed
+            << " != to_compute " << to_compute << " + replayed " << replayed;
+        return fail(why.str());
+      }
+    } else if (report.computed < to_compute) {
+      return fail("computed fewer vertices than the computable set");
+    }
+    return out;
+  } catch (const Error& ex) {
+    return fail(ex.what());
+  } catch (const std::exception& ex) {
+    return fail(std::string("unexpected exception: ") + ex.what());
+  }
+}
+
+std::vector<CaseSpec> expand_case(const CaseSpec& spec) {
+  std::vector<CaseSpec> out;
+  switch (spec.mode) {
+    case CaseMode::Single: {
+      out.push_back(spec);
+      out.back().mode = CaseMode::Single;
+      break;
+    }
+    case CaseMode::Matrix: {
+      CaseSpec base = spec;
+      base.mode = CaseMode::Single;
+      base.crash_place = -1;  // the matrix is the fault-free sweep
+      base.hook_seed = 0;
+      base.normalize();
+      // SimEngine: the full scheduling x coalescing x retirement cross.
+      for (int sched = 0; sched < 4; ++sched) {
+        for (int coal = 0; coal < 2; ++coal) {
+          for (int ret = 0; ret < 3; ++ret) {
+            CaseSpec s = base;
+            s.engine = EngineKind::Sim;
+            s.scheduling = static_cast<Scheduling>(sched);
+            s.coalescing = coal == 1;
+            s.retirement = static_cast<mem::RetirementMode>(ret);
+            s.normalize();
+            out.push_back(s);
+          }
+        }
+      }
+      // ThreadedEngine: real threads make each run ~1000x costlier than a
+      // sim run, so take a rotating six-combo slice of the same cross
+      // (x sharded/legacy queues) — successive cases cover the full set.
+      std::vector<CaseSpec> threaded;
+      for (int sched = 0; sched < 4; ++sched) {
+        for (int coal = 0; coal < 2; ++coal) {
+          for (int shards = 0; shards < 2; ++shards) {
+            for (int ret = 0; ret < 3; ++ret) {
+              CaseSpec s = base;
+              s.engine = EngineKind::Threaded;
+              s.scheduling = static_cast<Scheduling>(sched);
+              s.coalescing = coal == 1;
+              s.shards = shards;  // 0 = per-worker shards, 1 = legacy queue
+              s.retirement = static_cast<mem::RetirementMode>(ret);
+              s.normalize();
+              threaded.push_back(s);
+            }
+          }
+        }
+      }
+      const std::size_t offset =
+          static_cast<std::size_t>(spec.seed % threaded.size());
+      for (std::size_t k = 0; k < 6; ++k) {
+        out.push_back(threaded[(offset + k) % threaded.size()]);
+      }
+      break;
+    }
+    case CaseMode::Schedules: {
+      CaseSpec base = spec;
+      base.mode = CaseMode::Single;
+      base.crash_place = -1;
+      base.normalize();
+      for (std::uint64_t r = 0; r < 3; ++r) {
+        for (int e = 0; e < 2; ++e) {
+          CaseSpec s = base;
+          s.engine = static_cast<EngineKind>(e);
+          s.hook_seed = mix64(spec.seed, 0xa0ULL + r) | 1;  // never 0
+          out.push_back(s);
+        }
+      }
+      break;
+    }
+    case CaseMode::Crashes:
+      // Needs a baseline run to learn the event count; run_case handles it.
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+std::optional<Failure> run_crash_sweep(const CaseSpec& spec,
+                                       std::optional<EngineKind> only_engine,
+                                       std::int64_t* runs) {
+  CaseSpec base = spec;
+  base.mode = CaseMode::Single;
+  base.crash_place = -1;
+  base.hook_seed = 0;
+  base.prefin = 0;  // keeps the replay law exact across the sweep
+  base.nplaces = std::max<std::int32_t>(base.nplaces, 2);
+  base.normalize();
+  if (only_engine && base.engine != *only_engine) base.engine = *only_engine;
+
+  if (runs != nullptr) ++*runs;
+  const RunOutcome baseline = run_single(base);
+  if (!baseline.ok) return Failure{base, baseline.reason};
+
+  // Crash points: every K-th event of the baseline (sim: discrete events;
+  // threaded: finished-vertex thresholds), K chosen to cap the sweep.
+  const std::int64_t total = base.engine == EngineKind::Sim
+                                 ? static_cast<std::int64_t>(baseline.sim_events)
+                                 : base.vertex_count();
+  const std::int64_t points = std::min<std::int64_t>(total, 12);
+  if (points <= 0) return std::nullopt;
+  const std::int64_t stride = std::max<std::int64_t>(1, total / (points + 1));
+  for (std::int64_t event = stride; event <= total; event += stride) {
+    CaseSpec s = base;
+    s.crash_event = event;
+    s.crash_place = static_cast<std::int32_t>(
+        splitmix64(mix64(spec.seed, static_cast<std::uint64_t>(event))) %
+        static_cast<std::uint64_t>(s.nplaces));
+    s.normalize();
+    if (runs != nullptr) ++*runs;
+    const RunOutcome outcome = run_single(s);
+    if (!outcome.ok) return Failure{s, outcome.reason};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Failure> run_case(const CaseSpec& spec,
+                                std::optional<EngineKind> only_engine,
+                                std::int64_t* runs) {
+  if (spec.mode == CaseMode::Crashes) {
+    return run_crash_sweep(spec, only_engine, runs);
+  }
+  for (const CaseSpec& s : expand_case(spec)) {
+    if (only_engine && s.engine != *only_engine && spec.mode != CaseMode::Single)
+      continue;
+    if (runs != nullptr) ++*runs;
+    const RunOutcome outcome = run_single(s);
+    if (!outcome.ok) return Failure{s, outcome.reason};
+  }
+  return std::nullopt;
+}
+
+CaseSpec shrink(const CaseSpec& failing, int budget, std::string* reason,
+                std::int64_t* runs) {
+  CaseSpec best = failing;
+  best.mode = CaseMode::Single;
+  int spent = 0;
+  auto still_fails = [&](const CaseSpec& candidate) {
+    if (spent >= budget) return false;
+    ++spent;
+    if (runs != nullptr) ++*runs;
+    const RunOutcome outcome = run_single(candidate);
+    if (!outcome.ok && reason != nullptr) *reason = outcome.reason;
+    return !outcome.ok;
+  };
+
+  // Each reduction step mutates a copy; a step that produces no change is
+  // skipped (encode() is the canonical identity).
+  using Step = void (*)(CaseSpec&);
+  static constexpr Step kSteps[] = {
+      [](CaseSpec& s) { s.crash_place = -1; },  // drop the crash first
+      [](CaseSpec& s) { s.hook_seed = 0; },
+      [](CaseSpec& s) { s.height /= 2; },
+      [](CaseSpec& s) { s.width /= 2; },
+      [](CaseSpec& s) { s.prefin = 0; },
+      [](CaseSpec& s) { s.max_preds /= 2; },
+      [](CaseSpec& s) { s.nthreads = 1; },
+      [](CaseSpec& s) { s.nplaces /= 2; },
+      [](CaseSpec& s) { s.crash_event /= 2; },
+      [](CaseSpec& s) { s.retirement = mem::RetirementMode::Off; },
+      [](CaseSpec& s) { s.memory_limit = 0; },
+      [](CaseSpec& s) { s.recovery = RecoveryPolicy::Rebuild; },
+      [](CaseSpec& s) { s.restore = RestoreMode::DiscardRemote; },
+      [](CaseSpec& s) { s.scheduling = Scheduling::Local; },
+      [](CaseSpec& s) { s.order = ReadyOrder::Fifo; },
+      [](CaseSpec& s) { s.cache_policy = CachePolicy::Fifo; },
+      [](CaseSpec& s) { s.dist = DistKind::BlockRow; },
+      [](CaseSpec& s) { s.coalescing = false; },
+      [](CaseSpec& s) { s.shards = 1; },
+      [](CaseSpec& s) { s.stripes = 1; },
+      [](CaseSpec& s) { s.cache = 64; },
+  };
+
+  bool progress = true;
+  while (progress && spent < budget) {
+    progress = false;
+    for (const Step step : kSteps) {
+      CaseSpec candidate = best;
+      step(candidate);
+      candidate.normalize();
+      if (candidate.encode() == best.encode()) continue;
+      if (still_fails(candidate)) {
+        best = candidate;
+        progress = true;
+      }
+      if (spent >= budget) break;
+    }
+  }
+  return best;
+}
+
+std::string repro_command(const CaseSpec& spec) {
+  return "dpx10check --repro='" + describe(spec) + "'";
+}
+
+FuzzResult fuzz(const FuzzOptions& options) {
+  FuzzResult result;
+  Xoshiro256 rng(mix64(options.seed, 0xca5eULL));
+  for (std::int64_t k = 0; k < options.cases; ++k) {
+    CaseSpec spec = CaseSpec::draw(rng);
+    spec.height = std::min(spec.height, options.max_dim);
+    spec.width = std::min(spec.width, options.max_dim);
+    if (options.engine) spec.engine = *options.engine;
+    if (options.wedge_ms) spec.wedge_ms = *options.wedge_ms;
+    spec.bug = options.bug;
+    if (spec.bug != PlantedBug::None) {
+      spec.bug_salt = options.bug_salt != 0 ? options.bug_salt : spec.seed;
+    }
+    if (options.mode) {
+      spec.mode = *options.mode;
+    } else {
+      // Mixed diet: mostly plain Single runs (the random knob draw covers
+      // the matrix probabilistically), with periodic structured sweeps.
+      const std::uint64_t roll = rng.below(100);
+      if (roll < 85) {
+        spec.mode = CaseMode::Single;
+        if (roll < 10) {
+          // One-off crash decoration on ~1/10 of single cases.
+          spec.prefin = 0;
+          spec.crash_place = static_cast<std::int32_t>(
+              rng.below(static_cast<std::uint64_t>(std::max(spec.nplaces, 2))));
+          spec.crash_event = 1 + static_cast<std::int64_t>(rng.below(64));
+        }
+      } else if (roll < 90) {
+        spec.mode = CaseMode::Matrix;
+      } else if (roll < 95) {
+        spec.mode = CaseMode::Schedules;
+      } else {
+        spec.mode = CaseMode::Crashes;
+      }
+    }
+    spec.normalize();
+
+    ++result.cases_run;
+    if (options.log != nullptr &&
+        (options.verbose || result.cases_run % 500 == 0)) {
+      *options.log << "case " << result.cases_run << "/" << options.cases
+                   << " [" << case_mode_name(spec.mode) << "] "
+                   << describe(spec) << "\n";
+    }
+    std::optional<Failure> failure =
+        run_case(spec, options.engine, &result.engine_runs);
+    if (!failure) continue;
+
+    result.failure = failure;
+    if (options.log != nullptr) {
+      *options.log << "FAIL after " << result.cases_run << " cases ("
+                   << result.engine_runs << " runs): " << failure->reason
+                   << "\n  spec: " << describe(failure->spec)
+                   << "\n  shrinking (budget " << options.shrink_budget
+                   << ")...\n";
+    }
+    std::string shrunk_reason = failure->reason;
+    const CaseSpec shrunk = shrink(failure->spec, options.shrink_budget,
+                                   &shrunk_reason, &result.engine_runs);
+    result.shrunk = Failure{shrunk, shrunk_reason};
+    return result;
+  }
+  return result;
+}
+
+}  // namespace dpx10::check

@@ -1,0 +1,105 @@
+// dpx10check runner — executes CaseSpecs, verifies invariants, shrinks
+// failures.
+//
+// run_single() is the atom: build the case, install the spec's hooks
+// (schedule perturber, planted bug), run the chosen engine, and verify
+//
+//   * every readable cell equals the serial oracle bit-for-bit (outside
+//     retire mode, EVERY cell must be readable);
+//   * report bookkeeping: vertices/prefinished match the generator, and
+//     the replay law computed == (vertices - prefinished)
+//                            + sum over recoveries of (lost + discarded
+//                                                      + resurrected)
+//     holds exactly for fault-free runs and for crash runs without
+//     prefinished cells;
+//   * recovery-mode accounting: restored_remote only under RestoreRemote,
+//     resurrected only in retire mode, restored_spilled only in spill
+//     mode;
+//   * a place-0 death raises DeadPlaceException (unrecoverable by design).
+//
+// run_case() expands Matrix / Schedules / Crashes specs into Single runs
+// (the crash sweep first runs a fault-free baseline to learn the event
+// count, then kills a place at every K-th event). shrink() greedily
+// minimizes a failing Single spec — dimensions, fan-in, knobs back to
+// defaults, crash index, hook — re-verifying every candidate, so the
+// printed reproducer is close to minimal. fuzz() is the driving loop used
+// by tools/dpx10check and the self-tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "check/gen.h"
+
+namespace dpx10::check {
+
+struct RunOutcome {
+  bool ok = true;
+  std::string reason;            ///< first violated invariant when !ok
+  std::uint64_t sim_events = 0;  ///< SimEngine event count (crash sweeps)
+  std::uint64_t computed = 0;
+};
+
+/// Runs one Single spec and verifies every invariant above. Never throws:
+/// engine/config exceptions become a failed outcome.
+RunOutcome run_single(const CaseSpec& spec);
+
+struct Failure {
+  CaseSpec spec;       ///< the failing SINGLE spec (already expanded)
+  std::string reason;
+};
+
+/// Matrix/Schedules expansion (pure). Single expands to itself; Crashes
+/// is expanded inside run_case (it needs a baseline run first).
+std::vector<CaseSpec> expand_case(const CaseSpec& spec);
+
+/// Expands and runs a spec of any mode; returns the first failing Single
+/// spec, or nullopt if every run passed. `only_engine` filters expanded
+/// runs (the CLI's --engine pin); `runs` accumulates engine invocations.
+std::optional<Failure> run_case(const CaseSpec& spec,
+                                std::optional<EngineKind> only_engine = {},
+                                std::int64_t* runs = nullptr);
+
+/// Greedy shrink of a failing Single spec: repeatedly applies the first
+/// reduction (halve dims, drop fan-in/prefinish, reset knobs to legacy
+/// defaults, halve the crash index, drop the crash/hook) that still fails,
+/// until none applies or `budget` verification runs are spent. Returns the
+/// smallest failing spec found (at worst the input) and stores its failure
+/// reason in `reason`.
+CaseSpec shrink(const CaseSpec& failing, int budget, std::string* reason,
+                std::int64_t* runs = nullptr);
+
+/// The one-line reproducer printed on failure.
+std::string repro_command(const CaseSpec& spec);
+
+struct FuzzOptions {
+  std::int64_t cases = 100;
+  std::uint64_t seed = 1;
+  /// nullopt = mixed (mostly Single, with periodic Matrix / Schedules /
+  /// Crashes cases); set to pin every case to one mode.
+  std::optional<CaseMode> mode;
+  std::optional<EngineKind> engine;  ///< pin the engine under test
+  PlantedBug bug = PlantedBug::None; ///< self-test: plant this bug
+  std::uint64_t bug_salt = 0;        ///< 0 = derive from each case's seed
+  std::int32_t max_dim = 12;         ///< cap drawn heights/widths
+  std::optional<std::int32_t> wedge_ms;  ///< override the wedge timeout
+  int shrink_budget = 200;
+  std::ostream* log = nullptr;       ///< progress / failure narration
+  bool verbose = false;
+};
+
+struct FuzzResult {
+  std::int64_t cases_run = 0;
+  std::int64_t engine_runs = 0;
+  std::optional<Failure> failure;  ///< first failure, as found
+  std::optional<Failure> shrunk;   ///< after shrinking (set iff failure is)
+};
+
+/// Draws and runs `cases` specs from the seed; stops at the first failure,
+/// shrinks it, and returns both the original and the shrunk reproducer.
+FuzzResult fuzz(const FuzzOptions& options);
+
+}  // namespace dpx10::check

@@ -14,6 +14,7 @@
 #include <algorithm>
 
 #include "apgas/dist_array.h"
+#include "check/hooks.h"
 #include "core/app.h"
 #include "core/dag.h"
 #include "core/metrics.h"
@@ -24,6 +25,19 @@
 #include "net/traffic.h"
 
 namespace dpx10::detail {
+
+/// Publish-site value write shared by both engines. This is where a
+/// dpx10check planted MutateValue bug corrupts its hash-selected victims —
+/// one shared site so the mutation-testing self-test exercises the same
+/// code path on both engines. Returns the value actually stored so callers
+/// that reuse the result afterwards (cache seeding, wire sizing) stay
+/// consistent with the cell.
+template <typename T>
+inline T publish_value(Cell<T>& cell, T value, std::int64_t idx) {
+  check::maybe_mutate_value(value, idx);
+  cell.value = value;
+  return value;
+}
 
 /// Next retransmit timeout after one expires: exponential up to the cap,
 /// with +/- backoff_jitter applied from a deterministic [0,1) draw so

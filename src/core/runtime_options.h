@@ -162,6 +162,13 @@ struct RuntimeOptions {
   double snapshot_interval = 0.1;
   std::vector<FaultPlan> faults;  ///< applied in order of at_fraction
   std::uint64_t seed = 42;
+  /// ThreadedEngine wedge (quiescence) detector: if every worker is idle,
+  /// nothing is executing, no recovery pause is in flight, and the finished
+  /// count has not moved for this many wall seconds, the run is declared
+  /// wedged and fails with an InternalError instead of hanging forever — a
+  /// dropped indegree decrement (DAG bug, engine bug, or dpx10check's
+  /// planted mutation) surfaces as a diagnosable failure. 0 disables.
+  double wedge_timeout_s = 10.0;
 
   net::LinkModel link;            ///< SimEngine interconnect
   CostModel cost;                 ///< SimEngine per-operation costs
@@ -187,6 +194,8 @@ struct RuntimeOptions {
             "RuntimeOptions: queue_shards must be >= 0 (0 = per-worker)");
     require(cache_stripes >= 0,
             "RuntimeOptions: cache_stripes must be >= 0 (0 = per-worker)");
+    require(wedge_timeout_s >= 0.0,
+            "RuntimeOptions: wedge_timeout_s must be >= 0 (0 = disabled)");
     for (std::size_t a = 0; a < faults.size(); ++a) {
       faults[a].validate(nplaces);
       for (std::size_t b = a + 1; b < faults.size(); ++b) {
@@ -194,13 +203,24 @@ struct RuntimeOptions {
                 "RuntimeOptions: a place can only die once");
       }
     }
+    // Fraction-based faults fire in at_fraction order, event-based faults in
+    // at_event order; ties within a kind would make the death order (hence
+    // the recovery sequence) ambiguous and are rejected.
     std::stable_sort(faults.begin(), faults.end(),
                      [](const FaultPlan& a, const FaultPlan& b) {
+                       if (a.event_based() != b.event_based()) return !a.event_based();
+                       if (a.event_based()) return a.at_event < b.at_event;
                        return a.at_fraction < b.at_fraction;
                      });
     for (std::size_t a = 1; a < faults.size(); ++a) {
-      require(faults[a].at_fraction != faults[a - 1].at_fraction,
-              "RuntimeOptions: two faults at the same at_fraction");
+      if (faults[a].event_based() != faults[a - 1].event_based()) continue;
+      if (faults[a].event_based()) {
+        require(faults[a].at_event != faults[a - 1].at_event,
+                "RuntimeOptions: two faults at the same at_event");
+      } else {
+        require(faults[a].at_fraction != faults[a - 1].at_fraction,
+                "RuntimeOptions: two faults at the same at_fraction");
+      }
     }
     netfaults.validate(nplaces);
     heartbeat.validate();

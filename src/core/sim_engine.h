@@ -121,12 +121,18 @@ class SimEngine {
                                                         opts_.nplaces);
         gov_spill_ = gov_->spill_on();
       }
-      faults_ = opts_.faults;  // validate() already sorted by at_fraction
+      // Fraction-based faults fire off the finished count (on_done);
+      // event-based faults fire off the event counter at the loop top.
+      // validate() already sorted each kind into firing order.
+      for (const FaultPlan& f : opts_.faults) {
+        (f.event_based() ? event_faults_ : faults_).push_back(f);
+      }
       // The detector (and its heartbeat traffic) only engages when there is
       // something to detect; a fault-free reliable run stays event-for-event
       // identical to the baseline engine.
-      detector_active_ =
-          opts_.heartbeat.enabled && (!faults_.empty() || injector_.enabled());
+      detector_active_ = opts_.heartbeat.enabled &&
+                         (!faults_.empty() || !event_faults_.empty() ||
+                          injector_.enabled());
       // The injector only reports message fates somebody is listening for;
       // an untraced run never pays the observer's lock.
       if (tracer_.counters_on() && injector_.enabled()) {
@@ -156,10 +162,29 @@ class SimEngine {
 
       const bool sampling = tracer_.counters_on();
       while (!done_) {
+        // Event-based faults (dpx10check's crash-point sweep) fire between
+        // events: the place dies just before the at_event-th event is
+        // processed, so every K is a distinct, reproducible crash point.
+        if (next_event_fault_ < event_faults_.size() &&
+            events_processed_ >= event_faults_[next_event_fault_].at_event) {
+          const FaultPlan fault = event_faults_[next_event_fault_];
+          ++next_event_fault_;
+          if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
+            if (detector_active_) {
+              crash_place(fault.place);
+            } else {
+              // Oracle recovery cleared the queue; anything popped now
+              // would be stale, so restart the loop.
+              perform_recovery(fault.place, 0.0);
+              continue;
+            }
+          }
+        }
         check_internal(!queue_.empty(),
                        "SimEngine: event queue drained before completion — "
                        "the DAG is cyclic or a vertex was lost");
         sim::Event ev = queue_.pop();
+        ++events_processed_;
         now_ = ev.time;
         // Gauges are read between events, so sampling observes but never
         // perturbs the virtual timeline.
@@ -322,7 +347,15 @@ class SimEngine {
       if (!pm_.is_alive(p) || crashed_[p]) return;
       while (!pl.ready.empty() && pl.slots.available(now_)) {
         std::int64_t idx;
-        if (opts_.ready_order == ReadyOrder::Lifo) {
+        // dpx10check schedule exploration: an installed hook may pick any
+        // ready vertex, exploring alternative topological orders in
+        // virtual time; -1 keeps the configured ReadyOrder.
+        const std::int64_t pick = check::pick_ready(p, pl.ready.size());
+        if (pick >= 0 && static_cast<std::size_t>(pick) < pl.ready.size()) {
+          const auto it = pl.ready.begin() + static_cast<std::ptrdiff_t>(pick);
+          idx = *it;
+          pl.ready.erase(it);
+        } else if (opts_.ready_order == ReadyOrder::Lifo) {
           idx = pl.ready.back();
           pl.ready.pop_back();
         } else {
@@ -606,7 +639,7 @@ class SimEngine {
       }
 
       T result = app_.compute(id.i, id.j, std::span<const Vertex<T>>(dep_values_));
-      array.cell(idx).value = result;
+      result = detail::publish_value(array.cell(idx), result, idx);
 
       const double compute_s =
           (opts_.cost.compute_ns * app_.compute_cost_units(id) + opts_.cost.framework_ns) *
@@ -680,6 +713,7 @@ class SimEngine {
         for (VertexId a : anti_scratch_) {
           Cell<T>& ac = array.cell(a);
           if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
+          if (check::bug_drops_decrement(idx, array.domain().linearize(a))) continue;
           const std::int32_t a_owner = array.owner_place(a);
           if (a_owner == p) continue;
           CtrlGroup* group = nullptr;
@@ -715,6 +749,9 @@ class SimEngine {
       for (VertexId a : anti_scratch_) {
         Cell<T>& ac = array.cell(a);
         if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
+        // Planted DropDecrement bug (dpx10check self-test): the edge's
+        // decrement vanishes; the consumer can never become ready.
+        if (check::bug_drops_decrement(idx, array.domain().linearize(a))) continue;
         const std::int32_t a_owner = array.owner_place(a);
         double delay = 0.0;
         if (a_owner != p) {
@@ -1088,6 +1125,9 @@ class SimEngine {
     std::vector<FaultPlan> faults_;
     std::vector<std::int64_t> fault_thresholds_;
     std::size_t next_fault_ = 0;
+    std::vector<FaultPlan> event_faults_;
+    std::size_t next_event_fault_ = 0;
+    std::int64_t events_processed_ = 0;
 
     SnapshotVault<T> vault_;
     std::int64_t snapshot_step_ = 0;   // 0 = policy disabled

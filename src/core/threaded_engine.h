@@ -39,7 +39,9 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "apgas/dist_array.h"
@@ -176,9 +178,28 @@ class ThreadedEngine {
       detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
         seed_push(place, idx, 0.0);
       });
-      for (std::size_t f = 0; f < faults_.size(); ++f) {
-        fault_thresholds_.push_back(static_cast<std::int64_t>(
-            faults_[f].at_fraction * static_cast<double>(target_)) + 1);
+      // Arm the fault thresholds on the finished counter. Fraction-based
+      // plans scale with the target; event-based plans (dpx10check's crash
+      // sweep) map the sim's "Nth event" to "N vertices finished" — the
+      // closest deterministic progress point real threads have. The merged
+      // list must be re-sorted: validate() ordered each kind internally,
+      // but a fraction threshold can land between two event thresholds.
+      std::vector<std::pair<std::int64_t, FaultPlan>> armed;
+      armed.reserve(faults_.size());
+      for (const FaultPlan& f : faults_) {
+        const std::int64_t threshold =
+            f.event_based()
+                ? std::max<std::int64_t>(std::int64_t{1}, f.at_event)
+                : static_cast<std::int64_t>(f.at_fraction *
+                                            static_cast<double>(target_)) + 1;
+        armed.emplace_back(threshold, f);
+      }
+      std::stable_sort(armed.begin(), armed.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
+      faults_.clear();
+      for (const auto& [threshold, fault] : armed) {
+        fault_thresholds_.push_back(threshold);
+        faults_.push_back(fault);
       }
       if (opts_.recovery == RecoveryPolicy::PeriodicSnapshot) {
         snapshot_step_ = static_cast<std::int64_t>(
@@ -285,6 +306,10 @@ class ThreadedEngine {
       std::vector<FetchGroup> fetch_groups;
       std::vector<CtrlGroup> ctrl_groups;
       std::vector<std::int64_t> retired_scratch;
+      // Wedge-detector state, worker-local: the finished count last seen
+      // while globally quiescent and the wall time it was first seen.
+      std::int64_t wedge_seen_finished = -1;
+      double wedge_since = 0.0;
 
       while (true) {
         if (done_.load(std::memory_order_acquire)) break;
@@ -297,7 +322,11 @@ class ThreadedEngine {
         my_pr.beats.fetch_add(1, std::memory_order_relaxed);
 
         // Own shard first (uncontended in the common case), then sibling
-        // shards, then — under WorkStealing — other places.
+        // shards, then — under WorkStealing — other places. executing_ is
+        // raised BEFORE the pop so the wedge detector can never observe
+        // "no ready work and nothing executing" while a popped vertex is
+        // in a worker's hand but not yet counted.
+        executing_.fetch_add(1, std::memory_order_acq_rel);
         std::int64_t idx = -1;
         double ready_at = 0.0;
         for (std::size_t s = 0; s < nshards_ && idx < 0; ++s) {
@@ -311,21 +340,28 @@ class ThreadedEngine {
           idx = try_steal(my_place, rng, ready_at);
         }
         if (idx < 0) {
-          std::unique_lock<std::mutex> lk(my_pr.cv_mu);
-          if (my_pr.ready_count.load(std::memory_order_acquire) == 0) {
-            my_pr.idle_waiters.fetch_add(1, std::memory_order_seq_cst);
-            // Re-check after announcing the wait: a push between the first
-            // load and the increment would otherwise skip its notify and
-            // strand us for the full timeout.
-            if (my_pr.ready_count.load(std::memory_order_seq_cst) == 0) {
-              my_pr.cv.wait_for(lk, std::chrono::milliseconds(1));
+          executing_.fetch_sub(1, std::memory_order_acq_rel);
+          {
+            std::unique_lock<std::mutex> lk(my_pr.cv_mu);
+            if (my_pr.ready_count.load(std::memory_order_acquire) == 0) {
+              my_pr.idle_waiters.fetch_add(1, std::memory_order_seq_cst);
+              // Re-check after announcing the wait: a push between the first
+              // load and the increment would otherwise skip its notify and
+              // strand us for the full timeout.
+              if (my_pr.ready_count.load(std::memory_order_seq_cst) == 0) {
+                my_pr.cv.wait_for(lk, std::chrono::milliseconds(1));
+              }
+              my_pr.idle_waiters.fetch_sub(1, std::memory_order_seq_cst);
             }
-            my_pr.idle_waiters.fetch_sub(1, std::memory_order_seq_cst);
           }
+          maybe_report_wedge(wedge_seen_finished, wedge_since);
           continue;
         }
+        check::sync_point(check::SyncPoint::QueuePop, my_place);
+        wedge_seen_finished = -1;
         execute(idx, my_place, worker, ready_at, rng, deps_scratch, anti_scratch,
                 sched_scratch, dep_values, fetch_groups, ctrl_groups, retired_scratch);
+        executing_.fetch_sub(1, std::memory_order_acq_rel);
       }
 
       std::lock_guard<std::mutex> lk(pause_mu_);
@@ -336,6 +372,55 @@ class ThreadedEngine {
     bool pm_alive(std::int32_t place) {
       std::lock_guard<std::mutex> lk(pm_mu_);
       return pm_.is_alive(place);
+    }
+
+    /// Wedge (quiescence) detector, run by idle workers: if NO vertex is
+    /// ready anywhere, NO vertex is executing, no pause/recovery is in
+    /// flight, no crashed-but-undeclared place exists (the monitor owns
+    /// that case), and the finished count stays frozen for a full
+    /// wedge_timeout_s window, the DAG can never finish — a decrement was
+    /// lost (engine bug, broken custom pattern, or dpx10check's planted
+    /// DropDecrement mutation). Fail loudly instead of hanging the run.
+    /// Any observation that breaks quiescence resets the window.
+    void maybe_report_wedge(std::int64_t& seen_finished, double& since) {
+      if (opts_.wedge_timeout_s <= 0.0) return;
+      if (done_.load(std::memory_order_acquire)) return;
+      if (pause_requests_.load(std::memory_order_acquire) > 0 ||
+          coordinating_.load(std::memory_order_acquire) > 0) {
+        seen_finished = -1;
+        return;
+      }
+      if (executing_.load(std::memory_order_acquire) != 0) {
+        seen_finished = -1;
+        return;
+      }
+      std::int64_t total_ready = 0;
+      bool any_crashed = false;
+      for (const auto& p : places_) {
+        total_ready += p->ready_count.load(std::memory_order_acquire);
+        if (p->crashed.load(std::memory_order_acquire)) any_crashed = true;
+      }
+      if (total_ready != 0 || any_crashed) {
+        seen_finished = -1;
+        return;
+      }
+      const std::int64_t fin = finished_.load(std::memory_order_acquire);
+      const double now = stopwatch_.seconds();
+      if (fin != seen_finished) {
+        seen_finished = fin;
+        since = now;
+        return;
+      }
+      if (now - since < opts_.wedge_timeout_s) return;
+      std::lock_guard<std::mutex> lk(recovery_mu_);
+      if (!failure_) {
+        failure_ = std::make_exception_ptr(InternalError(
+            "ThreadedEngine: scheduler wedged — " + std::to_string(target_ - fin) +
+            " vertices unfinished with no ready or executing work for " +
+            std::to_string(opts_.wedge_timeout_s) +
+            "s (an anti-dependency decrement was lost or the DAG is cyclic)"));
+      }
+      announce_done();
     }
 
     /// Pops one vertex from `shard`. `owner_end` pops the end the shard's
@@ -402,6 +487,7 @@ class ThreadedEngine {
     /// other places round-robin across shards to spread the load.
     void push_ready(std::int32_t place, std::int64_t idx, std::int32_t pusher_place,
                     std::int32_t pusher_local) {
+      check::sync_point(check::SyncPoint::QueuePush, place);
       PlaceRt& pr = *places_[static_cast<std::size_t>(place)];
       const std::size_t s =
           (pusher_place == place && pusher_local >= 0)
@@ -509,7 +595,9 @@ class ThreadedEngine {
         if (owner == place) {
           read_dep_value(array, d, value);
           ++local_reads;
-        } else if (opts_.cache_capacity != 0 && pr.cache.get(d, value)) {
+        } else if (opts_.cache_capacity != 0 &&
+                   (check::sync_point(check::SyncPoint::CacheGet, place),
+                    pr.cache.get(d, value))) {
           ++hits;
         } else {
           read_dep_value(array, d, value);
@@ -533,7 +621,10 @@ class ThreadedEngine {
                          value_wire_bytes(value));
             lossy_fetch(owner, net::MessageKind::FetchRequest, net::kControlPayloadBytes);
           }
-          if (opts_.cache_capacity != 0) pr.cache.put(d, value);
+          if (opts_.cache_capacity != 0) {
+            check::sync_point(check::SyncPoint::CachePut, place);
+            pr.cache.put(d, value);
+          }
         }
         dep_values.push_back(Vertex<T>{d, value});
       }
@@ -555,12 +646,13 @@ class ThreadedEngine {
       T result = app_.compute(id.i, id.j, std::span<const Vertex<T>>(dep_values));
 
       Cell<T>& cell = array.cell(idx);
-      cell.value = result;
+      result = detail::publish_value(cell, result, idx);
       const std::int32_t owner = array.owner_place(id);
       if (owner != place) {
         book_.record(place, owner, net::MessageKind::ResultWriteback, value_wire_bytes(result));
         pr.stats.executed_nonlocal.fetch_add(1, std::memory_order_relaxed);
       }
+      check::sync_point(check::SyncPoint::Publish, place);
       cell.store_state(CellState::Finished, std::memory_order_release);
       pr.stats.computed.fetch_add(1, std::memory_order_relaxed);
       computed_total_.fetch_add(1, std::memory_order_relaxed);
@@ -598,6 +690,7 @@ class ThreadedEngine {
         for (VertexId a : anti_scratch) {
           Cell<T>& ac = array.cell(a);
           if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
+          if (check::bug_drops_decrement(idx, domain.linearize(a))) continue;
           const std::int32_t a_owner = array.owner_place(a);
           if (a_owner == place) continue;
           CtrlGroup* g = nullptr;
@@ -627,6 +720,11 @@ class ThreadedEngine {
       for (VertexId a : anti_scratch) {
         Cell<T>& ac = array.cell(a);
         if (ac.load_state(std::memory_order_relaxed) == CellState::Prefinished) continue;
+        // Planted DropDecrement bug (dpx10check self-test): the edge's
+        // decrement vanishes; the wedge detector must convert the
+        // resulting hang into a diagnosable InternalError.
+        if (check::bug_drops_decrement(idx, domain.linearize(a))) continue;
+        check::sync_point(check::SyncPoint::Decrement, place);
         const std::int32_t a_owner = array.owner_place(a);
         if (a_owner != place && !opts_.coalescing) {
           book_.record(place, a_owner, net::MessageKind::IndegreeControl,
@@ -1087,6 +1185,9 @@ class ThreadedEngine {
     std::int64_t target_ = 0;
     std::atomic<std::int64_t> finished_{0};
     std::atomic<std::uint64_t> computed_total_{0};
+    /// Vertices currently in a worker's hand (raised before the pop
+    /// attempt) — the wedge detector's "nothing in flight" witness.
+    std::atomic<std::int64_t> executing_{0};
     std::atomic<bool> done_{false};
 
     std::mutex pause_mu_;

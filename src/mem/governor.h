@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "apgas/dist_array.h"
+#include "check/hooks.h"
 #include "common/error.h"
 #include "core/dag.h"
 #include "core/value_traits.h"
@@ -129,6 +130,7 @@ class MemoryGovernor {
   void on_publish(DistArray<T>& array, std::int64_t idx,
                   std::vector<std::int64_t>* evicted = nullptr) {
     PerPlace& place = place_of(array, idx);
+    check::sync_point(check::SyncPoint::GovernorPublish, owner_of(array, idx));
     std::lock_guard<std::mutex> lock(place.mu);
     account_live_locked(place, value_wire_bytes(array.cell(idx).value));
     place.fifo.push_back(idx);
@@ -162,6 +164,7 @@ class MemoryGovernor {
                    "anti_dependencies() is not the dual of dependencies()");
     if (left != 0) return false;
     PerPlace& place = place_of(array, dep_idx);
+    check::sync_point(check::SyncPoint::GovernorConsume, owner_of(array, dep_idx));
     std::lock_guard<std::mutex> lock(place.mu);
     if (cell.load_state(std::memory_order_relaxed) != CellState::Finished) {
       return false;  // pressure spill got there first
@@ -248,9 +251,11 @@ class MemoryGovernor {
   };
 
   PerPlace& place_of(const DistArray<T>& array, std::int64_t idx) const {
-    const std::int32_t owner =
-        array.owner_place(array.domain().delinearize(idx));
-    return *places_[static_cast<std::size_t>(owner)];
+    return *places_[static_cast<std::size_t>(owner_of(array, idx))];
+  }
+
+  static std::int32_t owner_of(const DistArray<T>& array, std::int64_t idx) {
+    return array.owner_place(array.domain().delinearize(idx));
   }
 
   void account_live_locked(PerPlace& place, std::uint64_t bytes) {

@@ -1,0 +1,224 @@
+// dpx10check generator unit tests: CaseSpec round-tripping and
+// normalization, the randomized DAG's structural guarantees, and the Kahn
+// oracle against an independent serial evaluation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "check/gen.h"
+#include "common/error.h"
+
+namespace dpx10::check {
+namespace {
+
+TEST(CheckGen, DefaultSpecEncodesEmpty) {
+  EXPECT_EQ(CaseSpec{}.encode(), "");
+  const CaseSpec decoded = CaseSpec::decode("");
+  EXPECT_EQ(decoded.encode(), "");
+}
+
+TEST(CheckGen, EncodeDecodeRoundTripsDrawnSpecs) {
+  Xoshiro256 rng(7);
+  for (int k = 0; k < 200; ++k) {
+    const CaseSpec spec = CaseSpec::draw(rng);
+    const CaseSpec decoded = CaseSpec::decode(spec.encode());
+    EXPECT_EQ(decoded.encode(), spec.encode()) << "case " << k;
+  }
+}
+
+TEST(CheckGen, EncodeDecodeRoundTripsDecorations) {
+  CaseSpec spec;
+  spec.mode = CaseMode::Crashes;
+  spec.engine = EngineKind::Threaded;
+  spec.pattern = "interval";
+  spec.height = 6;
+  spec.crash_place = 1;
+  spec.crash_event = 17;
+  spec.hook_seed = 99;
+  spec.wedge_ms = 500;
+  spec.bug = PlantedBug::DropDecrement;
+  spec.bug_salt = 5;
+  spec.normalize();
+  const CaseSpec decoded = CaseSpec::decode(spec.encode());
+  EXPECT_EQ(decoded.encode(), spec.encode());
+  EXPECT_EQ(decoded.crash_event, 17);
+  EXPECT_EQ(decoded.bug, PlantedBug::DropDecrement);
+}
+
+TEST(CheckGen, DecodeRejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(CaseSpec::decode("bogus=1"), ConfigError);
+  EXPECT_THROW(CaseSpec::decode("h=notanumber"), ConfigError);
+  EXPECT_THROW(CaseSpec::decode("engine=quantum"), ConfigError);
+  EXPECT_THROW(CaseSpec::decode("justtext"), ConfigError);
+}
+
+TEST(CheckGen, NormalizeKeepsSquareOnlyPatternsSquare) {
+  CaseSpec spec;
+  spec.pattern = "interval";
+  spec.height = 9;
+  spec.width = 4;
+  spec.normalize();
+  EXPECT_EQ(spec.width, 9);
+
+  spec.pattern = "random-upper";
+  spec.height = 5;
+  spec.width = 11;
+  spec.normalize();
+  EXPECT_EQ(spec.width, 5);
+}
+
+TEST(CheckGen, NormalizeWidensBandAndClampsCrashFields) {
+  CaseSpec spec;
+  spec.pattern = "random-banded";
+  spec.height = 10;
+  spec.width = 4;
+  spec.band = 1;  // narrower than height - width: rows would be empty
+  spec.normalize();
+  EXPECT_GE(spec.band, 6);
+  EXPECT_NO_THROW(spec.make_domain());
+
+  CaseSpec crash;
+  crash.nplaces = 1;
+  crash.crash_place = 7;
+  crash.crash_event = -5;
+  crash.normalize();
+  EXPECT_GE(crash.nplaces, 2);        // cannot kill every place
+  EXPECT_LT(crash.crash_place, crash.nplaces);
+  EXPECT_GE(crash.crash_event, 1);
+
+  CaseSpec no_crash;
+  no_crash.crash_place = -1;
+  no_crash.crash_event = 40;
+  no_crash.normalize();
+  EXPECT_EQ(no_crash.crash_event, -1);
+}
+
+TEST(CheckGen, DrawIsDeterministicInTheRngState) {
+  Xoshiro256 a(42), b(42);
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_EQ(CaseSpec::draw(a).encode(), CaseSpec::draw(b).encode());
+  }
+}
+
+TEST(CheckGen, RandomCheckDagIsAcyclicAndDual) {
+  CaseSpec spec;
+  spec.pattern = "random-upper";
+  spec.height = 9;
+  spec.seed = 1234;
+  spec.max_preds = 5;
+  spec.normalize();
+  const RandomCheckDag dag(spec.make_domain(), spec.seed, spec.max_preds);
+  const DagDomain& dom = dag.domain();
+  std::vector<VertexId> deps, antis;
+  for (std::int64_t idx = 0; idx < dom.size(); ++idx) {
+    const VertexId v = dom.delinearize(idx);
+    deps.clear();
+    dag.dependencies(v, deps);
+    for (VertexId d : deps) {
+      EXPECT_LT(dom.linearize(d), idx);  // acyclic: strictly earlier
+      antis.clear();
+      dag.anti_dependencies(d, antis);
+      EXPECT_NE(std::find(antis.begin(), antis.end(), v), antis.end())
+          << "duality broken at idx " << idx;
+    }
+  }
+}
+
+TEST(CheckGen, OracleMatchesIndependentLinearSweepOnRect) {
+  // For the "random" (rect) generator, predecessors have strictly smaller
+  // linear indices, so a plain left-to-right sweep is also topological —
+  // an evaluation of the recurrence that shares no code with the Kahn
+  // worklist in build_case.
+  CaseSpec spec;
+  spec.pattern = "random";
+  spec.height = 10;
+  spec.width = 7;
+  spec.seed = 99;
+  spec.prefin = 200;
+  spec.normalize();
+  const GeneratedCase built = build_case(spec);
+  const DagDomain& dom = built.dag->domain();
+  std::vector<std::uint64_t> sweep(static_cast<std::size_t>(dom.size()), 0);
+  std::vector<VertexId> deps;
+  for (std::int64_t idx = 0; idx < dom.size(); ++idx) {
+    const VertexId id = dom.delinearize(idx);
+    if (CheckApp::is_prefinished(dom, spec.seed, spec.prefin, id)) {
+      sweep[static_cast<std::size_t>(idx)] =
+          CheckApp::prefinish_value(spec.seed, id);
+      continue;
+    }
+    std::uint64_t value = CheckApp::vertex_hash(spec.seed, id);
+    deps.clear();
+    built.dag->dependencies(id, deps);
+    for (VertexId d : deps) {
+      value += sweep[static_cast<std::size_t>(dom.linearize(d))];
+    }
+    sweep[static_cast<std::size_t>(idx)] = value;
+  }
+  EXPECT_EQ(built.oracle, sweep);
+}
+
+TEST(CheckGen, OracleHandlesIntervalPatternsWhereLinearOrderIsNotTopological) {
+  CaseSpec spec;
+  spec.pattern = "interval";
+  spec.height = 8;
+  spec.seed = 5;
+  spec.normalize();
+  const GeneratedCase built = build_case(spec);
+  EXPECT_EQ(built.vertices, spec.vertex_count());
+  // Spot-check the recurrence at a sink: its value must fold every dep.
+  const DagDomain& dom = built.dag->domain();
+  std::vector<VertexId> deps;
+  const VertexId sink = dom.delinearize(dom.size() - 1);
+  built.dag->dependencies(sink, deps);
+  std::uint64_t expect = CheckApp::vertex_hash(spec.seed, sink);
+  for (VertexId d : deps) {
+    expect += built.oracle[static_cast<std::size_t>(dom.linearize(d))];
+  }
+  EXPECT_EQ(built.oracle[static_cast<std::size_t>(dom.size() - 1)], expect);
+}
+
+TEST(CheckGen, PrefinishNeverSelectsTheLastIndexAndCountsMatch) {
+  CaseSpec spec;
+  spec.pattern = "random";
+  spec.height = 12;
+  spec.width = 12;
+  spec.seed = 77;
+  spec.prefin = 450;
+  spec.normalize();
+  const GeneratedCase built = build_case(spec);
+  const DagDomain& dom = built.dag->domain();
+  EXPECT_FALSE(CheckApp::is_prefinished(dom, spec.seed, spec.prefin,
+                                        dom.delinearize(dom.size() - 1)));
+  std::int64_t count = 0;
+  for (std::int64_t idx = 0; idx < dom.size(); ++idx) {
+    if (CheckApp::is_prefinished(dom, spec.seed, spec.prefin,
+                                 dom.delinearize(idx))) {
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, built.prefinished);
+  EXPECT_GT(count, 0);  // 45% of 144 cells — statistically certain
+  EXPECT_LT(count, dom.size());
+}
+
+TEST(CheckGen, BuildCaseCoversEveryShippedPattern) {
+  for (const std::string& name :
+       {std::string("left-top"), std::string("left-top-diag"),
+        std::string("left"), std::string("interval"), std::string("top"),
+        std::string("diag"), std::string("pyramid"),
+        std::string("full-prefix"), std::string("interval-prefix")}) {
+    CaseSpec spec;
+    spec.pattern = name;
+    spec.height = 6;
+    spec.width = 6;
+    spec.seed = 3;
+    spec.normalize();
+    const GeneratedCase built = build_case(spec);
+    EXPECT_EQ(built.vertices, built.dag->domain().size()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dpx10::check

@@ -1,0 +1,213 @@
+// dpx10check runner tests: single-run differential verification on both
+// engines, knob-matrix / schedule / crash-sweep expansion, event-indexed
+// fault plans, and the reproducer plumbing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "check/perturb.h"
+#include "check/runner.h"
+
+namespace dpx10::check {
+namespace {
+
+TEST(CheckHarness, DefaultSpecPassesOnBothEngines) {
+  for (EngineKind engine : {EngineKind::Sim, EngineKind::Threaded}) {
+    CaseSpec spec;
+    spec.engine = engine;
+    const RunOutcome outcome = run_single(spec);
+    EXPECT_TRUE(outcome.ok) << outcome.reason;
+    EXPECT_EQ(outcome.computed, 64u);  // 8x8 rect, nothing prefinished
+  }
+}
+
+TEST(CheckHarness, EveryPatternPassesOnBothEngines) {
+  for (const char* pattern :
+       {"left-top", "left-top-diag", "left", "interval", "top", "diag",
+        "pyramid", "full-prefix", "interval-prefix", "random",
+        "random-banded", "random-upper"}) {
+    for (EngineKind engine : {EngineKind::Sim, EngineKind::Threaded}) {
+      CaseSpec spec;
+      spec.pattern = pattern;
+      spec.height = 6;
+      spec.width = 7;
+      spec.seed = 11;
+      spec.engine = engine;
+      spec.normalize();
+      const RunOutcome outcome = run_single(spec);
+      EXPECT_TRUE(outcome.ok) << pattern << "/" << engine_kind_name(engine)
+                              << ": " << outcome.reason;
+    }
+  }
+}
+
+TEST(CheckHarness, PrefinishedCellsKeepTheReplayLawExact) {
+  CaseSpec spec;
+  spec.prefin = 300;
+  spec.seed = 21;
+  spec.normalize();
+  const RunOutcome outcome = run_single(spec);
+  EXPECT_TRUE(outcome.ok) << outcome.reason;
+  EXPECT_LT(outcome.computed, 64u);  // prefinished cells never compute
+}
+
+TEST(CheckHarness, MatrixExpansionCoversTheKnobCross) {
+  CaseSpec spec;
+  spec.mode = CaseMode::Matrix;
+  spec.seed = 9;
+  const std::vector<CaseSpec> expanded = expand_case(spec);
+  ASSERT_EQ(expanded.size(), 30u);  // 24 sim cross + 6 threaded slice
+  std::set<std::string> sim_combos;
+  int threaded = 0;
+  for (const CaseSpec& s : expanded) {
+    EXPECT_EQ(s.mode, CaseMode::Single);
+    EXPECT_EQ(s.crash_place, -1);
+    if (s.engine == EngineKind::Sim) {
+      sim_combos.insert(std::string(scheduling_name(s.scheduling)) + "/" +
+                        std::to_string(s.coalescing) + "/" +
+                        std::string(mem::retirement_mode_name(s.retirement)));
+    } else {
+      ++threaded;
+    }
+  }
+  EXPECT_EQ(sim_combos.size(), 24u);  // full scheduling x coal x retirement
+  EXPECT_EQ(threaded, 6);
+}
+
+TEST(CheckHarness, SchedulesExpansionSeedsBothEngines) {
+  CaseSpec spec;
+  spec.mode = CaseMode::Schedules;
+  spec.seed = 31;
+  const std::vector<CaseSpec> expanded = expand_case(spec);
+  ASSERT_EQ(expanded.size(), 6u);
+  int sim = 0, threaded = 0;
+  for (const CaseSpec& s : expanded) {
+    EXPECT_NE(s.hook_seed, 0u);
+    (s.engine == EngineKind::Sim ? sim : threaded)++;
+  }
+  EXPECT_EQ(sim, 3);
+  EXPECT_EQ(threaded, 3);
+}
+
+TEST(CheckHarness, MatrixAndSchedulesCasesPass) {
+  for (CaseMode mode : {CaseMode::Matrix, CaseMode::Schedules}) {
+    CaseSpec spec;
+    spec.mode = mode;
+    spec.height = 6;
+    spec.width = 6;
+    spec.seed = 17;
+    spec.normalize();
+    std::int64_t runs = 0;
+    const std::optional<Failure> failure = run_case(spec, {}, &runs);
+    EXPECT_FALSE(failure.has_value())
+        << case_mode_name(mode) << ": " << failure->reason;
+    EXPECT_GT(runs, 0);
+  }
+}
+
+TEST(CheckHarness, SimEventFaultFiresAndReplaysWork) {
+  // Deterministic: the simulator kills place 2 before its 50th event; the
+  // recovery recomputes the dead place's finished work, so the compute
+  // count exceeds the 64-vertex domain while values still match the oracle.
+  const CaseSpec spec =
+      CaseSpec::decode("engine=sim,seed=5,nplaces=4,cplace=2,cevent=50");
+  const RunOutcome outcome = run_single(spec);
+  EXPECT_TRUE(outcome.ok) << outcome.reason;
+  EXPECT_GT(outcome.computed, 64u);
+}
+
+TEST(CheckHarness, ThreadedEventFaultFiresAtTheFinishedThreshold) {
+  const CaseSpec spec =
+      CaseSpec::decode("engine=threaded,seed=5,nplaces=4,cplace=2,cevent=60");
+  const RunOutcome outcome = run_single(spec);
+  EXPECT_TRUE(outcome.ok) << outcome.reason;
+  EXPECT_GE(outcome.computed, 64u);
+}
+
+TEST(CheckHarness, PlaceZeroDeathIsExpectedToRaise) {
+  for (EngineKind engine : {EngineKind::Sim, EngineKind::Threaded}) {
+    CaseSpec spec;
+    spec.engine = engine;
+    spec.nplaces = 4;
+    spec.crash_place = 0;
+    spec.crash_event = 10;
+    spec.seed = 5;
+    spec.normalize();
+    const RunOutcome outcome = run_single(spec);
+    EXPECT_TRUE(outcome.ok) << engine_kind_name(engine) << ": "
+                            << outcome.reason;
+  }
+}
+
+TEST(CheckHarness, CrashSweepPassesOnBothEngines) {
+  for (EngineKind engine : {EngineKind::Sim, EngineKind::Threaded}) {
+    CaseSpec spec;
+    spec.mode = CaseMode::Crashes;
+    spec.engine = engine;
+    spec.height = 6;
+    spec.width = 6;
+    spec.nplaces = 3;
+    spec.seed = 41;
+    spec.normalize();
+    std::int64_t runs = 0;
+    const std::optional<Failure> failure = run_case(spec, {}, &runs);
+    EXPECT_FALSE(failure.has_value())
+        << engine_kind_name(engine) << ": " << failure->reason;
+    EXPECT_GT(runs, 2);  // baseline + several crash points
+  }
+}
+
+TEST(CheckHarness, SimShufflerExploresButStaysDeterministic) {
+  CaseSpec spec;
+  spec.hook_seed = 123;
+  spec.seed = 7;
+  const RunOutcome first = run_single(spec);
+  const RunOutcome second = run_single(spec);
+  EXPECT_TRUE(first.ok) << first.reason;
+  // Virtual time: the same shuffle seed replays the same schedule exactly.
+  EXPECT_EQ(first.sim_events, second.sim_events);
+
+  CaseSpec other = spec;
+  other.hook_seed = 456;
+  EXPECT_TRUE(run_single(other).ok);
+}
+
+TEST(CheckHarness, PctPerturberKeepsTheThreadedEngineCorrect) {
+  for (std::uint64_t hook_seed : {1ull, 2ull, 3ull}) {
+    CaseSpec spec;
+    spec.engine = EngineKind::Threaded;
+    spec.hook_seed = hook_seed;
+    spec.nthreads = 3;
+    spec.seed = 13;
+    const RunOutcome outcome = run_single(spec);
+    EXPECT_TRUE(outcome.ok) << "hook_seed " << hook_seed << ": "
+                            << outcome.reason;
+  }
+}
+
+TEST(CheckHarness, ReproCommandRoundTrips) {
+  CaseSpec spec;
+  spec.engine = EngineKind::Threaded;
+  spec.height = 5;
+  spec.normalize();
+  const std::string command = repro_command(spec);
+  EXPECT_NE(command.find("dpx10check --repro='"), std::string::npos);
+  const std::size_t open = command.find('\'');
+  const std::size_t close = command.rfind('\'');
+  const CaseSpec decoded =
+      CaseSpec::decode(command.substr(open + 1, close - open - 1));
+  EXPECT_EQ(decoded.encode(), spec.encode());
+}
+
+TEST(CheckHarness, FuzzRunsCleanOnASmallBudget) {
+  FuzzOptions options;
+  options.cases = 40;
+  options.seed = 2026;
+  const FuzzResult result = fuzz(options);
+  EXPECT_EQ(result.cases_run, 40);
+  EXPECT_FALSE(result.failure.has_value()) << result.failure->reason;
+  EXPECT_GE(result.engine_runs, 40);
+}
+
+}  // namespace
+}  // namespace dpx10::check

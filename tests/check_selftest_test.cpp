@@ -1,0 +1,99 @@
+// dpx10check self-test (mutation-testing guard): plant a hidden bug in the
+// engines — flip a bit of a published value, or silently drop an
+// anti-dependency indegree decrement — and assert the harness (a) catches
+// it within a small number of cases, (b) shrinks the failure to a <= 64
+// vertex reproducer that still fails. If the harness ever loses its teeth,
+// these tests rust shut before a real engine bug slips through.
+#include <gtest/gtest.h>
+
+#include "check/runner.h"
+
+namespace dpx10::check {
+namespace {
+
+constexpr int kMaxCases = 50;
+constexpr std::int64_t kMaxShrunkVertices = 64;
+
+FuzzOptions planted(PlantedBug bug, EngineKind engine) {
+  FuzzOptions options;
+  options.cases = kMaxCases;
+  options.seed = 3;
+  options.engine = engine;
+  options.bug = bug;
+  options.shrink_budget = 60;
+  options.wedge_ms = 300;  // wedging candidates cost this much wall time
+  return options;
+}
+
+void expect_caught_and_shrunk(const FuzzResult& result) {
+  ASSERT_TRUE(result.failure.has_value())
+      << "planted bug survived " << result.cases_run << " cases";
+  ASSERT_TRUE(result.shrunk.has_value());
+  const Failure& shrunk = *result.shrunk;
+  EXPECT_LE(shrunk.spec.vertex_count(), kMaxShrunkVertices);
+  // The reproducer is self-contained: replaying the shrunk spec (which
+  // carries the planted bug and its salt) must still fail.
+  const RunOutcome replay = run_single(shrunk.spec);
+  EXPECT_FALSE(replay.ok);
+}
+
+TEST(CheckSelfTest, MutatedValueIsCaughtOnTheSimEngine) {
+  const FuzzResult result = fuzz(planted(PlantedBug::MutateValue, EngineKind::Sim));
+  expect_caught_and_shrunk(result);
+  EXPECT_NE(result.failure->reason.find("mismatch"), std::string::npos)
+      << result.failure->reason;
+}
+
+TEST(CheckSelfTest, MutatedValueIsCaughtOnTheThreadedEngine) {
+  const FuzzResult result =
+      fuzz(planted(PlantedBug::MutateValue, EngineKind::Threaded));
+  expect_caught_and_shrunk(result);
+}
+
+TEST(CheckSelfTest, DroppedDecrementDrainsTheSimEventQueue) {
+  const FuzzResult result =
+      fuzz(planted(PlantedBug::DropDecrement, EngineKind::Sim));
+  expect_caught_and_shrunk(result);
+  EXPECT_NE(result.failure->reason.find("drained"), std::string::npos)
+      << result.failure->reason;
+}
+
+TEST(CheckSelfTest, DroppedDecrementWedgesTheThreadedEngine) {
+  // The threaded engine cannot notice a lost decrement directly — the run
+  // just stops making progress. The wedge (quiescence) detector must turn
+  // that hang into a diagnosable InternalError within the spec's timeout.
+  const FuzzResult result =
+      fuzz(planted(PlantedBug::DropDecrement, EngineKind::Threaded));
+  expect_caught_and_shrunk(result);
+  EXPECT_NE(result.failure->reason.find("wedged"), std::string::npos)
+      << result.failure->reason;
+}
+
+TEST(CheckSelfTest, NoPlantedBugMeansNoFailure) {
+  FuzzOptions options;
+  options.cases = kMaxCases;
+  options.seed = 3;  // the same seed the planted runs start from
+  const FuzzResult result = fuzz(options);
+  EXPECT_FALSE(result.failure.has_value()) << result.failure->reason;
+}
+
+TEST(CheckSelfTest, WedgeDetectorStaysQuietOnHealthyRuns) {
+  // A healthy threaded run with a very short wedge timeout must NOT be
+  // reported as wedged — idle moments while work is executing elsewhere
+  // are part of normal operation.
+  CaseSpec spec;
+  spec.engine = EngineKind::Threaded;
+  spec.height = 10;
+  spec.width = 10;
+  spec.nthreads = 3;
+  spec.wedge_ms = 50;
+  spec.seed = 77;
+  spec.normalize();
+  for (int k = 0; k < 5; ++k) {
+    const RunOutcome outcome = run_single(spec);
+    EXPECT_TRUE(outcome.ok) << outcome.reason;
+  }
+}
+
+}  // namespace
+}  // namespace dpx10::check

@@ -1,0 +1,50 @@
+// Regression corpus: every line of tests/repro/cases.txt is an encoded
+// dpx10check CaseSpec that once exercised a bug or a hard-won edge case
+// (crash-at-place-0, spill pressure during recovery, snapshot rollback
+// under coalescing, ...). Each must pass forever. When dpx10check finds a
+// failure, its shrunk reproducer line gets appended here — see
+// docs/TESTING.md for the workflow.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "check/runner.h"
+
+#ifndef DPX10_REPRO_DIR
+#error "DPX10_REPRO_DIR must point at tests/repro"
+#endif
+
+namespace dpx10::check {
+namespace {
+
+std::vector<std::string> load_corpus() {
+  std::ifstream in(std::string(DPX10_REPRO_DIR) + "/cases.txt");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(ReproCorpus, CorpusExistsAndIsNonEmpty) {
+  EXPECT_FALSE(load_corpus().empty())
+      << "tests/repro/cases.txt missing or empty";
+}
+
+TEST(ReproCorpus, EveryCaseStillPasses) {
+  for (const std::string& line : load_corpus()) {
+    SCOPED_TRACE(line);
+    CaseSpec spec;
+    ASSERT_NO_THROW(spec = CaseSpec::decode(line));
+    const RunOutcome outcome = run_single(spec);
+    EXPECT_TRUE(outcome.ok) << outcome.reason << "\n  repro: "
+                            << repro_command(spec);
+  }
+}
+
+}  // namespace
+}  // namespace dpx10::check

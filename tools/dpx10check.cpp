@@ -1,0 +1,148 @@
+// dpx10check — randomized differential checker for the DPX10 engines.
+//
+// Generates random DP applications (random dimensions and band shapes over
+// the built-in pattern library, plus randomized custom DAGs) whose
+// recurrence is a commutative hash fold, so a serial Kahn evaluation is a
+// cheap bit-exact oracle. Each case runs through a knob matrix of both
+// engines, seeded schedule exploration (a PCT-style perturber on the
+// threaded engine, dispatch shuffling on the simulator) and crash-point
+// sweeps (kill a place at every K-th event), asserting value equality and
+// the recovery accounting laws. On failure the case is shrunk to a minimal
+// reproducer and a one-line repro command is printed.
+//
+//   ./build/tools/dpx10check --cases=10000 --seed=1
+//   ./build/tools/dpx10check --cases=500 --mode=crashes --engine=sim
+//   ./build/tools/dpx10check --repro='seed=7,pattern=interval,h=6,...'
+//   ./build/tools/dpx10check --cases=200 --planted-bug=mutate-value
+//
+// Exit status: 0 = every case passed (or the repro no longer fails),
+// 1 = a failing case was found (reproducer printed), 2 = bad usage.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "check/runner.h"
+#include "common/error.h"
+#include "common/options.h"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: dpx10check [--cases=N] [--seed=S] [--mode=M] [--engine=E]\n"
+         "                  [--max-dim=D] [--shrink-budget=N] [--wedge-ms=MS]\n"
+         "                  [--planted-bug=B] [--bug-salt=S] [--fail-out=PATH]\n"
+         "                  [--repro=SPEC] [--verbose]\n"
+         "  --cases=N         number of random cases to run (default 100)\n"
+         "  --seed=S          master seed (default 1)\n"
+         "  --mode=M          single|matrix|schedules|crashes; default mixed\n"
+         "  --engine=E        sim|threaded; default both\n"
+         "  --max-dim=D       cap on random heights/widths (default 12)\n"
+         "  --shrink-budget=N max verification runs while shrinking (200)\n"
+         "  --wedge-ms=MS     threaded wedge-detector timeout override\n"
+         "  --planted-bug=B   none|mutate-value|drop-decrement (self-test)\n"
+         "  --bug-salt=S      fix the planted bug's victim selection\n"
+         "  --fail-out=PATH   write the shrunk failing spec to PATH\n"
+         "  --repro=SPEC      run one encoded case instead of fuzzing\n";
+}
+
+int report_failure(const dpx10::check::FuzzResult& result,
+                   const std::string& fail_out) {
+  using dpx10::check::repro_command;
+  const auto& found = *result.failure;
+  const auto& shrunk = *result.shrunk;
+  std::cerr << "dpx10check: FAILED after " << result.cases_run << " cases ("
+            << result.engine_runs << " engine runs)\n"
+            << "  reason (original): " << found.reason << "\n"
+            << "  reason (shrunk):   " << shrunk.reason << "\n"
+            << "  shrunk to " << shrunk.spec.vertex_count() << " vertices\n"
+            << "  repro: " << repro_command(shrunk.spec) << "\n";
+  if (!fail_out.empty()) {
+    std::ofstream out(fail_out);
+    out << shrunk.spec.encode() << "\n" << shrunk.reason << "\n"
+        << "# original: " << found.spec.encode() << "\n";
+    std::cerr << "  spec written to " << fail_out << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpx10;
+  try {
+    Options cli(argc, argv);
+    if (cli.has("help")) {
+      usage(std::cout);
+      return 0;
+    }
+
+    if (cli.has("repro")) {
+      check::CaseSpec spec = check::CaseSpec::decode(cli.get("repro", ""));
+      const check::RunOutcome outcome = check::run_single(spec);
+      if (outcome.ok) {
+        std::cout << "dpx10check: repro PASSED (" << outcome.computed
+                  << " vertices computed)\n";
+        return 0;
+      }
+      std::cerr << "dpx10check: repro FAILED: " << outcome.reason << "\n"
+                << "  " << check::repro_command(spec) << "\n";
+      return 1;
+    }
+
+    check::FuzzOptions fuzz;
+    fuzz.cases = cli.get_int("cases", 100);
+    fuzz.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    fuzz.max_dim = static_cast<std::int32_t>(cli.get_int("max-dim", 12));
+    fuzz.shrink_budget = static_cast<int>(cli.get_int("shrink-budget", 200));
+    fuzz.bug_salt = static_cast<std::uint64_t>(cli.get_int("bug-salt", 0));
+    fuzz.verbose = cli.has("verbose");
+    fuzz.log = &std::cerr;
+    if (cli.has("wedge-ms")) {
+      fuzz.wedge_ms = static_cast<std::int32_t>(cli.get_int("wedge-ms", 10000));
+    }
+    if (cli.has("mode")) {
+      check::CaseMode mode;
+      if (!check::parse_case_mode(cli.get("mode", ""), mode)) {
+        std::cerr << "dpx10check: unknown --mode\n";
+        usage(std::cerr);
+        return 2;
+      }
+      fuzz.mode = mode;
+    }
+    if (cli.has("engine")) {
+      check::EngineKind engine;
+      if (!check::parse_engine_kind(cli.get("engine", ""), engine)) {
+        std::cerr << "dpx10check: unknown --engine\n";
+        usage(std::cerr);
+        return 2;
+      }
+      fuzz.engine = engine;
+    }
+    if (cli.has("planted-bug")) {
+      const std::string bug = cli.get("planted-bug", "none");
+      if (bug == "none") {
+        fuzz.bug = check::PlantedBug::None;
+      } else if (bug == "mutate-value") {
+        fuzz.bug = check::PlantedBug::MutateValue;
+      } else if (bug == "drop-decrement") {
+        fuzz.bug = check::PlantedBug::DropDecrement;
+      } else {
+        std::cerr << "dpx10check: unknown --planted-bug\n";
+        usage(std::cerr);
+        return 2;
+      }
+    }
+
+    const check::FuzzResult result = check::fuzz(fuzz);
+    if (result.failure) {
+      return report_failure(result, cli.get("fail-out", ""));
+    }
+    std::cout << "dpx10check: OK — " << result.cases_run << " cases, "
+              << result.engine_runs << " engine runs, seed " << fuzz.seed
+              << "\n";
+    return 0;
+  } catch (const Error& ex) {
+    std::cerr << "dpx10check: " << ex.what() << "\n";
+    return 2;
+  }
+}
