@@ -1,0 +1,401 @@
+// Durable checkpoint bundles — the on-disk extension of SnapshotVault.
+//
+// A bundle is one versioned directory `bundle-<seq>` holding a text
+// MANIFEST (progress counters, RNG cursors, per-place census — everything
+// the SimEngine needs to resume a run bit-identically) plus `cells.bin`,
+// the cell-state/value extents encoded with the same trivially-copyable
+// codec the spill path uses (mem::SpillCodec). Commit is atomic: the bundle
+// is staged under `.tmp-<seq>` and renamed into place only after both files
+// are fully written, so a process killed mid-checkpoint leaves either the
+// previous consistent bundle or a garbage temp directory — never a
+// half-written bundle that resume could mistake for truth. Loading walks
+// the bundles newest-first and takes the first one whose manifest sentinel
+// and payload checksum both verify; corruption therefore costs at most one
+// checkpoint interval of progress and can never produce a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apgas/dist_array.h"
+#include "common/error.h"
+#include "core/app.h"
+#include "mem/spill_codec.h"
+
+namespace dpx10::checkpoint {
+
+/// splitmix64-style running fold over a byte stream; used as the bundle
+/// payload checksum. Not cryptographic — it only has to catch truncation
+/// and bit rot, the failure modes of a killed or sick writer.
+inline std::uint64_t fold_bytes(const std::byte* data, std::size_t size,
+                                std::uint64_t h = 0x9e3779b97f4a7c15ULL) {
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+  }
+  return h;
+}
+
+/// The key=value side of a bundle. Values are single lines; doubles are
+/// stored as hexfloats ("%a") so they round-trip bit-exactly — resume
+/// identity depends on it. A parse without the trailing "end" sentinel is
+/// rejected: a truncated manifest must read as "no bundle", never as a
+/// shorter-but-plausible one.
+class Manifest {
+ public:
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+
+  void set(const std::string& key, const std::string& value) {
+    check_internal(key.find('=') == std::string::npos &&
+                       key.find('\n') == std::string::npos,
+                   "Manifest: key must not contain '=' or newline");
+    check_internal(value.find('\n') == std::string::npos,
+                   "Manifest: value must be a single line");
+    kv_[key] = value;
+  }
+  void set_u64(const std::string& key, std::uint64_t v) { set(key, std::to_string(v)); }
+  void set_i64(const std::string& key, std::int64_t v) { set(key, std::to_string(v)); }
+  void set_double(const std::string& key, double v) { set(key, encode_double(v)); }
+  void set_u64s(const std::string& key, const std::vector<std::uint64_t>& vs) {
+    std::string line;
+    for (std::uint64_t v : vs) {
+      if (!line.empty()) line += ' ';
+      line += std::to_string(v);
+    }
+    set(key, line);
+  }
+  void set_doubles(const std::string& key, const std::vector<double>& vs) {
+    std::string line;
+    for (double v : vs) {
+      if (!line.empty()) line += ' ';
+      line += encode_double(v);
+    }
+    set(key, line);
+  }
+
+  const std::string& get(const std::string& key) const {
+    const auto it = kv_.find(key);
+    require(it != kv_.end(), "checkpoint manifest: missing key '" + key + "'");
+    return it->second;
+  }
+  std::uint64_t get_u64(const std::string& key) const {
+    return std::strtoull(get(key).c_str(), nullptr, 10);
+  }
+  std::int64_t get_i64(const std::string& key) const {
+    return std::strtoll(get(key).c_str(), nullptr, 10);
+  }
+  double get_double(const std::string& key) const {
+    return std::strtod(get(key).c_str(), nullptr);
+  }
+  std::vector<std::uint64_t> get_u64s(const std::string& key) const {
+    std::vector<std::uint64_t> out;
+    const std::string& line = get(key);
+    const char* s = line.c_str();
+    char* end = nullptr;
+    while (*s != '\0') {
+      out.push_back(std::strtoull(s, &end, 10));
+      require(end != s, "checkpoint manifest: malformed list in '" + key + "'");
+      s = end;
+      while (*s == ' ') ++s;
+    }
+    return out;
+  }
+  std::vector<double> get_doubles(const std::string& key) const {
+    std::vector<double> out;
+    const std::string& line = get(key);
+    const char* s = line.c_str();
+    char* end = nullptr;
+    while (*s != '\0') {
+      out.push_back(std::strtod(s, &end));
+      require(end != s, "checkpoint manifest: malformed list in '" + key + "'");
+      s = end;
+      while (*s == ' ') ++s;
+    }
+    return out;
+  }
+
+  std::string serialize() const {
+    std::string out;
+    for (const auto& [key, value] : kv_) {
+      out += key;
+      out += '=';
+      out += value;
+      out += '\n';
+    }
+    out += "end\n";
+    return out;
+  }
+
+  /// Parses `text`; false on any malformed line or a missing "end" sentinel
+  /// (the caller treats that bundle as inconsistent and falls back).
+  bool parse(const std::string& text) {
+    kv_.clear();
+    std::size_t pos = 0;
+    bool complete = false;
+    while (pos < text.size()) {
+      const std::size_t nl = text.find('\n', pos);
+      if (nl == std::string::npos) break;  // unterminated final line
+      const std::string line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (line == "end") {
+        complete = pos == text.size();  // nothing may follow the sentinel
+        break;
+      }
+      const std::size_t eq = line.find('=');
+      if (eq == std::string::npos || eq == 0) return false;
+      kv_[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    return complete;
+  }
+
+ private:
+  static std::string encode_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+  }
+
+  std::map<std::string, std::string> kv_;
+};
+
+inline std::filesystem::path bundle_path(const std::string& dir,
+                                         std::uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof name, "bundle-%06llu",
+                static_cast<unsigned long long>(seq));
+  return std::filesystem::path(dir) / name;
+}
+
+/// Stages one bundle and commits it with an atomic rename. A bundle that is
+/// never commit()ed leaves only the temp directory behind (cleaned by the
+/// next writer for the same seq).
+class BundleWriter {
+ public:
+  BundleWriter(const std::string& dir, std::uint64_t seq) : seq_(seq) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    require(!ec, "checkpoint: cannot create directory '" + dir + "'");
+    char name[32];
+    std::snprintf(name, sizeof name, ".tmp-%06llu",
+                  static_cast<unsigned long long>(seq));
+    tmp_ = fs::path(dir) / name;
+    final_ = bundle_path(dir, seq);
+    fs::remove_all(tmp_, ec);  // a stale temp from a killed writer
+    fs::create_directory(tmp_, ec);
+    require(!ec, "checkpoint: cannot create staging directory '" +
+                     tmp_.string() + "'");
+  }
+
+  Manifest& manifest() { return manifest_; }
+
+  void write_cells(const std::vector<std::byte>& blob) {
+    manifest_.set_u64("cells.bytes", blob.size());
+    manifest_.set_u64("cells.checksum", fold_bytes(blob.data(), blob.size()));
+    std::ofstream os(tmp_ / "cells.bin", std::ios::binary | std::ios::trunc);
+    require(os.good(), "checkpoint: cannot write '" +
+                           (tmp_ / "cells.bin").string() + "'");
+    os.write(reinterpret_cast<const char*>(blob.data()),
+             static_cast<std::streamsize>(blob.size()));
+    os.flush();
+    require(os.good(), "checkpoint: short write to cells.bin");
+  }
+
+  void commit() {
+    namespace fs = std::filesystem;
+    manifest_.set_u64("seq", seq_);
+    {
+      std::ofstream os(tmp_ / "MANIFEST", std::ios::binary | std::ios::trunc);
+      require(os.good(), "checkpoint: cannot write MANIFEST");
+      const std::string text = manifest_.serialize();
+      os.write(text.data(), static_cast<std::streamsize>(text.size()));
+      os.flush();
+      require(os.good(), "checkpoint: short write to MANIFEST");
+    }
+    std::error_code ec;
+    fs::remove_all(final_, ec);  // a resumed run re-commits later seqs
+    fs::rename(tmp_, final_, ec);
+    require(!ec, "checkpoint: cannot commit bundle '" + final_.string() + "'");
+  }
+
+ private:
+  std::uint64_t seq_;
+  std::filesystem::path tmp_;
+  std::filesystem::path final_;
+  Manifest manifest_;
+};
+
+struct Bundle {
+  std::uint64_t seq = 0;
+  Manifest manifest;
+  std::vector<std::byte> cells;
+};
+
+/// Loads one bundle directory; false if anything about it is off (missing
+/// files, truncated manifest, payload size or checksum mismatch).
+inline bool try_load_bundle(const std::filesystem::path& path,
+                            std::uint64_t seq, Bundle& out) {
+  std::ifstream mf(path / "MANIFEST", std::ios::binary);
+  if (!mf.good()) return false;
+  std::string text((std::istreambuf_iterator<char>(mf)),
+                   std::istreambuf_iterator<char>());
+  if (!out.manifest.parse(text)) return false;
+  if (!out.manifest.has("cells.bytes") || !out.manifest.has("cells.checksum") ||
+      !out.manifest.has("seq")) {
+    return false;
+  }
+  if (out.manifest.get_u64("seq") != seq) return false;
+  std::ifstream cf(path / "cells.bin", std::ios::binary | std::ios::ate);
+  if (!cf.good()) return false;
+  const std::streamsize n = cf.tellg();
+  cf.seekg(0);
+  out.cells.resize(static_cast<std::size_t>(n));
+  cf.read(reinterpret_cast<char*>(out.cells.data()), n);
+  if (!cf.good()) return false;
+  if (out.cells.size() != out.manifest.get_u64("cells.bytes")) return false;
+  if (fold_bytes(out.cells.data(), out.cells.size()) !=
+      out.manifest.get_u64("cells.checksum")) {
+    return false;
+  }
+  out.seq = seq;
+  return true;
+}
+
+/// The latest consistent bundle under `dir`. Walks committed bundles
+/// newest-first, skipping any that fail verification, so a corrupt or
+/// truncated newest bundle degrades to the previous one — a clean
+/// diagnostic (ConfigError) only when nothing valid remains.
+inline Bundle load_latest(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  require(fs::is_directory(dir, ec),
+          "checkpoint: '" + dir + "' is not a directory");
+  std::vector<std::uint64_t> seqs;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("bundle-", 0) != 0) continue;
+    char* end = nullptr;
+    const std::uint64_t seq = std::strtoull(name.c_str() + 7, &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    seqs.push_back(seq);
+  }
+  require(!seqs.empty(), "checkpoint: no bundles in '" + dir + "'");
+  std::sort(seqs.begin(), seqs.end());
+  for (std::size_t i = seqs.size(); i-- > 0;) {
+    Bundle bundle;
+    if (try_load_bundle(bundle_path(dir, seqs[i]), seqs[i], bundle)) {
+      return bundle;
+    }
+  }
+  throw ConfigError("checkpoint: no consistent bundle in '" + dir +
+                    "' (every candidate failed manifest or checksum "
+                    "verification)");
+}
+
+namespace detail {
+constexpr std::uint64_t kCellsMagic = 0xD9C410C4E117ULL;
+}
+
+/// Serializes every cell's state (and Finished values) into one blob.
+/// Prefinished values are not stored — they are re-derived from the app's
+/// initializer on resume, exactly as §VI-D recovery re-derives them.
+template <typename T>
+std::vector<std::byte> encode_cells(const DistArray<T>& array) {
+  static_assert(mem::SpillCodec<T>::available || sizeof(T) > 0,
+                "encode_cells instantiated");
+  require(mem::SpillCodec<T>::available,
+          "checkpoint: the value type is not trivially copyable");
+  std::vector<std::byte> out;
+  out.reserve(16 + static_cast<std::size_t>(array.size()) * (1 + sizeof(T)));
+  const auto put_u64 = [&out](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+  };
+  put_u64(detail::kCellsMagic);
+  put_u64(static_cast<std::uint64_t>(array.size()));
+  std::vector<std::byte> scratch;
+  for (std::int64_t idx = 0; idx < array.size(); ++idx) {
+    const Cell<T>& cell = array.cell(idx);
+    const CellState state = cell.load_state(std::memory_order_relaxed);
+    check_internal(state != CellState::Retired,
+                   "checkpoint: retired cells cannot be checkpointed "
+                   "(validate() forbids retirement with checkpoint_dir)");
+    out.push_back(static_cast<std::byte>(state));
+    if (state == CellState::Finished) {
+      mem::SpillCodec<T>::encode(cell.value, scratch);
+      out.insert(out.end(), scratch.begin(), scratch.end());
+    }
+  }
+  return out;
+}
+
+/// Applies a cells blob onto a fresh (all-Unfinished) array. Throws
+/// ConfigError on structural mismatch — a bundle from a different run shape
+/// must fail loudly, not quietly corrupt the resume. The caller recomputes
+/// indegrees afterwards.
+template <typename T>
+void apply_cells(const std::vector<std::byte>& blob, DistArray<T>& array,
+                 const DPX10App<T>& app) {
+  require(mem::SpillCodec<T>::available,
+          "checkpoint: the value type is not trivially copyable");
+  std::size_t pos = 0;
+  const auto take_u64 = [&blob, &pos]() {
+    require(pos + 8 <= blob.size(), "checkpoint: cells.bin truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(blob[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  };
+  require(take_u64() == detail::kCellsMagic,
+          "checkpoint: cells.bin has the wrong magic");
+  require(take_u64() == static_cast<std::uint64_t>(array.size()),
+          "checkpoint: bundle cell count does not match this run's domain");
+  for (std::int64_t idx = 0; idx < array.size(); ++idx) {
+    require(pos < blob.size(), "checkpoint: cells.bin truncated");
+    const auto state = static_cast<CellState>(blob[pos]);
+    ++pos;
+    Cell<T>& cell = array.cell(idx);
+    switch (state) {
+      case CellState::Unfinished:
+        break;
+      case CellState::Prefinished: {
+        auto init = app.initial_value(array.domain().delinearize(idx));
+        require(init.has_value(),
+                "checkpoint: bundle marks a cell prefinished but the app's "
+                "initial_value() disagrees — wrong app or input for this "
+                "bundle");
+        cell.value = *init;
+        cell.store_state(CellState::Prefinished, std::memory_order_relaxed);
+        break;
+      }
+      case CellState::Finished: {
+        require(pos + sizeof(T) <= blob.size(),
+                "checkpoint: cells.bin truncated");
+        T value{};
+        require(mem::SpillCodec<T>::decode(blob.data() + pos, sizeof(T), value),
+                "checkpoint: undecodable cell value");
+        pos += sizeof(T);
+        cell.value = value;
+        cell.store_state(CellState::Finished, std::memory_order_relaxed);
+        break;
+      }
+      default:
+        throw ConfigError("checkpoint: cells.bin carries an invalid state");
+    }
+  }
+  require(pos == blob.size(), "checkpoint: trailing bytes in cells.bin");
+}
+
+}  // namespace dpx10::checkpoint

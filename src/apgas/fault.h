@@ -3,9 +3,12 @@
 // The paper injects one node failure "manually in the middle of the
 // execution" (§VIII-C). A FaultPlan expresses the same thing portably
 // across both engines: kill place `place` once `at_fraction` of the
-// computable vertices have finished. Resilient X10 cannot survive the death
-// of place 0; we reproduce that limitation faithfully — killing place 0
-// raises an unrecoverable DeadPlaceException to the caller.
+// computable vertices have finished. Plans compose: several places may die
+// at the same instant (killed in place-id order), and further deaths may
+// land while a recovery is still in flight. Resilient X10 cannot survive
+// the death of place 0; we lift that limitation with coordinator failover
+// (docs/FAULTS.md) — the lowest-id survivor inherits the monitor role, and
+// only "every place died" remains fatal.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +18,9 @@
 
 namespace dpx10 {
 
-/// Raised when a place dies and the computation cannot recover (today:
-/// only when place 0 dies, matching the Resilient X10 limitation the paper
-/// calls out in §VI-D).
+/// Raised when a place dies and the computation cannot recover. Since the
+/// coordinator-failover work this is reserved for the hopeless case: every
+/// place (or every place the failure detector still trusted) is gone.
 class DeadPlaceException : public Error {
  public:
   explicit DeadPlaceException(std::int32_t place)

@@ -15,7 +15,7 @@ HeartbeatDetector::HeartbeatDetector(const HeartbeatConfig& cfg,
 void HeartbeatDetector::beat(std::int32_t place, double at) {
   check_internal(place >= 0 && place < static_cast<std::int32_t>(entries_.size()),
                  "HeartbeatDetector::beat: place out of range");
-  if (place == 0) return;  // the monitor does not monitor itself
+  if (place == monitor_) return;  // the monitor does not monitor itself
   Entry& e = entries_[static_cast<std::size_t>(place)];
   if (e.health == PlaceHealth::Dead) return;  // beats from the grave: fenced
   e.last_beat = std::max(e.last_beat, at);
@@ -30,7 +30,8 @@ void HeartbeatDetector::sweep(double now, std::vector<HealthTransition>& out) {
   // must be un-suspected before we judge anyone else.
   out.insert(out.end(), pending_.begin(), pending_.end());
   pending_.clear();
-  for (std::size_t p = 1; p < entries_.size(); ++p) {
+  for (std::size_t p = 0; p < entries_.size(); ++p) {
+    if (static_cast<std::int32_t>(p) == monitor_) continue;
     Entry& e = entries_[p];
     if (e.health == PlaceHealth::Dead) continue;
     const double silent = now - e.last_beat;
@@ -55,6 +56,17 @@ void HeartbeatDetector::mark_dead(std::int32_t place) {
   check_internal(place >= 0 && place < static_cast<std::int32_t>(entries_.size()),
                  "HeartbeatDetector::mark_dead: place out of range");
   entries_[static_cast<std::size_t>(place)].health = PlaceHealth::Dead;
+}
+
+void HeartbeatDetector::fail_over(std::int32_t successor) {
+  check_internal(successor >= 0 &&
+                     successor < static_cast<std::int32_t>(entries_.size()),
+                 "HeartbeatDetector::fail_over: successor out of range");
+  check_internal(successor != monitor_,
+                 "HeartbeatDetector::fail_over: successor is the monitor");
+  // Fence the deposed monitor: dead or evicted, it never reclaims the role.
+  entries_[static_cast<std::size_t>(monitor_)].health = PlaceHealth::Dead;
+  monitor_ = successor;
 }
 
 void HeartbeatDetector::reset(double now) {

@@ -13,9 +13,13 @@
 //
 // The detector is deliberately engine-agnostic: the SimEngine feeds it
 // virtual-time beat arrivals, the ThreadedEngine feeds it wall-clock worker
-// progress. Place 0 is the monitor and is not monitored here — its death is
-// unrecoverable anyway (the Resilient X10 limitation) and is handled by the
-// engines directly.
+// progress. The monitor role starts at place 0 but is not pinned there: the
+// ledger (beat clocks, health states, pending transitions) models state
+// that is replicated along a deterministic successor chain, so when the
+// monitor itself dies the lowest-id survivor adopts the ledger via
+// fail_over() and declares the old monitor dead like any other place. Only
+// "all places dead" remains fatal — the engines raise DeadPlaceException
+// for that case directly.
 #pragma once
 
 #include <atomic>
@@ -67,8 +71,8 @@ class HeartbeatDetector {
   /// Records a beat from `place` arriving at time `at` (may be ahead of the
   /// caller's clock — the simulator stamps beats with their NIC completion
   /// time). A beat from a suspected place queues a Suspected->Alive
-  /// transition for the next sweep. Beats from place 0 or dead places are
-  /// ignored.
+  /// transition for the next sweep. Beats from the current monitor or from
+  /// dead places are ignored.
   void beat(std::int32_t place, double at);
 
   /// Advances the state machine to `now`, appending every transition to
@@ -79,6 +83,30 @@ class HeartbeatDetector {
 
   /// Marks a place dead without a transition (the engine already acted).
   void mark_dead(std::int32_t place);
+
+  /// The place currently holding the monitor role (initially 0).
+  std::int32_t monitor() const { return monitor_; }
+
+  /// Coordinator failover: `successor` adopts the replicated ledger and
+  /// becomes the monitor; the previous monitor is fenced as Dead (it is
+  /// either truly dead or about to be evicted — an evicted monitor must
+  /// never reclaim the role). The successor stops being monitored itself.
+  void fail_over(std::int32_t successor);
+
+  /// Deterministic successor chain: the lowest-id place that is neither
+  /// dead in the ledger nor excluded by `is_down` (engine-side knowledge:
+  /// places that crashed but are not yet declared). Returns -1 when no
+  /// candidate remains — the "all places dead" fatal case.
+  template <typename IsDown>
+  std::int32_t successor(IsDown&& is_down) const {
+    for (std::size_t p = 0; p < entries_.size(); ++p) {
+      const auto place = static_cast<std::int32_t>(p);
+      if (entries_[p].health == PlaceHealth::Dead) continue;
+      if (is_down(place)) continue;
+      return place;
+    }
+    return -1;
+  }
 
   /// Re-baselines every non-dead place's beat clock to `now` and clears
   /// suspicion. Called after recovery (the world paused; silence during the
@@ -92,6 +120,7 @@ class HeartbeatDetector {
   };
 
   HeartbeatConfig cfg_;
+  std::int32_t monitor_ = 0;
   std::vector<Entry> entries_;
   std::vector<HealthTransition> pending_;  ///< beat-driven clears, FIFO
 };

@@ -121,12 +121,44 @@ void CaseSpec::normalize() {
   wedge_ms = std::max<std::int32_t>(wedge_ms, 0);
   if (retirement != mem::RetirementMode::Spill) memory_limit = 0;
   if (crash_place >= 0) {
-    nplaces = std::max<std::int32_t>(nplaces, 2);  // cannot kill every place
+    const std::int32_t kills = 1 + (crash_place2 >= 0 ? 1 : 0) +
+                               (crash_place3 >= 0 ? 1 : 0);
+    // The survivor set must stay non-empty however many kills are planned.
+    nplaces = std::max<std::int32_t>(nplaces, kills + 1);
     crash_place = std::min(crash_place, nplaces - 1);
     crash_event = std::max<std::int64_t>(crash_event, 1);
+    // Kills target distinct places: a duplicate advances to the next free
+    // id (deterministic, so mutated/shrunk specs stay reproducible).
+    auto next_free = [&](std::int32_t p, std::int32_t a, std::int32_t b) {
+      p = std::clamp<std::int32_t>(p, 0, nplaces - 1);
+      for (std::int32_t step = 0; step < nplaces; ++step) {
+        const std::int32_t cand = (p + step) % nplaces;
+        if (cand != a && cand != b) return cand;
+      }
+      return p;
+    };
+    if (crash_place2 >= 0) {
+      crash_place2 = next_free(crash_place2, crash_place, -1);
+      if (crash_event2 < 0) crash_event2 = crash_event;  // tie: same instant
+      crash_event2 = std::max(crash_event2, crash_event);
+    } else {
+      crash_event2 = -1;
+    }
+    if (crash_place3 >= 0) {
+      crash_place3 = next_free(crash_place3, crash_place, crash_place2);
+      const std::int64_t floor3 = crash_event2 >= 0 ? crash_event2 : crash_event;
+      if (crash_event3 < 0) crash_event3 = floor3;  // tie with the 2nd kill
+      crash_event3 = std::max(crash_event3, floor3);
+    } else {
+      crash_event3 = -1;
+    }
   } else {
     crash_place = -1;
     crash_event = -1;
+    crash_place2 = -1;
+    crash_event2 = -1;
+    crash_place3 = -1;
+    crash_event3 = -1;
   }
 }
 
@@ -160,12 +192,16 @@ RuntimeOptions CaseSpec::runtime_options() const {
   // Oracle failure detection: recovery starts the instant the fault fires,
   // which keeps crash-sweep runs deterministic and their accounting exact.
   opts.heartbeat.enabled = false;
-  if (crash_place >= 0) {
+  auto add_kill = [&opts](std::int32_t place, std::int64_t event) {
+    if (place < 0) return;
     FaultPlan fault;
-    fault.place = crash_place;
-    fault.at_event = crash_event;
+    fault.place = place;
+    fault.at_event = event;
     opts.faults.push_back(fault);
-  }
+  };
+  add_kill(crash_place, crash_event);
+  add_kill(crash_place2, crash_event2);
+  add_kill(crash_place3, crash_event3);
   return opts;
 }
 
@@ -204,6 +240,10 @@ std::string CaseSpec::encode() const {
   if (restore != d.restore) emit("restore", restore_mode_name(restore));
   if (crash_place != d.crash_place) emit("cplace", crash_place);
   if (crash_event != d.crash_event) emit("cevent", crash_event);
+  if (crash_place2 != d.crash_place2) emit("cplace2", crash_place2);
+  if (crash_event2 != d.crash_event2) emit("cevent2", crash_event2);
+  if (crash_place3 != d.crash_place3) emit("cplace3", crash_place3);
+  if (crash_event3 != d.crash_event3) emit("cevent3", crash_event3);
   if (hook_seed != d.hook_seed) emit("hook", hook_seed);
   if (wedge_ms != d.wedge_ms) emit("wedge_ms", wedge_ms);
   if (bug != d.bug) emit("bug", planted_bug_name(bug));
@@ -247,6 +287,10 @@ CaseSpec CaseSpec::decode(const std::string& text) {
     else if (key == "restore") ok = parse_enum(value, 2, restore_mode_name, spec.restore);
     else if (key == "cplace") spec.crash_place = static_cast<std::int32_t>(parse_i64(key, value));
     else if (key == "cevent") spec.crash_event = parse_i64(key, value);
+    else if (key == "cplace2") spec.crash_place2 = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "cevent2") spec.crash_event2 = parse_i64(key, value);
+    else if (key == "cplace3") spec.crash_place3 = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "cevent3") spec.crash_event3 = parse_i64(key, value);
     else if (key == "hook") spec.hook_seed = parse_u64(key, value);
     else if (key == "wedge_ms") spec.wedge_ms = static_cast<std::int32_t>(parse_i64(key, value));
     else if (key == "bug") ok = parse_enum(value, 3, planted_bug_name, spec.bug);

@@ -86,6 +86,14 @@ struct CaseSpec {
   // --- decorations ----------------------------------------------------
   std::int32_t crash_place = -1;   ///< -1 = no fault
   std::int64_t crash_event = -1;   ///< sim: event index; threaded: finished count
+  /// Up to two more kills for cascading-failure cases. crash_place2 with
+  /// crash_event2 < 0 means "same instant as the first kill" (a tie, broken
+  /// by place id); crash_place3/crash_event3 likewise default to the second
+  /// kill's instant. normalize() dedupes places and orders events.
+  std::int32_t crash_place2 = -1;
+  std::int64_t crash_event2 = -1;
+  std::int32_t crash_place3 = -1;
+  std::int64_t crash_event3 = -1;
   std::uint64_t hook_seed = 0;     ///< 0 = no schedule hook installed
   std::int32_t wedge_ms = 10000;   ///< threaded wedge-detector timeout
   PlantedBug bug = PlantedBug::None;  ///< self-test only

@@ -61,20 +61,13 @@ RunOutcome run_single(const CaseSpec& spec) {
                    : run_engine<ThreadedEngine<std::uint64_t>>(opts, *built.dag,
                                                                app);
     } catch (const DeadPlaceException& ex) {
-      if (spec.crash_place == 0) return out;  // unrecoverable by design
+      // Every planned kill leaves at least one survivor (normalize()
+      // guarantees it), and since coordinator failover any survivable
+      // death — place 0's included — must be survived.
       return fail(std::string("unexpected DeadPlaceException: ") + ex.what());
     }
     out.sim_events = report.sim_events;
     out.computed = report.computed;
-
-    // A fired place-0 fault must not have been survived. (An at_event past
-    // the end of the run legitimately never fires — that run is fault-free.)
-    for (const RecoveryRecord& rec : report.recoveries) {
-      if (rec.dead_place == 0) {
-        return fail("place-0 death was survived instead of raising "
-                    "DeadPlaceException");
-      }
-    }
 
     // Differential check against the serial oracle.
     const auto n = static_cast<std::size_t>(built.vertices);
@@ -256,6 +249,44 @@ std::optional<Failure> run_crash_sweep(const CaseSpec& spec,
     const RunOutcome outcome = run_single(s);
     if (!outcome.ok) return Failure{s, outcome.reason};
   }
+
+  // Cascading-failure points (PR 6): coordinator death, a simultaneous
+  // pair, and a pair plus a third kill landing during the resulting
+  // recovery. normalize() raises nplaces so a survivor always remains.
+  const std::int64_t mid = std::max<std::int64_t>(1, total / 2);
+  std::vector<CaseSpec> cascades;
+  {
+    CaseSpec s = base;  // the old "unrecoverable" case: place 0 must survive
+    s.crash_place = 0;
+    s.crash_event = mid;
+    cascades.push_back(s);
+  }
+  {
+    CaseSpec s = base;  // two places die at the same instant (id tie-break)
+    s.crash_place = static_cast<std::int32_t>(
+        splitmix64(mix64(spec.seed, 0x2b1ULL)) %
+        static_cast<std::uint64_t>(std::max(s.nplaces, 2)));
+    s.crash_event = mid;
+    s.crash_place2 = s.crash_place + 1;
+    s.crash_event2 = -1;  // normalize(): tie with the first kill
+    cascades.push_back(s);
+  }
+  {
+    CaseSpec s = base;  // tie + a third death during the §VI-D rebuild
+    s.crash_place = 0;  // ...taking the coordinator with it
+    s.crash_event = mid;
+    s.crash_place2 = 1;
+    s.crash_event2 = -1;
+    s.crash_place3 = 2;
+    s.crash_event3 = mid + 1;  // the rebuild pass itself is event mid+1
+    cascades.push_back(s);
+  }
+  for (CaseSpec& s : cascades) {
+    s.normalize();
+    if (runs != nullptr) ++*runs;
+    const RunOutcome outcome = run_single(s);
+    if (!outcome.ok) return Failure{s, outcome.reason};
+  }
   return std::nullopt;
 }
 
@@ -295,7 +326,11 @@ CaseSpec shrink(const CaseSpec& failing, int budget, std::string* reason,
   // skipped (encode() is the canonical identity).
   using Step = void (*)(CaseSpec&);
   static constexpr Step kSteps[] = {
-      [](CaseSpec& s) { s.crash_place = -1; },  // drop the crash first
+      [](CaseSpec& s) { s.crash_place3 = -1; },  // peel cascading kills first
+      [](CaseSpec& s) { s.crash_place2 = -1; },
+      [](CaseSpec& s) { s.crash_event3 = -1; },  // collapse to a tie
+      [](CaseSpec& s) { s.crash_event2 = -1; },
+      [](CaseSpec& s) { s.crash_place = -1; },  // then drop the crash whole
       [](CaseSpec& s) { s.hook_seed = 0; },
       [](CaseSpec& s) { s.height /= 2; },
       [](CaseSpec& s) { s.width /= 2; },
@@ -362,11 +397,20 @@ FuzzResult fuzz(const FuzzOptions& options) {
       if (roll < 85) {
         spec.mode = CaseMode::Single;
         if (roll < 10) {
-          // One-off crash decoration on ~1/10 of single cases.
+          // One-off crash decoration on ~1/10 of single cases; a third of
+          // those add a second kill (tied or trailing into the recovery).
           spec.prefin = 0;
           spec.crash_place = static_cast<std::int32_t>(
               rng.below(static_cast<std::uint64_t>(std::max(spec.nplaces, 2))));
           spec.crash_event = 1 + static_cast<std::int64_t>(rng.below(64));
+          if (rng.below(3) == 0) {
+            spec.crash_place2 = static_cast<std::int32_t>(
+                rng.below(static_cast<std::uint64_t>(std::max(spec.nplaces, 3))));
+            spec.crash_event2 =
+                rng.below(2) == 0
+                    ? -1  // normalize(): same instant as the first kill
+                    : spec.crash_event + 1 + static_cast<std::int64_t>(rng.below(8));
+          }
         }
       } else if (roll < 90) {
         spec.mode = CaseMode::Matrix;

@@ -15,11 +15,15 @@
 //   * recovery-mode accounting: restored_remote only under RestoreRemote,
 //     resurrected only in retire mode, restored_spilled only in spill
 //     mode;
-//   * a place-0 death raises DeadPlaceException (unrecoverable by design).
+//   * every planned death is survived — normalize() always leaves a
+//     survivor, and with coordinator failover that includes place 0, so
+//     any DeadPlaceException is a failure.
 //
 // run_case() expands Matrix / Schedules / Crashes specs into Single runs
 // (the crash sweep first runs a fault-free baseline to learn the event
-// count, then kills a place at every K-th event). shrink() greedily
+// count, then kills a place at every K-th event, and finishes with three
+// cascading-failure points: a place-0 kill, a simultaneous pair, and a
+// pair plus a third kill during the resulting recovery). shrink() greedily
 // minimizes a failing Single spec — dimensions, fan-in, knobs back to
 // defaults, crash index, hook — re-verifying every candidate, so the
 // printed reproducer is close to minimal. fuzz() is the driving loop used

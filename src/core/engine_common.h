@@ -80,6 +80,18 @@ struct InitSummary {
   std::uint64_t to_compute = 0;   ///< cells the engines must schedule
 };
 
+/// Monotonic counter for the engines' re-entrant recovery loops. Every
+/// rebuild/restore pass over the (shrinking) survivor set draws a fresh
+/// epoch; a pass triggered while a previous one was still in flight is
+/// additionally flagged `nested` in its RecoveryRecord. The counter itself
+/// never resets — idempotence of the loop comes from epochs being strictly
+/// ordered: replaying or extending a recovery can only move the survivor
+/// set forward, never resurrect a fenced place.
+struct RecoveryEpoch {
+  std::int32_t current = 0;
+  std::int32_t next() { return ++current; }
+};
+
 /// Applies DPX10App::initial_value() and computes every cell's indegree
 /// (number of dependencies that are not pre-finished). Single-threaded; the
 /// paper initializes in parallel across places, but this is a one-time
@@ -187,7 +199,8 @@ std::uint64_t resurrect_retired(DistArray<T>& array, const Dag& dag) {
 }
 
 /// Rebuilds `fresh` (already constructed over the survivor group) from
-/// `old_array` after `dead_place` died, per §VI-D:
+/// `old_array` after every place in `dead_places` died — one batch for
+/// simultaneous deaths, killed in place-id order by the caller — per §VI-D:
 ///   * pre-finished cells are re-derived from the app's initializer — they
 ///     are pure functions of the input, never data to recover;
 ///   * finished cells whose data lived on the dead place are lost;
@@ -204,16 +217,24 @@ std::uint64_t resurrect_retired(DistArray<T>& array, const Dag& dag) {
 /// discarded) like a finished value if ownership changed; in retire mode
 /// the value exists nowhere, so Retired survives as "done" and any retired
 /// cell an unfinished consumer needs is resurrected for recomputation.
-/// Returns the recovery census; timing fields are filled by the caller.
+/// Returns the recovery census (summed over the whole batch, with
+/// dead_place = the batch's trigger); timing fields are filled by the
+/// caller.
 template <typename T>
-RecoveryRecord rebuild_after_death(const DistArray<T>& old_array, std::int32_t dead_place,
-                                   RestoreMode mode, const Dag& dag,
-                                   const DPX10App<T>& app, DistArray<T>& fresh,
-                                   net::TrafficBook& book,
-                                   mem::MemoryGovernor<T>* gov = nullptr) {
+RecoveryRecord rebuild_after_deaths(const DistArray<T>& old_array,
+                                    const std::vector<std::int32_t>& dead_places,
+                                    RestoreMode mode, const Dag& dag,
+                                    const DPX10App<T>& app, DistArray<T>& fresh,
+                                    net::TrafficBook& book,
+                                    mem::MemoryGovernor<T>* gov = nullptr) {
   const DagDomain& domain = old_array.domain();
   RecoveryRecord record;
-  record.dead_place = dead_place;
+  check_internal(!dead_places.empty(), "rebuild_after_deaths: empty batch");
+  record.dead_place = dead_places.front();
+  const auto died = [&dead_places](std::int32_t p) {
+    return std::find(dead_places.begin(), dead_places.end(), p) !=
+           dead_places.end();
+  };
 
   for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
     VertexId id = domain.delinearize(idx);
@@ -223,14 +244,14 @@ RecoveryRecord rebuild_after_death(const DistArray<T>& old_array, std::int32_t d
       case CellState::Prefinished: {
         auto init = app.initial_value(id);
         check_internal(init.has_value(),
-                       "rebuild_after_death: initial_value() is not stable");
+                       "rebuild_after_deaths: initial_value() is not stable");
         new_cell.value = *init;
         new_cell.store_state(CellState::Prefinished, std::memory_order_relaxed);
         break;
       }
       case CellState::Finished: {
         const std::int32_t old_owner = old_array.owner_place(id);
-        if (old_owner == dead_place) {
+        if (died(old_owner)) {
           ++record.lost;  // wiped with the place; stays Unfinished
           break;
         }
@@ -258,7 +279,7 @@ RecoveryRecord rebuild_after_death(const DistArray<T>& old_array, std::int32_t d
           break;
         }
         const std::int32_t old_owner = old_array.owner_place(id);
-        if (old_owner == dead_place) {
+        if (died(old_owner)) {
           ++record.lost;  // spill file died with the place; stays Unfinished
           break;
         }
@@ -270,7 +291,7 @@ RecoveryRecord rebuild_after_death(const DistArray<T>& old_array, std::int32_t d
           }
           T spilled{};
           const bool ok = gov->spill_read(old_owner, idx, spilled);
-          check_internal(ok, "rebuild_after_death: retired cell missing "
+          check_internal(ok, "rebuild_after_deaths: retired cell missing "
                              "from the old owner's spill store");
           book.record(old_owner, new_owner, net::MessageKind::RecoveryTransfer,
                       value_wire_bytes(spilled));
@@ -291,6 +312,17 @@ RecoveryRecord rebuild_after_death(const DistArray<T>& old_array, std::int32_t d
   }
   recompute_indegrees(fresh, dag);
   return record;
+}
+
+/// Single-death convenience wrapper (tests, one-at-a-time declarations).
+template <typename T>
+RecoveryRecord rebuild_after_death(const DistArray<T>& old_array, std::int32_t dead_place,
+                                   RestoreMode mode, const Dag& dag,
+                                   const DPX10App<T>& app, DistArray<T>& fresh,
+                                   net::TrafficBook& book,
+                                   mem::MemoryGovernor<T>* gov = nullptr) {
+  const std::vector<std::int32_t> batch{dead_place};
+  return rebuild_after_deaths(old_array, batch, mode, dag, app, fresh, book, gov);
 }
 
 /// Number of computed-and-done cells (Finished, plus Retired — a retired

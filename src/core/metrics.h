@@ -119,7 +119,11 @@ struct TraceEvent {
 };
 
 struct RecoveryRecord {
-  std::int32_t dead_place = -1;
+  std::int32_t dead_place = -1;    ///< trigger place (first of the batch)
+  std::int32_t epoch = 0;          ///< 1-based, monotonic across the run —
+                                   ///< each rebuild pass gets its own epoch
+  bool nested = false;             ///< this death landed while a previous
+                                   ///< rebuild/restore was still in flight
   double started_at = 0.0;         ///< seconds into the run (virtual or wall)
   double recovery_seconds = 0.0;   ///< duration of the recovery phase
   double detected_after_s = 0.0;   ///< crash -> declared-dead latency (0 with

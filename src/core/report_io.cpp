@@ -1,5 +1,6 @@
 #include "core/report_io.h"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/strings.h"
@@ -54,7 +55,10 @@ void print_report(std::ostream& os, const RunReport& report) {
     os << "  suspicions:    " << with_commas(totals.suspicions) << "\n";
   }
   for (const RecoveryRecord& r : report.recoveries) {
-    os << "  recovery:      place " << r.dead_place << " died at "
+    os << "  recovery:      ";
+    if (r.epoch > 0) os << "epoch " << r.epoch << ": ";
+    if (r.nested) os << "[nested] ";
+    os << "place " << r.dead_place << " died at "
        << human_seconds(r.started_at) << "; ";
     if (r.detected_after_s > 0.0) {
       os << "detected in " << human_seconds(r.detected_after_s) << "; ";
@@ -85,6 +89,8 @@ struct RecoveryTotals {
   std::uint64_t discarded = 0;
   std::uint64_t restored_spilled = 0;
   std::uint64_t resurrected = 0;
+  std::int32_t recovery_epochs = 0;       ///< highest epoch reached
+  std::uint64_t nested_recoveries = 0;    ///< passes that extended a recovery
 };
 
 RecoveryTotals recovery_totals(const RunReport& report) {
@@ -96,6 +102,8 @@ RecoveryTotals recovery_totals(const RunReport& report) {
     t.discarded += r.discarded;
     t.restored_spilled += r.restored_spilled;
     t.resurrected += r.resurrected;
+    t.recovery_epochs = std::max(t.recovery_epochs, r.epoch);
+    if (r.nested) ++t.nested_recoveries;
   }
   return t;
 }
@@ -110,7 +118,8 @@ void print_csv_header(std::ostream& os) {
         "cache_hits,local_dep_reads,control_msgs_out,fetch_batches,"
         "control_batches,executed_nonlocal,"
         "steals,messages_out,bytes_out,net_drops,net_duplicates,"
-        "fetch_retries,fetch_timeouts,suspicions,recoveries,lost,restored,"
+        "fetch_retries,fetch_timeouts,suspicions,recoveries,recovery_epochs,"
+        "nested_recoveries,lost,restored,"
         "restored_remote,discarded,restored_spilled,resurrected,"
         "cache_evictions,retired_cells,spilled_cells,spill_reads,"
         "live_cells_peak,live_bytes_peak\n";
@@ -133,7 +142,8 @@ void print_csv_row(std::ostream& os, const std::string& label, const RunReport& 
      << report.traffic.total_messages_out() << ',' << report.traffic.bytes_out << ','
      << t.net_drops << ',' << t.net_duplicates << ',' << t.fetch_retries << ','
      << t.fetch_timeouts << ',' << t.suspicions << ','
-     << report.recoveries.size() << ',' << rt.lost << ',' << rt.restored << ','
+     << report.recoveries.size() << ',' << rt.recovery_epochs << ','
+     << rt.nested_recoveries << ',' << rt.lost << ',' << rt.restored << ','
      << rt.restored_remote << ',' << rt.discarded << ','
      << rt.restored_spilled << ',' << rt.resurrected << ','
      << t.cache_evictions << ',' << t.retired_cells << ',' << t.spilled_cells << ','
@@ -225,6 +235,8 @@ void print_json(std::ostream& os, const RunReport& report) {
      << ",\"fetch_retries\":" << t.fetch_retries
      << ",\"fetch_timeouts\":" << t.fetch_timeouts
      << ",\"suspicions\":" << t.suspicions
+     << ",\"recovery_epochs\":" << rt.recovery_epochs
+     << ",\"nested_recoveries\":" << rt.nested_recoveries
      << ",\"lost\":" << rt.lost
      << ",\"restored\":" << rt.restored
      << ",\"restored_remote\":" << rt.restored_remote
@@ -243,7 +255,8 @@ void print_json(std::ostream& os, const RunReport& report) {
   for (std::size_t i = 0; i < report.recoveries.size(); ++i) {
     const RecoveryRecord& r = report.recoveries[i];
     if (i) os << ',';
-    os << "{\"dead_place\":" << r.dead_place << ",\"started_at\":";
+    os << "{\"dead_place\":" << r.dead_place << ",\"epoch\":" << r.epoch
+       << ",\"nested\":" << (r.nested ? "true" : "false") << ",\"started_at\":";
     json_double(os, r.started_at);
     os << ",\"recovery_s\":";
     json_double(os, r.recovery_seconds);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -160,8 +161,21 @@ struct RuntimeOptions {
   /// PeriodicSnapshot only: take a snapshot each time this fraction of the
   /// computable vertices finishes (0.1 = ten snapshots over a full run).
   double snapshot_interval = 0.1;
-  std::vector<FaultPlan> faults;  ///< applied in order of at_fraction
+  std::vector<FaultPlan> faults;  ///< applied in (at, place-id) order
   std::uint64_t seed = 42;
+  /// SimEngine durable checkpointing: when non-empty, the engine commits a
+  /// versioned on-disk checkpoint bundle (manifest + cell extents, atomic
+  /// rename) under this directory each time `checkpoint_interval` of the
+  /// computable vertices finishes. See docs/FAULTS.md §resume.
+  std::string checkpoint_dir;
+  /// Fraction of computable vertices between checkpoint bundles (0.25 =
+  /// three mid-run bundles over a full run).
+  double checkpoint_interval = 0.25;
+  /// SimEngine: reload the latest consistent bundle from this directory
+  /// before running and finish bit-identically to the uninterrupted
+  /// seed-matched run. Implies checkpoint_dir (the resumed run keeps
+  /// checkpointing into the same directory so later barriers line up).
+  std::string resume_dir;
   /// ThreadedEngine wedge (quiescence) detector: if every worker is idle,
   /// nothing is executing, no recovery pause is in flight, and the finished
   /// count has not moved for this many wall seconds, the run is declared
@@ -178,9 +192,10 @@ struct RuntimeOptions {
   mem::MemoryOptions memory;      ///< cell retirement / accounting / spill
 
   /// Validates every knob and normalizes the fault plan: faults are sorted
-  /// by at_fraction (they fire in that order) and exact ties are rejected —
-  /// two deaths at the same instant would make the death order, and hence
-  /// the recovery sequence, ambiguous.
+  /// by (kind, at, place id), so several distinct places may legally die at
+  /// the same instant — the place-id tie-break fixes the kill order and
+  /// keeps the recovery sequence deterministic. Only true duplicates (the
+  /// same place dying twice) and killing every place are rejected.
   void validate() {
     require(nplaces > 0, "RuntimeOptions: nplaces must be positive");
     require(nthreads > 0, "RuntimeOptions: nthreads must be positive");
@@ -204,23 +219,36 @@ struct RuntimeOptions {
       }
     }
     // Fraction-based faults fire in at_fraction order, event-based faults in
-    // at_event order; ties within a kind would make the death order (hence
-    // the recovery sequence) ambiguous and are rejected.
+    // at_event order. Exact ties are legal — several places dying at the
+    // same instant is precisely the correlated-failure case — and break
+    // deterministically by place id, lowest first.
     std::stable_sort(faults.begin(), faults.end(),
                      [](const FaultPlan& a, const FaultPlan& b) {
                        if (a.event_based() != b.event_based()) return !a.event_based();
-                       if (a.event_based()) return a.at_event < b.at_event;
-                       return a.at_fraction < b.at_fraction;
+                       if (a.event_based()) {
+                         if (a.at_event != b.at_event) return a.at_event < b.at_event;
+                       } else if (a.at_fraction != b.at_fraction) {
+                         return a.at_fraction < b.at_fraction;
+                       }
+                       return a.place < b.place;
                      });
-    for (std::size_t a = 1; a < faults.size(); ++a) {
-      if (faults[a].event_based() != faults[a - 1].event_based()) continue;
-      if (faults[a].event_based()) {
-        require(faults[a].at_event != faults[a - 1].at_event,
-                "RuntimeOptions: two faults at the same at_event");
-      } else {
-        require(faults[a].at_fraction != faults[a - 1].at_fraction,
-                "RuntimeOptions: two faults at the same at_fraction");
-      }
+    require(resume_dir.empty() || checkpoint_dir.empty() ||
+                checkpoint_dir == resume_dir,
+            "RuntimeOptions: --resume and --checkpoint-dir must name the "
+            "same directory (the resumed run keeps checkpointing there)");
+    if (!resume_dir.empty() && checkpoint_dir.empty()) checkpoint_dir = resume_dir;
+    if (!checkpoint_dir.empty()) {
+      require(checkpoint_interval > 0.0 && checkpoint_interval <= 1.0,
+              "RuntimeOptions: checkpoint_interval must be in (0, 1]");
+      require(recovery == RecoveryPolicy::Rebuild,
+              "RuntimeOptions: checkpointing requires the rebuild recovery "
+              "policy (the snapshot vault is not persisted)");
+      require(memory.retirement == mem::RetirementMode::Off,
+              "RuntimeOptions: checkpointing requires --retirement=off "
+              "(retired payloads live in process-local spill files)");
+      require(!netfaults.any(),
+              "RuntimeOptions: checkpointing requires a reliable network "
+              "(the injector's RNG cursor is not persisted)");
     }
     netfaults.validate(nplaces);
     heartbeat.validate();

@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apgas/checkpoint.h"
 #include "apgas/dist_array.h"
 #include "apgas/fault.h"
 #include "apgas/heartbeat.h"
@@ -73,9 +74,8 @@ class SimEngine {
     kReady = 0,
     kDispatch = 1,
     kDone = 2,
-    kHeartbeat = 3,      ///< place `a` emits its periodic beat to place 0
-    kSweep = 4,          ///< the monitor advances the failure detector
-    kPlaceZeroDead = 5,  ///< place 0's crash reached its declaration point
+    kHeartbeat = 3,  ///< place `a` emits its periodic beat to the monitor
+    kSweep = 4,      ///< the monitor advances the failure detector
   };
 
   struct PlaceSim {
@@ -155,29 +155,59 @@ class SimEngine {
         if (snapshot_step_ < 1) snapshot_step_ = 1;
         next_snapshot_at_ = snapshot_step_;
       }
-      detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
-        queue_.push(0.0, kReady, place, idx);
-      });
-      if (detector_active_) arm_heartbeats(0.0);
+      if (!opts_.checkpoint_dir.empty()) {
+        ckpt_step_ = static_cast<std::int64_t>(
+            opts_.checkpoint_interval * static_cast<double>(target_));
+        if (ckpt_step_ < 1) ckpt_step_ = 1;
+        next_ckpt_at_ = ckpt_step_;
+      }
+      if (!opts_.resume_dir.empty()) {
+        // Resume replays the write-side checkpoint barrier from the durable
+        // bundle, so the resumed trajectory coincides exactly with the
+        // uninterrupted one from the barrier point onward.
+        resume_from_checkpoint();
+      } else {
+        detail::seed_ready(*array_, [&](std::int32_t place, std::int64_t idx) {
+          queue_.push(0.0, kReady, place, idx);
+        });
+        if (detector_active_) arm_heartbeats(0.0);
+      }
 
       const bool sampling = tracer_.counters_on();
       while (!done_) {
         // Event-based faults (dpx10check's crash-point sweep) fire between
         // events: the place dies just before the at_event-th event is
         // processed, so every K is a distinct, reproducible crash point.
-        if (next_event_fault_ < event_faults_.size() &&
-            events_processed_ >= event_faults_[next_event_fault_].at_event) {
-          const FaultPlan fault = event_faults_[next_event_fault_];
-          ++next_event_fault_;
-          if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
-            if (detector_active_) {
+        // Draining a loop (not firing one per iteration) lets several plans
+        // share an instant: with the detector they all crash silently now
+        // and are declared together by one sweep; on the oracle path the
+        // whole due batch enters a single §VI-D recovery pass, survivors
+        // ordered by place id.
+        if (detector_active_) {
+          while (next_event_fault_ < event_faults_.size() &&
+                 events_processed_ >= event_faults_[next_event_fault_].at_event) {
+            const FaultPlan fault = event_faults_[next_event_fault_];
+            ++next_event_fault_;
+            if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
               crash_place(fault.place);
-            } else {
-              // Oracle recovery cleared the queue; anything popped now
-              // would be stale, so restart the loop.
-              perform_recovery(fault.place, 0.0);
-              continue;
             }
+          }
+        } else if (next_event_fault_ < event_faults_.size() &&
+                   events_processed_ >= event_faults_[next_event_fault_].at_event) {
+          fault_batch_.clear();
+          while (next_event_fault_ < event_faults_.size() &&
+                 events_processed_ >= event_faults_[next_event_fault_].at_event) {
+            const FaultPlan fault = event_faults_[next_event_fault_];
+            ++next_event_fault_;
+            if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
+              fault_batch_.push_back(fault.place);
+            }
+          }
+          if (!fault_batch_.empty()) {
+            // Oracle recovery cleared the queue; anything popped now
+            // would be stale, so restart the loop.
+            perform_recovery(fault_batch_, 0.0);
+            continue;
           }
         }
         check_internal(!queue_.empty(),
@@ -202,14 +232,9 @@ class SimEngine {
           case kDone: on_done(static_cast<std::int32_t>(ev.a), ev.b); break;
           case kHeartbeat: on_heartbeat(static_cast<std::int32_t>(ev.a)); break;
           case kSweep: on_sweep(); break;
-          case kPlaceZeroDead: throw DeadPlaceException(0);
           default: check_internal(false, "SimEngine: unknown event kind");
         }
       }
-      // Completion cannot outrun place 0's declaration timer in practice
-      // (its cells stop finishing), but never let a pending place-0 crash
-      // go unreported.
-      if (crashed_[0]) throw DeadPlaceException(0);
 
       RunReport report;
       report.app_name = std::string(app_.name());
@@ -219,9 +244,11 @@ class SimEngine {
       report.computed = computed_total_;
       report.elapsed_seconds = elapsed_;
       for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        // `+=`, not `=`: a resumed run folds the pre-kill portion (loaded
+        // into stats from the bundle) into this run's slots/cache counters.
         PlaceStats s = places_[static_cast<std::size_t>(p)].stats;
-        s.busy_seconds = places_[static_cast<std::size_t>(p)].slots.busy_seconds();
-        s.cache_evictions = places_[static_cast<std::size_t>(p)].cache.evictions();
+        s.busy_seconds += places_[static_cast<std::size_t>(p)].slots.busy_seconds();
+        s.cache_evictions += places_[static_cast<std::size_t>(p)].cache.evictions();
         if (gov_) {
           const mem::MemAccount a = gov_->account(p);
           s.retired_cells = a.retired_cells;
@@ -239,8 +266,8 @@ class SimEngine {
       }
       report.snapshots_taken = snapshots_taken_;
       report.snapshot_seconds = snapshot_seconds_;
-      report.traffic = book_.total();
-      report.sim_events = queue_.pushed();
+      report.traffic = add_traffic(traffic_base_, book_.total());
+      report.sim_events = sim_events_base_ + queue_.pushed();
       if (tracer_.active()) {
         obs::Tracer::Collected c = tracer_.collect(obs::TraceMeta{
             std::string(app_.name()), std::string(dag_.name()), "sim",
@@ -831,19 +858,43 @@ class SimEngine {
         next_snapshot_at_ += snapshot_step_;
       }
 
+      if (ckpt_step_ > 0 && finished_ >= next_ckpt_at_ && finished_ < target_) {
+        take_checkpoint();
+        next_ckpt_at_ += ckpt_step_;
+        // The barrier discarded every queued event; this place's follow-on
+        // work was re-seeded along with everyone else's.
+        return;
+      }
+
       if (next_fault_ < faults_.size() && finished_ >= fault_thresholds_[next_fault_]) {
-        const FaultPlan fault = faults_[next_fault_];
-        ++next_fault_;
         if (detector_active_) {
-          // No oracle: the place crashes silently and keeps "running" from
-          // everyone else's point of view until the detector declares it.
-          if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
-            crash_place(fault.place);
+          // No oracle: places crash silently and keep "running" from
+          // everyone else's point of view until the detector declares them.
+          // Plans sharing a threshold all crash at this instant and are
+          // declared together by one sweep.
+          while (next_fault_ < faults_.size() &&
+                 finished_ >= fault_thresholds_[next_fault_]) {
+            const FaultPlan fault = faults_[next_fault_];
+            ++next_fault_;
+            if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
+              crash_place(fault.place);
+            }
           }
           if (crashed_[p]) return;  // the finishing place crashed itself
         } else {
-          perform_recovery(fault.place, 0.0);
-          return;
+          fault_batch_.clear();
+          while (next_fault_ < faults_.size() &&
+                 finished_ >= fault_thresholds_[next_fault_]) {
+            const FaultPlan fault = faults_[next_fault_];
+            ++next_fault_;
+            if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
+              fault_batch_.push_back(fault.place);
+            }
+          }
+          if (!fault_batch_.empty()) {
+            perform_recovery(fault_batch_, 0.0);
+            return;
+          }
         }
       }
 
@@ -856,9 +907,11 @@ class SimEngine {
 
     // ---- failure detection ----
 
-    /// Schedules the first beat of every live place and the monitor's sweep.
+    /// Schedules the first beat of every live non-monitor place and the
+    /// monitor's sweep.
     void arm_heartbeats(double start) {
-      for (std::int32_t p = 1; p < opts_.nplaces; ++p) {
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        if (p == monitor_) continue;
         if (pm_.is_alive(p) && !crashed_[p]) {
           queue_.push(start + opts_.heartbeat.interval_s, kHeartbeat, p, 0);
         }
@@ -866,29 +919,31 @@ class SimEngine {
       queue_.push(start + opts_.heartbeat.interval_s, kSweep, 0, 0);
     }
 
-    /// Place p emits its periodic beat to the monitor (place 0). The beat
-    /// is a real message: it pays wire time, queues on the monitor's NIC,
-    /// and can be dropped or delayed by the injector — which is exactly how
-    /// a straggling network manufactures false suspicion.
+    /// Place p emits its periodic beat to the current monitor. The beat is
+    /// a real message: it pays wire time, queues on the monitor's NIC, and
+    /// can be dropped or delayed by the injector — which is exactly how a
+    /// straggling network manufactures false suspicion.
     void on_heartbeat(std::int32_t p) {
       if (!pm_.is_alive(p) || crashed_[p]) return;  // silence, forever
+      if (p == monitor_) return;  // stale beat armed before a failover
+      const std::int32_t mon = monitor_;
       const bool spans = tracer_.spans_on();
       obs::Tracer::Shard& sh = tracer_.shard(0);
-      book_.record(p, 0, net::MessageKind::Heartbeat, net::kControlPayloadBytes);
-      const auto pert = injector_.perturb(net::MessageKind::Heartbeat, p, 0, now_);
+      book_.record(p, mon, net::MessageKind::Heartbeat, net::kControlPayloadBytes);
+      const auto pert = injector_.perturb(net::MessageKind::Heartbeat, p, mon, now_);
       if (pert.dropped) {
         ++place(p).stats.net_drops;
         if (spans) {
-          sh.messages.push_back({net::MessageKind::Heartbeat, p, 0, now_, -1.0,
+          sh.messages.push_back({net::MessageKind::Heartbeat, p, mon, now_, -1.0,
                                  obs::MessageFate::Dropped});
         }
-      } else if (!crashed_[0]) {
+      } else if (!crashed_[mon]) {
         place(p).stats.net_duplicates += static_cast<std::uint64_t>(pert.extra_copies);
         const double wire =
             opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
         const double nic =
             opts_.link.nic_time(net::wire_bytes(net::kControlPayloadBytes));
-        PlaceSim& monitor = place(0);
+        PlaceSim& monitor = place(mon);
         const double handled =
             std::max(now_ + wire + pert.extra_delay_s, monitor.nic_free) + nic;
         monitor.nic_free = handled;
@@ -897,28 +952,43 @@ class SimEngine {
         detector_.beat(p, handled);
         for (std::int32_t c = 0; c < pert.extra_copies; ++c) monitor.nic_free += nic;
         if (spans) {
-          sh.messages.push_back({net::MessageKind::Heartbeat, p, 0, now_, handled,
+          sh.messages.push_back({net::MessageKind::Heartbeat, p, mon, now_, handled,
                                  obs::MessageFate::Delivered});
           for (std::int32_t c = 0; c < pert.extra_copies; ++c) {
-            sh.messages.push_back({net::MessageKind::Heartbeat, p, 0, now_,
+            sh.messages.push_back({net::MessageKind::Heartbeat, p, mon, now_,
                                    handled, obs::MessageFate::Duplicated});
           }
         }
       } else if (spans) {
         // The monitor silently crashed: the beat is lost with it.
-        sh.messages.push_back({net::MessageKind::Heartbeat, p, 0, now_, -1.0,
+        sh.messages.push_back({net::MessageKind::Heartbeat, p, mon, now_, -1.0,
                                obs::MessageFate::Dropped});
       }
       queue_.push(now_ + opts_.heartbeat.interval_s, kHeartbeat, p, 0);
     }
 
     /// The monitor advances the detector: new suspicions bar a place from
-    /// scheduling, declarations trigger §VI-D recovery.
+    /// scheduling, declarations trigger §VI-D recovery. Every declaration
+    /// of one sweep enters a single recovery batch, so simultaneous deaths
+    /// are recovered together (ordered by place id — transitions iterate
+    /// the ledger in place order). If the monitor itself crashed, its
+    /// replicated ledger means the successor notices the silence after the
+    /// same declaration window and recovers it like any other place.
     void on_sweep() {
-      if (crashed_[0]) return;  // monitor is gone; kPlaceZeroDead will fire
+      if (crashed_[monitor_]) {
+        if (now_ - crash_time_[static_cast<std::size_t>(monitor_)] >=
+            opts_.heartbeat.declare_delay()) {
+          fault_batch_.clear();
+          fault_batch_.push_back(monitor_);
+          declare_dead_batch(fault_batch_);
+        } else if (!done_) {
+          queue_.push(now_ + opts_.heartbeat.interval_s, kSweep, 0, 0);
+        }
+        return;
+      }
       transitions_.clear();
       detector_.sweep(now_, transitions_);
-      bool recovered = false;
+      fault_batch_.clear();
       for (const HealthTransition& tr : transitions_) {
         if (tracer_.spans_on()) {
           tracer_.detector_event(tr.place, static_cast<std::uint8_t>(tr.to), now_);
@@ -935,16 +1005,12 @@ class SimEngine {
             DPX10_INFO << "sim: place " << tr.place << " suspected at t=" << now_ << "s";
             break;
           case PlaceHealth::Dead:
-            if (pm_.is_alive(tr.place)) {
-              declare_dead(tr.place);
-              recovered = true;
-            }
+            if (pm_.is_alive(tr.place)) fault_batch_.push_back(tr.place);
             break;
         }
-        // Recovery reset the detector; the remaining transitions of this
-        // sweep are stale. Anything still wrong re-fires after re-baseline.
-        if (recovered) break;
       }
+      const bool recovered = !fault_batch_.empty();
+      if (recovered) declare_dead_batch(fault_batch_);
       // Recovery re-armed the beat/sweep cycle itself; otherwise keep it up.
       if (!recovered && !done_) {
         queue_.push(now_ + opts_.heartbeat.interval_s, kSweep, 0, 0);
@@ -953,34 +1019,35 @@ class SimEngine {
 
     /// A fault fires: the place stops, silently. Its queued work is gone;
     /// everything already in flight *to* it will be dropped on arrival.
-    /// Detection — and only then recovery — comes from the heartbeat path.
+    /// Detection — and only then recovery — comes from the heartbeat path;
+    /// when the *monitor* crashes, the next sweep runs against its
+    /// replicated ledger on the successor, so nothing special happens here.
     void crash_place(std::int32_t p) {
       crashed_[static_cast<std::size_t>(p)] = 1;
       crash_time_[static_cast<std::size_t>(p)] = now_;
       place(p).ready.clear();
       DPX10_INFO << "sim: place " << p << " crashed at t=" << now_
                  << "s (not yet detected)";
-      if (p == 0) {
-        // Place 0 is the monitor — nobody watches the watcher. Model the
-        // survivors noticing after the same declaration window, at which
-        // point the computation is unrecoverable (Resilient X10 limitation).
-        queue_.push(now_ + opts_.heartbeat.declare_delay(), kPlaceZeroDead, 0, 0);
-      }
     }
 
-    /// The detector declared `d` dead: fence it out (even if it was a false
-    /// positive — a place the group evicted must never rejoin) and run
-    /// §VI-D recovery, now carrying the measured detection latency.
-    void declare_dead(std::int32_t d) {
-      const bool was_crashed = crashed_[static_cast<std::size_t>(d)] != 0;
-      crashed_[static_cast<std::size_t>(d)] = 1;
-      suspected_.clear(d);
-      detector_.mark_dead(d);
-      const double detected_after =
-          was_crashed ? now_ - crash_time_[static_cast<std::size_t>(d)] : 0.0;
-      DPX10_INFO << "sim: place " << d << " declared dead at t=" << now_
-                 << "s (detection latency " << detected_after << "s)";
-      perform_recovery(d, detected_after);
+    /// The detector declared every place in `batch` dead: fence them out
+    /// (even false positives — a place the group evicted must never
+    /// rejoin) and run §VI-D recovery, carrying the trigger's measured
+    /// detection latency.
+    void declare_dead_batch(const std::vector<std::int32_t>& batch) {
+      double detected_after = 0.0;
+      for (std::int32_t d : batch) {
+        const bool was_crashed = crashed_[static_cast<std::size_t>(d)] != 0;
+        crashed_[static_cast<std::size_t>(d)] = 1;
+        suspected_.clear(d);
+        detector_.mark_dead(d);
+        const double lat =
+            was_crashed ? now_ - crash_time_[static_cast<std::size_t>(d)] : 0.0;
+        detected_after = std::max(detected_after, lat);
+        DPX10_INFO << "sim: place " << d << " declared dead at t=" << now_
+                   << "s (detection latency " << lat << "s)";
+      }
+      perform_recovery(batch, detected_after);
     }
 
     /// Periodic snapshot (RecoveryPolicy::PeriodicSnapshot): capture a
@@ -1014,17 +1081,335 @@ class SimEngine {
       snapshot_seconds_ += duration;
     }
 
-    /// §VI-D recovery in virtual time. The rebuild runs "in parallel on all
-    /// alive places": every survivor scans its share of the new array and
-    /// copies the locally-restorable results, so the modeled duration is the
-    /// per-cell work divided by the survivor count, plus the wire time of
-    /// any cross-place restores.
-    void perform_recovery(std::int32_t dead_place, double detected_after) {
-      if (dead_place == 0) throw DeadPlaceException(0);
-      const double started_at = now_;
-      const std::int64_t finished_before = finished_;
+    // ---- durable checkpoint / resume ----
 
-      pm_.kill(dead_place);
+    static net::TrafficSnapshot add_traffic(const net::TrafficSnapshot& a,
+                                            const net::TrafficSnapshot& b) {
+      net::TrafficSnapshot out = a;
+      for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+        out.messages_out[k] += b.messages_out[k];
+        out.messages_in[k] += b.messages_in[k];
+      }
+      out.bytes_out += b.bytes_out;
+      out.bytes_in += b.bytes_in;
+      return out;
+    }
+
+    /// Folds the live slot/cache counters into a PlaceStats copy — the
+    /// persisted form, so a resumed process can restart its own slots and
+    /// caches at zero and simply add.
+    PlaceStats folded_stats(std::int32_t p) {
+      PlaceStats s = place(p).stats;
+      s.busy_seconds += place(p).slots.busy_seconds();
+      s.cache_evictions += place(p).cache.evictions();
+      return s;
+    }
+
+    /// Durable checkpoint: persist an atomic on-disk bundle, then run the
+    /// same barrier a resume replays. Because write side and resume side
+    /// execute the identical barrier at the identical trigger, the two
+    /// trajectories coincide from here on — which is what makes a resumed
+    /// run's report byte-identical to the uninterrupted one.
+    void take_checkpoint() {
+      ++ckpt_seq_;
+      const double duration =
+          static_cast<double>(dag_.domain().size()) * opts_.cost.snapshot_copy_ns * 1e-9 /
+              static_cast<double>(pm_.alive_count()) +
+          opts_.link.latency_s;
+      const double resume_at = now_ + duration;
+      checkpoint::BundleWriter writer(opts_.checkpoint_dir, ckpt_seq_);
+      checkpoint::Manifest& m = writer.manifest();
+      m.set("run.app", std::string(app_.name()));
+      m.set("run.dag", std::string(dag_.name()));
+      m.set_i64("run.vertices", dag_.domain().size());
+      m.set_i64("run.nplaces", opts_.nplaces);
+      m.set_i64("run.nthreads", opts_.nthreads);
+      m.set_u64("run.seed", opts_.seed);
+      m.set_i64("progress.finished", finished_);
+      m.set_u64("progress.computed", computed_total_);
+      m.set_i64("progress.events", events_processed_);
+      m.set_u64("progress.next_fault", next_fault_);
+      m.set_u64("progress.next_event_fault", next_event_fault_);
+      m.set_u64("progress.sim_events", sim_events_base_ + queue_.pushed());
+      m.set_double("progress.resume_at", resume_at);
+      m.set_double("progress.next_sample", next_sample_);
+      m.set_i64("ckpt.next_at", next_ckpt_at_ + ckpt_step_);
+      m.set_i64("monitor", monitor_);
+      m.set_i64("epoch", epoch_.current);
+      std::vector<std::uint64_t> dead;
+      std::vector<std::uint64_t> crash_flags;
+      std::vector<double> crash_times;
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        if (!pm_.is_alive(p)) dead.push_back(static_cast<std::uint64_t>(p));
+        crash_flags.push_back(crashed_[static_cast<std::size_t>(p)]);
+        crash_times.push_back(crash_time_[static_cast<std::size_t>(p)]);
+      }
+      m.set_u64s("places.dead", dead);
+      m.set_u64s("places.crashed", crash_flags);
+      m.set_doubles("places.crash_time", crash_times);
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        // Governor fields are structurally zero here: validate() forbids
+        // retirement alongside checkpointing.
+        const PlaceStats s = folded_stats(p);
+        m.set_u64s("place." + std::to_string(p) + ".counters",
+                   {s.computed, s.executed_nonlocal, s.local_dep_reads,
+                    s.remote_fetches, s.cache_hits, s.control_msgs_out,
+                    s.fetch_batches, s.control_batches, s.steals,
+                    s.fetch_retries, s.fetch_timeouts, s.net_drops,
+                    s.net_duplicates, s.suspicions, s.cache_evictions});
+        m.set_double("place." + std::to_string(p) + ".busy", s.busy_seconds);
+      }
+      const net::TrafficSnapshot t = add_traffic(traffic_base_, book_.total());
+      m.set_u64s("traffic.messages_out",
+                 std::vector<std::uint64_t>(t.messages_out,
+                                            t.messages_out + net::kMessageKindCount));
+      m.set_u64s("traffic.messages_in",
+                 std::vector<std::uint64_t>(t.messages_in,
+                                            t.messages_in + net::kMessageKindCount));
+      m.set_u64("traffic.bytes_out", t.bytes_out);
+      m.set_u64("traffic.bytes_in", t.bytes_in);
+      m.set_u64("recoveries.count", recoveries_.size());
+      for (std::size_t i = 0; i < recoveries_.size(); ++i) {
+        const RecoveryRecord& r = recoveries_[i];
+        m.set_u64s("recovery." + std::to_string(i) + ".counters",
+                   {static_cast<std::uint64_t>(r.dead_place),
+                    static_cast<std::uint64_t>(r.epoch), r.nested ? 1u : 0u,
+                    r.lost, r.restored, r.restored_remote, r.discarded,
+                    r.restored_spilled, r.resurrected});
+        m.set_doubles("recovery." + std::to_string(i) + ".times",
+                      {r.started_at, r.recovery_seconds, r.detected_after_s});
+      }
+      writer.write_cells(checkpoint::encode_cells(*array_));
+      writer.commit();
+      DPX10_INFO << "sim: checkpoint bundle " << ckpt_seq_ << " committed at t="
+                 << now_ << "s (finished " << finished_ << "/" << target_ << ")";
+      checkpoint_barrier(resume_at);
+    }
+
+    /// The shared write/resume barrier: discard every in-flight event,
+    /// reset each place to resume_at, re-derive the ready frontier from
+    /// cell state, and re-key the scheduler RNG from (seed, bundle seq) —
+    /// inputs both sides hold, which is why they agree.
+    void checkpoint_barrier(double resume_at) {
+      queue_.clear();
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        PlaceSim& pl = place(p);
+        pl.ready.clear();
+        pl.cache.clear();
+        // Fold the slot pool's busy accumulator into the durable stats —
+        // the exact addition folded_stats() just wrote to the manifest —
+        // so the write side and a resume both continue from the manifest
+        // value with a fresh accumulator and stay bit-identical.
+        pl.stats.busy_seconds += pl.slots.take_busy_seconds();
+        pl.slots.reset_all(resume_at);
+        pl.nic_free = resume_at;
+        pl.dispatch_pending = false;
+      }
+      rng_ = Xoshiro256(mix64(mix64(opts_.seed, 0x5157ULL), ckpt_seq_));
+      ready_time_.clear();
+      open_span_.clear();
+      detail::seed_ready(*array_, [&](std::int32_t owner, std::int64_t idx) {
+        queue_.push(resume_at, kReady, owner, idx);
+      });
+      elapsed_ = resume_at;
+      if (detector_active_) {
+        suspected_.clear_all();
+        detector_.reset(resume_at);
+        arm_heartbeats(resume_at);
+      }
+    }
+
+    /// Rebuilds the engine from the latest consistent bundle under
+    /// --resume and replays the write-side barrier, so the killed run's
+    /// trajectory continues exactly where its last checkpoint cut it.
+    void resume_from_checkpoint() {
+      checkpoint::Bundle bundle = checkpoint::load_latest(opts_.resume_dir);
+      const checkpoint::Manifest& m = bundle.manifest;
+      require(m.get("run.app") == std::string(app_.name()) &&
+                  m.get("run.dag") == std::string(dag_.name()) &&
+                  m.get_i64("run.vertices") == dag_.domain().size() &&
+                  m.get_i64("run.nplaces") == opts_.nplaces &&
+                  m.get_i64("run.nthreads") == opts_.nthreads &&
+                  m.get_u64("run.seed") == opts_.seed,
+              "checkpoint: bundle was written by a different run "
+              "configuration (app/dag/size/places/seed mismatch)");
+      ckpt_seq_ = bundle.seq;
+      const std::vector<std::uint64_t> dead = m.get_u64s("places.dead");
+      for (std::uint64_t d : dead) pm_.kill(static_cast<std::int32_t>(d));
+      const std::vector<std::uint64_t> crash_flags = m.get_u64s("places.crashed");
+      const std::vector<double> crash_times = m.get_doubles("places.crash_time");
+      require(crash_flags.size() == static_cast<std::size_t>(opts_.nplaces) &&
+                  crash_times.size() == static_cast<std::size_t>(opts_.nplaces),
+              "checkpoint: bundle place census does not match --nplaces");
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        crashed_[static_cast<std::size_t>(p)] =
+            crash_flags[static_cast<std::size_t>(p)] != 0 ? 1 : 0;
+        crash_time_[static_cast<std::size_t>(p)] =
+            crash_times[static_cast<std::size_t>(p)];
+      }
+      monitor_ = static_cast<std::int32_t>(m.get_i64("monitor"));
+      epoch_.current = static_cast<std::int32_t>(m.get_i64("epoch"));
+      if (detector_active_) {
+        for (std::uint64_t d : dead) {
+          detector_.mark_dead(static_cast<std::int32_t>(d));
+        }
+        if (monitor_ != detector_.monitor()) detector_.fail_over(monitor_);
+      }
+      array_ = std::make_unique<DistArray<T>>(dag_.domain(), opts_.dist,
+                                              pm_.alive_group());
+      detail::initialize_cells(*array_, dag_, app_);
+      checkpoint::apply_cells(bundle.cells, *array_, app_);
+      detail::recompute_indegrees(*array_, dag_);
+      finished_ = static_cast<std::int64_t>(detail::count_finished(*array_));
+      require(finished_ == m.get_i64("progress.finished"),
+              "checkpoint: cell payload disagrees with the manifest's "
+              "finished count");
+      computed_total_ = m.get_u64("progress.computed");
+      events_processed_ = m.get_i64("progress.events");
+      next_fault_ = static_cast<std::size_t>(m.get_u64("progress.next_fault"));
+      next_event_fault_ =
+          static_cast<std::size_t>(m.get_u64("progress.next_event_fault"));
+      require(next_fault_ <= faults_.size() &&
+                  next_event_fault_ <= event_faults_.size(),
+              "checkpoint: bundle fault cursors do not match the configured "
+              "plans");
+      sim_events_base_ = m.get_u64("progress.sim_events");
+      next_sample_ = m.get_double("progress.next_sample");
+      next_ckpt_at_ = m.get_i64("ckpt.next_at");
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        const std::vector<std::uint64_t> c =
+            m.get_u64s("place." + std::to_string(p) + ".counters");
+        require(c.size() == 15, "checkpoint: malformed place counters");
+        PlaceStats& s = place(p).stats;
+        s.computed = c[0];
+        s.executed_nonlocal = c[1];
+        s.local_dep_reads = c[2];
+        s.remote_fetches = c[3];
+        s.cache_hits = c[4];
+        s.control_msgs_out = c[5];
+        s.fetch_batches = c[6];
+        s.control_batches = c[7];
+        s.steals = c[8];
+        s.fetch_retries = c[9];
+        s.fetch_timeouts = c[10];
+        s.net_drops = c[11];
+        s.net_duplicates = c[12];
+        s.suspicions = c[13];
+        s.cache_evictions = c[14];
+        s.busy_seconds = m.get_double("place." + std::to_string(p) + ".busy");
+      }
+      const std::vector<std::uint64_t> mo = m.get_u64s("traffic.messages_out");
+      const std::vector<std::uint64_t> mi = m.get_u64s("traffic.messages_in");
+      require(mo.size() == net::kMessageKindCount &&
+                  mi.size() == net::kMessageKindCount,
+              "checkpoint: malformed traffic census");
+      for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+        traffic_base_.messages_out[k] = mo[k];
+        traffic_base_.messages_in[k] = mi[k];
+      }
+      traffic_base_.bytes_out = m.get_u64("traffic.bytes_out");
+      traffic_base_.bytes_in = m.get_u64("traffic.bytes_in");
+      const std::uint64_t nrec = m.get_u64("recoveries.count");
+      for (std::uint64_t i = 0; i < nrec; ++i) {
+        const std::vector<std::uint64_t> c =
+            m.get_u64s("recovery." + std::to_string(i) + ".counters");
+        const std::vector<double> times =
+            m.get_doubles("recovery." + std::to_string(i) + ".times");
+        require(c.size() == 9 && times.size() == 3,
+                "checkpoint: malformed recovery record");
+        RecoveryRecord r;
+        r.dead_place = static_cast<std::int32_t>(c[0]);
+        r.epoch = static_cast<std::int32_t>(c[1]);
+        r.nested = c[2] != 0;
+        r.lost = c[3];
+        r.restored = c[4];
+        r.restored_remote = c[5];
+        r.discarded = c[6];
+        r.restored_spilled = c[7];
+        r.resurrected = c[8];
+        r.started_at = times[0];
+        r.recovery_seconds = times[1];
+        r.detected_after_s = times[2];
+        recoveries_.push_back(r);
+      }
+      const double resume_at = m.get_double("progress.resume_at");
+      now_ = resume_at;
+      DPX10_INFO << "sim: resumed from checkpoint bundle " << ckpt_seq_
+                 << " (finished " << finished_ << "/" << target_ << ", t="
+                 << resume_at << "s)";
+      checkpoint_barrier(resume_at);
+    }
+
+    /// §VI-D recovery as an idempotent, epoch-numbered loop. The initial
+    /// batch (one death, or several declared at the same instant) is
+    /// rebuilt in one pass; each pass is itself an observable event, so
+    /// fault plans keyed on the event counter — and fraction plans whose
+    /// threshold the restored count satisfies — can land *during* the
+    /// rebuild. Those deaths form the next, `nested`, batch and the loop
+    /// restarts over the shrunk survivor set until a pass completes with
+    /// nobody else dying. Monitor failover happens inside the pass.
+    void perform_recovery(const std::vector<std::int32_t>& initial_batch,
+                          double detected_after) {
+      std::vector<std::int32_t> batch = initial_batch;
+      bool nested = false;
+      double at = now_;
+      while (!batch.empty()) {
+        at = recover_batch(batch, at, detected_after, nested);
+        nested = true;
+        detected_after = 0.0;
+        // The rebuild/restore pass counts as one processed event: a crash
+        // sweep's at_event can fall inside the recovery window, which is
+        // exactly the kill-during-recovery case.
+        ++events_processed_;
+        batch.clear();
+        if (done_) break;
+        while (next_event_fault_ < event_faults_.size() &&
+               events_processed_ >= event_faults_[next_event_fault_].at_event) {
+          const FaultPlan fault = event_faults_[next_event_fault_];
+          ++next_event_fault_;
+          if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
+            batch.push_back(fault.place);
+          }
+        }
+        while (next_fault_ < faults_.size() &&
+               finished_ >= fault_thresholds_[next_fault_]) {
+          const FaultPlan fault = faults_[next_fault_];
+          ++next_fault_;
+          if (pm_.is_alive(fault.place) && !crashed_[fault.place]) {
+            batch.push_back(fault.place);
+          }
+        }
+        std::sort(batch.begin(), batch.end());  // place-id tie-break
+      }
+    }
+
+    /// One rebuild/restore pass over a batch of simultaneous deaths, in
+    /// virtual time. The rebuild runs "in parallel on all alive places":
+    /// every survivor scans its share of the new array and copies the
+    /// locally-restorable results, so the modeled duration is the per-cell
+    /// work divided by the survivor count, plus the wire time of any
+    /// cross-place restores. Returns the virtual time survivors resume at.
+    double recover_batch(const std::vector<std::int32_t>& batch, double at,
+                         double detected_after, bool nested) {
+      const std::int64_t finished_before = finished_;
+      for (std::int32_t d : batch) {
+        if (pm_.alive_count() <= 1) throw DeadPlaceException(d);
+        pm_.kill(d);
+      }
+      // Coordinator failover: if the monitor died in this batch, the lowest
+      // alive place that is not itself silently crashed adopts the
+      // replicated ledger. Nobody left standing is the one hopeless case.
+      if (std::find(batch.begin(), batch.end(), monitor_) != batch.end()) {
+        std::int32_t successor = -1;
+        for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+          if (pm_.is_alive(p) && !crashed_[p]) { successor = p; break; }
+        }
+        if (successor < 0) throw DeadPlaceException(monitor_);
+        DPX10_INFO << "sim: monitor role fails over from place " << monitor_
+                   << " to place " << successor;
+        if (detector_active_) detector_.fail_over(successor);
+        monitor_ = successor;
+      }
       PlaceGroup survivors = pm_.alive_group();
       const double nsurv = static_cast<double>(survivors.size());
       const double scan_s =
@@ -1034,8 +1419,8 @@ class SimEngine {
       RecoveryRecord record;
       double recovery_s;
       if (opts_.recovery == RecoveryPolicy::Rebuild) {
-        record = detail::rebuild_after_death(*array_, dead_place, opts_.restore, dag_, app_,
-                                             *fresh, book_, gov_.get());
+        record = detail::rebuild_after_deaths(*array_, batch, opts_.restore, dag_, app_,
+                                              *fresh, book_, gov_.get());
         const double copy_s =
             static_cast<double>(record.restored) * opts_.cost.restore_copy_ns * 1e-9;
         const double wire_s = static_cast<double>(record.restored_remote) *
@@ -1045,7 +1430,7 @@ class SimEngine {
       } else {
         // Periodic-snapshot rollback: every survivor reloads its share of
         // the last snapshot; everything newer than the snapshot recomputes.
-        record.dead_place = dead_place;
+        record.dead_place = batch.front();
         if (vault_.has_snapshot()) {
           vault_.restore(*fresh);
           if (gov_ && !gov_spill_) {
@@ -1065,13 +1450,17 @@ class SimEngine {
         recovery_s = (scan_s + copy_s) / nsurv + opts_.link.latency_s;
       }
       array_ = std::move(fresh);
-      const double resume_at = now_ + recovery_s;
+      const double resume_at = at + recovery_s;
 
-      record.started_at = started_at;
+      record.epoch = epoch_.next();
+      record.nested = nested;
+      record.started_at = at;
       record.recovery_seconds = recovery_s;
       record.detected_after_s = detected_after;
       recoveries_.push_back(record);
-      DPX10_INFO << "sim: place " << dead_place << " died at t=" << started_at
+      DPX10_INFO << "sim: " << batch.size() << " place(s) died (trigger "
+                 << record.dead_place << ", epoch " << record.epoch
+                 << (nested ? ", nested" : "") << ") at t=" << at
                  << "s; recovery took " << recovery_s << "s (restored " << record.restored
                  << ", lost " << record.lost << ", discarded " << record.discarded << ")";
 
@@ -1098,6 +1487,7 @@ class SimEngine {
         detector_.reset(resume_at);
         arm_heartbeats(resume_at);
       }
+      return resume_at;
     }
 
     // ---- state ----
@@ -1145,6 +1535,15 @@ class SimEngine {
 
     std::vector<RecoveryRecord> recoveries_;
     std::vector<HealthTransition> transitions_;
+    std::int32_t monitor_ = 0;  ///< current holder of the coordinator role
+    detail::RecoveryEpoch epoch_;
+    std::vector<std::int32_t> fault_batch_;  ///< scratch: deaths sharing an instant
+
+    std::int64_t ckpt_step_ = 0;  // 0 = durable checkpoints disabled
+    std::int64_t next_ckpt_at_ = 0;
+    std::uint64_t ckpt_seq_ = 0;
+    std::uint64_t sim_events_base_ = 0;  ///< events pushed before this process (resume)
+    net::TrafficSnapshot traffic_base_;  ///< traffic before this process (resume)
 
     double next_sample_ = 0.0;
     std::unordered_map<std::int64_t, double> ready_time_;

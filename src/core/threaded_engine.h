@@ -16,10 +16,14 @@
 // worker progress ("beats") on a wall-clock period, suspects a place after
 // missed beats, and declares it dead after the confirmation window; only
 // the declaration starts recovery, so reports carry a real detection
-// latency. The monitor guards against its own starvation: if place 0's
-// workers (its liveness reference) made no progress either, the sample
-// proves nothing and the detector is re-baselined instead — a wall-clock
-// detector must never evict a place because the whole process was asleep.
+// latency. The monitor role floats: it lives at the lowest-id surviving
+// place, so when the current holder crashes the next survivor adopts the
+// (modeled-as-replicated) ledger and declares its predecessor dead like any
+// other place — place 0's death is recoverable. The monitor also guards
+// against its own starvation: if the monitor place's workers (its liveness
+// reference) made no progress either, the sample proves nothing and the
+// detector is re-baselined instead — a wall-clock detector must never evict
+// a place because the whole process was asleep.
 //
 // Memory-ordering protocol (the correctness core):
 //   writer: cell.value = r;  cell.state.store(Finished, release);
@@ -72,11 +76,15 @@ class ThreadedEngine {
  public:
   explicit ThreadedEngine(RuntimeOptions opts) : opts_(std::move(opts)) {
     opts_.validate();
+    require(opts_.checkpoint_dir.empty() && opts_.resume_dir.empty(),
+            "ThreadedEngine: durable checkpoint/resume requires the "
+            "deterministic engine (--engine=sim)");
   }
 
   /// Runs the application to completion and returns the run report.
-  /// Throws DeadPlaceException if a fault kills place 0 (the Resilient X10
-  /// limitation reproduced in §VI-D).
+  /// Throws DeadPlaceException only when every place has died — any single
+  /// death, place 0's included, is recovered (§VI-D plus coordinator
+  /// failover).
   RunReport run(const Dag& dag, DPX10App<T>& app) {
     State state(opts_, dag, app);
     return state.run();
@@ -225,11 +233,6 @@ class ThreadedEngine {
       if (monitor.joinable()) monitor.join();
       if (sampler.joinable()) sampler.join();
 
-      // A place-0 crash is unrecoverable even if the survivors managed to
-      // finish before the detector could say so.
-      if (!failure_ && places_[0]->crashed.load(std::memory_order_acquire)) {
-        failure_ = std::make_exception_ptr(DeadPlaceException(0));
-      }
       if (failure_) std::rethrow_exception(failure_);
 
       RunReport report;
@@ -770,17 +773,27 @@ class ThreadedEngine {
       // Fault injection. Oracle mode: the worker that crosses an armed
       // threshold becomes the recovery coordinator, instantly. Detector
       // mode: the place merely crashes — silently — and the monitor thread
-      // has to notice before anyone recovers.
+      // has to notice before anyone recovers. The CAS loop drains EVERY
+      // threshold this step crossed, so a plan with tied thresholds (two
+      // places dying at the same instant) yields one batched recovery
+      // instead of dropping the tie.
+      std::vector<std::int32_t> batch;
       std::size_t f = next_fault_.load(std::memory_order_relaxed);
-      if (f < faults_.size() && fc >= fault_thresholds_[f]) {
+      while (f < faults_.size() && fc >= fault_thresholds_[f]) {
         if (next_fault_.compare_exchange_strong(f, f + 1, std::memory_order_acq_rel)) {
           if (detector_active_) {
             crash_place(faults_[f].place);
           } else {
-            coordinate_recovery(faults_[f].place, /*detected_after=*/0.0);
-            return;
+            batch.push_back(faults_[f].place);
           }
+          f = next_fault_.load(std::memory_order_relaxed);
         }
+        // CAS failure reloaded f: another worker claimed that fault.
+      }
+      if (!batch.empty()) {
+        std::sort(batch.begin(), batch.end());  // place-id tie-break
+        coordinate_recovery(batch, /*detected_after=*/0.0);
+        return;
       }
 
       // Periodic snapshots: the worker that crosses the next snapshot
@@ -830,9 +843,17 @@ class ThreadedEngine {
     // rebuilds. The monitor is NOT a worker, so it must not count itself in
     // coordinating_ — doing so would leave the gate waiting for one worker
     // that does not exist.
-    void coordinate_recovery(std::int32_t dead_place, double detected_after,
+    void coordinate_recovery(const std::vector<std::int32_t>& batch,
+                             double detected_after,
                              bool worker_coordinator = true) {
       const double started_at = stopwatch_.seconds();
+
+      // Nested-recovery bookkeeping: if another coordinator is already in
+      // flight when this one arrives (tied thresholds claimed by different
+      // workers, or a death declared while a rebuild holds recovery_mu_),
+      // whichever rebuild runs second is recorded as nested — it restarts
+      // recovery over an already-shrunk survivor set.
+      const bool nested = recovering_.fetch_add(1, std::memory_order_acq_rel) > 0;
 
       if (worker_coordinator) coordinating_.fetch_add(1, std::memory_order_acq_rel);
       pause_requests_.fetch_add(1, std::memory_order_acq_rel);
@@ -849,18 +870,17 @@ class ThreadedEngine {
       {
         std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
         Stopwatch recovery_watch;
-        DPX10_INFO << "place " << dead_place << " died after "
+        DPX10_INFO << "place " << batch.front()
+                   << (batch.size() > 1 ? " (and others)" : "") << " died after "
                    << finished_.load(std::memory_order_relaxed) << " vertices; recovering";
 
-        if (dead_place == 0) {
-          // Resilient X10 aborts when place 0 dies; reproduce the limitation.
-          failure_ = std::make_exception_ptr(DeadPlaceException(0));
-          announce_done();
-        } else if (!done_.load(std::memory_order_acquire)) {
-          perform_recovery(dead_place, started_at, detected_after, recovery_watch);
+        if (!done_.load(std::memory_order_acquire)) {
+          perform_recovery(batch, started_at, detected_after, recovery_watch,
+                           nested);
         }
       }
 
+      recovering_.fetch_sub(1, std::memory_order_acq_rel);
       pause_requests_.fetch_sub(1, std::memory_order_acq_rel);
       if (worker_coordinator) coordinating_.fetch_sub(1, std::memory_order_acq_rel);
       {
@@ -914,13 +934,26 @@ class ThreadedEngine {
       for (auto& p : places_) p->cv.notify_all();
     }
 
-    void perform_recovery(std::int32_t dead_place, double started_at,
-                          double detected_after, const Stopwatch& recovery_watch) {
+    void perform_recovery(const std::vector<std::int32_t>& batch,
+                          double started_at, double detected_after,
+                          const Stopwatch& recovery_watch, bool nested) {
       const std::int64_t finished_before = finished_.load(std::memory_order_acquire);
+      std::vector<std::int32_t> dead;
       {
         std::lock_guard<std::mutex> lk(pm_mu_);
-        pm_.kill(dead_place);
+        for (std::int32_t d : batch) {
+          if (!pm_.is_alive(d)) continue;  // an earlier pass already took it
+          if (pm_.alive_count() <= 1) {
+            // This death empties the world: the only fatal case left.
+            failure_ = std::make_exception_ptr(DeadPlaceException(d));
+            announce_done();
+            return;
+          }
+          pm_.kill(d);
+          dead.push_back(d);
+        }
       }
+      if (dead.empty()) return;
       PlaceGroup survivors = [&] {
         std::lock_guard<std::mutex> lk(pm_mu_);
         return pm_.alive_group();
@@ -929,11 +962,11 @@ class ThreadedEngine {
       auto fresh = std::make_unique<DistArray<T>>(dag_.domain(), opts_.dist, survivors);
       RecoveryRecord record;
       if (opts_.recovery == RecoveryPolicy::Rebuild) {
-        record = detail::rebuild_after_death(*array_, dead_place, opts_.restore, dag_, app_,
-                                             *fresh, book_, gov_.get());
+        record = detail::rebuild_after_deaths(*array_, dead, opts_.restore, dag_, app_,
+                                              *fresh, book_, gov_.get());
       } else {
         // Periodic-snapshot rollback (§VI-D's rejected baseline).
-        record.dead_place = dead_place;
+        record.dead_place = dead.front();
         if (vault_.has_snapshot()) {
           vault_.restore(*fresh);
           if (gov_ && !gov_spill_) {
@@ -969,6 +1002,8 @@ class ThreadedEngine {
           static_cast<std::int64_t>(detail::count_finished(*array_));
       finished_.store(now_finished, std::memory_order_release);
 
+      record.epoch = epoch_.next();  // serialized: caller holds recovery_mu_
+      record.nested = nested;
       record.started_at = started_at;
       record.recovery_seconds = recovery_watch.seconds();
       record.detected_after_s = detected_after;
@@ -997,13 +1032,22 @@ class ThreadedEngine {
     /// then coordinates §VI-D recovery — so reports carry a real detection
     /// latency instead of oracle knowledge.
     ///
+    /// The monitor role is not pinned to place 0. Its ledger (`seen` /
+    /// `silent`) models state replicated along the deterministic successor
+    /// chain, so every sample simply re-resolves the role holder: the
+    /// lowest-id place that is alive and has not fail-stopped. When the
+    /// current holder crashes, the next survivor adopts the ledger
+    /// seamlessly and the deposed monitor is swept — suspected, declared,
+    /// recovered — exactly like any other place. Only "every place crashed"
+    /// remains fatal, and even that waits out the declaration window so the
+    /// abort carries honest detection latency.
+    ///
     /// Two situations make a sample meaningless, and both re-baseline the
     /// counters instead of advancing them: a pause is in flight (workers
-    /// are parked on purpose), or place 0's own workers made no progress
-    /// (the whole process was starved — a wall-clock detector must never
-    /// evict a place because the machine was asleep).
+    /// are parked on purpose), or the monitor place's own workers made no
+    /// progress (the whole process was starved — a wall-clock detector must
+    /// never evict a place because the machine was asleep).
     void monitor_main() {
-      set_log_place(0);  // the monitor lives at place 0
       const double interval_s = std::max(opts_.heartbeat.interval_s, kMinMonitorInterval);
       const auto interval = std::chrono::duration<double>(interval_s);
       const std::size_t n = places_.size();
@@ -1012,45 +1056,72 @@ class ThreadedEngine {
           opts_.heartbeat.suspect_after + opts_.heartbeat.confirm_after;
       std::vector<std::uint64_t> seen(n, 0);
       std::vector<std::int32_t> silent(n, 0);
+      std::int32_t monitor = 0;
+      std::int32_t hopeless = 0;  // samples with no live monitor candidate
+      set_log_place(monitor);
       rebaseline(seen, silent);
 
       while (!done_.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(interval);
         if (done_.load(std::memory_order_acquire)) break;
 
-        // The monitor lives at place 0; a place-0 crash is unrecoverable.
-        // The declaration window is still waited out so the abort happens
-        // with honest detection latency, not at the instant of the crash.
-        if (places_[0]->crashed.load(std::memory_order_acquire)) {
-          if (++silent[0] >= declare_after) {
+        // Resolve the monitor role: lowest-id alive place that has not
+        // fail-stopped. A crashed monitor keeps accruing silence below and
+        // is declared by its successor like any other corpse.
+        std::int32_t ref = -1;
+        for (std::size_t p = 0; p < n; ++p) {
+          const auto place = static_cast<std::int32_t>(p);
+          if (!pm_alive(place)) continue;
+          if (places_[p]->crashed.load(std::memory_order_acquire)) continue;
+          ref = place;
+          break;
+        }
+        if (ref < 0) {
+          // Every remaining place has crashed: nobody is left to adopt the
+          // monitor ledger. Wait out the declaration window, then abort.
+          if (++hopeless >= declare_after) {
             std::lock_guard<std::mutex> lk(recovery_mu_);
-            if (!failure_) failure_ = std::make_exception_ptr(DeadPlaceException(0));
+            if (!failure_) {
+              std::int32_t lowest = 0;
+              std::lock_guard<std::mutex> pm_lk(pm_mu_);
+              for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+                if (pm_.is_alive(p)) { lowest = p; break; }
+              }
+              failure_ = std::make_exception_ptr(DeadPlaceException(lowest));
+            }
             announce_done();
             break;
           }
           continue;
+        }
+        hopeless = 0;
+        if (ref != monitor) {
+          monitor = ref;
+          set_log_place(monitor);  // failover: the successor now logs
         }
 
         if (pause_requests_.load(std::memory_order_acquire) > 0) {
           rebaseline(seen, silent);
           continue;
         }
-        const std::uint64_t root_now = places_[0]->beats.load(std::memory_order_relaxed);
-        if (root_now == seen[0]) {  // starvation guard: the sample proves nothing
-          rebaseline(seen, silent);
+        const std::uint64_t mon_now =
+            places_[static_cast<std::size_t>(monitor)]->beats.load(std::memory_order_relaxed);
+        if (mon_now == seen[static_cast<std::size_t>(monitor)]) {
+          rebaseline(seen, silent);  // starvation guard: the sample proves nothing
           continue;
         }
-        seen[0] = root_now;
+        seen[static_cast<std::size_t>(monitor)] = mon_now;
 
-        std::int32_t to_declare = -1;
-        for (std::size_t p = 1; p < n; ++p) {
+        std::vector<std::int32_t> to_declare;
+        for (std::size_t p = 0; p < n; ++p) {
           const auto place = static_cast<std::int32_t>(p);
+          if (place == monitor) continue;
           if (!pm_alive(place)) continue;
           const std::uint64_t now = places_[p]->beats.load(std::memory_order_relaxed);
           if (now != seen[p]) {
             // The beat reached the monitor: one control message of modeled
             // heartbeat traffic per observed sample.
-            book_.record(place, 0, net::MessageKind::Heartbeat,
+            book_.record(place, monitor, net::MessageKind::Heartbeat,
                          net::kControlPayloadBytes);
             seen[p] = now;
             if (silent[p] >= suspect_after) {
@@ -1065,7 +1136,8 @@ class ThreadedEngine {
           ++silent[p];
           if (silent[p] == suspect_after) {
             suspected_.set(place);
-            places_[0]->stats.suspicions.fetch_add(1, std::memory_order_relaxed);
+            places_[static_cast<std::size_t>(monitor)]->stats.suspicions.fetch_add(
+                1, std::memory_order_relaxed);
             if (tracer_.spans_on()) {
               detector_transition(place, PlaceHealth::Suspected);
             }
@@ -1082,8 +1154,8 @@ class ThreadedEngine {
             // no scheduler noise, so there silence alone declares, and stall
             // windows can genuinely evict a live place.)
             if (places_[p]->crashed.load(std::memory_order_acquire)) {
-              to_declare = place;
-              break;
+              to_declare.push_back(place);  // batch every corpse this sweep
+              continue;
             }
             suspected_.clear(place);
             if (tracer_.spans_on()) detector_transition(place, PlaceHealth::Alive);
@@ -1091,12 +1163,18 @@ class ThreadedEngine {
             seen[p] = now;
           }
         }
-        if (to_declare < 0) continue;
+        if (to_declare.empty()) continue;
 
-        PlaceRt& dp = *places_[static_cast<std::size_t>(to_declare)];
-        dp.cv.notify_all();
-        if (tracer_.spans_on()) detector_transition(to_declare, PlaceHealth::Dead);
-        const double latency = stopwatch_.seconds() - dp.crash_wall;
+        // Simultaneous deaths whose windows expire in the same sweep are
+        // declared as one batch (place-id order — to_declare is scanned in
+        // ascending p). Detection latency is the worst case over the batch.
+        double latency = 0.0;
+        for (std::int32_t d : to_declare) {
+          PlaceRt& dp = *places_[static_cast<std::size_t>(d)];
+          dp.cv.notify_all();
+          if (tracer_.spans_on()) detector_transition(d, PlaceHealth::Dead);
+          latency = std::max(latency, stopwatch_.seconds() - dp.crash_wall);
+        }
         coordinate_recovery(to_declare, latency, /*worker_coordinator=*/false);
         suspected_.clear_all();
         rebaseline(seen, silent);
@@ -1197,6 +1275,10 @@ class ThreadedEngine {
     std::mutex recovery_mu_;
     int parked_ = 0;
     std::atomic<std::int32_t> active_workers_{0};
+    /// Coordinators currently in flight — a second one arriving while the
+    /// first holds (or queues for) recovery_mu_ records its pass as nested.
+    std::atomic<std::int32_t> recovering_{0};
+    detail::RecoveryEpoch epoch_;  // mutated only under recovery_mu_
 
     std::vector<RecoveryRecord> recoveries_;
     std::exception_ptr failure_;

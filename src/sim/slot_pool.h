@@ -38,6 +38,16 @@ class SlotPool {
   void delay_all_until(double time);
 
   double busy_seconds() const { return busy_seconds_; }
+
+  /// Returns the accumulated busy time and zeroes the accumulator — the
+  /// checkpoint barrier folds it into the durable per-place stats so a
+  /// resumed run (manifest value + fresh accumulator) performs bit-for-bit
+  /// the same additions as the run that wrote the bundle.
+  double take_busy_seconds() {
+    const double b = busy_seconds_;
+    busy_seconds_ = 0.0;
+    return b;
+  }
   std::uint64_t reservations() const { return reservations_; }
 
   /// Number of slots reserved past `now` — the observability sampler's

@@ -92,43 +92,78 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.0, 0.25, 0.5, 0.9)),
     fault_param_name);
 
-TEST(Fault, PlaceZeroDeathIsUnrecoverableSim) {
-  RuntimeOptions opts;
-  opts.nplaces = 4;
-  opts.nthreads = 2;
+TEST(Fault, PlaceZeroDeathIsRecoveredSim) {
+  // Since coordinator failover (PR 6), place 0's death is recovered like
+  // any other: the lowest surviving place adopts the monitor role and the
+  // run finishes with the fault-free results.
+  RuntimeOptions clean;
+  clean.nplaces = 4;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_checksum(dp::EngineKind::Sim, clean);
+
+  RuntimeOptions opts = clean;
   opts.faults.push_back(FaultPlan{0, 0.3});
-  EXPECT_THROW(run_checksum(dp::EngineKind::Sim, opts), DeadPlaceException);
+  RunReport report;
+  EXPECT_EQ(run_checksum(dp::EngineKind::Sim, opts, &report), expected);
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  EXPECT_EQ(report.recoveries[0].dead_place, 0);
 }
 
-TEST(Fault, PlaceZeroDeathIsUnrecoverableThreaded) {
-  RuntimeOptions opts;
-  opts.nplaces = 4;
-  opts.nthreads = 2;
-  opts.faults.push_back(FaultPlan{0, 0.3});
-  EXPECT_THROW(run_checksum(dp::EngineKind::Threaded, opts), DeadPlaceException);
+TEST(Fault, PlaceZeroDeathIsRecoveredThreaded) {
+  // Kill early, while place 0 still has unfinished rows. A later kill is
+  // legitimately survived *without* recovery on this engine: the wavefront
+  // finishes place 0's rows first, and a crashed place's already-finished
+  // cells stay readable (shared memory), so nothing is lost and the run
+  // can complete before the declaration window expires.
+  RuntimeOptions clean;
+  clean.nplaces = 4;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_checksum(dp::EngineKind::Threaded, clean);
+
+  RuntimeOptions opts = clean;
+  opts.faults.push_back(FaultPlan{0, 0.1});
+  RunReport report;
+  EXPECT_EQ(run_checksum(dp::EngineKind::Threaded, opts, &report), expected);
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  EXPECT_EQ(report.recoveries[0].dead_place, 0);
 }
 
-TEST(Fault, PlaceZeroDeathRaisesThroughHeartbeatPathSim) {
-  // With the failure detector active (faults + enabled heartbeat), a place-0
-  // crash is not an instant oracle abort: the monitor's own death has to
-  // play out through the declaration window, and the run must still end in
-  // DeadPlaceException. Kill early so place 0 has plenty of unfinished work.
-  RuntimeOptions opts;
-  opts.nplaces = 4;
-  opts.nthreads = 2;
-  opts.netfaults.drop_prob = 0.1;  // lossy network at the same time
+TEST(Fault, PlaceZeroDeathRecoversThroughHeartbeatPathSim) {
+  // With the failure detector active (faults + enabled heartbeat), a
+  // place-0 crash is not an instant oracle recovery: the monitor's own
+  // death has to play out through the declaration window, be detected by
+  // its successor, and recovery must still yield the fault-free results.
+  // Kill early so place 0 has plenty of unfinished work.
+  RuntimeOptions clean;
+  clean.nplaces = 4;
+  clean.nthreads = 2;
+  clean.netfaults.drop_prob = 0.1;  // lossy network at the same time
+  const std::uint64_t expected = run_checksum(dp::EngineKind::Sim, clean);
+
+  RuntimeOptions opts = clean;
   opts.faults.push_back(FaultPlan{0, 0.1});
   ASSERT_TRUE(opts.heartbeat.enabled);
-  EXPECT_THROW(run_checksum(dp::EngineKind::Sim, opts), DeadPlaceException);
+  RunReport report;
+  EXPECT_EQ(run_checksum(dp::EngineKind::Sim, opts, &report), expected);
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  EXPECT_EQ(report.recoveries[0].dead_place, 0);
+  // Declaration cannot precede the successor's full missed-beat window.
+  EXPECT_GE(report.recoveries[0].detected_after_s, opts.heartbeat.declare_delay());
 }
 
-TEST(Fault, PlaceZeroDeathRaisesThroughHeartbeatPathThreaded) {
-  RuntimeOptions opts;
-  opts.nplaces = 4;
-  opts.nthreads = 2;
+TEST(Fault, PlaceZeroDeathRecoversThroughHeartbeatPathThreaded) {
+  RuntimeOptions clean;
+  clean.nplaces = 4;
+  clean.nthreads = 2;
+  const std::uint64_t expected = run_checksum(dp::EngineKind::Threaded, clean);
+
+  RuntimeOptions opts = clean;
   opts.faults.push_back(FaultPlan{0, 0.1});
   ASSERT_TRUE(opts.heartbeat.enabled);
-  EXPECT_THROW(run_checksum(dp::EngineKind::Threaded, opts), DeadPlaceException);
+  RunReport report;
+  EXPECT_EQ(run_checksum(dp::EngineKind::Threaded, opts, &report), expected);
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  EXPECT_EQ(report.recoveries[0].dead_place, 0);
 }
 
 TEST(Fault, DetectionLatencyIsReportedSim) {

@@ -26,6 +26,8 @@ RunReport sample_report() {
   r.places = {p, p};
   RecoveryRecord rec;
   rec.dead_place = 1;
+  rec.epoch = 2;
+  rec.nested = true;
   rec.started_at = 0.7;
   rec.recovery_seconds = 0.1;
   rec.lost = 50'000;
@@ -102,6 +104,23 @@ TEST(ReportIo, CsvCarriesRecoveryLossColumns) {
   const std::string row = os.str();
   EXPECT_NE(row.find("120000"), std::string::npos);  // restored_remote
   EXPECT_NE(row.find("30000"), std::string::npos);   // discarded
+}
+
+TEST(ReportIo, RecoveryRecordsCarryEpochAndNested) {
+  // Summary line names the epoch and flags the nested pass.
+  std::ostringstream sos;
+  print_report(sos, sample_report());
+  EXPECT_NE(sos.str().find("epoch 2"), std::string::npos);
+  EXPECT_NE(sos.str().find("[nested]"), std::string::npos);
+
+  // JSON: per-recovery objects and the flat totals both carry the fields.
+  std::ostringstream jos;
+  print_json(jos, sample_report());
+  const std::string json = jos.str();
+  EXPECT_NE(json.find("\"epoch\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"nested\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"recovery_epochs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"nested_recoveries\":1"), std::string::npos);
 }
 
 // The CSV and JSON emitters must expose the same field set: every CSV

@@ -22,14 +22,35 @@ TEST(RuntimeOptions, ValidateSortsFaultsByFraction) {
   EXPECT_LT(opts.faults[1].at_fraction, opts.faults[2].at_fraction);
 }
 
-TEST(RuntimeOptions, ValidateRejectsTiedFaultFractions) {
+TEST(RuntimeOptions, ValidateOrdersTiedFaultFractionsByPlaceId) {
+  // Same-instant deaths of distinct places are legal (PR 6): the tie is
+  // broken deterministically by place id, so the recovery sequence stays
+  // unambiguous.
   RuntimeOptions opts;
   opts.nplaces = 8;
-  opts.faults.push_back(FaultPlan{3, 0.5});
   opts.faults.push_back(FaultPlan{5, 0.5});
-  // The death order at a tie would be ambiguous — and with it the whole
-  // recovery sequence.
-  EXPECT_THROW(opts.validate(), ConfigError);
+  opts.faults.push_back(FaultPlan{3, 0.5});
+  opts.validate();
+  ASSERT_EQ(opts.faults.size(), 2u);
+  EXPECT_EQ(opts.faults[0].place, 3);
+  EXPECT_EQ(opts.faults[1].place, 5);
+}
+
+TEST(RuntimeOptions, ValidateOrdersTiedEventFaultsByPlaceId) {
+  RuntimeOptions opts;
+  opts.nplaces = 8;
+  FaultPlan a;
+  a.place = 6;
+  a.at_event = 40;
+  FaultPlan b;
+  b.place = 2;
+  b.at_event = 40;
+  opts.faults.push_back(a);
+  opts.faults.push_back(b);
+  opts.validate();
+  ASSERT_EQ(opts.faults.size(), 2u);
+  EXPECT_EQ(opts.faults[0].place, 2);
+  EXPECT_EQ(opts.faults[1].place, 6);
 }
 
 TEST(RuntimeOptions, ValidateIsIdempotentOnSortedPlans) {

@@ -25,8 +25,17 @@
 //   --restore        discard-remote|restore-remote         [discard-remote]
 //   --recovery       rebuild|snapshot                      [rebuild]
 //   --snapshot-interval  fraction between snapshots        [0.1]
-//   --fault-place    place to kill (repeatable via comma list)
+//   --fault-place    place to kill (a comma list kills every listed place
+//                    at the same instant; recovery survives any subset as
+//                    long as one place remains, place 0 included)
 //   --fault-at       completion fraction of the kill       [0.5]
+//   --checkpoint-dir write durable checkpoint bundles to DIR (sim engine
+//                    only; requires --recovery=rebuild, --retirement=off)
+//   --checkpoint-interval  fraction of the run between checkpoints  [0.25]
+//   --resume         reload the latest consistent bundle from DIR and
+//                    finish the run (implies --checkpoint-dir=DIR); the
+//                    finished report is byte-identical to an uninterrupted
+//                    --checkpoint-dir run with the same seed
 //   --drop           per-message drop probability          [0]
 //   --dup            per-message duplication probability   [0]
 //   --jitter         max extra per-message delay, seconds  [0]
@@ -150,13 +159,17 @@ int main(int argc, char** argv) {
     opts.snapshot_interval = cli.get_double("snapshot-interval", 0.1);
     opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
     if (cli.has("fault-place")) {
+      // A comma list kills every listed place at the same instant — the
+      // recovery loop handles simultaneous deaths (tie broken by place id).
       const double at = cli.get_double("fault-at", 0.5);
-      double offset = 0.0;
       for (std::int64_t place : cli.get_int_list("fault-place", {})) {
-        opts.faults.push_back(FaultPlan{static_cast<std::int32_t>(place), at + offset});
-        offset += 0.1;  // stagger multiple deaths
+        opts.faults.push_back(FaultPlan{static_cast<std::int32_t>(place), at});
       }
     }
+    opts.checkpoint_dir = cli.get("checkpoint-dir", "");
+    opts.checkpoint_interval =
+        cli.get_double("checkpoint-interval", opts.checkpoint_interval);
+    opts.resume_dir = cli.get("resume", "");
     opts.netfaults.drop_prob = cli.get_double("drop", 0.0);
     opts.netfaults.dup_prob = cli.get_double("dup", 0.0);
     opts.netfaults.delay_jitter_s = cli.get_double("jitter", 0.0);

@@ -81,6 +81,34 @@ int cmd_summary(const std::string& path) {
                       static_cast<double>(log.vertices.size()));
     std::cout << line << "\n";
   }
+  // Recovery summary: detector transitions to Dead (to == 2) are the
+  // declared deaths that started §VI-D recovery. Nested/cascading passes
+  // show up as multiple declarations; suspicions that cleared do not.
+  if (!log.detector.empty()) {
+    int suspected = 0;
+    int declared = 0;
+    double first_death = 0.0;
+    double last_death = 0.0;
+    std::string dead_places;
+    for (const obs::DetectorEvent& ev : log.detector) {
+      if (ev.to == 1) ++suspected;
+      if (ev.to != 2) continue;
+      if (declared == 0) first_death = ev.t;
+      last_death = ev.t;
+      ++declared;
+      if (!dead_places.empty()) dead_places += ",";
+      dead_places += std::to_string(ev.place);
+    }
+    if (declared > 0) {
+      std::snprintf(line, sizeof line,
+                    "recovery: %d place%s declared dead (%s), %d suspicions; "
+                    "first death at %.6f s, last at %.6f s",
+                    declared, declared == 1 ? "" : "s", dead_places.c_str(),
+                    suspected, first_death, last_death);
+      std::cout << line << "\n";
+    }
+  }
+
   // Memory-governor runs also sample the vertex cache and retirement
   // gauges; summarize them when present (absent in legacy traces).
   double hits = 0.0;
