@@ -1,15 +1,30 @@
-// Ablation — tracing overhead on the real-thread engine (ISSUE 2
-// acceptance: compiled-in-but-disabled tracing must cost < 2%).
+// Ablation — observability overhead on the real-thread engine (ISSUE 2
+// acceptance: compiled-in-but-disabled tracing must cost < 2%; ISSUE 7
+// acceptance: the default-on flight recorder + status export too).
 //
-// Runs each app on the ThreadedEngine at the three trace levels and
+// Part 1 runs each app on the ThreadedEngine at the three trace levels and
 // reports wall time and throughput relative to `off`. `off` pays one
 // predictable branch per potential event; `counters` adds shard-local
 // histogram records and clock reads; `full` additionally appends a
 // VertexSpan per execution and message events on the lossy-fetch path.
+//
+// Part 2 ablates the PR 7 live-introspection machinery at trace level off:
+// flight recorder disabled (--flight-events=0) vs the default-on per-worker
+// ring vs ring + periodic status-file export vs the framework-tax profile
+// (the one config documented to add measurable cost: 6 clock reads/vertex).
+// Its overhead column is computed from process CPU time, not wall time: on
+// an oversubscribed or shared host, wall-clock noise (scheduler placement,
+// competing load) is far larger than the few ns/vertex being measured,
+// while CPU time counts exactly the cycles the machinery burns — including
+// the status/obs thread's.
+//
 // Several repetitions are taken and the fastest kept, since wall-clock
 // noise on a loaded machine easily exceeds the effect being measured.
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -55,5 +70,57 @@ int main(int argc, char** argv) {
                   static_cast<double>(computed) / best, overhead);
     }
   }
+
+  std::printf("\nAblation: flight recorder / status export / framework tax "
+              "(trace level off; overhead on CPU time)\n");
+  std::printf("  %-10s %-15s | %9s | %9s | %12s | %9s\n", "app", "config",
+              "wall (s)", "cpu (s)", "vertices/s", "overhead");
+
+  const std::string status_path =
+      (std::filesystem::temp_directory_path() / "ablate_obs.status").string();
+  struct ObsConfig {
+    const char* name;
+    std::int32_t flight_events;
+    bool status;
+    bool tax;
+  };
+  const ObsConfig configs[] = {
+      {"recorder-off", 0, false, false},
+      {"recorder", 4096, false, false},
+      {"recorder+status", 4096, true, false},
+      {"framework-tax", 4096, false, true},
+  };
+  for (const char* app : {"swlag", "lcs"}) {
+    double base_cpu = 0.0;
+    for (const ObsConfig& cfg : configs) {
+      double best_wall = 0.0, best_cpu = 0.0;
+      std::uint64_t computed = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        RuntimeOptions opts;
+        opts.nplaces = nplaces;
+        opts.nthreads = nthreads;
+        opts.flight_events = cfg.flight_events;
+        if (cfg.status) opts.status_file = status_path;
+        opts.framework_tax = cfg.tax;
+        // std::clock() is whole-process CPU time (all threads), so the rep
+        // delta charges the config for worker, monitor AND obs cycles. The
+        // DAG/input build inside run_dp_app is identical across configs.
+        const std::clock_t c0 = std::clock();
+        RunReport r = dp::run_dp_app(app, dp::EngineKind::Threaded, vertices, opts);
+        const double cpu =
+            static_cast<double>(std::clock() - c0) / CLOCKS_PER_SEC;
+        if (rep == 0 || r.elapsed_seconds < best_wall) best_wall = r.elapsed_seconds;
+        if (rep == 0 || cpu < best_cpu) best_cpu = cpu;
+        computed = r.computed;
+      }
+      if (cfg.flight_events == 0) base_cpu = best_cpu;
+      const double overhead =
+          base_cpu > 0.0 ? 100.0 * (best_cpu - base_cpu) / base_cpu : 0.0;
+      std::printf("  %-10s %-15s | %9.3f | %9.3f | %12.0f | %+8.2f%%\n", app,
+                  cfg.name, best_wall, best_cpu,
+                  static_cast<double>(computed) / best_wall, overhead);
+    }
+  }
+  std::filesystem::remove(status_path);
   return 0;
 }

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Benchmark regression gate (PR 7).
+#
+# The SimEngine's virtual clock makes its elapsed time a deterministic
+# function of the code, so cheap sim scenarios double as regression
+# fixtures: this script re-runs the pinned scenarios with `dpx10run --json`
+# and fails if any drifts more than 10% from the baselines committed in
+# BENCH_PR*.json. It also enforces the PR 7 transparency contract exactly:
+# a run with the default-on flight recorder + status export must emit a
+# byte-identical JSON report to one with both disabled.
+#
+#   scripts/bench_gate.sh            # compare against committed baselines
+#   scripts/bench_gate.sh --write    # regenerate BENCH_PR7.json
+#
+# Requires build/tools/dpx10run (override with DPX10_RUN=...).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="check"
+[[ "${1:-}" == "--write" ]] && mode="write"
+run="${DPX10_RUN:-build/tools/dpx10run}"
+[[ -x "${run}" ]] || { echo "bench_gate.sh: ${run} not built" >&2; exit 2; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+# scenario name -> dpx10run flags. Sim only: wall-clock benches (the
+# threaded overhead table in bench/ablate_trace_overhead) are too noisy for
+# a CI gate and stay informational.
+declare -A scenarios=(
+  [swlag_sim_100k_8n]="--app=swlag --engine=sim --vertices=100k --nodes=8"
+  [swlag_sim_100k_8n_coalesce]="--app=swlag --engine=sim --vertices=100k --nodes=8 --coalescing=true"
+  [lcs_sim_100k_4n]="--app=lcs --engine=sim --vertices=100k --nodes=4"
+  [nussinov_sim_10k]="--app=nussinov --engine=sim --vertices=10k"
+  [lcs_sim_fault_100k]="--app=lcs --engine=sim --vertices=100k --nodes=8 --fault-place=2 --fault-at=0.5"
+)
+
+echo "==> transparency: default recorder + status vs disabled (byte-identical)"
+"${run}" --app=swlag --engine=sim --vertices=100k --nodes=8 \
+  --flight-events=0 --json > "${tmp}/plain.json"
+"${run}" --app=swlag --engine=sim --vertices=100k --nodes=8 \
+  --status-file="${tmp}/gate.status" --status-interval=0.001 --json \
+  > "${tmp}/obs.json"
+cmp "${tmp}/plain.json" "${tmp}/obs.json" || {
+  echo "bench_gate.sh: recorder/status export changed the report" >&2
+  exit 1
+}
+
+echo "==> sim scenarios"
+for name in "${!scenarios[@]}"; do
+  # shellcheck disable=SC2086
+  "${run}" ${scenarios[$name]} --json > "${tmp}/${name}.json"
+done
+
+command -v python3 >/dev/null || {
+  echo "bench_gate.sh: python3 not found; skipping baseline diff" >&2
+  exit 0
+}
+
+python3 - "${mode}" "${tmp}" "${!scenarios[@]}" <<'PY'
+import json, sys
+
+mode, tmpdir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
+fresh = {}
+for name in names:
+    r = json.load(open(f"{tmpdir}/{name}.json"))
+    fresh[name] = {"elapsed_s": r["elapsed_s"], "computed": r["computed"]}
+
+if mode == "write":
+    report = {
+        "pr": "flight recorder, stall watchdog, live introspection",
+        "gate_tolerance_pct": 10,
+        "sim_baseline": dict(sorted(fresh.items())),
+    }
+    with open("BENCH_PR7.json", "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print("bench_gate.sh: wrote BENCH_PR7.json")
+    sys.exit(0)
+
+base = json.load(open("BENCH_PR7.json"))
+tol = base.get("gate_tolerance_pct", 10) / 100.0
+failed = False
+for name, b in base["sim_baseline"].items():
+    f = fresh.get(name)
+    if f is None:
+        print(f"  {name}: MISSING from this run"); failed = True; continue
+    if f["computed"] != b["computed"]:
+        print(f"  {name}: computed {f['computed']} != baseline {b['computed']}")
+        failed = True
+        continue
+    drift = (f["elapsed_s"] - b["elapsed_s"]) / b["elapsed_s"]
+    flag = "FAIL" if drift > tol else "ok"
+    print(f"  {name}: {f['elapsed_s']:.6f}s vs {b['elapsed_s']:.6f}s "
+          f"({drift:+.2%}) {flag}")
+    if drift > tol:
+        failed = True
+sys.exit(1 if failed else 0)
+PY

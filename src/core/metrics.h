@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/traffic.h"
+#include "obs/framework_tax.h"
 #include "obs/metrics.h"
 #include "obs/trace_log.h"
 
@@ -168,6 +169,10 @@ struct RunReport {
   /// Histograms + time-series samplers (trace_level >= Counters); null
   /// otherwise.
   std::shared_ptr<obs::MetricsReport> metrics;
+  /// Per-vertex dispatch/cache/alloc/publish/compute attribution
+  /// (RuntimeOptions::framework_tax); null otherwise. Deliberately kept out
+  /// of the JSON/CSV emitters so profiled runs export byte-identically.
+  std::shared_ptr<obs::FrameworkTax> framework_tax;
 
   PlaceStats totals() const {
     PlaceStats t;

@@ -183,6 +183,26 @@ struct RuntimeOptions {
   /// dropped indegree decrement (DAG bug, engine bug, or dpx10check's
   /// planted mutation) surfaces as a diagnosable failure. 0 disables.
   double wedge_timeout_s = 10.0;
+  /// Flight recorder: events retained per worker ring (always on by
+  /// default; near-zero cost — one branch + uncontended lock + store per
+  /// event). 0 disables the recorder entirely. See docs/OBSERVABILITY.md.
+  std::int32_t flight_events = 4096;
+  /// When non-empty, the flight recorder's merged rings are dumped to this
+  /// path (a loadable native trace) on run failure, on wedge-detector fire,
+  /// and whenever a dump is requested (SIGUSR1/SIGQUIT via dpx10run, or
+  /// obs::request_flight_dump()).
+  std::string flight_dump;
+  /// When non-empty, both engines periodically publish a versioned
+  /// StatusSnapshot to this file (atomic tmp+rename) for dpx10top and the
+  /// stall watchdog. The publish cadence is status_interval_s WALL seconds
+  /// in both engines — file I/O never enters the SimEngine's virtual time,
+  /// so results stay byte-identical with the export on or off.
+  std::string status_file;
+  double status_interval_s = 0.05;
+  /// Attribute per-vertex cost to dispatch/cache/alloc/publish/compute
+  /// buckets (dpx10run --profile=framework-tax). Adds ~6 clock reads per
+  /// vertex on the ThreadedEngine; the SimEngine attributes modeled costs.
+  bool framework_tax = false;
 
   net::LinkModel link;            ///< SimEngine interconnect
   CostModel cost;                 ///< SimEngine per-operation costs
@@ -211,6 +231,10 @@ struct RuntimeOptions {
             "RuntimeOptions: cache_stripes must be >= 0 (0 = per-worker)");
     require(wedge_timeout_s >= 0.0,
             "RuntimeOptions: wedge_timeout_s must be >= 0 (0 = disabled)");
+    require(flight_events >= 0,
+            "RuntimeOptions: flight_events must be >= 0 (0 = disabled)");
+    require(status_interval_s > 0.0,
+            "RuntimeOptions: status_interval_s must be positive");
     for (std::size_t a = 0; a < faults.size(); ++a) {
       faults[a].validate(nplaces);
       for (std::size_t b = a + 1; b < faults.size(); ++b) {

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -41,6 +42,7 @@
 #include "apgas/snapshot.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "core/app.h"
 #include "core/cache.h"
 #include "core/dag.h"
@@ -53,6 +55,8 @@
 #include "net/fault_injector.h"
 #include "net/message.h"
 #include "net/traffic.h"
+#include "obs/flight_recorder.h"
+#include "obs/status.h"
 #include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "sim/slot_pool.h"
@@ -106,7 +110,8 @@ class SimEngine {
           book_(opts.nplaces),
           rng_(mix64(opts.seed, 0x5157ULL)),
           injector_(opts.netfaults, mix64(opts.seed, 0x4e4654ULL)),
-          tracer_(opts.trace_level, 1, opts.record_trace),
+          tracer_(opts.trace_level, 1, opts.record_trace, opts.framework_tax),
+          flight_(1, static_cast<std::size_t>(opts.flight_events)),
           detector_(opts.heartbeat, opts.nplaces, 0.0),
           suspected_(opts.nplaces),
           crashed_(static_cast<std::size_t>(opts.nplaces), 0),
@@ -138,6 +143,11 @@ class SimEngine {
       if (tracer_.counters_on() && injector_.enabled()) {
         injector_.set_observer(&tracer_);
       }
+      events_on_ = tracer_.spans_on();
+      flight_on_ = flight_.enabled();
+      tax_on_ = tracer_.tax_on();
+      status_on_ = !opts_.status_file.empty();
+      flight_poll_ = flight_on_ && !opts_.flight_dump.empty();
     }
 
     RunReport run() {
@@ -173,6 +183,77 @@ class SimEngine {
         if (detector_active_) arm_heartbeats(0.0);
       }
 
+      if (flight_poll_ || status_on_) {
+        try {
+          event_loop();
+        } catch (...) {
+          // A failing run still leaves a diagnosable artifact: the flight
+          // recorder's last events, as a loadable trace.
+          dump_flight("failure");
+          throw;
+        }
+      } else {
+        event_loop();
+      }
+
+      RunReport report;
+      report.app_name = std::string(app_.name());
+      report.dag_name = std::string(dag_.name());
+      report.vertices = static_cast<std::uint64_t>(dag_.domain().size());
+      report.prefinished = init.prefinished;
+      report.computed = computed_total_;
+      report.elapsed_seconds = elapsed_;
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        // `+=`, not `=`: a resumed run folds the pre-kill portion (loaded
+        // into stats from the bundle) into this run's slots/cache counters.
+        PlaceStats s = places_[static_cast<std::size_t>(p)].stats;
+        s.busy_seconds += places_[static_cast<std::size_t>(p)].slots.busy_seconds();
+        s.cache_evictions += places_[static_cast<std::size_t>(p)].cache.evictions();
+        if (gov_) {
+          const mem::MemAccount a = gov_->account(p);
+          s.retired_cells = a.retired_cells;
+          s.spilled_cells = a.spilled_cells;
+          s.spill_reads = a.spill_reads;
+          s.live_cells_peak = a.live_cells_peak;
+          s.live_bytes_peak = a.live_bytes_peak;
+        }
+        report.places.push_back(s);
+      }
+      report.recoveries = recoveries_;
+      for (const RecoveryRecord& r : recoveries_) {
+        report.recovery_seconds += r.recovery_seconds;
+        report.detection_seconds += r.detected_after_s;
+      }
+      report.snapshots_taken = snapshots_taken_;
+      report.snapshot_seconds = snapshot_seconds_;
+      report.traffic = add_traffic(traffic_base_, book_.total());
+      report.sim_events = sim_events_base_ + queue_.pushed();
+      if (tracer_.active()) {
+        obs::Tracer::Collected c = tracer_.collect(make_meta());
+        if (opts_.record_trace) {
+          report.trace.reserve(c.log.vertices.size());
+          for (const obs::VertexSpan& v : c.log.vertices) {
+            report.trace.push_back(TraceEvent{v.index, v.place, v.start, v.end});
+          }
+        }
+        if (tracer_.spans_on()) {
+          report.trace_log = std::make_shared<obs::TraceLog>(std::move(c.log));
+        }
+        if (tracer_.counters_on()) {
+          report.metrics = std::make_shared<obs::MetricsReport>(std::move(c.metrics));
+        }
+        if (tracer_.tax_on()) {
+          report.framework_tax = std::make_shared<obs::FrameworkTax>(c.tax);
+        }
+      }
+      if (status_on_) publish_status();  // final snapshot: 100% progress
+
+      app_.app_finished(make_result_view());
+      return report;
+    }
+
+   private:
+    void event_loop() {
       const bool sampling = tracer_.counters_on();
       while (!done_) {
         // Event-based faults (dpx10check's crash-point sweep) fire between
@@ -213,6 +294,20 @@ class SimEngine {
         check_internal(!queue_.empty(),
                        "SimEngine: event queue drained before completion — "
                        "the DAG is cyclic or a vertex was lost");
+        // Live introspection rides the WALL clock (checked every 1024
+        // events to keep the common case to one counter test): status/dump
+        // files never feed back into virtual time, so results are
+        // byte-identical with the export on or off.
+        if ((status_on_ || flight_poll_) && (events_processed_ & 0x3FF) == 0) {
+          if (status_on_ &&
+              status_watch_.seconds() >= opts_.status_interval_s) {
+            publish_status();
+            status_watch_.reset();
+          }
+          if (flight_poll_ && obs::consume_dump_request()) {
+            dump_flight("request");
+          }
+        }
         sim::Event ev = queue_.pop();
         ++events_processed_;
         now_ = ev.time;
@@ -235,64 +330,79 @@ class SimEngine {
           default: check_internal(false, "SimEngine: unknown event kind");
         }
       }
-
-      RunReport report;
-      report.app_name = std::string(app_.name());
-      report.dag_name = std::string(dag_.name());
-      report.vertices = static_cast<std::uint64_t>(dag_.domain().size());
-      report.prefinished = init.prefinished;
-      report.computed = computed_total_;
-      report.elapsed_seconds = elapsed_;
-      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
-        // `+=`, not `=`: a resumed run folds the pre-kill portion (loaded
-        // into stats from the bundle) into this run's slots/cache counters.
-        PlaceStats s = places_[static_cast<std::size_t>(p)].stats;
-        s.busy_seconds += places_[static_cast<std::size_t>(p)].slots.busy_seconds();
-        s.cache_evictions += places_[static_cast<std::size_t>(p)].cache.evictions();
-        if (gov_) {
-          const mem::MemAccount a = gov_->account(p);
-          s.retired_cells = a.retired_cells;
-          s.spilled_cells = a.spilled_cells;
-          s.spill_reads = a.spill_reads;
-          s.live_cells_peak = a.live_cells_peak;
-          s.live_bytes_peak = a.live_bytes_peak;
-        }
-        report.places.push_back(s);
-      }
-      report.recoveries = recoveries_;
-      for (const RecoveryRecord& r : recoveries_) {
-        report.recovery_seconds += r.recovery_seconds;
-        report.detection_seconds += r.detected_after_s;
-      }
-      report.snapshots_taken = snapshots_taken_;
-      report.snapshot_seconds = snapshot_seconds_;
-      report.traffic = add_traffic(traffic_base_, book_.total());
-      report.sim_events = sim_events_base_ + queue_.pushed();
-      if (tracer_.active()) {
-        obs::Tracer::Collected c = tracer_.collect(obs::TraceMeta{
-            std::string(app_.name()), std::string(dag_.name()), "sim",
-            dag_.height(), dag_.width(), opts_.nplaces, opts_.nthreads,
-            elapsed_});
-        if (opts_.record_trace) {
-          report.trace.reserve(c.log.vertices.size());
-          for (const obs::VertexSpan& v : c.log.vertices) {
-            report.trace.push_back(TraceEvent{v.index, v.place, v.start, v.end});
-          }
-        }
-        if (tracer_.spans_on()) {
-          report.trace_log = std::make_shared<obs::TraceLog>(std::move(c.log));
-        }
-        if (tracer_.counters_on()) {
-          report.metrics = std::make_shared<obs::MetricsReport>(std::move(c.metrics));
-        }
-      }
-
-      app_.app_finished(make_result_view());
-      return report;
     }
 
-   private:
     PlaceSim& place(std::int32_t p) { return places_[static_cast<std::size_t>(p)]; }
+
+    obs::TraceMeta make_meta() const {
+      return obs::TraceMeta{std::string(app_.name()), std::string(dag_.name()),
+                            "sim",   dag_.height(),   dag_.width(),
+                            opts_.nplaces, opts_.nthreads, elapsed_};
+    }
+
+    /// A runtime-subsystem event: appended to the tracer's event stream at
+    /// Full level and to the flight recorder ring whenever it is enabled.
+    void rt_event(obs::RtEventKind k, std::int32_t place, std::int64_t a,
+                  std::int64_t b, double t) {
+      if (events_on_) tracer_.shard(0).events.push_back({t, a, b, place, k});
+      // The sim loop is single-threaded, so its lone shard qualifies for
+      // the single-writer fast path.
+      if (flight_on_) flight_.record_fast(0, k, place, a, b, t);
+    }
+
+    /// Flight-ring-only note for per-vertex / per-message fates that the
+    /// tracer already expresses as spans.
+    void flight_note(obs::RtEventKind k, std::int32_t place, std::int64_t a,
+                     std::int64_t b) {
+      if (flight_on_) flight_.record_fast(0, k, place, a, b, now_);
+    }
+
+    void publish_status() {
+      obs::StatusSnapshot s;
+      s.seq = ++status_seq_;
+      s.pid = obs::current_pid();
+      s.app = std::string(app_.name());
+      s.dag = std::string(dag_.name());
+      s.engine = "sim";
+      s.finished = finished_;
+      s.target = target_;
+      s.epoch = epoch_.current;
+      s.recovering = false;  // sim recovery completes within one event
+      s.elapsed_s = now_;
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        PlaceSim& pl = place(p);
+        obs::PlaceStatus ps;
+        ps.place = p;
+        ps.ready = static_cast<std::int64_t>(pl.ready.size());
+        ps.busy = pl.slots.busy_count(now_);
+        ps.nic_backlog_s = std::max(0.0, pl.nic_free - now_);
+        ps.computed = static_cast<std::int64_t>(pl.stats.computed);
+        if (gov_) {
+          const mem::MemAccount a = gov_->account(p);
+          ps.live_cells = static_cast<std::int64_t>(a.live_cells);
+          ps.live_bytes = static_cast<std::int64_t>(a.live_bytes);
+          ps.spill_reads = static_cast<std::int64_t>(a.spill_reads);
+        }
+        ps.crashed = !pm_.is_alive(p) || crashed_[static_cast<std::size_t>(p)];
+        s.places.push_back(ps);
+      }
+      obs::write_status_file(opts_.status_file, s);
+    }
+
+    void dump_flight(const char* why) {
+      if (!flight_on_ || opts_.flight_dump.empty()) return;
+      std::ofstream os(opts_.flight_dump, std::ios::trunc);
+      if (!os) {
+        DPX10_WARN << "sim: cannot write flight dump to " << opts_.flight_dump;
+        return;
+      }
+      obs::TraceMeta meta = make_meta();
+      meta.elapsed_s = now_;
+      flight_.dump(os, meta);
+      DPX10_INFO << "sim: flight recorder dumped to " << opts_.flight_dump
+                 << " (" << why << ", " << flight_.recorded() << " recorded, "
+                 << flight_.dropped() << " overwritten)";
+    }
 
     /// The app_finished() view: spill-aware when the governor can serve
     /// retired values back from the spill stores.
@@ -496,6 +606,8 @@ class SimEngine {
         const auto req = injector_.perturb(req_kind, p, owner, t);
         if (req.dropped) {
           ++pl.stats.net_drops;
+          flight_note(obs::RtEventKind::MessageDrop, p,
+                      static_cast<std::int64_t>(req_kind), owner);
           if (msgs) {
             sh.messages.push_back({req_kind, p, owner, t,
                                    -1.0, obs::MessageFate::Dropped});
@@ -523,6 +635,8 @@ class SimEngine {
             const auto rep = injector_.perturb(reply_kind, owner, p, nic_end);
             if (rep.dropped) {
               ++pl.stats.net_drops;
+              flight_note(obs::RtEventKind::MessageDrop, owner,
+                          static_cast<std::int64_t>(reply_kind), p);
               if (msgs) {
                 sh.messages.push_back({reply_kind, owner, p,
                                        nic_end, -1.0, obs::MessageFate::Dropped});
@@ -650,6 +764,8 @@ class SimEngine {
         }
         for (FetchGroup& g : fetch_groups_) {
           ++pl.stats.fetch_batches;
+          rt_event(obs::RtEventKind::BatchFetchFlush, p, g.owner,
+                   static_cast<std::int64_t>(g.entries.size()), now_);
           const FetchTiming fetch = model_remote_fetch(
               p, g.owner, net::MessageKind::BatchFetchRequest,
               net::MessageKind::BatchFetchReply,
@@ -672,6 +788,15 @@ class SimEngine {
           (opts_.cost.compute_ns * app_.compute_cost_units(id) + opts_.cost.framework_ns) *
               1e-9 +
           gather_cost;
+      if (tax_on_) {
+        // Modeled attribution: the sim's cost model already names the
+        // buckets — framework bookkeeping, local/cached reads, compute.
+        obs::FrameworkTax& tax = tracer_.shard(0).tax;
+        tax.dispatch_s += opts_.cost.framework_ns * 1e-9;
+        tax.cache_s += gather_cost;
+        tax.compute_s += opts_.cost.compute_ns * app_.compute_cost_units(id) * 1e-9;
+        ++tax.vertices;
+      }
       const double end = std::max(now_, data_ready) + compute_s;
       const std::int32_t slot = pl.slots.reserve(now_, end);
       if (tracer_.active()) {
@@ -715,10 +840,13 @@ class SimEngine {
       cell.store_state(CellState::Finished, std::memory_order_relaxed);
       ++pl.stats.computed;
       ++computed_total_;
+      double pub_cost = 0.0;  // modeled wire seconds spent publishing
       const std::int32_t owner = array.owner_place(id);
       if (owner != p) {
         book_.record(p, owner, net::MessageKind::ResultWriteback, value_wire_bytes(cell.value));
         ++pl.stats.executed_nonlocal;
+        pub_cost += opts_.link.transfer_time(
+            net::wire_bytes(value_wire_bytes(cell.value)));
         if (spans) {
           sh.messages.push_back(
               {net::MessageKind::ResultWriteback, p, owner, now_,
@@ -759,8 +887,11 @@ class SimEngine {
           book_.record(p, g.dest, net::MessageKind::BatchIndegreeControl, payload);
           pl.stats.control_msgs_out += g.edges;
           ++pl.stats.control_batches;
+          rt_event(obs::RtEventKind::BatchControlFlush, p, g.dest,
+                   static_cast<std::int64_t>(g.edges), now_);
           const double arrives =
               now_ + opts_.link.transfer_time(net::wire_bytes(payload));
+          pub_cost += arrives - now_;
           PlaceSim& dest = place(g.dest);
           g.handled = std::max(arrives, dest.nic_free) +
                       opts_.link.nic_time(net::wire_bytes(payload));
@@ -794,6 +925,7 @@ class SimEngine {
             // thread: wire time plus serialized per-message handling.
             const double arrives =
                 now_ + opts_.link.transfer_time(net::wire_bytes(net::kControlPayloadBytes));
+            pub_cost += arrives - now_;
             PlaceSim& dest = place(a_owner);
             const double handled = std::max(arrives, dest.nic_free) +
                                    opts_.link.nic_time(net::wire_bytes(net::kControlPayloadBytes));
@@ -847,8 +979,14 @@ class SimEngine {
           for (std::int32_t q = 0; q < opts_.nplaces; ++q) {
             place(q).cache.erase(eid);
           }
+          rt_event(gov_spill_ ? obs::RtEventKind::GovSpill
+                              : obs::RtEventKind::GovRetire,
+                   p, e, 0, now_);
         }
       }
+
+      if (tax_on_) tracer_.shard(0).tax.publish_s += pub_cost;
+      flight_note(obs::RtEventKind::VertexDone, p, idx, 0);
 
       ++finished_;
       elapsed_ = now_;
@@ -1026,6 +1164,7 @@ class SimEngine {
       crashed_[static_cast<std::size_t>(p)] = 1;
       crash_time_[static_cast<std::size_t>(p)] = now_;
       place(p).ready.clear();
+      rt_event(obs::RtEventKind::PlaceCrash, p, 0, 0, now_);
       DPX10_INFO << "sim: place " << p << " crashed at t=" << now_
                  << "s (not yet detected)";
     }
@@ -1044,6 +1183,7 @@ class SimEngine {
         const double lat =
             was_crashed ? now_ - crash_time_[static_cast<std::size_t>(d)] : 0.0;
         detected_after = std::max(detected_after, lat);
+        rt_event(obs::RtEventKind::PlaceDeclared, d, 0, 0, now_);
         DPX10_INFO << "sim: place " << d << " declared dead at t=" << now_
                    << "s (detection latency " << lat << "s)";
       }
@@ -1079,6 +1219,8 @@ class SimEngine {
       }
       ++snapshots_taken_;
       snapshot_seconds_ += duration;
+      rt_event(obs::RtEventKind::SnapshotTaken, -1,
+               static_cast<std::int64_t>(snapshots_taken_), 0, now_);
     }
 
     // ---- durable checkpoint / resume ----
@@ -1181,6 +1323,8 @@ class SimEngine {
       }
       writer.write_cells(checkpoint::encode_cells(*array_));
       writer.commit();
+      rt_event(obs::RtEventKind::CheckpointWrite, -1,
+               static_cast<std::int64_t>(ckpt_seq_), finished_, now_);
       DPX10_INFO << "sim: checkpoint bundle " << ckpt_seq_ << " committed at t="
                  << now_ << "s (finished " << finished_ << "/" << target_ << ")";
       checkpoint_barrier(resume_at);
@@ -1334,6 +1478,8 @@ class SimEngine {
       }
       const double resume_at = m.get_double("progress.resume_at");
       now_ = resume_at;
+      rt_event(obs::RtEventKind::CheckpointResume, -1,
+               static_cast<std::int64_t>(ckpt_seq_), finished_, resume_at);
       DPX10_INFO << "sim: resumed from checkpoint bundle " << ckpt_seq_
                  << " (finished " << finished_ << "/" << target_ << ", t="
                  << resume_at << "s)";
@@ -1392,6 +1538,8 @@ class SimEngine {
     double recover_batch(const std::vector<std::int32_t>& batch, double at,
                          double detected_after, bool nested) {
       const std::int64_t finished_before = finished_;
+      rt_event(obs::RtEventKind::RecoveryBegin, batch.front(),
+               static_cast<std::int64_t>(batch.size()), nested ? 1 : 0, at);
       for (std::int32_t d : batch) {
         if (pm_.alive_count() <= 1) throw DeadPlaceException(d);
         pm_.kill(d);
@@ -1457,6 +1605,18 @@ class SimEngine {
       record.started_at = at;
       record.recovery_seconds = recovery_s;
       record.detected_after_s = detected_after;
+      if (record.resurrected > 0) {
+        rt_event(obs::RtEventKind::GovResurrect, -1,
+                 static_cast<std::int64_t>(record.resurrected), record.epoch,
+                 resume_at);
+      }
+      if (record.restored_spilled > 0) {
+        rt_event(obs::RtEventKind::SpillRestore, -1,
+                 static_cast<std::int64_t>(record.restored_spilled),
+                 record.epoch, resume_at);
+      }
+      rt_event(obs::RtEventKind::RecoveryEnd, record.dead_place, record.epoch,
+               static_cast<std::int64_t>(record.restored), resume_at);
       recoveries_.push_back(record);
       DPX10_INFO << "sim: " << batch.size() << " place(s) died (trigger "
                  << record.dead_place << ", epoch " << record.epoch
@@ -1501,6 +1661,15 @@ class SimEngine {
     Xoshiro256 rng_;
     net::FaultInjector injector_;
     obs::Tracer tracer_;
+    obs::FlightRecorder flight_;
+    // Hoisted observability flags: tested in hot paths, set once in the ctor.
+    bool events_on_ = false;   ///< tracer shard collects runtime events
+    bool flight_on_ = false;   ///< flight ring records
+    bool tax_on_ = false;      ///< framework-tax attribution
+    bool status_on_ = false;   ///< periodic status-file export
+    bool flight_poll_ = false; ///< poll for on-demand flight dumps
+    Stopwatch status_watch_;   ///< wall clock between status publishes
+    std::uint64_t status_seq_ = 0;
     HeartbeatDetector detector_;
     SuspicionSet suspected_;
     bool detector_active_ = false;

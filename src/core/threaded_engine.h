@@ -40,6 +40,7 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -67,7 +68,10 @@
 #include "mem/governor.h"
 #include "net/fault_injector.h"
 #include "net/traffic.h"
+#include "obs/flight_recorder.h"
+#include "obs/status.h"
 #include "obs/tracer.h"
+#include "obs/watchdog.h"
 
 namespace dpx10 {
 
@@ -147,7 +151,12 @@ class ThreadedEngine {
           tracer_(opts.trace_level,
                   static_cast<std::size_t>(opts.nplaces) *
                           static_cast<std::size_t>(opts.nthreads) +
-                      1),
+                      1,
+                  false, opts.framework_tax),
+          flight_(static_cast<std::size_t>(opts.nplaces) *
+                          static_cast<std::size_t>(opts.nthreads) +
+                      1,
+                  static_cast<std::size_t>(opts.flight_events)),
           suspected_(opts.nplaces),
           array_(std::make_unique<DistArray<T>>(dag.domain(), opts.dist,
                                                 PlaceGroup::dense(opts.nplaces))) {
@@ -176,6 +185,13 @@ class ThreadedEngine {
       if (tracer_.counters_on() && injector_.enabled()) {
         injector_.set_observer(&tracer_);
       }
+      events_on_ = tracer_.spans_on();
+      flight_on_ = flight_.enabled();
+      tax_on_ = tracer_.tax_on();
+      status_on_ = !opts_.status_file.empty();
+      flight_poll_ = flight_on_ && !opts_.flight_dump.empty();
+      obs_shard_ = static_cast<std::size_t>(opts_.nplaces) *
+                   static_cast<std::size_t>(opts_.nthreads);
     }
 
     RunReport run() {
@@ -227,12 +243,18 @@ class ThreadedEngine {
       }
       std::thread monitor;
       if (detector_active_) monitor = std::thread([this] { monitor_main(); });
-      std::thread sampler;
-      if (tracer_.counters_on()) sampler = std::thread([this] { sampler_main(); });
+      std::thread observer;
+      if (tracer_.counters_on() || status_on_ || flight_poll_) {
+        observer = std::thread([this] { obs_main(); });
+      }
       for (std::thread& t : workers) t.join();
       if (monitor.joinable()) monitor.join();
-      if (sampler.joinable()) sampler.join();
+      if (observer.joinable()) observer.join();
 
+      // Post-mortem artifacts first: a failed run still leaves the flight
+      // ring and a final status snapshot behind for the operator.
+      if (flight_poll_ && failure_) dump_flight("failure");
+      if (status_on_) publish_status(stopwatch_.seconds());
       if (failure_) std::rethrow_exception(failure_);
 
       RunReport report;
@@ -273,6 +295,9 @@ class ThreadedEngine {
         }
         if (tracer_.counters_on()) {
           report.metrics = std::make_shared<obs::MetricsReport>(std::move(c.metrics));
+        }
+        if (tracer_.tax_on()) {
+          report.framework_tax = std::make_shared<obs::FrameworkTax>(c.tax);
         }
       }
 
@@ -384,7 +409,7 @@ class ThreadedEngine {
     /// wedge_timeout_s window, the DAG can never finish — a decrement was
     /// lost (engine bug, broken custom pattern, or dpx10check's planted
     /// DropDecrement mutation). Fail loudly instead of hanging the run.
-    /// Any observation that breaks quiescence resets the window.
+    /// Real progress (a finished-count move, a pause) resets the window.
     void maybe_report_wedge(std::int64_t& seen_finished, double& since) {
       if (opts_.wedge_timeout_s <= 0.0) return;
       if (done_.load(std::memory_order_acquire)) return;
@@ -394,7 +419,13 @@ class ThreadedEngine {
         return;
       }
       if (executing_.load(std::memory_order_acquire) != 0) {
-        seen_finished = -1;
+        // In-flight work: quiescence cannot be witnessed THIS check, but do
+        // not reset the window — idle siblings raise executing_ around every
+        // (empty) pop probe, so with many workers a transient nonzero is
+        // near-certain somewhere in any multi-second span and a reset here
+        // would starve the detector forever. Skipping is safe: if the
+        // in-flight work is real, its completion moves finished_, and the
+        // acquire load above orders that move before our next fin read.
         return;
       }
       std::int64_t total_ready = 0;
@@ -421,7 +452,12 @@ class ThreadedEngine {
             "ThreadedEngine: scheduler wedged — " + std::to_string(target_ - fin) +
             " vertices unfinished with no ready or executing work for " +
             std::to_string(opts_.wedge_timeout_s) +
-            "s (an anti-dependency decrement was lost or the DAG is cyclic)"));
+            "s (an anti-dependency decrement was lost or the DAG is cyclic)"
+            " [stall class: " +
+            std::string(obs::stall_class_name(obs::StallClass::Wedged)) + "]"));
+        rt_event_shared(obs::RtEventKind::WedgeFire, -1, target_ - fin, fin,
+                        now, /*have_recovery_mu=*/true);
+        if (flight_poll_) dump_flight("wedge");
       }
       announce_done();
     }
@@ -559,13 +595,17 @@ class ThreadedEngine {
       PlaceRt& pr = *places_[static_cast<std::size_t>(place)];
       const bool counters = tracer_.counters_on();
       const bool spans = tracer_.spans_on();
+      const bool tax = tax_on_;
       obs::Tracer::Shard* sh =
-          (counters || spans) ? &tracer_.shard(static_cast<std::size_t>(worker)) : nullptr;
+          (counters || spans || tax)
+              ? &tracer_.shard(static_cast<std::size_t>(worker))
+              : nullptr;
       const double t_start = sh != nullptr ? stopwatch_.seconds() : 0.0;
 
       deps_scratch.clear();
       dag_.dependencies(id, deps_scratch);
       dep_values.clear();
+      const double t_deps = tax ? stopwatch_.seconds() : 0.0;
       std::uint64_t local_reads = 0, hits = 0, fetches = 0, batches = 0;
       // Shared memory cannot actually lose a read, so the unreliable
       // network is accounted, not suffered: each miss (or, under
@@ -587,6 +627,12 @@ class ThreadedEngine {
         pr.stats.fetch_retries.fetch_add(retries, std::memory_order_relaxed);
         pr.stats.fetch_timeouts.fetch_add(retries, std::memory_order_relaxed);
         pr.stats.net_drops.fetch_add(retries, std::memory_order_relaxed);
+        if (flight_on_) {
+          flight_.record_fast(static_cast<std::size_t>(worker),
+                              obs::RtEventKind::MessageDrop, place, owner,
+                              static_cast<std::int64_t>(retries),
+                              stopwatch_.seconds());
+        }
       };
       // The cache stripe lock guards only the get/put itself — the cell
       // value read and the traffic-book records happen outside it.
@@ -638,6 +684,11 @@ class ThreadedEngine {
           book_.record(g.owner, place, net::MessageKind::BatchFetchReply, g.reply_payload);
           lossy_fetch(g.owner, net::MessageKind::BatchFetchRequest, req_payload);
           ++batches;
+          if (events_on_ || flight_on_) {
+            rt_event_worker(sh, worker, obs::RtEventKind::BatchFetchFlush,
+                            place, g.owner, static_cast<std::int64_t>(g.count),
+                            stopwatch_.seconds());
+          }
         }
       }
       pr.stats.local_dep_reads.fetch_add(local_reads, std::memory_order_relaxed);
@@ -647,6 +698,7 @@ class ThreadedEngine {
       const double t_data = sh != nullptr ? stopwatch_.seconds() : 0.0;
 
       T result = app_.compute(id.i, id.j, std::span<const Vertex<T>>(dep_values));
+      const double t_compute = tax ? stopwatch_.seconds() : 0.0;
 
       Cell<T>& cell = array.cell(idx);
       result = detail::publish_value(cell, result, idx);
@@ -679,7 +731,16 @@ class ThreadedEngine {
           const VertexId rid = domain.delinearize(r);
           for (auto& p : places_) p->cache.erase(rid);
         }
+        if ((events_on_ || flight_on_) && !retired_scratch.empty()) {
+          const double t = stopwatch_.seconds();
+          const obs::RtEventKind k = gov_spill_ ? obs::RtEventKind::GovSpill
+                                                : obs::RtEventKind::GovRetire;
+          for (std::int64_t r : retired_scratch) {
+            rt_event_worker(sh, worker, k, place, r, 0, t);
+          }
+        }
       }
+      const double t_alloc = tax ? stopwatch_.seconds() : 0.0;
 
       anti_scratch.clear();
       dag_.anti_dependencies(id, anti_scratch);
@@ -718,6 +779,14 @@ class ThreadedEngine {
         if (!ctrl_groups.empty()) {
           pr.stats.control_msgs_out.fetch_add(ctrl_edges, std::memory_order_relaxed);
           pr.stats.control_batches.fetch_add(ctrl_groups.size(), std::memory_order_relaxed);
+          if (events_on_ || flight_on_) {
+            const double t = stopwatch_.seconds();
+            for (const CtrlGroup& g : ctrl_groups) {
+              rt_event_worker(sh, worker, obs::RtEventKind::BatchControlFlush,
+                              place, g.dest, static_cast<std::int64_t>(g.edges),
+                              t);
+            }
+          }
         }
       }
       for (VertexId a : anti_scratch) {
@@ -763,6 +832,28 @@ class ThreadedEngine {
               idx, place, worker % opts_.nthreads, ready_at, t_start, t_data,
               t_end, /*published=*/true});
         }
+        if (tax) {
+          sh->tax.dispatch_s += t_deps - t_start;
+          sh->tax.cache_s += t_data - t_deps;
+          sh->tax.compute_s += t_compute - t_data;
+          sh->tax.alloc_s += t_alloc - t_compute;
+          sh->tax.publish_s += t_end - t_alloc;
+          ++sh->tax.vertices;
+        }
+        if (flight_on_) {
+          flight_.record_fast(static_cast<std::size_t>(worker),
+                              obs::RtEventKind::VertexDone, place, idx, 0,
+                              t_end);
+        }
+      } else if (flight_on_) {
+        // Default (no tracer) path: the only per-vertex observability cost.
+        // record_fast is lock-free and tick_time amortizes the clock read
+        // over kClockStride vertices — see flight_recorder.h's cost budget.
+        const std::size_t shard = static_cast<std::size_t>(worker);
+        flight_.record_fast(shard, obs::RtEventKind::VertexDone, place, idx, 0,
+                            flight_.tick_time(shard, [this] {
+                              return stopwatch_.seconds();
+                            }));
       }
       finish_one();
     }
@@ -923,6 +1014,9 @@ class ThreadedEngine {
           }
           ++snapshots_taken_;
           snapshot_seconds_ += watch.seconds();
+          rt_event_shared(obs::RtEventKind::SnapshotTaken, -1,
+                          static_cast<std::int64_t>(snapshots_taken_), 0,
+                          stopwatch_.seconds(), /*have_recovery_mu=*/true);
         }
       }
       pause_requests_.fetch_sub(1, std::memory_order_acq_rel);
@@ -938,6 +1032,9 @@ class ThreadedEngine {
                           double started_at, double detected_after,
                           const Stopwatch& recovery_watch, bool nested) {
       const std::int64_t finished_before = finished_.load(std::memory_order_acquire);
+      rt_event_shared(obs::RtEventKind::RecoveryBegin, batch.front(),
+                      static_cast<std::int64_t>(batch.size()), nested ? 1 : 0,
+                      stopwatch_.seconds(), /*have_recovery_mu=*/true);
       std::vector<std::int32_t> dead;
       {
         std::lock_guard<std::mutex> lk(pm_mu_);
@@ -1003,10 +1100,28 @@ class ThreadedEngine {
       finished_.store(now_finished, std::memory_order_release);
 
       record.epoch = epoch_.next();  // serialized: caller holds recovery_mu_
+      epoch_now_.store(record.epoch, std::memory_order_relaxed);
       record.nested = nested;
       record.started_at = started_at;
       record.recovery_seconds = recovery_watch.seconds();
       record.detected_after_s = detected_after;
+      {
+        const double t = stopwatch_.seconds();
+        if (record.resurrected > 0) {
+          rt_event_shared(obs::RtEventKind::GovResurrect, record.dead_place,
+                          static_cast<std::int64_t>(record.resurrected), 0, t,
+                          /*have_recovery_mu=*/true);
+        }
+        if (record.restored_spilled > 0) {
+          rt_event_shared(obs::RtEventKind::SpillRestore, record.dead_place,
+                          static_cast<std::int64_t>(record.restored_spilled), 0,
+                          t, /*have_recovery_mu=*/true);
+        }
+        rt_event_shared(obs::RtEventKind::RecoveryEnd, record.dead_place,
+                        record.epoch,
+                        static_cast<std::int64_t>(record.restored), t,
+                        /*have_recovery_mu=*/true);
+      }
       recoveries_.push_back(record);
 
       // Degenerate but possible: the dead place owned no computed work and
@@ -1024,6 +1139,8 @@ class ThreadedEngine {
       pr.crash_wall = stopwatch_.seconds();
       pr.crashed.store(true, std::memory_order_release);
       pr.cv.notify_all();
+      rt_event_shared(obs::RtEventKind::PlaceCrash, p, 0, 0, pr.crash_wall,
+                      /*have_recovery_mu=*/false);
     }
 
     /// Monitor thread: samples every place's beat counter on a wall-clock
@@ -1173,6 +1290,8 @@ class ThreadedEngine {
           PlaceRt& dp = *places_[static_cast<std::size_t>(d)];
           dp.cv.notify_all();
           if (tracer_.spans_on()) detector_transition(d, PlaceHealth::Dead);
+          rt_event_shared(obs::RtEventKind::PlaceDeclared, d, 0, 0,
+                          stopwatch_.seconds(), /*have_recovery_mu=*/false);
           latency = std::max(latency, stopwatch_.seconds() - dp.crash_wall);
         }
         coordinate_recovery(to_declare, latency, /*worker_coordinator=*/false);
@@ -1187,40 +1306,171 @@ class ThreadedEngine {
                              stopwatch_.seconds());
     }
 
-    /// Sampler thread (Counters and up): per-place gauges on a wall-clock
-    /// period. Purely observational — one relaxed atomic load per place
-    /// per tick, no locks.
-    void sampler_main() {
-      const double period_s = std::max(opts_.trace_sample_s, 1.0e-3);
-      const auto period = std::chrono::duration<double>(period_s);
+    /// Combined observability thread (spawned when counters, status export,
+    /// or on-demand flight dumps are configured): per-place gauges on the
+    /// trace sample period, status snapshots + the stall watchdog on the
+    /// status interval, and SIGUSR1/SIGQUIT flight-dump polling. Purely
+    /// observational — relaxed atomic loads, no engine locks on the default
+    /// path (the governor gauges take its accounting lock, as before).
+    void obs_main() {
+      const bool counters = tracer_.counters_on();
+      const double sample_s = std::max(opts_.trace_sample_s, 1.0e-3);
+      double tick_s = 0.25;
+      if (counters) tick_s = std::min(tick_s, sample_s);
+      if (status_on_) tick_s = std::min(tick_s, opts_.status_interval_s);
+      if (flight_poll_) tick_s = std::min(tick_s, 0.05);
+      const auto tick = std::chrono::duration<double>(tick_s);
+      obs::StallWatchdog watchdog(opts_.wedge_timeout_s);
+      double next_sample = 0.0;
+      double next_status = 0.0;
       while (!done_.load(std::memory_order_acquire)) {
         const double t = stopwatch_.seconds();
-        for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
-          PlaceRt& pr = *places_[static_cast<std::size_t>(p)];
-          const std::int64_t depth = pr.ready_count.load(std::memory_order_relaxed);
-          tracer_.sample("ready_depth", p, t, static_cast<double>(depth));
-          tracer_.sample("computed", p, t,
-                         static_cast<double>(pr.stats.computed.load(
-                             std::memory_order_relaxed)));
-          if (gov_) {
-            // Governor gauges take the per-place accounting lock — only with
-            // the (opt-in) governor active does the sampler pay for locks.
-            const mem::MemAccount a = gov_->account(p);
-            tracer_.sample("live_cells", p, t, static_cast<double>(a.live_cells));
-            tracer_.sample("live_bytes", p, t, static_cast<double>(a.live_bytes));
-            tracer_.sample("retired_cells", p, t,
-                           static_cast<double>(a.retired_cells));
-            tracer_.sample("spilled_cells", p, t,
-                           static_cast<double>(a.spilled_cells));
-            tracer_.sample("spill_reads", p, t, static_cast<double>(a.spill_reads));
-            tracer_.sample("cache_hits", p, t,
-                           static_cast<double>(pr.stats.cache_hits.load(
-                               std::memory_order_relaxed)));
-            tracer_.sample("cache_evictions", p, t,
-                           static_cast<double>(pr.cache.evictions()));
-          }
+        if (counters && t >= next_sample) {
+          sample_gauges(t);
+          next_sample = t + sample_s;
         }
-        std::this_thread::sleep_for(period);
+        if (status_on_ && t >= next_status) {
+          const obs::StatusSnapshot s = make_status(t);
+          obs::write_status_file(opts_.status_file, s);
+          if (const auto stall = watchdog.observe(s)) {
+            DPX10_WARN << "stall watchdog: no progress for "
+                       << stall->stalled_for_s << "s at " << s.finished << "/"
+                       << s.target << " vertices — classified "
+                       << obs::stall_class_name(stall->cls);
+            rt_event_shared(obs::RtEventKind::WedgeFire, -1,
+                            static_cast<std::int64_t>(stall->cls), s.finished,
+                            t, /*have_recovery_mu=*/false);
+            if (flight_poll_) dump_flight("stall");
+          }
+          next_status = t + opts_.status_interval_s;
+        }
+        if (flight_poll_ && obs::consume_dump_request()) dump_flight("request");
+        std::this_thread::sleep_for(tick);
+      }
+    }
+
+    /// Per-place gauge samples (Counters and up). One relaxed atomic load
+    /// per gauge; single-writer into the tracer's series (the obs thread).
+    void sample_gauges(double t) {
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        PlaceRt& pr = *places_[static_cast<std::size_t>(p)];
+        const std::int64_t depth = pr.ready_count.load(std::memory_order_relaxed);
+        tracer_.sample("ready_depth", p, t, static_cast<double>(depth));
+        tracer_.sample("computed", p, t,
+                       static_cast<double>(pr.stats.computed.load(
+                           std::memory_order_relaxed)));
+        if (gov_) {
+          // Governor gauges take the per-place accounting lock — only with
+          // the (opt-in) governor active does the sampler pay for locks.
+          const mem::MemAccount a = gov_->account(p);
+          tracer_.sample("live_cells", p, t, static_cast<double>(a.live_cells));
+          tracer_.sample("live_bytes", p, t, static_cast<double>(a.live_bytes));
+          tracer_.sample("retired_cells", p, t,
+                         static_cast<double>(a.retired_cells));
+          tracer_.sample("spilled_cells", p, t,
+                         static_cast<double>(a.spilled_cells));
+          tracer_.sample("spill_reads", p, t, static_cast<double>(a.spill_reads));
+          tracer_.sample("cache_hits", p, t,
+                         static_cast<double>(pr.stats.cache_hits.load(
+                             std::memory_order_relaxed)));
+          tracer_.sample("cache_evictions", p, t,
+                         static_cast<double>(pr.cache.evictions()));
+        }
+      }
+    }
+
+    /// Assembles the live status snapshot (obs thread, plus one final call
+    /// after the joins). Every field is a relaxed read of engine state —
+    /// the snapshot is advisory, not a barrier.
+    obs::StatusSnapshot make_status(double t) {
+      obs::StatusSnapshot s;
+      s.seq = ++status_seq_;
+      s.pid = obs::current_pid();
+      s.app = std::string(app_.name());
+      s.dag = std::string(dag_.name());
+      s.engine = "threaded";
+      s.finished = finished_.load(std::memory_order_relaxed);
+      s.target = target_;
+      s.epoch = epoch_now_.load(std::memory_order_relaxed);
+      s.recovering = pause_requests_.load(std::memory_order_acquire) > 0 ||
+                     recovering_.load(std::memory_order_acquire) > 0;
+      s.elapsed_s = t;
+      for (std::int32_t p = 0; p < opts_.nplaces; ++p) {
+        PlaceRt& pr = *places_[static_cast<std::size_t>(p)];
+        obs::PlaceStatus ps;
+        ps.place = p;
+        ps.crashed = pr.crashed.load(std::memory_order_acquire) || !pm_alive(p);
+        ps.ready = pr.ready_count.load(std::memory_order_relaxed);
+        const std::int32_t idle = pr.idle_waiters.load(std::memory_order_relaxed);
+        ps.busy = ps.crashed ? 0
+                             : std::clamp(opts_.nthreads - idle, std::int32_t{0},
+                                          opts_.nthreads);
+        ps.computed = static_cast<std::int64_t>(
+            pr.stats.computed.load(std::memory_order_relaxed));
+        if (gov_) {
+          const mem::MemAccount a = gov_->account(p);
+          ps.live_cells = static_cast<std::int64_t>(a.live_cells);
+          ps.live_bytes = static_cast<std::int64_t>(a.live_bytes);
+          ps.spill_reads = static_cast<std::int64_t>(a.spill_reads);
+        }
+        s.places.push_back(ps);
+      }
+      return s;
+    }
+
+    void publish_status(double t) {
+      obs::write_status_file(opts_.status_file, make_status(t));
+    }
+
+    obs::TraceMeta make_meta(double elapsed) const {
+      return obs::TraceMeta{std::string(app_.name()), std::string(dag_.name()),
+                            "threaded", dag_.height(),  dag_.width(),
+                            opts_.nplaces,              opts_.nthreads, elapsed};
+    }
+
+    /// Serializes the flight ring to opts_.flight_dump (trace_io native
+    /// format, loadable by dpx10trace). Callable from any thread — the ring
+    /// locks itself, dump_mu_ keeps two dumpers off the file.
+    void dump_flight(const char* why) {
+      std::lock_guard<std::mutex> lk(dump_mu_);
+      std::ofstream os(opts_.flight_dump, std::ios::trunc);
+      if (!os) {
+        DPX10_WARN << "flight dump (" << why << "): cannot open "
+                   << opts_.flight_dump;
+        return;
+      }
+      flight_.dump(os, make_meta(stopwatch_.seconds()));
+      DPX10_INFO << "flight dump (" << why << "): " << flight_.recorded()
+                 << " events recorded (" << flight_.dropped()
+                 << " overwritten) -> " << opts_.flight_dump;
+    }
+
+    /// Records a runtime event from a shared (non-worker) context: the
+    /// monitor, the obs thread, or a recovery/snapshot coordinator. They
+    /// all write the last tracer shard, so the push synchronizes on
+    /// recovery_mu_ unless the caller already holds it; the flight ring
+    /// takes its own per-ring lock.
+    void rt_event_shared(obs::RtEventKind k, std::int32_t place, std::int64_t a,
+                         std::int64_t b, double t, bool have_recovery_mu) {
+      if (events_on_) {
+        if (have_recovery_mu) {
+          tracer_.shard(obs_shard_).events.push_back({t, a, b, place, k});
+        } else {
+          std::lock_guard<std::mutex> lk(recovery_mu_);
+          tracer_.shard(obs_shard_).events.push_back({t, a, b, place, k});
+        }
+      }
+      if (flight_on_) flight_.record(obs_shard_, k, place, a, b, t);
+    }
+
+    /// Records a runtime event from a worker context: the worker's own
+    /// tracer shard (single-writer, no lock) plus its flight ring.
+    void rt_event_worker(obs::Tracer::Shard* sh, std::int32_t worker,
+                         obs::RtEventKind k, std::int32_t place,
+                         std::int64_t a, std::int64_t b, double t) {
+      if (events_on_ && sh != nullptr) sh->events.push_back({t, a, b, place, k});
+      if (flight_on_) {
+        flight_.record_fast(static_cast<std::size_t>(worker), k, place, a, b, t);
       }
     }
 
@@ -1242,6 +1492,21 @@ class ThreadedEngine {
     net::TrafficBook book_;
     net::FaultInjector injector_;
     obs::Tracer tracer_;
+    obs::FlightRecorder flight_;
+    /// Last tracer/flight shard index — shared by the monitor, the obs
+    /// thread, and recovery coordinators (see rt_event_shared).
+    std::size_t obs_shard_ = 0;
+    // Hoisted observability flags: tested in hot paths, set once in the ctor.
+    bool events_on_ = false;   ///< tracer shards collect runtime events
+    bool flight_on_ = false;   ///< flight ring records
+    bool tax_on_ = false;      ///< framework-tax attribution
+    bool status_on_ = false;   ///< periodic status-file export
+    bool flight_poll_ = false; ///< poll for on-demand flight dumps
+    std::mutex dump_mu_;       ///< one flight dump writes the file at a time
+    std::uint64_t status_seq_ = 0;  ///< obs thread + post-join only
+    /// Published copy of the recovery epoch for lock-free status snapshots
+    /// (epoch_ itself is guarded by recovery_mu_).
+    std::atomic<std::int64_t> epoch_now_{0};
     SuspicionSet suspected_;
     bool detector_active_ = false;
     std::size_t nshards_ = 1;  ///< ready-deque shards per place (resolved)

@@ -100,6 +100,15 @@ void write_chrome_trace(std::ostream& os, const TraceLog& log,
                    what, d.place, us(d.t).c_str()));
   }
 
+  for (const RtEvent& r : log.events) {
+    const auto name = std::string(rt_event_kind_name(r.kind));
+    emit(strformat("{\"name\":\"%s\",\"cat\":\"runtime\",\"ph\":\"i\","
+                   "\"s\":\"p\",\"pid\":%d,\"tid\":0,\"ts\":%s,"
+                   "\"args\":{\"a\":%lld,\"b\":%lld}}",
+                   name.c_str(), std::max(r.place, 0), us(r.t).c_str(),
+                   static_cast<long long>(r.a), static_cast<long long>(r.b)));
+  }
+
   if (metrics != nullptr) {
     for (const TimeSeries& s : metrics->series) {
       const std::int32_t pid = std::max(s.place, 0);

@@ -1,0 +1,108 @@
+#include "obs/flight_recorder.h"
+
+#include <csignal>
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "obs/trace_io.h"
+
+namespace dpx10::obs {
+
+FlightRecorder::FlightRecorder(std::size_t nshards, std::size_t capacity)
+    : capacity_(capacity) {
+  if (nshards == 0) nshards = 1;
+  rings_.reserve(nshards);
+  for (std::size_t i = 0; i < nshards; ++i) {
+    auto ring = std::make_unique<Ring>();
+    if (capacity_ != 0) ring->buf.resize(capacity_);
+    rings_.push_back(std::move(ring));
+  }
+}
+
+void FlightRecorder::record(std::size_t shard, RtEventKind kind,
+                            std::int32_t place, std::int64_t a, std::int64_t b,
+                            double t) {
+  Ring& r = *rings_[shard];
+  std::lock_guard<std::mutex> lk(r.mu);
+  const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+  r.buf[h % capacity_] = RtEvent{t, a, b, place, kind};
+  r.head.store(h + 1, std::memory_order_release);
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) n += r->head.load(std::memory_order_acquire);
+  return n;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rings_) {
+    const std::uint64_t h = r->head.load(std::memory_order_acquire);
+    if (h > capacity_) n += h - capacity_;
+  }
+  return n;
+}
+
+std::vector<RtEvent> FlightRecorder::drain_sorted() const {
+  std::vector<RtEvent> out;
+  for (const auto& r : rings_) {
+    // The lock excludes record() writers; record_fast() writers are not
+    // excluded (that's the point — they never block), so a shard being
+    // actively written may yield one in-flight slot with torn contents.
+    std::lock_guard<std::mutex> lk(r->mu);
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    const std::uint64_t resident = std::min<std::uint64_t>(head, capacity_);
+    // Oldest resident event first, preserving per-ring push order.
+    for (std::uint64_t i = 0; i < resident; ++i) {
+      const RtEvent& ev = r->buf[(head - resident + i) % capacity_];
+      // Discard a torn slot rather than emit a record the trace reader
+      // would reject (kind range is validated on load).
+      if (static_cast<int>(ev.kind) < 0 ||
+          static_cast<int>(ev.kind) >= kRtEventKindCount ||
+          !std::isfinite(ev.t)) {
+        continue;
+      }
+      out.push_back(ev);
+    }
+  }
+  // stable_sort keeps same-timestamp events in shard/push order, so
+  // same-seed SimEngine dumps are deterministic.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RtEvent& x, const RtEvent& y) { return x.t < y.t; });
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& os, const TraceMeta& meta) const {
+  TraceLog log;
+  log.meta = meta;
+  log.events = drain_sorted();
+  write_native_trace(os, log);
+}
+
+namespace {
+
+// sig_atomic_t would do for the handler itself, but the consumers race each
+// other (any worker may poll), so use a lock-free atomic flag. Stores on
+// lock-free atomics are async-signal-safe.
+std::atomic<int> g_dump_requested{0};
+
+extern "C" void flight_signal_handler(int) { g_dump_requested.store(1); }
+
+}  // namespace
+
+void install_flight_signal_handlers() {
+  std::signal(SIGUSR1, flight_signal_handler);
+  std::signal(SIGQUIT, flight_signal_handler);
+}
+
+void request_flight_dump() { g_dump_requested.store(1); }
+
+bool consume_dump_request() {
+  if (g_dump_requested.load(std::memory_order_relaxed) == 0) return false;
+  return g_dump_requested.exchange(0) != 0;
+}
+
+}  // namespace dpx10::obs

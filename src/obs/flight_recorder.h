@@ -1,0 +1,114 @@
+// Flight recorder — an always-on, fixed-size ring of runtime events.
+//
+// Unlike the tracer (opt-in, unbounded, collected post-mortem), the flight
+// recorder runs on every run by default and keeps only the most recent
+// `capacity` RtEvents per shard (one shard per worker, so hot-path pushes
+// never contend). It answers "what were the last things this run did?"
+// when a run crashes, wedges, or is poked with SIGUSR1/SIGQUIT — the rings
+// are merged, time-sorted and written as a normal native trace that
+// `dpx10trace` can load.
+//
+// Cost budget: the per-vertex path uses record_fast() — one branch, one
+// plain 32-byte slot store, and one release store of the ring head; no
+// lock, no CAS. Each worker shard has exactly one writer (the worker), so
+// plain stores are race-free; the shared shard (monitor/obs/coordinator
+// threads) goes through the mutex-taking record() instead. Timestamps on
+// the hottest path are amortized via tick_time(), which re-reads the clock
+// once every kClockStride events. The recorder never feeds back into
+// engine behaviour, so reports stay byte-identical with the recorder on or
+// off (tested in obs_live_test).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace_log.h"
+
+namespace dpx10::obs {
+
+class FlightRecorder {
+ public:
+  /// `capacity` events are retained per shard; 0 disables the recorder
+  /// entirely (record() must then not be called — check enabled() first,
+  /// engines hoist it into a local).
+  FlightRecorder(std::size_t nshards, std::size_t capacity);
+
+  bool enabled() const { return capacity_ != 0; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t nshards() const { return rings_.size(); }
+
+  /// Multi-writer-safe push (takes the shard mutex). Use for shards shared
+  /// between threads — the engines' obs shard — and anywhere off the hot
+  /// path.
+  void record(std::size_t shard, RtEventKind kind, std::int32_t place,
+              std::int64_t a, std::int64_t b, double t);
+
+  /// Single-writer push: no lock, plain slot store + release head bump.
+  /// Only legal when `shard` has exactly one recording thread (each engine
+  /// worker owns its shard). A dump taken while a fast writer is mid-push
+  /// may observe at most one half-written slot per shard; drain_sorted()
+  /// discards slots whose kind is out of range, so dumps stay loadable.
+  void record_fast(std::size_t shard, RtEventKind kind, std::int32_t place,
+                   std::int64_t a, std::int64_t b, double t) {
+    Ring& r = *rings_[shard];
+    const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+    r.buf[h % capacity_] = RtEvent{t, a, b, place, kind};
+    r.head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Amortized timestamp for record_fast() on per-vertex paths: returns a
+  /// cached reading of `now` and refreshes it every kClockStride calls.
+  /// Events between refreshes share a timestamp; drain_sorted() is stable,
+  /// so their per-shard order survives the merge. Same single-writer
+  /// contract as record_fast().
+  template <class NowFn>
+  double tick_time(std::size_t shard, NowFn&& now) {
+    Ring& r = *rings_[shard];
+    if ((r.clock_tick++ & (kClockStride - 1)) == 0) r.clock_cache = now();
+    return r.clock_cache;
+  }
+
+  /// Total events ever recorded / overwritten by ring wrap, summed over
+  /// shards. dropped() == recorded() - resident events.
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  /// Snapshot of all rings, merged and sorted by (t, shard push order).
+  /// Safe to call while other threads are still recording.
+  std::vector<RtEvent> drain_sorted() const;
+
+  /// Writes the merged ring contents as a native trace file (meta + `r`
+  /// records only) that dpx10trace summary/convert can load.
+  void dump(std::ostream& os, const TraceMeta& meta) const;
+
+  /// Clock refresh stride of tick_time(); power of two.
+  static constexpr std::uint32_t kClockStride = 16;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;          ///< serializes record() writers only
+    std::vector<RtEvent> buf;       ///< capacity slots, written mod capacity
+    std::atomic<std::uint64_t> head{0};  ///< pushes; next slot = head % capacity
+    // tick_time() state — touched only by the shard's single fast writer.
+    std::uint32_t clock_tick = 0;
+    double clock_cache = 0.0;
+  };
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// Async-signal-safe dump requests. install_flight_signal_handlers() hooks
+/// SIGUSR1 and SIGQUIT to set a process-global flag; engines with a
+/// configured --flight-dump path poll consume_dump_request() and dump when
+/// it returns true (once per request). request_flight_dump() sets the same
+/// flag programmatically (tests, tooling).
+void install_flight_signal_handlers();
+void request_flight_dump();
+bool consume_dump_request();
+
+}  // namespace dpx10::obs

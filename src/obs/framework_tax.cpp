@@ -1,0 +1,39 @@
+#include "obs/framework_tax.h"
+
+#include <ostream>
+
+#include "common/strings.h"
+#include "obs/trace_log.h"
+
+namespace dpx10::obs {
+
+namespace {
+
+void row(std::ostream& os, const char* name, double bucket_s, double total_s,
+         std::uint64_t vertices) {
+  const double share = total_s > 0.0 ? 100.0 * bucket_s / total_s : 0.0;
+  const double per_vertex_ns =
+      vertices > 0 ? 1e9 * bucket_s / static_cast<double>(vertices) : 0.0;
+  os << strformat("  %-10s %12.6f s  %6.2f %%  %10.1f ns/vertex\n", name,
+                  bucket_s, share, per_vertex_ns);
+}
+
+}  // namespace
+
+void print_framework_tax(std::ostream& os, const FrameworkTax& tax,
+                         const TraceMeta& meta) {
+  const double total = tax.total_s();
+  os << "framework tax (" << meta.app << " / " << meta.dag << " on "
+     << meta.engine << ", " << tax.vertices << " vertex executions):\n";
+  row(os, "dispatch", tax.dispatch_s, total, tax.vertices);
+  row(os, "cache", tax.cache_s, total, tax.vertices);
+  row(os, "alloc", tax.alloc_s, total, tax.vertices);
+  row(os, "publish", tax.publish_s, total, tax.vertices);
+  row(os, "compute", tax.compute_s, total, tax.vertices);
+  row(os, "total", total, total, tax.vertices);
+  const double tax_share = total > 0.0 ? 100.0 * tax.tax_s() / total : 0.0;
+  os << strformat("  tax (non-compute): %.2f %% of attributed time\n",
+                  tax_share);
+}
+
+}  // namespace dpx10::obs

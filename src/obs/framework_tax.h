@@ -1,0 +1,56 @@
+// Framework-tax attribution: where the per-vertex framework cost goes.
+//
+// The ROADMAP's "close the gap to hand-coded" item needs a per-vertex
+// breakdown before devirtualization work can be gated on it. When
+// RuntimeOptions::framework_tax is set, each engine splits every vertex
+// execution into five buckets:
+//
+//   dispatch — delinearize + getDependency() virtual calls + scratch setup
+//   cache    — dependency gather: cache-stripe locks, governor reads, copies
+//   compute  — the application compute() itself (the only non-tax bucket)
+//   alloc    — cell write + publish_value + governor memory accounting
+//   publish  — indegree decrements, coalesced control flushes, ready pushes
+//
+// The ThreadedEngine measures real wall time at the section boundaries
+// (6 clock reads per vertex, only when the profile is requested); the
+// SimEngine attributes its modeled costs (framework_ns -> dispatch,
+// local_dep_ns reads -> cache, compute_ns x units -> compute, control-wire
+// transfer time -> publish; alloc is not modeled and stays zero).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace dpx10::obs {
+
+struct TraceMeta;
+
+struct FrameworkTax {
+  double dispatch_s = 0.0;
+  double cache_s = 0.0;
+  double alloc_s = 0.0;
+  double publish_s = 0.0;
+  double compute_s = 0.0;
+  std::uint64_t vertices = 0;
+
+  double total_s() const {
+    return dispatch_s + cache_s + alloc_s + publish_s + compute_s;
+  }
+  double tax_s() const { return total_s() - compute_s; }
+
+  void merge(const FrameworkTax& o) {
+    dispatch_s += o.dispatch_s;
+    cache_s += o.cache_s;
+    alloc_s += o.alloc_s;
+    publish_s += o.publish_s;
+    compute_s += o.compute_s;
+    vertices += o.vertices;
+  }
+};
+
+/// Renders the per-vertex breakdown table `dpx10run --profile=framework-tax`
+/// prints: per-bucket totals, share of total, and ns/vertex.
+void print_framework_tax(std::ostream& os, const FrameworkTax& tax,
+                         const TraceMeta& meta);
+
+}  // namespace dpx10::obs

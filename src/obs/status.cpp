@@ -1,0 +1,159 @@
+#include "obs/status.h"
+
+#include <cstdio>
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace dpx10::obs {
+
+std::int64_t current_pid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::int64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+std::int64_t StatusSnapshot::total_ready() const {
+  std::int64_t n = 0;
+  for (const PlaceStatus& p : places) n += p.ready;
+  return n;
+}
+
+std::int64_t StatusSnapshot::total_busy() const {
+  std::int64_t n = 0;
+  for (const PlaceStatus& p : places) n += p.busy;
+  return n;
+}
+
+std::int64_t StatusSnapshot::total_spill_reads() const {
+  std::int64_t n = 0;
+  for (const PlaceStatus& p : places) n += p.spill_reads;
+  return n;
+}
+
+void write_status(std::ostream& os, const StatusSnapshot& s) {
+  os << "dpx10-status 1\n";
+  os << "seq " << s.seq << '\n';
+  os << "pid " << s.pid << '\n';
+  os << "run " << (s.app.empty() ? "?" : s.app) << ' '
+     << (s.dag.empty() ? "?" : s.dag) << ' '
+     << (s.engine.empty() ? "?" : s.engine) << '\n';
+  os << "progress " << s.finished << ' ' << s.target << '\n';
+  os << "epoch " << s.epoch << ' ' << (s.recovering ? 1 : 0) << '\n';
+  os << "elapsed " << strformat("%.17g", s.elapsed_s) << '\n';
+  os << "places " << s.places.size() << '\n';
+  for (const PlaceStatus& p : s.places) {
+    os << "p " << p.place << ' ' << p.ready << ' ' << p.busy << ' '
+       << p.live_cells << ' ' << p.live_bytes << ' '
+       << strformat("%.17g", p.nic_backlog_s) << ' ' << p.computed << ' '
+       << p.spill_reads << ' ' << (p.crashed ? 1 : 0) << '\n';
+  }
+  os << "end " << s.seq << '\n';
+}
+
+bool read_status(std::istream& is, StatusSnapshot& s) {
+  s = StatusSnapshot{};
+  std::string magic, tag;
+  int version = 0;
+  if (!(is >> magic >> version)) return false;
+  if (magic != "dpx10-status" || version != 1) return false;
+  while (is >> tag) {
+    if (tag == "end") {
+      std::uint64_t trailer = 0;
+      if (!(is >> trailer)) return false;
+      return trailer == s.seq;
+    }
+    if (tag == "seq") {
+      is >> s.seq;
+    } else if (tag == "pid") {
+      is >> s.pid;
+    } else if (tag == "run") {
+      is >> s.app >> s.dag >> s.engine;
+    } else if (tag == "progress") {
+      is >> s.finished >> s.target;
+    } else if (tag == "epoch") {
+      int recovering = 0;
+      is >> s.epoch >> recovering;
+      s.recovering = recovering != 0;
+    } else if (tag == "elapsed") {
+      is >> s.elapsed_s;
+    } else if (tag == "places") {
+      std::size_t n = 0;
+      is >> n;
+      s.places.reserve(n);
+    } else if (tag == "p") {
+      PlaceStatus p;
+      int crashed = 0;
+      is >> p.place >> p.ready >> p.busy >> p.live_cells >> p.live_bytes >>
+          p.nic_backlog_s >> p.computed >> p.spill_reads >> crashed;
+      p.crashed = crashed != 0;
+      s.places.push_back(p);
+    } else {
+      return false;  // unknown record: wrong/newer format, don't guess
+    }
+    if (!is) return false;  // truncated record
+  }
+  return false;  // missing end trailer
+}
+
+bool write_status_file(const std::string& path, const StatusSnapshot& s) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return false;
+    write_status(os, s);
+    if (!os) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool read_status_file(const std::string& path, StatusSnapshot& s) {
+  std::ifstream is(path);
+  if (!is) return false;
+  return read_status(is, s);
+}
+
+void print_status(std::ostream& os, const StatusSnapshot& s,
+                  const StatusSnapshot* prev) {
+  const double pct =
+      s.target > 0 ? 100.0 * static_cast<double>(s.finished) /
+                         static_cast<double>(s.target)
+                   : 0.0;
+  os << s.app << " / " << s.dag << " on " << s.engine << "  (pid " << s.pid
+     << ", snapshot " << s.seq << ")\n";
+  os << strformat("progress %lld / %lld (%.1f%%)  elapsed %.3f s",
+                  static_cast<long long>(s.finished),
+                  static_cast<long long>(s.target), pct, s.elapsed_s);
+  if (prev != nullptr && s.elapsed_s > prev->elapsed_s) {
+    const double rate = static_cast<double>(s.finished - prev->finished) /
+                        (s.elapsed_s - prev->elapsed_s);
+    os << strformat("  (%.0f vertices/s)", rate);
+  }
+  os << '\n';
+  os << "recovery epoch " << s.epoch
+     << (s.recovering ? "  [RECOVERING]" : "") << '\n';
+  os << strformat("%5s %10s %5s %10s %12s %12s %10s %11s %s\n", "place",
+                  "ready", "busy", "live", "live-bytes", "nic-backlog",
+                  "computed", "spill-reads", "state");
+  for (const PlaceStatus& p : s.places) {
+    os << strformat("%5d %10lld %5d %10lld %12lld %12.6f %10lld %11lld %s\n",
+                    p.place, static_cast<long long>(p.ready), p.busy,
+                    static_cast<long long>(p.live_cells),
+                    static_cast<long long>(p.live_bytes), p.nic_backlog_s,
+                    static_cast<long long>(p.computed),
+                    static_cast<long long>(p.spill_reads),
+                    p.crashed ? "DEAD" : "up");
+  }
+}
+
+}  // namespace dpx10::obs

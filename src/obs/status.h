@@ -1,0 +1,86 @@
+// Live status export — the versioned snapshot both engines publish for
+// dpx10top and the stall watchdog.
+//
+// File format "dpx10-status 1" (line-oriented text, like trace_io):
+//
+//   dpx10-status 1
+//   seq <n>
+//   pid <pid>
+//   run <app> <dag> <engine>
+//   progress <finished> <target>
+//   epoch <recovery epoch> <recovering 0|1>
+//   elapsed <seconds>
+//   places <nplaces>
+//   p <place> <ready> <busy> <live_cells> <live_bytes> <nic_backlog_s>
+//     <computed> <spill_reads> <crashed>          (one line per place)
+//   end <n>
+//
+// Atomicity contract: writers serialize to `<path>.tmp` and rename(2) it
+// over `<path>` — readers therefore always see a complete file on POSIX.
+// As defense in depth `seq` is repeated in the `end` record and readers
+// reject a file whose trailer disagrees with its header (a torn write on a
+// filesystem without atomic rename). `seq` is strictly increasing within a
+// run, so pollers can tell a fresh snapshot from a stale one.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dpx10::obs {
+
+struct PlaceStatus {
+  std::int32_t place = 0;
+  std::int64_t ready = 0;          ///< ready-queue depth
+  std::int32_t busy = 0;           ///< slots (sim) / non-idle workers (threaded)
+  std::int64_t live_cells = 0;     ///< governor-accounted live payloads
+  std::int64_t live_bytes = 0;
+  double nic_backlog_s = 0.0;      ///< sim NIC serialization backlog; 0 threaded
+  std::int64_t computed = 0;
+  std::int64_t spill_reads = 0;    ///< cumulative out-of-core demand reads
+  bool crashed = false;
+};
+
+struct StatusSnapshot {
+  std::uint64_t seq = 0;
+  std::int64_t pid = 0;
+  std::string app;
+  std::string dag;
+  std::string engine;
+  std::int64_t finished = 0;
+  std::int64_t target = 0;
+  std::int64_t epoch = 0;      ///< recovery epoch counter
+  bool recovering = false;     ///< a recovery pass is in flight
+  double elapsed_s = 0.0;      ///< virtual (sim) or wall (threaded) seconds
+  std::vector<PlaceStatus> places;
+
+  std::int64_t total_ready() const;
+  std::int64_t total_busy() const;
+  std::int64_t total_spill_reads() const;
+};
+
+void write_status(std::ostream& os, const StatusSnapshot& s);
+
+/// Parses one status snapshot. Returns false (leaving `s` unspecified) on
+/// bad magic/version, truncation, or a seq mismatch between header and
+/// trailer; never throws on malformed input — pollers just retry.
+bool read_status(std::istream& is, StatusSnapshot& s);
+
+/// Atomically replaces `path` with the serialized snapshot (write to
+/// `<path>.tmp`, then rename). Returns false if either step fails.
+bool write_status_file(const std::string& path, const StatusSnapshot& s);
+
+/// Reads `path`; returns false when the file is missing or unreadable yet.
+bool read_status_file(const std::string& path, StatusSnapshot& s);
+
+/// Renders the per-place table dpx10top shows. `prev` (may be null) adds
+/// finished/s and per-place throughput deltas.
+void print_status(std::ostream& os, const StatusSnapshot& s,
+                  const StatusSnapshot* prev);
+
+/// The publishing process's pid (0 where unavailable) — lets dpx10top name
+/// the run and lets operators aim SIGUSR1.
+std::int64_t current_pid();
+
+}  // namespace dpx10::obs

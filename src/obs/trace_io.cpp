@@ -42,6 +42,10 @@ void write_native_trace(std::ostream& os, const TraceLog& log,
     os << "d " << d.place << ' ' << static_cast<int>(d.to) << ' ' << g17(d.t)
        << '\n';
   }
+  for (const RtEvent& r : log.events) {
+    os << "r " << static_cast<int>(r.kind) << ' ' << r.place << ' ' << r.a
+       << ' ' << r.b << ' ' << g17(r.t) << '\n';
+  }
   if (metrics != nullptr) {
     for (const NamedHistogram& nh : metrics->histograms) {
       os << "h " << nh.name << ' ' << nh.hist.count() << ' '
@@ -108,6 +112,14 @@ void read_native_trace(std::istream& is, TraceLog& log, MetricsReport* metrics) 
       is >> d.place >> to >> d.t;
       d.to = static_cast<std::uint8_t>(to);
       log.detector.push_back(d);
+    } else if (tag == "r") {
+      RtEvent r;
+      int kind = 0;
+      is >> kind >> r.place >> r.a >> r.b >> r.t;
+      require(kind >= 0 && kind < static_cast<int>(kRtEventKindCount),
+              "read_native_trace: runtime-event kind out of range");
+      r.kind = static_cast<RtEventKind>(kind);
+      log.events.push_back(r);
     } else if (tag == "h") {
       std::string name;
       std::uint64_t count = 0;

@@ -16,9 +16,15 @@
 //   v <index> <place> <slot> <ready> <start> <data_ready> <end> <published>
 //   m <kind> <src> <dst> <send> <deliver> <fate>
 //   d <place> <to> <t>
+//   r <kind> <place> <a> <b> <t>
 //   h <name> <count> <sum> <min> <max> <bucket counts x44>
 //   s <name> <place> <npoints> <t value>...
 //   end
+//
+// `r` records are runtime-subsystem events (RtEvent: coalescer flushes,
+// governor retire/spill/resurrect, recovery epochs, checkpoints, crashes)
+// added in ISSUE 7; a log with no events writes no `r` lines, so older
+// traces and span-only traces are unchanged byte-for-byte.
 #pragma once
 
 #include <iosfwd>

@@ -101,14 +101,78 @@ struct DetectorEvent {
   double t = 0.0;
 };
 
+/// Runtime-subsystem event kinds: everything the coalescer, memory governor,
+/// recovery loop and checkpointer do that vertex/message spans cannot
+/// express. The same records feed the full-level tracer and the always-on
+/// flight recorder. The `a`/`b` payload meaning is per-kind (see
+/// rt_event_kind_name and docs/OBSERVABILITY.md).
+enum class RtEventKind : std::uint8_t {
+  VertexDone = 0,    ///< a = linear index, b = slot/worker
+  MessageDrop,       ///< a = message kind, b = destination place
+  BatchFetchFlush,   ///< a = owner place, b = entries coalesced
+  BatchControlFlush, ///< a = destination place, b = edges coalesced
+  GovRetire,         ///< a = retired cell index
+  GovSpill,          ///< a = spilled cell index
+  GovResurrect,      ///< a = cells resurrected, b = recovery epoch
+  SpillRestore,      ///< a = cells restored from spill, b = recovery epoch
+  RecoveryBegin,     ///< place = first dead place, a = batch size, b = nested
+  RecoveryEnd,       ///< a = recovery epoch, b = vertices restored
+  CheckpointWrite,   ///< a = bundle sequence, b = finished count
+  CheckpointResume,  ///< a = bundle sequence, b = finished count
+  SnapshotTaken,     ///< a = snapshots taken so far
+  PlaceCrash,        ///< place = crashed place
+  PlaceDeclared,     ///< place = place declared dead by the detector
+  WedgeFire,         ///< a = stall class, b = unfinished vertices
+  KindCount
+};
+
+inline constexpr std::size_t kRtEventKindCount =
+    static_cast<std::size_t>(RtEventKind::KindCount);
+
+inline std::string_view rt_event_kind_name(RtEventKind k) {
+  switch (k) {
+    case RtEventKind::VertexDone: return "vertex-done";
+    case RtEventKind::MessageDrop: return "message-drop";
+    case RtEventKind::BatchFetchFlush: return "batch-fetch-flush";
+    case RtEventKind::BatchControlFlush: return "batch-control-flush";
+    case RtEventKind::GovRetire: return "gov-retire";
+    case RtEventKind::GovSpill: return "gov-spill";
+    case RtEventKind::GovResurrect: return "gov-resurrect";
+    case RtEventKind::SpillRestore: return "spill-restore";
+    case RtEventKind::RecoveryBegin: return "recovery-begin";
+    case RtEventKind::RecoveryEnd: return "recovery-end";
+    case RtEventKind::CheckpointWrite: return "checkpoint-write";
+    case RtEventKind::CheckpointResume: return "checkpoint-resume";
+    case RtEventKind::SnapshotTaken: return "snapshot-taken";
+    case RtEventKind::PlaceCrash: return "place-crash";
+    case RtEventKind::PlaceDeclared: return "place-declared";
+    case RtEventKind::WedgeFire: return "wedge-fire";
+    case RtEventKind::KindCount: break;
+  }
+  return "?";
+}
+
+/// One runtime-subsystem event. Compact by design: the flight recorder keeps
+/// millions of these per MB of ring, and the tracer appends them to full
+/// traces as `r` records.
+struct RtEvent {
+  double t = 0.0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int32_t place = -1;
+  RtEventKind kind = RtEventKind::VertexDone;
+};
+
 struct TraceLog {
   TraceMeta meta;
   std::vector<VertexSpan> vertices;
   std::vector<MessageEvent> messages;
   std::vector<DetectorEvent> detector;
+  std::vector<RtEvent> events;  ///< runtime-subsystem events (`r` records)
 
   bool empty() const {
-    return vertices.empty() && messages.empty() && detector.empty();
+    return vertices.empty() && messages.empty() && detector.empty() &&
+           events.empty();
   }
 };
 

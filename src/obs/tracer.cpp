@@ -2,8 +2,11 @@
 
 namespace dpx10::obs {
 
-Tracer::Tracer(TraceLevel level, std::size_t nshards, bool vertex_spans_extra)
-    : level_(level), vertex_spans_extra_(vertex_spans_extra) {
+Tracer::Tracer(TraceLevel level, std::size_t nshards, bool vertex_spans_extra,
+               bool framework_tax)
+    : level_(level),
+      vertex_spans_extra_(vertex_spans_extra),
+      framework_tax_(framework_tax) {
   if (nshards == 0) nshards = 1;
   shards_.reserve(nshards);
   for (std::size_t i = 0; i < nshards; ++i) {
@@ -49,10 +52,13 @@ Tracer::Collected Tracer::collect(TraceMeta meta) {
                             sh->vertices.end());
     out.log.messages.insert(out.log.messages.end(), sh->messages.begin(),
                             sh->messages.end());
+    out.log.events.insert(out.log.events.end(), sh->events.begin(),
+                          sh->events.end());
     fetch_latency.merge(sh->fetch_latency_s);
     compute.merge(sh->compute_s);
     queue_wait.merge(sh->queue_wait_s);
     retries.merge(sh->fetch_retries);
+    out.tax.merge(sh->tax);
   }
   out.log.detector = std::move(detector_);
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/fault_injector.h"
+#include "obs/framework_tax.h"
 #include "obs/metrics.h"
 #include "obs/trace_level.h"
 #include "obs/trace_log.h"
@@ -35,24 +36,31 @@ class Tracer : public net::PerturbObserver {
   /// nworkers + 1 for the ThreadedEngine: one per worker plus the monitor).
   /// `vertex_spans_extra` forces vertex-span recording below Full level —
   /// the legacy RuntimeOptions::record_trace path, which the span tracer
-  /// subsumes.
-  Tracer(TraceLevel level, std::size_t nshards, bool vertex_spans_extra = false);
+  /// subsumes. `framework_tax` turns on per-vertex bucket attribution
+  /// (RuntimeOptions::framework_tax / dpx10run --profile=framework-tax).
+  Tracer(TraceLevel level, std::size_t nshards, bool vertex_spans_extra = false,
+         bool framework_tax = false);
 
   TraceLevel level() const { return level_; }
   bool counters_on() const { return level_ >= TraceLevel::Counters; }
   bool spans_on() const { return level_ == TraceLevel::Full; }
   bool vertex_spans_on() const { return spans_on() || vertex_spans_extra_; }
-  bool active() const { return counters_on() || vertex_spans_extra_; }
+  bool tax_on() const { return framework_tax_; }
+  bool active() const {
+    return counters_on() || vertex_spans_extra_ || framework_tax_;
+  }
 
   /// One writer's private buffers. Histograms are recorded shard-locally
   /// and merged at collect(); span vectors are concatenated shard-by-shard.
   struct Shard {
     std::vector<VertexSpan> vertices;
     std::vector<MessageEvent> messages;
+    std::vector<RtEvent> events;  ///< runtime-subsystem events (Full level)
     Histogram fetch_latency_s;    ///< remote dependency fetch, send -> value
     Histogram compute_s;          ///< compute() duration (incl. gather cost)
     Histogram queue_wait_s;       ///< ready -> dispatched
     Histogram fetch_retries;      ///< retransmissions per retried fetch
+    FrameworkTax tax;             ///< per-vertex bucket attribution
   };
 
   Shard& shard(std::size_t i) { return *shards_[i]; }
@@ -75,6 +83,7 @@ class Tracer : public net::PerturbObserver {
   struct Collected {
     TraceLog log;
     MetricsReport metrics;
+    FrameworkTax tax;  ///< merged across shards; vertices == 0 when off
   };
 
   /// Merges all shards into one TraceLog + MetricsReport. Shards are
@@ -86,6 +95,7 @@ class Tracer : public net::PerturbObserver {
  private:
   TraceLevel level_;
   bool vertex_spans_extra_;
+  bool framework_tax_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<DetectorEvent> detector_;
   std::vector<TimeSeries> series_;

@@ -1,0 +1,40 @@
+#include "obs/watchdog.h"
+
+namespace dpx10::obs {
+
+StallClass classify_stall(const StatusSnapshot& prev, const StatusSnapshot& cur) {
+  if (cur.finished > prev.finished) return StallClass::Progressing;
+  if (cur.recovering || cur.epoch != prev.epoch) return StallClass::Recovering;
+  if (cur.total_spill_reads() > prev.total_spill_reads()) {
+    return StallClass::SpillThrashing;
+  }
+  if (cur.total_ready() == 0 && cur.total_busy() == 0) {
+    return StallClass::Wedged;
+  }
+  return StallClass::Starved;
+}
+
+std::optional<StallWatchdog::Stall> StallWatchdog::observe(
+    const StatusSnapshot& cur) {
+  if (!have_prev_) {
+    have_prev_ = true;
+    stall_since_ = cur.elapsed_s;
+    prev_ = cur;
+    return std::nullopt;
+  }
+  const StallClass cls = classify_stall(prev_, cur);
+  prev_ = cur;
+  if (cls == StallClass::Progressing || cls == StallClass::Recovering) {
+    // Recovery passes restart the clock too: they make no vertex progress
+    // by design and have their own (engine-side) failure handling.
+    stall_since_ = cur.elapsed_s;
+    fired_ = false;
+    return std::nullopt;
+  }
+  const double stalled = cur.elapsed_s - stall_since_;
+  if (fired_ || after_ <= 0.0 || stalled < after_) return std::nullopt;
+  fired_ = true;
+  return Stall{cls, stalled};
+}
+
+}  // namespace dpx10::obs

@@ -1,0 +1,68 @@
+// Stall watchdog — classifies "this run is making no progress" into a
+// diagnosable cause from consecutive StatusSnapshots.
+//
+// PR 5's wedge detector turns a lost-decrement hang into an InternalError
+// after wedge_timeout_s; this generalizes that into "hang -> diagnosable
+// artifact": the watchdog watches snapshot deltas, names the stall, and the
+// engines attach the classification to the wedge error and dump the flight
+// recorder so there is something to load into dpx10trace.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "obs/status.h"
+
+namespace dpx10::obs {
+
+enum class StallClass : std::uint8_t {
+  Progressing = 0,  ///< finished count advanced
+  Recovering,       ///< a recovery pass is running / epoch advanced
+  SpillThrashing,   ///< no progress but out-of-core reads are churning
+  Wedged,           ///< nothing ready, nothing running: lost work
+  Starved,          ///< work exists or workers busy, yet nothing finishes
+};
+
+inline std::string_view stall_class_name(StallClass c) {
+  switch (c) {
+    case StallClass::Progressing: return "progressing";
+    case StallClass::Recovering: return "recovering";
+    case StallClass::SpillThrashing: return "spill-thrashing";
+    case StallClass::Wedged: return "wedged";
+    case StallClass::Starved: return "starved";
+  }
+  return "?";
+}
+
+/// Pure classification of the interval prev -> cur, in priority order:
+///   1. finished advanced                      -> Progressing
+///   2. recovering flag / epoch advanced       -> Recovering
+///   3. spill reads advanced                   -> SpillThrashing
+///   4. nothing ready and nothing busy         -> Wedged
+///   5. otherwise                              -> Starved
+StallClass classify_stall(const StatusSnapshot& prev, const StatusSnapshot& cur);
+
+/// Stateful detector: feed it every snapshot in order; once no snapshot has
+/// shown progress for `stall_after_s` (measured on the snapshots' own
+/// elapsed_s clock) it reports the stall ONCE per no-progress episode.
+/// Progress re-arms it.
+class StallWatchdog {
+ public:
+  explicit StallWatchdog(double stall_after_s) : after_(stall_after_s) {}
+
+  struct Stall {
+    StallClass cls = StallClass::Starved;
+    double stalled_for_s = 0.0;  ///< since the last progressing snapshot
+  };
+
+  std::optional<Stall> observe(const StatusSnapshot& cur);
+
+ private:
+  double after_;
+  bool have_prev_ = false;
+  bool fired_ = false;
+  double stall_since_ = 0.0;
+  StatusSnapshot prev_;
+};
+
+}  // namespace dpx10::obs

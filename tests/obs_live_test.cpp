@@ -1,0 +1,633 @@
+// Live-introspection subsystem (PR 7): flight recorder ring semantics and
+// dump round-trips, status-file atomicity and parsing, stall-watchdog
+// classification, framework-tax attribution, runtime events in full traces,
+// and the transparency contract — reports are byte-identical with the
+// recorder/status export on or off.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/hooks.h"
+#include "core/dpx10.h"
+#include "core/report_io.h"
+#include "dp/inputs.h"
+#include "dp/lcs.h"
+#include "obs/flight_recorder.h"
+#include "obs/status.h"
+#include "obs/trace_io.h"
+#include "obs/watchdog.h"
+
+namespace dpx10 {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_file(const std::string& name) {
+  return fs::temp_directory_path() / ("dpx10_obs_live_" + name);
+}
+
+// ---------------------------------------------------------- flight recorder
+
+TEST(FlightRecorder, DisabledAtCapacityZero) {
+  obs::FlightRecorder fr(2, 0);
+  EXPECT_FALSE(fr.enabled());
+  EXPECT_EQ(fr.recorded(), 0u);
+  EXPECT_TRUE(fr.drain_sorted().empty());
+}
+
+TEST(FlightRecorder, RingWrapKeepsNewestAndCountsDropped) {
+  obs::FlightRecorder fr(1, 8);
+  ASSERT_TRUE(fr.enabled());
+  for (int i = 0; i < 20; ++i) {
+    fr.record(0, obs::RtEventKind::VertexDone, 0, i, 0, static_cast<double>(i));
+  }
+  EXPECT_EQ(fr.recorded(), 20u);
+  EXPECT_EQ(fr.dropped(), 12u);
+  const std::vector<obs::RtEvent> events = fr.drain_sorted();
+  ASSERT_EQ(events.size(), 8u);
+  // The ring retained the newest 8, oldest-first after the sorted drain.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, static_cast<std::int64_t>(12 + i));
+  }
+}
+
+TEST(FlightRecorder, DrainMergesShardsByTime) {
+  obs::FlightRecorder fr(3, 16);
+  fr.record(2, obs::RtEventKind::VertexDone, 2, 20, 0, 2.0);
+  fr.record(0, obs::RtEventKind::VertexDone, 0, 10, 0, 1.0);
+  fr.record(1, obs::RtEventKind::MessageDrop, 1, 30, 0, 3.0);
+  const std::vector<obs::RtEvent> events = fr.drain_sorted();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].a, 10);
+  EXPECT_EQ(events[1].a, 20);
+  EXPECT_EQ(events[2].a, 30);
+}
+
+TEST(FlightRecorder, DumpLoadsAsNativeTrace) {
+  obs::FlightRecorder fr(2, 8);
+  fr.record(0, obs::RtEventKind::RecoveryBegin, 1, 1, 0, 0.5);
+  fr.record(1, obs::RtEventKind::RecoveryEnd, 1, 1, 7, 0.75);
+  obs::TraceMeta meta{"app", "dag", "sim", 4, 4, 2, 1, 1.0};
+  std::ostringstream os;
+  fr.dump(os, meta);
+
+  std::istringstream is(os.str());
+  obs::TraceLog log;
+  obs::read_native_trace(is, log, nullptr);
+  EXPECT_EQ(log.meta.app, "app");
+  EXPECT_EQ(log.meta.engine, "sim");
+  ASSERT_EQ(log.events.size(), 2u);
+  EXPECT_EQ(log.events[0].kind, obs::RtEventKind::RecoveryBegin);
+  EXPECT_EQ(log.events[1].kind, obs::RtEventKind::RecoveryEnd);
+  EXPECT_EQ(log.events[1].b, 7);
+  EXPECT_TRUE(log.vertices.empty());
+}
+
+TEST(FlightRecorder, DumpRequestFlagConsumesOnce) {
+  (void)obs::consume_dump_request();  // drain any leftover state
+  EXPECT_FALSE(obs::consume_dump_request());
+  obs::request_flight_dump();
+  EXPECT_TRUE(obs::consume_dump_request());
+  EXPECT_FALSE(obs::consume_dump_request());
+}
+
+// ------------------------------------------------------------ trace_io `r`
+
+TEST(TraceIo, RuntimeEventsRoundTrip) {
+  obs::TraceLog log;
+  log.meta = obs::TraceMeta{"a", "d", "threaded", 3, 3, 2, 2, 0.5};
+  log.events.push_back({0.25, 42, 7, 1, obs::RtEventKind::GovSpill});
+  log.events.push_back({0.50, -1, 0, -1, obs::RtEventKind::WedgeFire});
+  std::ostringstream os;
+  obs::write_native_trace(os, log, nullptr);
+
+  std::istringstream is(os.str());
+  obs::TraceLog back;
+  obs::read_native_trace(is, back, nullptr);
+  ASSERT_EQ(back.events.size(), 2u);
+  EXPECT_EQ(back.events[0].kind, obs::RtEventKind::GovSpill);
+  EXPECT_EQ(back.events[0].a, 42);
+  EXPECT_EQ(back.events[0].b, 7);
+  EXPECT_EQ(back.events[0].place, 1);
+  EXPECT_DOUBLE_EQ(back.events[0].t, 0.25);
+  EXPECT_EQ(back.events[1].kind, obs::RtEventKind::WedgeFire);
+  EXPECT_EQ(back.events[1].place, -1);
+}
+
+TEST(TraceIo, NoEventsWritesNoRRecords) {
+  obs::TraceLog log;
+  log.meta = obs::TraceMeta{"a", "d", "sim", 2, 2, 1, 1, 0.1};
+  std::ostringstream os;
+  obs::write_native_trace(os, log, nullptr);
+  EXPECT_EQ(os.str().find("\nr "), std::string::npos);
+}
+
+TEST(TraceIo, RejectsOutOfRangeEventKind) {
+  obs::TraceLog log;
+  log.meta = obs::TraceMeta{"a", "d", "sim", 2, 2, 1, 1, 0.1};
+  std::ostringstream os;
+  obs::write_native_trace(os, log, nullptr);
+  std::string text = os.str();
+  text.insert(text.rfind("end"), "r 250 0 0 0 0.5\n");
+  std::istringstream is(text);
+  obs::TraceLog back;
+  EXPECT_THROW(obs::read_native_trace(is, back, nullptr), Error);
+}
+
+// ----------------------------------------------------------------- status
+
+obs::StatusSnapshot sample_status() {
+  obs::StatusSnapshot s;
+  s.seq = 3;
+  s.pid = 1234;
+  s.app = "lcs";
+  s.dag = "left-top-diag";
+  s.engine = "threaded";
+  s.finished = 50;
+  s.target = 100;
+  s.epoch = 2;
+  s.recovering = true;
+  s.elapsed_s = 1.5;
+  for (std::int32_t p = 0; p < 2; ++p) {
+    obs::PlaceStatus ps;
+    ps.place = p;
+    ps.ready = 4 + p;
+    ps.busy = 2;
+    ps.live_cells = 10;
+    ps.live_bytes = 40;
+    ps.nic_backlog_s = 0.25;
+    ps.computed = 25;
+    ps.spill_reads = p;
+    ps.crashed = p == 1;
+    s.places.push_back(ps);
+  }
+  return s;
+}
+
+TEST(Status, RoundTripsThroughStream) {
+  const obs::StatusSnapshot s = sample_status();
+  std::ostringstream os;
+  obs::write_status(os, s);
+  std::istringstream is(os.str());
+  obs::StatusSnapshot back;
+  ASSERT_TRUE(obs::read_status(is, back));
+  EXPECT_EQ(back.seq, s.seq);
+  EXPECT_EQ(back.pid, s.pid);
+  EXPECT_EQ(back.app, s.app);
+  EXPECT_EQ(back.engine, s.engine);
+  EXPECT_EQ(back.finished, s.finished);
+  EXPECT_EQ(back.target, s.target);
+  EXPECT_EQ(back.epoch, s.epoch);
+  EXPECT_TRUE(back.recovering);
+  EXPECT_DOUBLE_EQ(back.elapsed_s, s.elapsed_s);
+  ASSERT_EQ(back.places.size(), 2u);
+  EXPECT_EQ(back.places[1].ready, 5);
+  EXPECT_TRUE(back.places[1].crashed);
+  EXPECT_DOUBLE_EQ(back.places[0].nic_backlog_s, 0.25);
+  EXPECT_EQ(back.total_ready(), 9);
+  EXPECT_EQ(back.total_busy(), 4);
+  EXPECT_EQ(back.total_spill_reads(), 1);
+}
+
+TEST(Status, RejectsTornAndForeignFiles) {
+  const obs::StatusSnapshot s = sample_status();
+  std::ostringstream os;
+  obs::write_status(os, s);
+  const std::string full = os.str();
+
+  obs::StatusSnapshot back;
+  {  // truncated mid-file: no trailer
+    std::istringstream is(full.substr(0, full.size() / 2));
+    EXPECT_FALSE(obs::read_status(is, back));
+  }
+  {  // trailer seq disagrees with header seq
+    std::string torn = full;
+    torn.replace(torn.rfind("end 3"), 5, "end 9");
+    std::istringstream is(torn);
+    EXPECT_FALSE(obs::read_status(is, back));
+  }
+  {  // wrong magic
+    std::istringstream is("dpx10-other 1\nseq 1\nend 1\n");
+    EXPECT_FALSE(obs::read_status(is, back));
+  }
+  {  // unknown record tag (newer format)
+    std::istringstream is("dpx10-status 1\nseq 1\nfrobnicate 2\nend 1\n");
+    EXPECT_FALSE(obs::read_status(is, back));
+  }
+}
+
+TEST(Status, FileWriteIsAtomicReplaceAndMissingReadsFalse) {
+  const fs::path path = temp_file("status");
+  fs::remove(path);
+  obs::StatusSnapshot back;
+  EXPECT_FALSE(obs::read_status_file(path.string(), back));
+
+  obs::StatusSnapshot s = sample_status();
+  ASSERT_TRUE(obs::write_status_file(path.string(), s));
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));  // renamed, not left behind
+  ASSERT_TRUE(obs::read_status_file(path.string(), back));
+  EXPECT_EQ(back.seq, 3u);
+
+  s.seq = 4;
+  s.finished = 60;
+  ASSERT_TRUE(obs::write_status_file(path.string(), s));
+  ASSERT_TRUE(obs::read_status_file(path.string(), back));
+  EXPECT_EQ(back.seq, 4u);
+  EXPECT_EQ(back.finished, 60);
+  fs::remove(path);
+}
+
+TEST(Status, PrintRendersTableWithRates) {
+  const obs::StatusSnapshot s = sample_status();
+  obs::StatusSnapshot next = s;
+  next.seq = 4;
+  next.finished = 70;
+  next.elapsed_s = 2.5;
+  std::ostringstream os;
+  obs::print_status(os, next, &s);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("progress 70 / 100"), std::string::npos);
+  EXPECT_NE(out.find("vertices/s"), std::string::npos);
+  EXPECT_NE(out.find("[RECOVERING]"), std::string::npos);
+  EXPECT_NE(out.find("DEAD"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- watchdog
+
+obs::StatusSnapshot stall_base(std::int64_t finished, double t) {
+  obs::StatusSnapshot s;
+  s.finished = finished;
+  s.target = 100;
+  s.elapsed_s = t;
+  obs::PlaceStatus p0;
+  p0.place = 0;
+  p0.ready = 2;
+  p0.busy = 1;
+  s.places.push_back(p0);
+  return s;
+}
+
+TEST(Watchdog, ClassificationMatrix) {
+  const obs::StatusSnapshot prev = stall_base(10, 1.0);
+
+  obs::StatusSnapshot cur = stall_base(11, 2.0);
+  EXPECT_EQ(obs::classify_stall(prev, cur), obs::StallClass::Progressing);
+
+  cur = stall_base(10, 2.0);
+  cur.recovering = true;
+  EXPECT_EQ(obs::classify_stall(prev, cur), obs::StallClass::Recovering);
+
+  cur = stall_base(10, 2.0);
+  cur.epoch = prev.epoch + 1;
+  EXPECT_EQ(obs::classify_stall(prev, cur), obs::StallClass::Recovering);
+
+  cur = stall_base(10, 2.0);
+  cur.places[0].spill_reads = 50;
+  EXPECT_EQ(obs::classify_stall(prev, cur), obs::StallClass::SpillThrashing);
+
+  cur = stall_base(10, 2.0);
+  cur.places[0].ready = 0;
+  cur.places[0].busy = 0;
+  EXPECT_EQ(obs::classify_stall(prev, cur), obs::StallClass::Wedged);
+
+  cur = stall_base(10, 2.0);  // ready work exists but nothing finishes
+  EXPECT_EQ(obs::classify_stall(prev, cur), obs::StallClass::Starved);
+}
+
+TEST(Watchdog, FiresOncePerEpisodeAndRearmsOnProgress) {
+  obs::StallWatchdog wd(1.0);
+  EXPECT_FALSE(wd.observe(stall_base(10, 0.0)).has_value());   // seeds
+  EXPECT_FALSE(wd.observe(stall_base(10, 0.5)).has_value());   // under window
+  const auto fire = wd.observe(stall_base(10, 1.5));
+  ASSERT_TRUE(fire.has_value());
+  EXPECT_EQ(fire->cls, obs::StallClass::Starved);
+  EXPECT_GE(fire->stalled_for_s, 1.0);
+  EXPECT_FALSE(wd.observe(stall_base(10, 3.0)).has_value());   // once only
+  EXPECT_FALSE(wd.observe(stall_base(11, 3.5)).has_value());   // progress
+  EXPECT_FALSE(wd.observe(stall_base(11, 4.0)).has_value());
+  EXPECT_TRUE(wd.observe(stall_base(11, 5.0)).has_value());    // re-armed
+}
+
+TEST(Watchdog, DisabledAtZeroThresholdAndRecoveringResets) {
+  obs::StallWatchdog off(0.0);
+  EXPECT_FALSE(off.observe(stall_base(10, 0.0)).has_value());
+  EXPECT_FALSE(off.observe(stall_base(10, 100.0)).has_value());
+
+  obs::StallWatchdog wd(1.0);
+  EXPECT_FALSE(wd.observe(stall_base(10, 0.0)).has_value());
+  obs::StatusSnapshot rec = stall_base(10, 0.9);
+  rec.recovering = true;
+  EXPECT_FALSE(wd.observe(rec).has_value());  // recovery re-arms the clock
+  EXPECT_FALSE(wd.observe(stall_base(10, 1.5)).has_value());
+  EXPECT_TRUE(wd.observe(stall_base(10, 2.5)).has_value());
+}
+
+// --------------------------------------------------------- engine fixtures
+
+constexpr std::int32_t kSide = 31;
+
+std::unique_ptr<Dag> test_dag() {
+  return patterns::make_pattern("left-top-diag", kSide, kSide);
+}
+
+dp::LcsApp test_app() {
+  return dp::LcsApp(dp::random_sequence(kSide - 1, 61),
+                    dp::random_sequence(kSide - 1, 62));
+}
+
+RuntimeOptions base_opts() {
+  RuntimeOptions opts;
+  opts.nplaces = 4;
+  opts.nthreads = 3;
+  return opts;
+}
+
+RunReport sim_run(const RuntimeOptions& opts) {
+  dp::LcsApp app = test_app();
+  SimEngine<std::int32_t> engine(opts);
+  auto dag = test_dag();
+  return engine.run(*dag, app);
+}
+
+RunReport threaded_run(const RuntimeOptions& opts) {
+  dp::LcsApp app = test_app();
+  ThreadedEngine<std::int32_t> engine(opts);
+  auto dag = test_dag();
+  return engine.run(*dag, app);
+}
+
+std::string report_json(const RunReport& r) {
+  std::ostringstream os;
+  print_json(os, r);
+  return os.str();
+}
+
+// ------------------------------------------------- transparency (sim, pinned)
+
+// The recorder and status export must never perturb the engine: the full
+// JSON report (counters, traffic, virtual elapsed) is byte-identical with
+// the flight ring on (default), off, and with status publishing active.
+TEST(ObsLiveSim, ReportsByteIdenticalAcrossRecorderConfigs) {
+  RuntimeOptions off = base_opts();
+  off.flight_events = 0;
+  const std::string golden = report_json(sim_run(off));
+
+  RuntimeOptions on = base_opts();  // default: recorder armed
+  EXPECT_EQ(report_json(sim_run(on)), golden);
+
+  RuntimeOptions status = base_opts();
+  const fs::path sf = temp_file("sim_status");
+  status.status_file = sf.string();
+  status.status_interval_s = 0.001;
+  EXPECT_EQ(report_json(sim_run(status)), golden);
+  fs::remove(sf);
+}
+
+TEST(ObsLiveSim, StatusFileParsesAfterLiveRun) {
+  RuntimeOptions opts = base_opts();
+  const fs::path sf = temp_file("sim_status_live");
+  opts.status_file = sf.string();
+  opts.status_interval_s = 0.001;
+  const RunReport r = sim_run(opts);
+
+  obs::StatusSnapshot s;
+  ASSERT_TRUE(obs::read_status_file(sf.string(), s));
+  EXPECT_EQ(s.engine, "sim");
+  EXPECT_EQ(s.app, "lcs");
+  EXPECT_EQ(s.finished, s.target);  // final snapshot published at completion
+  EXPECT_EQ(static_cast<std::uint64_t>(s.finished) + r.prefinished,
+            r.vertices);
+  ASSERT_EQ(s.places.size(), 4u);
+  EXPECT_GT(s.seq, 0u);
+  fs::remove(sf);
+}
+
+TEST(ObsLiveThreaded, StatusFileParsesAfterLiveRun) {
+  RuntimeOptions opts = base_opts();
+  opts.nplaces = 2;
+  opts.nthreads = 2;
+  const fs::path sf = temp_file("thr_status_live");
+  opts.status_file = sf.string();
+  opts.status_interval_s = 0.001;
+  const RunReport r = threaded_run(opts);
+  (void)r;
+
+  obs::StatusSnapshot s;
+  ASSERT_TRUE(obs::read_status_file(sf.string(), s));
+  EXPECT_EQ(s.engine, "threaded");
+  EXPECT_EQ(s.finished, s.target);
+  ASSERT_EQ(s.places.size(), 2u);
+  fs::remove(sf);
+}
+
+// --------------------------------------------------- on-demand flight dumps
+
+TEST(ObsLiveSim, RequestedDumpIsLoadableMidRun) {
+  RuntimeOptions opts = base_opts();
+  const fs::path df = temp_file("sim_flight_req.trace");
+  opts.flight_dump = df.string();
+  (void)obs::consume_dump_request();
+  obs::request_flight_dump();
+  sim_run(opts);
+
+  std::ifstream is(df);
+  ASSERT_TRUE(is.good());
+  obs::TraceLog log;
+  obs::read_native_trace(is, log, nullptr);
+  EXPECT_EQ(log.meta.engine, "sim");
+  EXPECT_EQ(log.meta.app, "lcs");
+  fs::remove(df);
+}
+
+TEST(ObsLiveSim, PlantedWedgeDumpsLoadableFlightTrace) {
+  RuntimeOptions opts = base_opts();
+  const fs::path df = temp_file("sim_flight_wedge.trace");
+  fs::remove(df);
+  opts.flight_dump = df.string();
+  check::PlantedBugGuard bug(check::PlantedBug::DropDecrement, 7);
+  EXPECT_THROW(sim_run(opts), InternalError);
+
+  std::ifstream is(df);
+  ASSERT_TRUE(is.good());
+  obs::TraceLog log;
+  obs::read_native_trace(is, log, nullptr);
+  EXPECT_EQ(log.meta.engine, "sim");
+  EXPECT_FALSE(log.events.empty());  // the ring saw vertices before the hang
+  bool vertex_done = false;
+  for (const obs::RtEvent& ev : log.events) {
+    if (ev.kind == obs::RtEventKind::VertexDone) vertex_done = true;
+  }
+  EXPECT_TRUE(vertex_done);
+  fs::remove(df);
+}
+
+TEST(ObsLiveThreaded, PlantedWedgeFiresDetectorAndDumpsFlightTrace) {
+  RuntimeOptions opts = base_opts();
+  opts.nplaces = 2;
+  opts.nthreads = 2;
+  opts.wedge_timeout_s = 1.0;
+  const fs::path df = temp_file("thr_flight_wedge.trace");
+  fs::remove(df);
+  opts.flight_dump = df.string();
+  check::PlantedBugGuard bug(check::PlantedBug::DropDecrement, 7);
+  try {
+    threaded_run(opts);
+    FAIL() << "planted drop-decrement must wedge the scheduler";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("wedged"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("stall class"), std::string::npos);
+  }
+
+  std::ifstream is(df);
+  ASSERT_TRUE(is.good());
+  obs::TraceLog log;
+  obs::read_native_trace(is, log, nullptr);
+  EXPECT_EQ(log.meta.engine, "threaded");
+  bool wedge_fire = false;
+  for (const obs::RtEvent& ev : log.events) {
+    if (ev.kind == obs::RtEventKind::WedgeFire) wedge_fire = true;
+  }
+  EXPECT_TRUE(wedge_fire);
+  fs::remove(df);
+}
+
+// ------------------------------------------------------------ framework tax
+
+TEST(ObsLiveSim, FrameworkTaxAttributesModeledCosts) {
+  RuntimeOptions opts = base_opts();
+  opts.framework_tax = true;
+  const RunReport r = sim_run(opts);
+  ASSERT_NE(r.framework_tax, nullptr);
+  EXPECT_EQ(r.framework_tax->vertices, r.computed);
+  EXPECT_GT(r.framework_tax->compute_s, 0.0);
+  EXPECT_GT(r.framework_tax->dispatch_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.framework_tax->alloc_s, 0.0);  // not modeled in the sim
+  EXPECT_GT(r.framework_tax->total_s(), 0.0);
+
+  std::ostringstream os;
+  obs::print_framework_tax(os, *r.framework_tax,
+                           obs::TraceMeta{"lcs", "left-top-diag", "sim", 0, 0,
+                                          0, 0, r.elapsed_seconds});
+  EXPECT_NE(os.str().find("dispatch"), std::string::npos);
+  EXPECT_NE(os.str().find("tax (non-compute)"), std::string::npos);
+}
+
+TEST(ObsLiveSim, FrameworkTaxDoesNotChangeReportJson) {
+  const std::string golden = report_json(sim_run(base_opts()));
+  RuntimeOptions opts = base_opts();
+  opts.framework_tax = true;
+  EXPECT_EQ(report_json(sim_run(opts)), golden);
+}
+
+TEST(ObsLiveThreaded, FrameworkTaxMeasuresWallBuckets) {
+  RuntimeOptions opts = base_opts();
+  opts.nplaces = 2;
+  opts.nthreads = 2;
+  opts.framework_tax = true;
+  const RunReport r = threaded_run(opts);
+  ASSERT_NE(r.framework_tax, nullptr);
+  EXPECT_EQ(r.framework_tax->vertices, r.computed);
+  EXPECT_GT(r.framework_tax->compute_s, 0.0);
+  EXPECT_GT(r.framework_tax->total_s(), 0.0);
+  EXPECT_GE(r.framework_tax->dispatch_s, 0.0);
+  EXPECT_GE(r.framework_tax->publish_s, 0.0);
+}
+
+// ----------------------------------------- runtime events in full traces
+
+std::size_t count_kind(const obs::TraceLog& log, obs::RtEventKind k) {
+  std::size_t n = 0;
+  for (const obs::RtEvent& ev : log.events) {
+    if (ev.kind == k) ++n;
+  }
+  return n;
+}
+
+TEST(ObsLiveSim, FullTraceCarriesCoalescingFlushEvents) {
+  RuntimeOptions opts = base_opts();
+  opts.trace_level = obs::TraceLevel::Full;
+  opts.coalescing = true;
+  const RunReport r = sim_run(opts);
+  ASSERT_NE(r.trace_log, nullptr);
+  // Coalesced control flushes piggyback finished values into the consumer's
+  // cache, so remote FETCHES may legitimately be zero; control flushes
+  // cannot be (cross-place edges exist on every multi-place run).
+  EXPECT_GT(count_kind(*r.trace_log, obs::RtEventKind::BatchControlFlush), 0u);
+  // Flush events agree with the engine's own batch counters.
+  EXPECT_EQ(count_kind(*r.trace_log, obs::RtEventKind::BatchFetchFlush),
+            r.totals().fetch_batches);
+  EXPECT_EQ(count_kind(*r.trace_log, obs::RtEventKind::BatchControlFlush),
+            r.totals().control_batches);
+}
+
+TEST(ObsLiveSim, FullTraceCarriesGovernorRetirementEvents) {
+  RuntimeOptions opts = base_opts();
+  opts.trace_level = obs::TraceLevel::Full;
+  opts.memory.retirement = mem::RetirementMode::Retire;
+  const RunReport r = sim_run(opts);
+  ASSERT_NE(r.trace_log, nullptr);
+  EXPECT_EQ(count_kind(*r.trace_log, obs::RtEventKind::GovRetire),
+            r.totals().retired_cells);
+  EXPECT_GT(r.totals().retired_cells, 0u);
+}
+
+TEST(ObsLiveSim, FullTraceCarriesRecoveryEpochEvents) {
+  RuntimeOptions opts = base_opts();
+  opts.trace_level = obs::TraceLevel::Full;
+  opts.faults.push_back(FaultPlan{2, 0.5});
+  const RunReport r = sim_run(opts);
+  ASSERT_NE(r.trace_log, nullptr);
+  EXPECT_EQ(count_kind(*r.trace_log, obs::RtEventKind::RecoveryBegin),
+            r.recoveries.size());
+  EXPECT_EQ(count_kind(*r.trace_log, obs::RtEventKind::RecoveryEnd),
+            r.recoveries.size());
+  EXPECT_GE(count_kind(*r.trace_log, obs::RtEventKind::PlaceCrash), 1u);
+  EXPECT_GE(r.recoveries.size(), 1u);
+}
+
+TEST(ObsLiveSim, FullTraceCarriesCheckpointEvents) {
+  const fs::path dir = temp_file("ckpt_events");
+  fs::remove_all(dir);
+  RuntimeOptions opts = base_opts();
+  opts.trace_level = obs::TraceLevel::Full;
+  opts.checkpoint_dir = dir.string();
+  opts.checkpoint_interval = 0.25;
+  const RunReport r = sim_run(opts);
+  ASSERT_NE(r.trace_log, nullptr);
+  EXPECT_GT(count_kind(*r.trace_log, obs::RtEventKind::CheckpointWrite), 0u);
+
+  RuntimeOptions resume = base_opts();
+  resume.trace_level = obs::TraceLevel::Full;
+  resume.checkpoint_dir = dir.string();
+  resume.resume_dir = dir.string();
+  const RunReport r2 = sim_run(resume);
+  ASSERT_NE(r2.trace_log, nullptr);
+  EXPECT_EQ(count_kind(*r2.trace_log, obs::RtEventKind::CheckpointResume), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(ObsLiveThreaded, FullTraceCarriesRecoveryEvents) {
+  RuntimeOptions opts = base_opts();
+  opts.nplaces = 3;
+  opts.nthreads = 2;
+  opts.trace_level = obs::TraceLevel::Full;
+  opts.faults.push_back(FaultPlan{2, 0.4});
+  const RunReport r = threaded_run(opts);
+  ASSERT_NE(r.trace_log, nullptr);
+  EXPECT_EQ(count_kind(*r.trace_log, obs::RtEventKind::RecoveryBegin),
+            r.recoveries.size());
+  EXPECT_EQ(count_kind(*r.trace_log, obs::RtEventKind::RecoveryEnd),
+            r.recoveries.size());
+  EXPECT_GE(r.recoveries.size(), 1u);
+  EXPECT_GE(count_kind(*r.trace_log, obs::RtEventKind::PlaceCrash), 1u);
+  EXPECT_GE(count_kind(*r.trace_log, obs::RtEventKind::PlaceDeclared), 1u);
+}
+
+}  // namespace
+}  // namespace dpx10

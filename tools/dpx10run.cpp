@@ -62,17 +62,37 @@
 //   --trace-out      write the recorded trace to FILE; a .json suffix
 //                    selects Chrome/Perfetto trace_event JSON, anything
 //                    else the native round-trippable format (implies
-//                    --trace-level=full)
+//                    --trace-level=full when no level was chosen; an
+//                    explicit --trace-level=counters writes a meta+metrics
+//                    trace without spans)
 //   --metrics-out    write histograms + time series to FILE, .csv or
 //                    .json by suffix (implies --trace-level=counters)
 //   --critical-path  print the critical-path breakdown after the report
 //                    (implies --trace-level=full)
+//   --profile        framework-tax|critical-path — framework-tax prints the
+//                    per-vertex dispatch/cache/alloc/publish/compute split,
+//                    critical-path is an alias for --critical-path
+//   --status-file    publish live status snapshots to FILE (atomically
+//                    replaced every --status-interval; tail with dpx10top)
+//   --status-interval  seconds between status snapshots    [0.05]
+//   --flight-events  flight-recorder ring capacity per worker; 0 disables
+//                    the always-on recorder                 [4096]
+//   --flight-dump    write the flight ring to FILE on failure, wedge,
+//                    SIGUSR1/SIGQUIT, or stall-watchdog fire (native trace
+//                    format, loadable by dpx10trace)
+//   --wedge-timeout  threaded no-progress window, seconds; 0 disables
+//   --plant-bug      drop-decrement|mutate-value — plant a deterministic
+//                    engine defect (observability smoke tests: the wedge
+//                    detector + flight dump must catch it)
+//   --bug-salt       seed selecting the planted bug's victims [1]
 //   --places         also print the per-place table
 //   --csv            print a CSV row instead of the report
 //   --json           print the full report as JSON
 #include <fstream>
 #include <iostream>
+#include <optional>
 
+#include "check/hooks.h"
 #include "common/error.h"
 #include "common/options.h"
 #include "common/strings.h"
@@ -83,6 +103,8 @@
 #include "dp/runners.h"
 #include "obs/chrome_trace.h"
 #include "obs/critical_path.h"
+#include "obs/flight_recorder.h"
+#include "obs/framework_tax.h"
 #include "obs/metrics.h"
 #include "obs/trace_io.h"
 #include "obs/trace_level.h"
@@ -194,7 +216,13 @@ int main(int argc, char** argv) {
 
     const std::string trace_out = cli.get("trace-out", "");
     const std::string metrics_out = cli.get("metrics-out", "");
-    const bool critical_path = cli.get_bool("critical-path", false);
+    const std::string profile = cli.get("profile", "");
+    require(profile.empty() || profile == "framework-tax" ||
+                profile == "critical-path",
+            "--profile must be framework-tax or critical-path");
+    opts.framework_tax = profile == "framework-tax";
+    const bool critical_path =
+        cli.get_bool("critical-path", false) || profile == "critical-path";
     {
       const std::string level_name = cli.get("trace-level", "off");
       require(obs::parse_trace_level(level_name, opts.trace_level),
@@ -203,10 +231,35 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty() && opts.trace_level == obs::TraceLevel::Off) {
       opts.trace_level = obs::TraceLevel::Counters;
     }
-    if (!trace_out.empty() || critical_path) {
+    if (critical_path) {
+      opts.trace_level = obs::TraceLevel::Full;
+    }
+    // --trace-out only escalates an unset level: an explicit
+    // --trace-level=counters run still gets a (meta + metrics) trace file.
+    if (!trace_out.empty() && opts.trace_level == obs::TraceLevel::Off) {
       opts.trace_level = obs::TraceLevel::Full;
     }
     opts.trace_sample_s = cli.get_double("trace-sample", opts.trace_sample_s);
+
+    opts.status_file = cli.get("status-file", "");
+    opts.status_interval_s =
+        cli.get_double("status-interval", opts.status_interval_s);
+    opts.flight_events = static_cast<std::int32_t>(
+        cli.get_int("flight-events", opts.flight_events));
+    opts.flight_dump = cli.get("flight-dump", "");
+    opts.wedge_timeout_s = cli.get_double("wedge-timeout", opts.wedge_timeout_s);
+    if (!opts.flight_dump.empty()) obs::install_flight_signal_handlers();
+
+    std::optional<check::PlantedBugGuard> bug_guard;
+    if (cli.has("plant-bug")) {
+      const std::string bug = cli.get("plant-bug", "");
+      require(bug == "drop-decrement" || bug == "mutate-value",
+              "--plant-bug must be drop-decrement or mutate-value");
+      bug_guard.emplace(bug == "drop-decrement"
+                            ? check::PlantedBug::DropDecrement
+                            : check::PlantedBug::MutateValue,
+                        static_cast<std::uint64_t>(cli.get_int("bug-salt", 1)));
+    }
 
     const auto input_seed = static_cast<std::uint64_t>(cli.get_int("input-seed", 1234));
     if (cli.get_bool("validate-dag", false)) {
@@ -231,13 +284,27 @@ int main(int argc, char** argv) {
     RunReport report = dp::run_dp_app(app, engine, vertices, opts, input_seed);
 
     if (!trace_out.empty()) {
-      require(report.trace_log != nullptr, "engine produced no trace for --trace-out");
+      std::shared_ptr<obs::TraceLog> log = report.trace_log;
+      if (log == nullptr) {
+        // Counters-level run: the engine records no spans, but the trace
+        // file still carries the meta header plus histograms/time-series,
+        // which dpx10trace degrades to gracefully.
+        require(report.metrics != nullptr,
+                "engine produced no trace for --trace-out");
+        auto synth = std::make_shared<obs::TraceLog>();
+        const std::unique_ptr<Dag> dag = dp::make_dp_dag(app, vertices, input_seed);
+        synth->meta = obs::TraceMeta{report.app_name,  report.dag_name,
+                                     engine_name,      dag->height(),
+                                     dag->width(),     opts.nplaces,
+                                     opts.nthreads,    report.elapsed_seconds};
+        log = std::move(synth);
+      }
       std::ofstream os(trace_out);
       require(os.good(), "cannot open --trace-out '" + trace_out + "'");
       if (trace_out.ends_with(".json")) {
-        obs::write_chrome_trace(os, *report.trace_log, report.metrics.get());
+        obs::write_chrome_trace(os, *log, report.metrics.get());
       } else {
-        obs::write_native_trace(os, *report.trace_log, report.metrics.get());
+        obs::write_native_trace(os, *log, report.metrics.get());
       }
     }
     if (!metrics_out.empty()) {
@@ -269,6 +336,18 @@ int main(int argc, char** argv) {
           obs::compute_critical_path(*report.trace_log, tools::make_deps_fn(*dag));
       std::cout << "\n";
       obs::print_critical_path(std::cout, cp, *report.trace_log);
+    }
+    if (report.framework_tax != nullptr) {
+      obs::TraceMeta meta;
+      if (report.trace_log != nullptr) {
+        meta = report.trace_log->meta;
+      } else {
+        meta.app = report.app_name;
+        meta.dag = report.dag_name;
+        meta.engine = engine_name;
+      }
+      std::cout << "\n";
+      obs::print_framework_tax(std::cout, *report.framework_tax, meta);
     }
     return 0;
   } catch (const dpx10::Error& e) {

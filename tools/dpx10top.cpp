@@ -1,0 +1,69 @@
+// dpx10top — live per-place view of a running dpx10 engine.
+//
+//   dpx10run --app=swlag --engine=threaded --status-file=/tmp/run.status &
+//   dpx10top /tmp/run.status
+//
+// Tails the status file the engine atomically republishes every
+// --status-interval (see obs/status.h for the format and the tmp+rename
+// atomicity contract) and redraws a top-style table: progress, throughput,
+// recovery epoch, and per-place ready depth / busy workers / governor
+// memory / spill reads / liveness. Snapshots carry a strictly increasing
+// `seq`, so a stale file (the run exited, or the reader outpaces the
+// writer) is shown as-is and simply stops updating.
+//
+//   dpx10top FILE [--interval=SECS] [--once] [--no-clear]
+//     --interval   poll period, seconds                     [0.5]
+//     --once       print the current snapshot and exit (scripts/tests)
+//     --no-clear   append redraws instead of clearing the screen
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "common/error.h"
+#include "common/options.h"
+#include "obs/status.h"
+
+int main(int argc, char** argv) {
+  using namespace dpx10;
+  try {
+    Options cli(argc, argv);
+    const std::vector<std::string>& args = cli.positional();
+    if (args.size() != 1) {
+      std::cerr << "usage: dpx10top FILE [--interval=SECS] [--once] "
+                   "[--no-clear]\n";
+      return 2;
+    }
+    const std::string path = args[0];
+    const double interval_s = cli.get_double("interval", 0.5);
+    require(interval_s > 0.0, "--interval must be > 0");
+    const bool once = cli.get_bool("once", false);
+    const bool clear = !cli.get_bool("no-clear", false);
+
+    obs::StatusSnapshot prev;
+    bool have_prev = false;
+    int missing = 0;
+    while (true) {
+      obs::StatusSnapshot cur;
+      if (obs::read_status_file(path, cur)) {
+        missing = 0;
+        if (!have_prev || cur.seq != prev.seq) {
+          if (clear && !once) std::cout << "\033[2J\033[H";
+          obs::print_status(std::cout, cur,
+                            have_prev && cur.seq > prev.seq ? &prev : nullptr);
+          std::cout.flush();
+          prev = cur;
+          have_prev = true;
+        }
+      } else if (once || (!have_prev && ++missing >= 20)) {
+        std::cerr << "dpx10top: no readable snapshot at '" << path
+                  << "' (is the run started with --status-file?)\n";
+        return 1;
+      }
+      if (once) return 0;
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    }
+  } catch (const dpx10::Error& e) {
+    std::cerr << "dpx10top: " << e.what() << "\n";
+    return 1;
+  }
+}

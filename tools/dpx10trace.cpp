@@ -109,6 +109,90 @@ int cmd_summary(const std::string& path) {
     }
   }
 
+  // Runtime-subsystem events (`r` records: coalescing flushes, governor
+  // retirement, recovery epochs, checkpoints, watchdog fires). Absent in
+  // legacy traces and at counters level.
+  if (!log.events.empty()) {
+    std::size_t count[obs::kRtEventKindCount] = {};
+    std::int64_t fetch_entries = 0;
+    std::int64_t ctrl_edges = 0;
+    std::int64_t nested = 0;
+    std::int64_t max_epoch = 0;
+    for (const obs::RtEvent& ev : log.events) {
+      ++count[static_cast<std::size_t>(ev.kind)];
+      switch (ev.kind) {
+        case obs::RtEventKind::BatchFetchFlush: fetch_entries += ev.b; break;
+        case obs::RtEventKind::BatchControlFlush: ctrl_edges += ev.b; break;
+        case obs::RtEventKind::RecoveryBegin: nested += ev.b != 0 ? 1 : 0; break;
+        case obs::RtEventKind::RecoveryEnd:
+          if (ev.a > max_epoch) max_epoch = ev.a;
+          break;
+        default: break;
+      }
+    }
+    const auto n = [&](obs::RtEventKind k) {
+      return count[static_cast<std::size_t>(k)];
+    };
+    std::snprintf(line, sizeof line, "runtime events: %zu", log.events.size());
+    std::cout << line << "\n";
+    if (n(obs::RtEventKind::BatchFetchFlush) +
+            n(obs::RtEventKind::BatchControlFlush) > 0) {
+      std::snprintf(line, sizeof line,
+                    "  coalescing: %zu fetch flushes (%lld entries), "
+                    "%zu control flushes (%lld edges)",
+                    n(obs::RtEventKind::BatchFetchFlush),
+                    static_cast<long long>(fetch_entries),
+                    n(obs::RtEventKind::BatchControlFlush),
+                    static_cast<long long>(ctrl_edges));
+      std::cout << line << "\n";
+    }
+    if (n(obs::RtEventKind::GovRetire) + n(obs::RtEventKind::GovSpill) +
+            n(obs::RtEventKind::GovResurrect) +
+            n(obs::RtEventKind::SpillRestore) > 0) {
+      std::snprintf(line, sizeof line,
+                    "  governor: %zu retires, %zu spills, %zu resurrections, "
+                    "%zu spill restores",
+                    n(obs::RtEventKind::GovRetire), n(obs::RtEventKind::GovSpill),
+                    n(obs::RtEventKind::GovResurrect),
+                    n(obs::RtEventKind::SpillRestore));
+      std::cout << line << "\n";
+    }
+    if (n(obs::RtEventKind::RecoveryBegin) > 0) {
+      std::snprintf(line, sizeof line,
+                    "  recovery: %zu passes (%lld nested), final epoch %lld; "
+                    "%zu crashes, %zu declared",
+                    n(obs::RtEventKind::RecoveryBegin),
+                    static_cast<long long>(nested),
+                    static_cast<long long>(max_epoch),
+                    n(obs::RtEventKind::PlaceCrash),
+                    n(obs::RtEventKind::PlaceDeclared));
+      std::cout << line << "\n";
+    }
+    if (n(obs::RtEventKind::CheckpointWrite) +
+            n(obs::RtEventKind::CheckpointResume) +
+            n(obs::RtEventKind::SnapshotTaken) > 0) {
+      std::snprintf(line, sizeof line,
+                    "  checkpoints: %zu written, %zu resumed, %zu snapshots",
+                    n(obs::RtEventKind::CheckpointWrite),
+                    n(obs::RtEventKind::CheckpointResume),
+                    n(obs::RtEventKind::SnapshotTaken));
+      std::cout << line << "\n";
+    }
+    if (n(obs::RtEventKind::WedgeFire) > 0) {
+      std::snprintf(line, sizeof line, "  watchdog: %zu wedge/stall fires",
+                    n(obs::RtEventKind::WedgeFire));
+      std::cout << line << "\n";
+    }
+    if (n(obs::RtEventKind::VertexDone) + n(obs::RtEventKind::MessageDrop) > 0) {
+      std::snprintf(line, sizeof line,
+                    "  flight recorder: %zu vertex completions, %zu message "
+                    "drops",
+                    n(obs::RtEventKind::VertexDone),
+                    n(obs::RtEventKind::MessageDrop));
+      std::cout << line << "\n";
+    }
+  }
+
   // Memory-governor runs also sample the vertex cache and retirement
   // gauges; summarize them when present (absent in legacy traces).
   double hits = 0.0;
@@ -152,6 +236,11 @@ int cmd_summary(const std::string& path) {
     } catch (const ConfigError& e) {
       std::cout << "(critical path unavailable: " << e.what() << ")\n";
     }
+  } else {
+    // Counters-level (or flight-dump) trace: no spans, so no messages/vertex
+    // ratio and no critical path — the sections above are everything.
+    std::cout << "(no vertex spans recorded — counters-level trace; re-run "
+                 "with --trace-level=full for spans and the critical path)\n";
   }
   return 0;
 }
