@@ -1,22 +1,56 @@
-// Ablation — tile size (the §X "sophisticated scheduling" extension).
+// Ablation — macro-DAG tile size, on BOTH engines (PR 8).
 //
-// Sweeps the macro-vertex tile size for SWLAG on the simulated cluster.
-// Per-cell compute work is held constant (compute_cost_units scales with
-// tile area), so the sweep isolates the granularity tradeoff:
-//   * tile 1 ~ per-vertex execution: full parallelism, maximal framework
-//     overhead and per-cell boundary traffic;
-//   * medium tiles amortize framework cost and batch boundary exchange;
-//   * huge tiles starve the tile wavefront of parallelism.
-#include <cmath>
+// Three experiments, all through the production --tile launcher path
+// (dp::run_dp_app with RuntimeOptions::tile_size):
+//
+//   1. Sim sweep: SWLAG and Nussinov elapsed/traffic across tile sizes
+//      under two per-cell cost regimes. Virtual time is deterministic, so
+//      these rows double as regression fixtures (scripts/bench_gate.sh).
+//   2. Threaded SWLAG vs the hand-coded native baseline (Fig. 12
+//      methodology, cache disabled on the DPX10 side): the ratio of the
+//      best tiled elapsed over native is the PR 8 acceptance number
+//      (<= 1.3x). Untiled DPX10 pays per-cell dispatch; tiled interiors
+//      run as raw kernel loops and amortize the framework per tile.
+//   3. Nussinov peak-live under --retirement=retire, untiled vs tiled:
+//      the governor tracks macro-cells, so the resident-payload count
+//      drops by ~B^2 (acceptance: >= 10x).
+//
+// --json emits one object with all three sections for
+// scripts/bench_gate.sh --write to fold into BENCH_PR8.json.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "baseline/native_swlag.h"
 #include "bench/bench_util.h"
 #include "common/options.h"
 #include "common/strings.h"
 #include "core/dpx10.h"
-#include "core/tiling.h"
 #include "dp/inputs.h"
-#include "dp/kernels.h"
+#include "dp/runners.h"
+
+namespace {
+
+using namespace dpx10;
+
+struct TilePoint {
+  std::int64_t tile = 0;
+  double elapsed_s = 0.0;
+  std::uint64_t vertices = 0;
+  std::uint64_t fetches = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+RunReport run_tiled(const std::string& app, dp::EngineKind engine,
+                    std::int64_t vertices, RuntimeOptions opts,
+                    std::int64_t tile) {
+  opts.tile_size = static_cast<std::int32_t>(tile);
+  return dp::run_dp_app(app, engine, vertices, opts);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dpx10;
@@ -26,46 +60,156 @@ int main(int argc, char** argv) {
       static_cast<std::int64_t>(cli.get_scaled("vertices", 1'000'000));
   const std::int32_t nodes = static_cast<std::int32_t>(cli.get_int("nodes", 8));
   const std::vector<std::int64_t> tiles =
-      cli.get_int_list("tiles", {1, 4, 16, 64, 128, 256});
+      cli.get_int_list("tiles", {1, 8, 16, 32, 64, 128});
+  const std::int64_t threaded_vertices =
+      static_cast<std::int64_t>(cli.get_scaled("threaded-vertices", 250'000));
+  const std::int32_t tplaces =
+      static_cast<std::int32_t>(cli.get_int("threaded-places", 2));
+  const std::int32_t tthreads =
+      static_cast<std::int32_t>(cli.get_int("threaded-nthreads", 2));
+  const bool json = cli.get_bool("json", false);
 
-  const auto side = static_cast<std::int32_t>(std::llround(std::sqrt(double(vertices))));
-  const std::string a = dp::random_sequence(static_cast<std::size_t>(side - 1), 21);
-  const std::string b = dp::random_sequence(static_cast<std::size_t>(side - 1), 22);
-
-  std::printf("Ablation: tile size, SWLAG %dx%d cells, %d nodes (simulated cluster)\n",
-              side, side, nodes);
-
-  // Two per-cell cost regimes: the calibrated default (activity-dominated,
-  // ~10%% framework share — tiling has little to amortize) and a
-  // fine-grained recurrence (framework cost dominates the arithmetic —
-  // the regime tiling exists for).
+  // ---- 1. Sim sweep: both apps, two cost regimes ----------------------
   struct Regime {
     const char* label;
     double compute_ns;
   };
   const Regime regimes[] = {{"activity-dominated (7 us/cell)", 7000.0},
                             {"fine-grained (0.3 us/cell)", 300.0}};
-
-  for (const Regime& regime : regimes) {
-    std::printf("-- %s\n", regime.label);
-    std::printf("  %9s | %9s | %10s | %12s | %14s\n", "tile", "time (s)", "vertices",
-                "fetches", "bytes moved");
-    for (std::int64_t tile : tiles) {
-      dp::SwlagKernel kernel(a, b);
-      TiledWavefrontApp<dp::SwlagKernel> app(
-          kernel, TileGeometry(side, side, static_cast<std::int32_t>(tile)));
-      auto dag = app.make_dag();
-      RuntimeOptions opts = bench::sim_options_for_nodes(nodes, cli);
-      opts.cost.compute_ns = regime.compute_ns;
-      SimEngine<TileEdge<dp::SwlagCell>> engine(opts);
-      RunReport r = engine.run(*dag, app);
-      std::printf("  %9lld | %9.3f | %10llu | %12llu | %14s\n",
-                  static_cast<long long>(tile), r.elapsed_seconds,
-                  static_cast<unsigned long long>(r.vertices),
-                  static_cast<unsigned long long>(r.totals().remote_fetches),
-                  human_bytes(static_cast<double>(r.traffic.bytes_out)).c_str());
+  struct SimRow {
+    const char* app;
+    double compute_ns;
+    std::vector<TilePoint> points;
+  };
+  std::vector<SimRow> sim_rows;
+  for (const char* app : {"swlag", "nussinov"}) {
+    // Nussinov's interval DAG is quadratic in wall time at 1M cells; keep
+    // the sim sweep affordable while still crossing many tile boundaries.
+    const std::int64_t n = std::string(app) == "nussinov"
+                               ? std::min<std::int64_t>(vertices, 20'000)
+                               : vertices;
+    for (const Regime& regime : regimes) {
+      SimRow row{app, regime.compute_ns, {}};
+      for (std::int64_t tile : tiles) {
+        RuntimeOptions opts = bench::sim_options_for_nodes(nodes, cli);
+        opts.cost.compute_ns = regime.compute_ns;
+        const RunReport r =
+            run_tiled(app, dp::EngineKind::Sim, n, opts, tile);
+        row.points.push_back({tile, r.elapsed_seconds, r.vertices,
+                              r.totals().remote_fetches,
+                              r.traffic.bytes_out});
+      }
+      sim_rows.push_back(std::move(row));
     }
   }
+
+  // ---- 2. Threaded SWLAG vs the native baseline -----------------------
+  const dp::ProblemShape tshape = dp::shape_for("swlag", threaded_vertices);
+  const std::string a =
+      dp::random_sequence(static_cast<std::size_t>(tshape.height - 1), 21);
+  const std::string b =
+      dp::random_sequence(static_cast<std::size_t>(tshape.width - 1), 22);
+  const baseline::NativeRunResult native =
+      baseline::native_swlag_threaded(a, b, tplaces, tthreads);
+
+  RuntimeOptions topts;
+  topts.nplaces = tplaces;
+  topts.nthreads = tthreads;
+  topts.cache_capacity = 0;  // Fig. 12 methodology: no cache on either side
+  std::vector<TilePoint> threaded_points;
+  for (std::int64_t tile : tiles) {
+    const RunReport r = run_tiled("swlag", dp::EngineKind::Threaded,
+                                  threaded_vertices, topts, tile);
+    threaded_points.push_back({tile, r.elapsed_seconds, r.vertices,
+                               r.totals().remote_fetches, r.traffic.bytes_out});
+  }
+  const TilePoint best = *std::min_element(
+      threaded_points.begin(), threaded_points.end(),
+      [](const TilePoint& x, const TilePoint& y) {
+        return x.elapsed_s < y.elapsed_s;
+      });
+  const double untiled_s = threaded_points.front().elapsed_s;
+  const double ratio = best.elapsed_s / native.elapsed_seconds;
+
+  // ---- 3. Nussinov peak-live cells under retirement -------------------
+  const std::int64_t nuss_vertices =
+      static_cast<std::int64_t>(cli.get_scaled("nussinov-vertices", 10'000));
+  const std::int64_t nuss_tile = cli.get_int("nussinov-tile", 16);
+  RuntimeOptions mopts = bench::sim_options_for_nodes(nodes, cli);
+  mopts.memory.retirement = mem::RetirementMode::Retire;
+  const RunReport nuss_flat =
+      run_tiled("nussinov", dp::EngineKind::Sim, nuss_vertices, mopts, 0);
+  const RunReport nuss_tiled = run_tiled("nussinov", dp::EngineKind::Sim,
+                                         nuss_vertices, mopts, nuss_tile);
+  const auto flat_peak = nuss_flat.totals().live_cells_peak;
+  const auto tiled_peak = nuss_tiled.totals().live_cells_peak;
+  const double reduction =
+      tiled_peak > 0 ? static_cast<double>(flat_peak) /
+                           static_cast<double>(tiled_peak)
+                     : 0.0;
+
+  if (json) {
+    std::printf("{\n  \"swlag_threaded\": {\n");
+    std::printf("    \"vertices\": %lld, \"nplaces\": %d, \"nthreads\": %d,\n",
+                static_cast<long long>(tshape.vertices), tplaces, tthreads);
+    std::printf("    \"native_elapsed_s\": %.6f,\n", native.elapsed_seconds);
+    std::printf("    \"untiled_elapsed_s\": %.6f,\n", untiled_s);
+    std::printf("    \"tiles\": {");
+    const char* sep = "";
+    for (const TilePoint& p : threaded_points) {
+      std::printf("%s\"%lld\": %.6f", sep, static_cast<long long>(p.tile),
+                  p.elapsed_s);
+      sep = ", ";
+    }
+    std::printf("},\n");
+    std::printf("    \"best_tile\": %lld,\n", static_cast<long long>(best.tile));
+    std::printf("    \"best_elapsed_s\": %.6f,\n", best.elapsed_s);
+    std::printf("    \"best_vs_native\": %.4f\n  },\n", ratio);
+    std::printf("  \"nussinov_peak_live\": {\n");
+    std::printf("    \"vertices\": %llu, \"tile\": %lld,\n",
+                static_cast<unsigned long long>(nuss_flat.vertices),
+                static_cast<long long>(nuss_tile));
+    std::printf("    \"untiled_peak_live_cells\": %llu,\n",
+                static_cast<unsigned long long>(flat_peak));
+    std::printf("    \"tiled_peak_live_tiles\": %llu,\n",
+                static_cast<unsigned long long>(tiled_peak));
+    std::printf("    \"reduction\": %.2f\n  }\n}\n", reduction);
+    return 0;
+  }
+
+  std::printf("Ablation: macro-DAG tile size on both engines\n\n");
+  for (const SimRow& row : sim_rows) {
+    std::printf("-- sim %s, %.1f us/cell\n", row.app, row.compute_ns / 1000.0);
+    std::printf("  %9s | %9s | %10s | %12s | %14s\n", "tile", "time (s)",
+                "vertices", "fetches", "bytes moved");
+    for (const TilePoint& p : row.points) {
+      std::printf("  %9lld | %9.3f | %10llu | %12llu | %14s\n",
+                  static_cast<long long>(p.tile), p.elapsed_s,
+                  static_cast<unsigned long long>(p.vertices),
+                  static_cast<unsigned long long>(p.fetches),
+                  human_bytes(static_cast<double>(p.bytes_out)).c_str());
+    }
+  }
+  std::printf("\n-- threaded swlag %dx%d vs native baseline (%d places x %d threads)\n",
+              tshape.height, tshape.width, tplaces, tthreads);
+  std::printf("  native: %.3f s (score %d)\n", native.elapsed_seconds,
+              native.best_score);
+  std::printf("  %9s | %9s | %9s\n", "tile", "time (s)", "vs native");
+  for (const TilePoint& p : threaded_points) {
+    std::printf("  %9lld | %9.3f | %8.2fx\n", static_cast<long long>(p.tile),
+                p.elapsed_s, p.elapsed_s / native.elapsed_seconds);
+  }
+  std::printf("  best: tile %lld at %.3f s — %.2fx native (acceptance <= 1.3x)\n",
+              static_cast<long long>(best.tile), best.elapsed_s, ratio);
+  std::printf("\n-- nussinov peak-live (sim, --retirement=retire)\n");
+  std::printf("  untiled: %llu live cells peak\n",
+              static_cast<unsigned long long>(flat_peak));
+  std::printf("  tile %lld: %llu live tiles peak — %.1fx fewer resident "
+              "payloads (acceptance >= 10x;\n"
+              "  note: tile payloads are larger, so BYTES shrink less than "
+              "the count)\n",
+              static_cast<long long>(nuss_tile),
+              static_cast<unsigned long long>(tiled_peak), reduction);
   std::printf("\n(tile 1 pays per-cell framework overhead and per-cell fetches; huge\n"
               "tiles starve the wavefront — the optimum moves with the cost regime)\n");
   return 0;

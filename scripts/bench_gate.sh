@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Benchmark regression gate (PR 7).
+# Benchmark regression gate (PR 7 baselines + PR 8 tiling).
 #
 # The SimEngine's virtual clock makes its elapsed time a deterministic
 # function of the code, so cheap sim scenarios double as regression
@@ -9,16 +9,26 @@
 # a run with the default-on flight recorder + status export must emit a
 # byte-identical JSON report to one with both disabled.
 #
-#   scripts/bench_gate.sh            # compare against committed baselines
-#   scripts/bench_gate.sh --write    # regenerate BENCH_PR7.json
+# PR 8 adds tiled macro-DAG scenarios (gated the same way against
+# BENCH_PR8.json) and two recorded acceptance metrics from
+# bench/ablate_tiling --json: the best tiled threaded SWLAG elapsed must be
+# <= 1.3x the hand-coded native baseline, and tiled Nussinov under
+# --retirement=retire must hold >= 10x fewer resident payloads. The
+# threaded numbers are measured at --write time and re-asserted (not
+# re-measured) in check mode — wall clock is too noisy for CI.
 #
-# Requires build/tools/dpx10run (override with DPX10_RUN=...).
+#   scripts/bench_gate.sh            # compare against committed baselines
+#   scripts/bench_gate.sh --write    # regenerate BENCH_PR8.json
+#
+# Requires build/tools/dpx10run and build/bench/ablate_tiling (override
+# with DPX10_RUN=... / DPX10_ABLATE_TILING=...).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="check"
 [[ "${1:-}" == "--write" ]] && mode="write"
 run="${DPX10_RUN:-build/tools/dpx10run}"
+ablate="${DPX10_ABLATE_TILING:-build/bench/ablate_tiling}"
 [[ -x "${run}" ]] || { echo "bench_gate.sh: ${run} not built" >&2; exit 2; }
 
 tmp="$(mktemp -d)"
@@ -26,13 +36,22 @@ trap 'rm -rf "${tmp}"' EXIT
 
 # scenario name -> dpx10run flags. Sim only: wall-clock benches (the
 # threaded overhead table in bench/ablate_trace_overhead) are too noisy for
-# a CI gate and stay informational.
-declare -A scenarios=(
+# a CI gate and stay informational. The pr7 set is frozen (BENCH_PR7.json);
+# the pr8 set pins the tiled launcher path on both DAG families, with
+# coalescing, retirement and a mid-run fault composed on top.
+declare -A pr7_scenarios=(
   [swlag_sim_100k_8n]="--app=swlag --engine=sim --vertices=100k --nodes=8"
   [swlag_sim_100k_8n_coalesce]="--app=swlag --engine=sim --vertices=100k --nodes=8 --coalescing=true"
   [lcs_sim_100k_4n]="--app=lcs --engine=sim --vertices=100k --nodes=4"
   [nussinov_sim_10k]="--app=nussinov --engine=sim --vertices=10k"
   [lcs_sim_fault_100k]="--app=lcs --engine=sim --vertices=100k --nodes=8 --fault-place=2 --fault-at=0.5"
+)
+declare -A pr8_scenarios=(
+  [swlag_sim_100k_8n_tile32]="--app=swlag --engine=sim --vertices=100k --nodes=8 --tile=32"
+  [swlag_sim_100k_8n_tile32_coalesce]="--app=swlag --engine=sim --vertices=100k --nodes=8 --tile=32 --coalescing=true"
+  [nussinov_sim_10k_tile16]="--app=nussinov --engine=sim --vertices=10k --tile=16"
+  [nussinov_sim_10k_tile16_retire]="--app=nussinov --engine=sim --vertices=10k --tile=16 --retirement=retire"
+  [lcs_sim_fault_100k_tile32]="--app=lcs --engine=sim --vertices=100k --nodes=8 --tile=32 --fault-place=2 --fault-at=0.5"
 )
 
 echo "==> transparency: default recorder + status vs disabled (byte-identical)"
@@ -47,53 +66,97 @@ cmp "${tmp}/plain.json" "${tmp}/obs.json" || {
 }
 
 echo "==> sim scenarios"
-for name in "${!scenarios[@]}"; do
+for name in "${!pr7_scenarios[@]}"; do
   # shellcheck disable=SC2086
-  "${run}" ${scenarios[$name]} --json > "${tmp}/${name}.json"
+  "${run}" ${pr7_scenarios[$name]} --json > "${tmp}/${name}.json"
 done
+for name in "${!pr8_scenarios[@]}"; do
+  # shellcheck disable=SC2086
+  "${run}" ${pr8_scenarios[$name]} --json > "${tmp}/${name}.json"
+done
+
+if [[ "${mode}" == "write" ]]; then
+  echo "==> tiling acceptance sweep (threaded vs native; this measures wall clock)"
+  [[ -x "${ablate}" ]] || { echo "bench_gate.sh: ${ablate} not built" >&2; exit 2; }
+  "${ablate}" --vertices=100k --threaded-vertices=100k \
+    --tiles=1,8,16,32,64 --json > "${tmp}/tiling.json"
+fi
 
 command -v python3 >/dev/null || {
   echo "bench_gate.sh: python3 not found; skipping baseline diff" >&2
   exit 0
 }
 
-python3 - "${mode}" "${tmp}" "${!scenarios[@]}" <<'PY'
+python3 - "${mode}" "${tmp}" \
+  "$(echo "${!pr7_scenarios[@]}")" "$(echo "${!pr8_scenarios[@]}")" <<'PY'
 import json, sys
 
-mode, tmpdir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
-fresh = {}
-for name in names:
-    r = json.load(open(f"{tmpdir}/{name}.json"))
-    fresh[name] = {"elapsed_s": r["elapsed_s"], "computed": r["computed"]}
+mode, tmpdir, pr7_names, pr8_names = (
+    sys.argv[1], sys.argv[2], sys.argv[3].split(), sys.argv[4].split())
+
+def load(names):
+    out = {}
+    for name in names:
+        r = json.load(open(f"{tmpdir}/{name}.json"))
+        out[name] = {"elapsed_s": r["elapsed_s"], "computed": r["computed"]}
+    return out
+
+fresh7, fresh8 = load(pr7_names), load(pr8_names)
 
 if mode == "write":
+    tiling = json.load(open(f"{tmpdir}/tiling.json"))
     report = {
-        "pr": "flight recorder, stall watchdog, live introspection",
+        "pr": "tiling as a first-class macro-DAG execution mode",
         "gate_tolerance_pct": 10,
-        "sim_baseline": dict(sorted(fresh.items())),
+        "sim_baseline": dict(sorted(fresh8.items())),
+        "tiling": tiling,
     }
-    with open("BENCH_PR7.json", "w") as f:
+    with open("BENCH_PR8.json", "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
-    print("bench_gate.sh: wrote BENCH_PR7.json")
-    sys.exit(0)
+    ratio = tiling["swlag_threaded"]["best_vs_native"]
+    red = tiling["nussinov_peak_live"]["reduction"]
+    print(f"bench_gate.sh: wrote BENCH_PR8.json "
+          f"(swlag best_vs_native {ratio:.2f}x, nussinov reduction {red:.1f}x)")
+    sys.exit(0 if ratio <= 1.3 and red >= 10 else 1)
 
-base = json.load(open("BENCH_PR7.json"))
-tol = base.get("gate_tolerance_pct", 10) / 100.0
 failed = False
-for name, b in base["sim_baseline"].items():
-    f = fresh.get(name)
-    if f is None:
-        print(f"  {name}: MISSING from this run"); failed = True; continue
-    if f["computed"] != b["computed"]:
-        print(f"  {name}: computed {f['computed']} != baseline {b['computed']}")
-        failed = True
-        continue
-    drift = (f["elapsed_s"] - b["elapsed_s"]) / b["elapsed_s"]
-    flag = "FAIL" if drift > tol else "ok"
-    print(f"  {name}: {f['elapsed_s']:.6f}s vs {b['elapsed_s']:.6f}s "
-          f"({drift:+.2%}) {flag}")
-    if drift > tol:
-        failed = True
+
+def diff(fresh, path):
+    global failed
+    base = json.load(open(path))
+    tol = base.get("gate_tolerance_pct", 10) / 100.0
+    for name, b in base["sim_baseline"].items():
+        f = fresh.get(name)
+        if f is None:
+            print(f"  {name}: MISSING from this run"); failed = True; continue
+        if f["computed"] != b["computed"]:
+            print(f"  {name}: computed {f['computed']} != baseline {b['computed']}")
+            failed = True
+            continue
+        drift = (f["elapsed_s"] - b["elapsed_s"]) / b["elapsed_s"]
+        flag = "FAIL" if drift > tol else "ok"
+        print(f"  {name}: {f['elapsed_s']:.6f}s vs {b['elapsed_s']:.6f}s "
+              f"({drift:+.2%}) {flag}")
+        if drift > tol:
+            failed = True
+    return base
+
+diff(fresh7, "BENCH_PR7.json")
+base8 = diff(fresh8, "BENCH_PR8.json")
+
+# PR 8 acceptance metrics, asserted from the committed record (the threaded
+# sweep is re-measured only by --write; CI machines are too noisy).
+tiling = base8.get("tiling", {})
+ratio = tiling.get("swlag_threaded", {}).get("best_vs_native")
+red = tiling.get("nussinov_peak_live", {}).get("reduction")
+if ratio is None or ratio > 1.3:
+    print(f"  tiling: swlag best_vs_native {ratio} exceeds 1.3x"); failed = True
+else:
+    print(f"  tiling: swlag best_vs_native {ratio:.2f}x (<= 1.3x) ok")
+if red is None or red < 10:
+    print(f"  tiling: nussinov peak-live reduction {red} below 10x"); failed = True
+else:
+    print(f"  tiling: nussinov peak-live reduction {red:.1f}x (>= 10x) ok")
 sys.exit(1 if failed else 0)
 PY

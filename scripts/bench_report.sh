@@ -9,6 +9,10 @@
 #     per configuration (retire should sit orders of magnitude below off on
 #     SWLAG) and checking the reports stay result-identical across modes.
 #
+# Later PRs record their evidence through scripts/bench_gate.sh, which both
+# regenerates and regression-gates BENCH_PR7.json / BENCH_PR8.json (the PR 8
+# file carries the tiling acceptance metrics from bench/ablate_tiling --json).
+#
 #   scripts/bench_report.sh            # full run (~a minute)
 #   scripts/bench_report.sh --quick    # CI-sized smoke run
 set -euo pipefail

@@ -113,6 +113,17 @@ void CaseSpec::normalize() {
   }
   max_preds = std::clamp<std::int32_t>(max_preds, 1, 8);
   prefin = std::clamp<std::int32_t>(prefin, 0, 500);
+  tile = std::clamp<std::int32_t>(tile, 0, 8);
+  if (tile == 1) tile = 0;  // B=1 is the identity regrouping: run per-cell
+  // Pyramid's (i-1, j+1) edge breaks the tile-able contract (docs/
+  // PATTERNS.md): adjacent tile columns in one tile row would depend on
+  // each other both ways, a macro-cycle. Random patterns stay tile-able
+  // because build_case draws them monotone when tile > 1.
+  if (pattern == "pyramid") tile = 0;
+  // MutateValue flips a bit of the published payload, but only for
+  // trivially-copyable value types — a TileBlock is immune, so the
+  // self-test bug must keep the run per-cell to stay detectable.
+  if (bug == PlantedBug::MutateValue) tile = 0;
   nplaces = std::clamp<std::int32_t>(nplaces, 1, 16);
   nthreads = std::clamp<std::int32_t>(nthreads, 1, 8);
   cache = std::max<std::int64_t>(cache, 0);
@@ -188,6 +199,8 @@ RuntimeOptions CaseSpec::runtime_options() const {
   opts.memory.retirement = retirement;
   opts.memory.memory_limit_bytes = memory_limit;
   opts.seed = mix64(seed, 0x5eedULL);
+  opts.tile_size = tile;  // engines only stamp it into traces; the harness
+                          // does the actual regrouping, like the launchers
   opts.wedge_timeout_s = wedge_ms / 1000.0;
   // Oracle failure detection: recovery starts the instant the fault fires,
   // which keeps crash-sweep runs deterministic and their accounting exact.
@@ -222,6 +235,7 @@ std::string CaseSpec::encode() const {
   if (band != d.band) emit("band", band);
   if (max_preds != d.max_preds) emit("preds", max_preds);
   if (prefin != d.prefin) emit("prefin", prefin);
+  if (tile != d.tile) emit("tile", tile);
   if (nplaces != d.nplaces) emit("nplaces", nplaces);
   if (nthreads != d.nthreads) emit("nthreads", nthreads);
   if (dist != d.dist) emit("dist", dist_kind_name(dist));
@@ -271,6 +285,7 @@ CaseSpec CaseSpec::decode(const std::string& text) {
     else if (key == "band") spec.band = static_cast<std::int32_t>(parse_i64(key, value));
     else if (key == "preds") spec.max_preds = static_cast<std::int32_t>(parse_i64(key, value));
     else if (key == "prefin") spec.prefin = static_cast<std::int32_t>(parse_i64(key, value));
+    else if (key == "tile") spec.tile = static_cast<std::int32_t>(parse_i64(key, value));
     else if (key == "nplaces") spec.nplaces = static_cast<std::int32_t>(parse_i64(key, value));
     else if (key == "nthreads") spec.nthreads = static_cast<std::int32_t>(parse_i64(key, value));
     else if (key == "dist") ok = parse_enum(value, 4, dist_kind_name, spec.dist);
@@ -322,6 +337,9 @@ CaseSpec CaseSpec::draw(Xoshiro256& rng) {
   spec.band = 1 + static_cast<std::int32_t>(rng.below(4));
   spec.max_preds = 1 + static_cast<std::int32_t>(rng.below(5));
   spec.prefin = rng.below(4) == 0 ? 50 + static_cast<std::int32_t>(rng.below(250)) : 0;
+  // Tiled macro-DAG runs on ~1/5 of cases; small B keeps multiple tiles
+  // (and therefore real boundary edges) even at the harness's tiny dims.
+  spec.tile = rng.below(5) == 0 ? 2 + static_cast<std::int32_t>(rng.below(3)) : 0;
   spec.nplaces = 1 + static_cast<std::int32_t>(rng.below(5));
   spec.nthreads = 1 + static_cast<std::int32_t>(rng.below(3));
   spec.dist = static_cast<DistKind>(rng.below(4));
@@ -399,7 +417,7 @@ void CheckApp::app_finished(const DagView<std::uint64_t>& dag) {
 }
 
 RandomCheckDag::RandomCheckDag(DagDomain domain, std::uint64_t seed,
-                               std::int32_t max_preds)
+                               std::int32_t max_preds, bool monotone)
     : Dag(domain.height(), domain.width(), domain) {
   const DagDomain& dom = this->domain();
   const std::int64_t n = dom.size();
@@ -407,13 +425,27 @@ RandomCheckDag::RandomCheckDag(DagDomain domain, std::uint64_t seed,
   antideps_.resize(static_cast<std::size_t>(n));
   Xoshiro256 rng(mix64(seed, 0xdac5ULL));
   for (std::int64_t idx = 1; idx < n; ++idx) {
+    const VertexId cell = dom.delinearize(idx);
     const std::uint64_t k = rng.below(static_cast<std::uint64_t>(max_preds) + 1);
     auto& dep_list = deps_[static_cast<std::size_t>(idx)];
     for (std::uint64_t e = 0; e < k; ++e) {
       // Predecessors come from strictly earlier linear indices, so the
       // structure is acyclic by construction whatever the domain shape.
-      const auto pred = static_cast<std::int64_t>(
-          rng.below(static_cast<std::uint64_t>(idx)));
+      // Monotone mode additionally rejects candidates outside the
+      // upper-left quadrant (a bounded, deterministic retry loop — an edge
+      // that keeps missing the quadrant is simply dropped).
+      std::int64_t pred = -1;
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        const auto cand = static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(idx)));
+        if (monotone) {
+          const VertexId p = dom.delinearize(cand);
+          if (p.i > cell.i || p.j > cell.j) continue;
+        }
+        pred = cand;
+        break;
+      }
+      if (pred < 0) continue;
       if (std::find(dep_list.begin(), dep_list.end(), pred) != dep_list.end())
         continue;
       dep_list.push_back(pred);
@@ -439,7 +471,8 @@ GeneratedCase build_case(const CaseSpec& spec) {
   GeneratedCase built;
   if (is_random_pattern(spec.pattern)) {
     built.dag = std::make_unique<RandomCheckDag>(spec.make_domain(), spec.seed,
-                                                 spec.max_preds);
+                                                 spec.max_preds,
+                                                 /*monotone=*/spec.tile > 1);
   } else {
     built.dag = patterns::make_pattern(spec.pattern, spec.height, spec.width);
   }

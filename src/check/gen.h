@@ -66,6 +66,12 @@ struct CaseSpec {
   std::int32_t band = 2;        ///< "random-banded" only
   std::int32_t max_preds = 4;   ///< random patterns: per-cell predecessor cap
   std::int32_t prefin = 0;      ///< permille of cells prefinished (0..500)
+  /// Macro-DAG tiling: > 1 runs the engines over B x B tiles of the cell
+  /// DAG (TiledDag + TiledApp, same wrapper the launchers use for --tile).
+  /// The differential check then diffs the re-materialized cell view
+  /// against the same serial oracle, retained-mask-aware: interior cells
+  /// without an out-of-tile consumer are absent by design. 0/1 = per-cell.
+  std::int32_t tile = 0;
 
   // --- runtime knobs (both engines) -----------------------------------
   std::int32_t nplaces = 4;
@@ -163,9 +169,16 @@ class CheckApp final : public DPX10App<std::uint64_t> {
 /// drawn from the cells strictly before it in linear order (acyclic by
 /// construction), over any of the three domain shapes. Produces long-range
 /// and high-fan-in edges the regular pattern library never does.
+///
+/// `monotone` restricts predecessors to the cell's upper-left quadrant
+/// (pi <= i && pj <= j) — the tile-able contract (docs/PATTERNS.md): a
+/// quadrant-monotone cell DAG regroups into an acyclic macro-DAG for every
+/// tile size, which arbitrary linear-order back-edges do not. build_case
+/// turns it on for tiled specs; edges stay long-range and high-fan-in.
 class RandomCheckDag final : public Dag {
  public:
-  RandomCheckDag(DagDomain domain, std::uint64_t seed, std::int32_t max_preds);
+  RandomCheckDag(DagDomain domain, std::uint64_t seed, std::int32_t max_preds,
+                 bool monotone = false);
 
   void dependencies(VertexId v, std::vector<VertexId>& out) const override;
   void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override;

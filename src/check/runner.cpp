@@ -8,12 +8,13 @@
 #include "apgas/fault.h"
 #include "check/perturb.h"
 #include "common/error.h"
+#include "core/tiling.h"
 
 namespace dpx10::check {
 namespace {
 
-template <typename Engine>
-RunReport run_engine(const RuntimeOptions& opts, const Dag& dag, CheckApp& app) {
+template <typename Engine, typename App>
+RunReport run_engine(const RuntimeOptions& opts, const Dag& dag, App& app) {
   Engine engine(opts);
   return engine.run(dag, app);
 }
@@ -54,12 +55,46 @@ RunOutcome run_single(const CaseSpec& spec) {
                         spec.bug_salt != 0 ? spec.bug_salt : spec.seed);
     }
 
+    // Tiled cases run the engines over the macro-DAG exactly as the
+    // launchers do for --tile; the report then counts TILES, and the diff
+    // below works off the cell view TiledApp::app_finished re-materializes.
+    const bool tiled = spec.tile > 1;
+    std::vector<char> retained;
+    std::int64_t expect_vertices = built.vertices;
+    std::int64_t expect_prefinished = built.prefinished;
+    std::optional<TiledDag> tdag;
+    std::optional<TiledApp<std::uint64_t>> tapp;
+    if (tiled) {
+      tdag.emplace(*built.dag, spec.tile);
+      tapp.emplace(app, *built.dag, spec.tile);
+      retained = tiled_retained_mask(*built.dag, spec.tile);
+      const DagDomain& td = tdag->domain();
+      expect_vertices = td.size();
+      expect_prefinished = 0;
+      for (std::int64_t k = 0; k < td.size(); ++k) {
+        // A tile is prefinished iff TiledApp says so (non-empty and every
+        // cell carries an initial value) — same predicate the engines see.
+        if (tapp->initial_value(td.delinearize(k)).has_value()) {
+          ++expect_prefinished;
+        }
+      }
+    }
+
     RunReport report;
     try {
-      report = spec.engine == EngineKind::Sim
-                   ? run_engine<SimEngine<std::uint64_t>>(opts, *built.dag, app)
-                   : run_engine<ThreadedEngine<std::uint64_t>>(opts, *built.dag,
-                                                               app);
+      if (tiled) {
+        report =
+            spec.engine == EngineKind::Sim
+                ? run_engine<SimEngine<TileBlock<std::uint64_t>>>(opts, *tdag,
+                                                                  *tapp)
+                : run_engine<ThreadedEngine<TileBlock<std::uint64_t>>>(
+                      opts, *tdag, *tapp);
+      } else {
+        report = spec.engine == EngineKind::Sim
+                     ? run_engine<SimEngine<std::uint64_t>>(opts, *built.dag, app)
+                     : run_engine<ThreadedEngine<std::uint64_t>>(opts, *built.dag,
+                                                                 app);
+      }
     } catch (const DeadPlaceException& ex) {
       // Every planned kill leaves at least one survivor (normalize()
       // guarantees it), and since coordinator failover any survivable
@@ -74,10 +109,19 @@ RunOutcome run_single(const CaseSpec& spec) {
     if (app.present().size() != n) {
       return fail("app_finished was never invoked");
     }
+    const DagDomain& domain = built.dag->domain();
     std::int64_t absent = 0;
     for (std::size_t idx = 0; idx < n; ++idx) {
       if (!app.present()[idx]) {
-        ++absent;
+        // Tiled runs only publish boundary cells (an out-of-tile consumer
+        // or a DAG sink) plus prefinished cells; interior absences are the
+        // design, not a loss, whatever the retirement mode.
+        const bool interior =
+            tiled && !retained[idx] &&
+            !CheckApp::is_prefinished(
+                domain, spec.seed, spec.prefin,
+                domain.delinearize(static_cast<std::int64_t>(idx)));
+        if (!interior) ++absent;
         continue;
       }
       if (app.values()[idx] != built.oracle[idx]) {
@@ -93,11 +137,12 @@ RunOutcome run_single(const CaseSpec& spec) {
       return fail(why.str());
     }
 
-    // Report bookkeeping and the replay law.
-    if (static_cast<std::int64_t>(report.vertices) != built.vertices) {
+    // Report bookkeeping and the replay law — at TILE granularity for
+    // tiled runs (the engines never see individual cells there).
+    if (static_cast<std::int64_t>(report.vertices) != expect_vertices) {
       return fail("report.vertices disagrees with the domain size");
     }
-    if (static_cast<std::int64_t>(report.prefinished) != built.prefinished) {
+    if (static_cast<std::int64_t>(report.prefinished) != expect_prefinished) {
       return fail("report.prefinished disagrees with the generator");
     }
     const std::uint64_t to_compute =
@@ -149,36 +194,45 @@ std::vector<CaseSpec> expand_case(const CaseSpec& spec) {
       base.crash_place = -1;  // the matrix is the fault-free sweep
       base.hook_seed = 0;
       base.normalize();
-      // SimEngine: the full scheduling x coalescing x retirement cross.
+      // SimEngine: the full scheduling x coalescing x retirement cross,
+      // each knob point both per-cell and as a B=3 macro-DAG (tiling must
+      // compose with every retirement/coalescing combination).
       for (int sched = 0; sched < 4; ++sched) {
         for (int coal = 0; coal < 2; ++coal) {
           for (int ret = 0; ret < 3; ++ret) {
-            CaseSpec s = base;
-            s.engine = EngineKind::Sim;
-            s.scheduling = static_cast<Scheduling>(sched);
-            s.coalescing = coal == 1;
-            s.retirement = static_cast<mem::RetirementMode>(ret);
-            s.normalize();
-            out.push_back(s);
+            for (const std::int32_t tile : {0, 3}) {
+              CaseSpec s = base;
+              s.engine = EngineKind::Sim;
+              s.scheduling = static_cast<Scheduling>(sched);
+              s.coalescing = coal == 1;
+              s.retirement = static_cast<mem::RetirementMode>(ret);
+              s.tile = tile;
+              s.normalize();
+              out.push_back(s);
+            }
           }
         }
       }
       // ThreadedEngine: real threads make each run ~1000x costlier than a
       // sim run, so take a rotating six-combo slice of the same cross
-      // (x sharded/legacy queues) — successive cases cover the full set.
+      // (x sharded/legacy queues x tiled) — successive cases cover the
+      // full set.
       std::vector<CaseSpec> threaded;
       for (int sched = 0; sched < 4; ++sched) {
         for (int coal = 0; coal < 2; ++coal) {
           for (int shards = 0; shards < 2; ++shards) {
             for (int ret = 0; ret < 3; ++ret) {
-              CaseSpec s = base;
-              s.engine = EngineKind::Threaded;
-              s.scheduling = static_cast<Scheduling>(sched);
-              s.coalescing = coal == 1;
-              s.shards = shards;  // 0 = per-worker shards, 1 = legacy queue
-              s.retirement = static_cast<mem::RetirementMode>(ret);
-              s.normalize();
-              threaded.push_back(s);
+              for (const std::int32_t tile : {0, 3}) {
+                CaseSpec s = base;
+                s.engine = EngineKind::Threaded;
+                s.scheduling = static_cast<Scheduling>(sched);
+                s.coalescing = coal == 1;
+                s.shards = shards;  // 0 = per-worker shards, 1 = legacy queue
+                s.retirement = static_cast<mem::RetirementMode>(ret);
+                s.tile = tile;
+                s.normalize();
+                threaded.push_back(s);
+              }
             }
           }
         }
@@ -287,6 +341,52 @@ std::optional<Failure> run_crash_sweep(const CaseSpec& spec,
     const RunOutcome outcome = run_single(s);
     if (!outcome.ok) return Failure{s, outcome.reason};
   }
+
+  // Tiled mini-sweep (PR 8): the fault machinery must also replay losses
+  // at tile granularity — a killed place there loses whole TileBlock
+  // payloads, and recovery recomputes entire tiles. A reduced point set
+  // (4 strided kills + one simultaneous pair) keeps the sweep affordable.
+  // Skipped when the case is already tiled: the main sweep covered it.
+  if (base.tile <= 1) {
+    CaseSpec tiled = base;
+    tiled.tile = 3;
+    tiled.normalize();
+    if (tiled.tile > 1) {  // normalize() may veto (planted MutateValue)
+      if (runs != nullptr) ++*runs;
+      const RunOutcome tiled_baseline = run_single(tiled);
+      if (!tiled_baseline.ok) return Failure{tiled, tiled_baseline.reason};
+      const std::int64_t tiled_total =
+          tiled.engine == EngineKind::Sim
+              ? static_cast<std::int64_t>(tiled_baseline.sim_events)
+              : tile_domain(tiled.make_domain(), tiled.tile).size();
+      const std::int64_t tiled_points = std::min<std::int64_t>(tiled_total, 4);
+      if (tiled_points > 0) {
+        const std::int64_t tiled_stride =
+            std::max<std::int64_t>(1, tiled_total / (tiled_points + 1));
+        for (std::int64_t event = tiled_stride; event <= tiled_total;
+             event += tiled_stride) {
+          CaseSpec s = tiled;
+          s.crash_event = event;
+          s.crash_place = static_cast<std::int32_t>(
+              splitmix64(mix64(spec.seed, static_cast<std::uint64_t>(~event))) %
+              static_cast<std::uint64_t>(s.nplaces));
+          s.normalize();
+          if (runs != nullptr) ++*runs;
+          const RunOutcome outcome = run_single(s);
+          if (!outcome.ok) return Failure{s, outcome.reason};
+        }
+        CaseSpec pair = tiled;  // coordinator + neighbor at the same instant
+        pair.crash_place = 0;
+        pair.crash_event = std::max<std::int64_t>(1, tiled_total / 2);
+        pair.crash_place2 = 1;
+        pair.crash_event2 = -1;
+        pair.normalize();
+        if (runs != nullptr) ++*runs;
+        const RunOutcome outcome = run_single(pair);
+        if (!outcome.ok) return Failure{pair, outcome.reason};
+      }
+    }
+  }
   return std::nullopt;
 }
 
@@ -332,6 +432,7 @@ CaseSpec shrink(const CaseSpec& failing, int budget, std::string* reason,
       [](CaseSpec& s) { s.crash_event2 = -1; },
       [](CaseSpec& s) { s.crash_place = -1; },  // then drop the crash whole
       [](CaseSpec& s) { s.hook_seed = 0; },
+      [](CaseSpec& s) { s.tile = 0; },  // does it reproduce per-cell?
       [](CaseSpec& s) { s.height /= 2; },
       [](CaseSpec& s) { s.width /= 2; },
       [](CaseSpec& s) { s.prefin = 0; },

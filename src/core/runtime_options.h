@@ -203,6 +203,14 @@ struct RuntimeOptions {
   /// buckets (dpx10run --profile=framework-tax). Adds ~6 clock reads per
   /// vertex on the ThreadedEngine; the SimEngine attributes modeled costs.
   bool framework_tax = false;
+  /// Macro-DAG tiling (--tile, both engines): regroup the app's cell DAG
+  /// into B × B tiles whose interiors run as raw serial loops, so the
+  /// scheduler, caches, coalescer, recovery, and memory governor operate on
+  /// inter-tile boundary edges only (core/tiling.h). 0 or 1 = off (the
+  /// legacy per-cell path). The engines themselves are granularity-blind:
+  /// launchers (dp/runners, dpx10check) consume this knob to construct the
+  /// tiled DAG/app pair before instantiating an engine.
+  std::int32_t tile_size = 0;
 
   net::LinkModel link;            ///< SimEngine interconnect
   CostModel cost;                 ///< SimEngine per-operation costs
@@ -235,6 +243,8 @@ struct RuntimeOptions {
             "RuntimeOptions: flight_events must be >= 0 (0 = disabled)");
     require(status_interval_s > 0.0,
             "RuntimeOptions: status_interval_s must be positive");
+    require(tile_size >= 0,
+            "RuntimeOptions: tile_size must be >= 0 (0/1 = untiled)");
     for (std::size_t a = 0; a < faults.size(); ++a) {
       faults[a].validate(nplaces);
       for (std::size_t b = a + 1; b < faults.size(); ++b) {

@@ -337,7 +337,8 @@ class SimEngine {
     obs::TraceMeta make_meta() const {
       return obs::TraceMeta{std::string(app_.name()), std::string(dag_.name()),
                             "sim",   dag_.height(),   dag_.width(),
-                            opts_.nplaces, opts_.nthreads, elapsed_};
+                            opts_.nplaces, opts_.nthreads, elapsed_,
+                            opts_.tile_size};
     }
 
     /// A runtime-subsystem event: appended to the tracer's event stream at
@@ -796,6 +797,7 @@ class SimEngine {
         tax.cache_s += gather_cost;
         tax.compute_s += opts_.cost.compute_ns * app_.compute_cost_units(id) * 1e-9;
         ++tax.vertices;
+        tax.units += app_.compute_cost_units(id);
       }
       const double end = std::max(now_, data_ready) + compute_s;
       const std::int32_t slot = pl.slots.reserve(now_, end);

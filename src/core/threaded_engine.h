@@ -289,7 +289,7 @@ class ThreadedEngine {
         obs::Tracer::Collected c = tracer_.collect(obs::TraceMeta{
             std::string(app_.name()), std::string(dag_.name()), "threaded",
             dag_.height(), dag_.width(), opts_.nplaces, opts_.nthreads,
-            report.elapsed_seconds});
+            report.elapsed_seconds, opts_.tile_size});
         if (tracer_.spans_on()) {
           report.trace_log = std::make_shared<obs::TraceLog>(std::move(c.log));
         }
@@ -839,6 +839,7 @@ class ThreadedEngine {
           sh->tax.alloc_s += t_alloc - t_compute;
           sh->tax.publish_s += t_end - t_alloc;
           ++sh->tax.vertices;
+          sh->tax.units += app_.compute_cost_units(id);
         }
         if (flight_on_) {
           flight_.record_fast(static_cast<std::size_t>(worker),
@@ -1425,7 +1426,8 @@ class ThreadedEngine {
     obs::TraceMeta make_meta(double elapsed) const {
       return obs::TraceMeta{std::string(app_.name()), std::string(dag_.name()),
                             "threaded", dag_.height(),  dag_.width(),
-                            opts_.nplaces,              opts_.nthreads, elapsed};
+                            opts_.nplaces,              opts_.nthreads, elapsed,
+                            opts_.tile_size};
     }
 
     /// Serializes the flight ring to opts_.flight_dump (trace_io native

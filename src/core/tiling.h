@@ -12,16 +12,39 @@
 // tradeoff: too-small tiles pay overhead, too-large tiles starve the
 // wavefront of parallelism.
 //
-// Works for the left-top-diag kernel family (LCS/SW/SWLAG/MTP — any
-// recurrence expressible as a dp/kernels.h cell kernel).
+// Two execution tiers share this file (--tile=B / RuntimeOptions::tile_size):
+//
+//   * TiledWavefrontApp<Kernel> — the fast path for the left-top-diag kernel
+//     family (LCS/SW/SWLAG/MTP — any recurrence expressible as a
+//     dp/kernels.h cell kernel). Tile interiors are raw serial loops and a
+//     tile publishes only its TileEdge boundary, so payloads stay O(B).
+//
+//   * TiledDag + TiledApp<T> — the generic path for ANY app/DAG pair,
+//     including Nussinov-class interval recurrences with long-range edges.
+//     The cell DAG is regrouped into a macro-DAG over the tile-level
+//     domain (rect → rect, upper-triangular → upper-triangular, banded →
+//     banded with ⌈band/B⌉), tile interiors run a local Kahn order calling
+//     the wrapped app's compute(), and a tile publishes a TileBlock holding
+//     exactly the cells some other tile (or the final result) still needs.
+//
+// Either way the engines schedule, cache, coalesce, recover, and govern
+// memory at tile granularity — the framework constant is paid once per
+// tile, not once per cell.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "apgas/dist_array.h"
 #include "common/error.h"
 #include "core/app.h"
+#include "core/dag.h"
 #include "core/patterns/left_top_diag.h"
 #include "core/value_traits.h"
 #include "mem/spill_codec.h"
@@ -205,6 +228,436 @@ class TiledWavefrontApp : public DPX10App<TileEdge<typename Kernel::Value>> {
  private:
   Kernel kernel_;
   TileGeometry geo_;
+};
+
+// ---------------------------------------------------------------------------
+// Generic macro-DAG tiling: any app / DAG pair, any supported domain kind.
+// ---------------------------------------------------------------------------
+
+/// Tile-level macro domain of a cell domain under B × B tiling. The mapping
+/// cell (i, j) → tile (⌊i/B⌋, ⌊j/B⌋) stays inside the macro domain for every
+/// valid cell: rectangles tile to rectangles, the upper triangle to the
+/// upper triangle (i ≤ j ⇒ ⌊i/B⌋ ≤ ⌊j/B⌋), and a band of width `band` to a
+/// band of width ⌈band/B⌉ (|i−j| ≤ band ⇒ |⌊i/B⌋−⌊j/B⌋| ≤ ⌈band/B⌉).
+/// Banded macro domains may contain tiles with no valid cell (ragged band
+/// edges); those run as ordinary vertices computing an empty payload.
+inline DagDomain tile_domain(const DagDomain& cells, std::int32_t tile) {
+  require(tile > 0, "tile_domain: tile size must be positive");
+  const auto cdiv = [tile](std::int32_t x) { return (x + tile - 1) / tile; };
+  switch (cells.kind()) {
+    case DagDomain::Kind::Rect:
+      return DagDomain::rect(cdiv(cells.height()), cdiv(cells.width()));
+    case DagDomain::Kind::UpperTriangular:
+      return DagDomain::upper_triangular(cdiv(cells.height()));
+    case DagDomain::Kind::Banded:
+      return DagDomain::banded(cdiv(cells.height()), cdiv(cells.width()),
+                               cdiv(cells.band()));
+  }
+  throw ConfigError("tile_domain: unknown domain kind");
+}
+
+/// Macro-DAG over B × B tiles of an arbitrary cell DAG. A tile depends on
+/// every distinct tile that owns a dependency of one of its cells; in-tile
+/// edges vanish (they are resolved by the tile interior). Duality is
+/// inherited: u ∈ deps(v) at cell level ⇔ v ∈ antideps(u), and the same
+/// tile-mapping is applied to both sides.
+class TiledDag final : public Dag {
+ public:
+  TiledDag(const Dag& cells, std::int32_t tile)
+      : Dag(tile_domain(cells.domain(), tile).height(),
+            tile_domain(cells.domain(), tile).width(),
+            tile_domain(cells.domain(), tile)),
+        cells_(&cells),
+        tile_(tile),
+        name_("tiled-" + std::string(cells.name())) {}
+
+  /// Owning variant for callers that build the cell DAG and the macro-DAG
+  /// in one expression (dp::make_dp_dag, dpx10run --validate-dag).
+  TiledDag(std::shared_ptr<const Dag> cells, std::int32_t tile)
+      : TiledDag(*cells, tile) {
+    owned_ = std::move(cells);
+  }
+
+  const Dag& cells() const { return *cells_; }
+  std::int32_t tile() const { return tile_; }
+
+  /// Tile owning cell `id`.
+  VertexId tile_of(VertexId id) const { return {id.i / tile_, id.j / tile_}; }
+
+  /// Appends the valid cells of tile `t` in row-major (= ascending linear)
+  /// order. May append nothing: ragged banded edges produce empty tiles.
+  void cells_of(VertexId t, std::vector<VertexId>& out) const {
+    const DagDomain& cd = cells_->domain();
+    const std::int32_t r1 = std::min((t.i + 1) * tile_, cd.height());
+    const std::int32_t c0 = t.j * tile_;
+    const std::int32_t c1 = std::min((t.j + 1) * tile_, cd.width());
+    for (std::int32_t r = t.i * tile_; r < r1; ++r) {
+      const std::int32_t lo = std::max(c0, cd.row_begin(r));
+      const std::int32_t hi = std::min(c1, cd.row_end(r));
+      for (std::int32_t c = lo; c < hi; ++c) out.push_back({r, c});
+    }
+  }
+
+  void dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    tile_edges(v, /*anti=*/false, out);
+  }
+
+  void anti_dependencies(VertexId v, std::vector<VertexId>& out) const override {
+    tile_edges(v, /*anti=*/true, out);
+  }
+
+  std::string_view name() const override { return name_; }
+
+ private:
+  void tile_edges(VertexId t, bool anti, std::vector<VertexId>& out) const {
+    std::vector<VertexId> local;
+    cells_of(t, local);
+    std::vector<VertexId> scratch;
+    std::vector<VertexId> acc;
+    for (const VertexId id : local) {
+      scratch.clear();
+      if (anti) {
+        cells_->anti_dependencies(id, scratch);
+      } else {
+        cells_->dependencies(id, scratch);
+      }
+      for (const VertexId d : scratch) {
+        const VertexId td = tile_of(d);
+        if (td.i != t.i || td.j != t.j) acc.push_back(td);
+      }
+    }
+    std::sort(acc.begin(), acc.end(), [](VertexId a, VertexId b) {
+      return a.i != b.i ? a.i < b.i : a.j < b.j;
+    });
+    acc.erase(std::unique(acc.begin(), acc.end(),
+                          [](VertexId a, VertexId b) {
+                            return a.i == b.i && a.j == b.j;
+                          }),
+              acc.end());
+    out.insert(out.end(), acc.begin(), acc.end());
+  }
+
+  const Dag* cells_;
+  std::int32_t tile_;
+  std::string name_;
+  std::shared_ptr<const Dag> owned_;
+};
+
+/// The payload a generic tile publishes: the subset of its cells some other
+/// tile still depends on, plus the DAG's sinks (cells with no consumer at
+/// all — the final results). `cells` holds cell-domain linear indices in
+/// ascending order, `values` is parallel to it.
+template <typename T>
+struct TileBlock {
+  std::vector<std::int64_t> cells;
+  std::vector<T> values;
+
+  const T* find(std::int64_t index) const {
+    const auto it = std::lower_bound(cells.begin(), cells.end(), index);
+    if (it == cells.end() || *it != index) return nullptr;
+    return &values[static_cast<std::size_t>(it - cells.begin())];
+  }
+
+  friend bool operator==(const TileBlock&, const TileBlock&) = default;
+};
+
+template <typename T>
+struct ValueTraits<TileBlock<T>> {
+  static std::size_t wire_bytes(const TileBlock<T>& block) {
+    std::size_t bytes = block.cells.size() * sizeof(std::int64_t);
+    for (const T& v : block.values) bytes += value_wire_bytes(v);
+    return bytes;
+  }
+  static void release(TileBlock<T>& block) { block = TileBlock<T>{}; }
+};
+
+/// Spill encoding of a tile block (cell count, index array, raw values) —
+/// available exactly when the cell payload itself is raw-copyable, which
+/// covers every bundled app. Non-trivially-copyable cell types fall back to
+/// the primary template's available = false and the governor rejects spill.
+template <typename T>
+struct mem::SpillCodec<TileBlock<T>, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
+  static constexpr bool available = true;
+
+  static void encode(const TileBlock<T>& block, std::vector<std::byte>& out) {
+    const std::uint64_t n = block.cells.size();
+    out.resize(sizeof(n) + n * (sizeof(std::int64_t) + sizeof(T)));
+    std::byte* p = out.data();
+    std::memcpy(p, &n, sizeof(n));
+    p += sizeof(n);
+    if (n) {
+      std::memcpy(p, block.cells.data(), n * sizeof(std::int64_t));
+      p += n * sizeof(std::int64_t);
+      std::memcpy(p, block.values.data(), n * sizeof(T));
+    }
+  }
+
+  static bool decode(const std::byte* data, std::size_t size, TileBlock<T>& out) {
+    if (size < sizeof(std::uint64_t)) return false;
+    std::uint64_t n = 0;
+    std::memcpy(&n, data, sizeof(n));
+    if (size != sizeof(n) + n * (sizeof(std::int64_t) + sizeof(T))) return false;
+    const std::byte* p = data + sizeof(n);
+    out.cells.resize(static_cast<std::size_t>(n));
+    out.values.resize(static_cast<std::size_t>(n));
+    if (n) {
+      std::memcpy(out.cells.data(), p, n * sizeof(std::int64_t));
+      std::memcpy(out.values.data(), p + n * sizeof(std::int64_t), n * sizeof(T));
+    }
+    return true;
+  }
+};
+
+/// Marks each cell (by cell-domain linear index) that survives into its
+/// tile's published TileBlock: cells with at least one out-of-tile consumer,
+/// plus sinks (no consumer at all). Everything else is interior scratch the
+/// tiled executor discards — the analogue of what the memory governor's
+/// retirement does per-cell, applied eagerly at publish time.
+inline std::vector<char> tiled_retained_mask(const Dag& cells, std::int32_t tile) {
+  const DagDomain& domain = cells.domain();
+  std::vector<char> mask(static_cast<std::size_t>(domain.size()), 0);
+  std::vector<VertexId> anti;
+  for (std::int64_t index = 0; index < domain.size(); ++index) {
+    const VertexId id = domain.delinearize(index);
+    anti.clear();
+    cells.anti_dependencies(id, anti);
+    bool keep = anti.empty();  // sink: a final result nobody consumes
+    for (const VertexId a : anti) {
+      if (a.i / tile != id.i / tile || a.j / tile != id.j / tile) {
+        keep = true;
+        break;
+      }
+    }
+    mask[static_cast<std::size_t>(index)] = keep ? 1 : 0;
+  }
+  return mask;
+}
+
+/// Adapter running any DPX10App<T> tile-by-tile over the matching TiledDag.
+/// One macro-vertex executes the whole tile interior in local Kahn order
+/// with direct inner.compute() calls — no scheduler, cache, or governor
+/// traffic per cell — and publishes the retained cells as a TileBlock.
+///
+/// Prefinish semantics: a tile is prefinished (skipped entirely) only when
+/// it is non-empty and EVERY cell has an inner initial_value; individually
+/// prefinished cells inside computed tiles use their initial value during
+/// interior execution. app_finished() re-materializes a cell-level view
+/// from the tile payloads (including spilled ones, via the engine's
+/// retired reader) so the wrapped app's result processing runs unchanged —
+/// cells that were not retained are simply absent, exactly as they would be
+/// after per-cell retirement.
+template <typename T>
+class TiledApp : public DPX10App<TileBlock<T>> {
+ public:
+  using Block = TileBlock<T>;
+
+  TiledApp(DPX10App<T>& inner, const Dag& cells, std::int32_t tile)
+      : inner_(&inner),
+        cells_(&cells),
+        tile_(tile),
+        name_("tiled-" + std::string(inner.name())) {}
+
+  Block compute(std::int32_t bi, std::int32_t bj,
+                std::span<const Vertex<Block>> deps) override {
+    const VertexId t{bi, bj};
+    std::vector<VertexId> local;
+    tile_cells(t, local);
+    Block out;
+    if (local.empty()) return out;  // ragged banded edge: empty tile
+
+    // Cell values published by dependency tiles, keyed by linear index.
+    std::unordered_map<std::int64_t, const T*> halo;
+    for (const Vertex<Block>& v : deps) {
+      const Block& block = v.result();
+      for (std::size_t k = 0; k < block.cells.size(); ++k) {
+        halo.emplace(block.cells[k], &block.values[k]);
+      }
+    }
+
+    const DagDomain& domain = cells_->domain();
+    std::unordered_map<std::int64_t, std::int32_t> slot_of;
+    slot_of.reserve(local.size());
+    for (std::size_t k = 0; k < local.size(); ++k) {
+      slot_of.emplace(domain.linearize(local[k]), static_cast<std::int32_t>(k));
+    }
+
+    // In-tile indegrees, counting only edges between cells of this tile.
+    const std::size_t n = local.size();
+    std::vector<std::int32_t> indegree(n, 0);
+    std::vector<VertexId> scratch;
+    for (std::size_t k = 0; k < n; ++k) {
+      scratch.clear();
+      cells_->dependencies(local[k], scratch);
+      for (const VertexId d : scratch) {
+        if (slot_of.count(domain.linearize(d))) ++indegree[k];
+      }
+    }
+
+    std::vector<T> value(n);
+    std::vector<char> have(n, 0);
+    std::vector<std::int32_t> ready;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (indegree[k] == 0) ready.push_back(static_cast<std::int32_t>(k));
+    }
+
+    std::vector<Vertex<T>> cell_deps;
+    std::vector<VertexId> anti;
+    std::size_t done = 0;
+    while (!ready.empty()) {
+      const auto k = static_cast<std::size_t>(ready.back());
+      ready.pop_back();
+      const VertexId id = local[k];
+      if (const std::optional<T> init = inner_->initial_value(id)) {
+        value[k] = *init;
+      } else {
+        scratch.clear();
+        cells_->dependencies(id, scratch);
+        cell_deps.clear();
+        for (const VertexId d : scratch) {
+          const std::int64_t idx = domain.linearize(d);
+          const auto it = slot_of.find(idx);
+          if (it != slot_of.end()) {
+            check_internal(have[static_cast<std::size_t>(it->second)] != 0,
+                           "TiledApp: in-tile dependency not yet computed");
+            cell_deps.push_back(Vertex<T>{d, value[static_cast<std::size_t>(it->second)]});
+            continue;
+          }
+          const auto ht = halo.find(idx);
+          if (ht != halo.end()) {
+            cell_deps.push_back(Vertex<T>{d, *ht->second});
+            continue;
+          }
+          // A cross-tile dependency missing from every payload must be a
+          // prefinished cell of a computed tile… which IS retained (it has
+          // this out-of-tile consumer). Reaching here means the retained-set
+          // invariant broke.
+          const std::optional<T> dep_init = inner_->initial_value(d);
+          check_internal(dep_init.has_value(),
+                         "TiledApp: cross-tile dependency missing from "
+                         "published tile payloads");
+          cell_deps.push_back(Vertex<T>{d, *dep_init});
+        }
+        value[k] = inner_->compute(id.i, id.j,
+                                   std::span<const Vertex<T>>(cell_deps));
+      }
+      have[k] = 1;
+      ++done;
+      // Decrement in-tile consumers.
+      anti.clear();
+      cells_->anti_dependencies(id, anti);
+      for (const VertexId a : anti) {
+        const auto it = slot_of.find(domain.linearize(a));
+        if (it == slot_of.end()) continue;
+        if (--indegree[static_cast<std::size_t>(it->second)] == 0) {
+          ready.push_back(it->second);
+        }
+      }
+    }
+    check_internal(done == n, "TiledApp: tile interior has a dependency cycle");
+
+    // Publish the retained set: out-of-tile consumers or sinks. `local` is
+    // row-major, so linear indices come out ascending as TileBlock requires.
+    for (std::size_t k = 0; k < n; ++k) {
+      anti.clear();
+      cells_->anti_dependencies(local[k], anti);
+      bool keep = anti.empty();
+      for (const VertexId a : anti) {
+        if (a.i / tile_ != bi || a.j / tile_ != bj) {
+          keep = true;
+          break;
+        }
+      }
+      if (!keep) continue;
+      out.cells.push_back(domain.linearize(local[k]));
+      out.values.push_back(value[k]);
+    }
+    return out;
+  }
+
+  std::optional<Block> initial_value(VertexId t) const override {
+    std::vector<VertexId> local;
+    tile_cells(t, local);
+    if (local.empty()) return std::nullopt;  // empty tiles run (cheaply)
+    Block block;
+    std::vector<VertexId> anti;
+    for (const VertexId id : local) {
+      const std::optional<T> init = inner_->initial_value(id);
+      if (!init.has_value()) return std::nullopt;
+      anti.clear();
+      cells_->anti_dependencies(id, anti);
+      bool keep = anti.empty();
+      for (const VertexId a : anti) {
+        if (a.i / tile_ != t.i || a.j / tile_ != t.j) {
+          keep = true;
+          break;
+        }
+      }
+      if (!keep) continue;
+      block.cells.push_back(cells_->domain().linearize(id));
+      block.values.push_back(*init);
+    }
+    return block;
+  }
+
+  /// Virtual-time cost of a tile = the summed cost of its cells, so the
+  /// SimEngine's clock stays comparable across granularities.
+  double compute_cost_units(VertexId t) const override {
+    std::vector<VertexId> local;
+    tile_cells(t, local);
+    double units = 0.0;
+    for (const VertexId id : local) units += inner_->compute_cost_units(id);
+    return units;
+  }
+
+  /// Rebuilds a single-place cell-level array from the tile payloads and
+  /// hands it to the wrapped app. Retained cells arrive Finished, cells
+  /// with an initial value Prefinished; interior (non-retained) cells stay
+  /// absent — value_or() sees the fallback, at() fails loudly, matching the
+  /// per-cell governor's retire-mode contract.
+  void app_finished(const DagView<Block>& tiles) override {
+    const DagDomain& cd = cells_->domain();
+    DistArray<T> array(cd, DistKind::BlockRow, PlaceGroup::dense(1));
+    const DagDomain& td = tiles.domain();
+    Block scratch;
+    for (std::int64_t index = 0; index < td.size(); ++index) {
+      const VertexId t = td.delinearize(index);
+      const Block block = tiles.value_or(t.i, t.j, scratch);
+      for (std::size_t k = 0; k < block.cells.size(); ++k) {
+        Cell<T>& cell = array.cell(block.cells[k]);
+        cell.value = block.values[k];
+        cell.store_state(CellState::Finished);
+      }
+    }
+    for (std::int64_t index = 0; index < cd.size(); ++index) {
+      Cell<T>& cell = array.cell(index);
+      if (cell.is_done()) continue;
+      if (const std::optional<T> init = inner_->initial_value(cd.delinearize(index))) {
+        cell.value = *init;
+        cell.store_state(CellState::Prefinished);
+      }
+    }
+    inner_->app_finished(DagView<T>(array));
+  }
+
+  std::string_view name() const override { return name_; }
+
+ private:
+  void tile_cells(VertexId t, std::vector<VertexId>& out) const {
+    const DagDomain& cd = cells_->domain();
+    const std::int32_t r1 = std::min((t.i + 1) * tile_, cd.height());
+    const std::int32_t c0 = t.j * tile_;
+    const std::int32_t c1 = std::min((t.j + 1) * tile_, cd.width());
+    for (std::int32_t r = t.i * tile_; r < r1; ++r) {
+      const std::int32_t lo = std::max(c0, cd.row_begin(r));
+      const std::int32_t hi = std::min(c1, cd.row_end(r));
+      for (std::int32_t c = lo; c < hi; ++c) out.push_back({r, c});
+    }
+  }
+
+  DPX10App<T>* inner_;
+  const Dag* cells_;
+  std::int32_t tile_;
+  std::string name_;
 };
 
 }  // namespace dpx10

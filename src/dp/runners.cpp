@@ -5,7 +5,9 @@
 
 #include "common/error.h"
 #include "core/dpx10.h"
+#include "core/tiling.h"
 #include "dp/inputs.h"
+#include "dp/kernels.h"
 #include "dp/knapsack.h"
 #include "dp/lcs.h"
 #include "dp/lps.h"
@@ -32,6 +34,28 @@ RunReport run_engine(EngineKind engine, const RuntimeOptions& options, const Dag
   }
   SimEngine<T> e(options);
   return e.run(dag, app);
+}
+
+/// Kernel fast path (--tile): macro-DAG of B × B tiles whose interiors are
+/// raw serial kernel loops exchanging TileEdge boundaries.
+template <typename Kernel>
+RunReport run_tiled_kernel(Kernel kernel, const ProblemShape& shape, EngineKind engine,
+                           const RuntimeOptions& options) {
+  TiledWavefrontApp<Kernel> app(std::move(kernel),
+                                TileGeometry(shape.height, shape.width, options.tile_size));
+  const std::unique_ptr<Dag> dag = app.make_dag();
+  return run_engine(engine, options, *dag, app);
+}
+
+/// Generic tiled path (--tile): wrap any cell app/DAG pair in the
+/// TiledDag + TiledApp adapter; interiors run a local Kahn order and
+/// publish retained-cell TileBlocks.
+template <typename T>
+RunReport run_tiled_app(DPX10App<T>& inner, const Dag& cells, EngineKind engine,
+                        const RuntimeOptions& options) {
+  TiledDag dag(cells, options.tile_size);
+  TiledApp<T> app(inner, cells, options.tile_size);
+  return run_engine(engine, options, dag, app);
 }
 
 }  // namespace
@@ -72,38 +96,52 @@ ProblemShape shape_for(const std::string& app, std::int64_t target_vertices) {
 }
 
 std::unique_ptr<Dag> make_dp_dag(const std::string& app, std::int64_t target_vertices,
-                                 std::uint64_t input_seed) {
+                                 std::uint64_t input_seed, std::int32_t tile) {
   const ProblemShape shape = shape_for(app, target_vertices);
+  std::unique_ptr<Dag> cells;
   if (app == "swlag" || app == "sw" || app == "lcs") {
-    return patterns::make_pattern("left-top-diag", shape.height, shape.width);
-  }
-  if (app == "mtp") {
-    return patterns::make_pattern("left-top", shape.height, shape.width);
-  }
-  if (app == "lps") {
-    return patterns::make_pattern("interval", shape.height, shape.width);
-  }
-  if (app == "nussinov") {
-    return std::make_unique<NussinovDag>(shape.height);
-  }
-  if (app == "knapsack") {
+    if (tile > 1) {
+      // The kernel fast path schedules the built-in left-top-diag pattern
+      // at tile granularity directly (no cell DAG is ever materialized).
+      const TileGeometry geo(shape.height, shape.width, tile);
+      return patterns::make_pattern("left-top-diag", geo.tiles_i(), geo.tiles_j());
+    }
+    cells = patterns::make_pattern("left-top-diag", shape.height, shape.width);
+  } else if (app == "mtp") {
+    if (tile > 1) {
+      const TileGeometry geo(shape.height, shape.width, tile);
+      return patterns::make_pattern("left-top-diag", geo.tiles_i(), geo.tiles_j());
+    }
+    cells = patterns::make_pattern("left-top", shape.height, shape.width);
+  } else if (app == "lps") {
+    cells = patterns::make_pattern("interval", shape.height, shape.width);
+  } else if (app == "nussinov") {
+    cells = std::make_unique<NussinovDag>(shape.height);
+  } else if (app == "knapsack") {
     const std::int32_t capacity = shape.width - 1;
     const std::int32_t max_weight = capacity < 50 ? capacity : 50;
     auto instance = std::make_shared<const KnapsackInstance>(
         random_knapsack(shape.height - 1, capacity, max_weight, input_seed));
-    return std::make_unique<KnapsackDag>(instance);
+    cells = std::make_unique<KnapsackDag>(instance);
+  } else {
+    throw ConfigError("make_dp_dag: unknown application '" + app + "'");
   }
-  throw ConfigError("make_dp_dag: unknown application '" + app + "'");
+  if (tile > 1) {
+    return std::make_unique<TiledDag>(std::shared_ptr<const Dag>(std::move(cells)), tile);
+  }
+  return cells;
 }
 
 RunReport run_dp_app(const std::string& app, EngineKind engine,
                      std::int64_t target_vertices, const RuntimeOptions& options,
                      std::uint64_t input_seed) {
   const ProblemShape shape = shape_for(app, target_vertices);
+  const bool tiled = options.tile_size > 1;
 
   if (app == "swlag") {
     std::string a = random_sequence(static_cast<std::size_t>(shape.height - 1), input_seed);
     std::string b = random_sequence(static_cast<std::size_t>(shape.width - 1), input_seed + 1);
+    if (tiled) return run_tiled_kernel(SwlagKernel(a, b), shape, engine, options);
     SwlagApp application(std::move(a), std::move(b));
     auto dag = patterns::make_pattern("left-top-diag", shape.height, shape.width);
     return run_engine(engine, options, *dag, application);
@@ -111,6 +149,7 @@ RunReport run_dp_app(const std::string& app, EngineKind engine,
   if (app == "sw") {
     std::string a = random_sequence(static_cast<std::size_t>(shape.height - 1), input_seed);
     std::string b = random_sequence(static_cast<std::size_t>(shape.width - 1), input_seed + 1);
+    if (tiled) return run_tiled_kernel(SwKernel(a, b), shape, engine, options);
     SmithWatermanApp application(std::move(a), std::move(b));
     auto dag = patterns::make_pattern("left-top-diag", shape.height, shape.width);
     return run_engine(engine, options, *dag, application);
@@ -118,11 +157,16 @@ RunReport run_dp_app(const std::string& app, EngineKind engine,
   if (app == "lcs") {
     std::string a = random_sequence(static_cast<std::size_t>(shape.height - 1), input_seed);
     std::string b = random_sequence(static_cast<std::size_t>(shape.width - 1), input_seed + 1);
+    if (tiled) return run_tiled_kernel(LcsKernel(a, b), shape, engine, options);
     LcsApp application(std::move(a), std::move(b));
     auto dag = patterns::make_pattern("left-top-diag", shape.height, shape.width);
     return run_engine(engine, options, *dag, application);
   }
   if (app == "mtp") {
+    // Tiled MTP rides the kernel fast path over the left-top-diag macro
+    // pattern; MtpKernel ignores its diagonal input, so values match the
+    // untiled left-top run exactly.
+    if (tiled) return run_tiled_kernel(MtpKernel(input_seed), shape, engine, options);
     ManhattanApp application(input_seed);
     auto dag = patterns::make_pattern("left-top", shape.height, shape.width);
     return run_engine(engine, options, *dag, application);
@@ -131,12 +175,14 @@ RunReport run_dp_app(const std::string& app, EngineKind engine,
     std::string x = random_sequence(static_cast<std::size_t>(shape.height), input_seed);
     LpsApp application(std::move(x));
     auto dag = patterns::make_pattern("interval", shape.height, shape.width);
+    if (tiled) return run_tiled_app(application, *dag, engine, options);
     return run_engine(engine, options, *dag, application);
   }
   if (app == "nussinov") {
     std::string x = random_sequence(static_cast<std::size_t>(shape.height), input_seed, "ACGU");
     NussinovApp application(std::move(x));
     NussinovDag dag(shape.height);
+    if (tiled) return run_tiled_app(application, dag, engine, options);
     return run_engine(engine, options, dag, application);
   }
   if (app == "knapsack") {
@@ -146,6 +192,7 @@ RunReport run_dp_app(const std::string& app, EngineKind engine,
         random_knapsack(shape.height - 1, capacity, max_weight, input_seed));
     KnapsackApp application(instance);
     KnapsackDag dag(instance);
+    if (tiled) return run_tiled_app(application, dag, engine, options);
     return run_engine(engine, options, dag, application);
   }
   throw ConfigError("run_dp_app: unknown application '" + app + "'");

@@ -38,12 +38,18 @@ ProblemShape shape_for(const std::string& app, std::int64_t target_vertices);
 /// `target_vertices`, without running anything — so callers (dpx10run
 /// --validate-dag) can validate_dag() a configuration before paying for the
 /// run. Irregular DAGs that depend on the generated input (knapsack) seed
-/// their instance from `input_seed`, matching run_dp_app.
+/// their instance from `input_seed`, matching run_dp_app. `tile` > 1
+/// returns the macro-DAG run_dp_app schedules under
+/// RuntimeOptions::tile_size — the tiled left-top-diag pattern for the
+/// kernel family, a TiledDag wrapper elsewhere.
 std::unique_ptr<Dag> make_dp_dag(const std::string& app, std::int64_t target_vertices,
-                                 std::uint64_t input_seed = 1234);
+                                 std::uint64_t input_seed = 1234, std::int32_t tile = 0);
 
 /// Generates inputs (seeded by `input_seed`), builds the app and its DAG
-/// pattern, runs it on the chosen engine and returns the report.
+/// pattern, runs it on the chosen engine and returns the report. When
+/// `options.tile_size` > 1 the app executes as a macro-DAG of tiles
+/// (core/tiling.h): the kernel fast path for swlag/sw/lcs/mtp, the generic
+/// TiledApp adapter for lps/nussinov/knapsack.
 RunReport run_dp_app(const std::string& app, EngineKind engine,
                      std::int64_t target_vertices, const RuntimeOptions& options,
                      std::uint64_t input_seed = 1234);

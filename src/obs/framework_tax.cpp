@@ -34,6 +34,19 @@ void print_framework_tax(std::ostream& os, const FrameworkTax& tax,
   const double tax_share = total > 0.0 ? 100.0 * tax.tax_s() / total : 0.0;
   os << strformat("  tax (non-compute): %.2f %% of attributed time\n",
                   tax_share);
+  // Tiled runs: each vertex is a whole tile, so amortize the framework cost
+  // over the interior cells it covered — the per-CELL number is what a
+  // per-vertex (untiled) run's tax row should be compared against.
+  if (tax.units > static_cast<double>(tax.vertices) && tax.vertices > 0) {
+    const double cells_per_vertex =
+        tax.units / static_cast<double>(tax.vertices);
+    os << strformat(
+        "  tiled: %.0f cells in %llu tiles (%.1f cells/tile); "
+        "amortized tax %.1f ns/cell (%.1f ns/tile)\n",
+        tax.units, static_cast<unsigned long long>(tax.vertices),
+        cells_per_vertex, 1e9 * tax.tax_s() / tax.units,
+        1e9 * tax.tax_s() / static_cast<double>(tax.vertices));
+  }
 }
 
 }  // namespace dpx10::obs

@@ -32,6 +32,11 @@ struct FrameworkTax {
   double publish_s = 0.0;
   double compute_s = 0.0;
   std::uint64_t vertices = 0;
+  /// Cell-equivalents executed (Σ compute_cost_units per vertex). Equal to
+  /// `vertices` for per-cell runs; under --tile each macro-vertex
+  /// contributes its interior cell count, so tax_s() / units is the
+  /// amortized per-CELL framework cost the tiling mode exists to shrink.
+  double units = 0.0;
 
   double total_s() const {
     return dispatch_s + cache_s + alloc_s + publish_s + compute_s;
@@ -45,6 +50,7 @@ struct FrameworkTax {
     publish_s += o.publish_s;
     compute_s += o.compute_s;
     vertices += o.vertices;
+    units += o.units;
   }
 };
 

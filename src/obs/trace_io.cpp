@@ -28,6 +28,9 @@ void write_native_trace(std::ostream& os, const TraceLog& log,
   os << "dims " << log.meta.height << ' ' << log.meta.width << ' '
      << log.meta.nplaces << ' ' << log.meta.nthreads << '\n';
   os << "elapsed " << g17(log.meta.elapsed_s) << '\n';
+  // Only tiled runs carry the key: untiled traces stay byte-identical to
+  // pre-tiling files and remain loadable by older readers.
+  if (log.meta.tile > 1) os << "tile " << log.meta.tile << '\n';
   for (const VertexSpan& v : log.vertices) {
     os << "v " << v.index << ' ' << v.place << ' ' << v.slot << ' '
        << g17(v.ready) << ' ' << g17(v.start) << ' ' << g17(v.data_ready)
@@ -89,6 +92,8 @@ void read_native_trace(std::istream& is, TraceLog& log, MetricsReport* metrics) 
           log.meta.nthreads;
     } else if (tag == "elapsed") {
       is >> log.meta.elapsed_s;
+    } else if (tag == "tile") {
+      is >> log.meta.tile;
     } else if (tag == "v") {
       VertexSpan v;
       int published = 1;

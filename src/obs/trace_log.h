@@ -27,6 +27,11 @@ struct TraceMeta {
   std::int32_t nplaces = 0;
   std::int32_t nthreads = 0;
   double elapsed_s = 0.0;
+  /// Macro-DAG tile size when the run was tiled (RuntimeOptions::tile_size);
+  /// 0 for per-cell runs. When > 1, height/width/indices are tile-level and
+  /// each vertex span covers a whole tile interior. Written to native traces
+  /// only when > 1, so untiled traces stay byte-identical to pre-tiling ones.
+  std::int32_t tile = 0;
 };
 
 /// One vertex execution. The four timestamps delimit the lifecycle phases:

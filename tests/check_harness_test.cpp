@@ -56,22 +56,27 @@ TEST(CheckHarness, MatrixExpansionCoversTheKnobCross) {
   spec.mode = CaseMode::Matrix;
   spec.seed = 9;
   const std::vector<CaseSpec> expanded = expand_case(spec);
-  ASSERT_EQ(expanded.size(), 30u);  // 24 sim cross + 6 threaded slice
+  ASSERT_EQ(expanded.size(), 54u);  // 48 sim cross + 6 threaded slice
   std::set<std::string> sim_combos;
   int threaded = 0;
+  int tiled = 0;
   for (const CaseSpec& s : expanded) {
     EXPECT_EQ(s.mode, CaseMode::Single);
     EXPECT_EQ(s.crash_place, -1);
+    tiled += s.tile > 1;
     if (s.engine == EngineKind::Sim) {
       sim_combos.insert(std::string(scheduling_name(s.scheduling)) + "/" +
                         std::to_string(s.coalescing) + "/" +
-                        std::string(mem::retirement_mode_name(s.retirement)));
+                        std::string(mem::retirement_mode_name(s.retirement)) +
+                        "/" + std::to_string(s.tile));
     } else {
       ++threaded;
     }
   }
-  EXPECT_EQ(sim_combos.size(), 24u);  // full scheduling x coal x retirement
+  // Full scheduling x coal x retirement cross, per-cell AND B=3 macro-DAG.
+  EXPECT_EQ(sim_combos.size(), 48u);
   EXPECT_EQ(threaded, 6);
+  EXPECT_GT(tiled, 0);  // the tiled half of the cross survives normalize()
 }
 
 TEST(CheckHarness, SchedulesExpansionSeedsBothEngines) {

@@ -1,0 +1,378 @@
+// Tiled macro-DAG execution mode (PR 8) — the generic TiledDag/TiledApp
+// wrapper that --tile routes non-kernel apps through. Covers: the domain
+// mapping for all three DagDomain kinds, macro-DAG structural validity on
+// interval-family and monotone-random cell DAGs, the retained-cell rule,
+// TileBlock traits + spill codec, tiled-vs-oracle value agreement across
+// patterns x tile sizes x engines (B=1 included: the identity regrouping
+// must equal the legacy per-cell run), Nussinov against its serial
+// reference through the generic path, and the two-deaths fault matrix at
+// tile granularity on both engines. The kernel fast path (TileEdge) is
+// covered by tiling_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "check/gen.h"
+#include "check/runner.h"
+#include "core/dag_validate.h"
+#include "core/dpx10.h"
+#include "core/tiling.h"
+#include "dp/inputs.h"
+#include "dp/nussinov.h"
+#include "mem/spill_codec.h"
+
+namespace dpx10 {
+namespace {
+
+TEST(TileDomain, MapsAllThreeKinds) {
+  const DagDomain rect = tile_domain(DagDomain::rect(10, 7), 4);
+  EXPECT_EQ(rect.kind(), DagDomain::Kind::Rect);
+  EXPECT_EQ(rect.height(), 3);
+  EXPECT_EQ(rect.width(), 2);
+
+  const DagDomain upper = tile_domain(DagDomain::upper_triangular(9), 4);
+  EXPECT_EQ(upper.kind(), DagDomain::Kind::UpperTriangular);
+  EXPECT_EQ(upper.height(), 3);
+  EXPECT_EQ(upper.size(), 6);  // 3+2+1 macro cells
+}
+
+TEST(TileDomain, BandedMappingCoversEveryCell) {
+  // Covering property: every valid cell must land in a valid macro cell —
+  // |i/B - j/B| <= ceil(band/B) whenever |i - j| <= band.
+  for (const std::int32_t band : {1, 2, 5}) {
+    for (const std::int32_t tile : {2, 3, 4}) {
+      const DagDomain cells = DagDomain::banded(20, 20, band);
+      const DagDomain tiles = tile_domain(cells, tile);
+      EXPECT_EQ(tiles.kind(), DagDomain::Kind::Banded);
+      for (std::int64_t idx = 0; idx < cells.size(); ++idx) {
+        const VertexId id = cells.delinearize(idx);
+        EXPECT_TRUE(tiles.contains({id.i / tile, id.j / tile}))
+            << "cell (" << id.i << "," << id.j << ") band " << band
+            << " tile " << tile;
+      }
+    }
+  }
+}
+
+TEST(TiledDag, IntervalFamilyRegroupsAcyclically) {
+  // Nussinov's interval-prefix + inner-diagonal structure is the hard case
+  // the tentpole extends tiling to: long-range row/column macro edges over
+  // a triangular tile domain. validate_dag checks dependency duality and
+  // in-domain ids for every macro vertex.
+  const dp::NussinovDag cells(30);
+  for (const std::int32_t tile : {3, 7, 16}) {
+    const TiledDag tiled(cells, tile);
+    const DagValidation v = validate_dag(tiled);
+    EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems.front());
+    EXPECT_GT(v.edges, 0);
+  }
+}
+
+TEST(TiledDag, MonotoneRandomRegroupsAcyclically) {
+  // The tile-able contract for custom DAGs: upper-left-quadrant-monotone
+  // edges stay acyclic under any regrouping, on every domain shape.
+  const check::RandomCheckDag banded(DagDomain::banded(14, 14, 3), 77, 4,
+                                     /*monotone=*/true);
+  const check::RandomCheckDag upper(DagDomain::upper_triangular(12), 78, 4,
+                                    /*monotone=*/true);
+  for (const std::int32_t tile : {2, 5}) {
+    EXPECT_TRUE(validate_dag(TiledDag(banded, tile)).ok);
+    EXPECT_TRUE(validate_dag(TiledDag(upper, tile)).ok);
+  }
+}
+
+TEST(TiledDag, CellsOfMatchesDomainAndName) {
+  const dp::NussinovDag cells(9);
+  const TiledDag tiled(cells, 4);
+  EXPECT_EQ(tiled.name(), "tiled-nussinov");
+  EXPECT_EQ(tiled.tile(), 4);
+  std::vector<VertexId> got;
+  std::int64_t total = 0;
+  for (std::int64_t t = 0; t < tiled.domain().size(); ++t) {
+    got.clear();
+    tiled.cells_of(tiled.domain().delinearize(t), got);
+    for (const VertexId id : got) {
+      EXPECT_TRUE(cells.domain().contains(id));
+      EXPECT_EQ(tiled.tile_of(id).key(),
+                tiled.domain().delinearize(t).key());
+    }
+    total += static_cast<std::int64_t>(got.size());
+  }
+  EXPECT_EQ(total, cells.domain().size());  // partition: no cell lost
+}
+
+TEST(TiledRetainedMask, BoundaryRowsColsAndSinks) {
+  // left-top over 4x4 with B=2. A cell is retained iff one of its consumers
+  // (i+1,j) / (i,j+1) lives in another tile — i.e. i==1 or j==1 (rows/cols
+  // 3 have no in-domain consumer across the tile seam) — or it is the DAG
+  // sink (3,3). That is row 1 (4 cells) + column 1 (3 more) + the sink.
+  const std::unique_ptr<Dag> dag = patterns::make_pattern("left-top", 4, 4);
+  const std::vector<char> mask = tiled_retained_mask(*dag, 2);
+  ASSERT_EQ(mask.size(), 16u);
+  std::int64_t kept = 0;
+  for (std::int32_t i = 0; i < 4; ++i) {
+    for (std::int32_t j = 0; j < 4; ++j) {
+      const bool expect = i == 1 || j == 1 || (i == 3 && j == 3);
+      EXPECT_EQ(mask[static_cast<std::size_t>(i * 4 + j)] != 0, expect)
+          << "(" << i << "," << j << ")";
+      kept += expect;
+    }
+  }
+  EXPECT_EQ(kept, 8);
+}
+
+TEST(TileBlock, TraitsFindAndRelease) {
+  TileBlock<std::int64_t> block;
+  block.cells = {3, 9, 17};
+  block.values = {30, 90, 170};
+  ASSERT_NE(block.find(9), nullptr);
+  EXPECT_EQ(*block.find(9), 90);
+  EXPECT_EQ(block.find(10), nullptr);
+  EXPECT_EQ(value_wire_bytes(block), 3 * 8u + 3 * sizeof(std::int64_t));
+  value_release(block);
+  EXPECT_TRUE(block.cells.empty());
+  EXPECT_TRUE(block.values.empty());
+}
+
+TEST(TileBlock, SpillCodecRoundTrips) {
+  using Codec = mem::SpillCodec<TileBlock<std::uint64_t>>;
+  static_assert(Codec::available);
+  TileBlock<std::uint64_t> block;
+  block.cells = {1, 5, 6, 42};
+  block.values = {11, 55, 66, 4242};
+  std::vector<std::byte> wire;
+  Codec::encode(block, wire);
+  TileBlock<std::uint64_t> back;
+  ASSERT_TRUE(Codec::decode(wire.data(), wire.size(), back));
+  EXPECT_EQ(back, block);
+  // Truncated payloads must be rejected, not misread.
+  EXPECT_FALSE(Codec::decode(wire.data(), wire.size() - 1, back));
+}
+
+// ---- generic agreement: TiledApp vs the serial oracle ---------------------
+
+using Param = std::tuple<std::string, std::int32_t, check::EngineKind>;
+
+class TiledGenericAgreement : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TiledGenericAgreement, MatchesOracleOnRetainedCells) {
+  const auto& [pattern, tile, engine] = GetParam();
+  check::CaseSpec spec;
+  spec.pattern = pattern;
+  spec.height = 11;
+  spec.width = 11;
+  spec.band = 3;
+  spec.seed = 20260809;
+  spec.prefin = 150;  // sprinkle individually-prefinished interior cells
+  spec.tile = tile;   // build_case draws random patterns monotone when > 1
+  spec.normalize();
+
+  const check::GeneratedCase built = check::build_case(spec);
+  check::CheckApp app(built.dag->domain(), spec.seed, spec.prefin);
+  const TiledDag tiled(*built.dag, tile);
+  TiledApp<std::uint64_t> tapp(app, *built.dag, tile);
+
+  RuntimeOptions opts;
+  opts.nplaces = 3;
+  opts.nthreads = 2;
+  RunReport report;
+  if (engine == check::EngineKind::Sim) {
+    SimEngine<TileBlock<std::uint64_t>> eng(opts);
+    report = eng.run(tiled, tapp);
+  } else {
+    ThreadedEngine<TileBlock<std::uint64_t>> eng(opts);
+    report = eng.run(tiled, tapp);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(report.vertices),
+            tiled.domain().size());
+
+  const std::vector<char> retained = tiled_retained_mask(*built.dag, tile);
+  const DagDomain& domain = built.dag->domain();
+  ASSERT_EQ(app.present().size(), static_cast<std::size_t>(domain.size()));
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    const auto k = static_cast<std::size_t>(idx);
+    const bool prefin = check::CheckApp::is_prefinished(
+        domain, spec.seed, spec.prefin, domain.delinearize(idx));
+    if (retained[k] != 0 || prefin) {
+      ASSERT_TRUE(app.present()[k]) << "retained cell absent at " << idx;
+    }
+    if (app.present()[k]) {
+      EXPECT_EQ(app.values()[k], built.oracle[k]) << "cell " << idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsTilesEngines, TiledGenericAgreement,
+    ::testing::Combine(
+        ::testing::Values("left-top", "interval", "full-prefix", "random",
+                          "random-banded", "random-upper"),
+        ::testing::Values(1, 3, 5),
+        ::testing::Values(check::EngineKind::Sim, check::EngineKind::Threaded)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string p = std::get<0>(info.param);
+      for (char& c : p)
+        if (c == '-') c = '_';
+      return p + "_b" + std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == check::EngineKind::Threaded
+                  ? "_threaded"
+                  : "_sim");
+    });
+
+TEST(TiledGeneric, TileOneEqualsLegacyRun) {
+  // B=1 regroups every cell into its own tile: same DAG shape, every cell
+  // retained, and the bridged view must be bit-identical to a legacy
+  // per-cell run of the same app.
+  check::CaseSpec spec;
+  spec.pattern = "interval";
+  spec.height = 10;
+  spec.seed = 99;
+  spec.normalize();
+  const check::GeneratedCase built = check::build_case(spec);
+
+  check::CheckApp legacy(built.dag->domain(), spec.seed, spec.prefin);
+  RuntimeOptions opts;
+  opts.nplaces = 2;
+  opts.nthreads = 1;
+  {
+    SimEngine<std::uint64_t> eng(opts);
+    eng.run(*built.dag, legacy);
+  }
+
+  check::CheckApp inner(built.dag->domain(), spec.seed, spec.prefin);
+  const TiledDag tiled(*built.dag, 1);
+  TiledApp<std::uint64_t> tapp(inner, *built.dag, 1);
+  {
+    SimEngine<TileBlock<std::uint64_t>> eng(opts);
+    eng.run(tiled, tapp);
+  }
+  EXPECT_EQ(tiled.domain().size(), built.dag->domain().size());
+  EXPECT_EQ(inner.values(), legacy.values());
+  EXPECT_EQ(inner.present(), legacy.present());
+}
+
+TEST(TiledGeneric, NussinovMatchesSerialReference) {
+  const std::string x = dp::random_sequence(28, 5, "ACGU");
+  const dp::Matrix<std::int32_t> ref = dp::serial_nussinov(x);
+  const auto n = static_cast<std::int32_t>(x.size());
+  const dp::NussinovDag cells(n);
+
+  struct Capture final : dp::NussinovApp {
+    using dp::NussinovApp::NussinovApp;
+    std::vector<std::optional<std::int32_t>> got;
+    void app_finished(const DagView<std::int32_t>& dag) override {
+      const DagDomain& d = dag.domain();
+      got.assign(static_cast<std::size_t>(d.size()), std::nullopt);
+      for (std::int64_t idx = 0; idx < d.size(); ++idx) {
+        const VertexId id = d.delinearize(idx);
+        const std::int32_t v0 = dag.value_or(id.i, id.j, -1);
+        const std::int32_t v1 = dag.value_or(id.i, id.j, -2);
+        if (v0 == v1) got[static_cast<std::size_t>(idx)] = v0;
+      }
+    }
+  } app(x);
+
+  const std::int32_t tile = 5;  // 28 is ragged over 5: edge tiles shrink
+  const TiledDag tiled(cells, tile);
+  TiledApp<std::int32_t> tapp(app, cells, tile);
+  RuntimeOptions opts;
+  opts.nplaces = 3;
+  opts.nthreads = 2;
+  ThreadedEngine<TileBlock<std::int32_t>> eng(opts);
+  eng.run(tiled, tapp);
+
+  const std::vector<char> retained = tiled_retained_mask(cells, tile);
+  const DagDomain& domain = cells.domain();
+  std::int64_t checked = 0;
+  for (std::int64_t idx = 0; idx < domain.size(); ++idx) {
+    if (retained[static_cast<std::size_t>(idx)] == 0) continue;
+    const VertexId id = domain.delinearize(idx);
+    ASSERT_TRUE(app.got[static_cast<std::size_t>(idx)].has_value());
+    EXPECT_EQ(*app.got[static_cast<std::size_t>(idx)], ref.at(id.i, id.j))
+        << "(" << id.i << "," << id.j << ")";
+    ++checked;
+  }
+  EXPECT_GT(checked, n);  // boundary set is much bigger than one diagonal
+  // The whole-sequence answer is a DAG sink, hence always retained.
+  ASSERT_TRUE(app.got[static_cast<std::size_t>(domain.linearize({0, n - 1}))]
+                  .has_value());
+}
+
+// ---- fault matrix at tile granularity -------------------------------------
+
+using FaultParam = std::tuple<check::EngineKind, bool /*tied*/>;
+
+class TiledTwoDeaths : public ::testing::TestWithParam<FaultParam> {};
+
+TEST_P(TiledTwoDeaths, SurvivesAndMatchesOracle) {
+  const auto& [engine, tied] = GetParam();
+  check::CaseSpec spec;
+  spec.engine = engine;
+  spec.pattern = "random";
+  spec.height = 10;
+  spec.width = 10;
+  spec.seed = 7070;
+  spec.tile = 4;
+  spec.nplaces = 4;
+  spec.nthreads = 2;
+  spec.normalize();
+  ASSERT_EQ(spec.tile, 4);
+
+  // Fault-free baseline teaches us the run length, so the kills land
+  // mid-run on either clock (sim counts events, threaded counts finishes).
+  const check::RunOutcome baseline = check::run_single(spec);
+  ASSERT_TRUE(baseline.ok) << baseline.reason;
+  const auto mid = static_cast<std::int64_t>(
+      engine == check::EngineKind::Sim ? baseline.sim_events / 2
+                                       : baseline.computed / 2);
+
+  spec.crash_place = 0;  // coordinator dies mid-run...
+  spec.crash_event = std::max<std::int64_t>(mid, 1);
+  spec.crash_place2 = 1;  // ...and a second place follows
+  spec.crash_event2 = tied ? -1 : spec.crash_event + 2;
+  spec.normalize();
+  const check::RunOutcome out = check::run_single(spec);
+  EXPECT_TRUE(out.ok) << out.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesTied, TiledTwoDeaths,
+    ::testing::Combine(::testing::Values(check::EngineKind::Sim,
+                                         check::EngineKind::Threaded),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<FaultParam>& info) {
+      return std::string(std::get<0>(info.param) == check::EngineKind::Sim
+                             ? "sim"
+                             : "threaded") +
+             (std::get<1>(info.param) ? "_tied" : "_staggered");
+    });
+
+TEST(TiledRetirement, RetireAndSpillStayCorrect) {
+  // The governor operates at tile granularity: retire drops whole tile
+  // payloads once their macro consumers finish; spill round-trips them
+  // through the TileBlock codec under a byte budget. run_single's oracle
+  // diff (retained-mask-aware) is the correctness assertion.
+  for (const auto retirement :
+       {mem::RetirementMode::Retire, mem::RetirementMode::Spill}) {
+    check::CaseSpec spec;
+    spec.pattern = "interval";
+    spec.height = 12;
+    spec.seed = 31337;
+    spec.tile = 3;
+    if (retirement == mem::RetirementMode::Spill) spec.memory_limit = 2048;
+    spec.retirement = retirement;
+    spec.normalize();
+    const check::RunOutcome out = check::run_single(spec);
+    EXPECT_TRUE(out.ok) << out.reason;
+  }
+}
+
+}  // namespace
+}  // namespace dpx10

@@ -19,6 +19,9 @@
 //   --ready-order    fifo|lifo                             [fifo]
 //   --cache          per-place cache capacity              [1024]
 //   --cache-policy   fifo|lru                              [fifo]
+//   --tile           macro-DAG tile size B: schedule B x B blocks of cells
+//                    as one vertex (raw serial interior loops; boundary
+//                    edges only through the framework)       [0=off]
 //   --coalescing     batch fetches/control msgs per place  [off]
 //   --queue-shards   ready-deque shards per place; 0=auto  [0]
 //   --cache-stripes  cache lock stripes per place; 0=auto  [0]
@@ -170,6 +173,7 @@ int main(int argc, char** argv) {
     opts.cache_policy =
         cli.get("cache-policy", "fifo") == "lru" ? CachePolicy::Lru : CachePolicy::Fifo;
     opts.coalescing = cli.get_bool("coalescing", false);
+    opts.tile_size = static_cast<std::int32_t>(cli.get_int("tile", 0));
     opts.queue_shards = static_cast<std::int32_t>(cli.get_int("queue-shards", 0));
     opts.cache_stripes = static_cast<std::int32_t>(cli.get_int("cache-stripes", 0));
     opts.restore = cli.get("restore", "discard-remote") == "restore-remote"
@@ -267,7 +271,8 @@ int main(int argc, char** argv) {
       // the memory governor's retirement refcounts (and the engines'
       // indegree protocol) rest on. Diagnostics go to stderr so --json and
       // --csv stdout output stays machine-readable.
-      const std::unique_ptr<Dag> dag = dp::make_dp_dag(app, vertices, input_seed);
+      const std::unique_ptr<Dag> dag =
+          dp::make_dp_dag(app, vertices, input_seed, opts.tile_size);
       const DagValidation v = validate_dag(*dag);
       if (!v.ok) {
         std::cerr << "dpx10run: --validate-dag failed for '" << dag->name() << "':\n";
@@ -292,11 +297,13 @@ int main(int argc, char** argv) {
         require(report.metrics != nullptr,
                 "engine produced no trace for --trace-out");
         auto synth = std::make_shared<obs::TraceLog>();
-        const std::unique_ptr<Dag> dag = dp::make_dp_dag(app, vertices, input_seed);
+        const std::unique_ptr<Dag> dag =
+            dp::make_dp_dag(app, vertices, input_seed, opts.tile_size);
         synth->meta = obs::TraceMeta{report.app_name,  report.dag_name,
                                      engine_name,      dag->height(),
                                      dag->width(),     opts.nplaces,
-                                     opts.nthreads,    report.elapsed_seconds};
+                                     opts.nthreads,    report.elapsed_seconds,
+                                     opts.tile_size};
         log = std::move(synth);
       }
       std::ofstream os(trace_out);

@@ -81,6 +81,33 @@ int cmd_summary(const std::string& path) {
                       static_cast<double>(log.vertices.size()));
     std::cout << line << "\n";
   }
+  // Tiled (macro-DAG) runs: each span is one B x B tile, so the span
+  // timestamps separate interior work from what the framework spends around
+  // it — start->data_ready is boundary-edge gathering (queue handoff plus
+  // remote TileEdge/TileBlock fetches), data_ready->end the raw interior
+  // loop plus publish.
+  if (m.tile > 1) {
+    std::snprintf(line, sizeof line,
+                  "tiling: B=%d macro-DAG, %dx%d tile grid (<= %d cells/tile)",
+                  m.tile, m.height, m.width, m.tile * m.tile);
+    std::cout << line << "\n";
+    if (!log.vertices.empty()) {
+      double busy = 0.0;
+      double boundary = 0.0;
+      for (const obs::VertexSpan& v : log.vertices) {
+        busy += v.end - v.start;
+        boundary += v.data_ready - v.start;
+      }
+      const auto n = static_cast<double>(log.vertices.size());
+      std::snprintf(line, sizeof line,
+                    "  per-tile: %.1f us busy, %.1f us boundary gather, "
+                    "%.1f us interior+publish (%.1f%% boundary)",
+                    1e6 * busy / n, 1e6 * boundary / n,
+                    1e6 * (busy - boundary) / n,
+                    busy > 0.0 ? 100.0 * boundary / busy : 0.0);
+      std::cout << line << "\n";
+    }
+  }
   // Recovery summary: detector transitions to Dead (to == 2) are the
   // declared deaths that started §VI-D recovery. Nested/cascading passes
   // show up as multiple declarations; suspicions that cleared do not.
