@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Benchmark regression gate (PR 7 baselines + PR 8 tiling).
+# Benchmark regression gate (PR 7 baselines + PR 8 tiling + PR 9 serve).
 #
 # The SimEngine's virtual clock makes its elapsed time a deterministic
 # function of the code, so cheap sim scenarios double as regression
@@ -17,11 +17,19 @@
 # threaded numbers are measured at --write time and re-asserted (not
 # re-measured) in check mode — wall clock is too noisy for CI.
 #
-#   scripts/bench_gate.sh            # compare against committed baselines
-#   scripts/bench_gate.sh --write    # regenerate BENCH_PR8.json
+# PR 9 adds the serve multiplexing ablation (bench/ablate_serve): the same
+# mixed SWLAG/Nussinov batch run back-to-back vs multiplexed on one shared
+# dpx10serve worker pool. Its acceptance metric — multiplex_speedup >= 1.2x
+# — is wall clock, so like the PR 8 threaded numbers it is measured at
+# --write time into BENCH_PR9.json and re-asserted (not re-measured) in
+# check mode.
 #
-# Requires build/tools/dpx10run and build/bench/ablate_tiling (override
-# with DPX10_RUN=... / DPX10_ABLATE_TILING=...).
+#   scripts/bench_gate.sh            # compare against committed baselines
+#   scripts/bench_gate.sh --write    # regenerate BENCH_PR8.json + BENCH_PR9.json
+#
+# Requires build/tools/dpx10run, build/bench/ablate_tiling and
+# build/bench/ablate_serve (override with DPX10_RUN=... /
+# DPX10_ABLATE_TILING=... / DPX10_ABLATE_SERVE=...).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +37,7 @@ mode="check"
 [[ "${1:-}" == "--write" ]] && mode="write"
 run="${DPX10_RUN:-build/tools/dpx10run}"
 ablate="${DPX10_ABLATE_TILING:-build/bench/ablate_tiling}"
+ablate_serve="${DPX10_ABLATE_SERVE:-build/bench/ablate_serve}"
 [[ -x "${run}" ]] || { echo "bench_gate.sh: ${run} not built" >&2; exit 2; }
 
 tmp="$(mktemp -d)"
@@ -80,6 +89,10 @@ if [[ "${mode}" == "write" ]]; then
   [[ -x "${ablate}" ]] || { echo "bench_gate.sh: ${ablate} not built" >&2; exit 2; }
   "${ablate}" --vertices=100k --threaded-vertices=100k \
     --tiles=1,8,16,32,64 --json > "${tmp}/tiling.json"
+
+  echo "==> serve multiplexing sweep (wall clock)"
+  [[ -x "${ablate_serve}" ]] || { echo "bench_gate.sh: ${ablate_serve} not built" >&2; exit 2; }
+  "${ablate_serve}" --json > "${tmp}/serve.json"
 fi
 
 command -v python3 >/dev/null || {
@@ -114,11 +127,20 @@ if mode == "write":
     with open("BENCH_PR8.json", "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
+    serve = json.load(open(f"{tmpdir}/serve.json"))
+    with open("BENCH_PR9.json", "w") as f:
+        json.dump({
+            "pr": "dpx10serve: multi-tenant DP-as-a-service daemon",
+            "serve": serve,
+        }, f, indent=2)
+        f.write("\n")
     ratio = tiling["swlag_threaded"]["best_vs_native"]
     red = tiling["nussinov_peak_live"]["reduction"]
-    print(f"bench_gate.sh: wrote BENCH_PR8.json "
-          f"(swlag best_vs_native {ratio:.2f}x, nussinov reduction {red:.1f}x)")
-    sys.exit(0 if ratio <= 1.3 and red >= 10 else 1)
+    mux = serve["multiplex_speedup"]
+    print(f"bench_gate.sh: wrote BENCH_PR8.json + BENCH_PR9.json "
+          f"(swlag best_vs_native {ratio:.2f}x, nussinov reduction {red:.1f}x, "
+          f"serve multiplex {mux:.2f}x)")
+    sys.exit(0 if ratio <= 1.3 and red >= 10 and mux >= 1.2 else 1)
 
 failed = False
 
@@ -158,5 +180,15 @@ if red is None or red < 10:
     print(f"  tiling: nussinov peak-live reduction {red} below 10x"); failed = True
 else:
     print(f"  tiling: nussinov peak-live reduction {red:.1f}x (>= 10x) ok")
+
+# PR 9 acceptance: the recorded serve multiplexing speedup (wall clock,
+# measured at --write time like the threaded tiling numbers).
+serve = json.load(open("BENCH_PR9.json")).get("serve", {})
+mux = serve.get("multiplex_speedup")
+if mux is None or mux < 1.2:
+    print(f"  serve: multiplex speedup {mux} below 1.2x"); failed = True
+else:
+    print(f"  serve: multiplex speedup {mux:.2f}x (>= 1.2x, "
+          f"p99 latency {serve.get('latency_p99_s', 0):.3f}s) ok")
 sys.exit(1 if failed else 0)
 PY

@@ -1,0 +1,29 @@
+#include "common/build_info.h"
+
+// Fallbacks keep non-CMake builds (and IDE indexers) compiling.
+#ifndef DPX10_GIT_DESCRIBE
+#define DPX10_GIT_DESCRIBE "unknown"
+#endif
+#ifndef DPX10_BUILD_TYPE
+#define DPX10_BUILD_TYPE "unknown"
+#endif
+
+namespace dpx10 {
+
+std::string_view git_describe() { return DPX10_GIT_DESCRIBE; }
+
+std::string_view build_type() { return DPX10_BUILD_TYPE; }
+
+std::string build_info_line(std::string_view tool) {
+  std::string line(tool);
+  line += ' ';
+  line += git_describe();
+  line += " (";
+  line += build_type();
+  line += ", serve protocol ";
+  line += std::to_string(kServeProtocolVersion);
+  line += ")";
+  return line;
+}
+
+}  // namespace dpx10

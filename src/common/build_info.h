@@ -1,0 +1,31 @@
+// Build identification shared by every CLI tool (`--version`).
+//
+// The values are injected by CMake at configure time (git describe plus the
+// build type) and compiled into exactly one translation unit, so a new
+// commit re-links the tools without rebuilding the world. The serve
+// protocol version lives here too: dpx10serve and dpx10submit exchange it
+// in every hello/ping, so a daemon/client skew is diagnosable from either
+// end with `--version` instead of manifesting as a confusing parse error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dpx10 {
+
+/// `git describe --always --dirty --tags` at configure time, or "unknown"
+/// when the source tree is not a git checkout.
+std::string_view git_describe();
+
+/// CMAKE_BUILD_TYPE of this binary (Release, RelWithDebInfo, ...).
+std::string_view build_type();
+
+/// Version of the dpx10serve line-JSON protocol understood by this build.
+/// Bump on any incompatible request/response change.
+constexpr std::int32_t kServeProtocolVersion = 1;
+
+/// One-line banner: "<tool> <describe> (<build type>, serve protocol <v>)".
+std::string build_info_line(std::string_view tool);
+
+}  // namespace dpx10

@@ -231,6 +231,7 @@ RecoveryRecord rebuild_after_deaths(const DistArray<T>& old_array,
   RecoveryRecord record;
   check_internal(!dead_places.empty(), "rebuild_after_deaths: empty batch");
   record.dead_place = dead_places.front();
+  record.dead_places = dead_places;
   const auto died = [&dead_places](std::int32_t p) {
     return std::find(dead_places.begin(), dead_places.end(), p) !=
            dead_places.end();

@@ -121,6 +121,12 @@ struct TraceEvent {
 
 struct RecoveryRecord {
   std::int32_t dead_place = -1;    ///< trigger place (first of the batch)
+  /// Every place this pass declared dead, in place-id order. A single death
+  /// is a one-element batch; the threaded detector may legally merge deaths
+  /// whose silence windows complete in the same monitor sweep, so tests pin
+  /// the batch CONTENTS (the concatenation across recoveries is exactly the
+  /// fault plan's places, in order) rather than the batch count.
+  std::vector<std::int32_t> dead_places;
   std::int32_t epoch = 0;          ///< 1-based, monotonic across the run —
                                    ///< each rebuild pass gets its own epoch
   bool nested = false;             ///< this death landed while a previous

@@ -255,7 +255,12 @@ void print_json(std::ostream& os, const RunReport& report) {
   for (std::size_t i = 0; i < report.recoveries.size(); ++i) {
     const RecoveryRecord& r = report.recoveries[i];
     if (i) os << ',';
-    os << "{\"dead_place\":" << r.dead_place << ",\"epoch\":" << r.epoch
+    os << "{\"dead_place\":" << r.dead_place << ",\"dead_places\":[";
+    for (std::size_t d = 0; d < r.dead_places.size(); ++d) {
+      if (d) os << ',';
+      os << r.dead_places[d];
+    }
+    os << "],\"epoch\":" << r.epoch
        << ",\"nested\":" << (r.nested ? "true" : "false") << ",\"started_at\":";
     json_double(os, r.started_at);
     os << ",\"recovery_s\":";

@@ -1322,6 +1322,9 @@ class SimEngine {
                     r.restored_spilled, r.resurrected});
         m.set_doubles("recovery." + std::to_string(i) + ".times",
                       {r.started_at, r.recovery_seconds, r.detected_after_s});
+        m.set_u64s("recovery." + std::to_string(i) + ".deaths",
+                   std::vector<std::uint64_t>(r.dead_places.begin(),
+                                              r.dead_places.end()));
       }
       writer.write_cells(checkpoint::encode_cells(*array_));
       writer.commit();
@@ -1476,6 +1479,14 @@ class SimEngine {
         r.started_at = times[0];
         r.recovery_seconds = times[1];
         r.detected_after_s = times[2];
+        const std::string deaths_key = "recovery." + std::to_string(i) + ".deaths";
+        if (m.has(deaths_key)) {
+          for (std::uint64_t d : m.get_u64s(deaths_key)) {
+            r.dead_places.push_back(static_cast<std::int32_t>(d));
+          }
+        } else {
+          r.dead_places = {r.dead_place};  // pre-deaths-key bundle
+        }
         recoveries_.push_back(r);
       }
       const double resume_at = m.get_double("progress.resume_at");
@@ -1581,6 +1592,7 @@ class SimEngine {
         // Periodic-snapshot rollback: every survivor reloads its share of
         // the last snapshot; everything newer than the snapshot recomputes.
         record.dead_place = batch.front();
+        record.dead_places = batch;
         if (vault_.has_snapshot()) {
           vault_.restore(*fresh);
           if (gov_ && !gov_spill_) {

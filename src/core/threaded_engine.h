@@ -1065,6 +1065,7 @@ class ThreadedEngine {
       } else {
         // Periodic-snapshot rollback (§VI-D's rejected baseline).
         record.dead_place = dead.front();
+        record.dead_places = dead;
         if (vault_.has_snapshot()) {
           vault_.restore(*fresh);
           if (gov_ && !gov_spill_) {

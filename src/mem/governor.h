@@ -73,6 +73,23 @@ class MemoryGovernor {
     }
   }
 
+  ~MemoryGovernor() {
+    // Release whatever is still resident from the shared gauge so a host
+    // multiplexing runs (src/serve) sees this run's bytes disappear when
+    // the engine is torn down.
+    if (opts_.budget_hook) {
+      for (auto& place : places_) {
+        std::lock_guard<std::mutex> lock(place->mu);
+        if (place->acct.live_bytes > 0) {
+          opts_.budget_hook->on_live_sub(place->acct.live_bytes);
+        }
+      }
+    }
+  }
+
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
   bool spill_on() const { return opts_.retirement == RetirementMode::Spill; }
   const MemoryOptions& options() const { return opts_; }
 
@@ -91,6 +108,9 @@ class MemoryGovernor {
         static_cast<std::size_t>(n));
     for (auto& place : places_) {
       std::lock_guard<std::mutex> lock(place->mu);
+      if (opts_.budget_hook && place->acct.live_bytes > 0) {
+        opts_.budget_hook->on_live_sub(place->acct.live_bytes);
+      }
       place->acct.live_cells = 0;
       place->acct.live_bytes = 0;
       place->fifo.clear();
@@ -134,17 +154,35 @@ class MemoryGovernor {
     std::lock_guard<std::mutex> lock(place.mu);
     account_live_locked(place, value_wire_bytes(array.cell(idx).value));
     place.fifo.push_back(idx);
-    if (!spill_on() || opts_.memory_limit_bytes == 0) return;
-    while (place.acct.live_bytes > opts_.memory_limit_bytes &&
-           !place.fifo.empty()) {
-      const std::int64_t victim = place.fifo.front();
-      place.fifo.pop_front();
-      Cell<T>& cell = array.cell(victim);
-      if (cell.load_state(std::memory_order_relaxed) != CellState::Finished) {
-        continue;  // already retired through the refcount path
+    if (!spill_on()) return;
+    if (opts_.memory_limit_bytes != 0) {
+      while (place.acct.live_bytes > opts_.memory_limit_bytes &&
+             !place.fifo.empty()) {
+        const std::int64_t victim = place.fifo.front();
+        place.fifo.pop_front();
+        Cell<T>& cell = array.cell(victim);
+        if (cell.load_state(std::memory_order_relaxed) != CellState::Finished) {
+          continue;  // already retired through the refcount path
+        }
+        retire_locked(place, cell, victim);
+        if (evicted) evicted->push_back(victim);
       }
-      retire_locked(place, cell, victim);
-      if (evicted) evicted->push_back(victim);
+    }
+    // Global pressure: the shared arbiter decides whether THIS run should
+    // shed. Victims come from the publishing place's FIFO — the only one
+    // whose lock we hold — which converges because every place publishes.
+    if (opts_.budget_hook) {
+      while (opts_.budget_hook->should_spill(opts_.budget_priority) &&
+             !place.fifo.empty()) {
+        const std::int64_t victim = place.fifo.front();
+        place.fifo.pop_front();
+        Cell<T>& cell = array.cell(victim);
+        if (cell.load_state(std::memory_order_relaxed) != CellState::Finished) {
+          continue;
+        }
+        retire_locked(place, cell, victim);
+        if (evicted) evicted->push_back(victim);
+      }
     }
   }
 
@@ -259,6 +297,7 @@ class MemoryGovernor {
   }
 
   void account_live_locked(PerPlace& place, std::uint64_t bytes) {
+    if (opts_.budget_hook) opts_.budget_hook->on_live_add(bytes);
     ++place.acct.live_cells;
     place.acct.live_bytes += bytes;
     place.acct.live_cells_peak =
@@ -278,6 +317,7 @@ class MemoryGovernor {
     }
     check_internal(place.acct.live_cells > 0 && place.acct.live_bytes >= bytes,
                    "MemoryGovernor: live ledger underflow");
+    if (opts_.budget_hook) opts_.budget_hook->on_live_sub(bytes);
     --place.acct.live_cells;
     place.acct.live_bytes -= bytes;
     cell.retire_value(std::memory_order_release);

@@ -8,12 +8,34 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/error.h"
 
 namespace dpx10::mem {
+
+/// Cross-run arbitration of live payload bytes. A host that multiplexes
+/// several engine instances (src/serve) installs one shared hook in every
+/// job's MemoryOptions; each MemoryGovernor reports every live-gauge change
+/// and, in spill mode, asks on publish whether ITS run should shed resident
+/// cells to relieve global pressure. Implementations must be thread-safe:
+/// calls arrive concurrently from every place mutex of every governor.
+/// The default (no hook) is byte-identical to the standalone runtime.
+class BudgetHook {
+ public:
+  virtual ~BudgetHook() = default;
+  /// `bytes` of payload became resident in the calling governor.
+  virtual void on_live_add(std::uint64_t bytes) = 0;
+  /// `bytes` of payload left residency (retired, spilled, or rebuilt away).
+  virtual void on_live_sub(std::uint64_t bytes) = 0;
+  /// True while the global gauge is over budget AND the calling run (the
+  /// one identified by `priority`, higher = more important) is the one that
+  /// should shed next. Re-consulted after every victim so pressure stops as
+  /// soon as either condition clears.
+  virtual bool should_spill(std::int32_t priority) const = 0;
+};
 
 enum class RetirementMode : std::uint8_t {
   /// Legacy: no consumer refcounting, no accounting, no spill.
@@ -54,6 +76,13 @@ struct MemoryOptions {
   /// Spill mode: directory for the per-place spill files. Empty = the
   /// system temporary directory. Files are removed when the run ends.
   std::string spill_dir;
+  /// Shared cross-run byte arbiter (src/serve). Null = standalone run, no
+  /// global accounting or pressure. Requires --retirement=spill to actually
+  /// shed anything; in retire mode the hook only sees the gauges.
+  std::shared_ptr<BudgetHook> budget_hook;
+  /// This run's weight in the arbiter's victim choice: when the global
+  /// budget is exceeded, the lowest-priority run holding bytes sheds first.
+  std::int32_t budget_priority = 0;
 
   void validate() const {
     require(memory_limit_bytes == 0 || retirement == RetirementMode::Spill,

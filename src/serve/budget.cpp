@@ -1,0 +1,82 @@
+#include "serve/budget.h"
+
+#include <algorithm>
+
+namespace dpx10::serve {
+
+/// Forwards one job's gauge changes into the shared arbiter. The governor
+/// holds this via MemoryOptions::budget_hook; the arbiter must outlive
+/// every lease (the server joins all jobs before tearing it down).
+class MemoryArbiter::JobLease : public mem::BudgetHook {
+ public:
+  JobLease(MemoryArbiter& arb, std::int64_t job_id, std::int32_t priority)
+      : arb_(arb), job_id_(job_id), priority_(priority) {}
+
+  ~JobLease() override {
+    // The governor's destructor released the job's bytes already; drop any
+    // residue defensively so a leaked gauge cannot wedge the fleet over
+    // budget forever.
+    const std::uint64_t left = bytes_.load(std::memory_order_relaxed);
+    if (left > 0) arb_.live_bytes_.fetch_sub(left, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(arb_.mu_);
+    auto& v = arb_.leases_;
+    v.erase(std::remove(v.begin(), v.end(), this), v.end());
+  }
+
+  void on_live_add(std::uint64_t bytes) override {
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    arb_.live_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void on_live_sub(std::uint64_t bytes) override {
+    bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    arb_.live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  bool should_spill(std::int32_t /*priority*/) const override {
+    if (arb_.budget_bytes_ == 0) return false;
+    if (arb_.live_bytes_.load(std::memory_order_relaxed) <=
+        arb_.budget_bytes_) {
+      return false;
+    }
+    if (!arb_.is_victim(*this)) return false;
+    arb_.pressure_hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::uint64_t held_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::int32_t priority() const { return priority_; }
+  std::int64_t job_id() const { return job_id_; }
+
+ private:
+  MemoryArbiter& arb_;
+  const std::int64_t job_id_;
+  const std::int32_t priority_;
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+std::shared_ptr<mem::BudgetHook> MemoryArbiter::attach(std::int64_t job_id,
+                                                       std::int32_t priority) {
+  auto lease = std::make_shared<JobLease>(*this, job_id, priority);
+  std::lock_guard<std::mutex> lock(mu_);
+  leases_.push_back(lease.get());
+  return lease;
+}
+
+bool MemoryArbiter::is_victim(const JobLease& asking) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const JobLease* other : leases_) {
+    if (other == &asking) continue;
+    if (other->held_bytes() == 0) continue;  // nothing to shed there anyway
+    if (other->priority() < asking.priority()) return false;
+    if (other->priority() == asking.priority() &&
+        other->job_id() > asking.job_id()) {
+      return false;  // an equally important but newer job sheds first
+    }
+  }
+  return true;
+}
+
+}  // namespace dpx10::serve

@@ -1,0 +1,66 @@
+// MemoryArbiter — the serve-side implementation of mem::BudgetHook.
+//
+// One arbiter guards one global live-bytes budget across every job the
+// daemon is multiplexing. Each spill-mode job attaches and receives its own
+// per-job hook (a JobLease) that forwards gauge changes with the job's
+// identity; the governor's pressure loop then asks should_spill() on every
+// publish, and the arbiter answers yes only while
+//   (a) the global gauge is over budget, and
+//   (b) the asking job is the shedding victim: the lowest-priority job
+//       currently holding bytes, newest submission breaking ties.
+// So when the fleet is over budget exactly one job sheds at a time, and it
+// is always the least important one — a high-priority job's working set is
+// never evicted to make room for a low-priority one.
+//
+// Thread-safety: gauges are plain atomics; the victim choice takes a mutex
+// but only when the budget is actually exceeded (the common under-budget
+// path is one relaxed load).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mem/options.h"
+
+namespace dpx10::serve {
+
+class MemoryArbiter {
+ public:
+  /// budget_bytes == 0 disables arbitration: leases still account (stats
+  /// show the global gauge) but should_spill is always false.
+  explicit MemoryArbiter(std::uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Per-job hook to install as MemoryOptions::budget_hook. The lease
+  /// detaches itself when the job's governor releases its last byte AND
+  /// the shared_ptr dies, so a finished job can never be chosen as victim.
+  std::shared_ptr<mem::BudgetHook> attach(std::int64_t job_id,
+                                          std::int32_t priority);
+
+  std::uint64_t live_bytes() const {
+    return live_bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t budget_bytes() const { return budget_bytes_; }
+  /// Cumulative count of should_spill() == true answers (i.e. victim
+  /// publishes that shed at least one cell) — the "arb_spills" stat.
+  std::uint64_t pressure_hits() const {
+    return pressure_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class JobLease;
+
+  /// True iff the job is the current victim (see file comment).
+  bool is_victim(const JobLease& asking) const;
+
+  const std::uint64_t budget_bytes_;
+  std::atomic<std::uint64_t> live_bytes_{0};
+  mutable std::atomic<std::uint64_t> pressure_hits_{0};
+  mutable std::mutex mu_;  ///< guards leases_
+  std::vector<JobLease*> leases_;
+};
+
+}  // namespace dpx10::serve

@@ -1,0 +1,57 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace dpx10::serve {
+
+Client::Client(const std::string& socket_path) {
+  require(socket_path.size() < sizeof(sockaddr_un::sun_path),
+          "Client: socket path too long for AF_UNIX");
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(fd_ >= 0, "Client: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("Client: cannot connect to '" + socket_path + "': " + why);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Json Client::request(const Json& req) {
+  const std::string line = req.dump() + "\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    require(n > 0, "Client: daemon hung up while writing request");
+    off += static_cast<std::size_t>(n);
+  }
+  char chunk[4096];
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string resp = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return Json::parse(resp);
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    require(n > 0, "Client: daemon hung up before responding");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace dpx10::serve

@@ -1,0 +1,31 @@
+// Client — blocking connection to a dpx10serve daemon (docs/SERVE.md).
+//
+// Used by dpx10submit and the serve tests. One connection, many
+// request/response round trips, line-delimited JSON both ways.
+#pragma once
+
+#include <string>
+
+#include "serve/json.h"
+
+namespace dpx10::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon's Unix socket; throws Error on failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One round trip: sends `req` as a line, returns the parsed response.
+  /// Throws Error if the daemon hangs up mid-exchange.
+  Json request(const Json& req);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last response line
+};
+
+}  // namespace dpx10::serve

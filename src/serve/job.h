@@ -1,0 +1,141 @@
+// Job model of the serve subsystem (docs/SERVE.md).
+//
+// A job is one dp::run_dp_app invocation owned by a tenant. The submit
+// request carries a JobSpec; the scheduler tracks it as a JobRecord from
+// admission to its terminal state. Jobs are isolated by construction: each
+// one gets its own engine instance, RuntimeOptions, memory governor and
+// artifact directory — the only shared resources are the worker-slot pool
+// and the global memory budget, both arbitrated by the scheduler layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "mem/options.h"
+#include "serve/json.h"
+
+namespace dpx10::serve {
+
+/// What a submit request asks for. Field defaults are the protocol
+/// defaults: absent JSON keys mean exactly these values.
+struct JobSpec {
+  std::string tenant = "default";
+  std::string app = "swlag";     ///< dp::runnable_apps() key, or "nussinov"
+  std::string engine = "sim";    ///< "sim" | "threaded"
+  std::int64_t vertices = 10000; ///< target DAG size (dp::shape_for rounds)
+  std::uint64_t input_seed = 1234;
+  /// Higher runs sooner within the tenant and sheds memory later across
+  /// jobs (the lowest-priority byte-holder spills first).
+  std::int32_t priority = 0;
+  std::int32_t nplaces = 2;
+  std::int32_t nthreads = 1;     ///< threaded engine only
+  /// "off" | "retire" | "spill" — spill opts the job into the shared
+  /// memory-budget arbitration.
+  std::string retirement = "off";
+  bool trace = false;            ///< also write jobs/<id>/run.trace
+  /// Chaos knob: kill this place at `fault_at` completion fraction (-1 =
+  /// no injected fault). The job recovers via the engine's normal
+  /// heartbeat-detect + rebuild path; its detection window is dead wall
+  /// clock the scheduler fills with other tenants' work (bench/ablate_serve
+  /// measures exactly that latency hiding).
+  std::int32_t fault_place = -1;
+  double fault_at = 0.5;         ///< completion fraction of the kill
+
+  /// Worker slots this job occupies while running: real threads for the
+  /// threaded engine, one executor thread for the simulator.
+  std::int32_t slots() const {
+    return engine == "threaded" ? nplaces * nthreads : 1;
+  }
+
+  void validate() const {
+    require(!tenant.empty() && tenant.find('/') == std::string::npos &&
+                tenant.find('\n') == std::string::npos,
+            "JobSpec: tenant must be non-empty without '/' or newlines");
+    require(engine == "sim" || engine == "threaded",
+            "JobSpec: engine must be \"sim\" or \"threaded\"");
+    require(vertices > 0, "JobSpec: vertices must be positive");
+    require(nplaces > 0 && nthreads > 0,
+            "JobSpec: nplaces and nthreads must be positive");
+    mem::RetirementMode mode;
+    require(mem::parse_retirement_mode(retirement, mode),
+            "JobSpec: retirement must be off|retire|spill");
+    require(fault_place < nplaces,
+            "JobSpec: fault_place must be < nplaces");
+    require(fault_at >= 0.0 && fault_at <= 1.0,
+            "JobSpec: fault_at must be a completion fraction in [0,1]");
+  }
+
+  static JobSpec from_json(const Json& j) {
+    JobSpec s;
+    s.tenant = j.at("tenant").as_str(s.tenant);
+    s.app = j.at("app").as_str(s.app);
+    s.engine = j.at("engine").as_str(s.engine);
+    s.vertices = j.at("vertices").as_int(s.vertices);
+    s.input_seed =
+        static_cast<std::uint64_t>(j.at("seed").as_int(
+            static_cast<std::int64_t>(s.input_seed)));
+    s.priority = static_cast<std::int32_t>(j.at("priority").as_int(s.priority));
+    s.nplaces = static_cast<std::int32_t>(j.at("nplaces").as_int(s.nplaces));
+    s.nthreads = static_cast<std::int32_t>(j.at("nthreads").as_int(s.nthreads));
+    s.retirement = j.at("retirement").as_str(s.retirement);
+    s.trace = j.at("trace").as_bool(s.trace);
+    s.fault_place =
+        static_cast<std::int32_t>(j.at("fault_place").as_int(s.fault_place));
+    s.fault_at = j.at("fault_at").as_double(s.fault_at);
+    return s;
+  }
+
+  Json to_json() const {
+    Json j = Json::object();
+    j.set("tenant", tenant);
+    j.set("app", app);
+    j.set("engine", engine);
+    j.set("vertices", vertices);
+    j.set("seed", input_seed);
+    j.set("priority", priority);
+    j.set("nplaces", nplaces);
+    j.set("nthreads", nthreads);
+    j.set("retirement", retirement);
+    j.set("trace", trace);
+    j.set("fault_place", fault_place);
+    j.set("fault_at", fault_at);
+    return j;
+  }
+};
+
+enum class JobState : std::uint8_t {
+  Queued = 0,
+  Running,
+  Done,       ///< terminal: report written, artifacts registered
+  Failed,     ///< terminal: the run threw; error string captured
+  Cancelled,  ///< terminal: dequeued before it ever ran
+};
+
+inline std::string_view job_state_name(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// One admitted job, owned by the scheduler. Guarded by the scheduler's
+/// mutex; the executor thread only touches it through scheduler calls.
+struct JobRecord {
+  std::int64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::Queued;
+  std::uint64_t submit_seq = 0;   ///< admission order, for FIFO tie-breaks
+  double elapsed_seconds = 0.0;   ///< engine-reported, terminal states only
+  std::uint64_t computed = 0;     ///< engine-reported vertex executions
+  std::string error;              ///< Failed only
+  std::vector<std::string> artifacts;  ///< registry-relative paths
+};
+
+}  // namespace dpx10::serve

@@ -1,0 +1,297 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace dpx10::serve {
+namespace {
+
+const Json kNull;
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ConfigError("json: " + what + " at offset " + std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (pos >= text.size() || text[pos] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text.compare(pos, n, lit) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned int cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // needed by the protocol; a lone surrogate encodes as-is).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    bool is_double = false;
+    while (pos < text.size()) {
+      char c = text[pos];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    const std::string tok = text.substr(start, pos - start);
+    if (tok.empty() || tok == "-") fail("bad number");
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') {
+        return Json(static_cast<std::int64_t>(v));
+      }
+      // fall through: out-of-range integers degrade to double
+    }
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (!end || *end != '\0') fail("bad number");
+    return Json(d);
+  }
+
+  Json parse_value(int depth) {
+    if (depth > 64) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      skip_ws();
+      if (peek() == '}') { ++pos; return obj; }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj.set(key, parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') { ++pos; continue; }
+        expect('}');
+        return obj;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      skip_ws();
+      if (peek() == ']') { ++pos; return arr; }
+      while (true) {
+        arr.push(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') { ++pos; continue; }
+        expect(']');
+        return arr;
+      }
+    }
+    if (c == '"') return Json(parse_string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json(nullptr);
+    return parse_number();
+  }
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  Parser p{text};
+  Json v = p.parse_value(0);
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing characters");
+  return v;
+}
+
+bool Json::as_bool(bool fallback) const {
+  return kind_ == Kind::Bool ? bool_ : fallback;
+}
+
+std::int64_t Json::as_int(std::int64_t fallback) const {
+  if (kind_ == Kind::Int) return int_;
+  if (kind_ == Kind::Double) return static_cast<std::int64_t>(double_);
+  return fallback;
+}
+
+double Json::as_double(double fallback) const {
+  if (kind_ == Kind::Double) return double_;
+  if (kind_ == Kind::Int) return static_cast<double>(int_);
+  return fallback;
+}
+
+std::string Json::as_str(const std::string& fallback) const {
+  return kind_ == Kind::Str ? str_ : fallback;
+}
+
+bool Json::has(const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  return kNull;
+}
+
+void Json::set(const std::string& key, Json value) {
+  kind_ = Kind::Obj;
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(value));
+}
+
+void Json::push(Json value) {
+  kind_ = Kind::Arr;
+  arr_.push_back(std::move(value));
+}
+
+std::string Json::dump() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::Null: out = "null"; break;
+    case Kind::Bool: out = bool_ ? "true" : "false"; break;
+    case Kind::Int: out = std::to_string(int_); break;
+    case Kind::Double: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out = buf;
+      break;
+    }
+    case Kind::Str: dump_string(str_, out); break;
+    case Kind::Arr: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : arr_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += item.dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::Obj: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_string(k, out);
+        out.push_back(':');
+        out += v.dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dpx10::serve

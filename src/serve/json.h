@@ -1,0 +1,87 @@
+// Minimal JSON value, parser and writer for the serve protocol
+// (docs/SERVE.md). The daemon speaks line-delimited JSON over a Unix
+// socket; requests and responses are small flat-ish objects, so this
+// deliberately supports just what the protocol needs: null, bool, int64,
+// double, string, array, object. Object keys serialize in insertion order
+// so responses are stable for tests and diffing.
+//
+// Parsing throws ConfigError on malformed input (the server turns that
+// into a protocol error response instead of dying).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dpx10::serve {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, Double, Str, Arr, Obj };
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}  // NOLINT
+  Json(std::int64_t i) : kind_(Kind::Int), int_(i) {}  // NOLINT
+  Json(int i) : kind_(Kind::Int), int_(i) {}  // NOLINT
+  Json(std::uint64_t u)  // NOLINT
+      : kind_(Kind::Int), int_(static_cast<std::int64_t>(u)) {}
+  Json(double d) : kind_(Kind::Double), double_(d) {}  // NOLINT
+  Json(std::string s) : kind_(Kind::Str), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::Str), str_(s) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Arr;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Obj;
+    return j;
+  }
+
+  /// Parses one JSON document; trailing garbage is an error. Throws
+  /// ConfigError with a position on malformed input.
+  static Json parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_obj() const { return kind_ == Kind::Obj; }
+  bool is_arr() const { return kind_ == Kind::Arr; }
+
+  /// Typed reads with fallbacks — protocol fields are all optional-with-
+  /// default, so lookups never throw on absent or mistyped values.
+  bool as_bool(bool fallback = false) const;
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  double as_double(double fallback = 0.0) const;
+  std::string as_str(const std::string& fallback = "") const;
+
+  bool has(const std::string& key) const;
+  /// Object member lookup; returns a shared Null for absent keys.
+  const Json& at(const std::string& key) const;
+  /// Object member insert/overwrite (first write fixes key order).
+  void set(const std::string& key, Json value);
+
+  const std::vector<Json>& items() const { return arr_; }
+  void push(Json value);
+
+  /// Compact single-line serialization (the protocol framing unit).
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  /// Insertion-ordered object: parallel key/value vectors (objects here are
+  /// tiny; linear lookup beats a map + separate order vector).
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace dpx10::serve

@@ -1,0 +1,102 @@
+#include "serve/registry.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace dpx10::serve {
+
+namespace fs = std::filesystem;
+
+Registry::Registry(std::string root) : root_(std::move(root)) {
+  require(!root_.empty(), "Registry: empty root directory");
+  std::error_code ec;
+  fs::create_directories(fs::path(root_) / "jobs", ec);
+  require(!ec, "Registry: cannot create '" + root_ + "/jobs': " + ec.message());
+  const fs::path manifest_path = fs::path(root_) / "manifest.json";
+  if (fs::exists(manifest_path)) {
+    std::ifstream is(manifest_path);
+    std::stringstream buf;
+    buf << is.rdbuf();
+    const Json m = Json::parse(buf.str());
+    require(m.at("dpx10_serve_registry").as_int() == 1,
+            "Registry: '" + manifest_path.string() +
+                "' is not a dpx10 serve registry manifest");
+    for (const Json& entry : m.at("jobs").items()) {
+      entries_[entry.at("id").as_int()] = entry;
+    }
+  }
+}
+
+std::string Registry::job_dir(std::int64_t id) const {
+  const fs::path dir = fs::path(root_) / "jobs" / std::to_string(id);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  require(!ec, "Registry: cannot create '" + dir.string() + "': " + ec.message());
+  return dir.string();
+}
+
+std::string Registry::artifact_rel(std::int64_t id, const std::string& name) {
+  return "jobs/" + std::to_string(id) + "/" + name;
+}
+
+std::string Registry::artifact_abs(std::int64_t id,
+                                   const std::string& name) const {
+  return (fs::path(root_) / artifact_rel(id, name)).string();
+}
+
+void Registry::record(const JobRecord& job) {
+  Json entry = Json::object();
+  entry.set("id", job.id);
+  entry.set("tenant", job.spec.tenant);
+  entry.set("app", job.spec.app);
+  entry.set("engine", job.spec.engine);
+  entry.set("vertices", job.spec.vertices);
+  entry.set("priority", job.spec.priority);
+  entry.set("state", std::string(job_state_name(job.state)));
+  entry.set("elapsed_s", job.elapsed_seconds);
+  entry.set("computed", job.computed);
+  if (!job.error.empty()) entry.set("error", job.error);
+  Json arts = Json::array();
+  for (const std::string& a : job.artifacts) arts.push(a);
+  entry.set("artifacts", arts);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[job.id] = std::move(entry);
+  write_manifest_locked();
+}
+
+Json Registry::manifest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json m = Json::object();
+  m.set("dpx10_serve_registry", 1);
+  Json jobs = Json::array();
+  for (const auto& [id, entry] : entries_) jobs.push(entry);
+  m.set("jobs", jobs);
+  return m;
+}
+
+void Registry::write_manifest_locked() const {
+  Json m = Json::object();
+  m.set("dpx10_serve_registry", 1);
+  Json jobs = Json::array();
+  for (const auto& [id, entry] : entries_) jobs.push(entry);
+  m.set("jobs", jobs);
+  const fs::path final_path = fs::path(root_) / "manifest.json";
+  const fs::path tmp_path = fs::path(root_) / "manifest.json.tmp";
+  {
+    std::ofstream os(tmp_path);
+    require(os.good(), "Registry: cannot write '" + tmp_path.string() + "'");
+    os << m.dump() << '\n';
+    os.flush();
+    require(os.good(), "Registry: write failed for '" + tmp_path.string() + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  require(!ec, "Registry: rename to '" + final_path.string() +
+                   "' failed: " + ec.message());
+}
+
+}  // namespace dpx10::serve

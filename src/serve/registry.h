@@ -1,0 +1,61 @@
+// Run registry — the daemon's on-disk artifact store (docs/SERVE.md).
+//
+// Layout under one root directory:
+//   manifest.json          index of every job the daemon recorded
+//   jobs/<id>/report.json  the run's RunReport (core/report_io print_json)
+//   jobs/<id>/run.trace    native trace (JobSpec::trace only)
+//   jobs/<id>/status       live engine status file while the job runs
+//
+// The manifest is rewritten atomically (tmp + rename, the status-file
+// idiom) after every job reaches a terminal state, and a job is only added
+// once its artifacts are fully written — so a reader, or a daemon killed
+// mid-job, never observes a manifest entry pointing at a partial artifact.
+// Artifacts of jobs that never made the manifest are orphan files a
+// restarted daemon may overwrite; the manifest is the source of truth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "serve/job.h"
+#include "serve/json.h"
+
+namespace dpx10::serve {
+
+class Registry {
+ public:
+  /// Creates `root`/ and `root`/jobs/ if needed; loads an existing
+  /// manifest.json so a restarted daemon appends rather than clobbers.
+  explicit Registry(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Creates and returns the absolute jobs/<id> directory.
+  std::string job_dir(std::int64_t id) const;
+
+  /// Registry-relative artifact path ("jobs/<id>/<name>") — the form used
+  /// in manifest entries and protocol responses.
+  static std::string artifact_rel(std::int64_t id, const std::string& name);
+
+  /// Absolute path for the same artifact.
+  std::string artifact_abs(std::int64_t id, const std::string& name) const;
+
+  /// Upserts the job's manifest entry and atomically rewrites
+  /// manifest.json. Call only with terminal-state records whose artifacts
+  /// are already on disk.
+  void record(const JobRecord& job);
+
+  /// Parsed manifest.json (for tests and the stats handler).
+  Json manifest() const;
+
+ private:
+  void write_manifest_locked() const;
+
+  std::string root_;
+  mutable std::mutex mu_;
+  std::map<std::int64_t, Json> entries_;
+};
+
+}  // namespace dpx10::serve

@@ -1,0 +1,224 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace dpx10::serve {
+
+FairScheduler::FairScheduler(Options opts,
+                             std::map<std::string, std::uint64_t> weights)
+    : opts_(opts), free_slots_(opts.total_slots) {
+  require(opts_.total_slots > 0, "FairScheduler: total_slots must be positive");
+  require(opts_.max_queue > 0, "FairScheduler: max_queue must be positive");
+  for (auto& [name, w] : weights) {
+    require(w > 0, "FairScheduler: tenant weight must be positive: " + name);
+    tenants_[name].weight = w;
+  }
+}
+
+FairScheduler::Tenant& FairScheduler::tenant_locked(const std::string& name) {
+  auto [it, inserted] = tenants_.try_emplace(name);
+  if (inserted || it->second.queue.empty()) {
+    // Joining (or returning from idle): resume at the system clock so idle
+    // time does not accumulate as credit against active tenants.
+    it->second.vtime = std::max(it->second.vtime, vclock_);
+  }
+  return it->second;
+}
+
+std::size_t FairScheduler::queued_total_locked() const {
+  std::size_t n = 0;
+  for (const auto& [name, t] : tenants_) n += t.queue.size();
+  return n;
+}
+
+Admission FairScheduler::submit(const JobSpec& spec, std::int64_t& id) {
+  spec.validate();
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& tenant = tenant_locked(spec.tenant);
+  if (spec.slots() > opts_.total_slots) {
+    ++tenant.rejected;
+    ++rejected_total_;
+    return Admission::TooLarge;
+  }
+  if (draining_ || stopped_) {
+    ++tenant.rejected;
+    ++rejected_total_;
+    return Admission::Draining;
+  }
+  if (queued_total_locked() >= opts_.max_queue) {
+    ++tenant.rejected;
+    ++rejected_total_;
+    return Admission::QueueFull;
+  }
+  id = next_id_++;
+  JobRecord& job = jobs_[id];
+  job.id = id;
+  job.spec = spec;
+  job.state = JobState::Queued;
+  job.submit_seq = next_seq_++;
+  // Insert in priority-then-FIFO position: after the last queued job whose
+  // priority is >= ours.
+  auto pos = tenant.queue.end();
+  while (pos != tenant.queue.begin()) {
+    auto prev = std::prev(pos);
+    if (jobs_.at(*prev).spec.priority >= spec.priority) break;
+    pos = prev;
+  }
+  tenant.queue.insert(pos, id);
+  ++tenant.submitted;
+  cv_.notify_all();
+  return Admission::Admitted;
+}
+
+std::int64_t FairScheduler::dequeue() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (stopped_) return -1;
+    // Backlogged tenants in ascending (vtime, name); dispatch the first
+    // whose head job fits the free slots. A head too wide for the CURRENT
+    // free slots (but not the pool) just waits — its tenant keeps its
+    // place, and smaller tenants behind it may backfill.
+    std::string best;
+    double best_vt = 0.0;
+    bool any_backlog = false;
+    for (auto& [name, t] : tenants_) {
+      if (t.queue.empty()) continue;
+      any_backlog = true;
+      const JobRecord& head = jobs_.at(t.queue.front());
+      if (head.spec.slots() > free_slots_) continue;
+      if (best.empty() || t.vtime < best_vt) {
+        best = name;
+        best_vt = t.vtime;
+      }
+    }
+    if (!best.empty()) {
+      Tenant& t = tenants_.at(best);
+      const std::int64_t id = t.queue.front();
+      t.queue.pop_front();
+      JobRecord& job = jobs_.at(id);
+      job.state = JobState::Running;
+      const double start = std::max(t.vtime, vclock_);
+      vclock_ = start;
+      t.vtime = start + static_cast<double>(job.spec.slots()) /
+                            static_cast<double>(t.weight);
+      ++t.dispatched;
+      dispatch_order_.push_back(best);
+      free_slots_ -= job.spec.slots();
+      ++running_;
+      return id;
+    }
+    if (draining_ && !any_backlog && running_ == 0) return -1;
+    cv_.wait(lock);
+  }
+}
+
+void FairScheduler::finish(std::int64_t id, JobState terminal,
+                           double elapsed_seconds, std::uint64_t computed,
+                           const std::string& error,
+                           std::vector<std::string> artifacts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  check_internal(it != jobs_.end() && it->second.state == JobState::Running,
+                 "FairScheduler::finish on a job that is not running");
+  JobRecord& job = it->second;
+  job.state = terminal;
+  job.elapsed_seconds = elapsed_seconds;
+  job.computed = computed;
+  job.error = error;
+  job.artifacts = std::move(artifacts);
+  Tenant& t = tenants_.at(job.spec.tenant);
+  if (terminal == JobState::Done) ++t.completed;
+  if (terminal == JobState::Failed) ++t.failed;
+  t.slot_seconds += elapsed_seconds * job.spec.slots();
+  free_slots_ += job.spec.slots();
+  --running_;
+  cv_.notify_all();
+  if (running_ == 0 && queued_total_locked() == 0) idle_cv_.notify_all();
+}
+
+bool FairScheduler::cancel(std::int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::Queued) return false;
+  Tenant& t = tenants_.at(it->second.spec.tenant);
+  auto& q = t.queue;
+  q.erase(std::remove(q.begin(), q.end(), id), q.end());
+  it->second.state = JobState::Cancelled;
+  ++t.cancelled;
+  if (running_ == 0 && queued_total_locked() == 0) idle_cv_.notify_all();
+  return true;
+}
+
+bool FairScheduler::get(std::int64_t id, JobRecord& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void FairScheduler::begin_drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_.notify_all();
+  if (running_ == 0 && queued_total_locked() == 0) idle_cv_.notify_all();
+}
+
+bool FairScheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void FairScheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return running_ == 0 && queued_total_locked() == 0;
+  });
+}
+
+void FairScheduler::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+Json FairScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json s = Json::object();
+  Json slots = Json::object();
+  slots.set("total", opts_.total_slots);
+  slots.set("busy", opts_.total_slots - free_slots_);
+  s.set("slots", slots);
+  s.set("queued", static_cast<std::int64_t>(queued_total_locked()));
+  s.set("running", running_);
+  s.set("max_queue", static_cast<std::int64_t>(opts_.max_queue));
+  s.set("rejected", rejected_total_);
+  s.set("draining", draining_);
+  Json tenants = Json::object();
+  for (const auto& [name, t] : tenants_) {
+    Json tj = Json::object();
+    tj.set("weight", t.weight);
+    tj.set("vtime", t.vtime);
+    tj.set("queued", static_cast<std::int64_t>(t.queue.size()));
+    tj.set("submitted", t.submitted);
+    tj.set("dispatched", t.dispatched);
+    tj.set("completed", t.completed);
+    tj.set("failed", t.failed);
+    tj.set("cancelled", t.cancelled);
+    tj.set("rejected", t.rejected);
+    tj.set("slot_seconds", t.slot_seconds);
+    tenants.set(name, tj);
+  }
+  s.set("tenants", tenants);
+  return s;
+}
+
+std::vector<std::string> FairScheduler::dispatch_order() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatch_order_;
+}
+
+}  // namespace dpx10::serve

@@ -1,0 +1,132 @@
+// FairScheduler — admission control and weighted fair queuing over one
+// shared worker-slot pool (docs/SERVE.md).
+//
+// The daemon owns a fixed budget of worker slots (roughly: cores). Every
+// admitted job leases spec.slots() of them for the duration of its run —
+// nplaces*nthreads real threads for the threaded engine, one executor
+// thread for the simulator — so concurrent jobs multiplex the machine
+// instead of oversubscribing it.
+//
+// Admission is bounded: at most max_queue jobs may wait. Beyond that,
+// submit() rejects immediately (the protocol's 429) rather than queueing
+// unboundedly or blocking the client. Draining rejects everything new (503)
+// while letting already-admitted jobs finish.
+//
+// Scheduling is weighted fair queuing (WFQ) across tenants with start-time
+// virtual clocks: dispatching a job advances its tenant's virtual time by
+// slots/weight, and the next dispatch goes to the backlogged tenant with
+// the smallest virtual time whose head job fits the free slots. A tenant
+// returning from idle resumes at the system clock (no credit hoarding).
+// Within a tenant, higher JobSpec::priority runs first, FIFO among equals.
+//
+// All public methods are thread-safe; dequeue() blocks and is intended for
+// the server's single dispatcher thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.h"
+#include "serve/json.h"
+
+namespace dpx10::serve {
+
+enum class Admission : std::uint8_t {
+  Admitted = 0,
+  QueueFull,  ///< bounded queue at capacity — protocol code 429
+  Draining,   ///< daemon is draining — protocol code 503
+  TooLarge,   ///< spec.slots() exceeds the whole pool — protocol code 400
+};
+
+class FairScheduler {
+ public:
+  struct Options {
+    std::int32_t total_slots = 4;
+    std::size_t max_queue = 16;
+  };
+
+  FairScheduler(Options opts, std::map<std::string, std::uint64_t> weights);
+
+  /// Validates and admits `spec`. On Admitted, `id` is the new job id and
+  /// the job is queued; every other outcome leaves no trace besides the
+  /// per-tenant rejected counter. Throws ConfigError on an invalid spec.
+  Admission submit(const JobSpec& spec, std::int64_t& id);
+
+  /// Blocks until a job is dispatchable (marks it Running and leases its
+  /// slots) and returns its id. Returns -1 once stop() was called, or once
+  /// draining and nothing is left to dispatch.
+  std::int64_t dequeue();
+
+  /// Executor callback: releases the job's slots and records its terminal
+  /// state. `artifacts` are registry-relative paths for status responses.
+  void finish(std::int64_t id, JobState terminal, double elapsed_seconds,
+              std::uint64_t computed, const std::string& error,
+              std::vector<std::string> artifacts);
+
+  /// Cancels a QUEUED job (removes it from its tenant queue). Running jobs
+  /// are not interruptible — returns false for them and terminal jobs.
+  bool cancel(std::int64_t id);
+
+  /// Copies the record for `id`; false if unknown.
+  bool get(std::int64_t id, JobRecord& out) const;
+
+  /// Reject all new submits from now on; already-admitted jobs still run.
+  void begin_drain();
+  bool draining() const;
+
+  /// Blocks until no job is queued or running (use after begin_drain()).
+  void wait_idle();
+
+  /// Hard stop: dequeue() returns -1 immediately even with queued jobs.
+  void stop();
+
+  /// Protocol stats object: pool occupancy, queue depth, per-tenant
+  /// weights/virtual times/counters (docs/SERVE.md#stats).
+  Json stats() const;
+
+  /// Tenant name of every dispatch, in dispatch order — the fairness
+  /// counters serve_test asserts on.
+  std::vector<std::string> dispatch_order() const;
+
+  std::int32_t total_slots() const { return opts_.total_slots; }
+
+ private:
+  struct Tenant {
+    std::uint64_t weight = 1;
+    double vtime = 0.0;  ///< WFQ virtual finish time of the last dispatch
+    std::deque<std::int64_t> queue;  ///< priority-then-FIFO order
+    std::uint64_t submitted = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rejected = 0;
+    double slot_seconds = 0.0;  ///< sum of elapsed x slots over finished jobs
+  };
+
+  Tenant& tenant_locked(const std::string& name);
+  std::size_t queued_total_locked() const;
+
+  const Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       ///< dispatchability changes
+  std::condition_variable idle_cv_;  ///< queued+running reaching zero
+  std::map<std::string, Tenant> tenants_;
+  std::map<std::int64_t, JobRecord> jobs_;
+  std::vector<std::string> dispatch_order_;
+  std::int64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::int32_t free_slots_ = 0;
+  std::int32_t running_ = 0;
+  double vclock_ = 0.0;  ///< system virtual time (last dispatch's start tag)
+  bool draining_ = false;
+  bool stopped_ = false;
+  std::uint64_t rejected_total_ = 0;
+};
+
+}  // namespace dpx10::serve

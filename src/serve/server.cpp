@@ -1,0 +1,360 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+
+#include "common/build_info.h"
+#include "common/error.h"
+#include "core/report_io.h"
+#include "core/runtime_options.h"
+#include "dp/runners.h"
+#include "obs/trace_io.h"
+
+namespace dpx10::serve {
+
+namespace {
+
+/// Writes the whole buffer, retrying short writes; false on error.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Json error_response(int code, const std::string& message) {
+  Json r = Json::object();
+  r.set("ok", false);
+  r.set("code", code);
+  r.set("error", message);
+  return r;
+}
+
+/// Set by op_drain on the handler thread that served it, consumed by the
+/// same thread's serve_connection after the response line is on the wire —
+/// so drain_requested() only flips once the client can have seen its
+/// response, and the main loop's shutdown cannot clip it.
+thread_local bool t_drain_replied = false;
+
+}  // namespace
+
+void ServerOptions::validate() const {
+  require(!socket_path.empty(), "ServerOptions: socket_path is required");
+  require(socket_path.size() < sizeof(sockaddr_un::sun_path),
+          "ServerOptions: socket_path too long for AF_UNIX");
+  require(!registry_dir.empty(), "ServerOptions: registry_dir is required");
+  require(total_slots > 0, "ServerOptions: total_slots must be positive");
+}
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      registry_(opts_.registry_dir),
+      arbiter_(opts_.mem_budget_bytes),
+      scheduler_(FairScheduler::Options{opts_.total_slots, opts_.max_queue},
+                 opts_.tenant_weights) {
+  opts_.validate();
+}
+
+Server::~Server() { drain_and_stop(); }
+
+void Server::start() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(listen_fd_ >= 0, "dpx10serve: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(opts_.socket_path.c_str());  // stale socket from a dead daemon
+  require(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) == 0,
+          "dpx10serve: cannot bind '" + opts_.socket_path +
+              "': " + std::strerror(errno));
+  require(::listen(listen_fd_, 64) == 0, "dpx10serve: listen() failed");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+}
+
+void Server::drain_and_stop() {
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  scheduler_.begin_drain();
+  if (dispatch_thread_.joinable()) {
+    scheduler_.wait_idle();  // every admitted job reaches a terminal state
+  }
+  scheduler_.stop();  // dispatcher's dequeue() returns -1
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  std::vector<std::thread> conns, jobs;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    conns.swap(conn_threads_);
+    jobs.swap(job_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  for (std::thread& t : jobs) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(opts_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by drain_and_stop
+    }
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      const bool wrote = write_all(fd, handle_line(line) + "\n");
+      if (t_drain_replied) {
+        t_drain_replied = false;
+        if (wrote) drain_done_.store(true, std::memory_order_release);
+      }
+      if (!wrote) {
+        ::close(fd);
+        std::lock_guard<std::mutex> lock(threads_mu_);
+        conn_fds_.erase(fd);
+        return;
+      }
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  conn_fds_.erase(fd);
+}
+
+void Server::dispatch_loop() {
+  while (true) {
+    const std::int64_t id = scheduler_.dequeue();
+    if (id < 0) return;
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    job_threads_.emplace_back([this, id] { run_job(id); });
+  }
+}
+
+void Server::run_job(std::int64_t id) {
+  JobRecord job;
+  check_internal(scheduler_.get(id, job), "run_job: unknown job id");
+  const JobSpec& spec = job.spec;
+  std::vector<std::string> artifacts;
+  try {
+    const std::string dir = registry_.job_dir(id);
+    RuntimeOptions opts;
+    opts.nplaces = spec.nplaces;
+    opts.nthreads = spec.nthreads;
+    opts.status_file = dir + "/status";
+    mem::RetirementMode mode = mem::RetirementMode::Off;
+    mem::parse_retirement_mode(spec.retirement, mode);
+    opts.memory.retirement = mode;
+    if (mode == mem::RetirementMode::Spill) {
+      opts.memory.spill_dir = dir;
+      opts.memory.budget_hook = arbiter_.attach(id, spec.priority);
+      opts.memory.budget_priority = spec.priority;
+    }
+    if (spec.trace) opts.trace_level = obs::TraceLevel::Full;
+    if (spec.fault_place >= 0) {
+      opts.faults.push_back(FaultPlan{spec.fault_place, spec.fault_at});
+    }
+    const dp::EngineKind kind = spec.engine == "threaded"
+                                    ? dp::EngineKind::Threaded
+                                    : dp::EngineKind::Sim;
+    const RunReport report =
+        dp::run_dp_app(spec.app, kind, spec.vertices, opts, spec.input_seed);
+    {
+      std::ofstream os(registry_.artifact_abs(id, "report.json"));
+      require(os.good(), "cannot write report.json for job " +
+                             std::to_string(id));
+      print_json(os, report);
+      os.flush();
+      require(os.good(), "report.json write failed for job " +
+                             std::to_string(id));
+    }
+    artifacts.push_back(Registry::artifact_rel(id, "report.json"));
+    if (spec.trace && report.trace_log) {
+      std::ofstream os(registry_.artifact_abs(id, "run.trace"));
+      require(os.good(), "cannot write run.trace for job " +
+                             std::to_string(id));
+      obs::write_native_trace(os, *report.trace_log, report.metrics.get());
+      artifacts.push_back(Registry::artifact_rel(id, "run.trace"));
+    }
+    scheduler_.finish(id, JobState::Done, report.elapsed_seconds,
+                      report.computed, "", artifacts);
+  } catch (const std::exception& e) {
+    scheduler_.finish(id, JobState::Failed, 0.0, 0, e.what(), artifacts);
+  }
+  // The manifest entry goes in only after finish(): it reflects the
+  // terminal record, and its artifacts are already fully on disk.
+  scheduler_.get(id, job);
+  registry_.record(job);
+}
+
+std::string Server::handle_line(const std::string& line) {
+  Json req;
+  try {
+    req = Json::parse(line);
+  } catch (const std::exception& e) {
+    return error_response(400, e.what()).dump();
+  }
+  const std::string op = req.at("op").as_str();
+  try {
+    if (op == "ping") return op_ping().dump();
+    if (op == "submit") return op_submit(req).dump();
+    if (op == "status") return op_status(req).dump();
+    if (op == "cancel") return op_cancel(req).dump();
+    if (op == "stats") return op_stats().dump();
+    if (op == "drain") return op_drain().dump();
+    return error_response(400, "unknown op '" + op + "'").dump();
+  } catch (const std::exception& e) {
+    return error_response(400, e.what()).dump();
+  }
+}
+
+Json Server::op_ping() {
+  Json r = Json::object();
+  r.set("ok", true);
+  r.set("server", "dpx10serve");
+  r.set("version", std::string(git_describe()));
+  r.set("build", std::string(build_type()));
+  r.set("protocol", kServeProtocolVersion);
+  return r;
+}
+
+Json Server::op_submit(const Json& req) {
+  const JobSpec spec = JobSpec::from_json(req);
+  std::int64_t id = -1;
+  switch (scheduler_.submit(spec, id)) {
+    case Admission::Admitted: {
+      Json r = Json::object();
+      r.set("ok", true);
+      r.set("job", id);
+      r.set("state", std::string(job_state_name(JobState::Queued)));
+      return r;
+    }
+    case Admission::QueueFull:
+      return error_response(429, "queue full (max_queue=" +
+                                     std::to_string(opts_.max_queue) + ")");
+    case Admission::Draining:
+      return error_response(503, "draining: not accepting new jobs");
+    case Admission::TooLarge:
+      return error_response(
+          400, "job needs " + std::to_string(spec.slots()) +
+                   " slots but the pool has " +
+                   std::to_string(opts_.total_slots));
+  }
+  return error_response(500, "unreachable");
+}
+
+Json Server::op_status(const Json& req) {
+  const std::int64_t id = req.at("job").as_int(-1);
+  JobRecord job;
+  if (!scheduler_.get(id, job)) {
+    return error_response(404, "unknown job " + std::to_string(id));
+  }
+  Json r = Json::object();
+  r.set("ok", true);
+  r.set("job", job.id);
+  r.set("tenant", job.spec.tenant);
+  r.set("state", std::string(job_state_name(job.state)));
+  r.set("elapsed_s", job.elapsed_seconds);
+  r.set("computed", job.computed);
+  if (!job.error.empty()) r.set("error", job.error);
+  Json arts = Json::array();
+  for (const std::string& a : job.artifacts) arts.push(a);
+  r.set("artifacts", arts);
+  return r;
+}
+
+Json Server::op_cancel(const Json& req) {
+  const std::int64_t id = req.at("job").as_int(-1);
+  if (scheduler_.cancel(id)) {
+    JobRecord job;
+    scheduler_.get(id, job);
+    registry_.record(job);
+    Json r = Json::object();
+    r.set("ok", true);
+    r.set("job", id);
+    r.set("state", std::string(job_state_name(JobState::Cancelled)));
+    return r;
+  }
+  JobRecord job;
+  if (!scheduler_.get(id, job)) {
+    return error_response(404, "unknown job " + std::to_string(id));
+  }
+  return error_response(409, "job " + std::to_string(id) + " is " +
+                                 std::string(job_state_name(job.state)) +
+                                 "; only queued jobs can be cancelled");
+}
+
+Json Server::op_stats() {
+  Json r = scheduler_.stats();
+  r.set("ok", true);
+  Json mem = Json::object();
+  mem.set("budget_bytes", arbiter_.budget_bytes());
+  mem.set("live_bytes", arbiter_.live_bytes());
+  mem.set("arb_spills", arbiter_.pressure_hits());
+  r.set("mem", mem);
+  r.set("registry", registry_.root());
+  return r;
+}
+
+Json Server::op_drain() {
+  scheduler_.begin_drain();
+  scheduler_.wait_idle();
+  Json r = Json::object();
+  r.set("ok", true);
+  r.set("draining", true);
+  Json st = scheduler_.stats();
+  r.set("queued", st.at("queued"));
+  r.set("running", st.at("running"));
+  t_drain_replied = true;  // serve_connection flips drain_done_ post-write
+  return r;
+}
+
+}  // namespace dpx10::serve

@@ -1,0 +1,110 @@
+// Server — the dpx10serve daemon core (docs/SERVE.md).
+//
+// Listens on a Unix-domain stream socket and speaks a line-delimited JSON
+// protocol: each request is one JSON object on one line, each response one
+// JSON object on one line, many requests per connection. Operations:
+//   ping    liveness + build/protocol identification
+//   submit  admit a JobSpec (429 when the queue is full, 503 draining)
+//   status  one job's state, result summary and artifact paths
+//   cancel  dequeue a still-queued job
+//   stats   scheduler occupancy, per-tenant fairness counters, memory gauge
+//   drain   stop admitting, finish everything admitted, then respond
+//
+// One dispatcher thread leases worker slots through the FairScheduler and
+// spawns an executor thread per running job; each executor builds a fully
+// job-private engine (its own RuntimeOptions, memory governor, status
+// file), runs dp::run_dp_app, writes the artifact bundle into the
+// Registry, and records the manifest entry. The only cross-job couplings
+// are the slot pool and the MemoryArbiter's byte budget — both explicit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/budget.h"
+#include "serve/registry.h"
+#include "serve/scheduler.h"
+
+namespace dpx10::serve {
+
+struct ServerOptions {
+  std::string socket_path;   ///< AF_UNIX path (unlinked+rebound on start)
+  std::string registry_dir;  ///< Registry root
+  std::int32_t total_slots = 4;
+  std::size_t max_queue = 16;
+  /// Global live-bytes budget arbitrated across spill-mode jobs; 0 = off.
+  std::uint64_t mem_budget_bytes = 0;
+  /// WFQ weights; tenants not listed default to weight 1.
+  std::map<std::string, std::uint64_t> tenant_weights;
+
+  void validate() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts the accept + dispatcher threads. Throws
+  /// Error if the socket cannot be bound.
+  void start();
+
+  /// Graceful shutdown: reject new submits, finish every admitted job,
+  /// stop the dispatcher, close the listener and every connection, join
+  /// all threads, unlink the socket. Idempotent.
+  void drain_and_stop();
+
+  /// True once a client's drain request has fully completed — the signal
+  /// for the daemon main loop to exit.
+  bool drain_requested() const {
+    return drain_done_.load(std::memory_order_acquire);
+  }
+
+  /// Protocol entry point, public for tests: one request line in, one
+  /// response line out (no trailing newline).
+  std::string handle_line(const std::string& line);
+
+  FairScheduler& scheduler() { return scheduler_; }
+  Registry& registry() { return registry_; }
+  MemoryArbiter& arbiter() { return arbiter_; }
+
+ private:
+  void accept_loop();
+  void dispatch_loop();
+  void serve_connection(int fd);
+  void run_job(std::int64_t id);
+
+  Json op_submit(const Json& req);
+  Json op_status(const Json& req);
+  Json op_cancel(const Json& req);
+  Json op_stats();
+  Json op_ping();
+  Json op_drain();
+
+  ServerOptions opts_;
+  Registry registry_;
+  MemoryArbiter arbiter_;
+  FairScheduler scheduler_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::mutex threads_mu_;  ///< guards conn_threads_, job_threads_, conn_fds_
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::thread> job_threads_;
+  std::set<int> conn_fds_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> drain_done_{false};
+  bool stopped_ = false;  ///< drain_and_stop ran to completion
+};
+
+}  // namespace dpx10::serve

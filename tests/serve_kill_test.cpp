@@ -1,0 +1,126 @@
+// Graceful drain under SIGTERM (PR 9, tier2, docs/SERVE.md).
+//
+// A forked child runs a real Server on a Unix socket, mimicking the
+// dpx10serve main loop (poll a termination flag, then drain_and_stop).
+// The parent submits a batch of jobs, SIGTERMs the child while at least
+// one is still in flight, and asserts the drain contract: the child exits
+// 0, every admitted job reached a terminal state, the manifest parses,
+// and every artifact it references exists on disk — no orphans, no
+// truncated JSON.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "serve/client.h"
+#include "serve/job.h"
+#include "serve/server.h"
+
+namespace dpx10::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+volatile std::sig_atomic_t g_child_term = 0;
+void child_on_term(int) { g_child_term = 1; }
+
+TEST(ServeKill, SigtermDrainLeavesConsistentRegistry) {
+  const fs::path root = fs::path(::testing::TempDir()) / "serve_kill";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const std::string socket_path =
+      (fs::temp_directory_path() / "dpx10_kill.sock").string();
+  const std::string registry_dir = (root / "registry").string();
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: the daemon. _exit keeps gtest/stdio state from
+    // double-flushing in two processes.
+    try {
+      ServerOptions opts;
+      opts.socket_path = socket_path;
+      opts.registry_dir = registry_dir;
+      opts.total_slots = 2;
+      Server server(opts);
+      server.start();
+      std::signal(SIGTERM, child_on_term);
+      while (!g_child_term && !server.drain_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      server.drain_and_stop();
+    } catch (...) {
+      _exit(3);
+    }
+    _exit(0);
+  }
+
+  // Parent: wait for the socket, then submit a batch whose jobs are big
+  // enough that some are still queued or running when the signal lands.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!fs::exists(socket_path) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(fs::exists(socket_path)) << "daemon socket never appeared";
+
+  std::vector<std::int64_t> jobs;
+  {
+    Client client(socket_path);
+    for (int i = 0; i < 4; ++i) {
+      JobSpec spec;
+      spec.tenant = i % 2 == 0 ? "a" : "b";
+      spec.engine = "sim";
+      spec.vertices = 60000;
+      Json req = spec.to_json();
+      req.set("op", "submit");
+      const Json resp = client.request(req);
+      ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+      jobs.push_back(resp.at("job").as_int());
+    }
+  }
+  kill(pid, SIGTERM);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "daemon did not exit cleanly on SIGTERM";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The socket is gone and the registry is consistent.
+  EXPECT_FALSE(fs::exists(socket_path));
+  std::ifstream is(fs::path(registry_dir) / "manifest.json");
+  ASSERT_TRUE(is.good()) << "manifest.json missing after drain";
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const Json manifest = Json::parse(buf.str());
+  EXPECT_EQ(manifest.at("dpx10_serve_registry").as_int(), 1);
+  const auto& entries = manifest.at("jobs").items();
+  ASSERT_EQ(entries.size(), jobs.size())
+      << "drain must finish every admitted job";
+  for (const Json& entry : entries) {
+    const std::string state = entry.at("state").as_str();
+    EXPECT_TRUE(state == "done" || state == "failed") << state;
+    for (const Json& art : entry.at("artifacts").items()) {
+      const fs::path artifact = fs::path(registry_dir) / art.as_str();
+      EXPECT_TRUE(fs::exists(artifact)) << artifact;
+      if (artifact.extension() == ".json") {
+        std::ifstream ais(artifact);
+        std::stringstream abuf;
+        abuf << ais.rdbuf();
+        EXPECT_NO_THROW(Json::parse(abuf.str()))
+            << artifact << " is truncated";
+      }
+    }
+  }
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace dpx10::serve

@@ -1,0 +1,525 @@
+// serve subsystem (PR 9, docs/SERVE.md): protocol JSON, weighted fair
+// scheduling, bounded admission, cancel, the artifact registry, memory
+// arbitration, and end-to-end daemon round trips over a real Unix socket.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/build_info.h"
+#include "serve/budget.h"
+#include "serve/client.h"
+#include "serve/registry.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+
+namespace dpx10::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(ServeJson, ParseDumpRoundTrip) {
+  const std::string doc =
+      R"({"op":"submit","n":-42,"x":1.5,"deep":{"a":[1,"two",true,null]},)"
+      R"("s":"line\nbreak \"quoted\""})";
+  const Json j = Json::parse(doc);
+  EXPECT_EQ(j.at("op").as_str(), "submit");
+  EXPECT_EQ(j.at("n").as_int(), -42);
+  EXPECT_DOUBLE_EQ(j.at("x").as_double(), 1.5);
+  EXPECT_EQ(j.at("deep").at("a").items().size(), 4u);
+  EXPECT_EQ(j.at("deep").at("a").items()[1].as_str(), "two");
+  EXPECT_TRUE(j.at("deep").at("a").items()[2].as_bool());
+  EXPECT_TRUE(j.at("deep").at("a").items()[3].is_null());
+  EXPECT_EQ(j.at("s").as_str(), "line\nbreak \"quoted\"");
+  // dump -> parse -> dump is a fixed point (insertion order is preserved).
+  const std::string once = j.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+}
+
+TEST(ServeJson, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse("{\"a\":"), ConfigError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), ConfigError);
+  EXPECT_THROW(Json::parse("{'a':1}"), ConfigError);
+  EXPECT_THROW(Json::parse(""), ConfigError);
+}
+
+TEST(ServeJson, AbsentKeysFallBack) {
+  const Json j = Json::parse("{}");
+  EXPECT_EQ(j.at("missing").as_int(7), 7);
+  EXPECT_EQ(j.at("missing").as_str("d"), "d");
+  EXPECT_TRUE(j.at("missing").is_null());
+}
+
+TEST(ServeJob, SpecJsonRoundTripAndValidation) {
+  JobSpec spec;
+  spec.tenant = "prod";
+  spec.app = "nussinov";
+  spec.engine = "threaded";
+  spec.vertices = 12345;
+  spec.priority = 3;
+  spec.nplaces = 2;
+  spec.nthreads = 2;
+  spec.retirement = "spill";
+  spec.trace = true;
+  spec.fault_place = 1;
+  spec.fault_at = 0.25;
+  const JobSpec back = JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.tenant, "prod");
+  EXPECT_EQ(back.app, "nussinov");
+  EXPECT_EQ(back.engine, "threaded");
+  EXPECT_EQ(back.vertices, 12345);
+  EXPECT_EQ(back.priority, 3);
+  EXPECT_EQ(back.slots(), 4);
+  EXPECT_EQ(back.retirement, "spill");
+  EXPECT_TRUE(back.trace);
+  EXPECT_EQ(back.fault_place, 1);
+  EXPECT_DOUBLE_EQ(back.fault_at, 0.25);
+
+  JobSpec bad = spec;
+  bad.engine = "quantum";
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = spec;
+  bad.tenant = "a/b";
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = spec;
+  bad.fault_place = bad.nplaces;  // out of range for the job's places
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = spec;
+  bad.fault_at = 1.5;
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
+// ----------------------------------------------------------- scheduler --
+
+JobSpec sim_spec(const std::string& tenant, std::int32_t priority = 0) {
+  JobSpec s;
+  s.tenant = tenant;
+  s.engine = "sim";
+  s.vertices = 2000;
+  s.priority = priority;
+  return s;
+}
+
+TEST(SchedulerFairness, WeightedInterleaveIsTwoToOne) {
+  // One slot serializes dispatch, so WFQ order is fully deterministic:
+  // tenant a (weight 2) must receive exactly 2 of every 3 dispatches while
+  // both are backlogged.
+  FairScheduler sched({/*total_slots=*/1, /*max_queue=*/32},
+                      {{"a", 2}, {"b", 1}});
+  std::int64_t id = 0;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(sched.submit(sim_spec("a"), id), Admission::Admitted);
+    ASSERT_EQ(sched.submit(sim_spec("b"), id), Admission::Admitted);
+  }
+  for (int i = 0; i < 12; ++i) {
+    const std::int64_t job = sched.dequeue();
+    ASSERT_GT(job, 0);
+    sched.finish(job, JobState::Done, 0.01, 1, "", {});
+  }
+  const std::vector<std::string> order = sched.dispatch_order();
+  ASSERT_EQ(order.size(), 12u);
+  int a_first9 = 0;
+  for (int i = 0; i < 9; ++i) a_first9 += order[i] == "a" ? 1 : 0;
+  EXPECT_EQ(a_first9, 6) << "weight-2 tenant should get 6 of the first 9";
+  // Once a's queue runs dry, b drains the remainder.
+  EXPECT_EQ(order[9], "b");
+  EXPECT_EQ(order[10], "b");
+  EXPECT_EQ(order[11], "b");
+}
+
+TEST(SchedulerFairness, PriorityOrdersWithinTenant) {
+  FairScheduler sched({1, 32}, {});
+  std::int64_t low = 0, high = 0, mid = 0;
+  ASSERT_EQ(sched.submit(sim_spec("t", 0), low), Admission::Admitted);
+  ASSERT_EQ(sched.submit(sim_spec("t", 5), high), Admission::Admitted);
+  ASSERT_EQ(sched.submit(sim_spec("t", 2), mid), Admission::Admitted);
+  EXPECT_EQ(sched.dequeue(), high);
+  sched.finish(high, JobState::Done, 0.0, 0, "", {});
+  EXPECT_EQ(sched.dequeue(), mid);
+  sched.finish(mid, JobState::Done, 0.0, 0, "", {});
+  EXPECT_EQ(sched.dequeue(), low);
+  sched.finish(low, JobState::Done, 0.0, 0, "", {});
+}
+
+TEST(SchedulerAdmission, BoundedQueueRejects) {
+  FairScheduler sched({1, 2}, {});
+  std::int64_t id = 0;
+  EXPECT_EQ(sched.submit(sim_spec("t"), id), Admission::Admitted);
+  EXPECT_EQ(sched.submit(sim_spec("t"), id), Admission::Admitted);
+  EXPECT_EQ(sched.submit(sim_spec("t"), id), Admission::QueueFull);
+
+  JobSpec wide = sim_spec("t");
+  wide.engine = "threaded";
+  wide.nplaces = 4;
+  wide.nthreads = 4;  // 16 slots > pool of 1
+  EXPECT_EQ(sched.submit(wide, id), Admission::TooLarge);
+
+  sched.begin_drain();
+  EXPECT_EQ(sched.submit(sim_spec("t"), id), Admission::Draining);
+  const Json stats = sched.stats();
+  EXPECT_EQ(stats.at("rejected").as_int(), 3);
+  EXPECT_TRUE(stats.at("draining").as_bool());
+}
+
+TEST(SchedulerCancel, QueuedOnly) {
+  FairScheduler sched({1, 8}, {});
+  std::int64_t first = 0, second = 0;
+  ASSERT_EQ(sched.submit(sim_spec("t"), first), Admission::Admitted);
+  ASSERT_EQ(sched.submit(sim_spec("t"), second), Admission::Admitted);
+  ASSERT_EQ(sched.dequeue(), first);  // first is now Running
+  EXPECT_FALSE(sched.cancel(first)) << "running jobs are not interruptible";
+  EXPECT_TRUE(sched.cancel(second));
+  EXPECT_FALSE(sched.cancel(second)) << "cancel is not idempotent-true";
+  JobRecord rec;
+  ASSERT_TRUE(sched.get(second, rec));
+  EXPECT_EQ(rec.state, JobState::Cancelled);
+  sched.finish(first, JobState::Done, 0.0, 0, "", {});
+}
+
+// ------------------------------------------------------------ registry --
+
+TEST(RegistryTest, ManifestRoundTrip) {
+  const fs::path root = fs::path(::testing::TempDir()) / "serve_registry_rt";
+  fs::remove_all(root);
+  JobRecord job;
+  job.id = 7;
+  job.spec = sim_spec("acme");
+  job.state = JobState::Done;
+  job.elapsed_seconds = 0.25;
+  job.computed = 2000;
+  job.artifacts = {Registry::artifact_rel(7, "report.json")};
+  {
+    Registry reg(root.string());
+    reg.job_dir(7);  // creates jobs/7/, as the daemon does before running
+    std::ofstream(reg.artifact_abs(7, "report.json")) << "{}\n";
+    reg.record(job);
+  }
+  // A fresh daemon on the same root loads the manifest instead of
+  // clobbering it.
+  Registry reloaded(root.string());
+  const Json m = reloaded.manifest();
+  ASSERT_EQ(m.at("jobs").items().size(), 1u);
+  const Json& entry = m.at("jobs").items()[0];
+  EXPECT_EQ(entry.at("id").as_int(), 7);
+  EXPECT_EQ(entry.at("tenant").as_str(), "acme");
+  EXPECT_EQ(entry.at("state").as_str(), "done");
+  ASSERT_EQ(entry.at("artifacts").items().size(), 1u);
+  EXPECT_TRUE(
+      fs::exists(root / entry.at("artifacts").items()[0].as_str()));
+  fs::remove_all(root);
+}
+
+// ------------------------------------------------------ memory arbiter --
+
+TEST(MemoryArbiterTest, LowestPriorityByteHolderSpillsFirst) {
+  MemoryArbiter arb(/*budget_bytes=*/1000);
+  auto low = arb.attach(/*job_id=*/1, /*priority=*/0);
+  auto high = arb.attach(/*job_id=*/2, /*priority=*/5);
+  low->on_live_add(600);
+  high->on_live_add(600);  // fleet now at 1200 > 1000
+  EXPECT_EQ(arb.live_bytes(), 1200u);
+  EXPECT_TRUE(low->should_spill(0));
+  EXPECT_FALSE(high->should_spill(5)) << "high priority never sheds while a "
+                                         "lower-priority job holds bytes";
+  low->on_live_sub(600);  // low shed everything; fleet back under budget
+  EXPECT_FALSE(low->should_spill(0));
+  EXPECT_FALSE(high->should_spill(5));
+  // Over budget again with only the high job holding bytes: now it is the
+  // (only) victim.
+  high->on_live_add(600);
+  EXPECT_TRUE(high->should_spill(5));
+  low.reset();  // detached leases never count
+  EXPECT_TRUE(high->should_spill(5));
+  EXPECT_GT(arb.pressure_hits(), 0u);
+}
+
+TEST(MemoryArbiterTest, TiesShedNewestJob) {
+  MemoryArbiter arb(100);
+  auto older = arb.attach(1, 0);
+  auto newer = arb.attach(2, 0);
+  older->on_live_add(80);
+  newer->on_live_add(80);
+  EXPECT_TRUE(newer->should_spill(0));
+  EXPECT_FALSE(older->should_spill(0));
+}
+
+TEST(MemoryArbiterTest, ZeroBudgetDisablesPressure) {
+  MemoryArbiter arb(0);
+  auto lease = arb.attach(1, 0);
+  lease->on_live_add(1 << 30);
+  EXPECT_FALSE(lease->should_spill(0));
+  EXPECT_EQ(arb.live_bytes(), static_cast<std::uint64_t>(1) << 30);
+}
+
+// --------------------------------------------------------- end-to-end --
+
+struct DaemonFixture {
+  fs::path root;
+  std::string socket_path;
+  std::unique_ptr<Server> server;
+
+  explicit DaemonFixture(const std::string& name, std::int32_t slots,
+                         std::size_t max_queue = 16,
+                         std::map<std::string, std::uint64_t> weights = {},
+                         std::uint64_t mem_budget_bytes = 0) {
+    root = fs::path(::testing::TempDir()) / ("serve_" + name);
+    fs::remove_all(root);
+    socket_path = (fs::temp_directory_path() / ("dpx10_" + name + ".sock"))
+                      .string();
+    ServerOptions opts;
+    opts.socket_path = socket_path;
+    opts.registry_dir = (root / "registry").string();
+    opts.total_slots = slots;
+    opts.max_queue = max_queue;
+    opts.tenant_weights = std::move(weights);
+    opts.mem_budget_bytes = mem_budget_bytes;
+    server = std::make_unique<Server>(opts);
+    server->start();
+  }
+
+  ~DaemonFixture() {
+    server.reset();  // drain_and_stop + socket unlink
+    fs::remove_all(root);
+  }
+};
+
+Json submit(Client& client, const JobSpec& spec) {
+  Json req = spec.to_json();
+  req.set("op", "submit");
+  return client.request(req);
+}
+
+Json wait_terminal(Client& client, std::int64_t job) {
+  while (true) {
+    Json req = Json::object();
+    req.set("op", "status");
+    req.set("job", job);
+    const Json status = client.request(req);
+    const std::string state = status.at("state").as_str();
+    if (state != "queued" && state != "running") return status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+TEST(ServeE2E, SubmitCompleteArtifactsAndManifest) {
+  DaemonFixture daemon("basic", /*slots=*/2);
+  Client client(daemon.socket_path);
+
+  const Json pong = client.request(Json::parse(R"({"op":"ping"})"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_EQ(pong.at("server").as_str(), "dpx10serve");
+  EXPECT_EQ(pong.at("protocol").as_int(), kServeProtocolVersion);
+
+  JobSpec spec = sim_spec("acme");
+  spec.trace = true;
+  const Json resp = submit(client, spec);
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  const std::int64_t job = resp.at("job").as_int();
+  const Json done = wait_terminal(client, job);
+  ASSERT_EQ(done.at("state").as_str(), "done") << done.dump();
+  EXPECT_GT(done.at("computed").as_int(), 0);
+
+  // Both artifacts exist and report.json is valid JSON with the run's app.
+  const auto& arts = done.at("artifacts").items();
+  ASSERT_EQ(arts.size(), 2u);  // report.json + run.trace
+  for (const Json& a : arts) {
+    EXPECT_TRUE(fs::exists(daemon.root / "registry" / a.as_str()))
+        << a.as_str();
+  }
+  std::ifstream is(daemon.root / "registry" / arts[0].as_str());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const Json report = Json::parse(buf.str());
+  EXPECT_EQ(report.at("app").as_str(), "swlag");
+
+  // Manifest round trip through the daemon's own registry.
+  const Json manifest = daemon.server->registry().manifest();
+  ASSERT_EQ(manifest.at("jobs").items().size(), 1u);
+  EXPECT_EQ(manifest.at("jobs").items()[0].at("state").as_str(), "done");
+}
+
+TEST(ServeE2E, EightJobsThreeTenantsOneSharedPool) {
+  DaemonFixture daemon("fleet", /*slots=*/4, 16,
+                       {{"a", 2}, {"b", 1}, {"c", 1}});
+  Client client(daemon.socket_path);
+  const char* tenants[] = {"a", "b", "c", "a", "b", "c", "a", "b"};
+  std::vector<std::int64_t> jobs;
+  for (const char* t : tenants) {
+    const Json resp = submit(client, sim_spec(t));
+    ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+    jobs.push_back(resp.at("job").as_int());
+  }
+  for (std::int64_t job : jobs) {
+    EXPECT_EQ(wait_terminal(client, job).at("state").as_str(), "done");
+  }
+  const Json stats = client.request(Json::parse(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  const Json& ts = stats.at("tenants");
+  EXPECT_EQ(ts.at("a").at("completed").as_int(), 3);
+  EXPECT_EQ(ts.at("b").at("completed").as_int(), 3);
+  EXPECT_EQ(ts.at("c").at("completed").as_int(), 2);
+  EXPECT_EQ(ts.at("a").at("weight").as_int(), 2);
+  // Fairness is measurable: every tenant accumulated slot time, and the
+  // slots gauge returned to empty.
+  EXPECT_GT(ts.at("a").at("slot_seconds").as_double(), 0.0);
+  EXPECT_GT(ts.at("b").at("slot_seconds").as_double(), 0.0);
+  EXPECT_EQ(stats.at("slots").at("busy").as_int(), 0);
+  // The manifest entry lands AFTER the job turns terminal (artifacts are
+  // flushed first), so briefly poll instead of asserting instantly.
+  std::size_t recorded = 0;
+  for (int spin = 0; spin < 400; ++spin) {
+    recorded = daemon.server->registry().manifest().at("jobs").items().size();
+    if (recorded == 8u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(recorded, 8u);
+}
+
+TEST(ServeE2E, DrainFinishesAdmittedAndRejectsNew) {
+  DaemonFixture daemon("drain", /*slots=*/1);
+  Client client(daemon.socket_path);
+  std::vector<std::int64_t> jobs;
+  for (int i = 0; i < 3; ++i) {
+    const Json resp = submit(client, sim_spec("t"));
+    ASSERT_TRUE(resp.at("ok").as_bool());
+    jobs.push_back(resp.at("job").as_int());
+  }
+  // drain blocks until every admitted job is terminal.
+  const Json drained = client.request(Json::parse(R"({"op":"drain"})"));
+  ASSERT_TRUE(drained.at("ok").as_bool());
+  EXPECT_EQ(drained.at("queued").as_int(), 0);
+  EXPECT_EQ(drained.at("running").as_int(), 0);
+  for (std::int64_t job : jobs) {
+    EXPECT_EQ(wait_terminal(client, job).at("state").as_str(), "done");
+  }
+  const Json rejected = submit(client, sim_spec("t"));
+  EXPECT_FALSE(rejected.at("ok").as_bool());
+  EXPECT_EQ(rejected.at("code").as_int(), 503);
+}
+
+TEST(ServeE2E, CancelQueuedJobOverProtocol) {
+  DaemonFixture daemon("cancel", /*slots=*/1);
+  Client client(daemon.socket_path);
+  // A job big enough to hold the single slot while we cancel behind it.
+  JobSpec big = sim_spec("t");
+  big.vertices = 150000;
+  const Json first = submit(client, big);
+  ASSERT_TRUE(first.at("ok").as_bool());
+  const Json second = submit(client, sim_spec("t"));
+  ASSERT_TRUE(second.at("ok").as_bool());
+  const std::int64_t victim = second.at("job").as_int();
+  Json creq = Json::object();
+  creq.set("op", "cancel");
+  creq.set("job", victim);
+  const Json cancelled = client.request(creq);
+  if (cancelled.at("ok").as_bool()) {
+    EXPECT_EQ(wait_terminal(client, victim).at("state").as_str(),
+              "cancelled");
+    // Cancelled jobs appear in the manifest with no artifacts.
+    const Json entry = wait_terminal(client, victim);
+    EXPECT_EQ(entry.at("artifacts").items().size(), 0u);
+  } else {
+    // The first job finished faster than we cancelled — the second ran.
+    EXPECT_EQ(cancelled.at("code").as_int(), 409);
+  }
+  EXPECT_EQ(wait_terminal(client, first.at("job").as_int())
+                .at("state")
+                .as_str(),
+            "done");
+}
+
+TEST(ServeE2E, GlobalBudgetPressureSpillsThroughArbiter) {
+  // One spill-mode job whose working set exceeds the daemon's global
+  // budget: the governor must shed through the arbiter (the job is the
+  // lone byte-holder, so it is its own victim) and still finish correctly.
+  DaemonFixture daemon("budget", /*slots=*/1, /*max_queue=*/4, {},
+                       /*mem_budget_bytes=*/16 * 1024);
+  Client client(daemon.socket_path);
+
+  // Nussinov holds nearly every computed cell live (long-range interval
+  // deps defeat retirement), so its working set blows through the budget.
+  JobSpec spec = sim_spec("acme");
+  spec.app = "nussinov";
+  spec.vertices = 10000;
+  spec.retirement = "spill";
+  const Json resp = submit(client, spec);
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  const Json status = wait_terminal(client, resp.at("job").as_int());
+  ASSERT_EQ(status.at("state").as_str(), "done") << status.dump();
+
+  const Json stats = client.request(Json::parse(R"({"op":"stats"})"));
+  EXPECT_GT(stats.at("mem").at("arb_spills").as_int(), 0)
+      << "global budget pressure never reached the arbiter: "
+      << stats.dump();
+  EXPECT_EQ(stats.at("mem").at("live_bytes").as_int(), 0)
+      << "job lease must release its gauge on completion";
+
+  const fs::path report_path =
+      fs::path(daemon.server->registry().root()) /
+      status.at("artifacts").items()[0].as_str();
+  std::ifstream is(report_path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const Json report = Json::parse(buf.str());
+  EXPECT_GT(report.at("spilled_cells").as_int(), 0);
+}
+
+TEST(ServeE2E, FaultedJobRecoversAndCompletes) {
+  DaemonFixture daemon("fault", /*slots=*/3);
+  Client client(daemon.socket_path);
+
+  JobSpec spec;
+  spec.tenant = "chaos";
+  spec.app = "swlag";
+  spec.engine = "threaded";
+  spec.vertices = 20000;
+  spec.nplaces = 3;
+  spec.nthreads = 1;
+  spec.fault_place = 2;
+  spec.fault_at = 0.5;
+  const Json resp = submit(client, spec);
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  const Json status = wait_terminal(client, resp.at("job").as_int());
+  ASSERT_EQ(status.at("state").as_str(), "done") << status.dump();
+
+  // The recovery is visible in the job's report artifact.
+  const fs::path report_path =
+      fs::path(daemon.server->registry().root()) /
+      status.at("artifacts").items()[0].as_str();
+  std::ifstream is(report_path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const Json report = Json::parse(buf.str());
+  ASSERT_GE(report.at("recoveries").items().size(), 1u);
+  EXPECT_EQ(report.at("recoveries").items()[0].at("dead_place").as_int(), 2);
+}
+
+TEST(ServeE2E, BadRequestsGetErrorResponsesNotHangs) {
+  DaemonFixture daemon("bad", 1);
+  Client client(daemon.socket_path);
+  Json resp = client.request(Json::parse(R"({"op":"frobnicate"})"));
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("code").as_int(), 400);
+  resp = client.request(Json::parse(R"({"op":"status","job":999})"));
+  EXPECT_EQ(resp.at("code").as_int(), 404);
+  JobSpec bad = sim_spec("t");
+  bad.app = "no-such-app";
+  const Json submitted = submit(client, bad);
+  ASSERT_TRUE(submitted.at("ok").as_bool())
+      << "unknown apps are admitted and fail at run time";
+  const Json failed = wait_terminal(client, submitted.at("job").as_int());
+  EXPECT_EQ(failed.at("state").as_str(), "failed");
+  EXPECT_FALSE(failed.at("error").as_str().empty());
+}
+
+}  // namespace
+}  // namespace dpx10::serve

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "check/runner.h"
+#include "common/build_info.h"
 #include "common/error.h"
 #include "common/options.h"
 
@@ -71,6 +72,10 @@ int main(int argc, char** argv) {
   using namespace dpx10;
   try {
     Options cli(argc, argv);
+    if (cli.has("version")) {
+      std::cout << build_info_line("dpx10check") << "\n";
+      return 0;
+    }
     if (cli.has("help")) {
       usage(std::cout);
       return 0;

@@ -96,6 +96,7 @@
 #include <optional>
 
 #include "check/hooks.h"
+#include "common/build_info.h"
 #include "common/error.h"
 #include "common/options.h"
 #include "common/strings.h"
@@ -152,6 +153,10 @@ std::vector<net::StallWindow> parse_stalls(const std::string& spec) {
 int main(int argc, char** argv) {
   try {
     Options cli(argc, argv);
+    if (cli.has("version")) {
+      std::cout << build_info_line("dpx10run") << "\n";
+      return 0;
+    }
 
     const std::string app = cli.get("app", "swlag");
     const std::string engine_name = cli.get("engine", "sim");

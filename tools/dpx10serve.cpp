@@ -1,0 +1,103 @@
+// dpx10serve — the multi-tenant DP-as-a-service daemon (docs/SERVE.md).
+//
+//   dpx10serve --socket=/run/dpx10.sock --registry=/var/lib/dpx10 \
+//              --slots=8 --max-queue=16 --mem-budget=256m \
+//              --tenant-weights=prod=3,batch=1
+//
+// Accepts concurrent job submissions over the Unix socket (line-delimited
+// JSON; submit/status/cancel/drain/stats/ping) and runs them on one shared
+// worker-slot pool with weighted fair scheduling across tenants, bounded
+// admission (429 beyond --max-queue), and a global live-bytes budget
+// arbitrated across spill-mode jobs. Per-job artifacts (report.json,
+// optional run.trace, live status file) land under the registry; watch a
+// running job with `dpx10top <registry>/jobs/<id>/status`.
+//
+// SIGTERM/SIGINT drain gracefully: admitted jobs finish, new submits get
+// 503, the manifest stays consistent, then the daemon exits 0. A client
+// `drain` request does the same.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "common/build_info.h"
+#include "common/error.h"
+#include "common/options.h"
+#include "common/strings.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_terminate = 0;
+
+void on_signal(int) { g_terminate = 1; }
+
+void usage() {
+  std::cout <<
+      "usage: dpx10serve --socket=PATH [options]\n"
+      "  --socket=PATH          Unix socket to listen on (required)\n"
+      "  --registry=DIR         artifact registry root (default: ./dpx10-registry)\n"
+      "  --slots=N              shared worker-slot pool size (default: hardware)\n"
+      "  --max-queue=N          queued-job bound; beyond it submits get 429 (default 16)\n"
+      "  --mem-budget=BYTES     global live-bytes budget across spill-mode jobs,\n"
+      "                         k/m/g suffixes accepted; 0 = off (default)\n"
+      "  --tenant-weights=a=3,b=1   WFQ weights; unlisted tenants weigh 1\n"
+      "  --version              print build identification and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpx10;
+  try {
+    const Options cli(argc, argv);
+    if (cli.has("version")) {
+      std::cout << build_info_line("dpx10serve") << "\n";
+      return 0;
+    }
+    if (cli.has("help")) {
+      usage();
+      return 0;
+    }
+    serve::ServerOptions opts;
+    opts.socket_path = cli.get("socket", "");
+    require(!opts.socket_path.empty(), "dpx10serve: --socket=PATH is required");
+    opts.registry_dir = cli.get("registry", "dpx10-registry");
+    const auto hw = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+    opts.total_slots = static_cast<std::int32_t>(
+        cli.get_int("slots", hw > 0 ? hw : 4));
+    opts.max_queue = static_cast<std::size_t>(cli.get_int("max-queue", 16));
+    opts.mem_budget_bytes = cli.get_scaled("mem-budget", 0);
+    const std::string weights = cli.get("tenant-weights", "");
+    if (!weights.empty()) {
+      for (const std::string& pair : split(weights, ',')) {
+        const std::vector<std::string> kv = split(pair, '=');
+        require(kv.size() == 2 && !kv[0].empty(),
+                "dpx10serve: --tenant-weights expects name=weight pairs");
+        opts.tenant_weights[trim(kv[0])] = parse_scaled_u64(trim(kv[1]));
+      }
+    }
+
+    serve::Server server(opts);
+    server.start();
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);  // client hang-ups surface as write errors
+    std::fprintf(stderr,
+                 "dpx10serve: listening on %s (slots=%d, max-queue=%zu, "
+                 "registry=%s)\n",
+                 opts.socket_path.c_str(), opts.total_slots, opts.max_queue,
+                 opts.registry_dir.c_str());
+    while (!g_terminate && !server.drain_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::fprintf(stderr, "dpx10serve: draining\n");
+    server.drain_and_stop();
+    std::fprintf(stderr, "dpx10serve: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "dpx10serve: " << e.what() << "\n";
+    return 1;
+  }
+}

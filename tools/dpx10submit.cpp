@@ -1,0 +1,120 @@
+// dpx10submit — client for a running dpx10serve daemon (docs/SERVE.md).
+//
+//   dpx10submit --socket=/run/dpx10.sock --tenant=prod --app=swlag \
+//               --vertices=250k --engine=threaded --nplaces=2 --nthreads=2 \
+//               --wait
+//   dpx10submit --socket=... --op=status --job=7
+//   dpx10submit --socket=... --op=stats
+//   dpx10submit --socket=... --op=drain
+//
+// The default operation is submit. Every response is echoed to stdout as
+// one JSON line. --wait polls after submitting until the job reaches a
+// terminal state; the exit code then reflects the outcome (0 done,
+// 3 failed/cancelled). Admission rejections (429 queue full, 503 draining)
+// exit 2 so scripts can back off and retry.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "common/build_info.h"
+#include "common/error.h"
+#include "common/options.h"
+#include "serve/client.h"
+#include "serve/job.h"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: dpx10submit --socket=PATH [--op=submit|status|cancel|stats|drain|ping]\n"
+      "  submit:  --tenant --app --engine --vertices --seed --priority\n"
+      "           --nplaces --nthreads --retirement --trace --wait\n"
+      "  status/cancel: --job=ID (--wait blocks status until terminal)\n"
+      "  --version   print build identification and exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpx10;
+  try {
+    const Options cli(argc, argv);
+    if (cli.has("version")) {
+      std::cout << build_info_line("dpx10submit") << "\n";
+      return 0;
+    }
+    if (cli.has("help")) {
+      usage();
+      return 0;
+    }
+    const std::string socket_path = cli.get("socket", "");
+    require(!socket_path.empty(), "dpx10submit: --socket=PATH is required");
+    const std::string op = cli.get("op", "submit");
+    serve::Client client(socket_path);
+    const auto poll = std::chrono::milliseconds(cli.get_int("poll-ms", 50));
+
+    // Poll `status` until the job is terminal; echoes the final status
+    // line. Exit 0 on done, 3 on failed/cancelled.
+    const auto wait_for_terminal = [&client, poll](std::int64_t job) -> int {
+      while (true) {
+        serve::Json sreq = serve::Json::object();
+        sreq.set("op", "status");
+        sreq.set("job", job);
+        const serve::Json status = client.request(sreq);
+        if (!status.at("ok").as_bool()) {
+          std::cout << status.dump() << "\n";
+          return 2;
+        }
+        const std::string state = status.at("state").as_str();
+        if (state == "done" || state == "failed" || state == "cancelled") {
+          std::cout << status.dump() << "\n";
+          return state == "done" ? 0 : 3;
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    };
+
+    if (op != "submit") {
+      if (op == "status" && cli.get_bool("wait", false)) {
+        return wait_for_terminal(cli.get_int("job", -1));
+      }
+      serve::Json req = serve::Json::object();
+      req.set("op", op);
+      if (cli.has("job")) req.set("job", cli.get_int("job", -1));
+      const serve::Json resp = client.request(req);
+      std::cout << resp.dump() << "\n";
+      return resp.at("ok").as_bool() ? 0 : 2;
+    }
+
+    serve::JobSpec spec;
+    spec.tenant = cli.get("tenant", spec.tenant);
+    spec.app = cli.get("app", spec.app);
+    spec.engine = cli.get("engine", spec.engine);
+    spec.vertices =
+        static_cast<std::int64_t>(cli.get_scaled("vertices", 10000));
+    spec.input_seed = cli.get_scaled("seed", spec.input_seed);
+    spec.priority =
+        static_cast<std::int32_t>(cli.get_int("priority", spec.priority));
+    spec.nplaces =
+        static_cast<std::int32_t>(cli.get_int("nplaces", spec.nplaces));
+    spec.nthreads =
+        static_cast<std::int32_t>(cli.get_int("nthreads", spec.nthreads));
+    spec.retirement = cli.get("retirement", spec.retirement);
+    spec.trace = cli.get_bool("trace", spec.trace);
+    serve::Json req = spec.to_json();
+    req.set("op", "submit");
+    const serve::Json resp = client.request(req);
+    if (!resp.at("ok").as_bool()) {
+      std::cout << resp.dump() << "\n";
+      return 2;  // rejected (429 full / 503 draining / 400 bad spec)
+    }
+    if (!cli.get_bool("wait", false)) {
+      std::cout << resp.dump() << "\n";
+      return 0;
+    }
+    return wait_for_terminal(resp.at("job").as_int());
+  } catch (const std::exception& e) {
+    std::cerr << "dpx10submit: " << e.what() << "\n";
+    return 1;
+  }
+}

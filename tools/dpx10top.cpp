@@ -19,6 +19,7 @@
 #include <iostream>
 #include <thread>
 
+#include "common/build_info.h"
 #include "common/error.h"
 #include "common/options.h"
 #include "obs/status.h"
@@ -27,6 +28,10 @@ int main(int argc, char** argv) {
   using namespace dpx10;
   try {
     Options cli(argc, argv);
+    if (cli.has("version")) {
+      std::cout << build_info_line("dpx10top") << "\n";
+      return 0;
+    }
     const std::vector<std::string>& args = cli.positional();
     if (args.size() != 1) {
       std::cerr << "usage: dpx10top FILE [--interval=SECS] [--once] "

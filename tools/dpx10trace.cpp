@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "common/build_info.h"
 #include "common/error.h"
 #include "common/options.h"
 #include "dag_deps.h"
@@ -297,6 +298,10 @@ int usage() {
 int main(int argc, char** argv) {
   try {
     Options cli(argc, argv);
+    if (cli.has("version")) {
+      std::cout << dpx10::build_info_line("dpx10trace") << "\n";
+      return 0;
+    }
     const std::vector<std::string>& args = cli.positional();
     if (args.size() != 2) return usage();
     if (args[0] == "summary") return cmd_summary(args[1]);
