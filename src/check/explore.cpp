@@ -1,0 +1,300 @@
+#include "check/explore.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace dpx10::check {
+namespace {
+
+/// One dispatch decision of an explored run.
+struct StepRec {
+  std::int32_t place = 0;
+  std::int64_t chosen = 0;          ///< linear index dispatched
+  std::int32_t branch = -1;         ///< branch ordinal; -1 = forced
+  std::vector<std::int64_t> ready;  ///< candidates (branch steps only)
+};
+
+/// Drives one DFS run: consumes the node's choice prefix at branch points
+/// (index 0 beyond it), records every dispatch for the race analysis, and
+/// flags the sync events that demote the run to conservative expansion.
+class ExploreHook final : public ScheduleHook {
+ public:
+  explicit ExploreHook(const std::vector<std::int32_t>& prefix)
+      : prefix_(prefix) {}
+
+  void sync_point(SyncPoint, std::int32_t) noexcept override {}
+
+  std::int64_t pick_ready_ids(
+      std::int32_t place, std::span<const std::int64_t> ready) noexcept override {
+    StepRec rec;
+    rec.place = place;
+    std::int64_t pick = 0;
+    if (ready.size() >= 2) {
+      const std::size_t b = choices_.size();
+      rec.branch = static_cast<std::int32_t>(b);
+      if (b < prefix_.size() && prefix_[b] > 0) {
+        pick = std::min<std::int64_t>(
+            prefix_[b], static_cast<std::int64_t>(ready.size()) - 1);
+      }
+      choices_.push_back(static_cast<std::int32_t>(pick));
+      rec.ready.assign(ready.begin(), ready.end());
+    }
+    rec.chosen = ready[static_cast<std::size_t>(pick)];
+    steps_.push_back(std::move(rec));
+    return pick;
+  }
+
+  void sync_event(SyncPoint point, std::int32_t, std::int64_t,
+                  std::int64_t) noexcept override {
+    switch (point) {
+      case SyncPoint::RecoveryEpoch: saw_recovery_ = true; break;
+      case SyncPoint::CoalesceFlush: saw_flush_ = true; break;
+      case SyncPoint::GovernorRetire:
+      case SyncPoint::GovernorSpill: saw_evict_ = true; break;
+      default: break;
+    }
+  }
+
+  const std::vector<StepRec>& steps() const { return steps_; }
+  const std::vector<std::int32_t>& choices() const { return choices_; }
+
+  /// True when the run exercised machinery the cell-footprint relation
+  /// cannot see (batched traffic, recovery, cache-coupled eviction) — no
+  /// pruning may be derived from such a run.
+  bool conservative(bool cache_on) const {
+    return saw_recovery_ || saw_flush_ || (saw_evict_ && cache_on);
+  }
+
+ private:
+  std::vector<std::int32_t> prefix_;
+  std::vector<std::int32_t> choices_;
+  std::vector<StepRec> steps_;
+  bool saw_recovery_ = false;
+  bool saw_flush_ = false;
+  bool saw_evict_ = false;
+};
+
+/// A DFS tree node: the choice prefix reaching it, plus the sleep set —
+/// vertices whose subtrees an earlier-explored sibling already covers.
+struct Pending {
+  std::vector<std::int32_t> prefix;
+  std::vector<std::int64_t> sleep;  ///< sorted linear indices
+};
+
+bool cells_intersect(const std::vector<std::int64_t>& a,
+                     const std::vector<std::int64_t>& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) ++i;
+    else ++j;
+  }
+  return false;
+}
+
+void insert_sorted(std::vector<std::int64_t>& v, std::int64_t x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) v.insert(it, x);
+}
+
+}  // namespace
+
+CaseSpec explore_base(const CaseSpec& spec) {
+  CaseSpec base = spec;
+  base.mode = CaseMode::Single;
+  base.engine = EngineKind::Sim;
+  base.hook_seed = 0;
+  base.witness.clear();
+  base.tile = 0;
+  // Crash decorations stay legal in explore_case (sim faults are
+  // deterministic) but every recovery demotes its run to conservative
+  // expansion — the fuzz diet spends its budget on prunable models.
+  base.crash_place = -1;
+  base.height = std::min<std::int32_t>(base.height, 3);
+  base.width = std::min<std::int32_t>(base.width, 3);
+  base.normalize();
+  return base;
+}
+
+ExploreResult explore_case(CaseSpec spec, const ExploreOptions& options,
+                           std::int64_t* runs) {
+  ExploreResult result;
+  spec.mode = CaseMode::Single;
+  spec.engine = EngineKind::Sim;
+  spec.hook_seed = 0;
+  spec.witness.clear();
+  spec.tile = 0;  // footprints are per-cell; macro-DAG ids would not match
+  spec.normalize();
+
+  // Cell footprints for the independence relation: two dispatches commute
+  // unless footprint({v} ∪ deps ∪ antideps) intersects — the cells whose
+  // values, indegrees or payload lifetimes the dispatch touches.
+  std::vector<std::vector<std::int64_t>> cells;
+  try {
+    const GeneratedCase built = build_case(spec);
+    const DagDomain& dom = built.dag->domain();
+    cells.resize(static_cast<std::size_t>(built.vertices));
+    std::vector<VertexId> scratch;
+    for (std::int64_t idx = 0; idx < built.vertices; ++idx) {
+      const VertexId id = dom.delinearize(idx);
+      auto& foot = cells[static_cast<std::size_t>(idx)];
+      foot.push_back(idx);
+      scratch.clear();
+      built.dag->dependencies(id, scratch);
+      for (VertexId d : scratch) foot.push_back(dom.linearize(d));
+      scratch.clear();
+      built.dag->anti_dependencies(id, scratch);
+      for (VertexId a : scratch) foot.push_back(dom.linearize(a));
+      std::sort(foot.begin(), foot.end());
+      foot.erase(std::unique(foot.begin(), foot.end()), foot.end());
+    }
+  } catch (const Error& ex) {
+    result.failure = Failure{spec, ex.what()};
+    return result;
+  }
+  const bool cache_on = spec.cache > 0;
+  const auto foot = [&cells](std::int64_t v) -> const std::vector<std::int64_t>& {
+    return cells[static_cast<std::size_t>(v)];
+  };
+  // Dependence with the cache term: a live per-place cache couples the
+  // order of same-place dispatches (eviction state), whatever their cells.
+  const auto dependent = [&](std::int64_t u, std::int32_t up, std::int64_t v,
+                             std::int32_t vp) {
+    if (cache_on && up == vp) return true;
+    return cells_intersect(foot(u), foot(v));
+  };
+
+  const std::int64_t max_runs = std::max<std::int64_t>(options.max_runs, 1);
+  const std::int32_t depth = std::max<std::int32_t>(options.depth, 0);
+  std::vector<std::int64_t> step_of(cells.size(), -1);
+
+  std::vector<Pending> stack;
+  stack.emplace_back();
+  while (!stack.empty()) {
+    if (result.explored >= max_runs) {
+      // Every pending node is an unexplored subtree.
+      result.frontier += static_cast<std::int64_t>(stack.size());
+      break;
+    }
+    Pending node = std::move(stack.back());
+    stack.pop_back();
+
+    ExploreHook hook(node.prefix);
+    if (runs != nullptr) ++*runs;
+    ++result.explored;
+    const RunOutcome outcome = run_single(spec, &hook);
+    if (!outcome.ok) {
+      CaseSpec witness_spec = spec;
+      witness_spec.witness = hook.choices();
+      witness_spec.normalize();
+      result.failure = Failure{witness_spec, outcome.reason};
+      return result;
+    }
+
+    const std::vector<StepRec>& steps = hook.steps();
+    const std::vector<std::int32_t>& choices = hook.choices();
+    result.max_branch_points = std::max<std::int64_t>(
+        result.max_branch_points, static_cast<std::int64_t>(choices.size()));
+    const bool prune_ok = options.dpor && !hook.conservative(cache_on);
+
+    std::fill(step_of.begin(), step_of.end(), -1);
+    for (std::size_t si = 0; si < steps.size(); ++si) {
+      step_of[static_cast<std::size_t>(steps[si].chosen)] =
+          static_cast<std::int64_t>(si);
+    }
+
+    // Walk the run once: seed children at every branch beyond the prefix
+    // (branches inside it belong to this node's ancestors), waking
+    // sleepers as each executed transition passes. Starting the walk at
+    // step 0 rather than the prefix edge can only wake sleepers EARLIER —
+    // less pruning, never unsound pruning.
+    const std::size_t k = node.prefix.size();
+    std::vector<std::int64_t> sleep = node.sleep;
+    for (std::size_t si = 0; si < steps.size(); ++si) {
+      const StepRec& st = steps[si];
+      if (st.branch >= 0 && static_cast<std::size_t>(st.branch) >= k) {
+        const auto j = static_cast<std::size_t>(st.branch);
+        // Surviving alternatives, in ready order (their (index, vertex)).
+        std::vector<std::pair<std::int32_t, std::int64_t>> alts;
+        for (std::size_t a = 1; a < st.ready.size(); ++a) {
+          const std::int64_t v = st.ready[a];
+          if (static_cast<std::int32_t>(j) >= depth) {
+            ++result.frontier;
+            continue;
+          }
+          if (prune_ok && std::binary_search(sleep.begin(), sleep.end(), v)) {
+            ++result.pruned;
+            continue;
+          }
+          if (prune_ok) {
+            // Race rule: if v commutes with everything executed between
+            // this branch and its own dispatch, running it first reaches a
+            // Mazurkiewicz-equivalent state — skip the alternative.
+            const std::int64_t t = step_of[static_cast<std::size_t>(v)];
+            bool race = t < 0;  // never dispatched: assume the worst
+            for (std::int64_t w = static_cast<std::int64_t>(si);
+                 !race && w < t; ++w) {
+              const StepRec& mid = steps[static_cast<std::size_t>(w)];
+              race = dependent(mid.chosen, mid.place, v,
+                               steps[static_cast<std::size_t>(t)].place);
+            }
+            if (!race) {
+              ++result.pruned;
+              continue;
+            }
+          }
+          alts.emplace_back(static_cast<std::int32_t>(a), v);
+        }
+        // LIFO stack: alternatives pushed later pop first, so alternative
+        // x sleeps on every sibling pushed after it — plus the vertex this
+        // run dispatched, whose subtree the run's own continuation covers.
+        for (std::size_t x = 0; x < alts.size(); ++x) {
+          Pending kid;
+          kid.prefix.assign(choices.begin(),
+                            choices.begin() + static_cast<std::ptrdiff_t>(j));
+          kid.prefix.push_back(alts[x].first);
+          kid.sleep = sleep;
+          insert_sorted(kid.sleep, st.chosen);
+          for (std::size_t y = x + 1; y < alts.size(); ++y) {
+            insert_sorted(kid.sleep, alts[y].second);
+          }
+          stack.push_back(std::move(kid));
+        }
+      }
+      if (!sleep.empty()) {
+        // Executing st.chosen wakes every dependent sleeper (a sleeper
+        // carries no dispatch place, so a live cache wakes them all).
+        sleep.erase(std::remove_if(sleep.begin(), sleep.end(),
+                                   [&](std::int64_t z) {
+                                     return cache_on ||
+                                            cells_intersect(foot(st.chosen),
+                                                            foot(z));
+                                   }),
+                    sleep.end());
+      }
+    }
+  }
+
+  result.exhausted = result.frontier == 0;
+  if (!result.exhausted && options.fallback_samples > 0) {
+    // Principled fallback beyond the bound: the existing seeded sampler
+    // (SimShuffler via hook_seed) sweeps the unexplored remainder.
+    for (std::int32_t i = 0; i < options.fallback_samples; ++i) {
+      CaseSpec s = spec;
+      s.hook_seed = mix64(spec.seed, 0xfa11ULL + static_cast<std::uint64_t>(i)) | 1;
+      if (runs != nullptr) ++*runs;
+      ++result.fallback_runs;
+      const RunOutcome o = run_single(s);
+      if (!o.ok) {
+        result.failure = Failure{s, o.reason};
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dpx10::check

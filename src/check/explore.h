@@ -1,0 +1,114 @@
+// dpx10check bounded-DPOR exploration — exhaustive interleaving coverage
+// for small models on the deterministic SimEngine.
+//
+// The sim engine is a pure function of (dag, app, options) plus the
+// dispatch decisions a ScheduleHook returns from pick_ready_ids(): virtual
+// time fixes the cross-place interleaving, so the only nondeterminism the
+// production schedulers ever exercise is WHICH ready vertex each place
+// dispatches next. explore_case() enumerates exactly that space:
+//
+//   * A run is identified by its choice sequence — one ready-list index
+//     per *branch point* (a dispatch whose ready list holds >= 2
+//     vertices); forced dispatches always take index 0. A prefix of that
+//     sequence is a tree node; re-running with the prefix and defaulting
+//     to 0 beyond it deterministically reaches the node and extends it to
+//     a leaf.
+//   * DFS over that tree visits every interleaving once (naive mode), or
+//     a reduced set under dynamic partial-order reduction: an alternative
+//     vertex v at a branch is explored only if some transition executed
+//     between the branch and v's actual dispatch is DEPENDENT with v
+//     (persistent-set-style race rule), and sleep sets additionally skip
+//     alternatives whose subtree a sibling already covered. Two
+//     transitions are dependent iff their cell footprints ({v} ∪ deps ∪
+//     antideps) intersect, or they dispatch at the same place while the
+//     per-place cache is live (cache state couples same-place order).
+//     Runs that observe coalescer flushes, recovery epochs, or (with a
+//     live cache) governor retire/spill events fall back to conservative
+//     expansion — no pruning is derived from such a run.
+//   * A configurable depth bound caps how deep alternatives are seeded;
+//     alternatives beyond it are counted into `frontier`, and when the
+//     frontier is non-empty the explorer falls back to the existing
+//     seeded-sampling hooks (SimShuffler) for a principled best-effort
+//     pass over the unexplored remainder.
+//
+// Every explored run goes through run_single()'s full differential oracle,
+// so a reported failure is always real; `exhausted` is a completeness
+// claim modulo the independence relation above. A failing run's choice
+// sequence is returned as CaseSpec::witness — a one-line deterministic
+// reproducer replayed by WitnessReplayHook below.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "check/hooks.h"
+#include "check/runner.h"
+
+namespace dpx10::check {
+
+/// Replays a CaseSpec::witness on the sim engine: the i-th branch point
+/// dispatches ready-list index witness[i] (clamped into range); beyond the
+/// witness, and at forced dispatches, index 0. The replayed interleaving
+/// is a pure function of the witness — ReadyOrder never breaks a tie.
+/// run_single() installs one automatically for specs with a witness.
+class WitnessReplayHook final : public ScheduleHook {
+ public:
+  explicit WitnessReplayHook(std::span<const std::int32_t> witness)
+      : witness_(witness.begin(), witness.end()) {}
+
+  void sync_point(SyncPoint, std::int32_t) noexcept override {}
+
+  std::int64_t pick_ready_ids(
+      std::int32_t, std::span<const std::int64_t> ready) noexcept override {
+    if (ready.size() < 2) return 0;
+    const std::size_t b = branch_++;
+    if (b >= witness_.size() || witness_[b] <= 0) return 0;
+    return std::min<std::int64_t>(witness_[b],
+                                  static_cast<std::int64_t>(ready.size()) - 1);
+  }
+
+ private:
+  std::vector<std::int32_t> witness_;
+  std::size_t branch_ = 0;
+};
+
+struct ExploreOptions {
+  /// Branch-point depth bound: alternatives at branch ordinals >= depth
+  /// are not expanded (they count into ExploreResult::frontier).
+  std::int32_t depth = 64;
+  /// Run budget; pending tree nodes at exhaustion count into frontier.
+  std::int64_t max_runs = 50000;
+  /// false = naive enumeration (every interleaving; the pruning baseline).
+  bool dpor = true;
+  /// Seeded SimShuffler runs over the remainder when not exhausted.
+  std::int32_t fallback_samples = 32;
+};
+
+struct ExploreResult {
+  /// True iff the whole bounded tree was explored without failure —
+  /// complete interleaving coverage modulo the independence relation.
+  bool exhausted = false;
+  std::int64_t explored = 0;   ///< engine runs executed by the DFS
+  std::int64_t pruned = 0;     ///< alternatives skipped by DPOR
+  std::int64_t frontier = 0;   ///< alternatives beyond depth/run budget
+  std::int64_t fallback_runs = 0;     ///< seeded sampling runs afterwards
+  std::int64_t max_branch_points = 0; ///< deepest run's branch count
+  std::optional<Failure> failure;     ///< witness-bearing Single spec
+};
+
+/// Explores the spec's interleaving space on the sim engine (the spec is
+/// forced to mode=Single, engine=Sim, per-cell, no witness/hook first —
+/// the caller's other knobs, including crash decorations, are honored).
+/// `runs` accumulates engine invocations like run_case's counter.
+ExploreResult explore_case(CaseSpec spec, const ExploreOptions& options = {},
+                           std::int64_t* runs = nullptr);
+
+/// The fuzz-diet clamp: shrinks a drawn spec to an explorable model
+/// (tiny dims, no crash decorations) before explore_case. run_case uses
+/// it for CaseMode::Explore; exposed so self-tests expand the same way.
+CaseSpec explore_base(const CaseSpec& spec);
+
+}  // namespace dpx10::check

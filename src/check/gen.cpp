@@ -94,12 +94,13 @@ std::string_view case_mode_name(CaseMode m) {
     case CaseMode::Matrix: return "matrix";
     case CaseMode::Schedules: return "schedules";
     case CaseMode::Crashes: return "crashes";
+    case CaseMode::Explore: return "explore";
   }
   return "?";
 }
 
 bool parse_case_mode(const std::string& name, CaseMode& out) {
-  return parse_enum(name, 4, case_mode_name, out);
+  return parse_enum(name, 5, case_mode_name, out);
 }
 
 void CaseSpec::normalize() {
@@ -130,6 +131,14 @@ void CaseSpec::normalize() {
   shards = std::clamp<std::int32_t>(shards, 0, 16);
   stripes = std::clamp<std::int32_t>(stripes, 0, 16);
   wedge_ms = std::max<std::int32_t>(wedge_ms, 0);
+  // Witness canonicalization: indices are ready-list positions (>= 0);
+  // trailing zeros replay identically to an absent suffix (beyond the
+  // prefix the replay hook picks index 0), so the empty-suffix form is the
+  // canonical spelling. A witness only means anything on the sim engine —
+  // threaded dispatch order is not a pure function of pick decisions.
+  for (std::int32_t& w : witness) w = std::max<std::int32_t>(w, 0);
+  while (!witness.empty() && witness.back() == 0) witness.pop_back();
+  if (!witness.empty() || mode == CaseMode::Explore) engine = EngineKind::Sim;
   if (retirement != mem::RetirementMode::Spill) memory_limit = 0;
   if (crash_place >= 0) {
     const std::int32_t kills = 1 + (crash_place2 >= 0 ? 1 : 0) +
@@ -259,6 +268,15 @@ std::string CaseSpec::encode() const {
   if (crash_place3 != d.crash_place3) emit("cplace3", crash_place3);
   if (crash_event3 != d.crash_event3) emit("cevent3", crash_event3);
   if (hook_seed != d.hook_seed) emit("hook", hook_seed);
+  if (!witness.empty()) {
+    std::ostringstream token;
+    const char* dot = "";
+    for (std::int32_t w : witness) {
+      token << dot << w;
+      dot = ".";
+    }
+    emit("witness", token.str());
+  }
   if (wedge_ms != d.wedge_ms) emit("wedge_ms", wedge_ms);
   if (bug != d.bug) emit("bug", planted_bug_name(bug));
   if (bug_salt != d.bug_salt) emit("bugsalt", bug_salt);
@@ -307,6 +325,14 @@ CaseSpec CaseSpec::decode(const std::string& text) {
     else if (key == "cplace3") spec.crash_place3 = static_cast<std::int32_t>(parse_i64(key, value));
     else if (key == "cevent3") spec.crash_event3 = parse_i64(key, value);
     else if (key == "hook") spec.hook_seed = parse_u64(key, value);
+    else if (key == "witness") {
+      spec.witness.clear();
+      for (const std::string& idx : split(value, '.')) {
+        const std::string t = trim(idx);
+        require(!t.empty(), "dpx10check: malformed witness token '" + value + "'");
+        spec.witness.push_back(static_cast<std::int32_t>(parse_i64(key, t)));
+      }
+    }
     else if (key == "wedge_ms") spec.wedge_ms = static_cast<std::int32_t>(parse_i64(key, value));
     else if (key == "bug") ok = parse_enum(value, 3, planted_bug_name, spec.bug);
     else if (key == "bugsalt") spec.bug_salt = parse_u64(key, value);

@@ -47,6 +47,7 @@ enum class CaseMode : std::uint8_t {
   Matrix,      ///< knob matrix: scheduling x coalescing x retirement (+ more)
   Schedules,   ///< seeded schedule exploration (PCT perturber / sim shuffler)
   Crashes,     ///< crash-point sweep: kill a place at every K-th event
+  Explore,     ///< bounded-DPOR exhaustive interleaving exploration (sim)
 };
 std::string_view case_mode_name(CaseMode m);
 bool parse_case_mode(const std::string& name, CaseMode& out);
@@ -101,6 +102,14 @@ struct CaseSpec {
   std::int32_t crash_place3 = -1;
   std::int64_t crash_event3 = -1;
   std::uint64_t hook_seed = 0;     ///< 0 = no schedule hook installed
+  /// Schedule witness from the DPOR explorer (see explore.h): the i-th
+  /// entry is the ready-list index dispatched at the i-th *branch point*
+  /// (a dispatch with >= 2 ready vertices); beyond the prefix, index 0.
+  /// Replaying the witness on the sim engine reproduces the interleaving
+  /// deterministically, so normalize() forces engine=Sim when non-empty.
+  /// Encoded as `witness=` with DOT-separated indices (commas are field
+  /// separators); trailing zeros are canonical no-ops and get stripped.
+  std::vector<std::int32_t> witness;
   std::int32_t wedge_ms = 10000;   ///< threaded wedge-detector timeout
   PlantedBug bug = PlantedBug::None;  ///< self-test only
   std::uint64_t bug_salt = 0;

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <type_traits>
 
 #include "common/rng.h"
@@ -48,6 +49,14 @@ enum class SyncPoint : std::uint8_t {
   Decrement,        ///< an anti-dependency indegree is about to drop
   GovernorPublish,  ///< memory-governor publish accounting
   GovernorConsume,  ///< memory-governor consume accounting
+  // Richer events (fired through sync_event with operands) for the DPOR
+  // explorer's independence relation — batched traffic, payload eviction
+  // and recovery are exactly the engine features whose internal ordering
+  // a cell-footprint relation cannot see.
+  CoalesceFlush,    ///< a coalesced fetch/control batch leaves for a place
+  GovernorRetire,   ///< the governor retired a cell's payload (a = cell)
+  GovernorSpill,    ///< the governor spilled a cell's payload (a = cell)
+  RecoveryEpoch,    ///< a recovery pass announces itself (b: 0 begin, 1 end)
 };
 
 /// Installed by the harness for one engine run. Implementations must be
@@ -69,6 +78,26 @@ class ScheduleHook {
     (void)place;
     (void)size;
     return -1;
+  }
+
+  /// SimEngine dispatch override with vertex identities: `ready` holds the
+  /// linear indices of the candidates in queue order. The DPOR explorer
+  /// needs the identities (its independence relation is over cells), plain
+  /// samplers only the count — the default forwards to pick_ready so
+  /// existing hooks keep working unchanged.
+  virtual std::int64_t pick_ready_ids(std::int32_t place,
+                                      std::span<const std::int64_t> ready) noexcept {
+    return pick_ready(place, ready.size());
+  }
+
+  /// Sync event with operands (see the SyncPoint comments for each point's
+  /// a/b meaning). The default forwards to sync_point, so hooks that only
+  /// perturb timing observe the new points without change.
+  virtual void sync_event(SyncPoint point, std::int32_t place, std::int64_t a,
+                          std::int64_t b) noexcept {
+    (void)a;
+    (void)b;
+    sync_point(point, place);
   }
 };
 
@@ -99,6 +128,25 @@ inline std::int64_t pick_ready(std::int32_t place, std::size_t size) {
   ScheduleHook* h = hooks().schedule.load(std::memory_order_acquire);
   if (h == nullptr) return -1;
   return h->pick_ready(place, size);
+}
+
+inline std::int64_t pick_ready_ids(std::int32_t place,
+                                   std::span<const std::int64_t> ready) {
+  ScheduleHook* h = hooks().schedule.load(std::memory_order_acquire);
+  if (h == nullptr) return -1;
+  return h->pick_ready_ids(place, ready);
+}
+
+inline void sync_event(SyncPoint point, std::int32_t place, std::int64_t a,
+                       std::int64_t b) {
+  ScheduleHook* h = hooks().schedule.load(std::memory_order_acquire);
+  if (h != nullptr) h->sync_event(point, place, a, b);
+}
+
+/// True iff a ScheduleHook is installed — lets the sim skip the ready-list
+/// snapshot pick_ready_ids needs on the (default) hookless path.
+inline bool hook_installed() {
+  return hooks().schedule.load(std::memory_order_acquire) != nullptr;
 }
 
 /// PlantedBug::MutateValue — flip the low bit of the first byte of `value`

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "apgas/fault.h"
+#include "check/explore.h"
 #include "check/perturb.h"
 #include "common/error.h"
 #include "core/tiling.h"
@@ -33,7 +34,7 @@ RunOutcome fail(std::string reason) {
 
 }  // namespace
 
-RunOutcome run_single(const CaseSpec& spec) {
+RunOutcome run_single(const CaseSpec& spec, ScheduleHook* override_hook) {
   RunOutcome out;
   try {
     const GeneratedCase built = build_case(spec);
@@ -41,14 +42,20 @@ RunOutcome run_single(const CaseSpec& spec) {
     const RuntimeOptions opts = spec.runtime_options();
 
     std::unique_ptr<ScheduleHook> hook;
-    if (spec.hook_seed != 0) {
-      if (spec.engine == EngineKind::Sim) {
-        hook = std::make_unique<SimShuffler>(spec.hook_seed);
-      } else {
-        hook = std::make_unique<PctPerturber>(spec.hook_seed);
+    if (override_hook == nullptr) {
+      if (!spec.witness.empty()) {
+        hook = std::make_unique<WitnessReplayHook>(
+            std::span<const std::int32_t>(spec.witness));
+      } else if (spec.hook_seed != 0) {
+        if (spec.engine == EngineKind::Sim) {
+          hook = std::make_unique<SimShuffler>(spec.hook_seed);
+        } else {
+          hook = std::make_unique<PctPerturber>(spec.hook_seed);
+        }
       }
     }
-    const HookGuard hook_guard(hook.get());
+    const HookGuard hook_guard(override_hook != nullptr ? override_hook
+                                                        : hook.get());
     std::optional<PlantedBugGuard> bug_guard;
     if (spec.bug != PlantedBug::None) {
       bug_guard.emplace(spec.bug,
@@ -262,6 +269,9 @@ std::vector<CaseSpec> expand_case(const CaseSpec& spec) {
     case CaseMode::Crashes:
       // Needs a baseline run to learn the event count; run_case handles it.
       break;
+    case CaseMode::Explore:
+      // The DFS chooses its own runs; run_case drives explore_case.
+      break;
   }
   return out;
 }
@@ -398,6 +408,18 @@ std::optional<Failure> run_case(const CaseSpec& spec,
   if (spec.mode == CaseMode::Crashes) {
     return run_crash_sweep(spec, only_engine, runs);
   }
+  if (spec.mode == CaseMode::Explore) {
+    // Sim-only by construction; a threaded engine pin has nothing to run.
+    if (only_engine && *only_engine == EngineKind::Threaded) return std::nullopt;
+    // Fuzz-diet budgets: tiny clamped models, a bounded tree, and a short
+    // sampling pass over whatever the bound cut off. The CLI's --explore
+    // path calls explore_case directly with user-controlled budgets.
+    ExploreOptions eopts;
+    eopts.depth = 12;
+    eopts.max_runs = 3000;
+    eopts.fallback_samples = 8;
+    return explore_case(explore_base(spec), eopts, runs).failure;
+  }
   for (const CaseSpec& s : expand_case(spec)) {
     if (only_engine && s.engine != *only_engine && spec.mode != CaseMode::Single)
       continue;
@@ -432,6 +454,8 @@ CaseSpec shrink(const CaseSpec& failing, int budget, std::string* reason,
       [](CaseSpec& s) { s.crash_event2 = -1; },
       [](CaseSpec& s) { s.crash_place = -1; },  // then drop the crash whole
       [](CaseSpec& s) { s.hook_seed = 0; },
+      [](CaseSpec& s) { s.witness.clear(); },  // schedule-independent bug?
+      [](CaseSpec& s) { s.witness.resize(s.witness.size() / 2); },
       [](CaseSpec& s) { s.tile = 0; },  // does it reproduce per-cell?
       [](CaseSpec& s) { s.height /= 2; },
       [](CaseSpec& s) { s.width /= 2; },
@@ -513,10 +537,12 @@ FuzzResult fuzz(const FuzzOptions& options) {
                     : spec.crash_event + 1 + static_cast<std::int64_t>(rng.below(8));
           }
         }
-      } else if (roll < 90) {
+      } else if (roll < 89) {
         spec.mode = CaseMode::Matrix;
-      } else if (roll < 95) {
+      } else if (roll < 93) {
         spec.mode = CaseMode::Schedules;
+      } else if (roll < 95) {
+        spec.mode = CaseMode::Explore;
       } else {
         spec.mode = CaseMode::Crashes;
       }

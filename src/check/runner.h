@@ -48,8 +48,12 @@ struct RunOutcome {
 };
 
 /// Runs one Single spec and verifies every invariant above. Never throws:
-/// engine/config exceptions become a failed outcome.
-RunOutcome run_single(const CaseSpec& spec);
+/// engine/config exceptions become a failed outcome. A spec with a
+/// witness installs a WitnessReplayHook (explore.h); `override_hook`
+/// installs the given hook instead of anything the spec implies — the
+/// DPOR explorer drives its prefix-replay runs through it.
+RunOutcome run_single(const CaseSpec& spec,
+                      ScheduleHook* override_hook = nullptr);
 
 struct Failure {
   CaseSpec spec;       ///< the failing SINGLE spec (already expanded)

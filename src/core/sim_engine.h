@@ -487,8 +487,16 @@ class SimEngine {
         std::int64_t idx;
         // dpx10check schedule exploration: an installed hook may pick any
         // ready vertex, exploring alternative topological orders in
-        // virtual time; -1 keeps the configured ReadyOrder.
-        const std::int64_t pick = check::pick_ready(p, pl.ready.size());
+        // virtual time; -1 keeps the configured ReadyOrder. The DPOR
+        // explorer needs the candidate identities, so the deque is
+        // snapshotted into a scratch span when (and only when) a hook is
+        // installed.
+        std::int64_t pick = -1;
+        if (check::hook_installed()) {
+          pick_scratch_.assign(pl.ready.begin(), pl.ready.end());
+          pick = check::pick_ready_ids(
+              p, std::span<const std::int64_t>(pick_scratch_));
+        }
         if (pick >= 0 && static_cast<std::size_t>(pick) < pl.ready.size()) {
           const auto it = pl.ready.begin() + static_cast<std::ptrdiff_t>(pick);
           idx = *it;
@@ -767,6 +775,8 @@ class SimEngine {
           ++pl.stats.fetch_batches;
           rt_event(obs::RtEventKind::BatchFetchFlush, p, g.owner,
                    static_cast<std::int64_t>(g.entries.size()), now_);
+          check::sync_event(check::SyncPoint::CoalesceFlush, p, g.owner,
+                            static_cast<std::int64_t>(g.entries.size()));
           const FetchTiming fetch = model_remote_fetch(
               p, g.owner, net::MessageKind::BatchFetchRequest,
               net::MessageKind::BatchFetchReply,
@@ -891,6 +901,8 @@ class SimEngine {
           ++pl.stats.control_batches;
           rt_event(obs::RtEventKind::BatchControlFlush, p, g.dest,
                    static_cast<std::int64_t>(g.edges), now_);
+          check::sync_event(check::SyncPoint::CoalesceFlush, p, g.dest,
+                            static_cast<std::int64_t>(g.edges));
           const double arrives =
               now_ + opts_.link.transfer_time(net::wire_bytes(payload));
           pub_cost += arrives - now_;
@@ -984,6 +996,9 @@ class SimEngine {
           rt_event(gov_spill_ ? obs::RtEventKind::GovSpill
                               : obs::RtEventKind::GovRetire,
                    p, e, 0, now_);
+          check::sync_event(gov_spill_ ? check::SyncPoint::GovernorSpill
+                                       : check::SyncPoint::GovernorRetire,
+                            p, e, 0);
         }
       }
 
@@ -1553,6 +1568,8 @@ class SimEngine {
       const std::int64_t finished_before = finished_;
       rt_event(obs::RtEventKind::RecoveryBegin, batch.front(),
                static_cast<std::int64_t>(batch.size()), nested ? 1 : 0, at);
+      check::sync_event(check::SyncPoint::RecoveryEpoch, batch.front(),
+                        static_cast<std::int64_t>(batch.size()), 0);
       for (std::int32_t d : batch) {
         if (pm_.alive_count() <= 1) throw DeadPlaceException(d);
         pm_.kill(d);
@@ -1631,6 +1648,8 @@ class SimEngine {
       }
       rt_event(obs::RtEventKind::RecoveryEnd, record.dead_place, record.epoch,
                static_cast<std::int64_t>(record.restored), resume_at);
+      check::sync_event(check::SyncPoint::RecoveryEpoch, record.dead_place,
+                        static_cast<std::int64_t>(record.epoch), 1);
       recoveries_.push_back(record);
       DPX10_INFO << "sim: " << batch.size() << " place(s) died (trigger "
                  << record.dead_place << ", epoch " << record.epoch
@@ -1737,6 +1756,7 @@ class SimEngine {
     std::vector<VertexId> sched_scratch_;
     std::vector<Vertex<T>> dep_values_;
     std::vector<std::int64_t> evicted_scratch_;
+    std::vector<std::int64_t> pick_scratch_;  ///< ready snapshot for hooks
 
     /// Scratch for the coalesced gather: one batch round trip per owner.
     struct FetchGroup {

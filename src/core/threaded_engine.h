@@ -684,6 +684,8 @@ class ThreadedEngine {
           book_.record(g.owner, place, net::MessageKind::BatchFetchReply, g.reply_payload);
           lossy_fetch(g.owner, net::MessageKind::BatchFetchRequest, req_payload);
           ++batches;
+          check::sync_event(check::SyncPoint::CoalesceFlush, place, g.owner,
+                            static_cast<std::int64_t>(g.count));
           if (events_on_ || flight_on_) {
             rt_event_worker(sh, worker, obs::RtEventKind::BatchFetchFlush,
                             place, g.owner, static_cast<std::int64_t>(g.count),
@@ -730,6 +732,9 @@ class ThreadedEngine {
         for (std::int64_t r : retired_scratch) {
           const VertexId rid = domain.delinearize(r);
           for (auto& p : places_) p->cache.erase(rid);
+          check::sync_event(gov_spill_ ? check::SyncPoint::GovernorSpill
+                                       : check::SyncPoint::GovernorRetire,
+                            place, r, 0);
         }
         if ((events_on_ || flight_on_) && !retired_scratch.empty()) {
           const double t = stopwatch_.seconds();
@@ -779,6 +784,10 @@ class ThreadedEngine {
         if (!ctrl_groups.empty()) {
           pr.stats.control_msgs_out.fetch_add(ctrl_edges, std::memory_order_relaxed);
           pr.stats.control_batches.fetch_add(ctrl_groups.size(), std::memory_order_relaxed);
+          for (const CtrlGroup& g : ctrl_groups) {
+            check::sync_event(check::SyncPoint::CoalesceFlush, place, g.dest,
+                              static_cast<std::int64_t>(g.edges));
+          }
           if (events_on_ || flight_on_) {
             const double t = stopwatch_.seconds();
             for (const CtrlGroup& g : ctrl_groups) {
@@ -940,6 +949,12 @@ class ThreadedEngine {
                              bool worker_coordinator = true) {
       const double started_at = stopwatch_.seconds();
 
+      // Fired BEFORE the pause gate engages: a barrier hook that blocks
+      // workers until it sees this event must be released before we start
+      // waiting for those workers to park, or the pause never completes.
+      check::sync_event(check::SyncPoint::RecoveryEpoch, batch.front(),
+                        static_cast<std::int64_t>(batch.size()), 0);
+
       // Nested-recovery bookkeeping: if another coordinator is already in
       // flight when this one arrives (tied thresholds claimed by different
       // workers, or a death declared while a rebuild holds recovery_mu_),
@@ -980,6 +995,8 @@ class ThreadedEngine {
         pause_cv_.notify_all();
       }
       for (auto& p : places_) p->cv.notify_all();
+      check::sync_event(check::SyncPoint::RecoveryEpoch, batch.front(),
+                        static_cast<std::int64_t>(batch.size()), 1);
     }
 
     /// Pauses the world and captures a snapshot (coordinator context: the

@@ -1,0 +1,166 @@
+// Bounded-DPOR explorer (src/check/explore.h): exhaustive interleaving
+// coverage of small models on the sim engine. The hard guarantees under
+// test: the DFS exhausts a small model's state space, DPOR explores
+// STRICTLY fewer runs than naive enumeration of the same model while
+// agreeing on the verdict, exploration is deterministic, the depth bound
+// diverts alternatives into the frontier (and triggers the sampling
+// fallback), and schedule witnesses round-trip through the CaseSpec
+// encoding and replay deterministically.
+#include <gtest/gtest.h>
+
+#include "check/explore.h"
+#include "check/runner.h"
+
+namespace dpx10::check {
+namespace {
+
+// The CLI's default --explore model: an 8-vertex 2x4 random DAG over two
+// places, cache off so the cell-footprint relation prunes aggressively.
+CaseSpec small_model() {
+  CaseSpec spec =
+      CaseSpec::decode("seed=3,h=2,w=4,nplaces=2,nthreads=1,cache=0");
+  spec.normalize();
+  return spec;
+}
+
+TEST(ExploreTest, SmallModelIsExhausted) {
+  const ExploreResult r = explore_case(small_model());
+  ASSERT_FALSE(r.failure.has_value()) << r.failure->reason;
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.frontier, 0);
+  EXPECT_EQ(r.fallback_runs, 0);
+  EXPECT_GE(r.explored, 1);
+  EXPECT_GT(r.max_branch_points, 0)
+      << "the model must actually have scheduling freedom";
+}
+
+TEST(ExploreTest, DporExploresStrictlyFewerRunsThanNaive) {
+  ExploreOptions naive;
+  naive.dpor = false;
+  const ExploreResult full = explore_case(small_model(), naive);
+  const ExploreResult reduced = explore_case(small_model());
+  ASSERT_FALSE(full.failure.has_value()) << full.failure->reason;
+  ASSERT_FALSE(reduced.failure.has_value()) << reduced.failure->reason;
+  // Both verdicts must agree (completeness modulo the independence
+  // relation), but DPOR must pay strictly fewer runs for it.
+  EXPECT_TRUE(full.exhausted);
+  EXPECT_TRUE(reduced.exhausted);
+  EXPECT_EQ(full.pruned, 0) << "naive mode must not prune";
+  EXPECT_GT(reduced.pruned, 0);
+  EXPECT_LT(reduced.explored, full.explored);
+}
+
+TEST(ExploreTest, ExplorationIsDeterministic) {
+  const ExploreResult a = explore_case(small_model());
+  const ExploreResult b = explore_case(small_model());
+  EXPECT_EQ(a.explored, b.explored);
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.frontier, b.frontier);
+  EXPECT_EQ(a.max_branch_points, b.max_branch_points);
+  EXPECT_EQ(a.exhausted, b.exhausted);
+}
+
+TEST(ExploreTest, DepthBoundDivertsAlternativesIntoTheFrontier) {
+  ExploreOptions bounded;
+  bounded.depth = 0;  // the root run only; every alternative is frontier
+  bounded.fallback_samples = 4;
+  const ExploreResult r = explore_case(small_model(), bounded);
+  ASSERT_FALSE(r.failure.has_value()) << r.failure->reason;
+  EXPECT_EQ(r.explored, 1);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_GT(r.frontier, 0);
+  EXPECT_EQ(r.fallback_runs, 4)
+      << "an unexplored frontier must trigger the seeded sampling fallback";
+}
+
+TEST(ExploreTest, RunBudgetCountsPendingNodesIntoTheFrontier) {
+  ExploreOptions tight;
+  tight.dpor = false;
+  tight.max_runs = 2;
+  tight.fallback_samples = 0;
+  const ExploreResult r = explore_case(small_model(), tight);
+  ASSERT_FALSE(r.failure.has_value()) << r.failure->reason;
+  EXPECT_EQ(r.explored, 2);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_GT(r.frontier, 0);
+}
+
+TEST(ExploreTest, WitnessRoundTripsThroughTheSpecEncoding) {
+  CaseSpec spec = small_model();
+  spec.witness = {1, 0, 2};
+  spec.normalize();
+  const std::string line = spec.encode();
+  EXPECT_NE(line.find("witness=1.0.2"), std::string::npos) << line;
+  CaseSpec back = CaseSpec::decode(line);
+  back.normalize();
+  EXPECT_EQ(back.witness, spec.witness);
+  EXPECT_EQ(back.encode(), line);
+  EXPECT_EQ(back.engine, EngineKind::Sim)
+      << "a witness only replays on the deterministic sim engine";
+}
+
+TEST(ExploreTest, TrailingZeroWitnessEntriesAreCanonicalNoOps) {
+  // Beyond the witness the replay hook picks index 0, so trailing zeros
+  // replay identically to an absent suffix; normalize() strips them.
+  CaseSpec spec = small_model();
+  spec.witness = {2, 1, 0, 0};
+  spec.normalize();
+  EXPECT_EQ(spec.witness, (std::vector<std::int32_t>{2, 1}));
+  spec.witness = {0, 0};
+  spec.normalize();
+  EXPECT_TRUE(spec.witness.empty());
+  EXPECT_EQ(spec.encode().find("witness"), std::string::npos);
+}
+
+TEST(ExploreTest, WitnessReplayIsDeterministicAndOracleClean) {
+  // Every interleaving of the (bug-free) model satisfies the oracle, so
+  // any witness must replay cleanly — and identically on repeat.
+  CaseSpec spec = small_model();
+  spec.witness = {1, 1};
+  spec.normalize();
+  const RunOutcome first = run_single(spec);
+  const RunOutcome again = run_single(spec);
+  EXPECT_TRUE(first.ok) << first.reason;
+  EXPECT_TRUE(again.ok) << again.reason;
+  EXPECT_EQ(first.sim_events, again.sim_events);
+  EXPECT_EQ(first.computed, again.computed);
+}
+
+TEST(ExploreTest, ExploreBaseClampsTheFuzzDiet) {
+  CaseSpec big;
+  big.mode = CaseMode::Explore;
+  big.engine = EngineKind::Threaded;
+  big.height = 12;
+  big.width = 12;
+  big.tile = 3;
+  big.hook_seed = 77;
+  big.crash_place = 1;
+  big.crash_event = 5;
+  big.normalize();
+  const CaseSpec base = explore_base(big);
+  EXPECT_EQ(base.mode, CaseMode::Single);
+  EXPECT_EQ(base.engine, EngineKind::Sim);
+  EXPECT_LE(base.height, 3);
+  EXPECT_LE(base.width, 3);
+  EXPECT_EQ(base.tile, 0);
+  EXPECT_EQ(base.hook_seed, 0u);
+  EXPECT_EQ(base.crash_place, -1);
+}
+
+TEST(ExploreTest, ExploreModeRunsThroughRunCase) {
+  CaseSpec spec = small_model();
+  spec.mode = CaseMode::Explore;
+  spec.normalize();
+  std::int64_t runs = 0;
+  const std::optional<Failure> failure = run_case(spec, {}, &runs);
+  EXPECT_FALSE(failure.has_value()) << failure->reason;
+  EXPECT_GT(runs, 1);
+  // A threaded-engine pin has nothing to run in this sim-only mode.
+  std::int64_t pinned_runs = 0;
+  EXPECT_FALSE(
+      run_case(spec, EngineKind::Threaded, &pinned_runs).has_value());
+  EXPECT_EQ(pinned_runs, 0);
+}
+
+}  // namespace
+}  // namespace dpx10::check

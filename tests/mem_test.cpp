@@ -16,11 +16,17 @@
 //     retire resurrects them for recomputation).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "check/hooks.h"
 #include "core/dpx10.h"
 #include "dp/inputs.h"
 #include "dp/lcs.h"
@@ -308,6 +314,59 @@ TEST(MemSpill, TracebackReadsRetiredValuesFromTheFile) {
 // ones. In spill mode recovery re-reads retired values from the surviving
 // files; in retire mode they are gone, so consumers that must re-run get
 // their dependencies resurrected and recomputed.
+
+/// Deterministic two-epoch barrier for the threaded faulty runs below.
+/// The oracle faults fire when the finished count crosses 30% and 60% of
+/// the 1296-cell target. Between the first threshold being claimed and
+/// the claiming worker actually pausing the world, the OTHER workers keep
+/// finishing vertices — on an oversubscribed (1-core) host the claimant
+/// can be descheduled long enough for them to overshoot past the SECOND
+/// threshold, producing two concurrent coordinators and a batched or
+/// nested recovery instead of two clean epochs. The barrier closes that
+/// window: once the publish count passes a gate safely between the two
+/// thresholds, publishing workers block until the first recovery
+/// announces itself (the RecoveryEpoch begin sync event fires before the
+/// pause gate engages, so the release cannot deadlock the pause), which
+/// bounds the overshoot to the handful of in-flight workers.
+///
+/// The faulty runs force oracle detection (heartbeat.enabled = false):
+/// the threshold-crossing worker coordinates recovery synchronously, so
+/// the begin event — and with it the gate release — never depends on the
+/// workers this barrier is blocking. Under the heartbeat detector the
+/// dependency inverts and livelocks: blocked workers stop beating, the
+/// monitor's starvation guard re-baselines forever (a wall-clock detector
+/// must not evict places because the process was starved), and nothing is
+/// declared until the timeout below lets the workers go.
+class TwoEpochBarrier final : public check::ScheduleHook {
+ public:
+  void sync_point(check::SyncPoint point, std::int32_t) noexcept override {
+    if (point != check::SyncPoint::Publish) return;
+    if (publishes_.fetch_add(1, std::memory_order_acq_rel) + 1 < kGate) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::seconds(20),
+                 [this] { return first_recovery_started_; });
+  }
+
+  void sync_event(check::SyncPoint point, std::int32_t, std::int64_t,
+                  std::int64_t b) noexcept override {
+    if (point != check::SyncPoint::RecoveryEpoch || b != 0) return;
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      first_recovery_started_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  // Past the first threshold (~389 of 1296) with slack for recovery
+  // replays, comfortably below the second (~778).
+  static constexpr int kGate = 600;
+  std::atomic<int> publishes_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool first_recovery_started_ = false;
+};
+
 using MemFaultParam =
     std::tuple<dp::EngineKind, RecoveryPolicy, mem::RetirementMode>;
 
@@ -327,29 +386,32 @@ TEST_P(MemFaultMatrix, TwoDeathsStayTransparent) {
   }
   faulty.faults.push_back(FaultPlan{2, 0.3});
   faulty.faults.push_back(FaultPlan{3, 0.6});
+  // Oracle detection: recovery begins the instant each threshold is
+  // crossed. Detection latency is covered elsewhere (heartbeat_test,
+  // fault_test); this test pins what recovery does to retired/spilled
+  // memory, and needs exactly two clean epochs to do it.
+  faulty.heartbeat.enabled = false;
+  // The sim is deterministic on its own; the threaded runs get the
+  // sync-point barrier so the two thresholds can never race into one
+  // batched/nested epoch (see TwoEpochBarrier).
+  std::optional<TwoEpochBarrier> barrier;
+  std::optional<check::HookGuard> guard;
+  if (kind == dp::EngineKind::Threaded) {
+    barrier.emplace();
+    guard.emplace(&*barrier);
+  }
   RunReport report;
   const std::vector<std::int32_t> actual = run_recording(kind, faulty, &report);
+  guard.reset();
 
   EXPECT_EQ(actual, expected);
-  // Usually two recovery epochs, but on the threaded engine the heartbeat
-  // detector runs on wall clock: under load the second death can be
-  // declared while the first rebuild is still in flight and batch into one
-  // epoch. Batching may merge records but never loses or reorders deaths:
-  // RecoveryRecord::dead_places pins the batch contents, and concatenating
-  // them across recoveries must reproduce the fault plan exactly.
-  std::vector<std::int32_t> all_deaths;
+  // Exactly two clean epochs, in fault-plan order, on BOTH engines.
+  ASSERT_EQ(report.recoveries.size(), 2u);
+  EXPECT_EQ(report.recoveries[0].dead_places, (std::vector<std::int32_t>{2}));
+  EXPECT_EQ(report.recoveries[1].dead_places, (std::vector<std::int32_t>{3}));
   for (const RecoveryRecord& rec : report.recoveries) {
     ASSERT_FALSE(rec.dead_places.empty());
     EXPECT_EQ(rec.dead_place, rec.dead_places.front());
-    all_deaths.insert(all_deaths.end(), rec.dead_places.begin(),
-                      rec.dead_places.end());
-  }
-  EXPECT_EQ(all_deaths, (std::vector<std::int32_t>{2, 3}));
-  if (kind == dp::EngineKind::Sim) {
-    // Virtual time is deterministic: the deaths at 0.3 and 0.6 can never
-    // batch, so the simulator always reports exactly two epochs.
-    ASSERT_EQ(report.recoveries.size(), 2u);
-    EXPECT_EQ(report.recoveries[1].dead_place, 3);
   }
   // Deaths lose work, so some vertices were computed more than once.
   EXPECT_GE(report.computed, report.vertices);

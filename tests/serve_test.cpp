@@ -185,6 +185,74 @@ TEST(SchedulerCancel, QueuedOnly) {
   sched.finish(first, JobState::Done, 0.0, 0, "", {});
 }
 
+TEST(SchedulerAdmission, ZeroWeightTenantIsRejectedAtConstruction) {
+  // A zero weight would divide the WFQ vtime advance by zero; the pool
+  // must refuse the configuration outright, naming the offending tenant.
+  try {
+    FairScheduler sched({/*total_slots=*/1, /*max_queue=*/8}, {{"free", 0}});
+    FAIL() << "zero-weight tenant was accepted";
+  } catch (const ConfigError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("free"), std::string::npos)
+        << ex.what();
+  }
+}
+
+TEST(SchedulerFairness, VtimeSnapsForwardAfterLongIdle) {
+  // A tenant returning from a long idle stretch must resume at the system
+  // virtual clock, not at its stale vtime — otherwise the idle time
+  // accumulates as credit and the returning tenant bursts ahead of the
+  // incumbent until it "catches up". With the snap, service interleaves
+  // 1:1 immediately.
+  FairScheduler sched({/*total_slots=*/1, /*max_queue=*/32}, {});
+  std::int64_t id = 0;
+  auto run_next = [&sched] {
+    const std::int64_t job = sched.dequeue();
+    ASSERT_GT(job, 0);
+    sched.finish(job, JobState::Done, 0.0, 0, "", {});
+  };
+  // Both tenants active once, so "b" holds a stale (small) vtime.
+  ASSERT_EQ(sched.submit(sim_spec("a"), id), Admission::Admitted);
+  ASSERT_EQ(sched.submit(sim_spec("b"), id), Admission::Admitted);
+  run_next();
+  run_next();
+  // "b" idles while "a" runs six more jobs, advancing the virtual clock.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(sched.submit(sim_spec("a"), id), Admission::Admitted);
+    run_next();
+  }
+  // "b" returns with a backlog; "a" stays backlogged too.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(sched.submit(sim_spec("b"), id), Admission::Admitted);
+    ASSERT_EQ(sched.submit(sim_spec("a"), id), Admission::Admitted);
+  }
+  for (int i = 0; i < 6; ++i) run_next();
+  const std::vector<std::string> order = sched.dispatch_order();
+  ASSERT_EQ(order.size(), 14u);
+  const std::vector<std::string> tail(order.end() - 6, order.end());
+  EXPECT_EQ(tail, (std::vector<std::string>{"b", "a", "b", "a", "b", "a"}))
+      << "returning tenant must interleave 1:1, not burst on stale credit";
+}
+
+TEST(SchedulerCancel, QueuedButNeverDispatchedJobIsSkipped) {
+  // Cancel a job that no dequeue() ever touched: it must leave the queue
+  // immediately (not linger until a dispatch attempt), count into the
+  // tenant's cancelled stat, and the next dequeue must skip straight to
+  // the younger job.
+  FairScheduler sched({/*total_slots=*/1, /*max_queue=*/8}, {});
+  std::int64_t doomed = 0, survivor = 0;
+  ASSERT_EQ(sched.submit(sim_spec("t"), doomed), Admission::Admitted);
+  ASSERT_EQ(sched.submit(sim_spec("t"), survivor), Admission::Admitted);
+  EXPECT_TRUE(sched.cancel(doomed));
+  EXPECT_FALSE(sched.cancel(doomed)) << "second cancel must report false";
+  JobRecord rec;
+  ASSERT_TRUE(sched.get(doomed, rec));
+  EXPECT_EQ(rec.state, JobState::Cancelled);
+  EXPECT_EQ(sched.dequeue(), survivor);
+  sched.finish(survivor, JobState::Done, 0.0, 0, "", {});
+  const Json stats = sched.stats();
+  EXPECT_EQ(stats.at("tenants").at("t").at("cancelled").as_int(), 1);
+}
+
 // ------------------------------------------------------------ registry --
 
 TEST(RegistryTest, ManifestRoundTrip) {

@@ -14,6 +14,15 @@
 //   ./build/tools/dpx10check --cases=500 --mode=crashes --engine=sim
 //   ./build/tools/dpx10check --repro='seed=7,pattern=interval,h=6,...'
 //   ./build/tools/dpx10check --cases=200 --planted-bug=mutate-value
+//   ./build/tools/dpx10check --explore='seed=3,h=2,w=4,nplaces=2,cache=0'
+//
+// --explore runs bounded-DPOR exhaustive interleaving exploration of ONE
+// model on the sim engine (see src/check/explore.h): every dispatch order
+// within the depth bound is enumerated, pruned modulo the cell-footprint
+// independence relation, each run oracle-checked; the verdict line says
+// whether the state space was exhausted. A witness spec with mode=explore
+// expands the same way under fuzzing, and `--repro` accepts the
+// `witness=` schedule token any explore failure prints.
 //
 // Exit status: 0 = every case passed (or the repro no longer fails),
 // 1 = a failing case was found (reproducer printed), 2 = bad usage.
@@ -21,6 +30,7 @@
 #include <iostream>
 #include <string>
 
+#include "check/explore.h"
 #include "check/runner.h"
 #include "common/build_info.h"
 #include "common/error.h"
@@ -33,9 +43,12 @@ void usage(std::ostream& out) {
          "                  [--max-dim=D] [--shrink-budget=N] [--wedge-ms=MS]\n"
          "                  [--planted-bug=B] [--bug-salt=S] [--fail-out=PATH]\n"
          "                  [--repro=SPEC] [--verbose]\n"
+         "                  [--explore[=SPEC]] [--explore-depth=D]\n"
+         "                  [--explore-runs=N] [--naive]\n"
          "  --cases=N         number of random cases to run (default 100)\n"
          "  --seed=S          master seed (default 1)\n"
-         "  --mode=M          single|matrix|schedules|crashes; default mixed\n"
+         "  --mode=M          single|matrix|schedules|crashes|explore;\n"
+         "                    default mixed\n"
          "  --engine=E        sim|threaded; default both\n"
          "  --max-dim=D       cap on random heights/widths (default 12)\n"
          "  --shrink-budget=N max verification runs while shrinking (200)\n"
@@ -43,7 +56,48 @@ void usage(std::ostream& out) {
          "  --planted-bug=B   none|mutate-value|drop-decrement (self-test)\n"
          "  --bug-salt=S      fix the planted bug's victim selection\n"
          "  --fail-out=PATH   write the shrunk failing spec to PATH\n"
-         "  --repro=SPEC      run one encoded case instead of fuzzing\n";
+         "  --repro=SPEC      run one encoded case instead of fuzzing\n"
+         "  --explore[=SPEC]  exhaust one model's interleavings (sim; the\n"
+         "                    default SPEC is an 8-vertex 2x4 random DAG)\n"
+         "  --explore-depth=D branch-point depth bound (default 64)\n"
+         "  --explore-runs=N  exploration run budget (default 50000)\n"
+         "  --naive           disable DPOR pruning (full enumeration)\n";
+}
+
+// The default --explore model: an 8-vertex random DAG over two places,
+// cache off so the footprint relation prunes aggressively. CI pins the
+// explored/pruned counters of exactly this model (.github/workflows).
+constexpr const char* kDefaultExploreModel =
+    "seed=3,h=2,w=4,nplaces=2,nthreads=1,cache=0";
+
+int run_explore(const dpx10::Options& cli) {
+  namespace check = dpx10::check;
+  std::string espec = cli.get("explore", "");
+  if (espec == "true") espec.clear();  // bare --explore flag form
+  const check::CaseSpec spec =
+      check::CaseSpec::decode(espec.empty() ? kDefaultExploreModel : espec);
+  check::ExploreOptions eopts;
+  eopts.depth = static_cast<std::int32_t>(cli.get_int("explore-depth", 64));
+  eopts.max_runs = cli.get_int("explore-runs", 50000);
+  eopts.dpor = !cli.has("naive");
+  const check::ExploreResult r = check::explore_case(spec, eopts);
+  std::cout << "dpx10check: explore"
+            << (eopts.dpor ? "" : " (naive)") << " "
+            << (espec.empty() ? kDefaultExploreModel : espec) << "\n"
+            << "  explored=" << r.explored << " pruned=" << r.pruned
+            << " frontier=" << r.frontier << " branch-points="
+            << r.max_branch_points << " fallback=" << r.fallback_runs << "\n";
+  if (r.failure) {
+    std::cerr << "dpx10check: explore FAILED: " << r.failure->reason << "\n"
+              << "  " << check::repro_command(r.failure->spec) << "\n";
+    return 1;
+  }
+  std::cout << (r.exhausted
+                    ? "  verdict: state space EXHAUSTED (modulo the "
+                      "independence relation)\n"
+                    : "  verdict: BOUNDED — frontier unexplored, seeded "
+                      "fallback sampling passed\n");
+  return 0;
 }
 
 int report_failure(const dpx10::check::FuzzResult& result,
@@ -79,6 +133,10 @@ int main(int argc, char** argv) {
     if (cli.has("help")) {
       usage(std::cout);
       return 0;
+    }
+
+    if (cli.has("explore")) {
+      return run_explore(cli);
     }
 
     if (cli.has("repro")) {
